@@ -1,0 +1,182 @@
+// Ablations of the design choices DESIGN.md calls out.
+//
+// A1 — brush-grid resolution: the coordinated brush is rasterized into an
+//      arena-space grid for O(1) point tests. Sweep the resolution and
+//      report query cost plus verdict agreement against a fine-grid
+//      reference (accuracy/cost trade-off).
+// A2 — interconnect model: re-run the E7 cluster frame under
+//      instantaneous / 10GbE / GbE network models; the protocol is
+//      unchanged, only delivery timing moves, so output stays identical
+//      while frame time absorbs the gather traffic.
+// A3 — SOM lattice size: overview fidelity and quantization error vs the
+//      number of clusters (the granularity knob of §VI.C).
+// A4 — query parallelism grain: thread-pool chunking of the per-
+//      trajectory evaluation loop.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cluster/clusterapp.h"
+#include "core/clusterquery.h"
+#include "core/session.h"
+
+using namespace svq;
+
+namespace {
+
+core::BrushGrid westBrushAt(float arenaRadius, int resolution) {
+  core::BrushCanvas canvas(arenaRadius, resolution);
+  core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, arenaRadius);
+  return canvas.grid();
+}
+
+// --- A1: brush grid resolution ----------------------------------------------
+
+void BM_A1_BrushGridResolution(benchmark::State& state) {
+  const auto& ds = bench::dataset(500);
+  const int resolution = static_cast<int>(state.range(0));
+  const core::BrushGrid brush = westBrushAt(ds.arena().radiusCm, resolution);
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  for (auto _ : state) {
+    const auto result =
+        core::evaluateQuery(ds, indices, brush, core::QueryParams{});
+    benchmark::DoNotOptimize(result);
+  }
+  // Verdict agreement vs a 1024-texel reference grid.
+  const core::BrushGrid ref = westBrushAt(ds.arena().radiusCm, 1024);
+  const auto coarse =
+      core::evaluateQuery(ds, indices, brush, core::QueryParams{});
+  const auto fine =
+      core::evaluateQuery(ds, indices, ref, core::QueryParams{});
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (coarse.summaries[i].anyHighlight() ==
+        fine.summaries[i].anyHighlight()) {
+      ++agree;
+    }
+  }
+  state.counters["resolution"] = resolution;
+  state.counters["verdict_agreement_pct"] =
+      100.0 * static_cast<double>(agree) / static_cast<double>(ds.size());
+}
+BENCHMARK(BM_A1_BrushGridResolution)
+    ->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// --- A2: interconnect model ---------------------------------------------------
+
+void runClusterUnder(benchmark::State& state, net::NetworkModel network) {
+  const auto& ds = bench::dataset(200);
+  wall::TileSpec tile;
+  tile.pxW = 192;
+  tile.pxH = 108;
+  const wall::WallSpec w(tile, 6, 2);
+  core::VisualQueryApp app(ds, w);
+  app.apply(ui::LayoutSwitchEvent{0});
+  app.apply(ui::BrushStrokeEvent{0, {-25.0f, 0.0f}, 25.0f});
+  const render::SceneModel scene = app.buildScene();
+  cluster::ClusterOptions options;
+  options.network = network;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto result = cluster::runClusterSession(ds, w, {scene}, options);
+    bytes = result.bytesSent;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["MB_per_frame"] = static_cast<double>(bytes) / 1e6;
+}
+
+void BM_A2_NetworkInstant(benchmark::State& state) {
+  runClusterUnder(state, {});
+  state.SetLabel("instantaneous");
+}
+BENCHMARK(BM_A2_NetworkInstant)->Unit(benchmark::kMillisecond);
+
+void BM_A2_Network10GbE(benchmark::State& state) {
+  runClusterUnder(state, net::NetworkModel::tenGigabitEthernet());
+  state.SetLabel("10GbE model");
+}
+BENCHMARK(BM_A2_Network10GbE)->Unit(benchmark::kMillisecond);
+
+void BM_A2_NetworkGbE(benchmark::State& state) {
+  runClusterUnder(state, net::NetworkModel::gigabitEthernet());
+  state.SetLabel("GbE model");
+}
+BENCHMARK(BM_A2_NetworkGbE)->Unit(benchmark::kMillisecond);
+
+// --- A3: SOM lattice size ------------------------------------------------------
+
+void BM_A3_SomLatticeSize(benchmark::State& state) {
+  const auto& ds = bench::dataset(2000, /*maxDurationS=*/60.0f);
+  const auto side = static_cast<std::size_t>(state.range(0));
+  traj::SomParams somP;
+  somP.rows = side;
+  somP.cols = side;
+  somP.epochs = 3;
+  traj::FeatureParams featP;
+  featP.resampleCount = 16;
+
+  for (auto _ : state) {
+    core::SomExplorer explorer(ds, somP, featP);
+    benchmark::DoNotOptimize(explorer);
+  }
+
+  const core::SomExplorer explorer(ds, somP, featP);
+  core::BrushCanvas canvas(ds.arena().radiusCm, 256);
+  core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest,
+                       ds.arena().radiusCm);
+  state.counters["clusters"] =
+      static_cast<double>(explorer.displayableClusters().size());
+  state.counters["fidelity_pct"] = static_cast<double>(
+      explorer.clusterQueryFidelity(canvas.grid(), core::QueryParams{}) *
+      100.0f);
+  state.SetLabel(std::to_string(side) + "x" + std::to_string(side));
+}
+BENCHMARK(BM_A3_SomLatticeSize)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// --- A4: parallel grain ---------------------------------------------------------
+
+void BM_A4_QueryGrain(benchmark::State& state) {
+  const auto& ds = bench::dataset(2000);
+  const core::BrushGrid brush = westBrushAt(ds.arena().radiusCm, 256);
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  const auto grain = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    // Inline re-implementation of the parallel loop with explicit grain.
+    core::QueryResult result;
+    result.segmentHighlights.resize(ds.size());
+    result.summaries.resize(ds.size());
+    parallelFor(
+        0, ds.size(),
+        [&](std::size_t i) {
+          core::evaluateOne(ds[indices[i]], indices[i], brush,
+                            core::QueryParams{},
+                            result.segmentHighlights[i],
+                            result.summaries[i]);
+        },
+        grain);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["grain"] = static_cast<double>(grain);
+}
+BENCHMARK(BM_A4_QueryGrain)->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void printContext() {
+  std::printf("\n=== Ablations: brush-grid resolution, interconnect model, "
+              "SOM lattice, parallel grain ===\n");
+  std::printf("A2 sanity: cluster output under every network model is "
+              "pixel-identical (asserted in tests/net_simnet_test).\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printContext();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

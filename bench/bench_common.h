@@ -1,0 +1,48 @@
+// bench_common.h — shared fixtures for the experiment benchmarks.
+//
+// Every bench binary regenerates one paper artifact (see DESIGN.md's
+// experiment index). Datasets are built once per binary and cached;
+// all randomness is seeded so runs are reproducible.
+#pragma once
+
+#include <cstdio>
+#include <map>
+
+#include "traj/synth.h"
+#include "wall/wall.h"
+
+namespace svq::bench {
+
+/// Cached synthetic dataset (one per (count, maxDuration) per binary).
+inline const traj::TrajectoryDataset& dataset(std::size_t count,
+                                              float maxDurationS = 180.0f) {
+  static std::map<std::pair<std::size_t, int>, traj::TrajectoryDataset>
+      cache;
+  const auto key = std::make_pair(count, static_cast<int>(maxDurationS));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    traj::AntBehaviorParams params;
+    params.maxDurationS = maxDurationS;
+    traj::AntSimulator sim(params, 0x5C2012ULL + count);
+    traj::DatasetSpec spec;
+    spec.count = count;
+    it = cache.emplace(key, sim.generate(spec)).first;
+  }
+  return it->second;
+}
+
+/// The paper's 6x2 wall region at full resolution (8196x1536).
+inline wall::WallSpec paperWall() { return wall::cyberCommonsUsedRegion(); }
+
+/// Same tile structure at reduced resolution, for per-iteration benches
+/// where full-resolution rasterization would dominate the run time.
+inline wall::WallSpec reducedWall(int tilePxW = 320, int tilePxH = 180) {
+  wall::TileSpec tile;
+  tile.pxW = tilePxW;
+  tile.pxH = tilePxH;
+  tile.activeWmm = 1150.0f;
+  tile.activeHmm = 647.0f;
+  return wall::WallSpec(tile, 6, 2);
+}
+
+}  // namespace svq::bench

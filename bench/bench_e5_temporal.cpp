@@ -1,0 +1,138 @@
+// E5 (Sec. V.B): compound spatio-temporal queries via the temporal filter.
+//
+// Regenerates: the seed-search reading — brush the arena centre, narrow
+// the range slider to the start of the experiment, and look for
+// display-perpendicular (stationary) highlighted segments. Reports the
+// planted-vs-null contrast and the cost of window sweeps.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/hypothesis.h"
+#include "core/query.h"
+#include "traj/stats.h"
+
+using namespace svq;
+
+namespace {
+
+core::BrushGrid centerBrush(float arenaRadius) {
+  core::BrushCanvas canvas(arenaRadius, 256);
+  core::paintArenaCenter(canvas, 1, arenaRadius * 0.2f);
+  return canvas.grid();
+}
+
+void BM_WindowedQuery(benchmark::State& state) {
+  const auto& ds = bench::dataset(500);
+  const core::BrushGrid brush = centerBrush(ds.arena().radiusCm);
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  core::QueryParams params;
+  params.timeWindow = {0.0f, static_cast<float>(state.range(0))};
+  for (auto _ : state) {
+    const auto result = core::evaluateQuery(ds, indices, brush, params);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["window_s"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_WindowedQuery)->Arg(10)->Arg(30)->Arg(60)->Arg(180)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WindowSweep(benchmark::State& state) {
+  // The analyst drags the range slider: ten successive window positions.
+  const auto& ds = bench::dataset(500);
+  const core::BrushGrid brush = centerBrush(ds.arena().radiusCm);
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  for (auto _ : state) {
+    for (int w = 0; w < 10; ++w) {
+      core::QueryParams params;
+      params.timeWindow = {static_cast<float>(w) * 18.0f,
+                           static_cast<float>(w + 1) * 18.0f};
+      const auto result = core::evaluateQuery(ds, indices, brush, params);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetLabel("10 slider positions per iteration");
+}
+BENCHMARK(BM_WindowSweep)->Unit(benchmark::kMillisecond);
+
+void BM_StationaryRunDetection(benchmark::State& state) {
+  const auto& ds = bench::dataset(500);
+  for (auto _ : state) {
+    float total = 0.0f;
+    for (const auto& t : ds.all()) {
+      total += traj::longestStationaryRunS(t, 1.0f);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_StationaryRunDetection)->Unit(benchmark::kMillisecond);
+
+void BM_SeedSearchHypothesis(benchmark::State& state) {
+  const auto& ds = bench::dataset(500);
+  const core::Hypothesis h =
+      core::makeSeedSearchHypothesis(ds.arena().radiusCm);
+  for (auto _ : state) {
+    const auto r = core::evaluateHypothesis(h, ds);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SeedSearchHypothesis)->Unit(benchmark::kMillisecond);
+
+void printContext() {
+  std::printf("\n=== E5: compound spatio-temporal query (seed search) "
+              "===\n");
+  std::printf("query: centre disc brushed green + window = first 25 s; "
+              "reading: sustained highlight = stationary searching ant\n\n");
+
+  auto support = [](const traj::TrajectoryDataset& ds) {
+    const core::Hypothesis h =
+        core::makeSeedSearchHypothesis(ds.arena().radiusCm);
+    return core::evaluateHypothesis(h, ds);
+  };
+  const auto planted = support(bench::dataset(500));
+  traj::AntSimulator nullSim(traj::AntBehaviorParams{}.nullModel(),
+                             0x5C2012ULL);
+  traj::DatasetSpec spec;
+  spec.count = 500;
+  const auto nullDs = nullSim.generate(spec);
+  const auto null = support(nullDs);
+
+  std::printf("%-28s %-20s %-20s\n", "", "seed-droppers", "other ants");
+  std::printf("%-28s %.0f%%%-16s %.0f%%\n", "planted data",
+              static_cast<double>(planted.supportFraction) * 100.0, "",
+              static_cast<double>(planted.complementSupportFraction) * 100.0);
+  std::printf("%-28s %.0f%%%-16s %.0f%%\n", "null control",
+              static_cast<double>(null.supportFraction) * 100.0, "",
+              static_cast<double>(null.complementSupportFraction) * 100.0);
+
+  // The stereoscopic reading: stationary searching shows as long
+  // near-vertical runs in the space-time cube.
+  const auto& ds = bench::dataset(500);
+  double dropRun = 0.0, otherRun = 0.0;
+  std::size_t nDrop = 0, nOther = 0;
+  for (const auto& t : ds.all()) {
+    const double run = traj::longestStationaryRunS(t, 1.0f);
+    if (t.meta().seed == traj::SeedState::kDroppedAtCapture) {
+      dropRun += run;
+      ++nDrop;
+    } else {
+      otherRun += run;
+      ++nOther;
+    }
+  }
+  std::printf("\nmean longest stationary run (display-perpendicular "
+              "segment): droppers %.1f s vs others %.1f s\n\n",
+              dropRun / static_cast<double>(nDrop),
+              otherRun / static_cast<double>(nOther));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printContext();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,183 @@
+// E6 (Sec. VI.C): scalability to 10k-1M trajectories.
+//
+// Regenerates: the SOM-cluster overview path (feature extraction, SOM
+// training, cluster-average query) versus brute-force full-fidelity
+// queries across dataset sizes, the overview's fidelity to member
+// majorities, and the compact-encoding (Douglas-Peucker) density gains.
+// The expected shape: full query cost is linear in total points; the
+// overview is O(clusters) and roughly flat, restoring interactivity at
+// scales where the full query no longer is; drill-down recovers full
+// fidelity for one cluster at a time.
+//
+// Sizes here top out at 100k short trajectories (single host, CPU); the
+// 1M figure the paper speculates about follows the same linear trends.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/clusterquery.h"
+#include "traj/resample.h"
+
+using namespace svq;
+
+namespace {
+
+// Short trajectories at scale keep the working set sane.
+const traj::TrajectoryDataset& bigDataset(std::size_t n) {
+  return bench::dataset(n, /*maxDurationS=*/30.0f);
+}
+
+core::BrushGrid westBrush(float arenaRadius) {
+  core::BrushCanvas canvas(arenaRadius, 256);
+  core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, arenaRadius);
+  return canvas.grid();
+}
+
+traj::FeatureParams featureParams() {
+  traj::FeatureParams p;
+  p.resampleCount = 24;
+  return p;
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& ds = bigDataset(static_cast<std::size_t>(state.range(0)));
+  const traj::FeatureParams p = featureParams();
+  for (auto _ : state) {
+    std::vector<std::vector<float>> features(ds.size());
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      features[i] = traj::extractFeatures(ds[i], p);
+    }
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(ds.size()));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SomTrain(benchmark::State& state) {
+  const auto& ds = bigDataset(static_cast<std::size_t>(state.range(0)));
+  const traj::FeatureParams p = featureParams();
+  std::vector<std::vector<float>> features(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    features[i] = traj::extractFeatures(ds[i], p);
+  }
+  traj::SomParams somP;
+  somP.rows = 6;
+  somP.cols = 6;
+  somP.epochs = 3;
+  for (auto _ : state) {
+    traj::Som som(somP, traj::featureDimension(p));
+    som.train(features);
+    benchmark::DoNotOptimize(som);
+  }
+  state.counters["trajectories"] = static_cast<double>(ds.size());
+}
+BENCHMARK(BM_SomTrain)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullFidelityQuery(benchmark::State& state) {
+  const auto& ds = bigDataset(static_cast<std::size_t>(state.range(0)));
+  const core::BrushGrid brush = westBrush(ds.arena().radiusCm);
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  for (auto _ : state) {
+    const auto result =
+        core::evaluateQuery(ds, indices, brush, core::QueryParams{});
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["points"] = static_cast<double>(ds.totalPoints());
+}
+BENCHMARK(BM_FullFidelityQuery)
+    ->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClusterOverviewQuery(benchmark::State& state) {
+  const auto& ds = bigDataset(static_cast<std::size_t>(state.range(0)));
+  traj::SomParams somP;
+  somP.rows = 6;
+  somP.cols = 6;
+  somP.epochs = 3;
+  static std::map<long, std::unique_ptr<core::SomExplorer>> cache;
+  auto& explorer = cache[state.range(0)];
+  if (!explorer) {
+    explorer =
+        std::make_unique<core::SomExplorer>(ds, somP, featureParams());
+  }
+  const core::BrushGrid brush = westBrush(ds.arena().radiusCm);
+  for (auto _ : state) {
+    const auto result = explorer->queryClusters(brush, core::QueryParams{});
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["clusters"] =
+      static_cast<double>(explorer->displayableClusters().size());
+  state.counters["fidelity_pct"] = static_cast<double>(
+      explorer->clusterQueryFidelity(brush, core::QueryParams{}) * 100.0f);
+}
+BENCHMARK(BM_ClusterOverviewQuery)
+    ->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DrillDownQuery(benchmark::State& state) {
+  const auto& ds = bigDataset(10000);
+  traj::SomParams somP;
+  somP.rows = 6;
+  somP.cols = 6;
+  somP.epochs = 3;
+  static std::unique_ptr<core::SomExplorer> explorer;
+  if (!explorer) {
+    explorer =
+        std::make_unique<core::SomExplorer>(ds, somP, featureParams());
+  }
+  const core::BrushGrid brush = westBrush(ds.arena().radiusCm);
+  const std::uint32_t node = explorer->displayableClusters().front();
+  for (auto _ : state) {
+    const auto result =
+        explorer->queryClusterMembers(node, brush, core::QueryParams{});
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["members"] =
+      static_cast<double>(explorer->drillDown(node).size());
+}
+BENCHMARK(BM_DrillDownQuery)->Unit(benchmark::kMillisecond);
+
+void BM_DouglasPeuckerSimplify(benchmark::State& state) {
+  const auto& ds = bench::dataset(500);
+  const float eps = static_cast<float>(state.range(0)) * 0.1f;
+  for (auto _ : state) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < 100; ++i) {
+      kept += traj::douglasPeuckerCount(ds[i], eps);
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  std::size_t original = 0, kept = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    original += ds[i].size();
+    kept += traj::douglasPeuckerCount(ds[i], eps);
+  }
+  state.counters["density_gain"] =
+      static_cast<double>(original) / static_cast<double>(kept);
+  state.SetLabel("eps=" + std::to_string(eps) + "cm");
+}
+BENCHMARK(BM_DouglasPeuckerSimplify)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void printContext() {
+  std::printf("\n=== E6 / Sec. VI.C: scaling beyond 500 trajectories ===\n");
+  std::printf("path A: SOM cluster averages as the unit of exploration "
+              "(overview O(clusters), drill-down per cluster)\n");
+  std::printf("path B: compact encodings via Douglas-Peucker (density "
+              "gain at fixed wall area)\n");
+  std::printf("expected shape: full-query cost linear in points; overview "
+              "roughly flat; fidelity high\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printContext();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

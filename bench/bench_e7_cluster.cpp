@@ -1,0 +1,142 @@
+// E7 (Fig. 1 / Sec. IV.C): sort-first cluster rendering of the wall.
+//
+// Regenerates: per-frame cost of driving the tiled wall with one render
+// node per tile, as the tile count grows (1 -> 18); the swap-barrier and
+// gather overheads; and the gather-on/off ablation. Expected shape on
+// real hardware: near-linear scaling with tiles until the gather/composite
+// stage dominates. (On this single-core host rank threads time-slice, so
+// per-frame wall time stays roughly flat while per-rank render time drops
+// proportionally — the load-division signal is the drawn/culled split.)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cluster/clusterapp.h"
+#include "cluster/scene_serde.h"
+#include "core/session.h"
+
+using namespace svq;
+
+namespace {
+
+wall::WallSpec wallOfShape(int cols, int rows) {
+  wall::TileSpec tile;
+  tile.pxW = 256;
+  tile.pxH = 144;
+  tile.activeWmm = 1150.0f;
+  tile.activeHmm = 647.0f;
+  return wall::WallSpec(tile, cols, rows);
+}
+
+render::SceneModel sceneFor(const traj::TrajectoryDataset& ds,
+                            const wall::WallSpec& w) {
+  core::VisualQueryApp app(ds, w);
+  app.apply(ui::LayoutSwitchEvent{1});
+  app.apply(ui::BrushStrokeEvent{0, {-25.0f, 0.0f}, 25.0f});
+  return app.buildScene();
+}
+
+void runShape(benchmark::State& state, int cols, int rows, bool stereo,
+              bool gather) {
+  const auto& ds = bench::dataset(300);
+  const wall::WallSpec w = wallOfShape(cols, rows);
+  const render::SceneModel scene = sceneFor(ds, w);
+  cluster::ClusterOptions options;
+  options.stereo = stereo;
+  options.gatherToMaster = gather;
+
+  double renderS = 0.0, barrierS = 0.0, gatherS = 0.0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto result = cluster::runClusterSession(ds, w, {scene}, options);
+    renderS = barrierS = gatherS = 0.0;
+    for (const auto& rs : result.rankStats) {
+      renderS += rs.renderSeconds;
+      barrierS += rs.barrierSeconds;
+      gatherS += rs.gatherSeconds;
+    }
+    bytes = result.bytesSent;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ranks"] = cols * rows;
+  state.counters["render_s_total"] = renderS;
+  state.counters["barrier_s_total"] = barrierS;
+  state.counters["gather_s_total"] = gatherS;
+  state.counters["MB_per_frame"] = static_cast<double>(bytes) / 1e6;
+}
+
+void BM_ClusterFrame(benchmark::State& state) {
+  const int shape = static_cast<int>(state.range(0));
+  static constexpr std::pair<int, int> kShapes[] = {
+      {1, 1}, {2, 1}, {3, 1}, {3, 2}, {6, 2}, {6, 3}};
+  const auto [cols, rows] = kShapes[shape];
+  runShape(state, cols, rows, /*stereo=*/true, /*gather=*/true);
+  state.SetLabel(std::to_string(cols) + "x" + std::to_string(rows) +
+                 " tiles");
+}
+BENCHMARK(BM_ClusterFrame)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterFrameNoGather(benchmark::State& state) {
+  runShape(state, 6, 2, /*stereo=*/true, /*gather=*/false);
+  state.SetLabel("6x2 tiles, no gather (ablation)");
+}
+BENCHMARK(BM_ClusterFrameNoGather)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterFrameMono(benchmark::State& state) {
+  runShape(state, 6, 2, /*stereo=*/false, /*gather=*/true);
+  state.SetLabel("6x2 tiles, mono (stereo ablation)");
+}
+BENCHMARK(BM_ClusterFrameMono)->Unit(benchmark::kMillisecond);
+
+void BM_SceneBroadcastSize(benchmark::State& state) {
+  const auto& ds = bench::dataset(300);
+  const wall::WallSpec w = wallOfShape(6, 2);
+  const render::SceneModel scene = sceneFor(ds, w);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    net::MessageBuffer buf;
+    cluster::serializeScene(buf, scene);
+    bytes = buf.size();
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["scene_KB"] = static_cast<double>(bytes) / 1e3;
+}
+BENCHMARK(BM_SceneBroadcastSize)->Unit(benchmark::kMicrosecond);
+
+void printContext() {
+  std::printf("\n=== E7: sort-first cluster rendering of the wall ===\n");
+  const auto& ds = bench::dataset(300);
+  std::printf("protocol per frame: broadcast scene -> render own tile "
+              "(both eyes) -> swap barrier -> gather tiles\n");
+  std::printf("%-8s %-8s %-12s %-12s %-14s\n", "tiles", "ranks",
+              "drawn", "culled", "identical-to-ref");
+  for (const auto& [cols, rows] :
+       {std::pair{1, 1}, std::pair{3, 1}, std::pair{3, 2}, std::pair{6, 2},
+        std::pair{6, 3}}) {
+    const wall::WallSpec w = wallOfShape(cols, rows);
+    const render::SceneModel scene = sceneFor(ds, w);
+    const auto result =
+        cluster::runClusterSession(ds, w, {scene}, cluster::ClusterOptions{});
+    std::size_t drawn = 0, culled = 0;
+    for (const auto& rs : result.rankStats) {
+      drawn += rs.cellsDrawn;
+      culled += rs.cellsCulled;
+    }
+    const auto ref =
+        cluster::renderReferenceWall(ds, w, scene, render::Eye::kLeft);
+    const bool same =
+        result.leftWall && result.leftWall->contentHash() == ref.contentHash();
+    std::printf("%dx%-6d %-8d %-12zu %-12zu %s\n", cols, rows, cols * rows,
+                drawn, culled, same ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printContext();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

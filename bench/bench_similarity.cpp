@@ -1,0 +1,115 @@
+// E9 (extension, §IV.C.2): similarity highlighting throughput.
+//
+// Regenerates the cost profile of "brush a trajectory portion -> find
+// similar movement patterns everywhere": DTW kernel cost vs window
+// length and band, end-to-end scan cost vs dataset size, and the
+// selectivity of the match threshold.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/similarity.h"
+#include "traj/dtw.h"
+
+using namespace svq;
+
+namespace {
+
+std::vector<Vec2> wiggle(std::size_t n) {
+  std::vector<Vec2> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({static_cast<float>(i),
+                   std::sin(static_cast<float>(i) * 0.7f) * 3.0f});
+  }
+  return out;
+}
+
+void BM_DtwKernel(benchmark::State& state) {
+  const auto a = wiggle(static_cast<std::size_t>(state.range(0)));
+  const auto b = wiggle(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traj::dtwDistance(a, b));
+  }
+  state.counters["points"] = static_cast<double>(a.size());
+}
+BENCHMARK(BM_DtwKernel)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DtwKernelBanded(benchmark::State& state) {
+  const auto a = wiggle(64);
+  const auto b = wiggle(64);
+  const int band = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traj::dtwDistance(a, b, band));
+  }
+  state.counters["band"] = band;
+}
+BENCHMARK(BM_DtwKernelBanded)->Arg(4)->Arg(8)->Arg(16)->Arg(-1)
+    ->Unit(benchmark::kMicrosecond);
+
+core::SimilarityQuery makeQuery(const traj::TrajectoryDataset& ds,
+                                core::BrushCanvas& canvas,
+                                const core::SimilarityParams& params) {
+  const traj::Trajectory& src = ds[0];
+  for (float t = 0.0f; t < 15.0f; t += 2.0f) {
+    canvas.addStroke({0, src.positionAt(t), 4.0f});
+  }
+  return core::extractBrushedQuery(src, 0, canvas.grid(), 0, params);
+}
+
+void BM_SimilarityScan(benchmark::State& state) {
+  const auto& ds = bench::dataset(static_cast<std::size_t>(state.range(0)));
+  core::BrushCanvas canvas(ds.arena().radiusCm, 256);
+  core::SimilarityParams params;
+  const core::SimilarityQuery query = makeQuery(ds, canvas, params);
+  if (!query.valid()) {
+    state.SkipWithError("query invalid");
+    return;
+  }
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    const auto result =
+        core::findSimilar(ds, indices, query, params, 2);
+    matched = result.trajectoriesMatched;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["trajectories"] = static_cast<double>(ds.size());
+  state.counters["matched"] = static_cast<double>(matched);
+}
+BENCHMARK(BM_SimilarityScan)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExtractQuery(benchmark::State& state) {
+  const auto& ds = bench::dataset(100);
+  core::BrushCanvas canvas(ds.arena().radiusCm, 256);
+  core::SimilarityParams params;
+  const traj::Trajectory& src = ds[0];
+  for (float t = 0.0f; t < 15.0f; t += 2.0f) {
+    canvas.addStroke({0, src.positionAt(t), 4.0f});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::extractBrushedQuery(src, 0, canvas.grid(), 0, params));
+  }
+}
+BENCHMARK(BM_ExtractQuery)->Unit(benchmark::kMicrosecond);
+
+void printContext() {
+  std::printf("\n=== E9 (extension): similarity highlighting ===\n");
+  std::printf("pipeline: brushed sub-path -> resample+translate -> "
+              "sliding-window banded DTW over every displayed "
+              "trajectory\n");
+  std::printf("expected shape: DTW kernel O(n^2) (banded ~O(n*band)); "
+              "scan linear in trajectories\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printContext();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,177 @@
+// ant_navigation_study — the paper's case study end to end (Figs. 3 & 5).
+//
+// Reproduces the behavioural-ecology session: ~500 ant trajectories in a
+// 36x12 small-multiple layout on the 6x2 region of the tiled wall, binned
+// into the five Fig. 3 capture-condition groups, then queried with the
+// Fig. 5 coordinated brush (west half painted red) and the full homing
+// hypothesis battery. Renders the wall at the paper's resolution
+// (~8196x1536) plus a physical mock-up with bezels, and prints the
+// quantitative counterpart of every visual reading.
+//
+// Usage: ant_navigation_study [count=500] [fullres=1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/clusterapp.h"
+#include "core/compare.h"
+#include "core/hypothesis.h"
+#include "core/session.h"
+#include "traj/msd.h"
+#include "traj/stats.h"
+#include "traj/synth.h"
+#include "util/stopwatch.h"
+#include "wall/compositor.h"
+
+using namespace svq;
+
+int main(int argc, char** argv) {
+  const std::size_t count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 500;
+  const bool fullRes = argc > 2 ? std::atoi(argv[2]) != 0 : true;
+
+  // --- data ---------------------------------------------------------------
+  traj::AntSimulator simulator({}, 2012);
+  traj::DatasetSpec spec;
+  spec.count = count;
+  const traj::TrajectoryDataset dataset = simulator.generate(spec);
+  std::printf("== dataset ==\n%zu trajectories, %zu samples\n\n",
+              dataset.size(), dataset.totalPoints());
+
+  // --- application on the paper's wall ------------------------------------
+  const wall::WallSpec wallSpec =
+      fullRes ? wall::cyberCommonsUsedRegion()
+              : wall::WallSpec(wall::TileSpec{320, 180, 1150.0f, 647.0f,
+                                              4.0f},
+                               6, 2);
+  std::printf("== wall ==\n%dx%d tiles, %dx%d px (%.1f Mpx)\n\n",
+              wallSpec.cols(), wallSpec.rows(), wallSpec.totalPxW(),
+              wallSpec.totalPxH(),
+              static_cast<double>(wallSpec.totalPixels()) / 1e6);
+
+  core::VisualQueryApp app(dataset, wallSpec);
+  app.apply(ui::LayoutSwitchEvent{2});  // 36x12 = 432 cells (Fig. 3)
+  core::defineFigure3Groups(app.groups(), 36, 12);
+  app.refreshAssignment();
+
+  std::printf("== Fig. 3 layout ==\n");
+  std::printf("cells: %zu, bezel-safe: %s\n", app.layout().cellCount(),
+              app.layout().allCellsAvoidBezels(wallSpec) ? "yes" : "NO");
+
+  // --- Fig. 5 visual query -------------------------------------------------
+  // Brush the west half of the arena red.
+  app.apply(ui::BrushStrokeEvent{0, {-25.0f, 0.0f}, 30.0f});
+  app.apply(ui::BrushStrokeEvent{0, {-15.0f, 20.0f}, 18.0f});
+  app.apply(ui::BrushStrokeEvent{0, {-15.0f, -20.0f}, 18.0f});
+
+  Stopwatch queryTimer;
+  const render::SceneModel scene = app.buildScene();
+  const double queryMs = queryTimer.elapsedMillis();
+  const core::QueryResult& q = app.lastQueryResult();
+  std::printf("coverage: %.0f%% of dataset visible simultaneously\n",
+              static_cast<double>(app.datasetCoverage()) * 100.0);
+  std::printf("query over %zu displayed trajectories: %zu highlighted "
+              "(%.1f ms incl. scene build)\n\n",
+              q.trajectoriesEvaluated, q.trajectoriesHighlighted, queryMs);
+
+  // Per-group highlight concentration (what the analyst sees at a glance).
+  std::printf("== per-group red highlight (ends in west half) ==\n");
+  for (const core::TrajectoryGroup& g : app.groups().groups()) {
+    std::size_t pop = 0, endWest = 0;
+    for (const core::HighlightSummary& s : q.summaries) {
+      if (dataset[s.trajectoryIndex].meta().side != *g.filter.side) continue;
+      ++pop;
+      if (s.lastSegmentBrush == 0) ++endWest;
+    }
+    std::printf("  %-9s %3zu shown, %3zu end in west (%.0f%%)\n",
+                g.name.c_str(), pop, endWest,
+                pop ? 100.0 * static_cast<double>(endWest) /
+                          static_cast<double>(pop)
+                    : 0.0);
+  }
+
+  // --- hypothesis battery ---------------------------------------------------
+  std::printf("\n== hypothesis battery ==\n");
+  std::vector<core::Hypothesis> battery;
+  battery.push_back(core::makeHomingHypothesis(traj::CaptureSide::kEast,
+                                               traj::ArenaSide::kWest,
+                                               dataset.arena().radiusCm));
+  battery.push_back(core::makeHomingHypothesis(traj::CaptureSide::kWest,
+                                               traj::ArenaSide::kEast,
+                                               dataset.arena().radiusCm));
+  battery.push_back(core::makeHomingHypothesis(traj::CaptureSide::kNorth,
+                                               traj::ArenaSide::kSouth,
+                                               dataset.arena().radiusCm));
+  battery.push_back(core::makeHomingHypothesis(traj::CaptureSide::kSouth,
+                                               traj::ArenaSide::kNorth,
+                                               dataset.arena().radiusCm));
+  battery.push_back(core::makeSeedSearchHypothesis(dataset.arena().radiusCm));
+  for (const core::HypothesisResult& r :
+       core::evaluateBattery(battery, dataset)) {
+    std::printf("  %-38s support %5.1f%% vs others %5.1f%%  [%s]  %.1f ms\n",
+                r.name.c_str(),
+                static_cast<double>(r.supportFraction) * 100.0,
+                static_cast<double>(r.complementSupportFraction) * 100.0,
+                r.supported ? "SUPPORTED" : "rejected",
+                r.evaluationSeconds * 1e3);
+  }
+
+  // §VI.A: the group comparison behind the analyst's side-by-side reading.
+  std::printf("\n== group comparison (Sec. VI.A) ==\n%s",
+              core::comparisonTable(core::profileCaptureSides(dataset))
+                  .c_str());
+
+  // §VI.A: windiness comparison (the analyst's visual low-level inference).
+  const core::WindinessComparison wc = core::compareWindiness(dataset);
+  std::printf("\n== windiness (Sec. VI.A) ==\n"
+              "  on-trail mean sinuosity  %.2f\n"
+              "  off-trail mean sinuosity %.2f  -> on-trail windier: %s\n",
+              wc.onTrailMeanSinuosity, wc.offTrailMeanSinuosity,
+              wc.onTrailWindier ? "yes" : "no");
+
+  // MSD corroboration: windy on-trail walks diffuse, homing walks are
+  // near-ballistic.
+  {
+    std::vector<traj::Trajectory> onTrail, offTrail;
+    for (const auto& t : dataset.all()) {
+      if (t.meta().seed == traj::SeedState::kDroppedAtCapture) continue;
+      if (t.duration() < 8.0f) continue;
+      if (t.meta().side == traj::CaptureSide::kOnTrail) {
+        onTrail.push_back(t);
+      } else {
+        offTrail.push_back(t);
+      }
+    }
+    const auto lags = traj::geometricLags(0.25f, 5);
+    std::printf("  MSD exponent: on-trail %.2f (diffusive) vs off-trail "
+                "%.2f (ballistic ~2)\n",
+                static_cast<double>(traj::diffusionExponent(
+                    traj::msdCurveEnsemble(onTrail, lags))),
+                static_cast<double>(traj::diffusionExponent(
+                    traj::msdCurveEnsemble(offTrail, lags))));
+  }
+
+  // --- render the wall ------------------------------------------------------
+  std::printf("\n== rendering ==\n");
+  Stopwatch renderTimer;
+  const render::Framebuffer left = cluster::renderReferenceWall(
+      dataset, wallSpec, scene, render::Eye::kLeft);
+  const double leftMs = renderTimer.elapsedMillis();
+  renderTimer.restart();
+  const render::Framebuffer right = cluster::renderReferenceWall(
+      dataset, wallSpec, scene, render::Eye::kRight);
+  const double rightMs = renderTimer.elapsedMillis();
+  std::printf("left eye %.0f ms, right eye %.0f ms (%dx%d px)\n", leftMs,
+              rightMs, left.width(), left.height());
+
+  left.savePpm("fig3_wall_left.ppm");
+  right.savePpm("fig3_wall_right.ppm");
+
+  // Physical mock-up with bezels, like the Fig. 3 photograph.
+  const auto tiles = wall::splitIntoTiles(wallSpec, left);
+  const render::Framebuffer mock =
+      wall::composePhysicalMockup(wallSpec, tiles, fullRes ? 0.25f : 1.0f);
+  mock.savePpm("fig3_wall_physical.ppm");
+  std::printf("wrote fig3_wall_left.ppm, fig3_wall_right.ppm, "
+              "fig3_wall_physical.ppm (%dx%d)\n",
+              mock.width(), mock.height());
+  return 0;
+}

@@ -1,0 +1,140 @@
+// million_trajectories — the Sec. VI.C scalability path.
+//
+// Past a few hundred instances the unit of exploration becomes a cluster:
+// trajectories are clustered on a SOM lattice, the small multiples show
+// cluster averages, coordinated brushing queries the averages, and the
+// analyst zooms into one cluster to query its members at full fidelity.
+// This example walks that pipeline at a configurable scale and reports
+// where the time goes and how faithful the overview scale is.
+//
+// Usage: million_trajectories [count=20000] [somRows=6] [somCols=6]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/clusterapp.h"
+#include "core/clusterscene.h"
+#include "traj/resample.h"
+#include "traj/synth.h"
+#include "util/stopwatch.h"
+
+using namespace svq;
+
+int main(int argc, char** argv) {
+  const std::size_t count =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  traj::SomParams somParams;
+  somParams.rows = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 6;
+  somParams.cols = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 6;
+  somParams.epochs = 5;
+
+  std::printf("== generating %zu trajectories ==\n", count);
+  Stopwatch genTimer;
+  traj::AntSimulator simulator({}, 99);
+  traj::DatasetSpec spec;
+  spec.count = count;
+  // Short trajectories keep memory linear-friendly at large counts.
+  const traj::TrajectoryDataset dataset = simulator.generate(spec);
+  std::printf("generated %zu samples in %.1f s\n\n", dataset.totalPoints(),
+              genTimer.elapsedSeconds());
+
+  // --- offline clustering ---------------------------------------------------
+  traj::FeatureParams featParams;
+  featParams.resampleCount = 24;
+  featParams.arenaRadiusCm = dataset.arena().radiusCm;
+  Stopwatch clusterTimer;
+  const core::SomExplorer explorer(dataset, somParams, featParams);
+  std::printf("== SOM clustering ==\n");
+  std::printf("%zux%zu lattice trained in %.1f s; %zu non-empty clusters, "
+              "largest holds %zu members\n\n",
+              somParams.rows, somParams.cols, clusterTimer.elapsedSeconds(),
+              explorer.clustering().nonEmptyClusters(),
+              explorer.clustering().maxClusterSize());
+
+  // --- brush query at both scales -------------------------------------------
+  core::BrushCanvas canvas(dataset.arena().radiusCm, 256);
+  core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest,
+                       dataset.arena().radiusCm);
+  core::QueryParams params;
+
+  Stopwatch overviewTimer;
+  const core::QueryResult overview =
+      explorer.queryClusters(canvas.grid(), params);
+  const double overviewMs = overviewTimer.elapsedMillis();
+
+  std::vector<std::uint32_t> all(dataset.size());
+  for (std::uint32_t i = 0; i < dataset.size(); ++i) all[i] = i;
+  Stopwatch fullTimer;
+  const core::QueryResult full =
+      core::evaluateQuery(dataset, all, canvas.grid(), params);
+  const double fullMs = fullTimer.elapsedMillis();
+
+  std::printf("== west-half brush query ==\n");
+  std::printf("overview scale: %zu cluster averages in %8.2f ms\n",
+              overview.trajectoriesEvaluated, overviewMs);
+  std::printf("full fidelity:  %zu trajectories     in %8.2f ms "
+              "(%.0fx more segments)\n",
+              full.trajectoriesEvaluated, fullMs,
+              static_cast<double>(full.totalSegmentsEvaluated) /
+                  std::max<std::size_t>(1, overview.totalSegmentsEvaluated));
+  std::printf("overview fidelity vs member majority: %.0f%%\n\n",
+              explorer.clusterQueryFidelity(canvas.grid(), params) * 100.0f);
+
+  // --- drill-down ("zoom in" on the most-highlighted cluster) ---------------
+  std::uint32_t hottest = explorer.displayableClusters().front();
+  std::uint32_t hottestSegs = 0;
+  for (std::size_t i = 0; i < overview.summaries.size(); ++i) {
+    std::uint32_t segs = 0;
+    for (auto n : overview.summaries[i].segmentsPerBrush) segs += n;
+    if (segs > hottestSegs) {
+      hottestSegs = segs;
+      hottest = explorer.displayableClusters()[i];
+    }
+  }
+  const auto members = explorer.drillDown(hottest);
+  Stopwatch drillTimer;
+  const core::QueryResult detail =
+      explorer.queryClusterMembers(hottest, canvas.grid(), params);
+  std::printf("== drill-down into cluster %u ==\n", hottest);
+  std::printf("%zu members queried in %.2f ms; %zu highlighted (%.0f%%)\n\n",
+              members.size(), drillTimer.elapsedMillis(),
+              detail.trajectoriesHighlighted,
+              100.0 * static_cast<double>(detail.trajectoriesHighlighted) /
+                  std::max<std::size_t>(1, detail.trajectoriesEvaluated));
+
+  // --- render the two exploration scales ------------------------------------
+  // Overview: cluster averages as small multiples with the brush query;
+  // drill-down: the hottest cluster's members at full fidelity.
+  const wall::WallSpec wallSpec(
+      wall::TileSpec{320, 180, 1150.0f, 647.0f, 4.0f}, 6, 2);
+  core::ClusterSceneOptions sceneOptions;
+  const core::ClusterOverviewScene overviewScene = core::buildClusterOverview(
+      explorer, wallSpec, &canvas.grid(), sceneOptions);
+  cluster::renderReferenceWall(overviewScene.averagesDataset, wallSpec,
+                               overviewScene.scene, render::Eye::kCenter)
+      .savePpm("som_overview.ppm");
+  const render::SceneModel drill = core::buildClusterDrillDown(
+      explorer, hottest, wallSpec, &canvas.grid(), sceneOptions);
+  cluster::renderReferenceWall(dataset, wallSpec, drill,
+                               render::Eye::kCenter)
+      .savePpm("som_drilldown.ppm");
+  std::printf("wrote som_overview.ppm (%zu cluster averages) and "
+              "som_drilldown.ppm (%zu members of cluster %u)\n\n",
+              overviewScene.scene.cells.size(), drill.cells.size(), hottest);
+
+  // --- compact encodings (the alternative scaling path of Sec. VI.C) -------
+  std::printf("== compact encoding (Douglas-Peucker) ==\n");
+  std::size_t originalPts = 0;
+  std::size_t simplifiedPts = 0;
+  const std::size_t sampleN = std::min<std::size_t>(dataset.size(), 500);
+  for (std::size_t i = 0; i < sampleN; ++i) {
+    originalPts += dataset[i].size();
+    simplifiedPts += traj::douglasPeuckerCount(dataset[i], 1.0f);
+  }
+  std::printf("1 cm tolerance keeps %zu/%zu points (%.1fx density gain "
+              "over %zu sampled trajectories)\n",
+              simplifiedPts, originalPts,
+              static_cast<double>(originalPts) /
+                  static_cast<double>(std::max<std::size_t>(1, simplifiedPts)),
+              sampleN);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// similarity_search — the originally-envisioned use of the coordinated
+// brush (§IV.C.2): "the user can brush a portion of one interesting
+// trajectory, which would cause trajectories with a similar movement
+// pattern to be highlighted."
+//
+// Brushes the initial search-loop portion of one seed-dropper ant and
+// scans the whole dataset for similar movement patterns (DTW over sliding
+// windows, translation-invariant), then renders a wall frame with the
+// matches highlighted.
+//
+// Usage: similarity_search [count=300] [threshold_cm=3.0]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/clusterapp.h"
+#include "core/session.h"
+#include "core/similarity.h"
+#include "traj/synth.h"
+#include "util/stopwatch.h"
+
+using namespace svq;
+
+int main(int argc, char** argv) {
+  const std::size_t count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  const float threshold =
+      argc > 2 ? std::strtof(argv[2], nullptr) : 3.0f;
+
+  traj::AntSimulator simulator({}, 1357);
+  traj::DatasetSpec spec;
+  spec.count = count;
+  const traj::TrajectoryDataset dataset = simulator.generate(spec);
+
+  // Pick a seed-dropper as the "interesting trajectory": its initial
+  // centre search-loop is the pattern to look for.
+  std::uint32_t sourceIdx = 0;
+  for (std::uint32_t i = 0; i < dataset.size(); ++i) {
+    if (dataset[i].meta().seed == traj::SeedState::kDroppedAtCapture &&
+        dataset[i].duration() > 40.0f) {
+      sourceIdx = i;
+      break;
+    }
+  }
+  const traj::Trajectory& source = dataset[sourceIdx];
+  std::printf("source: trajectory #%u (%s, %.0f s)\n", sourceIdx,
+              traj::toString(source.meta().seed),
+              static_cast<double>(source.duration()));
+
+  // Brush the first 20 seconds' worth of the source's path.
+  core::BrushCanvas canvas(dataset.arena().radiusCm, 256);
+  for (float t = 0.0f; t < 20.0f; t += 2.0f) {
+    canvas.addStroke({0, source.positionAt(t), 4.0f});
+  }
+
+  core::SimilarityParams params;
+  params.matchThresholdCm = threshold;
+  const core::SimilarityQuery query = core::extractBrushedQuery(
+      source, sourceIdx, canvas.grid(), 0, params);
+  if (!query.valid()) {
+    std::fprintf(stderr, "brushed query invalid\n");
+    return 1;
+  }
+  std::printf("query: %zu-point shape over %.1f s of movement\n",
+              query.shape.size(), static_cast<double>(query.durationS));
+
+  std::vector<std::uint32_t> indices(dataset.size());
+  for (std::uint32_t i = 0; i < dataset.size(); ++i) indices[i] = i;
+  Stopwatch timer;
+  const core::SimilarityResult result =
+      findSimilar(dataset, indices, query, params, /*highlightBrush=*/2);
+  std::printf("scan: %zu trajectories in %.0f ms -> %zu matched "
+              "(%zu windows)\n",
+              dataset.size(), timer.elapsedMillis(),
+              result.trajectoriesMatched, result.matches.size());
+
+  // Who matches? Seed-droppers (searchers share the loop pattern).
+  std::size_t dropMatched = 0, dropTotal = 0, otherMatched = 0,
+              otherTotal = 0;
+  std::vector<char> matched(dataset.size(), 0);
+  for (const auto& m : result.matches) matched[m.trajectoryIndex] = 1;
+  for (std::uint32_t i = 0; i < dataset.size(); ++i) {
+    const bool isDropper =
+        dataset[i].meta().seed == traj::SeedState::kDroppedAtCapture;
+    if (isDropper) {
+      ++dropTotal;
+      if (matched[i]) ++dropMatched;
+    } else {
+      ++otherTotal;
+      if (matched[i]) ++otherMatched;
+    }
+  }
+  std::printf("matched: %zu/%zu seed-droppers (%.0f%%) vs %zu/%zu others "
+              "(%.0f%%)\n",
+              dropMatched, dropTotal,
+              dropTotal ? 100.0 * static_cast<double>(dropMatched) /
+                              static_cast<double>(dropTotal)
+                        : 0.0,
+              otherMatched, otherTotal,
+              otherTotal ? 100.0 * static_cast<double>(otherMatched) /
+                               static_cast<double>(otherTotal)
+                         : 0.0);
+
+  // Render a wall frame with the similarity highlights.
+  const wall::WallSpec wallSpec(
+      wall::TileSpec{320, 180, 1150.0f, 647.0f, 4.0f}, 6, 2);
+  core::VisualQueryApp app(dataset, wallSpec);
+  app.apply(ui::LayoutSwitchEvent{1});
+  render::SceneModel scene = app.buildScene();
+  // Graft the similarity highlights onto the displayed cells.
+  for (render::CellView& cell : scene.cells) {
+    for (std::size_t di = 0; di < indices.size(); ++di) {
+      if (indices[di] == cell.trajectoryIndex) {
+        cell.segmentHighlights = result.segmentHighlights[di];
+        break;
+      }
+    }
+  }
+  cluster::renderReferenceWall(dataset, wallSpec, scene,
+                               render::Eye::kLeft)
+      .savePpm("similarity_wall.ppm");
+  std::printf("wrote similarity_wall.ppm\n");
+  return 0;
+}

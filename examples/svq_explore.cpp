@@ -1,0 +1,346 @@
+// svq_explore — batch command-line explorer.
+//
+// The offline counterpart of the wall application: load or synthesize a
+// dataset, set up the layout and groups, paint brushes, apply temporal
+// filters, run the hypothesis battery with circular statistics, and
+// render wall frames — all from the command line, so SVQ drops into
+// scripted analysis workflows.
+//
+// Examples:
+//   svq_explore --synthesize 500 --groups fig3 --brush west ...
+//               --hypotheses --render wall.ppm
+//   svq_explore --synthesize 2000 --save ants.svqt
+//   svq_explore --load ants.svqt --brush center:12 --window 0:25 ...
+//               --render early.ppm
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/clusterapp.h"
+#include "core/hypothesis.h"
+#include "core/legend.h"
+#include "core/session.h"
+#include "render/colormap.h"
+#include "render/stereo.h"
+#include "traj/circular.h"
+#include "traj/io_binary.h"
+#include "traj/occupancy.h"
+#include "traj/synth.h"
+
+using namespace svq;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "svq_explore — batch visual-query explorer\n"
+      "  data:    --synthesize N [--seed S] [--null] | --load FILE\n"
+      "           --save FILE           (.csv or .svqt binary)\n"
+      "  setup:   --layout 0|1|2        (15x4 / 24x6 / 36x12)\n"
+      "           --groups fig3         (five capture-side bins)\n"
+      "  query:   --brush SIDE[:RADIUS] (west/east/north/south/center)\n"
+      "           --window T0:T1        (seconds)\n"
+      "           --last-fraction F     (relative window, e.g. 0.1)\n"
+      "  output:  --hypotheses          (battery + circular statistics)\n"
+      "           --render FILE.ppm [--anaglyph]\n"
+      "           --density FILE.ppm    (per-group occupancy heat maps)\n");
+}
+
+bool parseRange(const std::string& arg, float& a, float& b) {
+  const auto colon = arg.find(':');
+  if (colon == std::string::npos) return false;
+  try {
+    a = std::stof(arg.substr(0, colon));
+    b = std::stof(arg.substr(colon + 1));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+
+  // --- parse -----------------------------------------------------------------
+  std::size_t synthesize = 0;
+  std::uint64_t seed = 2012;
+  bool nullModel = false;
+  std::string loadPath, savePath, renderPath, densityPath;
+  int layoutPreset = 2;
+  bool fig3Groups = false;
+  bool runHypotheses = false;
+  bool anaglyph = false;
+  std::vector<std::pair<std::string, float>> brushes;  // side, radius
+  float windowT0 = 0.0f, windowT1 = 1e9f;
+  std::optional<float> lastFraction;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--synthesize") {
+      if (const char* v = next()) synthesize = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--null") {
+      nullModel = true;
+    } else if (arg == "--load") {
+      if (const char* v = next()) loadPath = v;
+    } else if (arg == "--save") {
+      if (const char* v = next()) savePath = v;
+    } else if (arg == "--layout") {
+      if (const char* v = next()) layoutPreset = std::atoi(v);
+    } else if (arg == "--groups") {
+      if (const char* v = next()) fig3Groups = std::strcmp(v, "fig3") == 0;
+    } else if (arg == "--brush") {
+      if (const char* v = next()) {
+        std::string spec = v;
+        float radius = -1.0f;
+        const auto colon = spec.find(':');
+        if (colon != std::string::npos) {
+          radius = std::stof(spec.substr(colon + 1));
+          spec = spec.substr(0, colon);
+        }
+        brushes.emplace_back(spec, radius);
+      }
+    } else if (arg == "--window") {
+      if (const char* v = next()) {
+        if (!parseRange(v, windowT0, windowT1)) {
+          std::fprintf(stderr, "bad --window %s\n", v);
+          return 1;
+        }
+      }
+    } else if (arg == "--last-fraction") {
+      if (const char* v = next()) lastFraction = std::stof(v);
+    } else if (arg == "--hypotheses") {
+      runHypotheses = true;
+    } else if (arg == "--render") {
+      if (const char* v = next()) renderPath = v;
+    } else if (arg == "--density") {
+      if (const char* v = next()) densityPath = v;
+    } else if (arg == "--anaglyph") {
+      anaglyph = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  // --- data -------------------------------------------------------------------
+  traj::TrajectoryDataset dataset;
+  if (!loadPath.empty()) {
+    std::optional<traj::TrajectoryDataset> loaded;
+    if (loadPath.size() > 5 &&
+        loadPath.substr(loadPath.size() - 5) == ".svqt") {
+      loaded = traj::loadBinary(loadPath);
+    } else {
+      loaded = traj::TrajectoryDataset::loadCsv(loadPath);
+    }
+    if (!loaded) {
+      std::fprintf(stderr, "failed to load %s\n", loadPath.c_str());
+      return 1;
+    }
+    dataset = std::move(*loaded);
+    std::printf("loaded %zu trajectories from %s\n", dataset.size(),
+                loadPath.c_str());
+  } else {
+    if (synthesize == 0) synthesize = 500;
+    traj::AntBehaviorParams params;
+    if (nullModel) params = params.nullModel();
+    traj::AntSimulator sim(params, seed);
+    traj::DatasetSpec spec;
+    spec.count = synthesize;
+    dataset = sim.generate(spec);
+    std::printf("synthesized %zu trajectories (seed %llu%s)\n",
+                dataset.size(), static_cast<unsigned long long>(seed),
+                nullModel ? ", null model" : "");
+  }
+
+  if (!savePath.empty()) {
+    bool ok;
+    if (savePath.size() > 5 &&
+        savePath.substr(savePath.size() - 5) == ".svqt") {
+      ok = traj::saveBinary(dataset, savePath);
+    } else {
+      ok = dataset.saveCsv(savePath);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "failed to save %s\n", savePath.c_str());
+      return 1;
+    }
+    std::printf("saved dataset to %s\n", savePath.c_str());
+  }
+
+  // --- application state --------------------------------------------------------
+  const wall::WallSpec wallSpec(
+      wall::TileSpec{320, 180, 1150.0f, 647.0f, 4.0f}, 6, 2);
+  core::VisualQueryApp app(dataset, wallSpec);
+  app.apply(ui::LayoutSwitchEvent{
+      static_cast<std::uint8_t>(clamp(layoutPreset, 0, 2))});
+  if (fig3Groups) {
+    core::defineFigure3Groups(app.groups(), app.layout().config().cellsX,
+                              app.layout().config().cellsY);
+    app.refreshAssignment();
+  }
+
+  const float R = dataset.arena().radiusCm;
+  std::uint8_t nextBrush = 0;
+  for (const auto& [side, radius] : brushes) {
+    ui::Event ev{};
+    if (side == "center") {
+      app.apply(ui::BrushStrokeEvent{nextBrush, {0.0f, 0.0f},
+                                     radius > 0 ? radius : R * 0.2f});
+    } else {
+      traj::ArenaSide arenaSide;
+      if (side == "west") arenaSide = traj::ArenaSide::kWest;
+      else if (side == "east") arenaSide = traj::ArenaSide::kEast;
+      else if (side == "north") arenaSide = traj::ArenaSide::kNorth;
+      else if (side == "south") arenaSide = traj::ArenaSide::kSouth;
+      else {
+        std::fprintf(stderr, "unknown brush side %s\n", side.c_str());
+        return 1;
+      }
+      // Paint via the canvas-level helper, one stroke event per dab is
+      // unnecessary here — stroke the half with three coarse dabs.
+      const float sign = (arenaSide == traj::ArenaSide::kWest ||
+                          arenaSide == traj::ArenaSide::kSouth)
+                             ? -1.0f
+                             : 1.0f;
+      const bool horizontal = arenaSide == traj::ArenaSide::kWest ||
+                              arenaSide == traj::ArenaSide::kEast;
+      const float off = sign * R * 0.5f;
+      const float r0 = radius > 0 ? radius : R * 0.55f;
+      app.apply(ui::BrushStrokeEvent{
+          nextBrush, horizontal ? Vec2{off, 0.0f} : Vec2{0.0f, off}, r0});
+      app.apply(ui::BrushStrokeEvent{
+          nextBrush,
+          horizontal ? Vec2{off * 0.6f, R * 0.4f} : Vec2{R * 0.4f, off * 0.6f},
+          r0 * 0.6f});
+      app.apply(ui::BrushStrokeEvent{
+          nextBrush,
+          horizontal ? Vec2{off * 0.6f, -R * 0.4f}
+                     : Vec2{-R * 0.4f, off * 0.6f},
+          r0 * 0.6f});
+    }
+    (void)ev;
+    ++nextBrush;
+  }
+  app.apply(ui::TimeWindowEvent{windowT0, windowT1});
+
+  const render::SceneModel scene = app.buildScene();
+  const core::QueryResult& q = app.lastQueryResult();
+  std::printf("layout %dx%d, coverage %.0f%%; query highlighted %zu/%zu\n",
+              app.layout().config().cellsX, app.layout().config().cellsY,
+              static_cast<double>(app.datasetCoverage()) * 100.0,
+              q.trajectoriesHighlighted, q.trajectoriesEvaluated);
+
+  if (lastFraction) {
+    core::QueryParams rel;
+    rel.relativeWindow = Vec2{1.0f - *lastFraction, 1.0f};
+    std::vector<std::uint32_t> all(dataset.size());
+    for (std::uint32_t i = 0; i < dataset.size(); ++i) all[i] = i;
+    const auto relResult =
+        core::evaluateQuery(dataset, all, app.brush().grid(), rel);
+    std::printf("relative window (final %.0f%%): %zu/%zu highlighted\n",
+                static_cast<double>(*lastFraction) * 100.0,
+                relResult.trajectoriesHighlighted,
+                relResult.trajectoriesEvaluated);
+  }
+
+  // --- hypotheses ------------------------------------------------------------------
+  if (runHypotheses) {
+    std::printf("\n== hypothesis battery ==\n");
+    std::vector<core::Hypothesis> battery;
+    battery.push_back(core::makeHomingHypothesis(traj::CaptureSide::kEast,
+                                                 traj::ArenaSide::kWest, R));
+    battery.push_back(core::makeHomingHypothesis(traj::CaptureSide::kWest,
+                                                 traj::ArenaSide::kEast, R));
+    battery.push_back(core::makeHomingHypothesis(traj::CaptureSide::kNorth,
+                                                 traj::ArenaSide::kSouth, R));
+    battery.push_back(core::makeHomingHypothesis(traj::CaptureSide::kSouth,
+                                                 traj::ArenaSide::kNorth, R));
+    battery.push_back(core::makeSeedSearchHypothesis(R));
+    for (const auto& r : core::evaluateBattery(battery, dataset)) {
+      std::printf("  %-38s %5.1f%% vs %5.1f%%  [%s]\n", r.name.c_str(),
+                  static_cast<double>(r.supportFraction) * 100.0,
+                  static_cast<double>(r.complementSupportFraction) * 100.0,
+                  r.supported ? "SUPPORTED" : "rejected");
+    }
+
+    std::printf("\n== circular statistics of exit headings ==\n");
+    for (traj::CaptureSide side :
+         {traj::CaptureSide::kEast, traj::CaptureSide::kWest,
+          traj::CaptureSide::kNorth, traj::CaptureSide::kSouth}) {
+      std::vector<traj::Trajectory> pop;
+      for (const auto& t : dataset.all()) {
+        if (t.meta().side == side) pop.push_back(t);
+      }
+      const auto headings = traj::exitHeadings(pop);
+      const auto rayleigh = traj::rayleighTest(headings);
+      const float home = traj::AntSimulator::homeHeading(side);
+      const auto v = traj::vTest(headings, home);
+      std::printf("  %-9s n=%-4zu Rayleigh p=%.2g, V-test toward home "
+                  "p=%.2g\n",
+                  traj::toString(side), headings.size(), rayleigh.pValue,
+                  v.pValue);
+    }
+  }
+
+  // --- render ----------------------------------------------------------------------
+  if (!renderPath.empty()) {
+    render::Framebuffer left = cluster::renderReferenceWall(
+        dataset, wallSpec, scene, render::Eye::kLeft);
+    core::drawWallLegend(render::Canvas::whole(left), app.groups(),
+                         &app.brush());
+    if (anaglyph) {
+      render::Framebuffer right = cluster::renderReferenceWall(
+          dataset, wallSpec, scene, render::Eye::kRight);
+      core::drawWallLegend(render::Canvas::whole(right), app.groups(),
+                           &app.brush());
+      composeAnaglyph(left, right).savePpm(renderPath);
+    } else {
+      left.savePpm(renderPath);
+    }
+    std::printf("\nwrote %s\n", renderPath.c_str());
+  }
+
+  // --- density overview --------------------------------------------------------------
+  if (!densityPath.empty()) {
+    // One heat panel per capture side, side by side.
+    const int panel = 256;
+    const traj::CaptureSide sides[] = {
+        traj::CaptureSide::kOnTrail, traj::CaptureSide::kWest,
+        traj::CaptureSide::kEast, traj::CaptureSide::kNorth,
+        traj::CaptureSide::kSouth};
+    render::Framebuffer sheet(panel * 5, panel);
+    for (int s = 0; s < 5; ++s) {
+      traj::OccupancyGrid grid(R, 128);
+      const auto indices = dataset.select([&](const traj::Trajectory& t) {
+        return t.meta().side == sides[s];
+      });
+      grid.accumulate(dataset, indices, windowT0, windowT1);
+      render::drawDensityField(render::Canvas::whole(sheet),
+                               {s * panel, 0, panel, panel}, grid);
+      render::drawTextTiny(render::Canvas::whole(sheet), s * panel + 4, 4,
+                           traj::toString(sides[s]),
+                           render::colors::kWhite, 2);
+      std::printf("density[%s]: center fraction %.2f, entropy %.1f bits\n",
+                  traj::toString(sides[s]),
+                  static_cast<double>(grid.centerFraction(R * 0.2f)),
+                  static_cast<double>(grid.entropyBits()));
+    }
+    sheet.savePpm(densityPath);
+    std::printf("wrote %s\n", densityPath.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact: builds, tests, runs all experiment
+# benchmarks (E1-E9 + ablations) and the examples, collecting rendered
+# frames into artifacts/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p artifacts
+cd artifacts
+
+echo "== examples =="
+../build/examples/quickstart
+../build/examples/ant_navigation_study 500 1
+../build/examples/stereo_encoding
+../build/examples/million_trajectories 20000
+../build/examples/cluster_wall_demo
+../build/examples/pilot_study_replay
+../build/examples/similarity_search
+../build/examples/svq_explore --synthesize 500 --groups fig3 --brush west \
+    --hypotheses --render explore_wall.ppm --density explore_density.ppm
+
+echo "== benchmarks =="
+for b in ../build/bench/*; do
+  echo "===== $b ====="
+  "$b"
+done

@@ -1,0 +1,143 @@
+#include "cluster/clusterapp.h"
+
+#include <thread>
+
+#include "cluster/scene_serde.h"
+#include "net/swapsync.h"
+#include "net/transport.h"
+#include "render/rasterizer.h"
+#include "wall/compositor.h"
+
+namespace svq::cluster {
+
+namespace {
+
+constexpr int kTagTileLeft = 100;
+constexpr int kTagTileRight = 101;
+
+/// The per-rank protocol loop.
+void rankMain(int rank, net::InProcessTransport& transport,
+              const traj::TrajectoryDataset& dataset,
+              const wall::WallSpec& wallSpec,
+              const std::vector<render::SceneModel>& frames,
+              const ClusterOptions& options, RankStats& stats,
+              ClusterResult& sharedResult) {
+  net::Communicator comm(transport, rank);
+  net::SwapGroup swapGroup(comm);
+  stats.rank = rank;
+
+  const RectI tileRect = wallSpec.tileRectPx(wallSpec.tileFromIndex(rank));
+  render::Framebuffer left(tileRect.w, tileRect.h);
+  render::Framebuffer right(tileRect.w, tileRect.h);
+
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    // 1. State distribution. The master serializes; everyone (including
+    // the master, for protocol uniformity) decodes the broadcast buffer.
+    net::MessageBuffer sceneBuf;
+    if (rank == 0) serializeScene(sceneBuf, frames[f]);
+    if (!comm.broadcast(0, sceneBuf)) return;
+    const render::SceneModel scene = deserializeScene(sceneBuf);
+
+    // 2. Sort-first render of this rank's tile.
+    Stopwatch renderTimer;
+    const render::Canvas canvas{&left, tileRect};
+    const render::RenderStats rs =
+        renderScene(scene, dataset, canvas, render::Eye::kLeft);
+    stats.cellsDrawn += rs.cellsDrawn;
+    stats.cellsCulled += rs.cellsCulled;
+    if (options.stereo) {
+      const render::Canvas canvasR{&right, tileRect};
+      const render::RenderStats rsR =
+          renderScene(scene, dataset, canvasR, render::Eye::kRight);
+      stats.cellsDrawn += rsR.cellsDrawn;
+      stats.cellsCulled += rsR.cellsCulled;
+    }
+    stats.renderSeconds += renderTimer.elapsedSeconds();
+
+    // 3. Swap barrier: the wall flips as one.
+    Stopwatch barrierTimer;
+    if (!swapGroup.ready(f)) return;
+    stats.barrierSeconds += barrierTimer.elapsedSeconds();
+
+    // 4. Optional gather for composition/verification.
+    if (options.gatherToMaster) {
+      Stopwatch gatherTimer;
+      net::MessageBuffer tileL;
+      serializeFramebuffer(tileL, left);
+      std::vector<net::MessageBuffer> gatheredL;
+      if (!comm.gather(0, std::move(tileL), gatheredL)) return;
+      std::vector<net::MessageBuffer> gatheredR;
+      if (options.stereo) {
+        net::MessageBuffer tileR;
+        serializeFramebuffer(tileR, right);
+        if (!comm.gather(0, std::move(tileR), gatheredR)) return;
+      }
+      stats.gatherSeconds += gatherTimer.elapsedSeconds();
+
+      if (rank == 0) {
+        std::vector<render::Framebuffer> tilesL;
+        tilesL.reserve(gatheredL.size());
+        for (auto& buf : gatheredL) {
+          tilesL.push_back(deserializeFramebuffer(buf));
+        }
+        sharedResult.leftWall = wall::composeActivePixels(wallSpec, tilesL);
+        if (options.keepAllComposites) {
+          sharedResult.frameComposites.push_back(*sharedResult.leftWall);
+        }
+        if (options.stereo) {
+          std::vector<render::Framebuffer> tilesR;
+          tilesR.reserve(gatheredR.size());
+          for (auto& buf : gatheredR) {
+            tilesR.push_back(deserializeFramebuffer(buf));
+          }
+          sharedResult.rightWall =
+              wall::composeActivePixels(wallSpec, tilesR);
+        }
+      }
+    }
+    (void)kTagTileLeft;
+    (void)kTagTileRight;
+  }
+}
+
+}  // namespace
+
+ClusterResult runClusterSession(const traj::TrajectoryDataset& dataset,
+                                const wall::WallSpec& wallSpec,
+                                const std::vector<render::SceneModel>& frames,
+                                const ClusterOptions& options) {
+  ClusterResult result;
+  const int ranks = wallSpec.tileCount();
+  net::InProcessTransport transport(ranks, options.network);
+  result.rankStats.resize(static_cast<std::size_t>(ranks));
+
+  Stopwatch wallClock;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      rankMain(r, transport, dataset, wallSpec, frames, options,
+               result.rankStats[static_cast<std::size_t>(r)], result);
+    });
+  }
+  for (auto& t : threads) t.join();
+  transport.shutdown();
+
+  result.wallClockSeconds = wallClock.elapsedSeconds();
+  result.framesRendered = frames.size();
+  result.messagesSent = transport.messagesSent();
+  result.bytesSent = transport.bytesSent();
+  return result;
+}
+
+render::Framebuffer renderReferenceWall(const traj::TrajectoryDataset& dataset,
+                                        const wall::WallSpec& wallSpec,
+                                        const render::SceneModel& scene,
+                                        render::Eye eye) {
+  render::Framebuffer fb(wallSpec.totalPxW(), wallSpec.totalPxH());
+  const render::Canvas canvas = render::Canvas::whole(fb);
+  renderScene(scene, dataset, canvas, eye);
+  return fb;
+}
+
+}  // namespace svq::cluster

@@ -1,0 +1,86 @@
+// clusterapp.h — sort-first cluster rendering of the wall.
+//
+// Reproduces the parallel rendering architecture that drove the paper's
+// display: one render node per tile, a master that distributes the frame
+// state, a swap barrier that locks all panels to the same frame, and an
+// optional gather that reassembles the full wall image.
+//
+// Protocol per frame (all ranks, lockstep):
+//   1. master (rank 0) serializes the SceneModel; broadcast to all ranks;
+//   2. every rank renders the *whole* scene through a Canvas clipped to
+//      its own tile (sort-first: geometry outside the tile is culled);
+//      stereo renders one framebuffer per eye;
+//   3. swap barrier (SwapGroup) — no tile shows frame N+1 before all
+//      finished frame N;
+//   4. if gathering, ranks send tile framebuffers to the master, which
+//      composites the wall image.
+//
+// Ranks are threads over InProcessTransport; the protocol code is
+// identical to what TCP-connected processes would run.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/comm.h"
+#include "render/framebuffer.h"
+#include "render/scene.h"
+#include "traj/dataset.h"
+#include "util/stopwatch.h"
+#include "wall/wall.h"
+
+namespace svq::cluster {
+
+struct ClusterOptions {
+  bool stereo = true;
+  /// Gather tile images to the master each frame and composite.
+  bool gatherToMaster = true;
+  /// Keep only the final frame's composite (memory control for benches).
+  bool keepAllComposites = false;
+  /// Interconnect model (latency/bandwidth) for ablation studies;
+  /// default = instantaneous in-process delivery.
+  net::NetworkModel network;
+};
+
+/// Per-rank accounting for one session.
+struct RankStats {
+  int rank = 0;
+  double renderSeconds = 0.0;    ///< total time in renderScene
+  double barrierSeconds = 0.0;   ///< total time blocked in the swap barrier
+  double gatherSeconds = 0.0;    ///< total time serializing/sending tiles
+  std::size_t cellsDrawn = 0;
+  std::size_t cellsCulled = 0;
+};
+
+/// Result of a cluster session.
+struct ClusterResult {
+  /// Composited wall images of the last frame (per eye; right empty when
+  /// stereo is off). Present only when gathering was enabled.
+  std::optional<render::Framebuffer> leftWall;
+  std::optional<render::Framebuffer> rightWall;
+  /// Composites of every frame when keepAllComposites (left eye only).
+  std::vector<render::Framebuffer> frameComposites;
+  std::vector<RankStats> rankStats;
+  std::uint64_t framesRendered = 0;
+  std::uint64_t messagesSent = 0;
+  std::uint64_t bytesSent = 0;
+  double wallClockSeconds = 0.0;
+};
+
+/// Runs a complete session: renders `frames` scene models over a cluster
+/// with one rank per wall tile. The dataset is shared read-only by all
+/// ranks (each real cluster node would hold a replica; trajectories are
+/// static assets distributed once at startup).
+ClusterResult runClusterSession(const traj::TrajectoryDataset& dataset,
+                                const wall::WallSpec& wallSpec,
+                                const std::vector<render::SceneModel>& frames,
+                                const ClusterOptions& options = {});
+
+/// Single-rank reference: renders the frames sequentially into full wall
+/// images (used to validate that cluster output is pixel-identical).
+render::Framebuffer renderReferenceWall(
+    const traj::TrajectoryDataset& dataset, const wall::WallSpec& wallSpec,
+    const render::SceneModel& scene, render::Eye eye);
+
+}  // namespace svq::cluster

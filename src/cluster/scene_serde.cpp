@@ -1,0 +1,115 @@
+#include "cluster/scene_serde.h"
+
+namespace svq::cluster {
+
+using net::MessageBuffer;
+using render::Color;
+
+namespace {
+
+void putColor(MessageBuffer& buf, Color c) {
+  buf.putU8(c.r);
+  buf.putU8(c.g);
+  buf.putU8(c.b);
+  buf.putU8(c.a);
+}
+
+Color getColor(MessageBuffer& buf) {
+  Color c;
+  c.r = buf.getU8();
+  c.g = buf.getU8();
+  c.b = buf.getU8();
+  c.a = buf.getU8();
+  return c;
+}
+
+}  // namespace
+
+void serializeScene(MessageBuffer& buf, const render::SceneModel& scene) {
+  buf.putU32(static_cast<std::uint32_t>(scene.cells.size()));
+  for (const render::CellView& cell : scene.cells) {
+    buf.putU32(cell.trajectoryIndex);
+    buf.putRect(cell.rect);
+    putColor(buf, cell.background);
+    buf.putU32(static_cast<std::uint32_t>(cell.segmentHighlights.size()));
+    for (std::int8_t h : cell.segmentHighlights) {
+      buf.putU8(static_cast<std::uint8_t>(h));
+    }
+    buf.putString(cell.label);
+  }
+  buf.putF32(scene.stereo.timeScaleCmPerS);
+  buf.putF32(scene.stereo.depthOffsetCm);
+  buf.putF32(scene.stereo.parallaxPxPerCm);
+  buf.putF32(scene.stereo.maxComfortParallaxPx);
+  buf.putF32(scene.arenaRadiusCm);
+  buf.putVec2(scene.timeWindow);
+  putColor(buf, scene.style.baseColor);
+  buf.putF32(scene.style.nearBrightness);
+  buf.putF32(scene.style.halfWidthPx);
+  buf.putF32(scene.style.startMarkerPx);
+  buf.putBool(scene.drawArenaOutline);
+  buf.putBool(scene.drawCellBorder);
+  putColor(buf, scene.wallBackground);
+}
+
+render::SceneModel deserializeScene(MessageBuffer& buf) {
+  render::SceneModel scene;
+  const std::uint32_t cellCount = buf.getU32();
+  scene.cells.reserve(cellCount);
+  for (std::uint32_t i = 0; i < cellCount; ++i) {
+    render::CellView cell;
+    cell.trajectoryIndex = buf.getU32();
+    cell.rect = buf.getRect();
+    cell.background = getColor(buf);
+    const std::uint32_t n = buf.getU32();
+    cell.segmentHighlights.reserve(n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      cell.segmentHighlights.push_back(static_cast<std::int8_t>(buf.getU8()));
+    }
+    cell.label = buf.getString();
+    scene.cells.push_back(std::move(cell));
+  }
+  scene.stereo.timeScaleCmPerS = buf.getF32();
+  scene.stereo.depthOffsetCm = buf.getF32();
+  scene.stereo.parallaxPxPerCm = buf.getF32();
+  scene.stereo.maxComfortParallaxPx = buf.getF32();
+  scene.arenaRadiusCm = buf.getF32();
+  scene.timeWindow = buf.getVec2();
+  scene.style.baseColor = getColor(buf);
+  scene.style.nearBrightness = buf.getF32();
+  scene.style.halfWidthPx = buf.getF32();
+  scene.style.startMarkerPx = buf.getF32();
+  scene.drawArenaOutline = buf.getBool();
+  scene.drawCellBorder = buf.getBool();
+  scene.wallBackground = getColor(buf);
+  return scene;
+}
+
+void serializeFramebuffer(MessageBuffer& buf, const render::Framebuffer& fb) {
+  buf.putI32(fb.width());
+  buf.putI32(fb.height());
+  // Raw RGBA bytes.
+  static_assert(sizeof(Color) == 4);
+  buf.putBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(fb.pixels().data()),
+      fb.pixelCount() * 4));
+}
+
+render::Framebuffer deserializeFramebuffer(MessageBuffer& buf) {
+  const int w = buf.getI32();
+  const int h = buf.getI32();
+  const auto bytes = buf.getBytes();
+  render::Framebuffer fb(w, h);
+  if (bytes.size() != fb.pixelCount() * 4) {
+    throw net::MessageError("framebuffer payload size mismatch");
+  }
+  for (std::size_t i = 0; i < fb.pixelCount(); ++i) {
+    const int x = static_cast<int>(i) % w;
+    const int y = static_cast<int>(i) / w;
+    fb.at(x, y) = Color{bytes[i * 4], bytes[i * 4 + 1], bytes[i * 4 + 2],
+                        bytes[i * 4 + 3]};
+  }
+  return fb;
+}
+
+}  // namespace svq::cluster

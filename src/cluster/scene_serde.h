@@ -1,0 +1,23 @@
+// scene_serde.h — wire format for scene models and framebuffers.
+//
+// Sort-first distribution ships the full SceneModel to every render node
+// each frame (state broadcast, the way distributed display environments
+// like SAGE/CGLX drive walls), and gathers tile framebuffers back for
+// composition/verification. Both directions round-trip through
+// MessageBuffer here.
+#pragma once
+
+#include "net/message.h"
+#include "render/framebuffer.h"
+#include "render/scene.h"
+
+namespace svq::cluster {
+
+void serializeScene(net::MessageBuffer& buf, const render::SceneModel& scene);
+render::SceneModel deserializeScene(net::MessageBuffer& buf);
+
+void serializeFramebuffer(net::MessageBuffer& buf,
+                          const render::Framebuffer& fb);
+render::Framebuffer deserializeFramebuffer(net::MessageBuffer& buf);
+
+}  // namespace svq::cluster

@@ -1,0 +1,134 @@
+#include "core/brush.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::core {
+
+BrushGrid::BrushGrid(float arenaRadiusCm, int resolution)
+    : arenaRadiusCm_(arenaRadiusCm),
+      resolution_(std::max(8, resolution)),
+      texelSizeCm_(2.0f * arenaRadiusCm / static_cast<float>(resolution_)) {
+  texels_.assign(static_cast<std::size_t>(resolution_) *
+                     static_cast<std::size_t>(resolution_),
+                 kNoBrush);
+}
+
+void BrushGrid::clearAll() {
+  std::fill(texels_.begin(), texels_.end(), kNoBrush);
+}
+
+void BrushGrid::clearBrush(std::int8_t brushIndex) {
+  for (auto& t : texels_) {
+    if (t == brushIndex) t = kNoBrush;
+  }
+}
+
+int BrushGrid::toTexel(float cm) const {
+  return static_cast<int>(
+      std::floor((cm + arenaRadiusCm_) / texelSizeCm_));
+}
+
+void BrushGrid::paint(const BrushStroke& stroke) {
+  const int x0 = std::max(0, toTexel(stroke.centerCm.x - stroke.radiusCm));
+  const int x1 = std::min(resolution_ - 1,
+                          toTexel(stroke.centerCm.x + stroke.radiusCm));
+  const int y0 = std::max(0, toTexel(stroke.centerCm.y - stroke.radiusCm));
+  const int y1 = std::min(resolution_ - 1,
+                          toTexel(stroke.centerCm.y + stroke.radiusCm));
+  const float r2 = stroke.radiusCm * stroke.radiusCm;
+  for (int ty = y0; ty <= y1; ++ty) {
+    for (int tx = x0; tx <= x1; ++tx) {
+      // Texel centre in arena cm.
+      const float cx =
+          (static_cast<float>(tx) + 0.5f) * texelSizeCm_ - arenaRadiusCm_;
+      const float cy =
+          (static_cast<float>(ty) + 0.5f) * texelSizeCm_ - arenaRadiusCm_;
+      const float dx = cx - stroke.centerCm.x;
+      const float dy = cy - stroke.centerCm.y;
+      if (dx * dx + dy * dy <= r2) {
+        texels_[static_cast<std::size_t>(ty) *
+                    static_cast<std::size_t>(resolution_) +
+                static_cast<std::size_t>(tx)] = stroke.brushIndex;
+      }
+    }
+  }
+}
+
+std::int8_t BrushGrid::brushAt(Vec2 arenaCm) const {
+  const int tx = toTexel(arenaCm.x);
+  const int ty = toTexel(arenaCm.y);
+  if (tx < 0 || ty < 0 || tx >= resolution_ || ty >= resolution_) {
+    return kNoBrush;
+  }
+  return texels_[static_cast<std::size_t>(ty) *
+                     static_cast<std::size_t>(resolution_) +
+                 static_cast<std::size_t>(tx)];
+}
+
+bool BrushGrid::hasPaint(std::int8_t brushIndex) const {
+  return std::find(texels_.begin(), texels_.end(), brushIndex) !=
+         texels_.end();
+}
+
+float BrushGrid::paintedAreaCm2(std::int8_t brushIndex) const {
+  const auto count = std::count(texels_.begin(), texels_.end(), brushIndex);
+  return static_cast<float>(count) * texelSizeCm_ * texelSizeCm_;
+}
+
+void BrushCanvas::addStroke(const BrushStroke& stroke) {
+  strokes_.push_back(stroke);
+  grid_.paint(stroke);
+}
+
+void BrushCanvas::clear(std::int8_t brushIndex) {
+  if (brushIndex == kNoBrush) {
+    strokes_.clear();
+  } else {
+    std::erase_if(strokes_, [brushIndex](const BrushStroke& s) {
+      return s.brushIndex == brushIndex;
+    });
+  }
+  rebuild();
+}
+
+void BrushCanvas::rebuild() {
+  grid_.clearAll();
+  for (const BrushStroke& s : strokes_) grid_.paint(s);
+}
+
+void paintArenaHalf(BrushCanvas& canvas, std::int8_t brushIndex,
+                    traj::ArenaSide side, float arenaRadiusCm,
+                    float dabRadiusCm) {
+  // Lay dabs on a grid covering the half-plane x<0 (west), x>0 (east),
+  // y>0 (north) or y<0 (south), clipped to the arena disc.
+  const float step = dabRadiusCm;  // overlapping dabs -> solid coverage
+  for (float y = -arenaRadiusCm; y <= arenaRadiusCm; y += step) {
+    for (float x = -arenaRadiusCm; x <= arenaRadiusCm; x += step) {
+      const Vec2 p{x, y};
+      if (p.norm() > arenaRadiusCm) continue;
+      const bool inHalf = (side == traj::ArenaSide::kWest && x < 0.0f) ||
+                          (side == traj::ArenaSide::kEast && x > 0.0f) ||
+                          (side == traj::ArenaSide::kNorth && y > 0.0f) ||
+                          (side == traj::ArenaSide::kSouth && y < 0.0f);
+      if (inHalf) {
+        canvas.addStroke(BrushStroke{brushIndex, p, dabRadiusCm});
+      }
+    }
+  }
+}
+
+void paintArenaCenter(BrushCanvas& canvas, std::int8_t brushIndex,
+                      float radiusCm, float dabRadiusCm) {
+  const float step = dabRadiusCm;
+  for (float y = -radiusCm; y <= radiusCm; y += step) {
+    for (float x = -radiusCm; x <= radiusCm; x += step) {
+      const Vec2 p{x, y};
+      if (p.norm() <= radiusCm) {
+        canvas.addStroke(BrushStroke{brushIndex, p, dabRadiusCm});
+      }
+    }
+  }
+}
+
+}  // namespace svq::core

@@ -1,0 +1,105 @@
+// brush.h — the coordinated paintbrush canvas.
+//
+// The user paints on the background of a *single* trajectory cell, but the
+// paint lands in shared arena coordinates — that is the whole trick of
+// Coordinated Brushing (§IV.C.2): one gesture defines a spatial region
+// that every displayed trajectory is tested against simultaneously.
+//
+// Two representations:
+//   * the stroke list — the editable gesture history (discs per brush);
+//   * the BrushGrid — a rasterized arena-space mask (like the pixels the
+//     real app painted), giving O(1) point lookups during query
+//     evaluation. Later strokes overwrite earlier ones, like paint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/stats.h"
+#include "util/geometry.h"
+
+namespace svq::core {
+
+/// No brush covers this point/cell.
+inline constexpr std::int8_t kNoBrush = -1;
+
+/// One painted dab.
+struct BrushStroke {
+  std::int8_t brushIndex = 0;
+  Vec2 centerCm;
+  float radiusCm = 5.0f;
+};
+
+/// Rasterized arena-space paint mask.
+class BrushGrid {
+ public:
+  /// Grid covering [-radiusCm, +radiusCm]^2 at `resolution`^2 texels.
+  BrushGrid(float arenaRadiusCm = 50.0f, int resolution = 256);
+
+  float arenaRadiusCm() const { return arenaRadiusCm_; }
+  int resolution() const { return resolution_; }
+
+  void clearAll();
+  void clearBrush(std::int8_t brushIndex);
+
+  /// Paints one disc (later paint overwrites earlier).
+  void paint(const BrushStroke& stroke);
+
+  /// Brush index covering an arena point, or kNoBrush. Points outside the
+  /// grid return kNoBrush.
+  std::int8_t brushAt(Vec2 arenaCm) const;
+
+  /// True iff any texel carries the given brush.
+  bool hasPaint(std::int8_t brushIndex) const;
+
+  /// Painted area (cm^2) of one brush.
+  float paintedAreaCm2(std::int8_t brushIndex) const;
+
+  /// Raw texel access for serialization / tests.
+  const std::vector<std::int8_t>& texels() const { return texels_; }
+
+ private:
+  int toTexel(float cm) const;
+
+  float arenaRadiusCm_;
+  int resolution_;
+  float texelSizeCm_;
+  std::vector<std::int8_t> texels_;
+};
+
+/// Editable canvas = stroke history + rasterized grid, kept in sync.
+class BrushCanvas {
+ public:
+  explicit BrushCanvas(float arenaRadiusCm = 50.0f, int resolution = 256)
+      : grid_(arenaRadiusCm, resolution) {}
+
+  const BrushGrid& grid() const { return grid_; }
+  const std::vector<BrushStroke>& strokes() const { return strokes_; }
+
+  void addStroke(const BrushStroke& stroke);
+  /// Removes strokes of one brush (255/kNoBrush-style wildcard = all) and
+  /// re-rasterizes the survivors.
+  void clear(std::int8_t brushIndex = kNoBrush);
+
+  bool empty() const { return strokes_.empty(); }
+
+ private:
+  void rebuild();
+
+  BrushGrid grid_;
+  std::vector<BrushStroke> strokes_;
+};
+
+// --- convenience region painters for scripted queries ---------------------
+
+/// Paints the half of the arena on the given compass side (e.g. "west half"
+/// for the Fig. 5 query). Implemented as rows of dabs.
+void paintArenaHalf(BrushCanvas& canvas, std::int8_t brushIndex,
+                    traj::ArenaSide side, float arenaRadiusCm,
+                    float dabRadiusCm = 4.0f);
+
+/// Paints a centred disc of `radiusCm` (the §V.B "centre search" query).
+void paintArenaCenter(BrushCanvas& canvas, std::int8_t brushIndex,
+                      float radiusCm, float dabRadiusCm = 4.0f);
+
+}  // namespace svq::core

@@ -1,0 +1,61 @@
+#include "core/clusterquery.h"
+
+#include <algorithm>
+
+namespace svq::core {
+
+SomExplorer::SomExplorer(const traj::TrajectoryDataset& dataset,
+                         const traj::SomParams& somParams,
+                         const traj::FeatureParams& featureParams)
+    : dataset_(&dataset),
+      clustering_(traj::clusterDataset(dataset, somParams, featureParams)) {
+  for (std::uint32_t node = 0; node < clustering_.nodeCount(); ++node) {
+    if (!clustering_.members[node].empty()) displayable_.push_back(node);
+  }
+}
+
+std::vector<traj::Trajectory> SomExplorer::clusterAverages() const {
+  std::vector<traj::Trajectory> out;
+  out.reserve(displayable_.size());
+  for (std::uint32_t node : displayable_) {
+    out.push_back(clustering_.averages[node]);
+  }
+  return out;
+}
+
+QueryResult SomExplorer::queryClusters(const BrushGrid& brush,
+                                       const QueryParams& params) const {
+  const auto averages = clusterAverages();
+  return evaluateQueryOver(averages, brush, params);
+}
+
+std::vector<std::uint32_t> SomExplorer::drillDown(
+    std::uint32_t nodeIndex) const {
+  if (nodeIndex >= clustering_.nodeCount()) return {};
+  return clustering_.members[nodeIndex];
+}
+
+QueryResult SomExplorer::queryClusterMembers(std::uint32_t nodeIndex,
+                                             const BrushGrid& brush,
+                                             const QueryParams& params) const {
+  const auto members = drillDown(nodeIndex);
+  return evaluateQuery(*dataset_, members, brush, params);
+}
+
+float SomExplorer::clusterQueryFidelity(const BrushGrid& brush,
+                                        const QueryParams& params) const {
+  if (displayable_.empty()) return 1.0f;
+  const QueryResult overview = queryClusters(brush, params);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < displayable_.size(); ++i) {
+    const bool avgHit = overview.summaries[i].anyHighlight();
+    const QueryResult detail =
+        queryClusterMembers(displayable_[i], brush, params);
+    const std::size_t hits = detail.trajectoriesHighlighted;
+    const bool majorityHit = hits * 2 > detail.trajectoriesEvaluated;
+    if (avgHit == majorityHit) ++agree;
+  }
+  return static_cast<float>(agree) / static_cast<float>(displayable_.size());
+}
+
+}  // namespace svq::core

@@ -1,0 +1,71 @@
+// clusterquery.h — multi-scale exploration over SOM clusters (§VI.C).
+//
+// For datasets far beyond ~500 instances the unit of exploration becomes a
+// *cluster* of trajectories: the small-multiple layout shows SOM cluster
+// averages; coordinated brushing queries the averages; and the analyst
+// can "zoom in" on one cluster to explore its member trajectories at
+// full fidelity with the same machinery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/brush.h"
+#include "core/query.h"
+#include "traj/dataset.h"
+#include "traj/som.h"
+
+namespace svq::core {
+
+/// Multi-scale explorer: owns the clustering of a (large) dataset and
+/// mediates between cluster-level and individual-level queries.
+class SomExplorer {
+ public:
+  /// Clusters the dataset (this is the expensive offline step).
+  SomExplorer(const traj::TrajectoryDataset& dataset,
+              const traj::SomParams& somParams,
+              const traj::FeatureParams& featureParams);
+
+  const traj::ClusteredDataset& clustering() const { return clustering_; }
+  const traj::TrajectoryDataset& dataset() const { return *dataset_; }
+
+  /// Non-empty cluster node indices in lattice order — these are what the
+  /// small-multiple layout displays at the overview scale.
+  const std::vector<std::uint32_t>& displayableClusters() const {
+    return displayable_;
+  }
+
+  /// Cluster-average trajectories of the displayable clusters, in the
+  /// same order (suitable for evaluateQueryOver / scene building).
+  std::vector<traj::Trajectory> clusterAverages() const;
+
+  /// Evaluates a brush query at the overview scale: one result entry per
+  /// displayable cluster.
+  QueryResult queryClusters(const BrushGrid& brush,
+                            const QueryParams& params) const;
+
+  /// Zoom-in: member trajectory indices of one cluster (dataset indices);
+  /// empty for out-of-range nodes.
+  std::vector<std::uint32_t> drillDown(std::uint32_t nodeIndex) const;
+
+  /// Evaluates the same brush query against one cluster's members at full
+  /// fidelity.
+  QueryResult queryClusterMembers(std::uint32_t nodeIndex,
+                                  const BrushGrid& brush,
+                                  const QueryParams& params) const;
+
+  /// Consistency measure used by the E6 bench: for a given brush, the
+  /// fraction of clusters whose average's hit/no-hit verdict matches the
+  /// majority verdict of its members. High agreement means the overview
+  /// scale is a faithful proxy.
+  float clusterQueryFidelity(const BrushGrid& brush,
+                             const QueryParams& params) const;
+
+ private:
+  const traj::TrajectoryDataset* dataset_;
+  traj::ClusteredDataset clustering_;
+  std::vector<std::uint32_t> displayable_;
+};
+
+}  // namespace svq::core

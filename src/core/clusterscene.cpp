@@ -1,0 +1,135 @@
+#include "core/clusterscene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::core {
+
+LayoutConfig clusterGridFor(std::size_t cellCount,
+                            const wall::WallSpec& wallSpec) {
+  LayoutConfig config;
+  if (cellCount == 0) {
+    config.cellsX = 1;
+    config.cellsY = 1;
+    return config;
+  }
+  const float aspect = static_cast<float>(wallSpec.totalPxW()) /
+                       static_cast<float>(std::max(1, wallSpec.totalPxH()));
+  // cells ~= x * y with x/y ~= aspect.
+  int y = std::max(1, static_cast<int>(std::floor(std::sqrt(
+                       static_cast<float>(cellCount) / aspect))));
+  int x = static_cast<int>(
+      (cellCount + static_cast<std::size_t>(y) - 1) /
+      static_cast<std::size_t>(y));
+  // Ensure capacity.
+  while (static_cast<std::size_t>(x) * static_cast<std::size_t>(y) <
+         cellCount) {
+    ++x;
+  }
+  config.cellsX = x;
+  config.cellsY = y;
+  return config;
+}
+
+namespace {
+
+render::SceneModel sceneSkeleton(const ClusterSceneOptions& options,
+                                 float arenaRadiusCm) {
+  render::SceneModel scene;
+  scene.arenaRadiusCm = arenaRadiusCm;
+  scene.stereo = options.stereo;
+  scene.timeWindow = options.timeWindow;
+  return scene;
+}
+
+}  // namespace
+
+ClusterOverviewScene buildClusterOverview(const SomExplorer& explorer,
+                                          const wall::WallSpec& wallSpec,
+                                          const BrushGrid* brush,
+                                          const ClusterSceneOptions& options) {
+  ClusterOverviewScene out;
+  const auto& nodes = explorer.displayableClusters();
+  out.cellToNode = nodes;
+
+  out.averagesDataset =
+      traj::TrajectoryDataset(explorer.dataset().arena());
+  for (const traj::Trajectory& avg : explorer.clusterAverages()) {
+    out.averagesDataset.add(avg);
+  }
+
+  const LayoutConfig config = clusterGridFor(nodes.size(), wallSpec);
+  const SmallMultipleLayout layout =
+      SmallMultipleLayout::compute(wallSpec, config);
+
+  QueryResult query;
+  if (brush != nullptr) {
+    QueryParams params;
+    params.timeWindow = options.timeWindow;
+    query = evaluateQueryOver(out.averagesDataset.all(), *brush, params);
+  }
+
+  out.scene = sceneSkeleton(options, explorer.dataset().arena().radiusCm);
+
+  const std::size_t maxMembers =
+      std::max<std::size_t>(1, explorer.clustering().maxClusterSize());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    render::CellView cell;
+    cell.trajectoryIndex = static_cast<std::uint32_t>(i);
+    const int cx = static_cast<int>(i) % config.cellsX;
+    const int cy = static_cast<int>(i) / config.cellsX;
+    cell.rect = layout.cellRect(cx, cy);
+    const std::size_t members =
+        explorer.clustering().members[nodes[i]].size();
+    if (options.tintBySize) {
+      const float u = static_cast<float>(members) /
+                      static_cast<float>(maxMembers);
+      cell.background =
+          render::Color::lerp(render::colors::kDarkBg,
+                              render::Color{60, 60, 90, 255}, u);
+    }
+    if (options.labelCounts) {
+      cell.label = "N=" + std::to_string(members);
+    }
+    if (brush != nullptr && i < query.segmentHighlights.size()) {
+      cell.segmentHighlights = query.segmentHighlights[i];
+    }
+    out.scene.cells.push_back(std::move(cell));
+  }
+  return out;
+}
+
+render::SceneModel buildClusterDrillDown(const SomExplorer& explorer,
+                                         std::uint32_t nodeIndex,
+                                         const wall::WallSpec& wallSpec,
+                                         const BrushGrid* brush,
+                                         const ClusterSceneOptions& options) {
+  const auto members = explorer.drillDown(nodeIndex);
+  const LayoutConfig config = clusterGridFor(members.size(), wallSpec);
+  const SmallMultipleLayout layout =
+      SmallMultipleLayout::compute(wallSpec, config);
+
+  QueryResult query;
+  if (brush != nullptr) {
+    QueryParams params;
+    params.timeWindow = options.timeWindow;
+    query = evaluateQuery(explorer.dataset(), members, *brush, params);
+  }
+
+  render::SceneModel scene =
+      sceneSkeleton(options, explorer.dataset().arena().radiusCm);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    render::CellView cell;
+    cell.trajectoryIndex = members[i];
+    const int cx = static_cast<int>(i) % config.cellsX;
+    const int cy = static_cast<int>(i) / config.cellsX;
+    cell.rect = layout.cellRect(cx, cy);
+    if (brush != nullptr && i < query.segmentHighlights.size()) {
+      cell.segmentHighlights = query.segmentHighlights[i];
+    }
+    scene.cells.push_back(std::move(cell));
+  }
+  return scene;
+}
+
+}  // namespace svq::core

@@ -1,0 +1,59 @@
+// clusterscene.h — small multiples of SOM cluster averages (§VI.C).
+//
+// "The small-multiple layout would be adapted to visualize and juxtapose
+// cluster averages instead of showing individual trajectories" — this
+// module builds renderable SceneModels for the two exploration scales:
+// the overview (one cell per non-empty SOM cluster, laid out in lattice
+// order with member-count labels) and the drill-down (a zoomed cluster's
+// member trajectories in the usual layout). Both run the same brush
+// query machinery, so the interaction idiom is unchanged across scales.
+#pragma once
+
+#include "core/clusterquery.h"
+#include "core/layout.h"
+#include "render/scene.h"
+#include "wall/wall.h"
+
+namespace svq::core {
+
+/// Scene-building options for the cluster views.
+struct ClusterSceneOptions {
+  /// Tint cluster cells by relative member count (denser = brighter).
+  bool tintBySize = true;
+  /// Label cells with "N=<members>".
+  bool labelCounts = true;
+  render::StereoSettings stereo;
+  Vec2 timeWindow{0.0f, 1e9f};
+};
+
+/// Overview scene: one cell per displayable (non-empty) cluster, in SOM
+/// lattice order, in a near-square grid apportioned over the wall.
+/// `brush` may be empty (no highlights). The returned dataset holds the
+/// cluster-average trajectories and must be passed to renderScene
+/// alongside the scene.
+struct ClusterOverviewScene {
+  traj::TrajectoryDataset averagesDataset;  ///< cluster averages as dataset
+  render::SceneModel scene;
+  /// scene.cells[i] shows averagesDataset[i], which is cluster
+  /// displayableClusters()[i].
+  std::vector<std::uint32_t> cellToNode;
+};
+
+ClusterOverviewScene buildClusterOverview(const SomExplorer& explorer,
+                                          const wall::WallSpec& wallSpec,
+                                          const BrushGrid* brush,
+                                          const ClusterSceneOptions& options);
+
+/// Drill-down scene for one cluster: its member trajectories in the
+/// standard grid, queried with the same brush at full fidelity.
+render::SceneModel buildClusterDrillDown(const SomExplorer& explorer,
+                                         std::uint32_t nodeIndex,
+                                         const wall::WallSpec& wallSpec,
+                                         const BrushGrid* brush,
+                                         const ClusterSceneOptions& options);
+
+/// Grid shape used for N cells on a wall (near-square, wall aspect aware).
+LayoutConfig clusterGridFor(std::size_t cellCount,
+                            const wall::WallSpec& wallSpec);
+
+}  // namespace svq::core

@@ -1,0 +1,72 @@
+#include "core/compare.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace svq::core {
+
+GroupProfile profileGroup(const traj::TrajectoryDataset& dataset,
+                          const traj::MetaFilter& filter,
+                          const std::string& name) {
+  GroupProfile profile;
+  profile.name = name;
+
+  std::vector<double> sinuosities, speeds, durations, dwells;
+  std::vector<traj::Trajectory> members;
+  const float centerR = dataset.arena().radiusCm * 0.2f;
+  for (const traj::Trajectory& t : dataset.all()) {
+    if (!filter.matches(t)) continue;
+    members.push_back(t);
+    sinuosities.push_back(traj::sinuosity(t));
+    speeds.push_back(traj::meanSpeed(t));
+    durations.push_back(t.duration());
+    dwells.push_back(
+        traj::dwellTimeInCenter(t, centerR, 0.0f, t.duration()));
+  }
+  profile.count = members.size();
+  profile.sinuosity = traj::summarize(std::move(sinuosities));
+  profile.meanSpeedCmS = traj::summarize(std::move(speeds));
+  profile.durationS = traj::summarize(std::move(durations));
+  profile.centerDwellS = traj::summarize(std::move(dwells));
+
+  const auto headings = traj::exitHeadings(members);
+  const auto circular = traj::circularSummary(headings);
+  profile.exitResultantLength = circular.resultantLength;
+  profile.exitMeanDirection = circular.meanDirection;
+  profile.exitRayleighP = traj::rayleighTest(headings).pValue;
+  return profile;
+}
+
+std::vector<GroupProfile> profileCaptureSides(
+    const traj::TrajectoryDataset& dataset) {
+  std::vector<GroupProfile> profiles;
+  for (traj::CaptureSide side :
+       {traj::CaptureSide::kOnTrail, traj::CaptureSide::kWest,
+        traj::CaptureSide::kEast, traj::CaptureSide::kNorth,
+        traj::CaptureSide::kSouth}) {
+    profiles.push_back(profileGroup(
+        dataset, traj::MetaFilter::bySide(side), traj::toString(side)));
+  }
+  return profiles;
+}
+
+std::string comparisonTable(const std::vector<GroupProfile>& profiles) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-10s %5s %10s %10s %9s %9s %8s %10s\n",
+                "group", "n", "sinuosity", "speed", "dur(s)", "dwell(s)",
+                "exit r", "Rayleigh p");
+  out << line;
+  for (const GroupProfile& p : profiles) {
+    std::snprintf(line, sizeof line,
+                  "%-10s %5zu %10.2f %10.2f %9.1f %9.1f %8.2f %10.2g\n",
+                  p.name.c_str(), p.count, p.sinuosity.mean,
+                  p.meanSpeedCmS.mean, p.durationS.mean, p.centerDwellS.mean,
+                  static_cast<double>(p.exitResultantLength),
+                  p.exitRayleighP);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace svq::core

@@ -1,0 +1,49 @@
+// compare.h — group comparison reports (§VI.A).
+//
+// "A significant portion of the analysis workflow comprised comparisons
+// in which groups of trajectories were visually compared and
+// contrasted." This module computes the quantitative table behind those
+// visual comparisons: per-group descriptive statistics (windiness,
+// speed, duration, exit directionality, centre dwell) with a formatted
+// report, so every low-level inference the analyst voices has a number.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "traj/circular.h"
+#include "traj/dataset.h"
+#include "traj/filter.h"
+#include "traj/stats.h"
+
+namespace svq::core {
+
+/// Statistics of one trajectory group.
+struct GroupProfile {
+  std::string name;
+  std::size_t count = 0;
+  traj::Summary sinuosity;           ///< path/net displacement ratio
+  traj::Summary meanSpeedCmS;
+  traj::Summary durationS;
+  traj::Summary centerDwellS;        ///< time within 0.2R of the centre
+  /// Exit-heading concentration: resultant length (0 uniform, 1 focused)
+  /// and Rayleigh p-value.
+  float exitResultantLength = 0.0f;
+  double exitRayleighP = 1.0;
+  /// Mean exit direction (radians), meaningful when concentrated.
+  float exitMeanDirection = 0.0f;
+};
+
+/// Profiles one filtered subset of the dataset.
+GroupProfile profileGroup(const traj::TrajectoryDataset& dataset,
+                          const traj::MetaFilter& filter,
+                          const std::string& name);
+
+/// Profiles each capture-side bin (the Fig. 3 comparison set).
+std::vector<GroupProfile> profileCaptureSides(
+    const traj::TrajectoryDataset& dataset);
+
+/// Formats profiles as an aligned text table.
+std::string comparisonTable(const std::vector<GroupProfile>& profiles);
+
+}  // namespace svq::core

@@ -1,0 +1,228 @@
+#include "core/evidence.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace svq::core {
+
+std::string describeTarget(const AnnotationTarget& target) {
+  struct Visitor {
+    std::string operator()(const TrajectoryRef& r) {
+      return "trajectory #" + std::to_string(r.index);
+    }
+    std::string operator()(const GroupRef& r) {
+      return "group " + std::to_string(r.groupId);
+    }
+    std::string operator()(const RegionRef& r) {
+      std::ostringstream out;
+      out << "region (" << r.centerCm.x << "," << r.centerCm.y << ") r="
+          << r.radiusCm << "cm";
+      return out.str();
+    }
+    std::string operator()(const SessionRef&) { return "session"; }
+  };
+  return std::visit(Visitor{}, target);
+}
+
+bool Annotation::hasTag(const std::string& tag) const {
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+std::uint32_t EvidenceFile::add(double sessionTimeS, AnnotationTarget target,
+                                std::string text,
+                                std::vector<std::string> tags) {
+  Annotation a;
+  a.id = nextId_++;
+  a.sessionTimeS = sessionTimeS;
+  a.target = std::move(target);
+  a.text = std::move(text);
+  a.tags = std::move(tags);
+  annotations_.push_back(std::move(a));
+  return annotations_.back().id;
+}
+
+bool EvidenceFile::remove(std::uint32_t id) {
+  const auto n = std::erase_if(
+      annotations_, [id](const Annotation& a) { return a.id == id; });
+  return n > 0;
+}
+
+const Annotation* EvidenceFile::find(std::uint32_t id) const {
+  for (const Annotation& a : annotations_) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<const Annotation*> EvidenceFile::withTag(
+    const std::string& tag) const {
+  std::vector<const Annotation*> out;
+  for (const Annotation& a : annotations_) {
+    if (a.hasTag(tag)) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<const Annotation*> EvidenceFile::onTrajectory(
+    std::uint32_t index) const {
+  std::vector<const Annotation*> out;
+  for (const Annotation& a : annotations_) {
+    if (const auto* ref = std::get_if<TrajectoryRef>(&a.target)) {
+      if (ref->index == index) out.push_back(&a);
+    }
+  }
+  return out;
+}
+
+std::string EvidenceFile::exportReport() const {
+  std::ostringstream out;
+  out << "# Evidence file (" << annotations_.size() << " annotations)\n";
+  for (const Annotation& a : annotations_) {
+    out << "- [" << a.id << "] t=" << a.sessionTimeS << "s "
+        << describeTarget(a.target) << ": " << a.text;
+    if (!a.tags.empty()) {
+      out << " (";
+      for (std::size_t i = 0; i < a.tags.size(); ++i) {
+        if (i) out << ", ";
+        out << '#' << a.tags[i];
+      }
+      out << ')';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+const char* toString(ProvenanceKind kind) {
+  switch (kind) {
+    case ProvenanceKind::kDatasetLoaded: return "dataset";
+    case ProvenanceKind::kQueryRun: return "query";
+    case ProvenanceKind::kHypothesisEvaluated: return "hypothesis";
+    case ProvenanceKind::kAnnotationAdded: return "annotation";
+    case ProvenanceKind::kConclusion: return "conclusion";
+  }
+  return "?";
+}
+
+std::uint32_t ProvenanceLog::append(ProvenanceKind kind, double timeS,
+                                    std::string summary,
+                                    std::vector<std::uint32_t> parents) {
+  ProvenanceEntry e;
+  e.id = nextId_++;
+  e.kind = kind;
+  e.sessionTimeS = timeS;
+  e.summary = std::move(summary);
+  // Drop unknown parent references rather than corrupting the DAG.
+  for (std::uint32_t p : parents) {
+    if (find(p) != nullptr) e.parents.push_back(p);
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back().id;
+}
+
+std::uint32_t ProvenanceLog::recordDataset(double timeS,
+                                           std::size_t trajectoryCount,
+                                           const std::string& source) {
+  return append(ProvenanceKind::kDatasetLoaded, timeS,
+                source + " (" + std::to_string(trajectoryCount) +
+                    " trajectories)",
+                {});
+}
+
+std::uint32_t ProvenanceLog::recordQuery(
+    double timeS, const std::string& description, const QueryResult& result,
+    std::optional<std::uint32_t> datasetId) {
+  std::ostringstream summary;
+  summary << description << " -> " << result.trajectoriesHighlighted << '/'
+          << result.trajectoriesEvaluated << " highlighted";
+  std::vector<std::uint32_t> parents;
+  if (datasetId) parents.push_back(*datasetId);
+  return append(ProvenanceKind::kQueryRun, timeS, summary.str(),
+                std::move(parents));
+}
+
+std::uint32_t ProvenanceLog::recordHypothesis(
+    double timeS, const HypothesisResult& result,
+    std::vector<std::uint32_t> queryIds) {
+  std::ostringstream summary;
+  summary << result.name << ": "
+          << static_cast<int>(result.supportFraction * 100.0f)
+          << "% support -> "
+          << (result.supported ? "SUPPORTED" : "not supported");
+  return append(ProvenanceKind::kHypothesisEvaluated, timeS, summary.str(),
+                std::move(queryIds));
+}
+
+std::uint32_t ProvenanceLog::recordAnnotation(
+    double timeS, const Annotation& annotation,
+    std::vector<std::uint32_t> parents) {
+  return append(ProvenanceKind::kAnnotationAdded, timeS,
+                describeTarget(annotation.target) + ": " + annotation.text,
+                std::move(parents));
+}
+
+std::uint32_t ProvenanceLog::recordConclusion(
+    double timeS, const std::string& statement,
+    std::vector<std::uint32_t> parents) {
+  return append(ProvenanceKind::kConclusion, timeS, statement,
+                std::move(parents));
+}
+
+const ProvenanceEntry* ProvenanceLog::find(std::uint32_t id) const {
+  for (const ProvenanceEntry& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const ProvenanceEntry*> ProvenanceLog::lineage(
+    std::uint32_t id) const {
+  std::vector<const ProvenanceEntry*> out;
+  const ProvenanceEntry* root = find(id);
+  if (root == nullptr) return out;
+  // BFS over parents; entries are id-ordered so sort by id at the end.
+  std::vector<std::uint32_t> frontier{id};
+  std::vector<char> seen(nextId_, 0);
+  while (!frontier.empty()) {
+    const std::uint32_t cur = frontier.back();
+    frontier.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = 1;
+    const ProvenanceEntry* e = find(cur);
+    if (e == nullptr) continue;
+    out.push_back(e);
+    for (std::uint32_t p : e->parents) frontier.push_back(p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProvenanceEntry* a, const ProvenanceEntry* b) {
+              return a->id < b->id;
+            });
+  return out;
+}
+
+bool ProvenanceLog::wellFormed() const {
+  for (const ProvenanceEntry& e : entries_) {
+    for (std::uint32_t p : e.parents) {
+      if (p >= e.id) return false;
+      if (find(p) == nullptr) return false;
+    }
+  }
+  return true;
+}
+
+std::string ProvenanceLog::exportReport() const {
+  std::ostringstream out;
+  out << "# Insight provenance (" << entries_.size() << " entries)\n";
+  for (const ProvenanceEntry& e : entries_) {
+    out << "[" << e.id << "] t=" << e.sessionTimeS << "s "
+        << toString(e.kind) << ": " << e.summary;
+    if (!e.parents.empty()) {
+      out << "  <- derived from";
+      for (std::uint32_t p : e.parents) out << " [" << p << "]";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace svq::core

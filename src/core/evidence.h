@@ -1,0 +1,161 @@
+// evidence.h — annotations, the evidence file, and insight provenance.
+//
+// Two explicitly future-work items from the paper, implemented:
+//
+//  * §VI.A: "there was no explicit way of recording or tagging those
+//    inferences. A future iteration of the design could add this
+//    feature." — Annotation + EvidenceFile let the analyst pin low-level
+//    inferences to trajectories, groups or arena regions and tag them,
+//    turning the implicit on-screen evidence file into an artifact.
+//
+//  * §VII: "look at ways of integrating our application into larger
+//    scientific workflows to support evidence and insight provenance."
+//    — ProvenanceLog records the derivation chain (dataset -> query ->
+//    hypothesis -> verdict -> annotation) as typed, linkable entries and
+//    exports a human-readable report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/hypothesis.h"
+#include "core/query.h"
+#include "util/geometry.h"
+
+namespace svq::core {
+
+// --- annotation targets ----------------------------------------------------
+
+/// The annotation points at one trajectory (dataset index).
+struct TrajectoryRef {
+  std::uint32_t index = 0;
+  bool operator==(const TrajectoryRef&) const = default;
+};
+
+/// ... at a whole trajectory group.
+struct GroupRef {
+  std::uint8_t groupId = 0;
+  bool operator==(const GroupRef&) const = default;
+};
+
+/// ... at an arena region (e.g. "the centre", "the west exit zone").
+struct RegionRef {
+  Vec2 centerCm;
+  float radiusCm = 5.0f;
+  bool operator==(const RegionRef&) const = default;
+};
+
+/// ... at the session as a whole.
+struct SessionRef {
+  bool operator==(const SessionRef&) const = default;
+};
+
+using AnnotationTarget =
+    std::variant<TrajectoryRef, GroupRef, RegionRef, SessionRef>;
+
+std::string describeTarget(const AnnotationTarget& target);
+
+/// One recorded inference.
+struct Annotation {
+  std::uint32_t id = 0;
+  double sessionTimeS = 0.0;
+  AnnotationTarget target;
+  std::string text;
+  std::vector<std::string> tags;
+
+  bool hasTag(const std::string& tag) const;
+};
+
+/// The explicit evidence file: an editable, queryable annotation store.
+class EvidenceFile {
+ public:
+  /// Adds an annotation; returns its assigned id.
+  std::uint32_t add(double sessionTimeS, AnnotationTarget target,
+                    std::string text, std::vector<std::string> tags = {});
+
+  bool remove(std::uint32_t id);
+  const Annotation* find(std::uint32_t id) const;
+
+  const std::vector<Annotation>& all() const { return annotations_; }
+  std::size_t size() const { return annotations_.size(); }
+
+  /// Annotations carrying a tag, in insertion order.
+  std::vector<const Annotation*> withTag(const std::string& tag) const;
+
+  /// Annotations attached to a given trajectory.
+  std::vector<const Annotation*> onTrajectory(std::uint32_t index) const;
+
+  /// Markdown-ish export of the whole file.
+  std::string exportReport() const;
+
+ private:
+  std::vector<Annotation> annotations_;
+  std::uint32_t nextId_ = 1;
+};
+
+// --- insight provenance ------------------------------------------------------
+
+/// Entry kinds in the provenance chain.
+enum class ProvenanceKind : std::uint8_t {
+  kDatasetLoaded = 0,
+  kQueryRun,
+  kHypothesisEvaluated,
+  kAnnotationAdded,
+  kConclusion,
+};
+
+const char* toString(ProvenanceKind kind);
+
+/// One provenance record; `parents` are ids of entries this one derives
+/// from (a conclusion derives from hypothesis evaluations, which derive
+/// from queries, which derive from the dataset).
+struct ProvenanceEntry {
+  std::uint32_t id = 0;
+  ProvenanceKind kind = ProvenanceKind::kQueryRun;
+  double sessionTimeS = 0.0;
+  std::string summary;
+  std::vector<std::uint32_t> parents;
+};
+
+/// Append-only derivation log with typed recording helpers.
+class ProvenanceLog {
+ public:
+  std::uint32_t recordDataset(double timeS, std::size_t trajectoryCount,
+                              const std::string& source);
+  std::uint32_t recordQuery(double timeS, const std::string& description,
+                            const QueryResult& result,
+                            std::optional<std::uint32_t> datasetId);
+  std::uint32_t recordHypothesis(double timeS, const HypothesisResult& result,
+                                 std::vector<std::uint32_t> queryIds);
+  std::uint32_t recordAnnotation(double timeS, const Annotation& annotation,
+                                 std::vector<std::uint32_t> parents = {});
+  std::uint32_t recordConclusion(double timeS, const std::string& statement,
+                                 std::vector<std::uint32_t> parents);
+
+  const std::vector<ProvenanceEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  const ProvenanceEntry* find(std::uint32_t id) const;
+
+  /// All transitive ancestors of an entry (the full derivation of an
+  /// insight), oldest first. Unknown id -> empty.
+  std::vector<const ProvenanceEntry*> lineage(std::uint32_t id) const;
+
+  /// True iff every parent reference points to an earlier entry
+  /// (the log is a DAG by construction; this validates it).
+  bool wellFormed() const;
+
+  /// Human-readable report of the full chain.
+  std::string exportReport() const;
+
+ private:
+  std::uint32_t append(ProvenanceKind kind, double timeS, std::string summary,
+                       std::vector<std::uint32_t> parents);
+
+  std::vector<ProvenanceEntry> entries_;
+  std::uint32_t nextId_ = 1;
+};
+
+}  // namespace svq::core

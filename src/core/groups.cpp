@@ -1,0 +1,147 @@
+#include "core/groups.h"
+
+#include <algorithm>
+
+namespace svq::core {
+
+bool GroupManager::define(const TrajectoryGroup& group, int cellsX,
+                          int cellsY) {
+  if (group.cellRect.empty() || group.cellRect.x < 0 || group.cellRect.y < 0 ||
+      group.cellRect.x + group.cellRect.w > cellsX ||
+      group.cellRect.y + group.cellRect.h > cellsY) {
+    return false;
+  }
+  for (const TrajectoryGroup& g : groups_) {
+    if (g.id != group.id && g.cellRect.intersects(group.cellRect)) {
+      return false;
+    }
+  }
+  if (TrajectoryGroup* existing = find(group.id)) {
+    *existing = group;
+  } else {
+    groups_.push_back(group);
+  }
+  return true;
+}
+
+bool GroupManager::remove(std::uint8_t id) {
+  const auto n = std::erase_if(
+      groups_, [id](const TrajectoryGroup& g) { return g.id == id; });
+  return n > 0;
+}
+
+TrajectoryGroup* GroupManager::find(std::uint8_t id) {
+  for (TrajectoryGroup& g : groups_) {
+    if (g.id == id) return &g;
+  }
+  return nullptr;
+}
+
+bool GroupManager::page(std::uint8_t id, int direction,
+                        const traj::TrajectoryDataset& dataset) {
+  TrajectoryGroup* g = find(id);
+  if (!g) return false;
+  const auto matches = dataset.select(
+      [g](const traj::Trajectory& t) { return g->filter.matches(t); });
+  const auto cap = static_cast<std::uint32_t>(g->capacity());
+  if (matches.size() <= cap) {
+    g->pageOffset = 0;
+    return true;
+  }
+  const auto maxOffset = static_cast<std::uint32_t>(matches.size()) - cap;
+  std::int64_t next = static_cast<std::int64_t>(g->pageOffset) +
+                      static_cast<std::int64_t>(direction) * cap;
+  next = std::clamp<std::int64_t>(next, 0, maxOffset);
+  g->pageOffset = static_cast<std::uint32_t>(next);
+  return true;
+}
+
+GroupAssignment GroupManager::assign(const traj::TrajectoryDataset& dataset,
+                                     int cellsX, int cellsY) const {
+  GroupAssignment out;
+  out.cellsX = cellsX;
+  out.cellsY = cellsY;
+  out.cells.assign(
+      static_cast<std::size_t>(cellsX) * static_cast<std::size_t>(cellsY),
+      CellAssignment{});
+
+  std::vector<char> claimed(dataset.size(), 0);
+
+  auto cellAt = [&](int cx, int cy) -> CellAssignment& {
+    return out.cells[static_cast<std::size_t>(cy) *
+                         static_cast<std::size_t>(cellsX) +
+                     static_cast<std::size_t>(cx)];
+  };
+
+  for (const TrajectoryGroup& g : groups_) {
+    const auto matches = dataset.select(
+        [&g](const traj::Trajectory& t) { return g.filter.matches(t); });
+    out.groupMatchCounts.emplace_back(g.id, matches.size());
+    for (std::uint32_t idx : matches) claimed[idx] = 1;
+
+    std::size_t next = std::min<std::size_t>(g.pageOffset, matches.size());
+    for (int cy = g.cellRect.y; cy < g.cellRect.y + g.cellRect.h; ++cy) {
+      for (int cx = g.cellRect.x; cx < g.cellRect.x + g.cellRect.w; ++cx) {
+        CellAssignment& cell = cellAt(cx, cy);
+        cell.groupId = g.id;
+        cell.background = render::groupBackground(g.colorIndex);
+        if (next < matches.size()) {
+          cell.trajectoryIndex = matches[next++];
+          ++out.displayedCount;
+        }
+      }
+    }
+  }
+
+  // Fill ungrouped cells with unclaimed trajectories in dataset order.
+  std::uint32_t cursor = 0;
+  auto nextUnclaimed = [&]() -> std::optional<std::uint32_t> {
+    while (cursor < dataset.size() && claimed[cursor]) ++cursor;
+    if (cursor >= dataset.size()) return std::nullopt;
+    return cursor++;
+  };
+  for (int cy = 0; cy < cellsY; ++cy) {
+    for (int cx = 0; cx < cellsX; ++cx) {
+      CellAssignment& cell = cellAt(cx, cy);
+      if (cell.groupId) continue;
+      if (auto idx = nextUnclaimed()) {
+        cell.trajectoryIndex = *idx;
+        ++out.displayedCount;
+      }
+    }
+  }
+  return out;
+}
+
+void defineFigure3Groups(GroupManager& manager, int cellsX, int cellsY) {
+  using traj::CaptureSide;
+  struct Bin {
+    std::uint8_t id;
+    const char* name;
+    CaptureSide side;
+    std::uint8_t colorIndex;
+  };
+  // Paper Fig. 3 color scheme: blue = on trail, red = west, yellow = east,
+  // gray = north, green = south.
+  const Bin bins[] = {
+      {0, "ON TRAIL", CaptureSide::kOnTrail, 0},
+      {1, "WEST", CaptureSide::kWest, 1},
+      {2, "EAST", CaptureSide::kEast, 2},
+      {3, "NORTH", CaptureSide::kNorth, 3},
+      {4, "SOUTH", CaptureSide::kSouth, 4},
+  };
+  const auto bands = apportion(cellsX, 5);
+  int x = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    TrajectoryGroup g;
+    g.id = bins[i].id;
+    g.name = bins[i].name;
+    g.cellRect = RectI{x, 0, bands[i], cellsY};
+    g.filter = traj::MetaFilter::bySide(bins[i].side);
+    g.colorIndex = bins[i].colorIndex;
+    manager.define(g, cellsX, cellsY);
+    x += bands[i];
+  }
+}
+
+}  // namespace svq::core

@@ -1,0 +1,100 @@
+// groups.h — trajectory grouping: binning the wall into filtered regions.
+//
+// §IV.C.2 "Trajectory Grouping": the user defines rectangular groups of
+// grid cells, each with a metadata filter and a background tint; matching
+// trajectories fill the group's cells. Fig. 3 shows five such bins (on
+// trail / west / east / north / south). The GroupManager owns the group
+// definitions and computes the cell -> trajectory assignment, with
+// per-group paging when a group has more matches than cells.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/layout.h"
+#include "render/color.h"
+#include "traj/dataset.h"
+#include "traj/filter.h"
+
+namespace svq::core {
+
+/// One group definition.
+struct TrajectoryGroup {
+  std::uint8_t id = 0;
+  std::string name;
+  /// Rect in *grid cell* coordinates ([x, x+w) columns, [y, y+h) rows).
+  RectI cellRect;
+  traj::MetaFilter filter;
+  std::uint8_t colorIndex = 0;
+  /// Paging offset (in trajectories) when matches exceed capacity.
+  std::uint32_t pageOffset = 0;
+
+  int capacity() const { return cellRect.w * cellRect.h; }
+};
+
+/// Cell assignment produced by GroupManager::assign.
+struct CellAssignment {
+  /// Trajectory index shown in this cell, if any.
+  std::optional<std::uint32_t> trajectoryIndex;
+  /// Group the cell belongs to (nullopt = ungrouped pool).
+  std::optional<std::uint8_t> groupId;
+  render::Color background = render::colors::kDarkBg;
+};
+
+/// Result of assigning a dataset onto a layout grid.
+struct GroupAssignment {
+  int cellsX = 0;
+  int cellsY = 0;
+  /// Row-major cell assignments (size = cellsX * cellsY).
+  std::vector<CellAssignment> cells;
+  /// Per-group number of matching trajectories (keyed by group id).
+  std::vector<std::pair<std::uint8_t, std::size_t>> groupMatchCounts;
+  /// Number of distinct trajectories displayed.
+  std::size_t displayedCount = 0;
+
+  const CellAssignment& at(int cx, int cy) const {
+    return cells[static_cast<std::size_t>(cy) * static_cast<std::size_t>(cellsX) +
+                 static_cast<std::size_t>(cx)];
+  }
+};
+
+/// Owns group definitions; validates against a grid size.
+class GroupManager {
+ public:
+  /// Adds or replaces the group with the same id. Returns false (and
+  /// leaves state unchanged) if the rect is out of grid bounds or overlaps
+  /// another group.
+  bool define(const TrajectoryGroup& group, int cellsX, int cellsY);
+
+  /// Removes a group; false if unknown.
+  bool remove(std::uint8_t id);
+
+  void clear() { groups_.clear(); }
+
+  const std::vector<TrajectoryGroup>& groups() const { return groups_; }
+  TrajectoryGroup* find(std::uint8_t id);
+
+  /// Advances a group's page by +/- its capacity (clamped); false if
+  /// unknown id.
+  bool page(std::uint8_t id, int direction,
+            const traj::TrajectoryDataset& dataset);
+
+  /// Computes the cell assignment for the given grid:
+  ///  * each group's cells are filled (row-major) with trajectories
+  ///    matching its filter, starting at its pageOffset;
+  ///  * cells outside any group are filled with the remaining (unclaimed)
+  ///    trajectories in dataset order.
+  GroupAssignment assign(const traj::TrajectoryDataset& dataset, int cellsX,
+                         int cellsY) const;
+
+ private:
+  std::vector<TrajectoryGroup> groups_;
+};
+
+/// Builds the five-bin Fig. 3 grouping (on-trail / west / east / north /
+/// south) splitting the grid into vertical bands, in paper color order.
+void defineFigure3Groups(GroupManager& manager, int cellsX, int cellsY);
+
+}  // namespace svq::core

@@ -1,0 +1,144 @@
+#include "core/hypothesis.h"
+
+#include <algorithm>
+
+#include "traj/stats.h"
+#include "util/stopwatch.h"
+
+namespace svq::core {
+
+bool HitCriterion::satisfiedBy(const HighlightSummary& s) const {
+  if (requireEndInBrush &&
+      s.lastSegmentBrush != static_cast<std::int8_t>(brushIndex)) {
+    return false;
+  }
+  if (!s.hitByBrush(brushIndex)) return false;
+  if (s.highlightedDuration(brushIndex) < minHighlightDurationS) return false;
+  if (maxFirstHitTimeS) {
+    const float first = brushIndex < s.firstHitTime.size()
+                            ? s.firstHitTime[brushIndex]
+                            : -1.0f;
+    if (first < 0.0f || first > *maxFirstHitTimeS) return false;
+  }
+  return true;
+}
+
+HypothesisResult evaluateHypothesis(const Hypothesis& h,
+                                    const traj::TrajectoryDataset& dataset,
+                                    int brushGridResolution) {
+  Stopwatch timer;
+  HypothesisResult result;
+  result.name = h.name;
+
+  BrushCanvas canvas(dataset.arena().radiusCm, brushGridResolution);
+  if (h.paintRegion) h.paintRegion(canvas);
+  for (const BrushStroke& s : h.strokes) canvas.addStroke(s);
+
+  const auto population = dataset.select(
+      [&h](const traj::Trajectory& t) { return h.population.matches(t); });
+  const auto complement = dataset.select(
+      [&h](const traj::Trajectory& t) { return !h.population.matches(t); });
+
+  QueryParams params;
+  params.timeWindow = h.timeWindow;
+
+  const QueryResult popResult =
+      evaluateQuery(dataset, population, canvas.grid(), params);
+  std::size_t hits = 0;
+  for (const HighlightSummary& s : popResult.summaries) {
+    if (h.criterion.satisfiedBy(s)) ++hits;
+  }
+
+  const QueryResult compResult =
+      evaluateQuery(dataset, complement, canvas.grid(), params);
+  std::size_t compHits = 0;
+  for (const HighlightSummary& s : compResult.summaries) {
+    if (h.criterion.satisfiedBy(s)) ++compHits;
+  }
+
+  result.populationSize = population.size();
+  result.hits = hits;
+  result.supportFraction =
+      population.empty()
+          ? 0.0f
+          : static_cast<float>(hits) / static_cast<float>(population.size());
+  result.supported = result.supportFraction >= h.supportThreshold;
+  result.complementSupportFraction =
+      complement.empty() ? 0.0f
+                         : static_cast<float>(compHits) /
+                               static_cast<float>(complement.size());
+  result.evaluationSeconds = timer.elapsedSeconds();
+  return result;
+}
+
+std::vector<HypothesisResult> evaluateBattery(
+    const std::vector<Hypothesis>& battery,
+    const traj::TrajectoryDataset& dataset, int brushGridResolution) {
+  std::vector<HypothesisResult> results;
+  results.reserve(battery.size());
+  for (const Hypothesis& h : battery) {
+    results.push_back(evaluateHypothesis(h, dataset, brushGridResolution));
+  }
+  return results;
+}
+
+Hypothesis makeHomingHypothesis(traj::CaptureSide capturedSide,
+                                traj::ArenaSide exitSideBrushed,
+                                float arenaRadiusCm) {
+  Hypothesis h;
+  h.name = std::string("homing_") + traj::toString(capturedSide) + "_exits_" +
+           traj::toString(exitSideBrushed);
+  h.statement = std::string("Ants captured ") + traj::toString(capturedSide) +
+                " of the foraging trail exit the arena from the " +
+                traj::toString(exitSideBrushed) + " side";
+  h.population = traj::MetaFilter::bySide(capturedSide);
+  h.paintRegion = [exitSideBrushed, arenaRadiusCm](BrushCanvas& canvas) {
+    paintArenaHalf(canvas, 0, exitSideBrushed, arenaRadiusCm);
+  };
+  // The analyst looks at where trajectories *end up* (she narrows the
+  // temporal filter to the last few seconds): the trajectory must
+  // terminate inside the brushed half, not merely cross it.
+  h.criterion.brushIndex = 0;
+  h.criterion.requireEndInBrush = true;
+  h.supportThreshold = 0.5f;
+  return h;
+}
+
+Hypothesis makeSeedSearchHypothesis(float arenaRadiusCm, float windowS,
+                                    float minDwellS) {
+  Hypothesis h;
+  h.name = "seed_droppers_search_center_early";
+  h.statement =
+      "Ants that dropped their seed spend the beginning of the experiment "
+      "searching the centre of the arena";
+  h.population = traj::MetaFilter::bySeed(traj::SeedState::kDroppedAtCapture);
+  const float centerRadius = arenaRadiusCm * 0.2f;
+  h.paintRegion = [centerRadius](BrushCanvas& canvas) {
+    paintArenaCenter(canvas, 1, centerRadius);
+  };
+  h.timeWindow = {0.0f, windowS};
+  h.criterion.brushIndex = 1;
+  h.criterion.minHighlightDurationS = minDwellS;
+  h.supportThreshold = 0.5f;
+  return h;
+}
+
+WindinessComparison compareWindiness(const traj::TrajectoryDataset& dataset) {
+  WindinessComparison out;
+  std::vector<double> onTrail;
+  std::vector<double> offTrail;
+  for (const traj::Trajectory& t : dataset.all()) {
+    const double s = traj::sinuosity(t);
+    if (t.meta().side == traj::CaptureSide::kOnTrail) {
+      onTrail.push_back(s);
+    } else {
+      offTrail.push_back(s);
+    }
+  }
+  out.onTrailMeanSinuosity = traj::summarize(std::move(onTrail)).mean;
+  out.offTrailMeanSinuosity = traj::summarize(std::move(offTrail)).mean;
+  out.onTrailWindier = out.onTrailMeanSinuosity > out.offTrailMeanSinuosity;
+  return out;
+}
+
+}  // namespace svq::core

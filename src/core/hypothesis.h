@@ -1,0 +1,112 @@
+// hypothesis.h — hypotheses as visual queries, with verdicts.
+//
+// §VI.B's key observation: "in many cases, a query corresponds to a
+// hypothesis". A Hypothesis here is the computational form of that
+// correspondence: a population (metadata filter), a visual query (brushed
+// region + temporal window), and a success criterion over the per-
+// trajectory highlight summaries ("a majority of the population's cells
+// light up red"). Evaluating one reproduces what the analyst did by
+// glancing at the wall; evaluating a battery reproduces the §V.B workflow
+// of testing several hypotheses in rapid succession.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/brush.h"
+#include "core/query.h"
+#include "traj/dataset.h"
+#include "traj/filter.h"
+
+namespace svq::core {
+
+/// What counts as a "hit" for one trajectory.
+struct HitCriterion {
+  /// Brush whose highlight constitutes a hit.
+  std::uint8_t brushIndex = 0;
+  /// Minimum highlighted duration (s) to count (0 = any touch).
+  float minHighlightDurationS = 0.0f;
+  /// When set, the *first* highlighted time must be <= this (e.g. "enters
+  /// the brushed region early").
+  std::optional<float> maxFirstHitTimeS;
+  /// When true, the trajectory must *end* inside the brushed region — the
+  /// exit-side semantics of Fig. 5 ("trajectories that terminate at the
+  /// west side"), which the analyst reads off by narrowing the temporal
+  /// filter to the last seconds.
+  bool requireEndInBrush = false;
+
+  bool satisfiedBy(const HighlightSummary& s) const;
+};
+
+/// A testable hypothesis = population + visual query + criterion.
+struct Hypothesis {
+  std::string name;
+  std::string statement;
+  /// Which trajectories the claim is about.
+  traj::MetaFilter population;
+  /// The visual query: painted regions.
+  std::vector<BrushStroke> strokes;
+  /// Convenience region painters applied before strokes (optional).
+  std::function<void(BrushCanvas&)> paintRegion;
+  /// Temporal window of the query.
+  Vec2 timeWindow{0.0f, 1e9f};
+  HitCriterion criterion;
+  /// Support fraction needed for a "supported" verdict (majority default).
+  float supportThreshold = 0.5f;
+};
+
+/// Outcome of evaluating one hypothesis.
+struct HypothesisResult {
+  std::string name;
+  std::size_t populationSize = 0;
+  std::size_t hits = 0;
+  float supportFraction = 0.0f;
+  bool supported = false;
+  /// Support fraction among the *complement* population — the paper's
+  /// analyst compares the target group against the others (Fig. 5 shows
+  /// all five bins under the same brush).
+  float complementSupportFraction = 0.0f;
+  /// Query wall-clock cost (seconds) — the "few seconds" claim of §V.B.
+  double evaluationSeconds = 0.0;
+};
+
+/// Evaluates a hypothesis against a dataset. The brush canvas is built
+/// from the hypothesis' strokes/painter; arena size comes from `dataset`.
+HypothesisResult evaluateHypothesis(const Hypothesis& h,
+                                    const traj::TrajectoryDataset& dataset,
+                                    int brushGridResolution = 256);
+
+/// Runs a battery in order (the "rapid succession" workflow); results are
+/// in input order.
+std::vector<HypothesisResult> evaluateBattery(
+    const std::vector<Hypothesis>& battery,
+    const traj::TrajectoryDataset& dataset, int brushGridResolution = 256);
+
+// --- the pilot study's concrete hypotheses --------------------------------
+
+/// H1 (Fig. 5): "Ants captured east of the foraging trail exit the arena
+/// from the west side." Brush: west half; criterion: red highlight late in
+/// the trajectory. Parameterized on sides so all four homing variants of
+/// the battery can be generated.
+Hypothesis makeHomingHypothesis(traj::CaptureSide capturedSide,
+                                traj::ArenaSide exitSideBrushed,
+                                float arenaRadiusCm);
+
+/// H3 (§V.B): "Ants that dropped their seed spend the start of the
+/// experiment searching the centre." Brush: centre disc; window: the first
+/// `windowS` seconds; criterion: highlighted duration >= minDwellS.
+Hypothesis makeSeedSearchHypothesis(float arenaRadiusCm, float windowS = 25.0f,
+                                    float minDwellS = 12.0f);
+
+/// H2 (§VI.A): "on-trail ants are windier" — not a brush query; checked
+/// directly on trajectory statistics. Returns (onTrailMeanSinuosity,
+/// offTrailMeanSinuosity, holds).
+struct WindinessComparison {
+  double onTrailMeanSinuosity = 0.0;
+  double offTrailMeanSinuosity = 0.0;
+  bool onTrailWindier = false;
+};
+WindinessComparison compareWindiness(const traj::TrajectoryDataset& dataset);
+
+}  // namespace svq::core

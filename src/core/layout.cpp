@@ -1,0 +1,126 @@
+#include "core/layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace svq::core {
+
+std::vector<LayoutConfig> paperLayoutPresets() {
+  return {
+      LayoutConfig{15, 4},
+      LayoutConfig{24, 6},
+      LayoutConfig{36, 12},
+  };
+}
+
+std::vector<int> apportion(int total, int bins) {
+  assert(bins > 0);
+  std::vector<int> out(static_cast<std::size_t>(bins), total / bins);
+  int remainder = total - (total / bins) * bins;
+  // Spread the remainder as evenly as possible (alternating from both
+  // ends keeps the distribution symmetric, which looks better on a wall).
+  int lo = 0;
+  int hi = bins - 1;
+  bool front = true;
+  while (remainder > 0) {
+    if (front) {
+      ++out[static_cast<std::size_t>(lo++)];
+    } else {
+      ++out[static_cast<std::size_t>(hi--)];
+    }
+    front = !front;
+    --remainder;
+  }
+  return out;
+}
+
+SmallMultipleLayout SmallMultipleLayout::compute(
+    const wall::WallSpec& wallSpec, const LayoutConfig& config) {
+  SmallMultipleLayout layout;
+  layout.config_ = config;
+  layout.rects_.assign(
+      static_cast<std::size_t>(config.cellsX) *
+          static_cast<std::size_t>(config.cellsY),
+      RectI{});
+
+  const std::vector<int> colsPerTile = apportion(config.cellsX, wallSpec.cols());
+  const std::vector<int> rowsPerTile = apportion(config.cellsY, wallSpec.rows());
+
+  // Global grid index offsets of each tile's first cell column/row.
+  std::vector<int> colOffset(static_cast<std::size_t>(wallSpec.cols()) + 1, 0);
+  for (int c = 0; c < wallSpec.cols(); ++c) {
+    colOffset[static_cast<std::size_t>(c) + 1] =
+        colOffset[static_cast<std::size_t>(c)] + colsPerTile[static_cast<std::size_t>(c)];
+  }
+  std::vector<int> rowOffset(static_cast<std::size_t>(wallSpec.rows()) + 1, 0);
+  for (int r = 0; r < wallSpec.rows(); ++r) {
+    rowOffset[static_cast<std::size_t>(r) + 1] =
+        rowOffset[static_cast<std::size_t>(r)] + rowsPerTile[static_cast<std::size_t>(r)];
+  }
+
+  for (int tr = 0; tr < wallSpec.rows(); ++tr) {
+    for (int tc = 0; tc < wallSpec.cols(); ++tc) {
+      const RectI tile = wallSpec.tileRectPx({tc, tr});
+      const int nx = colsPerTile[static_cast<std::size_t>(tc)];
+      const int ny = rowsPerTile[static_cast<std::size_t>(tr)];
+      if (nx <= 0 || ny <= 0) continue;
+
+      const int innerW = tile.w - 2 * config.tileMarginPx;
+      const int innerH = tile.h - 2 * config.tileMarginPx;
+      const int cellW = (innerW - (nx - 1) * config.cellGapPx) / nx;
+      const int cellH = (innerH - (ny - 1) * config.cellGapPx) / ny;
+
+      for (int ly = 0; ly < ny; ++ly) {
+        for (int lx = 0; lx < nx; ++lx) {
+          const int gx = colOffset[static_cast<std::size_t>(tc)] + lx;
+          const int gy = rowOffset[static_cast<std::size_t>(tr)] + ly;
+          const RectI r{
+              tile.x + config.tileMarginPx + lx * (cellW + config.cellGapPx),
+              tile.y + config.tileMarginPx + ly * (cellH + config.cellGapPx),
+              cellW, cellH};
+          layout.rects_[static_cast<std::size_t>(gy) *
+                            static_cast<std::size_t>(config.cellsX) +
+                        static_cast<std::size_t>(gx)] = r;
+        }
+      }
+    }
+  }
+  return layout;
+}
+
+std::optional<Vec2> SmallMultipleLayout::cellOfPixel(int px, int py) const {
+  for (int cy = 0; cy < config_.cellsY; ++cy) {
+    for (int cx = 0; cx < config_.cellsX; ++cx) {
+      if (cellRect(cx, cy).contains(px, py)) {
+        return Vec2{static_cast<float>(cx), static_cast<float>(cy)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool SmallMultipleLayout::allCellsAvoidBezels(
+    const wall::WallSpec& wallSpec) const {
+  return std::all_of(rects_.begin(), rects_.end(), [&](const RectI& r) {
+    return wallSpec.rectAvoidsBezels(r);
+  });
+}
+
+bool SmallMultipleLayout::noOverlaps() const {
+  for (std::size_t i = 0; i < rects_.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects_.size(); ++j) {
+      if (rects_[i].intersects(rects_[j])) return false;
+    }
+  }
+  return true;
+}
+
+int SmallMultipleLayout::minCellSize() const {
+  int m = std::numeric_limits<int>::max();
+  for (const RectI& r : rects_) m = std::min({m, r.w, r.h});
+  return rects_.empty() ? 0 : m;
+}
+
+}  // namespace svq::core

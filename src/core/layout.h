@@ -1,0 +1,86 @@
+// layout.h — bezel-aware small-multiple layout.
+//
+// Distributes a grid of trajectory cells over the wall so that *no cell
+// straddles a tile bezel* — the §IV.C.2 constraint: stereoscopic content
+// crossing a bezel causes discomfort, and bezels double as natural group
+// dividers. The algorithm assigns whole cells to tiles: the requested
+// global column count is apportioned across tile columns (largest-
+// remainder), likewise for rows, and each tile lays out its share as a
+// uniform local grid inside its own active area. Bezel avoidance holds by
+// construction for any requested grid, not just the presets.
+//
+// Presets mirror the paper's keypad configurations ('1', '2', '3'):
+// 15x4, 24x6 and 36x12 — the last giving the 432 simultaneously visible
+// trajectories reported in §VI.B.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/geometry.h"
+#include "wall/wall.h"
+
+namespace svq::core {
+
+/// A requested small-multiple grid.
+struct LayoutConfig {
+  int cellsX = 24;
+  int cellsY = 6;
+  /// Pixel gap between adjacent cells within a tile.
+  int cellGapPx = 4;
+  /// Pixel margin between cells and the tile edge.
+  int tileMarginPx = 6;
+
+  constexpr bool operator==(const LayoutConfig&) const = default;
+  int cellCount() const { return cellsX * cellsY; }
+};
+
+/// The paper's keypad presets, in keypad order.
+std::vector<LayoutConfig> paperLayoutPresets();
+
+/// A computed layout: one rect per cell, row-major in (cellY, cellX).
+class SmallMultipleLayout {
+ public:
+  SmallMultipleLayout() = default;
+
+  /// Computes the layout for a wall. Requested cell counts are honoured
+  /// exactly; cells in tiles holding more of them are proportionally
+  /// smaller.
+  static SmallMultipleLayout compute(const wall::WallSpec& wallSpec,
+                                     const LayoutConfig& config);
+
+  const LayoutConfig& config() const { return config_; }
+  std::size_t cellCount() const { return rects_.size(); }
+
+  /// Global-pixel rect of grid cell (cx, cy).
+  const RectI& cellRect(int cx, int cy) const {
+    return rects_[static_cast<std::size_t>(cy) *
+                      static_cast<std::size_t>(config_.cellsX) +
+                  static_cast<std::size_t>(cx)];
+  }
+  const std::vector<RectI>& rects() const { return rects_; }
+
+  /// Grid cell containing a global pixel, if any.
+  std::optional<Vec2> cellOfPixel(int px, int py) const;
+
+  /// Verification helper: true iff every cell avoids bezels on the wall.
+  bool allCellsAvoidBezels(const wall::WallSpec& wallSpec) const;
+
+  /// Verification helper: true iff no two cells overlap.
+  bool noOverlaps() const;
+
+  /// Smallest cell dimension (px) — readability floor for the encoding.
+  int minCellSize() const;
+
+ private:
+  LayoutConfig config_;
+  std::vector<RectI> rects_;
+};
+
+/// Largest-remainder apportionment of `total` items over `bins` bins
+/// (exposed for tests; every bin gets total/bins or that +/- 1 ... exact:
+/// floor or ceil of the proportional share, sums to total).
+std::vector<int> apportion(int total, int bins);
+
+}  // namespace svq::core

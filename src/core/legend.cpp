@@ -1,0 +1,42 @@
+#include "core/legend.h"
+
+#include <algorithm>
+
+namespace svq::core {
+
+RectI drawWallLegend(const render::Canvas& canvas, const GroupManager& groups,
+                     const BrushCanvas* brush, const LegendStyle& style) {
+  int y = style.y;
+  int maxWidth = 0;
+  const int rowH =
+      std::max(style.swatchPx, render::textTinyHeight(style.textScale));
+
+  auto drawEntry = [&](render::Color swatch, const std::string& name) {
+    fillRect(canvas, {style.x, y, style.swatchPx, style.swatchPx}, swatch);
+    strokeRect(canvas, {style.x, y, style.swatchPx, style.swatchPx},
+               swatch.scaled(2.0f));
+    const int textX = style.x + style.swatchPx + 4;
+    drawTextTiny(canvas, textX, y, name, style.textColor, style.textScale);
+    maxWidth = std::max(
+        maxWidth, style.swatchPx + 4 +
+                      render::textTinyWidth(name, style.textScale));
+    y += rowH + style.rowGapPx;
+  };
+
+  for (const TrajectoryGroup& g : groups.groups()) {
+    drawEntry(render::groupBackground(g.colorIndex),
+              g.name.empty() ? "GROUP " + std::to_string(g.id) : g.name);
+  }
+
+  if (brush != nullptr) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      if (brush->grid().hasPaint(static_cast<std::int8_t>(b))) {
+        drawEntry(render::brushColor(b), "BRUSH " + std::to_string(b));
+      }
+    }
+  }
+
+  return {style.x, style.y, maxWidth, y - style.y};
+}
+
+}  // namespace svq::core

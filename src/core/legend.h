@@ -1,0 +1,29 @@
+// legend.h — wall HUD legend.
+//
+// Fig. 3's photograph shows the group bins identified by background
+// color; a wall frame rendered offline needs the mapping made explicit.
+// The legend draws one swatch+name entry per trajectory group and one per
+// active paintbrush into a corner band of the wall frame.
+#pragma once
+
+#include "core/brush.h"
+#include "core/groups.h"
+#include "render/rasterizer.h"
+
+namespace svq::core {
+
+struct LegendStyle {
+  int x = 8;
+  int y = 8;
+  int swatchPx = 10;
+  int rowGapPx = 4;
+  int textScale = 1;
+  render::Color textColor = render::colors::kWhite;
+};
+
+/// Draws group entries and, when `brush` is non-null, one entry per brush
+/// index that currently has paint. Returns the pixel rect covered.
+RectI drawWallLegend(const render::Canvas& canvas, const GroupManager& groups,
+                     const BrushCanvas* brush, const LegendStyle& style = {});
+
+}  // namespace svq::core

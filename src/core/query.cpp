@@ -1,0 +1,118 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+namespace svq::core {
+
+void evaluateOne(const traj::Trajectory& t, std::uint32_t index,
+                 const BrushGrid& brush, const QueryParams& params,
+                 std::vector<std::int8_t>& segmentsOut,
+                 HighlightSummary& summaryOut) {
+  const auto pts = t.points();
+  const std::size_t segmentCount = pts.size() >= 2 ? pts.size() - 1 : 0;
+  segmentsOut.assign(segmentCount, kNoBrush);
+
+  summaryOut = HighlightSummary{};
+  summaryOut.trajectoryIndex = index;
+  summaryOut.segmentsPerBrush.assign(params.brushCount, 0);
+  summaryOut.durationPerBrush.assign(params.brushCount, 0.0f);
+  summaryOut.firstHitTime.assign(params.brushCount, -1.0f);
+
+  // Final-position signal, independent of the temporal window: which brush
+  // covers the trajectory's end. The very last sample can sit a step
+  // beyond the arena boundary (the exit crossing), where nothing is
+  // painted, so probe the last few samples walking backwards.
+  for (std::size_t back = 0; back < 3 && back < pts.size(); ++back) {
+    const std::int8_t b = brush.brushAt(pts[pts.size() - 1 - back].pos);
+    if (b != kNoBrush) {
+      summaryOut.lastSegmentBrush = b;
+      break;
+    }
+  }
+
+  const Vec2 window = params.effectiveWindow(t.duration());
+  for (std::size_t s = 0; s < segmentCount; ++s) {
+    const traj::TrajPoint& a = pts[s];
+    const traj::TrajPoint& b = pts[s + 1];
+    // Temporal filter: a segment counts when it overlaps the window.
+    if (b.t < window.x || a.t > window.y) continue;
+    // Spatial test at both endpoints plus the midpoint — at the ~3 mm
+    // tracking resolution of the dataset a segment is short relative to
+    // any paintable region, so three probes match the painted-pixel
+    // semantics of the original application.
+    std::int8_t hit = brush.brushAt(a.pos);
+    if (hit == kNoBrush) hit = brush.brushAt(b.pos);
+    if (hit == kNoBrush) hit = brush.brushAt((a.pos + b.pos) * 0.5f);
+    if (hit == kNoBrush) continue;
+
+    segmentsOut[s] = hit;
+    const auto brushIdx = static_cast<std::size_t>(hit);
+    if (brushIdx < params.brushCount) {
+      ++summaryOut.segmentsPerBrush[brushIdx];
+      summaryOut.durationPerBrush[brushIdx] += b.t - a.t;
+      if (summaryOut.firstHitTime[brushIdx] < 0.0f) {
+        summaryOut.firstHitTime[brushIdx] = a.t;
+      }
+    }
+  }
+}
+
+namespace {
+
+template <typename GetTraj>
+QueryResult evaluateImpl(GetTraj getTraj, std::size_t count,
+                         const BrushGrid& brush, const QueryParams& params) {
+  QueryResult result;
+  result.segmentHighlights.resize(count);
+  result.summaries.resize(count);
+  result.trajectoriesEvaluated = count;
+
+  auto body = [&](std::size_t i) {
+    const auto& [t, index] = getTraj(i);
+    evaluateOne(*t, index, brush, params, result.segmentHighlights[i],
+                result.summaries[i]);
+  };
+
+  if (params.parallel) {
+    parallelFor(0, count, body, 8);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& segs = result.segmentHighlights[i];
+    result.totalSegmentsEvaluated += segs.size();
+    const auto highlighted = static_cast<std::size_t>(
+        std::count_if(segs.begin(), segs.end(),
+                      [](std::int8_t h) { return h != kNoBrush; }));
+    result.totalSegmentsHighlighted += highlighted;
+    if (highlighted > 0) ++result.trajectoriesHighlighted;
+  }
+  return result;
+}
+
+}  // namespace
+
+QueryResult evaluateQuery(const traj::TrajectoryDataset& dataset,
+                          std::span<const std::uint32_t> indices,
+                          const BrushGrid& brush, const QueryParams& params) {
+  return evaluateImpl(
+      [&](std::size_t i) {
+        return std::pair<const traj::Trajectory*, std::uint32_t>(
+            &dataset[indices[i]], indices[i]);
+      },
+      indices.size(), brush, params);
+}
+
+QueryResult evaluateQueryOver(std::span<const traj::Trajectory> trajectories,
+                              const BrushGrid& brush,
+                              const QueryParams& params) {
+  return evaluateImpl(
+      [&](std::size_t i) {
+        return std::pair<const traj::Trajectory*, std::uint32_t>(
+            &trajectories[i], static_cast<std::uint32_t>(i));
+      },
+      trajectories.size(), brush, params);
+}
+
+}  // namespace svq::core

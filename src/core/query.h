@@ -1,0 +1,115 @@
+// query.h — the scalable visual query engine.
+//
+// A visual query = brush mask (where) x temporal window (when), evaluated
+// against every displayed trajectory simultaneously. The engine computes,
+// per trajectory, which segments are highlighted by which brush — exactly
+// the paint-crossing semantics of §IV.C.2: "segments in all currently
+// displayed trajectories [are] highlighted when the insect moves over a
+// brushed area".
+//
+// Evaluation is embarrassingly parallel over trajectories and linear in
+// the number of samples — this is the property that lets a query "cover"
+// 432 cells in interactive time and scale to cluster-level exploration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/brush.h"
+#include "traj/dataset.h"
+#include "util/geometry.h"
+#include "util/threadpool.h"
+
+namespace svq::core {
+
+/// Per-trajectory digest of a query result — what the analyst "sees" when
+/// glancing at a cell: does it light up, in which color, when, for how long.
+struct HighlightSummary {
+  std::uint32_t trajectoryIndex = 0;
+  /// Number of highlighted segments per brush index (size = brush count).
+  std::vector<std::uint32_t> segmentsPerBrush;
+  /// Total highlighted duration (s) per brush.
+  std::vector<float> durationPerBrush;
+  /// Time of the first highlighted sample per brush (-1 = never).
+  std::vector<float> firstHitTime;
+  /// Brush highlighting the trajectory's final segment (kNoBrush if none)
+  /// — the "where does the ant end up" signal the Fig. 5 exit-side query
+  /// reads off when the analyst narrows the temporal filter to the last
+  /// seconds of the experiment.
+  std::int8_t lastSegmentBrush = kNoBrush;
+
+  bool anyHighlight() const {
+    for (auto n : segmentsPerBrush) {
+      if (n > 0) return true;
+    }
+    return false;
+  }
+  bool hitByBrush(std::size_t brush) const {
+    return brush < segmentsPerBrush.size() && segmentsPerBrush[brush] > 0;
+  }
+  float highlightedDuration(std::size_t brush) const {
+    return brush < durationPerBrush.size() ? durationPerBrush[brush] : 0.0f;
+  }
+};
+
+/// Full result of evaluating one visual query over a trajectory set.
+struct QueryResult {
+  /// segmentHighlights[i][s] = brush index highlighting segment s of
+  /// trajectory i, or kNoBrush. Sized to trajectory point count - 1.
+  std::vector<std::vector<std::int8_t>> segmentHighlights;
+  std::vector<HighlightSummary> summaries;
+  /// Totals for quick verdicts.
+  std::size_t trajectoriesEvaluated = 0;
+  std::size_t trajectoriesHighlighted = 0;
+  std::size_t totalSegmentsEvaluated = 0;
+  std::size_t totalSegmentsHighlighted = 0;
+};
+
+/// Engine configuration.
+struct QueryParams {
+  /// Temporal window [t0, t1]; segments outside are never highlighted.
+  Vec2 timeWindow{0.0f, 1e9f};
+  /// Optional *relative* window as fractions of each trajectory's own
+  /// duration — the way the analyst actually uses the range slider for
+  /// exit-side questions ("show the last few seconds of the experiment"),
+  /// where trajectories have different lengths. {0.9, 1.0} = final 10%.
+  /// Applied in addition to the absolute window when set.
+  std::optional<Vec2> relativeWindow;
+  /// Number of distinct brushes tracked in summaries.
+  std::size_t brushCount = 6;
+  /// Evaluate in parallel via the global thread pool.
+  bool parallel = true;
+
+  /// The effective absolute window for a trajectory of given duration.
+  Vec2 effectiveWindow(float durationS) const {
+    Vec2 w = timeWindow;
+    if (relativeWindow) {
+      w.x = std::max(w.x, relativeWindow->x * durationS);
+      w.y = std::min(w.y, relativeWindow->y * durationS);
+    }
+    return w;
+  }
+};
+
+/// Evaluates the brush mask against the listed trajectories.
+/// `indices` selects dataset trajectories (e.g. the displayed subset);
+/// results are ordered like `indices`.
+QueryResult evaluateQuery(const traj::TrajectoryDataset& dataset,
+                          std::span<const std::uint32_t> indices,
+                          const BrushGrid& brush, const QueryParams& params);
+
+/// Evaluates against a plain trajectory array (cluster averages, tests).
+QueryResult evaluateQueryOver(std::span<const traj::Trajectory> trajectories,
+                              const BrushGrid& brush,
+                              const QueryParams& params);
+
+/// Evaluates one trajectory (exposed for unit tests); the summary's
+/// trajectoryIndex is set to `index`.
+void evaluateOne(const traj::Trajectory& t, std::uint32_t index,
+                 const BrushGrid& brush, const QueryParams& params,
+                 std::vector<std::int8_t>& segmentsOut,
+                 HighlightSummary& summaryOut);
+
+}  // namespace svq::core

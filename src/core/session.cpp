@@ -1,0 +1,157 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "ui/script.h"
+
+namespace svq::core {
+
+VisualQueryApp::VisualQueryApp(const traj::TrajectoryDataset& dataset,
+                               wall::WallSpec wallSpec)
+    : dataset_(&dataset),
+      wallSpec_(wallSpec),
+      presets_(paperLayoutPresets()),
+      brushCanvas_(dataset.arena().radiusCm),
+      timeWindow_(0.0f, std::max(1.0f, dataset.maxDuration())) {
+  recomputeLayout();
+}
+
+render::StereoSettings VisualQueryApp::stereoSettings() const {
+  render::StereoSettings s;
+  stereoControls_.applyTo(s);
+  return s;
+}
+
+float VisualQueryApp::datasetCoverage() const {
+  if (dataset_->empty()) return 0.0f;
+  return static_cast<float>(assignment_.displayedCount) /
+         static_cast<float>(dataset_->size());
+}
+
+void VisualQueryApp::recomputeLayout() {
+  layout_ = SmallMultipleLayout::compute(wallSpec_, presets_[activePreset_]);
+  recomputeAssignment();
+}
+
+void VisualQueryApp::recomputeAssignment() {
+  const LayoutConfig& cfg = presets_[activePreset_];
+  assignment_ = groups_.assign(*dataset_, cfg.cellsX, cfg.cellsY);
+}
+
+bool VisualQueryApp::apply(const ui::Event& event) {
+  struct Visitor {
+    VisualQueryApp& app;
+
+    bool operator()(const ui::BrushStrokeEvent& e) {
+      app.brushCanvas_.addStroke(BrushStroke{
+          static_cast<std::int8_t>(e.brushIndex), e.centerCm, e.radiusCm});
+      return true;
+    }
+    bool operator()(const ui::BrushClearEvent& e) {
+      app.brushCanvas_.clear(e.brushIndex == 255
+                                 ? kNoBrush
+                                 : static_cast<std::int8_t>(e.brushIndex));
+      return true;
+    }
+    bool operator()(const ui::TimeWindowEvent& e) {
+      app.timeWindow_.setRange(e.t0, e.t1);
+      return true;
+    }
+    bool operator()(const ui::DepthOffsetEvent& e) {
+      app.stereoControls_.depthOffsetCm().set(e.offsetCm);
+      return true;
+    }
+    bool operator()(const ui::TimeScaleEvent& e) {
+      app.stereoControls_.timeScaleCmPerS().set(e.cmPerSecond);
+      return true;
+    }
+    bool operator()(const ui::LayoutSwitchEvent& e) {
+      if (e.presetIndex >= app.presets_.size()) return false;
+      app.activePreset_ = e.presetIndex;
+      app.recomputeLayout();
+      return true;
+    }
+    bool operator()(const ui::GroupDefineEvent& e) {
+      const LayoutConfig& cfg = app.presets_[app.activePreset_];
+      TrajectoryGroup g;
+      g.id = e.groupId;
+      g.name = e.name;
+      g.cellRect = e.cellRect;
+      g.filter = e.filter;
+      g.colorIndex = e.colorIndex;
+      if (!app.groups_.define(g, cfg.cellsX, cfg.cellsY)) return false;
+      app.recomputeAssignment();
+      return true;
+    }
+    bool operator()(const ui::GroupClearEvent& e) {
+      if (!app.groups_.remove(e.groupId)) return false;
+      app.recomputeAssignment();
+      return true;
+    }
+    bool operator()(const ui::PageEvent& e) {
+      bool any = false;
+      for (const TrajectoryGroup& g : app.groups_.groups()) {
+        any |= app.groups_.page(g.id, e.direction, *app.dataset_);
+      }
+      if (any) app.recomputeAssignment();
+      return any;
+    }
+  };
+  return std::visit(Visitor{*this}, event);
+}
+
+std::size_t VisualQueryApp::applyScript(const ui::InputScript& script) {
+  std::size_t applied = 0;
+  script.replay([this, &applied](const ui::TimedEvent& e) {
+    if (apply(e.event)) ++applied;
+  });
+  return applied;
+}
+
+render::SceneModel VisualQueryApp::buildScene() {
+  ++frameIndex_;
+  const LayoutConfig& cfg = presets_[activePreset_];
+
+  // Displayed trajectory indices, in cell order, for the query engine.
+  std::vector<std::uint32_t> displayed;
+  std::vector<std::size_t> cellOfDisplayed;  // cell index per entry
+  displayed.reserve(assignment_.cells.size());
+  for (std::size_t ci = 0; ci < assignment_.cells.size(); ++ci) {
+    if (assignment_.cells[ci].trajectoryIndex) {
+      displayed.push_back(*assignment_.cells[ci].trajectoryIndex);
+      cellOfDisplayed.push_back(ci);
+    }
+  }
+
+  QueryParams params;
+  params.timeWindow = {timeWindow_.lo(), timeWindow_.hi()};
+  if (brushCanvas_.empty()) {
+    lastQuery_ = QueryResult{};
+  } else {
+    lastQuery_ = evaluateQuery(*dataset_, displayed, brushCanvas_.grid(),
+                               params);
+  }
+
+  render::SceneModel scene;
+  scene.arenaRadiusCm = dataset_->arena().radiusCm;
+  scene.timeWindow = {timeWindow_.lo(), timeWindow_.hi()};
+  scene.stereo = stereoSettings();
+  scene.cells.reserve(displayed.size());
+
+  for (std::size_t di = 0; di < displayed.size(); ++di) {
+    const std::size_t ci = cellOfDisplayed[di];
+    const int cx = static_cast<int>(ci) % cfg.cellsX;
+    const int cy = static_cast<int>(ci) / cfg.cellsX;
+    render::CellView cell;
+    cell.trajectoryIndex = displayed[di];
+    cell.rect = layout_.cellRect(cx, cy);
+    cell.background = assignment_.cells[ci].background;
+    if (!brushCanvas_.empty() && di < lastQuery_.segmentHighlights.size()) {
+      cell.segmentHighlights = lastQuery_.segmentHighlights[di];
+    }
+    scene.cells.push_back(std::move(cell));
+  }
+  return scene;
+}
+
+}  // namespace svq::core

@@ -1,0 +1,95 @@
+// session.h — the application façade.
+//
+// VisualQueryApp ties the technique together: it owns the dataset, the
+// wall geometry, the layout presets, groups, the brush canvas, the
+// temporal filter and the stereo controls; consumes ui::Events; and
+// produces the SceneModel a renderer (local or cluster) draws. This is
+// the class the paper's screenshots depict in action.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/brush.h"
+#include "core/groups.h"
+#include "core/layout.h"
+#include "core/query.h"
+#include "render/scene.h"
+#include "traj/dataset.h"
+#include "ui/controls.h"
+#include "ui/events.h"
+#include "ui/script.h"
+#include "wall/wall.h"
+
+namespace svq::core {
+
+/// Application state + event processing + scene building.
+class VisualQueryApp {
+ public:
+  /// The dataset is borrowed and must outlive the app.
+  VisualQueryApp(const traj::TrajectoryDataset& dataset,
+                 wall::WallSpec wallSpec);
+
+  // --- state access ------------------------------------------------------
+  const traj::TrajectoryDataset& dataset() const { return *dataset_; }
+  const wall::WallSpec& wallSpec() const { return wallSpec_; }
+  const SmallMultipleLayout& layout() const { return layout_; }
+  const std::vector<LayoutConfig>& layoutPresets() const { return presets_; }
+  std::size_t activePreset() const { return activePreset_; }
+  GroupManager& groups() { return groups_; }
+  const GroupManager& groups() const { return groups_; }
+  const BrushCanvas& brush() const { return brushCanvas_; }
+  const ui::RangeSlider& timeWindow() const { return timeWindow_; }
+  const ui::StereoControls& stereoControls() const { return stereoControls_; }
+  render::StereoSettings stereoSettings() const;
+
+  /// Fraction of the dataset visible in the current layout (the §VI.B
+  /// "85% of the data" headline for 36x12 over ~500 trajectories).
+  float datasetCoverage() const;
+
+  // --- event processing --------------------------------------------------
+  /// Applies one interaction event. Returns false for events that could
+  /// not be applied (e.g. invalid group rect).
+  bool apply(const ui::Event& event);
+
+  /// Applies every event of a script in order; returns applied count.
+  std::size_t applyScript(const ui::InputScript& script);
+
+  /// Recomputes the cell assignment after direct edits via groups().
+  /// (Event-driven edits refresh automatically.)
+  void refreshAssignment() { recomputeAssignment(); }
+
+  // --- outputs -----------------------------------------------------------
+  /// Current cell -> trajectory assignment.
+  const GroupAssignment& assignment() const { return assignment_; }
+
+  /// Evaluates the coordinated-brush query for the displayed trajectories
+  /// (empty brush = no highlights) and builds the frame's scene model.
+  render::SceneModel buildScene();
+
+  /// The query result backing the last buildScene() call.
+  const QueryResult& lastQueryResult() const { return lastQuery_; }
+
+  /// Frame counter (increments per buildScene).
+  std::uint64_t frameIndex() const { return frameIndex_; }
+
+ private:
+  void recomputeLayout();
+  void recomputeAssignment();
+
+  const traj::TrajectoryDataset* dataset_;
+  wall::WallSpec wallSpec_;
+  std::vector<LayoutConfig> presets_;
+  std::size_t activePreset_ = 1;  // 24x6 default
+  SmallMultipleLayout layout_;
+  GroupManager groups_;
+  GroupAssignment assignment_;
+  BrushCanvas brushCanvas_;
+  ui::RangeSlider timeWindow_;
+  ui::StereoControls stereoControls_;
+  QueryResult lastQuery_;
+  std::uint64_t frameIndex_ = 0;
+};
+
+}  // namespace svq::core

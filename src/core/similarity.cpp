@@ -1,0 +1,138 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traj/resample.h"
+#include "util/threadpool.h"
+
+namespace svq::core {
+
+namespace {
+
+/// Resamples an arbitrary sample run [begin, end) of a trajectory to
+/// `count` positions uniformly in time.
+std::vector<Vec2> resampleRun(const traj::Trajectory& t, std::size_t begin,
+                              std::size_t end, std::size_t count) {
+  std::vector<Vec2> out;
+  if (end <= begin + 1 || count < 2) return out;
+  const auto pts = t.points();
+  const float t0 = pts[begin].t;
+  const float t1 = pts[end - 1].t;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const float u = static_cast<float>(i) / static_cast<float>(count - 1);
+    out.push_back(t.positionAt(t0 + u * (t1 - t0)));
+  }
+  return out;
+}
+
+}  // namespace
+
+SimilarityQuery extractBrushedQuery(const traj::Trajectory& source,
+                                    std::uint32_t sourceIndex,
+                                    const BrushGrid& brush,
+                                    std::int8_t brushIndex,
+                                    const SimilarityParams& params) {
+  SimilarityQuery query;
+  query.sourceIndex = sourceIndex;
+  const auto pts = source.points();
+
+  // Longest contiguous covered run.
+  std::size_t bestBegin = 0, bestEnd = 0;
+  std::size_t runBegin = 0;
+  bool inRun = false;
+  for (std::size_t i = 0; i <= pts.size(); ++i) {
+    const bool covered =
+        i < pts.size() && brush.brushAt(pts[i].pos) == brushIndex;
+    if (covered && !inRun) {
+      runBegin = i;
+      inRun = true;
+    } else if (!covered && inRun) {
+      if (i - runBegin > bestEnd - bestBegin) {
+        bestBegin = runBegin;
+        bestEnd = i;
+      }
+      inRun = false;
+    }
+  }
+  if (bestEnd <= bestBegin + 1) return query;  // invalid
+
+  query.durationS = pts[bestEnd - 1].t - pts[bestBegin].t;
+  query.shape = resampleRun(source, bestBegin, bestEnd,
+                            params.resampleCount);
+  if (params.translationInvariant) {
+    query.shape = traj::translateToOrigin(query.shape);
+  }
+  return query;
+}
+
+SimilarityResult findSimilar(const traj::TrajectoryDataset& dataset,
+                             std::span<const std::uint32_t> indices,
+                             const SimilarityQuery& query,
+                             const SimilarityParams& params,
+                             std::int8_t highlightBrush) {
+  SimilarityResult result;
+  result.query = query;
+  result.segmentHighlights.resize(indices.size());
+  if (!query.valid()) return result;
+
+  const int band =
+      params.bandFraction >= 0.0f
+          ? std::max(1, static_cast<int>(std::ceil(
+                            params.bandFraction *
+                            static_cast<float>(params.resampleCount))))
+          : -1;
+
+  std::vector<std::vector<SimilarityMatch>> perTarget(indices.size());
+
+  auto scanTarget = [&](std::size_t ti) {
+    const traj::Trajectory& t = dataset[indices[ti]];
+    const auto pts = t.points();
+    result.segmentHighlights[ti].assign(
+        pts.size() >= 2 ? pts.size() - 1 : 0, kNoBrush);
+    if (pts.size() < 2) return;
+
+    const float windowDur = query.durationS;
+    const float stride =
+        std::max(0.05f * windowDur, params.strideFraction * windowDur);
+    for (float start = pts.front().t;
+         start + windowDur <= pts.back().t + 1e-4f; start += stride) {
+      const std::size_t begin = t.lowerBoundIndex(start);
+      const std::size_t end =
+          std::min(pts.size(), t.lowerBoundIndex(start + windowDur) + 1);
+      auto window = resampleRun(t, begin, end, params.resampleCount);
+      if (window.size() < 2) continue;
+      if (params.translationInvariant) {
+        window = traj::translateToOrigin(window);
+      }
+      const float d =
+          traj::dtwDistanceNormalized(query.shape, window, band);
+      if (d <= params.matchThresholdCm) {
+        SimilarityMatch match;
+        match.trajectoryIndex = indices[ti];
+        match.beginSample = begin;
+        match.endSample = end;
+        match.distance = d;
+        perTarget[ti].push_back(match);
+        for (std::size_t s = begin; s + 1 < end; ++s) {
+          result.segmentHighlights[ti][s] = highlightBrush;
+        }
+      }
+    }
+  };
+
+  if (params.parallel) {
+    parallelFor(0, indices.size(), scanTarget, 1);
+  } else {
+    for (std::size_t i = 0; i < indices.size(); ++i) scanTarget(i);
+  }
+
+  for (std::size_t ti = 0; ti < indices.size(); ++ti) {
+    if (!perTarget[ti].empty()) ++result.trajectoriesMatched;
+    for (const auto& m : perTarget[ti]) result.matches.push_back(m);
+  }
+  return result;
+}
+
+}  // namespace svq::core

@@ -1,0 +1,91 @@
+// similarity.h — similarity highlighting (§IV.C.2's originally-envisioned
+// use of the coordinated brush).
+//
+// "The user can brush a portion of one interesting trajectory, which
+// would cause trajectories with a similar movement pattern to be
+// highlighted." The pipeline:
+//
+//   1. the brushed portion of the *source* trajectory (its samples lying
+//      on painted texels) is extracted as the query sub-path;
+//   2. the query is resampled to a fixed point count and translated to
+//      the origin (shape, not position, is what "similar movement
+//      pattern" means — and optionally position-sensitive matching is
+//      available);
+//   3. every other displayed trajectory is scanned with a sliding window
+//      of comparable duration; windows within a DTW threshold produce
+//      segment highlights, rendered exactly like brush-crossing ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/brush.h"
+#include "core/query.h"
+#include "traj/dataset.h"
+#include "traj/dtw.h"
+
+namespace svq::core {
+
+struct SimilarityParams {
+  /// Points the query and each candidate window are resampled to.
+  std::size_t resampleCount = 24;
+  /// Normalized-DTW threshold (cm per step) below which a window matches.
+  float matchThresholdCm = 3.0f;
+  /// Sakoe–Chiba band as a fraction of resampleCount (<0 disables).
+  float bandFraction = 0.25f;
+  /// Window stride as a fraction of the query duration.
+  float strideFraction = 0.25f;
+  /// Translate shapes to a common origin before comparing (shape match);
+  /// false compares in absolute arena coordinates.
+  bool translationInvariant = true;
+  /// Evaluate targets in parallel.
+  bool parallel = true;
+};
+
+/// The query sub-path extracted from the source trajectory.
+struct SimilarityQuery {
+  std::vector<Vec2> shape;   ///< resampled (and possibly origin-shifted)
+  float durationS = 0.0f;    ///< duration of the brushed portion
+  std::size_t sourceIndex = 0;
+  bool valid() const { return shape.size() >= 2 && durationS > 0.0f; }
+};
+
+/// One matched window on a target trajectory.
+struct SimilarityMatch {
+  std::uint32_t trajectoryIndex = 0;
+  std::size_t beginSample = 0;  ///< first sample of the matched window
+  std::size_t endSample = 0;    ///< one-past-last sample
+  float distance = 0.0f;        ///< normalized DTW (cm/step)
+};
+
+/// Result mirrors QueryResult's highlight layout so scenes can render it
+/// with the same machinery.
+struct SimilarityResult {
+  SimilarityQuery query;
+  std::vector<SimilarityMatch> matches;
+  /// segmentHighlights[i][s] uses `highlightBrush` for matched windows.
+  std::vector<std::vector<std::int8_t>> segmentHighlights;
+  std::size_t trajectoriesMatched = 0;
+};
+
+/// Extracts the brushed portion of `source`: the longest contiguous run
+/// of samples covered by `brushIndex` paint. Returns an invalid query if
+/// fewer than two samples are covered.
+SimilarityQuery extractBrushedQuery(const traj::Trajectory& source,
+                                    std::uint32_t sourceIndex,
+                                    const BrushGrid& brush,
+                                    std::int8_t brushIndex,
+                                    const SimilarityParams& params);
+
+/// Scans the listed trajectories for windows similar to the query.
+/// The source trajectory may be included; its own matched windows
+/// (trivially, the query itself) highlight too, which is what the wall
+/// shows. `highlightBrush` selects the highlight color index.
+SimilarityResult findSimilar(const traj::TrajectoryDataset& dataset,
+                             std::span<const std::uint32_t> indices,
+                             const SimilarityQuery& query,
+                             const SimilarityParams& params,
+                             std::int8_t highlightBrush = 2);
+
+}  // namespace svq::core

@@ -1,0 +1,119 @@
+#include "core/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ui/events.h"
+#include "util/logging.h"
+
+namespace svq::core {
+
+namespace {
+constexpr std::uint32_t kSnapshotMagic = 0x53565150u;  // "SVQP"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+net::MessageBuffer saveSnapshot(const VisualQueryApp& app) {
+  net::MessageBuffer buf;
+  buf.putU32(kSnapshotMagic);
+  buf.putU32(kVersion);
+  buf.putU8(static_cast<std::uint8_t>(app.activePreset()));
+
+  const auto& groups = app.groups().groups();
+  buf.putU32(static_cast<std::uint32_t>(groups.size()));
+  for (const TrajectoryGroup& g : groups) {
+    buf.putU8(g.id);
+    buf.putString(g.name);
+    buf.putRect(g.cellRect);
+    ui::serializeMetaFilter(buf, g.filter);
+    buf.putU8(g.colorIndex);
+    buf.putU32(g.pageOffset);
+  }
+
+  const auto& strokes = app.brush().strokes();
+  buf.putU32(static_cast<std::uint32_t>(strokes.size()));
+  for (const BrushStroke& s : strokes) {
+    buf.putU8(static_cast<std::uint8_t>(s.brushIndex));
+    buf.putVec2(s.centerCm);
+    buf.putF32(s.radiusCm);
+  }
+
+  buf.putF32(app.timeWindow().lo());
+  buf.putF32(app.timeWindow().hi());
+  buf.putF32(app.stereoControls().depthOffsetCm().value());
+  buf.putF32(app.stereoControls().timeScaleCmPerS().value());
+  return buf;
+}
+
+bool restoreSnapshot(VisualQueryApp& app, net::MessageBuffer snapshot) {
+  try {
+    snapshot.rewind();
+    if (snapshot.getU32() != kSnapshotMagic) return false;
+    if (snapshot.getU32() != kVersion) return false;
+
+    const std::uint8_t preset = snapshot.getU8();
+    if (preset >= app.layoutPresets().size()) return false;
+    if (!app.apply(ui::LayoutSwitchEvent{preset})) return false;
+
+    app.groups().clear();
+    const std::uint32_t groupCount = snapshot.getU32();
+    const LayoutConfig& cfg = app.layoutPresets()[preset];
+    for (std::uint32_t i = 0; i < groupCount; ++i) {
+      TrajectoryGroup g;
+      g.id = snapshot.getU8();
+      g.name = snapshot.getString();
+      g.cellRect = snapshot.getRect();
+      g.filter = ui::deserializeMetaFilter(snapshot);
+      g.colorIndex = snapshot.getU8();
+      g.pageOffset = snapshot.getU32();
+      if (!app.groups().define(g, cfg.cellsX, cfg.cellsY)) return false;
+      // define() copies; restore the page offset on the stored group.
+      app.groups().find(g.id)->pageOffset = g.pageOffset;
+    }
+
+    app.apply(ui::BrushClearEvent{255});
+    const std::uint32_t strokeCount = snapshot.getU32();
+    for (std::uint32_t i = 0; i < strokeCount; ++i) {
+      ui::BrushStrokeEvent e;
+      e.brushIndex = snapshot.getU8();
+      e.centerCm = snapshot.getVec2();
+      e.radiusCm = snapshot.getF32();
+      if (!app.apply(e)) return false;
+    }
+
+    ui::TimeWindowEvent window;
+    window.t0 = snapshot.getF32();
+    window.t1 = snapshot.getF32();
+    app.apply(window);
+    app.apply(ui::DepthOffsetEvent{snapshot.getF32()});
+    app.apply(ui::TimeScaleEvent{snapshot.getF32()});
+    app.refreshAssignment();
+    return true;
+  } catch (const net::MessageError&) {
+    return false;
+  }
+}
+
+bool saveSnapshotFile(const VisualQueryApp& app, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SVQ_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  const auto buf = saveSnapshot(app);
+  out.write(reinterpret_cast<const char*>(buf.bytes().data()),
+            static_cast<std::streamsize>(buf.size()));
+  return static_cast<bool>(out);
+}
+
+bool restoreSnapshotFile(VisualQueryApp& app, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string data = ss.str();
+  std::vector<std::uint8_t> bytes(data.begin(), data.end());
+  return restoreSnapshot(app, net::MessageBuffer(std::move(bytes)));
+}
+
+}  // namespace svq::core

@@ -1,0 +1,87 @@
+#include "net/comm.h"
+
+#include <bit>
+
+namespace svq::net {
+
+bool Communicator::barrier() {
+  const int tag = nextEpochTag();
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      if (!transport_->recv(0, kAnySource, tag)) return false;
+    }
+    for (int r = 1; r < size(); ++r) {
+      if (!transport_->send(0, r, tag, MessageBuffer{})) return false;
+    }
+    return true;
+  }
+  if (!transport_->send(rank_, 0, tag, MessageBuffer{})) return false;
+  return transport_->recv(rank_, 0, tag).has_value();
+}
+
+bool Communicator::broadcast(int root, MessageBuffer& data) {
+  const int tag = nextEpochTag();
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      if (!transport_->send(root, r, tag, data)) return false;
+    }
+    data.rewind();
+    return true;
+  }
+  auto env = transport_->recv(rank_, root, tag);
+  if (!env) return false;
+  data = std::move(env->payload);
+  data.rewind();
+  return true;
+}
+
+bool Communicator::gather(int root, MessageBuffer data,
+                          std::vector<MessageBuffer>& out) {
+  const int tag = nextEpochTag();
+  out.clear();
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = std::move(data);
+    for (int i = 0; i < size() - 1; ++i) {
+      auto env = transport_->recv(root, kAnySource, tag);
+      if (!env) return false;
+      out[static_cast<std::size_t>(env->source)] = std::move(env->payload);
+    }
+    for (auto& b : out) b.rewind();
+    return true;
+  }
+  return transport_->send(rank_, root, tag, std::move(data));
+}
+
+bool Communicator::allreduceSum(std::vector<double>& values) {
+  MessageBuffer buf;
+  buf.putU32(static_cast<std::uint32_t>(values.size()));
+  for (double v : values) buf.putU64(std::bit_cast<std::uint64_t>(v));
+
+  std::vector<MessageBuffer> gathered;
+  if (!gather(0, std::move(buf), gathered)) return false;
+
+  MessageBuffer result;
+  if (rank_ == 0) {
+    std::vector<double> sum(values.size(), 0.0);
+    for (auto& contrib : gathered) {
+      const std::uint32_t n = contrib.getU32();
+      if (n != sum.size()) return false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        sum[i] += std::bit_cast<double>(contrib.getU64());
+      }
+    }
+    result.putU32(static_cast<std::uint32_t>(sum.size()));
+    for (double v : sum) result.putU64(std::bit_cast<std::uint64_t>(v));
+  }
+  if (!broadcast(0, result)) return false;
+  const std::uint32_t n = result.getU32();
+  values.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    values[i] = std::bit_cast<double>(result.getU64());
+  }
+  return true;
+}
+
+}  // namespace svq::net

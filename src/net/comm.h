@@ -1,0 +1,66 @@
+// comm.h — communicator: collectives over the point-to-point transport.
+//
+// A Communicator binds one rank to a transport and layers the collective
+// operations the cluster-render protocol needs: barrier, broadcast,
+// gather, and allreduce. Collectives use a reserved tag namespace and a
+// per-communicator epoch counter so user traffic and successive
+// collectives never collide.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace svq::net {
+
+/// Reserved tag space for collective operations; user tags must be >= 0
+/// and < kCollectiveTagBase.
+inline constexpr int kCollectiveTagBase = 1 << 24;
+
+/// Per-rank handle with MPI-like semantics. Not thread-safe per instance;
+/// each rank thread owns exactly one Communicator.
+class Communicator {
+ public:
+  Communicator(InProcessTransport& transport, int rank)
+      : transport_(&transport), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return transport_->rankCount(); }
+  InProcessTransport& transport() const { return *transport_; }
+
+  /// Point-to-point, user tag space.
+  bool send(int dst, int tag, MessageBuffer payload) {
+    return transport_->send(rank_, dst, tag, std::move(payload));
+  }
+  std::optional<Envelope> recv(int source = kAnySource, int tag = kAnyTag) {
+    return transport_->recv(rank_, source, tag);
+  }
+
+  /// Blocks until every rank has entered the same barrier call.
+  /// Central-counter algorithm: ranks report to 0, 0 releases everyone.
+  /// Returns false on transport shutdown.
+  bool barrier();
+
+  /// Root's buffer is copied to all ranks; others' input is ignored.
+  /// Every rank receives the broadcast payload in `data`.
+  bool broadcast(int root, MessageBuffer& data);
+
+  /// Every rank contributes `data`; on root, `out` receives size() buffers
+  /// indexed by rank. Non-root ranks get an empty `out`.
+  bool gather(int root, MessageBuffer data, std::vector<MessageBuffer>& out);
+
+  /// Element-wise double-sum reduction of equal-length vectors; result is
+  /// delivered to every rank (reduce-to-root + broadcast).
+  bool allreduceSum(std::vector<double>& values);
+
+ private:
+  int nextEpochTag() { return kCollectiveTagBase + (epoch_++ & 0xFFFFFF); }
+
+  InProcessTransport* transport_;
+  int rank_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace svq::net

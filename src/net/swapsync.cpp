@@ -1,0 +1,14 @@
+#include "net/swapsync.h"
+
+namespace svq::net {
+
+bool SwapGroup::ready(std::uint64_t frameId) {
+  (void)frameId;  // the barrier epoch sequencing already orders frames
+  Stopwatch timer;
+  const bool ok = comm_->barrier();
+  waitStats_.add(timer.elapsedSeconds());
+  if (ok) ++framesSwapped_;
+  return ok;
+}
+
+}  // namespace svq::net

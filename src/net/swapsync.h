@@ -1,0 +1,38 @@
+// swapsync.h — frame swap synchronization.
+//
+// Tiled display walls must swap every panel's backbuffer in the same
+// vertical retrace or the wall visibly tears along tile seams. The
+// SwapGroup reproduces the swap-barrier protocol: each node signals
+// readiness for frame N and blocks until all members are ready; the
+// per-node wait time is recorded so the benches can report barrier
+// overhead and load imbalance (the slowest tile gates the frame).
+//
+// NOTE (like all collectives): every member must call ready() for the
+// same sequence of frame ids.
+#pragma once
+
+#include "net/comm.h"
+#include "util/stopwatch.h"
+
+namespace svq::net {
+
+class SwapGroup {
+ public:
+  explicit SwapGroup(Communicator& comm) : comm_(&comm) {}
+
+  /// Signals that this rank finished rendering frame `frameId` and blocks
+  /// until every rank has. Returns false on transport shutdown.
+  bool ready(std::uint64_t frameId);
+
+  /// Cumulative time this rank has spent blocked in ready().
+  const TimingStats& waitStats() const { return waitStats_; }
+
+  std::uint64_t framesSwapped() const { return framesSwapped_; }
+
+ private:
+  Communicator* comm_;
+  TimingStats waitStats_;
+  std::uint64_t framesSwapped_ = 0;
+};
+
+}  // namespace svq::net

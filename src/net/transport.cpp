@@ -1,0 +1,96 @@
+#include "net/transport.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+
+namespace svq::net {
+
+InProcessTransport::InProcessTransport(int rankCount, NetworkModel network)
+    : network_(network) {
+  assert(rankCount > 0);
+  mailboxes_.reserve(static_cast<std::size_t>(rankCount));
+  for (int i = 0; i < rankCount; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+bool InProcessTransport::send(int srcRank, int dstRank, int tag,
+                              MessageBuffer payload) {
+  if (shutdown_.load(std::memory_order_acquire)) return false;
+  assert(dstRank >= 0 && dstRank < rankCount());
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dstRank)];
+  messagesSent_.fetch_add(1, std::memory_order_relaxed);
+  bytesSent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  Clock::time_point deliverAt = Clock::now();
+  if (!network_.instantaneous()) {
+    deliverAt += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(
+            network_.transferSeconds(payload.size())));
+  }
+  {
+    std::lock_guard lock(box.mutex);
+    box.queue.push_back(
+        Queued{Envelope{srcRank, tag, std::move(payload)}, deliverAt});
+  }
+  box.arrived.notify_all();
+  return true;
+}
+
+std::optional<Envelope> InProcessTransport::recv(int rank, int source,
+                                                 int tag) {
+  assert(rank >= 0 && rank < rankCount());
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    // Earliest matching-but-not-yet-deliverable message, if any.
+    std::optional<Clock::time_point> earliestPending;
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (!matches(it->envelope, source, tag)) continue;
+      if (it->deliverAt <= now) {
+        Envelope e = std::move(it->envelope);
+        box.queue.erase(it);
+        return e;
+      }
+      if (!earliestPending || it->deliverAt < *earliestPending) {
+        earliestPending = it->deliverAt;
+      }
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return std::nullopt;
+    if (earliestPending) {
+      box.arrived.wait_until(lock, *earliestPending);
+    } else {
+      box.arrived.wait(lock);
+    }
+  }
+}
+
+bool InProcessTransport::probe(int rank, int source, int tag) {
+  assert(rank >= 0 && rank < rankCount());
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const Clock::time_point now = Clock::now();
+  std::lock_guard lock(box.mutex);
+  for (const Queued& q : box.queue) {
+    if (matches(q.envelope, source, tag) && q.deliverAt <= now) return true;
+  }
+  return false;
+}
+
+void InProcessTransport::shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box->mutex);
+    box->arrived.notify_all();
+  }
+}
+
+std::uint64_t InProcessTransport::messagesSent() const {
+  return messagesSent_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t InProcessTransport::bytesSent() const {
+  return bytesSent_.load(std::memory_order_relaxed);
+}
+
+}  // namespace svq::net

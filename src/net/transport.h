@@ -1,0 +1,115 @@
+// transport.h — in-process rank-to-rank message transport.
+//
+// Substitute for the paper's cluster interconnect. The transport gives N
+// ranks (threads) mailboxes with blocking tagged receive — the same
+// send/recv semantics an MPI program over TCP would see, so the cluster
+// rendering protocol built on top is the real, paper-relevant code path.
+// Messages are copied on send (no shared mutable state), preserving the
+// distributed-memory model.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+
+namespace svq::net {
+
+/// Wildcard values for recv matching.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A delivered message.
+struct Envelope {
+  int source = 0;
+  int tag = 0;
+  MessageBuffer payload;
+};
+
+/// Interconnect model for ablation studies: each message becomes
+/// receivable only latency + size/bandwidth after it is sent, emulating
+/// the cluster network the paper's wall ran over. Zero values (default)
+/// mean instantaneous delivery.
+struct NetworkModel {
+  double latencySeconds = 0.0;          ///< per-message one-way latency
+  double bytesPerSecond = 0.0;          ///< link bandwidth; 0 = infinite
+
+  double transferSeconds(std::size_t bytes) const {
+    double t = latencySeconds;
+    if (bytesPerSecond > 0.0) {
+      t += static_cast<double>(bytes) / bytesPerSecond;
+    }
+    return t;
+  }
+  bool instantaneous() const {
+    return latencySeconds <= 0.0 && bytesPerSecond <= 0.0;
+  }
+
+  /// Gigabit-Ethernet-ish model (50 us latency, ~118 MB/s payload rate).
+  static NetworkModel gigabitEthernet() { return {50e-6, 118e6}; }
+  /// 10 GbE-ish model.
+  static NetworkModel tenGigabitEthernet() { return {20e-6, 1.18e9}; }
+};
+
+/// N-rank in-process transport with per-rank FIFO mailboxes.
+///
+/// Thread-safe. Each rank should be driven by its own thread; recv blocks
+/// until a matching message arrives or shutdown() is called.
+class InProcessTransport {
+ public:
+  explicit InProcessTransport(int rankCount, NetworkModel network = {});
+
+  int rankCount() const { return static_cast<int>(mailboxes_.size()); }
+
+  /// Copies the payload into dst's mailbox. Returns false after shutdown.
+  bool send(int srcRank, int dstRank, int tag, MessageBuffer payload);
+
+  /// Blocking receive for `rank`, matching source/tag (wildcards allowed).
+  /// FIFO per (source, tag) pair; messages from other sources/tags stay
+  /// queued. Returns nullopt if the transport is shut down while waiting.
+  std::optional<Envelope> recv(int rank, int source = kAnySource,
+                               int tag = kAnyTag);
+
+  /// Non-blocking probe: true iff a matching message is queued.
+  bool probe(int rank, int source = kAnySource, int tag = kAnyTag);
+
+  /// Wakes all blocked receivers; subsequent recv/send calls fail fast.
+  void shutdown();
+
+  /// Total messages and bytes ever sent (traffic accounting for benches).
+  std::uint64_t messagesSent() const;
+  std::uint64_t bytesSent() const;
+
+  const NetworkModel& network() const { return network_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Queued {
+    Envelope envelope;
+    Clock::time_point deliverAt;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::deque<Queued> queue;
+  };
+
+  bool matches(const Envelope& e, int source, int tag) const {
+    return (source == kAnySource || e.source == source) &&
+           (tag == kAnyTag || e.tag == tag);
+  }
+
+  NetworkModel network_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> messagesSent_{0};
+  std::atomic<std::uint64_t> bytesSent_{0};
+};
+
+}  // namespace svq::net

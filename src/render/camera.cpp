@@ -1,0 +1,22 @@
+#include "render/camera.h"
+
+#include <cmath>
+
+namespace svq::render {
+
+void OrthoStereoCamera::clampToComfort(float maxDurationS) {
+  if (maxDurationS <= 0.0f || comfortable(maxDurationS)) return;
+  const float budgetCm =
+      settings_.maxComfortParallaxPx / settings_.parallaxPxPerCm;
+  // Depth at the far end of the time axis must satisfy
+  // |t*scale + offset| <= budget; the near end (t=0) is |offset|.
+  const float offset = settings_.depthOffsetCm;
+  if (std::abs(offset) >= budgetCm) {
+    // Offset alone violates comfort: pull it inside the budget first.
+    settings_.depthOffsetCm = offset > 0.0f ? budgetCm : -budgetCm;
+  }
+  const float room = budgetCm - settings_.depthOffsetCm;
+  settings_.timeScaleCmPerS = std::max(0.0f, room / maxDurationS);
+}
+
+}  // namespace svq::render

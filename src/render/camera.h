@@ -1,0 +1,92 @@
+// camera.h — orthographic stereoscopic projection.
+//
+// The paper renders each trajectory as a space-time cube: XY on the
+// display surface, time extruded along Z *out of* the display, viewed in
+// orthographic projection with one image per eye (polarized stereo).
+// Under an orthographic stereo model, depth appears purely as horizontal
+// screen parallax: a point floating z cm in front of the wall is drawn
+// shifted left in the right-eye image and right in the left-eye image.
+//
+// The two ergonomic sliders of §IV.C.2 are first-class here:
+//   * timeScaleCmPerS — (de)exaggerates the time axis (seconds -> cm);
+//   * depthOffsetCm   — pushes the whole cube in front of / behind the
+//                       display surface;
+// and comfort checking bounds the maximum binocular parallax.
+#pragma once
+
+#include "util/geometry.h"
+
+namespace svq::render {
+
+enum class Eye { kLeft = 0, kRight = 1, kCenter = 2 };
+
+/// Stereo projection parameters (the state the ergonomic sliders edit).
+struct StereoSettings {
+  /// Time exaggeration: how many cm of depth one second of tracking maps to.
+  float timeScaleCmPerS = 0.25f;
+  /// Depth-plane offset: added to every point's depth (cm). Negative pushes
+  /// content behind the display surface.
+  float depthOffsetCm = 0.0f;
+  /// Display geometry factor: horizontal pixels of total binocular
+  /// parallax produced by 1 cm of depth. Derived from viewer distance,
+  /// interocular distance and pixel pitch; ~1.8 px/cm for the paper's
+  /// wall viewed from 3 m.
+  float parallaxPxPerCm = 1.8f;
+  /// Comfort bound on |parallax| in pixels (Lambooij et al. guidance).
+  float maxComfortParallaxPx = 60.0f;
+};
+
+/// Orthographic stereo camera over wall-space pixels.
+class OrthoStereoCamera {
+ public:
+  explicit OrthoStereoCamera(StereoSettings settings = {})
+      : settings_(settings) {}
+
+  const StereoSettings& settings() const { return settings_; }
+  StereoSettings& settings() { return settings_; }
+
+  /// Depth in cm of a sample at time t (seconds since trajectory start).
+  float depthCm(float tSeconds) const {
+    return tSeconds * settings_.timeScaleCmPerS + settings_.depthOffsetCm;
+  }
+
+  /// Total binocular parallax (px) at time t; sign: positive = in front.
+  float parallaxPx(float tSeconds) const {
+    return depthCm(tSeconds) * settings_.parallaxPxPerCm;
+  }
+
+  /// Projects a wall-space base position with a given sample time for one
+  /// eye. Center gives the mono (zero-parallax) image.
+  Vec2 project(Vec2 basePx, float tSeconds, Eye eye) const {
+    const float p = parallaxPx(tSeconds);
+    switch (eye) {
+      case Eye::kLeft: return {basePx.x + 0.5f * p, basePx.y};
+      case Eye::kRight: return {basePx.x - 0.5f * p, basePx.y};
+      case Eye::kCenter: return basePx;
+    }
+    return basePx;
+  }
+
+  /// Largest |parallax| over a trajectory spanning [0, maxDurationS].
+  float maxAbsParallaxPx(float maxDurationS) const {
+    const float p0 = parallaxPx(0.0f);
+    const float p1 = parallaxPx(maxDurationS);
+    return std::max(std::abs(p0), std::abs(p1));
+  }
+
+  /// True iff the whole duration stays within the comfort bound.
+  bool comfortable(float maxDurationS) const {
+    return maxAbsParallaxPx(maxDurationS) <= settings_.maxComfortParallaxPx;
+  }
+
+  /// Adjusts timeScaleCmPerS (keeping depthOffset) so that the maximum
+  /// parallax over [0, maxDurationS] equals the comfort bound — what a
+  /// user does with the exaggeration slider when content pops too far.
+  /// No-op when already comfortable or maxDurationS <= 0.
+  void clampToComfort(float maxDurationS);
+
+ private:
+  StereoSettings settings_;
+};
+
+}  // namespace svq::render

@@ -1,0 +1,59 @@
+#include "render/color.h"
+
+namespace svq::render {
+
+Color Color::lerp(Color x, Color y, float t) {
+  t = svq::clamp(t, 0.0f, 1.0f);
+  auto mix = [t](std::uint8_t a, std::uint8_t b) {
+    return static_cast<std::uint8_t>(
+        static_cast<float>(a) + (static_cast<float>(b) - static_cast<float>(a)) * t + 0.5f);
+  };
+  return {mix(x.r, y.r), mix(x.g, y.g), mix(x.b, y.b), mix(x.a, y.a)};
+}
+
+Color Color::over(Color dst, Color src) {
+  if (src.a == 255) return src;
+  if (src.a == 0) return dst;
+  const float sa = static_cast<float>(src.a) / 255.0f;
+  auto mix = [sa](std::uint8_t d, std::uint8_t s) {
+    return static_cast<std::uint8_t>(
+        static_cast<float>(d) * (1.0f - sa) + static_cast<float>(s) * sa + 0.5f);
+  };
+  return {mix(dst.r, src.r), mix(dst.g, src.g), mix(dst.b, src.b), 255};
+}
+
+Color Color::scaled(float factor) const {
+  auto s = [factor](std::uint8_t v) {
+    const float x = static_cast<float>(v) * factor;
+    return static_cast<std::uint8_t>(svq::clamp(x, 0.0f, 255.0f));
+  };
+  return {s(r), s(g), s(b), a};
+}
+
+Color groupBackground(std::size_t groupIndex) {
+  // Dark tints of the Fig. 3 scheme: blue (on-trail), red (west),
+  // yellow (east), gray (north), green (south), then wrap with variants.
+  static constexpr Color kTints[] = {
+      {28, 38, 64, 255},   // blue
+      {64, 28, 28, 255},   // red
+      {60, 56, 24, 255},   // yellow
+      {44, 44, 48, 255},   // gray
+      {26, 52, 30, 255},   // green
+      {52, 30, 58, 255},   // purple
+      {24, 52, 52, 255},   // teal
+      {58, 42, 24, 255},   // orange
+  };
+  return kTints[groupIndex % (sizeof(kTints) / sizeof(kTints[0]))];
+}
+
+Color brushColor(std::size_t brushIndex) {
+  static constexpr Color kBrushes[] = {
+      colors::kRed, colors::kGreen, colors::kBlue,
+      {230, 120, 30, 255},   // orange
+      {180, 60, 200, 255},   // magenta
+      {40, 200, 200, 255},   // cyan
+  };
+  return kBrushes[brushIndex % (sizeof(kBrushes) / sizeof(kBrushes[0]))];
+}
+
+}  // namespace svq::render

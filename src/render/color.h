@@ -1,0 +1,62 @@
+// color.h — 8-bit RGBA color and the palettes used by the application.
+//
+// Group background tints follow Figure 3 of the paper (blue = on-trail,
+// red = west, yellow = east, gray = north, green = south); brush/highlight
+// colors follow Figure 5 (red, green, blue paintbrushes).
+#pragma once
+
+#include <cstdint>
+
+#include "util/geometry.h"
+
+namespace svq::render {
+
+struct Color {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+  std::uint8_t a = 255;
+
+  constexpr bool operator==(const Color&) const = default;
+
+  /// Component-wise linear interpolation (t clamped to [0,1]).
+  static Color lerp(Color x, Color y, float t);
+
+  /// Source-over alpha blend of `src` onto `dst`.
+  static Color over(Color dst, Color src);
+
+  /// Uniformly darken/lighten: factor 1 = unchanged, < 1 darker.
+  Color scaled(float factor) const;
+
+  constexpr Color withAlpha(std::uint8_t alpha) const {
+    return {r, g, b, alpha};
+  }
+
+  constexpr std::uint32_t packed() const {
+    return (static_cast<std::uint32_t>(r) << 24) |
+           (static_cast<std::uint32_t>(g) << 16) |
+           (static_cast<std::uint32_t>(b) << 8) | a;
+  }
+};
+
+namespace colors {
+inline constexpr Color kBlack{0, 0, 0, 255};
+inline constexpr Color kWhite{255, 255, 255, 255};
+inline constexpr Color kRed{220, 50, 47, 255};
+inline constexpr Color kGreen{70, 160, 70, 255};
+inline constexpr Color kBlue{50, 110, 220, 255};
+inline constexpr Color kYellow{200, 180, 60, 255};
+inline constexpr Color kGray{110, 110, 110, 255};
+inline constexpr Color kDarkBg{18, 18, 24, 255};
+inline constexpr Color kTrajectory{230, 230, 235, 255};
+inline constexpr Color kBezel{5, 5, 5, 255};
+}  // namespace colors
+
+/// Background tint for a trajectory group, matching Fig. 3's scheme.
+/// Index is arbitrary but stable; tints are kept dark so strokes pop.
+Color groupBackground(std::size_t groupIndex);
+
+/// Brush highlight palette (Fig. 5): saturated, pre-attentive colors.
+Color brushColor(std::size_t brushIndex);
+
+}  // namespace svq::render

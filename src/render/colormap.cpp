@@ -1,0 +1,66 @@
+#include "render/colormap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::render {
+
+Color sequentialColormap(float u) {
+  u = svq::clamp(u, 0.0f, 1.0f);
+  // Piecewise-linear ramp through magma-like control points.
+  struct Stop {
+    float u;
+    Color c;
+  };
+  static constexpr Stop kStops[] = {
+      {0.00f, {5, 4, 25, 255}},
+      {0.25f, {80, 18, 100, 255}},
+      {0.50f, {180, 45, 100, 255}},
+      {0.75f, {250, 120, 60, 255}},
+      {1.00f, {252, 250, 190, 255}},
+  };
+  for (std::size_t i = 1; i < std::size(kStops); ++i) {
+    if (u <= kStops[i].u) {
+      const float t =
+          (u - kStops[i - 1].u) / (kStops[i].u - kStops[i - 1].u);
+      return Color::lerp(kStops[i - 1].c, kStops[i].c, t);
+    }
+  }
+  return kStops[std::size(kStops) - 1].c;
+}
+
+void drawDensityField(const Canvas& canvas, const RectI& rect,
+                      const traj::OccupancyGrid& grid, float maxValue,
+                      float gamma) {
+  if (rect.empty()) return;
+  const float peak = maxValue > 0.0f ? maxValue : grid.maxSeconds();
+  if (peak <= 0.0f) {
+    fillRect(canvas, rect, sequentialColormap(0.0f));
+    return;
+  }
+  const RectI clipped = rect.clipped(canvas.region);
+  const float R = grid.arenaRadiusCm();
+  for (int y = clipped.y; y < clipped.y + clipped.h; ++y) {
+    for (int x = clipped.x; x < clipped.x + clipped.w; ++x) {
+      // Pixel centre -> arena cm (y flipped so north is up).
+      const float u =
+          (static_cast<float>(x - rect.x) + 0.5f) / static_cast<float>(rect.w);
+      const float v =
+          (static_cast<float>(y - rect.y) + 0.5f) / static_cast<float>(rect.h);
+      const Vec2 arena{(u * 2.0f - 1.0f) * R, (1.0f - v * 2.0f) * R};
+      const float density = grid.at(arena) / peak;
+      canvas.set(x, y,
+                 sequentialColormap(std::pow(density, gamma)));
+    }
+  }
+}
+
+Framebuffer renderDensityImage(const traj::OccupancyGrid& grid, int sizePx,
+                               float gamma) {
+  Framebuffer fb(sizePx, sizePx);
+  drawDensityField(Canvas::whole(fb), {0, 0, sizePx, sizePx}, grid, -1.0f,
+                   gamma);
+  return fb;
+}
+
+}  // namespace svq::render

@@ -1,0 +1,30 @@
+// colormap.h — sequential colormaps and density-field rendering.
+//
+// Renders traj::OccupancyGrid fields as heat images: the aggregate
+// "general shape without high-frequency detail" overview of §VI.C.
+// The default ramp is a perceptually-ordered dark-to-bright sequence
+// (inspired by magma): monotonically increasing luminance so density
+// ordering survives in grayscale reproduction.
+#pragma once
+
+#include "render/framebuffer.h"
+#include "render/rasterizer.h"
+#include "traj/occupancy.h"
+
+namespace svq::render {
+
+/// Sequential colormap sample at u in [0, 1] (clamped).
+Color sequentialColormap(float u);
+
+/// Renders a density field into a rect on a canvas. Values are scaled by
+/// `maxValue` (<= 0 means use the grid's own maximum); gamma < 1
+/// brightens the low end, making sparse structure visible.
+void drawDensityField(const Canvas& canvas, const RectI& rect,
+                      const traj::OccupancyGrid& grid,
+                      float maxValue = -1.0f, float gamma = 0.5f);
+
+/// Convenience: standalone density image of the given size.
+Framebuffer renderDensityImage(const traj::OccupancyGrid& grid, int sizePx,
+                               float gamma = 0.5f);
+
+}  // namespace svq::render

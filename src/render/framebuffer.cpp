@@ -1,0 +1,74 @@
+#include "render/framebuffer.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace svq::render {
+
+Framebuffer::Framebuffer(int width, int height, Color fill)
+    : width_(std::max(0, width)), height_(std::max(0, height)) {
+  pixels_.assign(pixelCount(), fill);
+}
+
+void Framebuffer::clear(Color c) {
+  std::fill(pixels_.begin(), pixels_.end(), c);
+}
+
+void Framebuffer::blit(const Framebuffer& src, int dstX, int dstY) {
+  const RectI target = RectI{dstX, dstY, src.width_, src.height_}.clipped(rect());
+  if (target.empty()) return;
+  for (int y = 0; y < target.h; ++y) {
+    const int sy = target.y - dstY + y;
+    const int sx = target.x - dstX;
+    const Color* srcRow = &src.pixels_[src.index(sx, sy)];
+    Color* dstRow = &pixels_[index(target.x, target.y + y)];
+    std::copy(srcRow, srcRow + target.w, dstRow);
+  }
+}
+
+std::uint64_t Framebuffer::contentHash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (const Color& c : pixels_) {
+    mix(c.r);
+    mix(c.g);
+    mix(c.b);
+    mix(c.a);
+  }
+  return h;
+}
+
+std::size_t Framebuffer::countPixels(Color c) const {
+  return static_cast<std::size_t>(
+      std::count(pixels_.begin(), pixels_.end(), c));
+}
+
+std::string Framebuffer::toPpm() const {
+  std::string out = "P6\n" + std::to_string(width_) + " " +
+                    std::to_string(height_) + "\n255\n";
+  out.reserve(out.size() + pixelCount() * 3);
+  for (const Color& c : pixels_) {
+    out.push_back(static_cast<char>(c.r));
+    out.push_back(static_cast<char>(c.g));
+    out.push_back(static_cast<char>(c.b));
+  }
+  return out;
+}
+
+bool Framebuffer::savePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SVQ_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  const std::string data = toPpm();
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace svq::render

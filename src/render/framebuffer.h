@@ -1,0 +1,80 @@
+// framebuffer.h — CPU framebuffer: the render target of the software
+// rasterizer. One instance per eye per tile in the cluster renderer; the
+// wall compositor stitches tile framebuffers into a full wall image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "render/color.h"
+#include "util/geometry.h"
+
+namespace svq::render {
+
+/// Dense row-major RGBA8 image with bounds-checked pixel helpers.
+class Framebuffer {
+ public:
+  Framebuffer() = default;
+  Framebuffer(int width, int height, Color fill = colors::kBlack);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+  RectI rect() const { return {0, 0, width_, height_}; }
+  std::size_t pixelCount() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  void clear(Color c);
+
+  /// Unchecked access; caller guarantees 0<=x<width, 0<=y<height.
+  Color& at(int x, int y) { return pixels_[index(x, y)]; }
+  const Color& at(int x, int y) const { return pixels_[index(x, y)]; }
+
+  /// Checked set: silently ignores out-of-bounds writes (clipping net).
+  void set(int x, int y, Color c) {
+    if (x >= 0 && x < width_ && y >= 0 && y < height_) at(x, y) = c;
+  }
+
+  /// Checked alpha blend.
+  void blend(int x, int y, Color c) {
+    if (x >= 0 && x < width_ && y >= 0 && y < height_) {
+      at(x, y) = Color::over(at(x, y), c);
+    }
+  }
+
+  /// Checked read; returns `fallback` outside bounds.
+  Color get(int x, int y, Color fallback = colors::kBlack) const {
+    if (x >= 0 && x < width_ && y >= 0 && y < height_) return at(x, y);
+    return fallback;
+  }
+
+  const std::vector<Color>& pixels() const { return pixels_; }
+
+  /// Copies `src` so that its (0,0) lands at (dstX, dstY); clips.
+  void blit(const Framebuffer& src, int dstX, int dstY);
+
+  /// FNV-1a hash over raw pixel bytes — used by determinism tests to
+  /// compare cluster-rendered frames against single-rank references.
+  std::uint64_t contentHash() const;
+
+  /// Count of pixels exactly matching `c`.
+  std::size_t countPixels(Color c) const;
+
+  /// Binary PPM (P6) serialization; alpha is dropped.
+  std::string toPpm() const;
+  bool savePpm(const std::string& path) const;
+
+ private:
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Color> pixels_;
+};
+
+}  // namespace svq::render

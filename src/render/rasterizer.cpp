@@ -1,0 +1,196 @@
+#include "render/rasterizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+
+namespace svq::render {
+
+void fillRect(const Canvas& canvas, const RectI& r, Color c) {
+  const RectI clipped = r.clipped(canvas.region);
+  for (int y = clipped.y; y < clipped.y + clipped.h; ++y) {
+    for (int x = clipped.x; x < clipped.x + clipped.w; ++x) {
+      canvas.blend(x, y, c);
+    }
+  }
+}
+
+void strokeRect(const Canvas& canvas, const RectI& r, Color c) {
+  if (r.empty()) return;
+  fillRect(canvas, {r.x, r.y, r.w, 1}, c);
+  fillRect(canvas, {r.x, r.y + r.h - 1, r.w, 1}, c);
+  fillRect(canvas, {r.x, r.y + 1, 1, r.h - 2}, c);
+  fillRect(canvas, {r.x + r.w - 1, r.y + 1, 1, r.h - 2}, c);
+}
+
+void fillCircle(const Canvas& canvas, float cx, float cy, float r, Color c) {
+  if (r <= 0.0f) return;
+  const int x0 = static_cast<int>(std::floor(cx - r));
+  const int x1 = static_cast<int>(std::ceil(cx + r));
+  const int y0 = static_cast<int>(std::floor(cy - r));
+  const int y1 = static_cast<int>(std::ceil(cy + r));
+  const RectI box = RectI{x0, y0, x1 - x0 + 1, y1 - y0 + 1}.clipped(canvas.region);
+  const float r2 = r * r;
+  for (int y = box.y; y < box.y + box.h; ++y) {
+    for (int x = box.x; x < box.x + box.w; ++x) {
+      const float dx = static_cast<float>(x) + 0.5f - cx;
+      const float dy = static_cast<float>(y) + 0.5f - cy;
+      if (dx * dx + dy * dy <= r2) canvas.blend(x, y, c);
+    }
+  }
+}
+
+void drawLine(const Canvas& canvas, Vec2 a, Vec2 b, Color c) {
+  const float dx = b.x - a.x;
+  const float dy = b.y - a.y;
+  const int steps =
+      static_cast<int>(std::max(std::abs(dx), std::abs(dy))) + 1;
+  for (int i = 0; i <= steps; ++i) {
+    const float t = static_cast<float>(i) / static_cast<float>(steps);
+    canvas.blend(static_cast<int>(std::round(a.x + dx * t)),
+                 static_cast<int>(std::round(a.y + dy * t)), c);
+  }
+}
+
+void drawThickLine(const Canvas& canvas, Vec2 a, Vec2 b, float halfWidth,
+                   Color c, float feather) {
+  halfWidth = std::max(0.5f, halfWidth);
+  feather = std::max(0.25f, feather);
+  const float reach = halfWidth + feather;
+  const int x0 = static_cast<int>(std::floor(std::min(a.x, b.x) - reach));
+  const int x1 = static_cast<int>(std::ceil(std::max(a.x, b.x) + reach));
+  const int y0 = static_cast<int>(std::floor(std::min(a.y, b.y) - reach));
+  const int y1 = static_cast<int>(std::ceil(std::max(a.y, b.y) + reach));
+  const RectI box =
+      RectI{x0, y0, x1 - x0 + 1, y1 - y0 + 1}.clipped(canvas.region);
+  if (box.empty()) return;
+
+  const Vec2 ab = b - a;
+  const float len2 = ab.norm2();
+  for (int y = box.y; y < box.y + box.h; ++y) {
+    for (int x = box.x; x < box.x + box.w; ++x) {
+      const Vec2 p{static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f};
+      float dist;
+      if (len2 <= 0.0f) {
+        dist = (p - a).norm();
+      } else {
+        const float u = svq::clamp((p - a).dot(ab) / len2, 0.0f, 1.0f);
+        dist = (p - (a + ab * u)).norm();
+      }
+      if (dist >= halfWidth + feather) continue;
+      float coverage = 1.0f;
+      if (dist > halfWidth) coverage = 1.0f - (dist - halfWidth) / feather;
+      const auto alpha = static_cast<std::uint8_t>(
+          svq::clamp(coverage * static_cast<float>(c.a), 0.0f, 255.0f));
+      canvas.blend(x, y, c.withAlpha(alpha));
+    }
+  }
+}
+
+void drawThickPolyline(const Canvas& canvas, std::span<const Vec2> points,
+                       std::span<const Color> pointColors, float halfWidth) {
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    // A zero-alpha vertex is a break sentinel (temporal-window gaps):
+    // segments touching it are not drawn.
+    if (pointColors[i - 1].a == 0 || pointColors[i].a == 0) continue;
+    const Color c = Color::lerp(pointColors[i - 1], pointColors[i], 0.5f);
+    drawThickLine(canvas, points[i - 1], points[i], halfWidth, c);
+  }
+}
+
+namespace {
+
+// 5x7 font: each glyph is 7 rows of 5-bit masks (MSB = leftmost column).
+struct Glyph {
+  char ch;
+  std::uint8_t rows[7];
+};
+
+constexpr Glyph kGlyphs[] = {
+    {'0', {0x0E, 0x11, 0x13, 0x15, 0x19, 0x11, 0x0E}},
+    {'1', {0x04, 0x0C, 0x04, 0x04, 0x04, 0x04, 0x0E}},
+    {'2', {0x0E, 0x11, 0x01, 0x02, 0x04, 0x08, 0x1F}},
+    {'3', {0x1F, 0x02, 0x04, 0x02, 0x01, 0x11, 0x0E}},
+    {'4', {0x02, 0x06, 0x0A, 0x12, 0x1F, 0x02, 0x02}},
+    {'5', {0x1F, 0x10, 0x1E, 0x01, 0x01, 0x11, 0x0E}},
+    {'6', {0x06, 0x08, 0x10, 0x1E, 0x11, 0x11, 0x0E}},
+    {'7', {0x1F, 0x01, 0x02, 0x04, 0x08, 0x08, 0x08}},
+    {'8', {0x0E, 0x11, 0x11, 0x0E, 0x11, 0x11, 0x0E}},
+    {'9', {0x0E, 0x11, 0x11, 0x0F, 0x01, 0x02, 0x0C}},
+    {'A', {0x0E, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11}},
+    {'B', {0x1E, 0x11, 0x11, 0x1E, 0x11, 0x11, 0x1E}},
+    {'C', {0x0E, 0x11, 0x10, 0x10, 0x10, 0x11, 0x0E}},
+    {'D', {0x1C, 0x12, 0x11, 0x11, 0x11, 0x12, 0x1C}},
+    {'E', {0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x1F}},
+    {'F', {0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x10}},
+    {'G', {0x0E, 0x11, 0x10, 0x17, 0x11, 0x11, 0x0F}},
+    {'H', {0x11, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11}},
+    {'I', {0x0E, 0x04, 0x04, 0x04, 0x04, 0x04, 0x0E}},
+    {'J', {0x07, 0x02, 0x02, 0x02, 0x02, 0x12, 0x0C}},
+    {'K', {0x11, 0x12, 0x14, 0x18, 0x14, 0x12, 0x11}},
+    {'L', {0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x1F}},
+    {'M', {0x11, 0x1B, 0x15, 0x15, 0x11, 0x11, 0x11}},
+    {'N', {0x11, 0x19, 0x15, 0x13, 0x11, 0x11, 0x11}},
+    {'O', {0x0E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E}},
+    {'P', {0x1E, 0x11, 0x11, 0x1E, 0x10, 0x10, 0x10}},
+    {'Q', {0x0E, 0x11, 0x11, 0x11, 0x15, 0x12, 0x0D}},
+    {'R', {0x1E, 0x11, 0x11, 0x1E, 0x14, 0x12, 0x11}},
+    {'S', {0x0F, 0x10, 0x10, 0x0E, 0x01, 0x01, 0x1E}},
+    {'T', {0x1F, 0x04, 0x04, 0x04, 0x04, 0x04, 0x04}},
+    {'U', {0x11, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E}},
+    {'V', {0x11, 0x11, 0x11, 0x11, 0x11, 0x0A, 0x04}},
+    {'W', {0x11, 0x11, 0x11, 0x15, 0x15, 0x1B, 0x11}},
+    {'X', {0x11, 0x11, 0x0A, 0x04, 0x0A, 0x11, 0x11}},
+    {'Y', {0x11, 0x11, 0x0A, 0x04, 0x04, 0x04, 0x04}},
+    {'Z', {0x1F, 0x01, 0x02, 0x04, 0x08, 0x10, 0x1F}},
+    {' ', {0, 0, 0, 0, 0, 0, 0}},
+    {'-', {0, 0, 0, 0x0E, 0, 0, 0}},
+    {'.', {0, 0, 0, 0, 0, 0x0C, 0x0C}},
+    {':', {0, 0x0C, 0x0C, 0, 0x0C, 0x0C, 0}},
+    {'/', {0x01, 0x01, 0x02, 0x04, 0x08, 0x10, 0x10}},
+    {'%', {0x19, 0x19, 0x02, 0x04, 0x08, 0x13, 0x13}},
+    {'=', {0, 0, 0x1F, 0, 0x1F, 0, 0}},
+    {'(', {0x02, 0x04, 0x08, 0x08, 0x08, 0x04, 0x02}},
+    {')', {0x08, 0x04, 0x02, 0x02, 0x02, 0x04, 0x08}},
+    {'_', {0, 0, 0, 0, 0, 0, 0x1F}},
+};
+
+const Glyph* findGlyph(char c) {
+  const char up = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (const auto& g : kGlyphs) {
+    if (g.ch == up) return &g;
+  }
+  return nullptr;
+}
+
+constexpr std::uint8_t kUnknownRows[7] = {0x1F, 0x1F, 0x1F, 0x1F,
+                                          0x1F, 0x1F, 0x1F};
+
+}  // namespace
+
+void drawTextTiny(const Canvas& canvas, int x, int y, std::string_view text,
+                  Color c, int scale) {
+  scale = std::max(1, scale);
+  int cx = x;
+  for (char ch : text) {
+    const Glyph* g = findGlyph(ch);
+    const std::uint8_t* rows = g ? g->rows : kUnknownRows;
+    for (int row = 0; row < 7; ++row) {
+      for (int col = 0; col < 5; ++col) {
+        if (!(rows[row] & (0x10 >> col))) continue;
+        fillRect(canvas,
+                 {cx + col * scale, y + row * scale, scale, scale}, c);
+      }
+    }
+    cx += 6 * scale;
+  }
+}
+
+int textTinyWidth(std::string_view text, int scale) {
+  return static_cast<int>(text.size()) * 6 * std::max(1, scale);
+}
+
+int textTinyHeight(int scale) { return 7 * std::max(1, scale); }
+
+}  // namespace svq::render

@@ -1,0 +1,82 @@
+// rasterizer.h — software rasterization primitives.
+//
+// All drawing goes through a Canvas, which couples a Framebuffer with a
+// *global-coordinate* viewport: primitives take global wall pixels and the
+// canvas translates them into the framebuffer, clipping to its region.
+// This is exactly what makes sort-first tiled rendering work — a cluster
+// render-node draws the whole scene through a canvas whose viewport is its
+// own tile, and only its pixels are ever touched.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "render/color.h"
+#include "render/framebuffer.h"
+#include "util/geometry.h"
+
+namespace svq::render {
+
+/// Drawing surface = framebuffer + the global-pixel rect it represents.
+struct Canvas {
+  Framebuffer* fb = nullptr;
+  /// Global-pixel region this framebuffer covers; fb local (0,0) maps to
+  /// (region.x, region.y).
+  RectI region;
+
+  /// Full-framebuffer canvas at global origin.
+  static Canvas whole(Framebuffer& target) {
+    return {&target, target.rect()};
+  }
+
+  bool valid() const {
+    return fb != nullptr && region.w == fb->width() && region.h == fb->height();
+  }
+
+  /// Blend a global pixel (clips to the region).
+  void blend(int gx, int gy, Color c) const {
+    if (!region.contains(gx, gy)) return;
+    fb->blend(gx - region.x, gy - region.y, c);
+  }
+  void set(int gx, int gy, Color c) const {
+    if (!region.contains(gx, gy)) return;
+    fb->set(gx - region.x, gy - region.y, c);
+  }
+};
+
+/// Fills a global-space rect.
+void fillRect(const Canvas& canvas, const RectI& r, Color c);
+
+/// 1-pixel rectangle outline.
+void strokeRect(const Canvas& canvas, const RectI& r, Color c);
+
+/// Filled circle centred at (cx, cy) with radius r (global pixels).
+void fillCircle(const Canvas& canvas, float cx, float cy, float r, Color c);
+
+/// 1-pixel line (DDA), global coordinates.
+void drawLine(const Canvas& canvas, Vec2 a, Vec2 b, Color c);
+
+/// Thick anti-aliased line: capsule of half-width `halfWidth` around the
+/// segment; coverage fades linearly over the last `feather` pixels.
+void drawThickLine(const Canvas& canvas, Vec2 a, Vec2 b, float halfWidth,
+                   Color c, float feather = 1.0f);
+
+/// Polyline of thick segments with per-vertex colors (colors.size() must
+/// equal points.size(); segment color is the average of its endpoints).
+/// Vertices with alpha == 0 act as break sentinels: segments touching
+/// them are skipped, which is how temporal-window gaps render.
+void drawThickPolyline(const Canvas& canvas, std::span<const Vec2> points,
+                       std::span<const Color> pointColors, float halfWidth);
+
+/// 5x7 bitmap text (digits, upper-case letters, a few symbols), scaled by
+/// integer `scale`. Unknown glyphs render as solid blocks.
+void drawTextTiny(const Canvas& canvas, int x, int y, std::string_view text,
+                  Color c, int scale = 1);
+
+/// Pixel width of drawTextTiny output for the given text/scale.
+int textTinyWidth(std::string_view text, int scale = 1);
+
+/// Pixel height of drawTextTiny output (7 * scale).
+int textTinyHeight(int scale = 1);
+
+}  // namespace svq::render

@@ -1,0 +1,95 @@
+#include "render/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::render {
+
+namespace {
+
+/// Stereo shifts can move a polyline horizontally beyond its cell; inflate
+/// the cull rect by the worst-case parallax so sort-first never drops a
+/// cell whose shifted pixels land in this tile.
+RectI inflatedForParallax(const RectI& r, const OrthoStereoCamera& camera,
+                         float maxDuration) {
+  const int pad = static_cast<int>(
+      std::ceil(camera.maxAbsParallaxPx(maxDuration) * 0.5f)) + 2;
+  return {r.x - pad, r.y, r.w + 2 * pad, r.h};
+}
+
+}  // namespace
+
+void renderCell(const SceneModel& scene, const CellView& cell,
+                const traj::TrajectoryDataset& dataset, const Canvas& canvas,
+                Eye eye, RenderStats& stats) {
+  fillRect(canvas, cell.rect, cell.background);
+  if (scene.drawCellBorder) {
+    strokeRect(canvas, cell.rect, cell.background.scaled(1.8f));
+  }
+
+  const CellTransform transform{cell.rect, scene.arenaRadiusCm, 3.0f};
+
+  if (scene.drawArenaOutline) {
+    // Arena boundary circle, drawn as a polyline ring at z = 0.
+    const Vec2 c = transform.center();
+    const float r = scene.arenaRadiusCm * transform.scale();
+    const int segments = 48;
+    const Color ring = cell.background.scaled(2.2f);
+    Vec2 prev{c.x + r, c.y};
+    for (int i = 1; i <= segments; ++i) {
+      const float a = kTwoPi * static_cast<float>(i) / segments;
+      const Vec2 p{c.x + r * std::cos(a), c.y + r * std::sin(a)};
+      drawLine(canvas, prev, p, ring);
+      prev = p;
+    }
+  }
+
+  if (cell.trajectoryIndex < dataset.size()) {
+    const traj::Trajectory& t = dataset[cell.trajectoryIndex];
+    const OrthoStereoCamera camera(scene.stereo);
+    const StyledPolyline line =
+        tessellate(t, transform, camera, eye, cell.segmentHighlights,
+                   scene.timeWindow, scene.style);
+    drawThickPolyline(canvas, line.points, line.colors,
+                      scene.style.halfWidthPx);
+    stats.segmentsDrawn += line.points.empty() ? 0 : line.points.size() - 1;
+
+    // Release-point marker at the arena centre (t = start of window).
+    if (scene.style.startMarkerPx > 0.0f && !t.empty()) {
+      const float t0 = std::max(scene.timeWindow.x, t.front().t);
+      if (t0 <= std::min(scene.timeWindow.y, t.back().t)) {
+        const Vec2 base = transform.toPixels(t.positionAt(t0));
+        const Vec2 p = camera.project(base, t0, eye);
+        fillCircle(canvas, p.x, p.y, scene.style.startMarkerPx,
+                   scene.style.baseColor.scaled(scene.style.nearBrightness));
+      }
+    }
+  }
+
+  if (!cell.label.empty()) {
+    drawTextTiny(canvas, cell.rect.x + 3, cell.rect.y + 3, cell.label,
+                 cell.background.scaled(3.0f));
+  }
+  ++stats.cellsDrawn;
+}
+
+RenderStats renderScene(const SceneModel& scene,
+                        const traj::TrajectoryDataset& dataset,
+                        const Canvas& canvas, Eye eye) {
+  RenderStats stats;
+  fillRect(canvas, canvas.region, scene.wallBackground);
+
+  const OrthoStereoCamera camera(scene.stereo);
+  const float maxDuration = dataset.maxDuration();
+  for (const CellView& cell : scene.cells) {
+    if (!inflatedForParallax(cell.rect, camera, maxDuration)
+             .intersects(canvas.region)) {
+      ++stats.cellsCulled;
+      continue;
+    }
+    renderCell(scene, cell, dataset, canvas, eye, stats);
+  }
+  return stats;
+}
+
+}  // namespace svq::render

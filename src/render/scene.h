@@ -1,0 +1,70 @@
+// scene.h — the renderable scene model and the scene renderer.
+//
+// A SceneModel is the complete, serializable description of one frame of
+// the application: which trajectory sits in which small-multiple cell,
+// each cell's group background, per-segment highlight state from the
+// query engine, the temporal window and the stereo settings. The cluster
+// master broadcasts this model; each render node draws it through a
+// Canvas restricted to its own tile (sort-first).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "render/camera.h"
+#include "render/color.h"
+#include "render/framebuffer.h"
+#include "render/rasterizer.h"
+#include "render/spacetime.h"
+#include "traj/dataset.h"
+
+namespace svq::render {
+
+/// One small-multiple cell: a trajectory placed in a pixel rect.
+struct CellView {
+  std::uint32_t trajectoryIndex = 0;  ///< index into the dataset
+  RectI rect;                         ///< global wall pixels
+  Color background = colors::kDarkBg;
+  /// Per-segment highlight (brush index or kNoHighlight); empty = none.
+  std::vector<std::int8_t> segmentHighlights;
+  /// Optional label drawn in the cell's top-left corner.
+  std::string label;
+};
+
+/// Full frame description.
+struct SceneModel {
+  std::vector<CellView> cells;
+  StereoSettings stereo;
+  float arenaRadiusCm = 50.0f;
+  /// Temporal filter [t0, t1]; {0, +inf} means no filtering.
+  Vec2 timeWindow{0.0f, 1e9f};
+  TrajectoryStyle style;
+  bool drawArenaOutline = true;
+  bool drawCellBorder = true;
+  Color wallBackground = colors::kBlack;
+};
+
+/// Per-frame render statistics (for the benchmark harness).
+struct RenderStats {
+  std::size_t cellsDrawn = 0;
+  std::size_t cellsCulled = 0;
+  std::size_t segmentsDrawn = 0;
+};
+
+/// Renders the scene for one eye through the given canvas. Only cells
+/// intersecting canvas.region are drawn (sort-first culling); the canvas
+/// background is cleared first with scene.wallBackground.
+///
+/// The dataset provides trajectory geometry; scene cells reference it by
+/// index. Returns render statistics.
+RenderStats renderScene(const SceneModel& scene,
+                        const traj::TrajectoryDataset& dataset,
+                        const Canvas& canvas, Eye eye);
+
+/// Renders one cell (no background clear); exposed for unit tests.
+void renderCell(const SceneModel& scene, const CellView& cell,
+                const traj::TrajectoryDataset& dataset, const Canvas& canvas,
+                Eye eye, RenderStats& stats);
+
+}  // namespace svq::render

@@ -1,0 +1,67 @@
+#include "render/spacetime.h"
+
+#include <algorithm>
+
+namespace svq::render {
+
+StyledPolyline tessellate(const traj::Trajectory& t,
+                          const CellTransform& transform,
+                          const OrthoStereoCamera& camera, Eye eye,
+                          std::span<const std::int8_t> segmentHighlights,
+                          Vec2 window, const TrajectoryStyle& style) {
+  StyledPolyline out;
+  const auto pts = t.points();
+  if (pts.empty()) return out;
+  out.points.reserve(pts.size());
+  out.colors.reserve(pts.size());
+
+  const float duration = std::max(1e-6f, t.duration());
+  bool inWindow = false;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const float ti = pts[i].t;
+    if (ti < window.x || ti > window.y) {
+      inWindow = false;
+      continue;
+    }
+    // Break the polyline at window gaps by duplicating the point with a
+    // fully transparent color (drawThickPolyline averages endpoint colors,
+    // so a transparent sentinel halves alpha on the joining segment; we
+    // avoid that entirely by starting a fresh run: callers draw runs
+    // separated by transparent points as separate segments).
+    const Vec2 base = transform.toPixels(pts[i].pos);
+    const Vec2 projected = camera.project(base, ti, eye);
+
+    // Depth cue: fade from nearBrightness at t=0 to full at the end.
+    const float u = ti / duration;
+    Color c = style.baseColor.scaled(
+        lerp(style.nearBrightness, 1.0f, u));
+
+    // Highlight override: segment i-1..i or i..i+1 touching a highlighted
+    // region takes the brush color at both endpoints so the whole segment
+    // reads in the brush hue.
+    if (!segmentHighlights.empty()) {
+      std::int8_t h = kNoHighlight;
+      if (i < segmentHighlights.size() &&
+          segmentHighlights[i] != kNoHighlight) {
+        h = segmentHighlights[i];
+      } else if (i > 0 && i - 1 < segmentHighlights.size() &&
+                 segmentHighlights[i - 1] != kNoHighlight) {
+        h = segmentHighlights[i - 1];
+      }
+      if (h != kNoHighlight) c = brushColor(static_cast<std::size_t>(h));
+    }
+
+    if (!inWindow && !out.points.empty()) {
+      // Re-entering the window after a gap: insert a zero-alpha duplicate
+      // of the new point so the bridging segment is invisible.
+      out.points.push_back(projected);
+      out.colors.push_back(c.withAlpha(0));
+    }
+    out.points.push_back(projected);
+    out.colors.push_back(c);
+    inWindow = true;
+  }
+  return out;
+}
+
+}  // namespace svq::render

@@ -1,0 +1,79 @@
+// spacetime.h — space-time-cube tessellation of a trajectory.
+//
+// Converts a trajectory (arena cm + seconds) into wall-pixel polylines for
+// one eye, applying: the cell's arena->pixel transform, the stereo
+// camera's parallax shift, an optional temporal window (the range-slider
+// filter of §IV.C.2), per-segment highlight colors from the query engine,
+// and depth-cue shading (later samples are rendered brighter, a monocular
+// cue that complements the stereo parallax).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "render/camera.h"
+#include "render/color.h"
+#include "traj/trajectory.h"
+#include "util/geometry.h"
+
+namespace svq::render {
+
+/// Maps arena coordinates (cm, origin at arena centre) into a cell's
+/// pixel rect, preserving aspect ratio, with `marginPx` padding.
+struct CellTransform {
+  RectI rect;
+  float arenaRadiusCm = 50.0f;
+  float marginPx = 3.0f;
+
+  /// Pixels per arena cm.
+  float scale() const {
+    const float usable =
+        static_cast<float>(std::min(rect.w, rect.h)) - 2.0f * marginPx;
+    return std::max(0.0f, usable) / (2.0f * arenaRadiusCm);
+  }
+  /// Pixel centre of the cell.
+  Vec2 center() const {
+    return {static_cast<float>(rect.x) + static_cast<float>(rect.w) * 0.5f,
+            static_cast<float>(rect.y) + static_cast<float>(rect.h) * 0.5f};
+  }
+  /// Arena cm -> global wall pixels (y flipped: arena north = up = -y).
+  Vec2 toPixels(Vec2 arena) const {
+    const float s = scale();
+    const Vec2 c = center();
+    return {c.x + arena.x * s, c.y - arena.y * s};
+  }
+};
+
+/// No highlight on a segment.
+inline constexpr std::int8_t kNoHighlight = -1;
+
+/// A renderable polyline with per-vertex colors.
+struct StyledPolyline {
+  std::vector<Vec2> points;
+  std::vector<Color> colors;
+};
+
+/// Styling knobs for trajectory tessellation.
+struct TrajectoryStyle {
+  Color baseColor = colors::kTrajectory;
+  /// Brightness of the first sample relative to the last (depth cue).
+  float nearBrightness = 0.45f;
+  float halfWidthPx = 1.2f;
+  /// Radius of the release-point marker; 0 disables it.
+  float startMarkerPx = 2.5f;
+};
+
+/// Tessellates one trajectory for one eye.
+///
+/// `segmentHighlights` (may be empty = no highlights) holds, per segment
+/// i (between samples i and i+1), kNoHighlight or a brush index whose
+/// brushColor() overrides the base color. `window` restricts output to
+/// samples with window.x <= t <= window.y (pass {0, +inf} for all).
+StyledPolyline tessellate(const traj::Trajectory& t,
+                          const CellTransform& transform,
+                          const OrthoStereoCamera& camera, Eye eye,
+                          std::span<const std::int8_t> segmentHighlights,
+                          Vec2 window, const TrajectoryStyle& style = {});
+
+}  // namespace svq::render

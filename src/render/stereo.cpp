@@ -1,0 +1,43 @@
+#include "render/stereo.h"
+
+#include <cassert>
+
+namespace svq::render {
+
+Framebuffer composeAnaglyph(const Framebuffer& left,
+                            const Framebuffer& right) {
+  assert(left.width() == right.width() && left.height() == right.height());
+  Framebuffer out(left.width(), left.height());
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      const Color l = left.at(x, y);
+      const Color r = right.at(x, y);
+      out.at(x, y) = Color{l.r, r.g, r.b, 255};
+    }
+  }
+  return out;
+}
+
+Framebuffer composeSideBySide(const Framebuffer& left,
+                              const Framebuffer& right) {
+  assert(left.height() == right.height());
+  Framebuffer out(left.width() + right.width(), left.height());
+  out.blit(left, 0, 0);
+  out.blit(right, left.width(), 0);
+  return out;
+}
+
+Framebuffer composeRowInterleaved(const Framebuffer& left,
+                                  const Framebuffer& right) {
+  assert(left.width() == right.width() && left.height() == right.height());
+  Framebuffer out(left.width(), left.height());
+  for (int y = 0; y < out.height(); ++y) {
+    const Framebuffer& src = (y % 2 == 0) ? left : right;
+    for (int x = 0; x < out.width(); ++x) {
+      out.at(x, y) = src.at(x, y);
+    }
+  }
+  return out;
+}
+
+}  // namespace svq::render

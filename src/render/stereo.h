@@ -1,0 +1,26 @@
+// stereo.h — stereo pair composition.
+//
+// The paper's wall interleaves left/right images for polarized glasses;
+// offline we compose the per-eye framebuffers into inspectable artifacts:
+// red-cyan anaglyph, side-by-side pairs, or row-interleaved (the actual
+// micro-polarizer format of thin-bezel stereo LCD panels).
+#pragma once
+
+#include "render/framebuffer.h"
+
+namespace svq::render {
+
+/// Red-cyan anaglyph: red channel from the left eye, green/blue from the
+/// right. Inputs must have identical dimensions.
+Framebuffer composeAnaglyph(const Framebuffer& left, const Framebuffer& right);
+
+/// Left and right images side by side (width doubles).
+Framebuffer composeSideBySide(const Framebuffer& left,
+                              const Framebuffer& right);
+
+/// Row-interleaved stereo: even rows from the left eye, odd from the right
+/// (micro-polarizer panel format).
+Framebuffer composeRowInterleaved(const Framebuffer& left,
+                                  const Framebuffer& right);
+
+}  // namespace svq::render

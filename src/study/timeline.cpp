@@ -1,0 +1,73 @@
+#include "study/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace svq::study {
+
+Loop loopOf(SensemakingStage stage) {
+  switch (stage) {
+    case SensemakingStage::kFilterData:
+    case SensemakingStage::kVisualize:
+    case SensemakingStage::kExtractFeatures:
+    case SensemakingStage::kSearchPatterns:
+      return Loop::kForaging;
+    case SensemakingStage::kSchematize:
+    case SensemakingStage::kBuildCase:
+    case SensemakingStage::kTellStory:
+      return Loop::kSensemaking;
+  }
+  return Loop::kForaging;
+}
+
+std::vector<TimelineBucket> bucketize(const SessionLog& log,
+                                      double bucketSeconds) {
+  std::vector<TimelineBucket> buckets;
+  if (bucketSeconds <= 0.0) return buckets;
+  const double duration = log.durationS();
+  const auto count = static_cast<std::size_t>(
+      std::max(1.0, std::ceil((duration + 1e-9) / bucketSeconds)));
+  buckets.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    buckets[i].startS = static_cast<double>(i) * bucketSeconds;
+    buckets[i].endS = buckets[i].startS + bucketSeconds;
+  }
+  for (const CodedEvent& e : log.events()) {
+    auto idx = static_cast<std::size_t>(e.timeS / bucketSeconds);
+    idx = std::min(idx, count - 1);
+    if (loopOf(stageOf(e.tag)) == Loop::kForaging) {
+      ++buckets[idx].foragingEvents;
+    } else {
+      ++buckets[idx].sensemakingEvents;
+    }
+  }
+  return buckets;
+}
+
+int firstSensemakingPivot(const std::vector<TimelineBucket>& buckets) {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].totalEvents() > 0 &&
+        buckets[i].sensemakingShare() > 0.5) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string renderTimeline(const std::vector<TimelineBucket>& buckets) {
+  std::ostringstream out;
+  out << "t(s)      foraging | sensemaking\n";
+  for (const TimelineBucket& b : buckets) {
+    out << static_cast<int>(b.startS) << "-" << static_cast<int>(b.endS)
+        << "\t";
+    // Left-aligned foraging bar, then separator, then sensemaking bar.
+    for (std::size_t i = 0; i < b.foragingEvents; ++i) out << 'f';
+    out << '|';
+    for (std::size_t i = 0; i < b.sensemakingEvents; ++i) out << 's';
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace svq::study

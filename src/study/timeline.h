@@ -1,0 +1,55 @@
+// timeline.h — temporal structure of a coded session.
+//
+// §VI reads the pilot session as an "opportunistic mix" of bottom-up and
+// top-down sensemaking. The timeline makes that mix measurable: coded
+// events are bucketed over session time, each bucket is scored for
+// foraging-loop vs sensemaking-loop activity (per the Fig. 2 stage
+// split), and phase transitions are detectable. An ASCII strip chart
+// gives the at-a-glance view the paper's video coder produced by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/coding.h"
+
+namespace svq::study {
+
+/// Which half of the Pirolli–Card model a stage belongs to.
+enum class Loop : std::uint8_t { kForaging = 0, kSensemaking };
+
+/// Fig. 2 split: filter/visualize/extract/search = foraging;
+/// schematize/build-case/tell-story = sensemaking.
+Loop loopOf(SensemakingStage stage);
+
+/// One time bucket of the session.
+struct TimelineBucket {
+  double startS = 0.0;
+  double endS = 0.0;
+  std::size_t foragingEvents = 0;
+  std::size_t sensemakingEvents = 0;
+  std::size_t totalEvents() const {
+    return foragingEvents + sensemakingEvents;
+  }
+  /// Sensemaking share in [0,1]; 0.5 for empty buckets.
+  double sensemakingShare() const {
+    return totalEvents() == 0
+               ? 0.5
+               : static_cast<double>(sensemakingEvents) /
+                     static_cast<double>(totalEvents());
+  }
+};
+
+/// Buckets a coded session into fixed-width windows.
+std::vector<TimelineBucket> bucketize(const SessionLog& log,
+                                      double bucketSeconds);
+
+/// Index of the first bucket where sensemaking-loop activity overtakes
+/// foraging (share > 0.5) — the "from exploring to theorizing" pivot;
+/// -1 if it never happens.
+int firstSensemakingPivot(const std::vector<TimelineBucket>& buckets);
+
+/// ASCII strip chart: one row per bucket with f/s bars.
+std::string renderTimeline(const std::vector<TimelineBucket>& buckets);
+
+}  // namespace svq::study

@@ -1,0 +1,73 @@
+#include "traj/circular.h"
+
+#include <cmath>
+
+namespace svq::traj {
+
+CircularSummary circularSummary(std::span<const float> anglesRad) {
+  CircularSummary s;
+  s.n = anglesRad.size();
+  if (anglesRad.empty()) return s;
+  double sumCos = 0.0;
+  double sumSin = 0.0;
+  for (float a : anglesRad) {
+    sumCos += std::cos(static_cast<double>(a));
+    sumSin += std::sin(static_cast<double>(a));
+  }
+  const double n = static_cast<double>(anglesRad.size());
+  const double cbar = sumCos / n;
+  const double sbar = sumSin / n;
+  s.resultantLength =
+      static_cast<float>(std::sqrt(cbar * cbar + sbar * sbar));
+  s.meanDirection = static_cast<float>(std::atan2(sbar, cbar));
+  return s;
+}
+
+RayleighResult rayleighTest(std::span<const float> anglesRad) {
+  RayleighResult out;
+  const CircularSummary s = circularSummary(anglesRad);
+  if (s.n == 0) return out;
+  const double n = static_cast<double>(s.n);
+  const double r = static_cast<double>(s.resultantLength);
+  out.z = n * r * r;
+  // Wilkie (1983) approximation to the Rayleigh p-value.
+  const double z = out.z;
+  double p = std::exp(-z) *
+             (1.0 + (2.0 * z - z * z) / (4.0 * n) -
+              (24.0 * z - 132.0 * z * z + 76.0 * z * z * z -
+               9.0 * z * z * z * z) /
+                  (288.0 * n * n));
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  out.pValue = p;
+  return out;
+}
+
+VTestResult vTest(std::span<const float> anglesRad, float muRad) {
+  VTestResult out;
+  const CircularSummary s = circularSummary(anglesRad);
+  if (s.n == 0) return out;
+  const double n = static_cast<double>(s.n);
+  const double r = static_cast<double>(s.resultantLength);
+  out.v = r * std::cos(static_cast<double>(s.meanDirection) -
+                       static_cast<double>(muRad));
+  out.u = out.v * std::sqrt(2.0 * n);
+  // One-sided normal approximation: p = P(Z > u).
+  out.pValue = 0.5 * std::erfc(out.u / std::sqrt(2.0));
+  return out;
+}
+
+std::vector<float> exitHeadings(std::span<const Trajectory> trajectories,
+                                float minDispCm) {
+  std::vector<float> headings;
+  headings.reserve(trajectories.size());
+  for (const Trajectory& t : trajectories) {
+    if (t.empty()) continue;
+    const Vec2 p = t.back().pos;
+    if (p.norm() < minDispCm) continue;
+    headings.push_back(p.angle());
+  }
+  return headings;
+}
+
+}  // namespace svq::traj

@@ -1,0 +1,58 @@
+// circular.h — circular (directional) statistics.
+//
+// Movement-ecology analyses of exit directions and headings need circular
+// statistics, not linear ones. This module provides the standard tools:
+// circular mean / resultant length, the Rayleigh test for uniformity
+// ("do the ants leave in random directions?") and the V-test for a
+// concentration toward an expected direction ("do east-captured ants
+// leave toward the west?") — the formal counterparts of the verdicts the
+// paper's analyst reads off the wall.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "traj/trajectory.h"
+
+namespace svq::traj {
+
+/// Summary of a sample of angles (radians).
+struct CircularSummary {
+  std::size_t n = 0;
+  /// Mean direction (radians, atan2 convention); meaningless when r ~ 0.
+  float meanDirection = 0.0f;
+  /// Mean resultant length in [0, 1]; 0 = uniform, 1 = all identical.
+  float resultantLength = 0.0f;
+  /// Circular variance = 1 - r.
+  float circularVariance() const { return 1.0f - resultantLength; }
+};
+
+CircularSummary circularSummary(std::span<const float> anglesRad);
+
+/// Rayleigh test of uniformity. Returns the test statistic z = n*r^2 and
+/// an approximate p-value (Wilkie 1983 approximation; accurate for
+/// n >= 10). Small p rejects uniformity (directions are concentrated).
+struct RayleighResult {
+  double z = 0.0;
+  double pValue = 1.0;
+};
+
+RayleighResult rayleighTest(std::span<const float> anglesRad);
+
+/// V-test (modified Rayleigh): tests concentration toward a *specified*
+/// direction mu. Larger u (and smaller p) = stronger support that the
+/// sample points toward mu. One-sided; normal approximation.
+struct VTestResult {
+  double v = 0.0;       ///< mean resultant projected onto mu, in [-1, 1]
+  double u = 0.0;       ///< test statistic v * sqrt(2n)
+  double pValue = 1.0;
+};
+
+VTestResult vTest(std::span<const float> anglesRad, float muRad);
+
+/// Exit headings (angle of final position from the arena centre) of all
+/// trajectories in the set that moved at least `minDispCm`.
+std::vector<float> exitHeadings(std::span<const Trajectory> trajectories,
+                                float minDispCm = 1.0f);
+
+}  // namespace svq::traj

@@ -1,0 +1,154 @@
+#include "traj/dataset.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace svq::traj {
+
+namespace {
+
+bool parseFloat(const std::string& s, float& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parseU32(const std::string& s, std::uint32_t& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+std::size_t TrajectoryDataset::totalPoints() const {
+  std::size_t n = 0;
+  for (const auto& t : trajectories_) n += t.size();
+  return n;
+}
+
+float TrajectoryDataset::maxDuration() const {
+  float d = 0.0f;
+  for (const auto& t : trajectories_) d = std::max(d, t.duration());
+  return d;
+}
+
+std::vector<std::uint32_t> TrajectoryDataset::select(
+    const std::function<bool(const Trajectory&)>& pred) const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+    if (pred(trajectories_[i])) out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+std::optional<std::size_t> TrajectoryDataset::findById(std::uint32_t id) const {
+  for (std::size_t i = 0; i < trajectories_.size(); ++i) {
+    if (trajectories_[i].meta().id == id) return i;
+  }
+  return std::nullopt;
+}
+
+bool TrajectoryDataset::validate(float slackCm) const {
+  const float limit2 =
+      (arena_.radiusCm + slackCm) * (arena_.radiusCm + slackCm);
+  for (const auto& t : trajectories_) {
+    if (!t.wellFormed()) return false;
+    for (const auto& p : t.points()) {
+      if (p.pos.norm2() > limit2) return false;
+    }
+  }
+  return true;
+}
+
+std::string TrajectoryDataset::toCsv() const {
+  std::ostringstream out;
+  out << "# arena_radius_cm=" << arena_.radiusCm << '\n';
+  out << "traj_id,side,direction,seed,t,x,y\n";
+  for (const auto& t : trajectories_) {
+    const auto& m = t.meta();
+    for (const auto& p : t.points()) {
+      out << m.id << ',' << toString(m.side) << ',' << toString(m.direction)
+          << ',' << toString(m.seed) << ',' << p.t << ',' << p.pos.x << ','
+          << p.pos.y << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::optional<TrajectoryDataset> TrajectoryDataset::fromCsv(
+    const std::string& text) {
+  TrajectoryDataset ds;
+
+  // Optional arena comment line.
+  std::string body = text;
+  if (body.rfind("# arena_radius_cm=", 0) == 0) {
+    const std::size_t eol = body.find('\n');
+    const std::string val = body.substr(18, eol - 18);
+    float r = 0.0f;
+    if (!parseFloat(val, r) || r <= 0.0f) return std::nullopt;
+    ds.setArena(ArenaSpec{r});
+    body = eol == std::string::npos ? std::string{} : body.substr(eol + 1);
+  }
+
+  const auto rows = csvParse(body);
+  if (rows.empty()) return ds;
+
+  std::size_t start = 0;
+  if (!rows[0].empty() && rows[0][0] == "traj_id") start = 1;  // header
+
+  Trajectory current;
+  bool haveCurrent = false;
+  for (std::size_t r = start; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 7) return std::nullopt;
+    TrajectoryMeta meta;
+    TrajPoint pt;
+    if (!parseU32(row[0], meta.id) || !parseCaptureSide(row[1], meta.side) ||
+        !parseJourneyDirection(row[2], meta.direction) ||
+        !parseSeedState(row[3], meta.seed) || !parseFloat(row[4], pt.t) ||
+        !parseFloat(row[5], pt.pos.x) || !parseFloat(row[6], pt.pos.y)) {
+      return std::nullopt;
+    }
+    if (!haveCurrent || current.meta().id != meta.id) {
+      if (haveCurrent) ds.add(std::move(current));
+      current = Trajectory(meta, {});
+      haveCurrent = true;
+    }
+    current.mutablePoints().push_back(pt);
+  }
+  if (haveCurrent) ds.add(std::move(current));
+  return ds;
+}
+
+bool TrajectoryDataset::saveCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SVQ_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << toCsv();
+  return static_cast<bool>(out);
+}
+
+std::optional<TrajectoryDataset> TrajectoryDataset::loadCsv(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SVQ_ERROR << "cannot open " << path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return fromCsv(buf.str());
+}
+
+}  // namespace svq::traj

@@ -1,0 +1,86 @@
+// dataset.h — collection of trajectories plus the arena geometry they live
+// in, with CSV persistence matching the field-study schema described in the
+// paper (per-ant capture condition metadata + tracked positions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "traj/trajectory.h"
+#include "util/geometry.h"
+
+namespace svq::traj {
+
+/// Circular experimental arena. Ants are released at the centre (origin);
+/// a trajectory "exits" when it crosses the boundary circle.
+struct ArenaSpec {
+  float radiusCm = 50.0f;
+
+  constexpr bool contains(Vec2 p) const { return p.norm2() <= radiusCm * radiusCm; }
+  constexpr AABB2 bounds() const {
+    return AABB2::of({-radiusCm, -radiusCm}, {radiusCm, radiusCm});
+  }
+};
+
+/// Owning container for a set of trajectories sharing one arena.
+class TrajectoryDataset {
+ public:
+  TrajectoryDataset() = default;
+  explicit TrajectoryDataset(ArenaSpec arena) : arena_(arena) {}
+
+  const ArenaSpec& arena() const { return arena_; }
+  void setArena(ArenaSpec a) { arena_ = a; }
+
+  std::size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+  const Trajectory& operator[](std::size_t i) const { return trajectories_[i]; }
+  Trajectory& operator[](std::size_t i) { return trajectories_[i]; }
+  const std::vector<Trajectory>& all() const { return trajectories_; }
+
+  void add(Trajectory t) { trajectories_.push_back(std::move(t)); }
+  void clear() { trajectories_.clear(); }
+  void reserve(std::size_t n) { trajectories_.reserve(n); }
+
+  /// Total number of samples across all trajectories.
+  std::size_t totalPoints() const;
+
+  /// Longest tracked duration across all trajectories (s).
+  float maxDuration() const;
+
+  /// Indices of trajectories matching a predicate, in dataset order.
+  std::vector<std::uint32_t> select(
+      const std::function<bool(const Trajectory&)>& pred) const;
+
+  /// Index of trajectory with the given meta id, if present.
+  std::optional<std::size_t> findById(std::uint32_t id) const;
+
+  /// True iff every trajectory is wellFormed() and inside the arena
+  /// (allowing `slackCm` beyond the boundary for exit samples).
+  bool validate(float slackCm = 5.0f) const;
+
+  // --- Persistence -------------------------------------------------------
+  // CSV schema, one sample per row:
+  //   traj_id,side,direction,seed,t,x,y
+  // with a header row and an initial comment line carrying the arena radius:
+  //   # arena_radius_cm=<r>
+
+  /// Serializes the full dataset to CSV text.
+  std::string toCsv() const;
+
+  /// Parses CSV text produced by toCsv(). Returns std::nullopt on malformed
+  /// input (unknown enum token, non-numeric field, wrong column count).
+  static std::optional<TrajectoryDataset> fromCsv(const std::string& text);
+
+  /// Convenience file IO; returns false on filesystem errors.
+  bool saveCsv(const std::string& path) const;
+  static std::optional<TrajectoryDataset> loadCsv(const std::string& path);
+
+ private:
+  ArenaSpec arena_;
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace svq::traj

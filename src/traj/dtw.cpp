@@ -1,0 +1,65 @@
+#include "traj/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace svq::traj {
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::max() * 0.5f;
+}
+
+float dtwDistance(std::span<const Vec2> a, std::span<const Vec2> b,
+                  int band) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return kInf;
+
+  // Rolling two-row DP.
+  std::vector<float> prev(m + 1, kInf);
+  std::vector<float> curr(m + 1, kInf);
+  prev[0] = 0.0f;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    std::size_t jLo = 1;
+    std::size_t jHi = m;
+    if (band >= 0) {
+      const long lo = static_cast<long>(i) - band;
+      const long hi = static_cast<long>(i) + band;
+      jLo = static_cast<std::size_t>(std::max(1L, lo));
+      jHi = static_cast<std::size_t>(
+          std::min(static_cast<long>(m), hi));
+      if (jLo > jHi) return kInf;
+    }
+    for (std::size_t j = jLo; j <= jHi; ++j) {
+      const float cost = (a[i - 1] - b[j - 1]).norm();
+      const float best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      if (best >= kInf) continue;
+      curr[j] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+float dtwDistanceNormalized(std::span<const Vec2> a, std::span<const Vec2> b,
+                            int band) {
+  const float d = dtwDistance(a, b, band);
+  if (d >= kInf) return d;
+  // The warping path length is bounded by n+m; normalizing by max(n,m)
+  // is the common convention and keeps straight-line self-distance 0.
+  return d / static_cast<float>(std::max(a.size(), b.size()));
+}
+
+std::vector<Vec2> translateToOrigin(std::span<const Vec2> path) {
+  std::vector<Vec2> out(path.begin(), path.end());
+  if (out.empty()) return out;
+  const Vec2 origin = out.front();
+  for (Vec2& p : out) p -= origin;
+  return out;
+}
+
+}  // namespace svq::traj

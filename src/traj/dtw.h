@@ -1,0 +1,33 @@
+// dtw.h — dynamic time warping distance between 2D paths.
+//
+// Used by the similarity-highlighting feature: comparing a brushed
+// sub-path against candidate windows of other trajectories requires a
+// distance that tolerates speed variation, which plain lockstep Euclidean
+// does not. Classic O(n*m) DTW with an optional Sakoe–Chiba band.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace svq::traj {
+
+/// DTW distance between two point sequences (sum of matched point
+/// distances along the optimal warping path). `band` constrains |i - j|
+/// (Sakoe–Chiba); band < 0 means unconstrained. Returns +inf-like large
+/// value when either input is empty or the band makes alignment
+/// infeasible.
+float dtwDistance(std::span<const Vec2> a, std::span<const Vec2> b,
+                  int band = -1);
+
+/// DTW normalized by warping-path length (per-step mean distance),
+/// comparable across different sequence lengths.
+float dtwDistanceNormalized(std::span<const Vec2> a, std::span<const Vec2> b,
+                            int band = -1);
+
+/// Removes translation: shifts a copy of `path` so its first point is at
+/// the origin (shape comparison, position-independent).
+std::vector<Vec2> translateToOrigin(std::span<const Vec2> path);
+
+}  // namespace svq::traj

@@ -1,0 +1,47 @@
+#include "traj/features.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "traj/resample.h"
+#include "traj/stats.h"
+
+namespace svq::traj {
+
+std::size_t featureDimension(const FeatureParams& p) {
+  return 2 * p.resampleCount + (p.includeShape ? 3 : 0);
+}
+
+std::vector<float> extractFeatures(const Trajectory& t,
+                                   const FeatureParams& p) {
+  std::vector<float> f;
+  f.reserve(featureDimension(p));
+  const Trajectory r = resampleUniform(t, p.resampleCount);
+  const Vec2 origin = r.empty() ? Vec2{} : r.front().pos;
+  const float scale = 1.0f / std::max(1e-3f, p.arenaRadiusCm);
+  for (const auto& pt : r.points()) {
+    f.push_back((pt.pos.x - origin.x) * scale);
+    f.push_back((pt.pos.y - origin.y) * scale);
+  }
+  if (p.includeShape) {
+    // Normalized shape scalars: straightness is already in [0,1]; speed and
+    // duration are scaled by rough dataset-wide magnitudes.
+    f.push_back(p.shapeWeight * straightness(t));
+    f.push_back(p.shapeWeight * (meanSpeed(t) / 10.0f));
+    f.push_back(p.shapeWeight * (t.duration() / 180.0f));
+  }
+  return f;
+}
+
+float featureDistance2(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  assert(a.size() == b.size());
+  float d2 = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+}  // namespace svq::traj

@@ -1,0 +1,38 @@
+// features.h — fixed-length feature vectors for trajectory clustering.
+//
+// §VI.C scales the technique past ~500 instances by clustering
+// trajectories "based on feature similarity by employing self-organizing
+// maps". The feature vector here follows the Schreck et al. style the
+// paper cites: the trajectory is resampled to a fixed number of points,
+// translated so it starts at the origin, and scaled by a common arena
+// scale (NOT per-trajectory, so spatial extent remains discriminative);
+// a few shape scalars are appended with tunable weight.
+#pragma once
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace svq::traj {
+
+struct FeatureParams {
+  std::size_t resampleCount = 32;  ///< spatial samples in the vector
+  float arenaRadiusCm = 50.0f;     ///< common normalization scale
+  float shapeWeight = 1.0f;        ///< weight of appended shape scalars
+  bool includeShape = true;        ///< append sinuosity/speed/duration terms
+};
+
+/// Dimensionality of vectors produced with these params.
+std::size_t featureDimension(const FeatureParams& p);
+
+/// Extracts the feature vector of one trajectory. Layout:
+///   [x0,y0, x1,y1, ..., x(k-1),y(k-1), (straightness, normSpeed, normDur)]
+/// with positions relative to the first sample and divided by arenaRadius.
+std::vector<float> extractFeatures(const Trajectory& t,
+                                   const FeatureParams& p);
+
+/// Squared Euclidean distance between equal-length feature vectors.
+float featureDistance2(const std::vector<float>& a,
+                       const std::vector<float>& b);
+
+}  // namespace svq::traj

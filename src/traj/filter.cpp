@@ -1,0 +1,36 @@
+#include "traj/filter.h"
+
+#include <sstream>
+
+namespace svq::traj {
+
+std::string MetaFilter::describe() const {
+  if (isUnconstrained()) return "all";
+  std::ostringstream out;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ' ';
+    first = false;
+  };
+  if (side) {
+    sep();
+    out << "side=" << toString(*side);
+  }
+  if (direction) {
+    sep();
+    out << "dir=" << toString(*direction);
+  }
+  if (seed) {
+    sep();
+    out << "seed=" << toString(*seed);
+  }
+  if (minDurationS || maxDurationS) {
+    sep();
+    out << "dur=[" << (minDurationS ? std::to_string(*minDurationS) : "0")
+        << ',' << (maxDurationS ? std::to_string(*maxDurationS) : "inf")
+        << ']';
+  }
+  return out.str();
+}
+
+}  // namespace svq::traj

@@ -1,0 +1,62 @@
+// filter.h — metadata filter predicates.
+//
+// Trajectory Grouping (§IV.C.2) associates "a set of filters" with each
+// group so a group shows only trajectories satisfying them — e.g. the five
+// Fig. 3 bins filter on capture side. A MetaFilter is a conjunction of
+// optional per-field constraints.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "traj/trajectory.h"
+
+namespace svq::traj {
+
+/// Conjunction of optional metadata constraints; an unset field matches
+/// anything. Duration bounds let groups filter on tracked length too.
+struct MetaFilter {
+  std::optional<CaptureSide> side;
+  std::optional<JourneyDirection> direction;
+  std::optional<SeedState> seed;
+  std::optional<float> minDurationS;
+  std::optional<float> maxDurationS;
+
+  bool operator==(const MetaFilter&) const = default;
+
+  bool matches(const Trajectory& t) const {
+    const TrajectoryMeta& m = t.meta();
+    if (side && m.side != *side) return false;
+    if (direction && m.direction != *direction) return false;
+    if (seed && m.seed != *seed) return false;
+    if (minDurationS && t.duration() < *minDurationS) return false;
+    if (maxDurationS && t.duration() > *maxDurationS) return false;
+    return true;
+  }
+
+  bool isUnconstrained() const {
+    return !side && !direction && !seed && !minDurationS && !maxDurationS;
+  }
+
+  /// Human-readable description, e.g. "side=east dur=[10,60]".
+  std::string describe() const;
+
+  /// Convenience constructors for the common single-field filters.
+  static MetaFilter bySide(CaptureSide s) {
+    MetaFilter f;
+    f.side = s;
+    return f;
+  }
+  static MetaFilter bySeed(SeedState s) {
+    MetaFilter f;
+    f.seed = s;
+    return f;
+  }
+  static MetaFilter byDirection(JourneyDirection d) {
+    MetaFilter f;
+    f.direction = d;
+    return f;
+  }
+};
+
+}  // namespace svq::traj

@@ -1,0 +1,132 @@
+#include "traj/io_binary.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace svq::traj {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53565154u;  // "SVQT"
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void f32(float v) { raw(&v, sizeof v); }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& v) { return raw(&v, sizeof v); }
+  bool u32(std::uint32_t& v) { return raw(&v, sizeof v); }
+  bool f32(float& v) { return raw(&v, sizeof v); }
+  bool atEnd() const { return cursor_ == bytes_.size(); }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (cursor_ + n > bytes_.size()) return false;
+    std::memcpy(p, bytes_.data() + cursor_, n);
+    cursor_ += n;
+    return true;
+  }
+  const std::string& bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::string toBinary(const TrajectoryDataset& dataset) {
+  Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.f32(dataset.arena().radiusCm);
+  w.u32(static_cast<std::uint32_t>(dataset.size()));
+  for (const Trajectory& t : dataset.all()) {
+    const TrajectoryMeta& m = t.meta();
+    w.u32(m.id);
+    w.u8(static_cast<std::uint8_t>(m.side));
+    w.u8(static_cast<std::uint8_t>(m.direction));
+    w.u8(static_cast<std::uint8_t>(m.seed));
+    w.u32(static_cast<std::uint32_t>(t.size()));
+    for (const TrajPoint& p : t.points()) {
+      w.f32(p.t);
+      w.f32(p.pos.x);
+      w.f32(p.pos.y);
+    }
+  }
+  return w.take();
+}
+
+std::optional<TrajectoryDataset> fromBinary(const std::string& bytes) {
+  Reader r(bytes);
+  std::uint32_t magic = 0, version = 0, count = 0;
+  float radius = 0.0f;
+  if (!r.u32(magic) || magic != kMagic) return std::nullopt;
+  if (!r.u32(version) || version != kVersion) return std::nullopt;
+  if (!r.f32(radius) || radius <= 0.0f) return std::nullopt;
+  if (!r.u32(count)) return std::nullopt;
+
+  TrajectoryDataset ds(ArenaSpec{radius});
+  ds.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TrajectoryMeta meta;
+    std::uint8_t side = 0, dir = 0, seed = 0;
+    std::uint32_t points = 0;
+    if (!r.u32(meta.id) || !r.u8(side) || !r.u8(dir) || !r.u8(seed) ||
+        !r.u32(points)) {
+      return std::nullopt;
+    }
+    if (side > static_cast<std::uint8_t>(CaptureSide::kSouth) ||
+        dir > static_cast<std::uint8_t>(JourneyDirection::kReturning) ||
+        seed > static_cast<std::uint8_t>(SeedState::kDroppedAtCapture)) {
+      return std::nullopt;
+    }
+    meta.side = static_cast<CaptureSide>(side);
+    meta.direction = static_cast<JourneyDirection>(dir);
+    meta.seed = static_cast<SeedState>(seed);
+    std::vector<TrajPoint> pts(points);
+    for (TrajPoint& p : pts) {
+      if (!r.f32(p.t) || !r.f32(p.pos.x) || !r.f32(p.pos.y)) {
+        return std::nullopt;
+      }
+    }
+    ds.add(Trajectory(meta, std::move(pts)));
+  }
+  if (!r.atEnd()) return std::nullopt;  // trailing garbage
+  return ds;
+}
+
+bool saveBinary(const TrajectoryDataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    SVQ_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  const std::string bytes = toBinary(dataset);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<TrajectoryDataset> loadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return fromBinary(ss.str());
+}
+
+}  // namespace svq::traj

@@ -1,0 +1,82 @@
+#include "traj/msd.h"
+
+#include <cmath>
+
+namespace svq::traj {
+
+std::vector<MsdPoint> msdCurve(const Trajectory& t,
+                               std::span<const float> lagsS) {
+  std::vector<MsdPoint> curve;
+  const auto pts = t.points();
+  for (float lag : lagsS) {
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (const TrajPoint& p : pts) {
+      const float target = p.t + lag;
+      if (target > pts.back().t) break;
+      const Vec2 d = t.positionAt(target) - p.pos;
+      sum += static_cast<double>(d.norm2());
+      ++pairs;
+    }
+    if (pairs > 0) {
+      curve.push_back({lag, static_cast<float>(sum / pairs), pairs});
+    }
+  }
+  return curve;
+}
+
+std::vector<MsdPoint> msdCurveEnsemble(std::span<const Trajectory> trajs,
+                                       std::span<const float> lagsS) {
+  std::vector<MsdPoint> curve;
+  for (float lag : lagsS) {
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (const Trajectory& t : trajs) {
+      for (const TrajPoint& p : t.points()) {
+        const float target = p.t + lag;
+        if (t.empty() || target > t.back().t) break;
+        const Vec2 d = t.positionAt(target) - p.pos;
+        sum += static_cast<double>(d.norm2());
+        ++pairs;
+      }
+    }
+    if (pairs > 0) {
+      curve.push_back({lag, static_cast<float>(sum / pairs), pairs});
+    }
+  }
+  return curve;
+}
+
+float diffusionExponent(std::span<const MsdPoint> curve) {
+  // Least-squares fit of log(msd) = alpha * log(lag) + c.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t n = 0;
+  for (const MsdPoint& p : curve) {
+    if (p.msdCm2 <= 0.0f || p.lagS <= 0.0f) continue;
+    const double x = std::log(static_cast<double>(p.lagS));
+    const double y = std::log(static_cast<double>(p.msdCm2));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0f;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0f;
+  return static_cast<float>((static_cast<double>(n) * sxy - sx * sy) /
+                            denom);
+}
+
+std::vector<float> geometricLags(float baseS, std::size_t count) {
+  std::vector<float> lags;
+  lags.reserve(count);
+  float lag = baseS;
+  for (std::size_t i = 0; i < count; ++i) {
+    lags.push_back(lag);
+    lag *= 2.0f;
+  }
+  return lags;
+}
+
+}  // namespace svq::traj

@@ -1,0 +1,44 @@
+// msd.h — mean-squared displacement analysis.
+//
+// The analyst's "windy vs direct" reading (§VI.A) has a standard
+// movement-ecology quantification: the mean-squared displacement curve
+// MSD(tau) = <|x(t+tau) - x(t)|^2> and its scaling exponent alpha
+// (MSD ~ tau^alpha): alpha ~ 1 for diffusive wandering (windy, on-trail
+// ants), alpha ~ 2 for ballistic, directed motion (homing, off-trail
+// ants). Used by tests and the case-study example to corroborate the
+// visual verdicts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace svq::traj {
+
+/// One point of an MSD curve.
+struct MsdPoint {
+  float lagS = 0.0f;
+  float msdCm2 = 0.0f;
+  std::size_t samplePairs = 0;
+};
+
+/// MSD curve of a single trajectory at the given lags (time-average over
+/// all valid start times; lags without any pair are omitted).
+std::vector<MsdPoint> msdCurve(const Trajectory& t,
+                               std::span<const float> lagsS);
+
+/// Ensemble MSD: pairs pooled across all trajectories.
+std::vector<MsdPoint> msdCurveEnsemble(std::span<const Trajectory> trajs,
+                                       std::span<const float> lagsS);
+
+/// Log-log slope of an MSD curve (least squares over points with
+/// msd > 0): the anomalous-diffusion exponent alpha. Returns 0 when the
+/// curve has fewer than two usable points.
+float diffusionExponent(std::span<const MsdPoint> curve);
+
+/// Convenience: geometric lag ladder {base, base*2, base*4, ...} with
+/// `count` rungs.
+std::vector<float> geometricLags(float baseS, std::size_t count);
+
+}  // namespace svq::traj

@@ -1,0 +1,103 @@
+#include "traj/occupancy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::traj {
+
+OccupancyGrid::OccupancyGrid(float arenaRadiusCm, int resolution)
+    : arenaRadiusCm_(arenaRadiusCm),
+      resolution_(std::max(8, resolution)),
+      texelSizeCm_(2.0f * arenaRadiusCm / static_cast<float>(resolution_)) {
+  cells_.assign(static_cast<std::size_t>(resolution_) *
+                    static_cast<std::size_t>(resolution_),
+                0.0f);
+}
+
+int OccupancyGrid::toTexel(float cm) const {
+  return static_cast<int>(std::floor((cm + arenaRadiusCm_) / texelSizeCm_));
+}
+
+void OccupancyGrid::accumulate(const Trajectory& t, float t0, float t1) {
+  const auto pts = t.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const float segT0 = std::max(pts[i - 1].t, t0);
+    const float segT1 = std::min(pts[i].t, t1);
+    if (segT1 <= segT0) continue;
+    const Vec2 mid = (pts[i - 1].pos + pts[i].pos) * 0.5f;
+    const int tx = toTexel(mid.x);
+    const int ty = toTexel(mid.y);
+    if (tx < 0 || ty < 0 || tx >= resolution_ || ty >= resolution_) continue;
+    cells_[static_cast<std::size_t>(ty) *
+               static_cast<std::size_t>(resolution_) +
+           static_cast<std::size_t>(tx)] += segT1 - segT0;
+  }
+}
+
+void OccupancyGrid::accumulate(const TrajectoryDataset& dataset,
+                               std::span<const std::uint32_t> indices,
+                               float t0, float t1) {
+  for (std::uint32_t idx : indices) accumulate(dataset[idx], t0, t1);
+}
+
+void OccupancyGrid::clear() {
+  std::fill(cells_.begin(), cells_.end(), 0.0f);
+}
+
+float OccupancyGrid::at(Vec2 arenaCm) const {
+  const int tx = toTexel(arenaCm.x);
+  const int ty = toTexel(arenaCm.y);
+  if (tx < 0 || ty < 0 || tx >= resolution_ || ty >= resolution_) {
+    return 0.0f;
+  }
+  return cells_[static_cast<std::size_t>(ty) *
+                    static_cast<std::size_t>(resolution_) +
+                static_cast<std::size_t>(tx)];
+}
+
+float OccupancyGrid::totalSeconds() const {
+  float sum = 0.0f;
+  for (float c : cells_) sum += c;
+  return sum;
+}
+
+float OccupancyGrid::maxSeconds() const {
+  float m = 0.0f;
+  for (float c : cells_) m = std::max(m, c);
+  return m;
+}
+
+float OccupancyGrid::centerFraction(float radiusCm) const {
+  const float total = totalSeconds();
+  if (total <= 0.0f) return 0.0f;
+  float inside = 0.0f;
+  const float r2 = radiusCm * radiusCm;
+  for (int ty = 0; ty < resolution_; ++ty) {
+    for (int tx = 0; tx < resolution_; ++tx) {
+      const float cx =
+          (static_cast<float>(tx) + 0.5f) * texelSizeCm_ - arenaRadiusCm_;
+      const float cy =
+          (static_cast<float>(ty) + 0.5f) * texelSizeCm_ - arenaRadiusCm_;
+      if (cx * cx + cy * cy <= r2) {
+        inside += cells_[static_cast<std::size_t>(ty) *
+                             static_cast<std::size_t>(resolution_) +
+                         static_cast<std::size_t>(tx)];
+      }
+    }
+  }
+  return inside / total;
+}
+
+float OccupancyGrid::entropyBits() const {
+  const float total = totalSeconds();
+  if (total <= 0.0f) return 0.0f;
+  float h = 0.0f;
+  for (float c : cells_) {
+    if (c <= 0.0f) continue;
+    const float p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace svq::traj

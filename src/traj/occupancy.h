@@ -1,0 +1,64 @@
+// occupancy.h — arena occupancy (density) fields.
+//
+// The §VI.C scaling discussion proposes representations that show
+// "general trajectory shape while discarding high-frequency features".
+// An occupancy field is the aggregate version of that idea: the time a
+// set of trajectories spends per arena texel. It yields the at-a-glance
+// density overview for a group or SOM cluster and gives the analytics a
+// quantitative footing (where do searchers concentrate? how focused is a
+// cluster?).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "traj/dataset.h"
+#include "util/geometry.h"
+
+namespace svq::traj {
+
+/// Accumulated residence time (seconds) over a square arena grid.
+class OccupancyGrid {
+ public:
+  OccupancyGrid(float arenaRadiusCm = 50.0f, int resolution = 128);
+
+  float arenaRadiusCm() const { return arenaRadiusCm_; }
+  int resolution() const { return resolution_; }
+
+  /// Adds one trajectory's residence time (each sample interval credited
+  /// to the texel under its midpoint). Optional time window clips.
+  void accumulate(const Trajectory& t, float t0 = 0.0f, float t1 = 1e9f);
+
+  /// Adds every listed trajectory of a dataset.
+  void accumulate(const TrajectoryDataset& dataset,
+                  std::span<const std::uint32_t> indices, float t0 = 0.0f,
+                  float t1 = 1e9f);
+
+  void clear();
+
+  /// Residence time at an arena position (0 outside the grid).
+  float at(Vec2 arenaCm) const;
+  /// Raw texel access (row-major, y * resolution + x).
+  const std::vector<float>& cells() const { return cells_; }
+
+  float totalSeconds() const;
+  float maxSeconds() const;
+
+  /// Fraction of total residence time within `radiusCm` of the centre —
+  /// the "how much searching happens in the middle" scalar.
+  float centerFraction(float radiusCm) const;
+
+  /// Shannon entropy (bits) of the normalized field: low = concentrated,
+  /// high = spread out. 0 for an empty grid.
+  float entropyBits() const;
+
+ private:
+  int toTexel(float cm) const;
+
+  float arenaRadiusCm_;
+  int resolution_;
+  float texelSizeCm_;
+  std::vector<float> cells_;
+};
+
+}  // namespace svq::traj

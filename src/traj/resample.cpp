@@ -1,0 +1,121 @@
+#include "traj/resample.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::traj {
+
+Trajectory resampleUniform(const Trajectory& t, std::size_t samples) {
+  std::vector<TrajPoint> pts;
+  pts.reserve(samples);
+  if (t.empty()) return Trajectory(t.meta(), {});
+  const float t0 = t.front().t;
+  const float dur = t.duration();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const float u =
+        samples > 1 ? static_cast<float>(i) / static_cast<float>(samples - 1)
+                    : 0.0f;
+    const float ti = t0 + u * dur;
+    pts.push_back({t.positionAt(ti), ti - t0});
+  }
+  // Enforce strictly increasing time for degenerate (zero-duration) inputs.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].t <= pts[i - 1].t) pts[i].t = pts[i - 1].t + 1e-4f;
+  }
+  return Trajectory(t.meta(), std::move(pts));
+}
+
+Trajectory smoothMovingAverage(const Trajectory& t, std::size_t window) {
+  if (t.size() < 3 || window < 2) return t;
+  if (window % 2 == 0) ++window;
+  const std::size_t half = window / 2;
+  const auto pts = t.points();
+  std::vector<TrajPoint> out(pts.begin(), pts.end());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(pts.size() - 1, i + half);
+    Vec2 sum{};
+    for (std::size_t j = lo; j <= hi; ++j) sum += pts[j].pos;
+    out[i].pos = sum / static_cast<float>(hi - lo + 1);
+  }
+  return Trajectory(t.meta(), std::move(out));
+}
+
+namespace {
+
+float pointSegmentDistance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const float len2 = ab.norm2();
+  if (len2 <= 0.0f) return (p - a).norm();
+  const float u = clamp((p - a).dot(ab) / len2, 0.0f, 1.0f);
+  return (p - (a + ab * u)).norm();
+}
+
+void rdpMark(std::span<const TrajPoint> pts, std::size_t lo, std::size_t hi,
+             float epsilon, std::vector<char>& keep) {
+  if (hi <= lo + 1) return;
+  float maxDist = -1.0f;
+  std::size_t maxIdx = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const float d = pointSegmentDistance(pts[i].pos, pts[lo].pos, pts[hi].pos);
+    if (d > maxDist) {
+      maxDist = d;
+      maxIdx = i;
+    }
+  }
+  if (maxDist > epsilon) {
+    keep[maxIdx] = 1;
+    rdpMark(pts, lo, maxIdx, epsilon, keep);
+    rdpMark(pts, maxIdx, hi, epsilon, keep);
+  }
+}
+
+std::vector<char> rdpKeepMask(const Trajectory& t, float epsilonCm) {
+  std::vector<char> keep(t.size(), 0);
+  if (t.size() == 0) return keep;
+  keep.front() = 1;
+  keep.back() = 1;
+  if (t.size() > 2) rdpMark(t.points(), 0, t.size() - 1, epsilonCm, keep);
+  return keep;
+}
+
+}  // namespace
+
+Trajectory simplifyDouglasPeucker(const Trajectory& t, float epsilonCm) {
+  const auto keep = rdpKeepMask(t, epsilonCm);
+  std::vector<TrajPoint> pts;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (keep[i]) pts.push_back(t[i]);
+  }
+  return Trajectory(t.meta(), std::move(pts));
+}
+
+std::size_t douglasPeuckerCount(const Trajectory& t, float epsilonCm) {
+  const auto keep = rdpKeepMask(t, epsilonCm);
+  return static_cast<std::size_t>(std::count(keep.begin(), keep.end(), 1));
+}
+
+Trajectory averageTrajectory(const std::vector<const Trajectory*>& members,
+                             std::uint32_t id) {
+  if (members.empty()) return {};
+  const std::size_t n = members.front()->size();
+  for (const Trajectory* m : members) {
+    if (m->size() != n) return {};
+  }
+  std::vector<TrajPoint> pts(n);
+  const float inv = 1.0f / static_cast<float>(members.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec2 sum{};
+    float tsum = 0.0f;
+    for (const Trajectory* m : members) {
+      sum += (*m)[i].pos;
+      tsum += (*m)[i].t;
+    }
+    pts[i] = {sum * inv, tsum * inv};
+  }
+  TrajectoryMeta meta = members.front()->meta();
+  meta.id = id;
+  return Trajectory(meta, std::move(pts));
+}
+
+}  // namespace svq::traj

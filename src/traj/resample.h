@@ -1,0 +1,42 @@
+// resample.h — resampling, smoothing and simplification.
+//
+// Used in three places: (1) feature extraction normalizes every trajectory
+// to a fixed sample count before SOM clustering; (2) the compact visual
+// encoding of §VI.C drops high-frequency detail via Douglas–Peucker to
+// raise small-multiple density; (3) smoothing supports cluster-average
+// rendering.
+#pragma once
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace svq::traj {
+
+/// Resamples to exactly `samples` points uniformly spaced in time across
+/// the original duration (linear interpolation). Metadata is preserved.
+/// Precondition: samples >= 2 and t.size() >= 1.
+Trajectory resampleUniform(const Trajectory& t, std::size_t samples);
+
+/// Centred moving-average smoothing over a window of `window` samples
+/// (odd; even values are rounded up). Endpoints use shrunken windows.
+Trajectory smoothMovingAverage(const Trajectory& t, std::size_t window);
+
+/// Ramer–Douglas–Peucker polyline simplification in XY with tolerance
+/// `epsilonCm`. Keeps first and last points; time values of surviving
+/// points are preserved, so the result is still a valid trajectory.
+Trajectory simplifyDouglasPeucker(const Trajectory& t, float epsilonCm);
+
+/// Point count after RDP without building the trajectory (used by the
+/// compact-encoding density bench).
+std::size_t douglasPeuckerCount(const Trajectory& t, float epsilonCm);
+
+/// Element-wise average of trajectories that have all been resampled to
+/// the same sample count; this is the "cluster average" representation of
+/// §VI.C. Returns an empty trajectory if the input list is empty or the
+/// sample counts differ. The result's metadata is taken from the first
+/// member, with id replaced by `id`.
+Trajectory averageTrajectory(const std::vector<const Trajectory*>& members,
+                             std::uint32_t id);
+
+}  // namespace svq::traj

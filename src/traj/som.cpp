@@ -1,0 +1,202 @@
+#include "traj/som.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "traj/resample.h"
+#include "util/threadpool.h"
+
+namespace svq::traj {
+
+Som::Som(SomParams params, std::size_t featureDim)
+    : params_(params), featureDim_(featureDim), rng_(params.seed) {
+  if (params_.initialRadius <= 0.0f) {
+    params_.initialRadius =
+        0.5f * static_cast<float>(std::max(params_.rows, params_.cols));
+  }
+  nodes_.resize(params_.rows * params_.cols);
+  for (auto& node : nodes_) {
+    node.resize(featureDim_);
+    for (auto& w : node) w = rng_.uniform(-0.1f, 0.1f);
+  }
+}
+
+void Som::train(const std::vector<std::vector<float>>& samples) {
+  if (samples.empty()) return;
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const std::size_t totalSteps = params_.epochs * samples.size();
+  std::size_t step = 0;
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    // Fisher–Yates shuffle from our deterministic stream.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.below(i)]);
+    }
+    for (std::size_t idx : order) {
+      const float progress =
+          static_cast<float>(step) / static_cast<float>(totalSteps);
+      // Exponential decay between initial and final values.
+      const float eta = params_.initialLearningRate *
+                        std::pow(params_.finalLearningRate /
+                                     params_.initialLearningRate,
+                                 progress);
+      const float radius =
+          params_.initialRadius *
+          std::pow(params_.finalRadius / params_.initialRadius, progress);
+      const float twoSigma2 = 2.0f * radius * radius;
+
+      const auto& sample = samples[idx];
+      const std::size_t bmu = bestMatchingUnit(sample);
+      const auto bmuR = static_cast<long>(bmu / params_.cols);
+      const auto bmuC = static_cast<long>(bmu % params_.cols);
+
+      // Only nodes within ~3 radii receive meaningful updates.
+      const long reach = std::max(1L, static_cast<long>(std::ceil(radius * 3.0f)));
+      const long rLo = std::max(0L, bmuR - reach);
+      const long rHi = std::min(static_cast<long>(params_.rows) - 1, bmuR + reach);
+      const long cLo = std::max(0L, bmuC - reach);
+      const long cHi = std::min(static_cast<long>(params_.cols) - 1, bmuC + reach);
+      for (long r = rLo; r <= rHi; ++r) {
+        for (long c = cLo; c <= cHi; ++c) {
+          const float dr = static_cast<float>(r - bmuR);
+          const float dc = static_cast<float>(c - bmuC);
+          const float d2 = dr * dr + dc * dc;
+          const float h = std::exp(-d2 / std::max(1e-6f, twoSigma2));
+          if (h < 1e-4f) continue;
+          updateNode(static_cast<std::size_t>(r) * params_.cols +
+                         static_cast<std::size_t>(c),
+                     sample, eta * h);
+        }
+      }
+      ++step;
+    }
+  }
+}
+
+void Som::updateNode(std::size_t node, const std::vector<float>& sample,
+                     float eta) {
+  auto& w = nodes_[node];
+  assert(sample.size() == w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] += eta * (sample[i] - w[i]);
+  }
+}
+
+std::size_t Som::bestMatchingUnit(const std::vector<float>& v) const {
+  std::size_t best = 0;
+  float bestD = std::numeric_limits<float>::max();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const float d = featureDistance2(nodes_[i], v);
+    if (d < bestD) {
+      bestD = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+float Som::quantizationError(
+    const std::vector<std::vector<float>>& samples) const {
+  if (samples.empty()) return 0.0f;
+  double sum = 0.0;
+  for (const auto& s : samples) {
+    sum += std::sqrt(featureDistance2(nodes_[bestMatchingUnit(s)], s));
+  }
+  return static_cast<float>(sum / static_cast<double>(samples.size()));
+}
+
+float Som::topographicError(
+    const std::vector<std::vector<float>>& samples) const {
+  if (samples.empty()) return 0.0f;
+  std::size_t errors = 0;
+  for (const auto& s : samples) {
+    std::size_t best = 0, second = 0;
+    float bestD = std::numeric_limits<float>::max();
+    float secondD = bestD;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const float d = featureDistance2(nodes_[i], s);
+      if (d < bestD) {
+        second = best;
+        secondD = bestD;
+        best = i;
+        bestD = d;
+      } else if (d < secondD) {
+        second = i;
+        secondD = d;
+      }
+    }
+    const long dr = static_cast<long>(best / params_.cols) -
+                    static_cast<long>(second / params_.cols);
+    const long dc = static_cast<long>(best % params_.cols) -
+                    static_cast<long>(second % params_.cols);
+    if (std::labs(dr) > 1 || std::labs(dc) > 1) ++errors;
+  }
+  return static_cast<float>(errors) / static_cast<float>(samples.size());
+}
+
+std::size_t ClusteredDataset::nonEmptyClusters() const {
+  std::size_t n = 0;
+  for (const auto& m : members) {
+    if (!m.empty()) ++n;
+  }
+  return n;
+}
+
+std::size_t ClusteredDataset::maxClusterSize() const {
+  std::size_t n = 0;
+  for (const auto& m : members) n = std::max(n, m.size());
+  return n;
+}
+
+ClusteredDataset clusterDataset(const TrajectoryDataset& ds,
+                                const SomParams& somParams,
+                                const FeatureParams& featureParams) {
+  ClusteredDataset out;
+  out.somParams = somParams;
+  out.featureParams = featureParams;
+
+  // Feature extraction is the dominant cost at scale; parallelize it.
+  std::vector<std::vector<float>> features(ds.size());
+  parallelFor(0, ds.size(), [&](std::size_t i) {
+    features[i] = extractFeatures(ds[i], featureParams);
+  }, 64);
+
+  Som som(somParams, featureDimension(featureParams));
+  som.train(features);
+
+  out.assignment.resize(ds.size());
+  parallelFor(0, ds.size(), [&](std::size_t i) {
+    out.assignment[i] =
+        static_cast<std::uint32_t>(som.bestMatchingUnit(features[i]));
+  }, 64);
+
+  out.members.assign(som.nodeCount(), {});
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    out.members[out.assignment[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Cluster averages: members resampled to the feature sample count so the
+  // element-wise average is meaningful.
+  out.averages.resize(som.nodeCount());
+  for (std::size_t node = 0; node < som.nodeCount(); ++node) {
+    if (out.members[node].empty()) continue;
+    std::vector<Trajectory> resampled;
+    resampled.reserve(out.members[node].size());
+    for (std::uint32_t idx : out.members[node]) {
+      resampled.push_back(
+          resampleUniform(ds[idx], featureParams.resampleCount));
+    }
+    std::vector<const Trajectory*> ptrs;
+    ptrs.reserve(resampled.size());
+    for (const auto& r : resampled) ptrs.push_back(&r);
+    out.averages[node] =
+        averageTrajectory(ptrs, static_cast<std::uint32_t>(node));
+  }
+  return out;
+}
+
+}  // namespace svq::traj

@@ -1,0 +1,100 @@
+// som.h — self-organizing map clustering of trajectories.
+//
+// Implements the §VI.C scalability path: cluster 10k–1M trajectories on a
+// 2D SOM lattice, then let the small-multiple layout show cluster-average
+// trajectories instead of individuals, with drill-down ("zoom in") to the
+// members of a chosen cluster. Classic online Kohonen training with a
+// Gaussian neighbourhood and exponentially decaying radius/learning rate;
+// deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/dataset.h"
+#include "traj/features.h"
+#include "traj/trajectory.h"
+#include "util/rng.h"
+
+namespace svq::traj {
+
+struct SomParams {
+  std::size_t rows = 6;
+  std::size_t cols = 6;
+  std::size_t epochs = 10;
+  float initialLearningRate = 0.5f;
+  float finalLearningRate = 0.02f;
+  /// Initial neighbourhood radius in lattice units; defaults to half the
+  /// larger lattice dimension when <= 0.
+  float initialRadius = -1.0f;
+  float finalRadius = 0.5f;
+  std::uint64_t seed = 0x50eedULL;
+};
+
+/// A trained SOM over trajectory feature vectors.
+class Som {
+ public:
+  Som(SomParams params, std::size_t featureDim);
+
+  std::size_t rows() const { return params_.rows; }
+  std::size_t cols() const { return params_.cols; }
+  std::size_t nodeCount() const { return params_.rows * params_.cols; }
+  std::size_t featureDim() const { return featureDim_; }
+  const SomParams& params() const { return params_; }
+
+  /// Weight vector of lattice node (r, c).
+  const std::vector<float>& weights(std::size_t r, std::size_t c) const {
+    return nodes_[r * params_.cols + c];
+  }
+
+  /// Trains on the given feature vectors (all must have featureDim size).
+  /// Sample presentation order is shuffled per epoch from the seed.
+  void train(const std::vector<std::vector<float>>& samples);
+
+  /// Index (row * cols + col) of the best-matching unit for a vector.
+  std::size_t bestMatchingUnit(const std::vector<float>& v) const;
+
+  /// Quantization error: mean distance from samples to their BMU.
+  float quantizationError(
+      const std::vector<std::vector<float>>& samples) const;
+
+  /// Topographic error: fraction of samples whose first and second BMUs
+  /// are not lattice neighbours (8-connectivity).
+  float topographicError(
+      const std::vector<std::vector<float>>& samples) const;
+
+ private:
+  void updateNode(std::size_t node, const std::vector<float>& sample,
+                  float eta);
+
+  SomParams params_;
+  std::size_t featureDim_;
+  std::vector<std::vector<float>> nodes_;
+  Rng rng_;
+};
+
+/// End-to-end clustering result mapping dataset indices to SOM cells.
+struct ClusteredDataset {
+  SomParams somParams;
+  FeatureParams featureParams;
+  /// assignment[i] = BMU node index of dataset trajectory i.
+  std::vector<std::uint32_t> assignment;
+  /// members[node] = dataset indices assigned to that node.
+  std::vector<std::vector<std::uint32_t>> members;
+  /// Cluster-average trajectory per node (empty trajectory for empty nodes).
+  std::vector<Trajectory> averages;
+
+  std::size_t nodeCount() const { return members.size(); }
+  std::size_t nonEmptyClusters() const;
+  /// Largest cluster size.
+  std::size_t maxClusterSize() const;
+};
+
+/// Trains a SOM on the dataset's feature vectors and assigns every
+/// trajectory to its BMU, producing cluster averages (members resampled to
+/// featureParams.resampleCount before averaging).
+ClusteredDataset clusterDataset(const TrajectoryDataset& ds,
+                                const SomParams& somParams,
+                                const FeatureParams& featureParams);
+
+}  // namespace svq::traj

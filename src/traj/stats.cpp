@@ -1,0 +1,176 @@
+#include "traj/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::traj {
+
+const char* toString(ArenaSide s) {
+  switch (s) {
+    case ArenaSide::kEast: return "east";
+    case ArenaSide::kWest: return "west";
+    case ArenaSide::kNorth: return "north";
+    case ArenaSide::kSouth: return "south";
+  }
+  return "?";
+}
+
+float sinuosity(const Trajectory& t, float cap) {
+  const float net = t.netDisplacement();
+  const float len = t.pathLength();
+  if (len <= 0.0f) return 1.0f;
+  if (net <= len / cap) return cap;
+  return len / net;
+}
+
+std::optional<float> netHeading(const Trajectory& t, float minDispCm) {
+  if (t.size() < 2) return std::nullopt;
+  const Vec2 d = t.back().pos - t.front().pos;
+  if (d.norm() < minDispCm) return std::nullopt;
+  return d.angle();
+}
+
+std::optional<ArenaSide> exitSide(const Trajectory& t, float minRadiusCm) {
+  if (t.empty()) return std::nullopt;
+  const Vec2 p = t.back().pos;
+  if (p.norm() < minRadiusCm) return std::nullopt;
+  const float a = p.angle();
+  const float quarter = kPi * 0.25f;
+  if (std::abs(a) <= quarter) return ArenaSide::kEast;
+  if (std::abs(a) >= 3.0f * quarter) return ArenaSide::kWest;
+  return a > 0.0f ? ArenaSide::kNorth : ArenaSide::kSouth;
+}
+
+bool exitedArena(const Trajectory& t, float arenaRadiusCm) {
+  return !t.empty() && t.back().pos.norm() > arenaRadiusCm;
+}
+
+float dwellTimeInCenter(const Trajectory& t, float radiusCm, float t0,
+                        float t1) {
+  if (t.size() < 2 || t1 <= t0) return 0.0f;
+  const float r2 = radiusCm * radiusCm;
+  float dwell = 0.0f;
+  const auto pts = t.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const float segT0 = std::max(pts[i - 1].t, t0);
+    const float segT1 = std::min(pts[i].t, t1);
+    if (segT1 <= segT0) continue;
+    // Approximate: a segment counts as "in centre" in proportion to how
+    // many of its endpoints are inside (0, 1/2 or all of its clipped span).
+    const bool in0 = pts[i - 1].pos.norm2() <= r2;
+    const bool in1 = pts[i].pos.norm2() <= r2;
+    const float span = segT1 - segT0;
+    if (in0 && in1) dwell += span;
+    else if (in0 || in1) dwell += 0.5f * span;
+  }
+  return dwell;
+}
+
+float meanSpeed(const Trajectory& t) {
+  const float d = t.duration();
+  return d > 0.0f ? t.pathLength() / d : 0.0f;
+}
+
+std::vector<float> turningAngles(const Trajectory& t) {
+  std::vector<float> out;
+  const auto pts = t.points();
+  if (pts.size() < 3) return out;
+  out.reserve(pts.size() - 2);
+  for (std::size_t i = 2; i < pts.size(); ++i) {
+    const Vec2 a = pts[i - 1].pos - pts[i - 2].pos;
+    const Vec2 b = pts[i].pos - pts[i - 1].pos;
+    if (a.norm2() <= 0.0f || b.norm2() <= 0.0f) {
+      out.push_back(0.0f);
+      continue;
+    }
+    out.push_back(wrapAngle(b.angle() - a.angle()));
+  }
+  return out;
+}
+
+float meanAbsTurning(const Trajectory& t) {
+  const auto angles = turningAngles(t);
+  if (angles.empty()) return 0.0f;
+  float sum = 0.0f;
+  for (float a : angles) sum += std::abs(a);
+  return sum / static_cast<float>(angles.size());
+}
+
+float longestStationaryRunS(const Trajectory& t, float speedThresholdCmS) {
+  const auto pts = t.points();
+  if (pts.size() < 2) return 0.0f;
+  float best = 0.0f;
+  float current = 0.0f;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const float dt = pts[i].t - pts[i - 1].t;
+    if (dt <= 0.0f) continue;
+    const float speed = (pts[i].pos - pts[i - 1].pos).norm() / dt;
+    if (speed < speedThresholdCmS) {
+      current += dt;
+      best = std::max(best, current);
+    } else {
+      current = 0.0f;
+    }
+  }
+  return best;
+}
+
+float straightness(const Trajectory& t) {
+  const float len = t.pathLength();
+  if (len <= 0.0f) return 1.0f;
+  return clamp(t.netDisplacement() / len, 0.0f, 1.0f);
+}
+
+std::optional<float> centerDepartureTime(const Trajectory& t,
+                                         float radiusCm) {
+  const auto pts = t.points();
+  const float r2 = radiusCm * radiusCm;
+  // Walk backwards: find the last sample inside the disc; departure is the
+  // following sample's time. If the last sample is inside, never departed.
+  if (pts.empty() || pts.back().pos.norm2() <= r2) return std::nullopt;
+  for (std::size_t i = pts.size(); i-- > 0;) {
+    if (pts[i].pos.norm2() <= r2) {
+      return pts[std::min(i + 1, pts.size() - 1)].t;
+    }
+  }
+  return pts.front().t;  // started outside already
+}
+
+float meanAngularVelocity(const Trajectory& t) {
+  const auto pts = t.points();
+  if (pts.size() < 3) return 0.0f;
+  float signedRotation = 0.0f;
+  float prevHeading = 0.0f;
+  bool havePrev = false;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const Vec2 d = pts[i].pos - pts[i - 1].pos;
+    if (d.norm2() <= 0.0f) continue;
+    const float h = d.angle();
+    if (havePrev) signedRotation += wrapAngle(h - prevHeading);
+    prevHeading = h;
+    havePrev = true;
+  }
+  const float dur = t.duration();
+  return dur > 0.0f ? signedRotation / dur : 0.0f;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.median = values[values.size() / 2];
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace svq::traj

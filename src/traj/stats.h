@@ -1,0 +1,85 @@
+// stats.h — trajectory statistics.
+//
+// These are the low-level inferences the analyst reads off the wall
+// visually ("this group is windier", "these exit west", "that ant sat in
+// the centre"); here they are computable so the reproduction can verify
+// that planted behavioural effects actually hold in generated data and
+// that visual-query verdicts agree with ground truth.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "traj/trajectory.h"
+#include "util/geometry.h"
+
+namespace svq::traj {
+
+/// Compass side of the arena boundary, used to classify exit points.
+enum class ArenaSide : std::uint8_t { kEast = 0, kWest, kNorth, kSouth };
+
+const char* toString(ArenaSide s);
+
+/// Sinuosity = path length / net displacement. 1 for a straight line,
+/// larger for windier paths; returns +inf-ish cap for near-zero
+/// displacement (capped at `cap`).
+float sinuosity(const Trajectory& t, float cap = 100.0f);
+
+/// Heading of net displacement (radians, atan2 convention); nullopt when
+/// displacement is ~0.
+std::optional<float> netHeading(const Trajectory& t, float minDispCm = 1e-3f);
+
+/// Classifies the final sample's direction from the arena centre into one
+/// of the four compass sides (45-degree sectors: east = |angle| < pi/4 ...).
+/// nullopt if the final point is within `minRadiusCm` of the centre.
+std::optional<ArenaSide> exitSide(const Trajectory& t,
+                                  float minRadiusCm = 1.0f);
+
+/// True iff the trajectory's last point is outside the given arena (the ant
+/// actually left, rather than the clock running out).
+bool exitedArena(const Trajectory& t, float arenaRadiusCm);
+
+/// Total time (s) the trajectory spends within `radiusCm` of the arena
+/// centre inside the time window [t0, t1] (segment-wise linear).
+float dwellTimeInCenter(const Trajectory& t, float radiusCm, float t0,
+                        float t1);
+
+/// Mean speed over the whole trajectory (cm/s); 0 for < 2 points.
+float meanSpeed(const Trajectory& t);
+
+/// Per-step turning angles (radians in (-pi, pi]); empty for < 3 points.
+std::vector<float> turningAngles(const Trajectory& t);
+
+/// Mean of |turning angle| — a robust windiness scalar.
+float meanAbsTurning(const Trajectory& t);
+
+/// Longest contiguous run of samples (by duration, s) during which the ant
+/// moves slower than `speedThresholdCmS` — the "stationary ant" signature
+/// that shows up as a display-perpendicular segment in the space-time cube.
+float longestStationaryRunS(const Trajectory& t, float speedThresholdCmS);
+
+/// Straightness index = net displacement / path length, in [0, 1].
+float straightness(const Trajectory& t);
+
+/// First time (s) the trajectory leaves the disc of `radiusCm` around the
+/// centre for good (never re-enters); nullopt if it never leaves.
+std::optional<float> centerDepartureTime(const Trajectory& t, float radiusCm);
+
+/// Dominant angular frequency (rad/s) of the heading signal, estimated by
+/// counting signed heading-rotation; captures the H4 looping periodicity.
+/// Returns 0 for trajectories with < 3 points.
+float meanAngularVelocity(const Trajectory& t);
+
+/// Aggregate descriptive statistics over a set of scalars.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(std::vector<double> values);
+
+}  // namespace svq::traj

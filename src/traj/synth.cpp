@@ -1,0 +1,139 @@
+#include "traj/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::traj {
+
+float AntSimulator::homeHeading(CaptureSide side) {
+  // Arena axes: +x = east, +y = north. The colony trail runs north-south,
+  // so an ant displaced east of the trail homes west, and vice versa.
+  switch (side) {
+    case CaptureSide::kEast: return kPi;          // -> west
+    case CaptureSide::kWest: return 0.0f;         // -> east
+    case CaptureSide::kNorth: return -kPi * 0.5f; // -> south
+    case CaptureSide::kSouth: return kPi * 0.5f;  // -> north
+    case CaptureSide::kOnTrail: return 0.0f;      // unused (no goal)
+  }
+  return 0.0f;
+}
+
+Trajectory AntSimulator::simulate(TrajectoryMeta meta, const ArenaSpec& arena) {
+  const AntBehaviorParams& p = params_;
+  std::vector<TrajPoint> pts;
+
+  const bool onTrail = meta.side == CaptureSide::kOnTrail;
+  // H2: on-trail ants are windier. With windinessStrength=0 both groups use
+  // the direct concentration.
+  const float rho =
+      onTrail ? lerp(p.directRho, p.windyRho, p.windinessStrength)
+              : p.directRho;
+  // H1: off-trail ants steer toward home; on-trail ants have no goal.
+  const float homingWeight =
+      onTrail ? 0.0f : p.homingBias * p.homingStrength;
+  const float goal = homeHeading(meta.side);
+
+  // H3: seed-droppers search the centre first.
+  float searchUntilS = 0.0f;
+  if (meta.seed == SeedState::kDroppedAtCapture && p.seedSearchStrength > 0.0f) {
+    searchUntilS = static_cast<float>(
+        rng_.exponential(1.0 / std::max(1.0f, p.seedSearchMeanS *
+                                                  p.seedSearchStrength)));
+    searchUntilS = clamp(searchUntilS, 5.0f * p.seedSearchStrength,
+                         0.6f * p.maxDurationS);
+  }
+
+  // Duration budget: at least minDurationS even if the ant would exit
+  // earlier we still keep what we have; boundary exit ends tracking.
+  const float duration =
+      rng_.uniform(p.minDurationS, p.maxDurationS);
+
+  float heading = rng_.uniform(-kPi, kPi);
+  // Returning ants start out slightly better aligned with home (they were
+  // already navigating when captured).
+  if (!onTrail && meta.direction == JourneyDirection::kReturning) {
+    heading = rng_.wrappedNormal(goal, 1.2f);
+  }
+
+  Vec2 pos{0.0f, 0.0f};
+  const float dt = p.timeStepS;
+  pts.push_back({pos, 0.0f});
+
+  float t = dt;
+  // Per-ant loop phase/direction for the H4 periodic search component.
+  const float loopSign = rng_.chance(0.5) ? 1.0f : -1.0f;
+  for (; t <= duration; t += dt) {
+    const bool searching = t < searchUntilS;
+
+    // Correlated random walk step: heading accumulates a wrapped-Cauchy
+    // turning angle; goal attraction blends the heading toward home.
+    const float effRho = searching ? 0.3f : rho;
+    float turn = rng_.wrappedCauchy(effRho);
+
+    // H4: during search (and faintly afterwards for on-trail ants), a
+    // constant angular rate produces looping/spiral structure.
+    if (searching && p.loopStrength > 0.0f) {
+      turn += loopSign * p.loopRateRadS * dt *
+              (p.loopStrength * 2.0f);
+    } else if (onTrail && p.loopStrength > 0.0f) {
+      turn += loopSign * p.loopRateRadS * dt * (p.loopStrength * 0.5f);
+    }
+
+    heading = wrapAngle(heading + turn);
+    if (!searching && homingWeight > 0.0f) {
+      // Blend toward goal by rotating a fraction of the angular error.
+      const float err = wrapAngle(goal - heading);
+      heading = wrapAngle(heading + homingWeight * err);
+    }
+
+    float speed = p.meanSpeedCmS *
+                  std::exp(static_cast<float>(
+                      rng_.normal(0.0, p.speedJitter)));
+    if (searching) {
+      speed *= lerp(1.0f, p.searchSpeedFactor, p.seedSearchStrength);
+    }
+
+    pos += Vec2::fromAngle(heading) * (speed * dt);
+    pts.push_back({pos, t});
+
+    if (!arena.contains(pos)) break;  // exited the arena: tracking ends
+  }
+
+  // Guarantee >= 2 samples (degenerate parameter sets).
+  if (pts.size() < 2) {
+    pts.push_back({pos + Vec2{0.1f, 0.0f}, pts.back().t + dt});
+  }
+  return Trajectory(meta, std::move(pts));
+}
+
+TrajectoryDataset AntSimulator::generate(const DatasetSpec& spec) {
+  TrajectoryDataset ds(spec.arena);
+  ds.reserve(spec.count);
+
+  const CaptureSide offTrail[] = {CaptureSide::kEast, CaptureSide::kWest,
+                                  CaptureSide::kNorth, CaptureSide::kSouth};
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    TrajectoryMeta meta;
+    meta.id = static_cast<std::uint32_t>(i);
+    if (rng_.chance(spec.onTrailFraction)) {
+      meta.side = CaptureSide::kOnTrail;
+    } else {
+      meta.side = offTrail[rng_.below(4)];
+    }
+    meta.direction = rng_.chance(spec.returningFraction)
+                         ? JourneyDirection::kReturning
+                         : JourneyDirection::kOutbound;
+    const double u = rng_.uniform();
+    if (u < spec.carryingFraction) {
+      meta.seed = SeedState::kCarrying;
+    } else if (u < spec.carryingFraction + spec.droppedFraction) {
+      meta.seed = SeedState::kDroppedAtCapture;
+    } else {
+      meta.seed = SeedState::kNotCarrying;
+    }
+    ds.add(simulate(meta, spec.arena));
+  }
+  return ds;
+}
+
+}  // namespace svq::traj

@@ -1,0 +1,124 @@
+// synth.h — behavioural ant-navigation simulator.
+//
+// Substitute for the paper's field-collected dataset (~500 Messor
+// cephalotes trajectories from Mpala, Kenya). The simulator is a
+// correlated random walk with navigation strategies layered on top, and it
+// plants — with controllable strength — exactly the behavioural effects
+// the pilot study's hypotheses probed:
+//
+//   H1 (Fig 5): ants captured EAST of the north-south foraging trail tend
+//       to exit the arena on the WEST side (homing back toward the trail),
+//       and symmetrically for the other sides;
+//   H2 (§VI.A): ants captured ON the trail produce windier paths, ants
+//       captured off-trail walk more directly;
+//   H3 (§V.B): ants that dropped a seed at capture spend the early part of
+//       the experiment nearly stationary in the arena centre, searching;
+//   H4 (§V.C): search behaviour has a periodic (looping) component,
+//       visible as helical structure in the space-time cube.
+//
+// Every effect can be disabled (null model) so hypothesis tests have
+// negative controls. All randomness flows from one seed.
+#pragma once
+
+#include <cstdint>
+
+#include "traj/dataset.h"
+#include "traj/trajectory.h"
+#include "util/rng.h"
+
+namespace svq::traj {
+
+/// Tunable behaviour model. Defaults reproduce the qualitative effects the
+/// paper reports; set the *Strength knobs to 0 for null (no-effect) data.
+struct AntBehaviorParams {
+  // --- kinematics --------------------------------------------------------
+  float timeStepS = 0.1f;         ///< tracker sampling interval
+  float meanSpeedCmS = 3.0f;      ///< mean walking speed
+  float speedJitter = 0.35f;      ///< lognormal-ish multiplicative jitter
+  float minDurationS = 10.0f;     ///< paper: trajectories are 10 s – 3 min
+  float maxDurationS = 180.0f;
+
+  // --- correlated random walk -------------------------------------------
+  /// Turning-angle concentration for off-trail (direct) walkers; closer to
+  /// 1 means straighter paths.
+  float directRho = 0.92f;
+  /// Turning-angle concentration for on-trail (windy) walkers.
+  float windyRho = 0.55f;
+  /// H2 effect strength in [0,1]: 0 makes all ants share directRho.
+  float windinessStrength = 1.0f;
+
+  // --- homing (H1) --------------------------------------------------------
+  /// Probability weight of steering toward the home direction each step.
+  float homingBias = 0.30f;
+  /// H1 effect strength in [0,1]: scales homingBias; 0 = no homing.
+  float homingStrength = 1.0f;
+
+  // --- seed-search dwell (H3) ---------------------------------------------
+  /// Mean duration of the initial centre search for seed-droppers (s).
+  float seedSearchMeanS = 25.0f;
+  /// Speed multiplier during search (near-stationary).
+  float searchSpeedFactor = 0.15f;
+  /// H3 effect strength in [0,1]: 0 disables the search phase.
+  float seedSearchStrength = 1.0f;
+
+  // --- periodic looping (H4) ----------------------------------------------
+  /// Angular rate (rad/s) of the systematic-search loop component.
+  float loopRateRadS = 0.9f;
+  /// H4 effect strength in [0,1]: amplitude of the loop bias.
+  float loopStrength = 0.5f;
+
+  /// Returns a copy with every behavioural effect zeroed (null model).
+  AntBehaviorParams nullModel() const {
+    AntBehaviorParams p = *this;
+    p.windinessStrength = 0.0f;
+    p.homingStrength = 0.0f;
+    p.seedSearchStrength = 0.0f;
+    p.loopStrength = 0.0f;
+    return p;
+  }
+};
+
+/// Mix of experimental conditions in a generated dataset.
+struct DatasetSpec {
+  std::size_t count = 500;        ///< paper: ~500 trajectories
+  ArenaSpec arena{};              ///< 50 cm radius circular arena
+  /// Fraction of ants captured on the trail; the remainder is split evenly
+  /// over east/west/north/south.
+  float onTrailFraction = 0.2f;
+  /// Fraction of ants returning (vs outbound) at capture.
+  float returningFraction = 0.5f;
+  /// Fractions of carrying / dropped seed states (rest = not carrying).
+  float carryingFraction = 0.25f;
+  float droppedFraction = 0.2f;
+};
+
+/// Generates ant trajectories. Deterministic for a fixed seed.
+class AntSimulator {
+ public:
+  explicit AntSimulator(AntBehaviorParams params = {},
+                        std::uint64_t seed = 0x5eedULL)
+      : params_(params), rng_(seed) {}
+
+  const AntBehaviorParams& params() const { return params_; }
+
+  /// The homeward (goal) heading for a capture side, in radians.
+  /// East-captured ants home west (pi), west-captured home east (0),
+  /// north-captured home south (-pi/2), south-captured home north (pi/2).
+  /// On-trail ants have no fixed goal (returns 0; unused when homing
+  /// weight is 0 for them).
+  static float homeHeading(CaptureSide side);
+
+  /// Simulates one ant released at the arena centre. The trajectory ends
+  /// when the ant crosses the arena boundary or maxDurationS elapses, and
+  /// is always at least two samples long.
+  Trajectory simulate(TrajectoryMeta meta, const ArenaSpec& arena);
+
+  /// Generates a full dataset with the given condition mix.
+  TrajectoryDataset generate(const DatasetSpec& spec);
+
+ private:
+  AntBehaviorParams params_;
+  Rng rng_;
+};
+
+}  // namespace svq::traj

@@ -1,0 +1,113 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svq::traj {
+
+const char* toString(CaptureSide s) {
+  switch (s) {
+    case CaptureSide::kOnTrail: return "on_trail";
+    case CaptureSide::kEast: return "east";
+    case CaptureSide::kWest: return "west";
+    case CaptureSide::kNorth: return "north";
+    case CaptureSide::kSouth: return "south";
+  }
+  return "?";
+}
+
+const char* toString(JourneyDirection d) {
+  switch (d) {
+    case JourneyDirection::kOutbound: return "outbound";
+    case JourneyDirection::kReturning: return "returning";
+  }
+  return "?";
+}
+
+const char* toString(SeedState s) {
+  switch (s) {
+    case SeedState::kNotCarrying: return "no_seed";
+    case SeedState::kCarrying: return "carrying";
+    case SeedState::kDroppedAtCapture: return "dropped";
+  }
+  return "?";
+}
+
+bool parseCaptureSide(const std::string& s, CaptureSide& out) {
+  if (s == "on_trail") out = CaptureSide::kOnTrail;
+  else if (s == "east") out = CaptureSide::kEast;
+  else if (s == "west") out = CaptureSide::kWest;
+  else if (s == "north") out = CaptureSide::kNorth;
+  else if (s == "south") out = CaptureSide::kSouth;
+  else return false;
+  return true;
+}
+
+bool parseJourneyDirection(const std::string& s, JourneyDirection& out) {
+  if (s == "outbound") out = JourneyDirection::kOutbound;
+  else if (s == "returning") out = JourneyDirection::kReturning;
+  else return false;
+  return true;
+}
+
+bool parseSeedState(const std::string& s, SeedState& out) {
+  if (s == "no_seed") out = SeedState::kNotCarrying;
+  else if (s == "carrying") out = SeedState::kCarrying;
+  else if (s == "dropped") out = SeedState::kDroppedAtCapture;
+  else return false;
+  return true;
+}
+
+float Trajectory::pathLength() const {
+  float len = 0.0f;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    len += (points_[i].pos - points_[i - 1].pos).norm();
+  }
+  return len;
+}
+
+float Trajectory::netDisplacement() const {
+  if (points_.size() < 2) return 0.0f;
+  return (points_.back().pos - points_.front().pos).norm();
+}
+
+AABB2 Trajectory::bounds() const {
+  AABB2 box;
+  for (const auto& p : points_) box.expand(p.pos);
+  return box;
+}
+
+AABB3 Trajectory::spaceTimeBounds() const {
+  AABB3 box;
+  for (const auto& p : points_) box.expand(p.spaceTime());
+  return box;
+}
+
+std::size_t Trajectory::lowerBoundIndex(float t) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const TrajPoint& p, float value) { return p.t < value; });
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+Vec2 Trajectory::positionAt(float t) const {
+  if (points_.size() == 1) return points_.front().pos;
+  if (t <= points_.front().t) return points_.front().pos;
+  if (t >= points_.back().t) return points_.back().pos;
+  const std::size_t hi = lowerBoundIndex(t);
+  const std::size_t lo = hi - 1;
+  const float span = points_[hi].t - points_[lo].t;
+  const float u = span > 0.0f ? (t - points_[lo].t) / span : 0.0f;
+  return lerp(points_[lo].pos, points_[hi].pos, u);
+}
+
+bool Trajectory::wellFormed(float eps) const {
+  if (points_.empty()) return true;
+  if (std::abs(points_.front().t) > eps) return false;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].t <= points_[i - 1].t) return false;
+  }
+  return true;
+}
+
+}  // namespace svq::traj

@@ -1,0 +1,129 @@
+// trajectory.h — core trajectory data model.
+//
+// A trajectory is a time-ordered polyline of 2D arena positions, plus the
+// experimental metadata the paper's dataset carried: where the ant was
+// captured relative to the colony's main foraging trail, which way it was
+// heading, and its seed-carrying state. Positions are centimetres in arena
+// space with the arena centre at the origin (ants are released at the
+// centre); time is seconds since release.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace svq::traj {
+
+/// One tracked sample: 2D arena position (cm) at time t (s since release).
+struct TrajPoint {
+  Vec2 pos;
+  float t = 0.0f;
+
+  constexpr bool operator==(const TrajPoint&) const = default;
+  /// Space-time-cube embedding: XY = arena, Z = time.
+  constexpr Vec3 spaceTime() const { return {pos.x, pos.y, t}; }
+};
+
+/// Position of the capture site relative to the colony's main foraging
+/// trail (the trail runs north-south through the colony in our model).
+enum class CaptureSide : std::uint8_t {
+  kOnTrail = 0,
+  kEast,
+  kWest,
+  kNorth,
+  kSouth,
+};
+
+/// Direction of travel at the moment of capture.
+enum class JourneyDirection : std::uint8_t {
+  kOutbound = 0,  ///< heading away from the colony
+  kReturning,     ///< heading back to the colony
+};
+
+/// Seed-carrying state at capture (drives the "search for dropped seed"
+/// behaviour the pilot-study hypotheses probe).
+enum class SeedState : std::uint8_t {
+  kNotCarrying = 0,
+  kCarrying,
+  kDroppedAtCapture,  ///< was carrying, dropped the seed when captured
+};
+
+const char* toString(CaptureSide s);
+const char* toString(JourneyDirection d);
+const char* toString(SeedState s);
+
+/// Parse helpers; return false on unknown token.
+bool parseCaptureSide(const std::string& s, CaptureSide& out);
+bool parseJourneyDirection(const std::string& s, JourneyDirection& out);
+bool parseSeedState(const std::string& s, SeedState& out);
+
+/// Experimental metadata attached to every trajectory.
+struct TrajectoryMeta {
+  std::uint32_t id = 0;
+  CaptureSide side = CaptureSide::kOnTrail;
+  JourneyDirection direction = JourneyDirection::kOutbound;
+  SeedState seed = SeedState::kNotCarrying;
+
+  constexpr bool operator==(const TrajectoryMeta&) const = default;
+};
+
+/// A single ant trajectory: metadata + time-ordered samples.
+///
+/// Invariants maintained by the producers in this library (synthesizer,
+/// dataset loader, resampler): points are sorted by strictly increasing t,
+/// and the first sample is at t = 0.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  Trajectory(TrajectoryMeta meta, std::vector<TrajPoint> points)
+      : meta_(meta), points_(std::move(points)) {}
+
+  const TrajectoryMeta& meta() const { return meta_; }
+  TrajectoryMeta& meta() { return meta_; }
+
+  std::span<const TrajPoint> points() const { return points_; }
+  std::vector<TrajPoint>& mutablePoints() { return points_; }
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TrajPoint& front() const { return points_.front(); }
+  const TrajPoint& back() const { return points_.back(); }
+  const TrajPoint& operator[](std::size_t i) const { return points_[i]; }
+
+  /// Total tracked duration in seconds (0 for < 2 points).
+  float duration() const {
+    return points_.size() >= 2 ? points_.back().t - points_.front().t : 0.0f;
+  }
+
+  /// Sum of inter-sample segment lengths (cm).
+  float pathLength() const;
+
+  /// Straight-line distance from first to last sample (cm).
+  float netDisplacement() const;
+
+  /// 2D bounding box over all samples.
+  AABB2 bounds() const;
+
+  /// 3D space-time bounding box (Z = time).
+  AABB3 spaceTimeBounds() const;
+
+  /// Position linearly interpolated at time t (clamped to the tracked range).
+  /// Precondition: !empty().
+  Vec2 positionAt(float t) const;
+
+  /// Index of the first sample with sample.t >= t (== size() if past end).
+  std::size_t lowerBoundIndex(float t) const;
+
+  /// True iff points are strictly increasing in t and start at t==0
+  /// (within eps). Used by validation and property tests.
+  bool wellFormed(float eps = 1e-4f) const;
+
+ private:
+  TrajectoryMeta meta_;
+  std::vector<TrajPoint> points_;
+};
+
+}  // namespace svq::traj

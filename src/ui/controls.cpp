@@ -1,0 +1,30 @@
+#include "ui/controls.h"
+
+#include <cmath>
+
+namespace svq::ui {
+
+void Slider::set(float v) {
+  v = svq::clamp(v, min_, max_);
+  if (step_ > 0.0f) {
+    v = min_ + std::round((v - min_) / step_) * step_;
+    v = svq::clamp(v, min_, max_);
+  }
+  value_ = v;
+}
+
+void RangeSlider::setLo(float v) {
+  lo_ = svq::clamp(v, min_, hi_);
+}
+
+void RangeSlider::setHi(float v) {
+  hi_ = svq::clamp(v, lo_, max_);
+}
+
+void RangeSlider::setRange(float lo, float hi) {
+  if (lo > hi) std::swap(lo, hi);
+  lo_ = svq::clamp(lo, min_, max_);
+  hi_ = svq::clamp(hi, min_, max_);
+}
+
+}  // namespace svq::ui

@@ -1,0 +1,102 @@
+// controls.h — slider models for the interactive controls.
+//
+// The application exposes a temporal range slider and the two ergonomic
+// stereo sliders (§IV.C.2). These are pure value models (clamping,
+// stepping, normalized positions) so the interaction logic is testable
+// without any real widget toolkit.
+#pragma once
+
+#include "render/camera.h"
+#include "util/geometry.h"
+
+namespace svq::ui {
+
+/// A scalar slider with bounds and an optional step quantum.
+class Slider {
+ public:
+  Slider(float min, float max, float value, float step = 0.0f)
+      : min_(min), max_(max), step_(step) {
+    set(value);
+  }
+
+  float value() const { return value_; }
+  float min() const { return min_; }
+  float max() const { return max_; }
+
+  /// Clamps (and snaps to step when configured).
+  void set(float v);
+
+  /// Position in [0,1] along the track.
+  float normalized() const {
+    return max_ > min_ ? (value_ - min_) / (max_ - min_) : 0.0f;
+  }
+  void setNormalized(float u) { set(min_ + (max_ - min_) * u); }
+
+ private:
+  float min_;
+  float max_;
+  float step_;
+  float value_ = 0.0f;
+};
+
+/// Two-thumb range slider for the temporal filter. Maintains lo <= hi.
+class RangeSlider {
+ public:
+  RangeSlider(float min, float max) : min_(min), max_(max), lo_(min), hi_(max) {}
+
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
+  float min() const { return min_; }
+  float max() const { return max_; }
+
+  void setLo(float v);
+  void setHi(float v);
+  void setRange(float lo, float hi);
+  /// Full range (no filtering).
+  void reset() {
+    lo_ = min_;
+    hi_ = max_;
+  }
+  bool isFullRange() const { return lo_ <= min_ && hi_ >= max_; }
+
+ private:
+  float min_;
+  float max_;
+  float lo_;
+  float hi_;
+};
+
+/// The ergonomic stereo control panel: depth-plane offset + time-scale
+/// exaggeration, projected into StereoSettings. Slider ranges follow the
+/// comfort envelope for the paper's wall-at-3m viewing geometry.
+class StereoControls {
+ public:
+  StereoControls()
+      : depthOffset_(-40.0f, 40.0f, 0.0f), timeScale_(0.0f, 1.0f, 0.25f) {}
+
+  Slider& depthOffsetCm() { return depthOffset_; }
+  Slider& timeScaleCmPerS() { return timeScale_; }
+  const Slider& depthOffsetCm() const { return depthOffset_; }
+  const Slider& timeScaleCmPerS() const { return timeScale_; }
+
+  /// Applies the slider state onto stereo settings.
+  void applyTo(render::StereoSettings& s) const {
+    s.depthOffsetCm = depthOffset_.value();
+    s.timeScaleCmPerS = timeScale_.value();
+  }
+
+  /// True iff the current settings keep the worst-case parallax of a
+  /// trajectory lasting maxDurationS within the comfort bound.
+  bool comfortable(const render::StereoSettings& base,
+                   float maxDurationS) const {
+    render::StereoSettings s = base;
+    applyTo(s);
+    return render::OrthoStereoCamera(s).comfortable(maxDurationS);
+  }
+
+ private:
+  Slider depthOffset_;
+  Slider timeScale_;
+};
+
+}  // namespace svq::ui

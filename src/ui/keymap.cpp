@@ -1,0 +1,47 @@
+#include "ui/keymap.h"
+
+namespace svq::ui {
+
+std::optional<Event> mapKey(char key, KeymapState& state) {
+  if (key >= '1' && key <= '9') {
+    return LayoutSwitchEvent{static_cast<std::uint8_t>(key - '1')};
+  }
+  switch (key) {
+    case 'r':
+      state.activeBrush = 0;
+      return std::nullopt;  // mode change only
+    case 'g':
+      state.activeBrush = 1;
+      return std::nullopt;
+    case 'b':
+      state.activeBrush = 2;
+      return std::nullopt;
+    case 'c':
+      return BrushClearEvent{state.activeBrush};
+    case 'C':
+      return BrushClearEvent{255};
+    case 'n':
+      return PageEvent{+1};
+    case 'p':
+      return PageEvent{-1};
+    case '[':
+      state.depthOffsetCm -= state.depthStepCm;
+      return DepthOffsetEvent{state.depthOffsetCm};
+    case ']':
+      state.depthOffsetCm += state.depthStepCm;
+      return DepthOffsetEvent{state.depthOffsetCm};
+    case '-':
+      state.timeScaleCmPerS =
+          std::max(0.0f, state.timeScaleCmPerS - state.timeScaleStep);
+      return TimeScaleEvent{state.timeScaleCmPerS};
+    case '=':
+      state.timeScaleCmPerS += state.timeScaleStep;
+      return TimeScaleEvent{state.timeScaleCmPerS};
+    case '0':
+      return TimeWindowEvent{0.0f, 1e9f};
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace svq::ui

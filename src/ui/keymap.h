@@ -1,0 +1,41 @@
+// keymap.h — keyboard-to-event mapping.
+//
+// §IV.C.2: "The user can switch between a number of configurations by
+// pressing a number on the keypad: '1', '2', etc." This module models the
+// application's keyboard interface: number keys select layout presets,
+// letter keys select brushes / clear paint / page through groups, and
+// bracket keys nudge the ergonomic sliders. Pure mapping, so the binding
+// table is testable without any windowing toolkit.
+#pragma once
+
+#include <optional>
+
+#include "ui/events.h"
+
+namespace svq::ui {
+
+/// Modeless keyboard state (the active brush radius and slider steps).
+struct KeymapState {
+  std::uint8_t activeBrush = 0;
+  float brushRadiusCm = 5.0f;
+  float depthOffsetCm = 0.0f;
+  float timeScaleCmPerS = 0.25f;
+  float depthStepCm = 2.0f;
+  float timeScaleStep = 0.05f;
+};
+
+/// Maps one key press to an application event, updating sticky state
+/// (active brush, slider values). Returns nullopt for unbound keys.
+///
+/// Bindings:
+///   '1'..'9'  switch layout preset (index key-1)
+///   'r','g','b' select red/green/blue brush (indices 0/1/2)
+///   'c'       clear the active brush's paint
+///   'C'       clear all paint
+///   'n','p'   next/previous page in all groups
+///   '['/']'   depth-plane offset down/up
+///   '-'/'='   time-scale exaggeration down/up
+///   '0'       reset the temporal filter to the full range
+std::optional<Event> mapKey(char key, KeymapState& state);
+
+}  // namespace svq::ui

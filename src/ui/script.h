@@ -1,0 +1,49 @@
+// script.h — recorded interaction sessions.
+//
+// The pilot study is reproduced by replaying scripted analyst sessions:
+// a time-stamped sequence of events with think-aloud notes. Scripts can be
+// recorded from a live session, saved to a binary file, and replayed into
+// the application (optionally time-compressed).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ui/events.h"
+
+namespace svq::ui {
+
+/// An ordered, time-stamped event sequence.
+class InputScript {
+ public:
+  InputScript() = default;
+
+  void record(double timeS, Event e, std::string note = {}) {
+    events_.push_back(TimedEvent{timeS, std::move(e), std::move(note)});
+  }
+
+  const std::vector<TimedEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  double durationS() const {
+    return events_.empty() ? 0.0 : events_.back().timeS;
+  }
+
+  /// Invokes sink for every event in time order (events are kept sorted
+  /// on deserialize; record() expects nondecreasing stamps).
+  void replay(const std::function<void(const TimedEvent&)>& sink) const;
+
+  /// Serialization (round-trips through MessageBuffer).
+  net::MessageBuffer serialize() const;
+  static std::optional<InputScript> deserialize(net::MessageBuffer buf);
+
+  bool saveBinary(const std::string& path) const;
+  static std::optional<InputScript> loadBinary(const std::string& path);
+
+ private:
+  std::vector<TimedEvent> events_;
+};
+
+}  // namespace svq::ui

@@ -1,0 +1,73 @@
+#include "util/csv.h"
+
+namespace svq {
+
+std::vector<std::string> csvSplit(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string csvJoin(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back(',');
+    const std::string& f = fields[i];
+    const bool needsQuote =
+        f.find_first_of(",\" ") != std::string::npos || f.empty();
+    if (!needsQuote) {
+      out += f;
+    } else {
+      out.push_back('"');
+      for (char c : f) {
+        if (c == '"') out += "\"\"";
+        else out.push_back(c);
+      }
+      out.push_back('"');
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> csvParse(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) rows.push_back(csvSplit(line));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return rows;
+}
+
+}  // namespace svq

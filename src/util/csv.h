@@ -1,0 +1,23 @@
+// csv.h — tiny CSV reader/writer used by the trajectory dataset IO.
+//
+// Supports the subset of RFC 4180 that the dataset format needs: comma
+// separation, double-quote quoting with doubled-quote escapes, and both
+// \n and \r\n line endings. No embedded newlines inside quoted fields.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svq {
+
+/// Splits one CSV line into fields, honouring double-quote quoting.
+std::vector<std::string> csvSplit(std::string_view line);
+
+/// Joins fields into one CSV line, quoting fields containing , " or space.
+std::string csvJoin(const std::vector<std::string>& fields);
+
+/// Parses a whole CSV document into rows of fields. Skips blank lines.
+std::vector<std::vector<std::string>> csvParse(std::string_view text);
+
+}  // namespace svq

@@ -1,0 +1,216 @@
+// geometry.h — small value-type linear algebra used throughout SVQ.
+//
+// The visualization operates in three coordinate flavours:
+//   * arena space:  2D centimetres on the experimental arena (trajectory XY)
+//   * wall space:   millimetres on the physical display wall surface
+//   * pixel space:  integer framebuffer coordinates
+// All of them use these Vec2/Vec3/AABB types; the semantic distinction is
+// carried by the owning API, not the type.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace svq {
+
+/// 2D vector of floats. Plain aggregate; value semantics throughout.
+struct Vec2 {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(float s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(float s) { x *= s; y *= s; return *this; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr float dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// 2D cross product (z component of the 3D cross of the embedded vectors).
+  constexpr float cross(Vec2 o) const { return x * o.y - y * o.x; }
+  float norm() const { return std::sqrt(dot(*this)); }
+  constexpr float norm2() const { return dot(*this); }
+  /// Unit vector; returns {0,0} for the zero vector rather than NaN.
+  Vec2 normalized() const {
+    const float n = norm();
+    return n > 0.0f ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Counter-clockwise perpendicular.
+  constexpr Vec2 perp() const { return {-y, x}; }
+  /// Polar angle in radians, in (-pi, pi].
+  float angle() const { return std::atan2(y, x); }
+
+  static Vec2 fromAngle(float radians) {
+    return {std::cos(radians), std::sin(radians)};
+  }
+};
+
+constexpr Vec2 operator*(float s, Vec2 v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+/// 3D vector of floats. Z carries time in the space-time cube encoding.
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(Vec3 o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr float dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  float norm() const { return std::sqrt(dot(*this)); }
+  constexpr float norm2() const { return dot(*this); }
+  Vec3 normalized() const {
+    const float n = norm();
+    return n > 0.0f ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+  constexpr Vec2 xy() const { return {x, y}; }
+};
+
+constexpr Vec3 operator*(float s, Vec3 v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, Vec3 v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Linear interpolation; t is not clamped.
+constexpr float lerp(float a, float b, float t) { return a + (b - a) * t; }
+constexpr Vec2 lerp(Vec2 a, Vec2 b, float t) { return a + (b - a) * t; }
+constexpr Vec3 lerp(Vec3 a, Vec3 b, float t) { return a + (b - a) * t; }
+
+/// Axis-aligned 2D box. Empty (invalid) until the first expand().
+struct AABB2 {
+  Vec2 min{std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max()};
+  Vec2 max{std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest()};
+
+  constexpr bool valid() const { return min.x <= max.x && min.y <= max.y; }
+  constexpr Vec2 size() const { return max - min; }
+  constexpr Vec2 center() const { return (min + max) * 0.5f; }
+  constexpr float area() const {
+    return valid() ? (max.x - min.x) * (max.y - min.y) : 0.0f;
+  }
+
+  void expand(Vec2 p) {
+    min.x = std::min(min.x, p.x); min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x); max.y = std::max(max.y, p.y);
+  }
+  void expand(const AABB2& o) {
+    if (!o.valid()) return;
+    expand(o.min);
+    expand(o.max);
+  }
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  constexpr bool intersects(const AABB2& o) const {
+    return valid() && o.valid() &&
+           min.x <= o.max.x && max.x >= o.min.x &&
+           min.y <= o.max.y && max.y >= o.min.y;
+  }
+  /// Grow symmetrically by `m` on each side.
+  constexpr AABB2 inflated(float m) const {
+    return {{min.x - m, min.y - m}, {max.x + m, max.y + m}};
+  }
+
+  static constexpr AABB2 of(Vec2 lo, Vec2 hi) { return {lo, hi}; }
+};
+
+/// Axis-aligned 3D box (space-time extent of a trajectory).
+struct AABB3 {
+  Vec3 min{std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max()};
+  Vec3 max{std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest()};
+
+  constexpr bool valid() const {
+    return min.x <= max.x && min.y <= max.y && min.z <= max.z;
+  }
+  constexpr Vec3 size() const { return max - min; }
+  constexpr Vec3 center() const { return (min + max) * 0.5f; }
+
+  void expand(Vec3 p) {
+    min.x = std::min(min.x, p.x); min.y = std::min(min.y, p.y);
+    min.z = std::min(min.z, p.z);
+    max.x = std::max(max.x, p.x); max.y = std::max(max.y, p.y);
+    max.z = std::max(max.z, p.z);
+  }
+  constexpr bool contains(Vec3 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+  constexpr AABB2 xy() const { return {min.xy(), max.xy()}; }
+};
+
+/// Integer rectangle in pixel space: [x, x+w) x [y, y+h).
+struct RectI {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  constexpr bool operator==(const RectI&) const = default;
+  constexpr bool empty() const { return w <= 0 || h <= 0; }
+  constexpr long long areaPx() const {
+    return empty() ? 0 : static_cast<long long>(w) * h;
+  }
+  constexpr bool contains(int px, int py) const {
+    return px >= x && px < x + w && py >= y && py < y + h;
+  }
+  constexpr bool intersects(const RectI& o) const {
+    return !empty() && !o.empty() &&
+           x < o.x + o.w && x + w > o.x && y < o.y + o.h && y + h > o.y;
+  }
+  /// Intersection; empty rect if disjoint.
+  constexpr RectI clipped(const RectI& o) const {
+    const int nx = std::max(x, o.x);
+    const int ny = std::max(y, o.y);
+    const int nx2 = std::min(x + w, o.x + o.w);
+    const int ny2 = std::min(y + h, o.y + o.h);
+    return {nx, ny, std::max(0, nx2 - nx), std::max(0, ny2 - ny)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const RectI& r) {
+  return os << '[' << r.x << ',' << r.y << ' ' << r.w << 'x' << r.h << ']';
+}
+
+constexpr float kPi = 3.14159265358979323846f;
+constexpr float kTwoPi = 2.0f * kPi;
+
+/// Wrap an angle into (-pi, pi].
+inline float wrapAngle(float a) {
+  a = std::fmod(a + kPi, kTwoPi);
+  if (a < 0.0f) a += kTwoPi;
+  return a - kPi;
+}
+
+/// Degrees -> radians.
+constexpr float radians(float deg) { return deg * (kPi / 180.0f); }
+/// Radians -> degrees.
+constexpr float degrees(float rad) { return rad * (180.0f / kPi); }
+
+template <typename T>
+constexpr T clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace svq

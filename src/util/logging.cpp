@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace svq {
+
+namespace {
+std::atomic<int>& levelRef() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+std::mutex& emitMutex() {
+  static std::mutex m;
+  return m;
+}
+const char* levelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) {
+  levelRef().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() {
+  return static_cast<LogLevel>(levelRef().load(std::memory_order_relaxed));
+}
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(logLevel())) return;
+  std::lock_guard lock(emitMutex());
+  std::fprintf(stderr, "[svq:%s] %s\n", levelName(level), message.c_str());
+}
+
+}  // namespace svq

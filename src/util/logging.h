@@ -1,0 +1,48 @@
+// logging.h — minimal leveled logger.
+//
+// SVQ is a library first; logging defaults to warnings-and-above on stderr
+// and is globally adjustable by applications. No global construction order
+// hazards: state lives in function-local statics.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace svq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that will be emitted. Thread-safe.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emits a single log line (used by the SVQ_LOG macro; callable directly).
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace svq
+
+#define SVQ_LOG(level) \
+  if (static_cast<int>(level) < static_cast<int>(::svq::logLevel())) { \
+  } else ::svq::detail::LogLine(level)
+
+#define SVQ_DEBUG SVQ_LOG(::svq::LogLevel::kDebug)
+#define SVQ_INFO SVQ_LOG(::svq::LogLevel::kInfo)
+#define SVQ_WARN SVQ_LOG(::svq::LogLevel::kWarn)
+#define SVQ_ERROR SVQ_LOG(::svq::LogLevel::kError)

@@ -1,0 +1,53 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace svq {
+
+double Rng::normal() {
+  if (hasCachedNormal_) {
+    hasCachedNormal_ = false;
+    return cachedNormal_;
+  }
+  // Box–Muller: two uniforms -> two independent standard normals.
+  double u1 = uniform();
+  // Guard against log(0).
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cachedNormal_ = r * std::sin(theta);
+  hasCachedNormal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::wrappedCauchy(float rho) {
+  if (rho <= 0.0f) return uniform(-kPi, kPi);
+  if (rho >= 1.0f) return 0.0f;
+  // Inverse-CDF sampling of the wrapped Cauchy distribution.
+  const double u = uniform();
+  const double r = static_cast<double>(rho);
+  const double v = std::cos(2.0 * 3.14159265358979323846 * u);
+  const double c = 2.0 * r / (1.0 + r * r);
+  double angle = std::acos(svq::clamp((v + c) / (1.0 + c * v), -1.0, 1.0));
+  if (chance(0.5)) angle = -angle;
+  return static_cast<float>(angle);
+}
+
+float Rng::wrappedNormal(float mu, float sigma) {
+  return wrapAngle(mu + static_cast<float>(normal(0.0, sigma)));
+}
+
+double Rng::exponential(double lambda) {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+Vec2 Rng::inDisc(float radius) {
+  // Rejection-free: sqrt of uniform radius^2 gives uniform area density.
+  const float r = radius * std::sqrt(uniformF());
+  return Vec2::fromAngle(uniform(-kPi, kPi)) * r;
+}
+
+}  // namespace svq

@@ -1,0 +1,126 @@
+// rng.h — deterministic pseudo-random number generation.
+//
+// All stochastic components in SVQ (the ant-behaviour synthesizer, SOM
+// initialization, fuzz tests) draw from this generator so that every
+// experiment is reproducible from a single seed. The engine is
+// xoshiro256++, seeded via splitmix64 per the reference recommendation;
+// it is small, fast, and has no global state.
+#pragma once
+
+#include <cstdint>
+
+#include "util/geometry.h"
+
+namespace svq {
+
+/// splitmix64 step — used to expand a single 64-bit seed into engine state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic xoshiro256++ generator with convenience distributions.
+///
+/// Not thread-safe; give each worker its own instance (see split()).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float uniformF() { return static_cast<float>(uniform()); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + (hi - lo) * uniformF();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int rangeInt(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (polar-free, two uniforms per call pair).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Wrapped-Cauchy angle sample centred at 0 with concentration rho in [0,1).
+  /// rho=0 is uniform on (-pi,pi], rho->1 concentrates at 0. This is the
+  /// canonical turning-angle distribution for correlated random walks.
+  float wrappedCauchy(float rho);
+
+  /// von Mises-like heading sample approximated by wrapped normal; kappa >= 0.
+  float wrappedNormal(float mu, float sigma);
+
+  /// Exponential with given rate (lambda > 0).
+  double exponential(double lambda);
+
+  /// Random unit 2-vector.
+  Vec2 unitVec2() { return Vec2::fromAngle(uniform(-kPi, kPi)); }
+
+  /// Point uniform in a disc of given radius centred at origin.
+  Vec2 inDisc(float radius);
+
+  /// Derive an independent child generator (for per-worker streams).
+  Rng split() { return Rng(next() ^ 0x9E3779B97F4A7C15ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  double cachedNormal_ = 0.0;
+  bool hasCachedNormal_ = false;
+};
+
+}  // namespace svq

@@ -1,0 +1,20 @@
+#include "util/stopwatch.h"
+
+#include <algorithm>
+
+namespace svq {
+
+void TimingStats::add(double seconds) {
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  sum_ += seconds;
+  ++count_;
+}
+
+void TimingStats::reset() { *this = TimingStats{}; }
+
+}  // namespace svq

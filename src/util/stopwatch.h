@@ -1,0 +1,45 @@
+// stopwatch.h — wall-clock timing for the benchmark harness and frame stats.
+#pragma once
+
+#include <chrono>
+
+namespace svq {
+
+/// Monotonic stopwatch. start() on construction; elapsed*() are cheap reads.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+  double elapsedMicros() const { return elapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Running mean/min/max accumulator for per-frame statistics.
+class TimingStats {
+ public:
+  void add(double seconds);
+  void reset();
+
+  int count() const { return count_; }
+  double mean() const { return count_ ? sum_ / count_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double total() const { return sum_; }
+
+ private:
+  int count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace svq

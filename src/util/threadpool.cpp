@@ -1,0 +1,128 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace svq {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  taskReady_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++inFlight_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      taskReady_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--inFlight_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  parallelForChunks(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallelForChunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::max<std::size_t>(
+      1, std::min<std::size_t>(workers_.size() + 1, n / std::max<std::size_t>(grain, 1)));
+  if (parts <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + parts - 1) / parts;
+
+  // Completion is tracked separately from the queue's inFlight_ so that a
+  // caller running one chunk inline can block on just its own chunks.
+  struct State {
+    std::atomic<std::size_t> remaining;
+    std::mutex m;
+    std::condition_variable cv;
+  } state{std::atomic<std::size_t>(parts - 1), {}, {}};
+
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::size_t lo = begin + p * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) {
+      state.remaining.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    submit([&body, &state, lo, hi] {
+      body(lo, hi);
+      if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(state.m);
+        state.cv.notify_one();
+      }
+    });
+  }
+
+  // First chunk runs on the calling thread — keeps it busy instead of idle.
+  body(begin, std::min(end, begin + chunk));
+
+  std::unique_lock lock(state.m);
+  state.cv.wait(lock, [&state] {
+    return state.remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t grain) {
+  ThreadPool::global().parallelFor(begin, end, body, grain);
+}
+
+}  // namespace svq

@@ -1,0 +1,76 @@
+// threadpool.h — shared-memory work execution for SVQ.
+//
+// The visual-query engine and the software rasterizer both have
+// embarrassingly parallel inner loops (per-trajectory query evaluation,
+// per-scanline-band rasterization). This pool provides a blocking
+// parallelFor over index ranges with static chunking, mirroring the
+// `#pragma omp parallel for schedule(static)` idiom while remaining a
+// plain C++ component that cluster render-nodes can each own privately.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace svq {
+
+/// Fixed-size worker pool with a blocking parallel-for primitive.
+///
+/// Thread-safe: submit()/parallelFor() may be called from any thread, but
+/// nested parallelFor from inside a worker deadlocks by design (documented
+/// precondition) — run nested loops sequentially instead.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Fire-and-forget task submission.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait();
+
+  /// Runs body(i) for i in [begin, end), split into contiguous chunks of
+  /// roughly equal size across the workers plus the calling thread.
+  /// Blocks until all iterations complete. `grain` bounds the minimum chunk.
+  void parallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 1);
+
+  /// Chunked variant: body receives [chunkBegin, chunkEnd) so callers can
+  /// hoist per-chunk state (e.g. an Rng or scratch buffer).
+  void parallelForChunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t grain = 1);
+
+  /// Process-wide default pool (sized to hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallelFor.
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t grain = 1);
+
+}  // namespace svq

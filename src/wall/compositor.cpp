@@ -1,0 +1,79 @@
+#include "wall/compositor.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "render/color.h"
+
+namespace svq::wall {
+
+using render::Color;
+using render::Framebuffer;
+
+Framebuffer composeActivePixels(const WallSpec& spec,
+                                const std::vector<Framebuffer>& tiles) {
+  assert(static_cast<int>(tiles.size()) == spec.tileCount());
+  Framebuffer out(spec.totalPxW(), spec.totalPxH());
+  for (int i = 0; i < spec.tileCount(); ++i) {
+    const RectI r = spec.tileRectPx(spec.tileFromIndex(i));
+    out.blit(tiles[static_cast<std::size_t>(i)], r.x, r.y);
+  }
+  return out;
+}
+
+Framebuffer composePhysicalMockup(const WallSpec& spec,
+                                  const std::vector<Framebuffer>& tiles,
+                                  float pxPerMm) {
+  assert(static_cast<int>(tiles.size()) == spec.tileCount());
+  const int outW =
+      static_cast<int>(std::ceil(spec.physicalWmm() * pxPerMm));
+  const int outH =
+      static_cast<int>(std::ceil(spec.physicalHmm() * pxPerMm));
+  Framebuffer out(outW, outH, render::colors::kBezel);
+
+  const TileSpec& t = spec.tile();
+  for (int idx = 0; idx < spec.tileCount(); ++idx) {
+    const TileCoord tc = spec.tileFromIndex(idx);
+    const Framebuffer& src = tiles[static_cast<std::size_t>(idx)];
+    // Physical origin of this tile's active area.
+    const float ax =
+        (static_cast<float>(tc.col) * t.footprintWmm() + t.bezelMm) * pxPerMm;
+    const float ay =
+        (static_cast<float>(tc.row) * t.footprintHmm() + t.bezelMm) * pxPerMm;
+    const int aw = std::max(1, static_cast<int>(t.activeWmm * pxPerMm));
+    const int ah = std::max(1, static_cast<int>(t.activeHmm * pxPerMm));
+    // Nearest-neighbour downsample of the tile into its physical footprint.
+    for (int y = 0; y < ah; ++y) {
+      const int sy = std::min(src.height() - 1,
+                              y * src.height() / std::max(1, ah));
+      for (int x = 0; x < aw; ++x) {
+        const int sx = std::min(src.width() - 1,
+                                x * src.width() / std::max(1, aw));
+        out.set(static_cast<int>(ax) + x, static_cast<int>(ay) + y,
+                src.at(sx, sy));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Framebuffer> splitIntoTiles(const WallSpec& spec,
+                                        const Framebuffer& wallImage) {
+  assert(wallImage.width() == spec.totalPxW());
+  assert(wallImage.height() == spec.totalPxH());
+  std::vector<Framebuffer> tiles;
+  tiles.reserve(static_cast<std::size_t>(spec.tileCount()));
+  for (int i = 0; i < spec.tileCount(); ++i) {
+    const RectI r = spec.tileRectPx(spec.tileFromIndex(i));
+    Framebuffer tile(r.w, r.h);
+    for (int y = 0; y < r.h; ++y) {
+      for (int x = 0; x < r.w; ++x) {
+        tile.at(x, y) = wallImage.at(r.x + x, r.y + y);
+      }
+    }
+    tiles.push_back(std::move(tile));
+  }
+  return tiles;
+}
+
+}  // namespace svq::wall

@@ -1,0 +1,76 @@
+#include "wall/wall.h"
+
+#include <cmath>
+
+namespace svq::wall {
+
+std::optional<TileCoord> WallSpec::tileOfPixel(int px, int py) const {
+  if (px < 0 || py < 0 || px >= totalPxW() || py >= totalPxH()) {
+    return std::nullopt;
+  }
+  return TileCoord{px / tile_.pxW, py / tile_.pxH};
+}
+
+Vec2 WallSpec::pixelToMm(int px, int py) const {
+  const int col = px / tile_.pxW;
+  const int row = py / tile_.pxH;
+  const int lx = px - col * tile_.pxW;
+  const int ly = py - row * tile_.pxH;
+  const float x = static_cast<float>(col) * tile_.footprintWmm() +
+                  tile_.bezelMm +
+                  (static_cast<float>(lx) + 0.5f) * tile_.pitchMmX();
+  const float y = static_cast<float>(row) * tile_.footprintHmm() +
+                  tile_.bezelMm +
+                  (static_cast<float>(ly) + 0.5f) * tile_.pitchMmY();
+  return {x, y};
+}
+
+std::optional<Vec2> WallSpec::mmToPixel(Vec2 mm) const {
+  if (mm.x < 0.0f || mm.y < 0.0f || mm.x >= physicalWmm() ||
+      mm.y >= physicalHmm()) {
+    return std::nullopt;
+  }
+  const int col = static_cast<int>(mm.x / tile_.footprintWmm());
+  const int row = static_cast<int>(mm.y / tile_.footprintHmm());
+  const float lxMm = mm.x - static_cast<float>(col) * tile_.footprintWmm() -
+                     tile_.bezelMm;
+  const float lyMm = mm.y - static_cast<float>(row) * tile_.footprintHmm() -
+                     tile_.bezelMm;
+  if (lxMm < 0.0f || lyMm < 0.0f || lxMm >= tile_.activeWmm ||
+      lyMm >= tile_.activeHmm) {
+    return std::nullopt;  // on a bezel
+  }
+  const float px = static_cast<float>(col * tile_.pxW) + lxMm / tile_.pitchMmX();
+  const float py = static_cast<float>(row * tile_.pxH) + lyMm / tile_.pitchMmY();
+  return Vec2{px, py};
+}
+
+bool WallSpec::rectAvoidsBezels(const RectI& r) const {
+  if (r.empty()) return false;
+  if (r.x < 0 || r.y < 0 || r.x + r.w > totalPxW() || r.y + r.h > totalPxH()) {
+    return false;
+  }
+  const int c0 = r.x / tile_.pxW;
+  const int c1 = (r.x + r.w - 1) / tile_.pxW;
+  const int r0 = r.y / tile_.pxH;
+  const int r1 = (r.y + r.h - 1) / tile_.pxH;
+  return c0 == c1 && r0 == r1;
+}
+
+std::vector<int> WallSpec::verticalSeamsPx() const {
+  std::vector<int> seams;
+  for (int c = 1; c < cols_; ++c) seams.push_back(c * tile_.pxW);
+  return seams;
+}
+
+std::vector<int> WallSpec::horizontalSeamsPx() const {
+  std::vector<int> seams;
+  for (int r = 1; r < rows_; ++r) seams.push_back(r * tile_.pxH);
+  return seams;
+}
+
+WallSpec cyberCommonsWall() { return WallSpec(TileSpec{}, 6, 3); }
+
+WallSpec cyberCommonsUsedRegion() { return WallSpec(TileSpec{}, 6, 2); }
+
+}  // namespace svq::wall

@@ -1,0 +1,228 @@
+// Tests for the cluster rendering substrate: scene/framebuffer wire
+// round-trips and the headline integration property — a sort-first
+// cluster render is pixel-identical to the single-rank reference.
+#include "cluster/clusterapp.h"
+#include "cluster/scene_serde.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "traj/synth.h"
+
+namespace svq::cluster {
+namespace {
+
+traj::TrajectoryDataset makeDataset(std::size_t n = 60) {
+  traj::AntSimulator sim({}, 321);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+/// Small wall (cheap pixels) with the same 2-row structure as the paper's.
+wall::WallSpec smallWall(int cols = 3, int rows = 2) {
+  wall::TileSpec tile;
+  tile.pxW = 120;
+  tile.pxH = 80;
+  tile.activeWmm = 240.0f;
+  tile.activeHmm = 160.0f;
+  return wall::WallSpec(tile, cols, rows);
+}
+
+render::SceneModel makeScene(const traj::TrajectoryDataset& ds,
+                             const wall::WallSpec& w) {
+  core::VisualQueryApp app(ds, w);
+  app.apply(ui::LayoutSwitchEvent{0});
+  app.apply(ui::BrushStrokeEvent{0, {-20.0f, 0.0f}, 15.0f});
+  return app.buildScene();
+}
+
+TEST(SceneSerdeTest, SceneRoundTrip) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const render::SceneModel scene = makeScene(ds, w);
+
+  net::MessageBuffer buf;
+  serializeScene(buf, scene);
+  buf.rewind();
+  const render::SceneModel restored = deserializeScene(buf);
+
+  ASSERT_EQ(restored.cells.size(), scene.cells.size());
+  for (std::size_t i = 0; i < scene.cells.size(); ++i) {
+    EXPECT_EQ(restored.cells[i].trajectoryIndex,
+              scene.cells[i].trajectoryIndex);
+    EXPECT_EQ(restored.cells[i].rect, scene.cells[i].rect);
+    EXPECT_EQ(restored.cells[i].background, scene.cells[i].background);
+    EXPECT_EQ(restored.cells[i].segmentHighlights,
+              scene.cells[i].segmentHighlights);
+    EXPECT_EQ(restored.cells[i].label, scene.cells[i].label);
+  }
+  EXPECT_FLOAT_EQ(restored.stereo.timeScaleCmPerS,
+                  scene.stereo.timeScaleCmPerS);
+  EXPECT_FLOAT_EQ(restored.arenaRadiusCm, scene.arenaRadiusCm);
+  EXPECT_EQ(restored.timeWindow, scene.timeWindow);
+  EXPECT_EQ(restored.drawArenaOutline, scene.drawArenaOutline);
+}
+
+TEST(SceneSerdeTest, RenderedOutputIdenticalAfterRoundTrip) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const render::SceneModel scene = makeScene(ds, w);
+  net::MessageBuffer buf;
+  serializeScene(buf, scene);
+  buf.rewind();
+  const render::SceneModel restored = deserializeScene(buf);
+  const auto a = renderReferenceWall(ds, w, scene, render::Eye::kLeft);
+  const auto b = renderReferenceWall(ds, w, restored, render::Eye::kLeft);
+  EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+TEST(SceneSerdeTest, FramebufferRoundTrip) {
+  render::Framebuffer fb(17, 9);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 17; ++x) {
+      fb.at(x, y) = render::Color{static_cast<std::uint8_t>(x * 13),
+                                  static_cast<std::uint8_t>(y * 29),
+                                  static_cast<std::uint8_t>((x + y) * 7),
+                                  255};
+    }
+  }
+  net::MessageBuffer buf;
+  serializeFramebuffer(buf, fb);
+  buf.rewind();
+  const render::Framebuffer restored = deserializeFramebuffer(buf);
+  EXPECT_EQ(restored.width(), 17);
+  EXPECT_EQ(restored.height(), 9);
+  EXPECT_EQ(restored.contentHash(), fb.contentHash());
+}
+
+TEST(SceneSerdeTest, CorruptFramebufferPayloadThrows) {
+  net::MessageBuffer buf;
+  buf.putI32(4);
+  buf.putI32(4);
+  buf.putBytes(std::vector<std::uint8_t>{1, 2, 3});  // wrong size
+  buf.rewind();
+  EXPECT_THROW(deserializeFramebuffer(buf), net::MessageError);
+}
+
+class ClusterRenderTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ClusterRenderTest, MatchesSingleRankReference) {
+  const auto [cols, rows] = GetParam();
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall(cols, rows);
+  const render::SceneModel scene = makeScene(ds, w);
+
+  ClusterOptions options;
+  options.stereo = true;
+  options.gatherToMaster = true;
+  const ClusterResult result = runClusterSession(ds, w, {scene}, options);
+
+  ASSERT_TRUE(result.leftWall.has_value());
+  ASSERT_TRUE(result.rightWall.has_value());
+  const auto refLeft = renderReferenceWall(ds, w, scene, render::Eye::kLeft);
+  const auto refRight =
+      renderReferenceWall(ds, w, scene, render::Eye::kRight);
+  EXPECT_EQ(result.leftWall->contentHash(), refLeft.contentHash())
+      << cols << "x" << rows << " left eye mismatch";
+  EXPECT_EQ(result.rightWall->contentHash(), refRight.contentHash())
+      << cols << "x" << rows << " right eye mismatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(WallShapes, ClusterRenderTest,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(2, 1),
+                                           std::make_pair(3, 2),
+                                           std::make_pair(6, 2)));
+
+TEST(ClusterSessionTest, StatsAccounting) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const render::SceneModel scene = makeScene(ds, w);
+  const ClusterResult result =
+      runClusterSession(ds, w, {scene, scene, scene}, ClusterOptions{});
+  EXPECT_EQ(result.framesRendered, 3u);
+  EXPECT_EQ(result.rankStats.size(), static_cast<std::size_t>(w.tileCount()));
+  for (const RankStats& rs : result.rankStats) {
+    EXPECT_GE(rs.renderSeconds, 0.0);
+    EXPECT_GT(rs.cellsDrawn + rs.cellsCulled, 0u);
+  }
+  EXPECT_GT(result.messagesSent, 0u);
+  EXPECT_GT(result.bytesSent, 0u);
+}
+
+TEST(ClusterSessionTest, MonoModeSkipsRightEye) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const render::SceneModel scene = makeScene(ds, w);
+  ClusterOptions options;
+  options.stereo = false;
+  const ClusterResult result = runClusterSession(ds, w, {scene}, options);
+  ASSERT_TRUE(result.leftWall.has_value());
+  EXPECT_FALSE(result.rightWall.has_value());
+}
+
+TEST(ClusterSessionTest, NoGatherLeavesNoComposite) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const render::SceneModel scene = makeScene(ds, w);
+  ClusterOptions options;
+  options.gatherToMaster = false;
+  const ClusterResult result = runClusterSession(ds, w, {scene}, options);
+  EXPECT_FALSE(result.leftWall.has_value());
+}
+
+TEST(ClusterSessionTest, KeepAllCompositesRetainsFrames) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall(2, 1);
+  const render::SceneModel scene = makeScene(ds, w);
+  ClusterOptions options;
+  options.keepAllComposites = true;
+  options.stereo = false;
+  const ClusterResult result =
+      runClusterSession(ds, w, {scene, scene}, options);
+  EXPECT_EQ(result.frameComposites.size(), 2u);
+  EXPECT_EQ(result.frameComposites[0].contentHash(),
+            result.frameComposites[1].contentHash());
+}
+
+TEST(ClusterSessionTest, MultiFrameEvolvingScenes) {
+  // Scenes differ across frames (brush grows); cluster output for the
+  // final frame must match the final scene's reference.
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall(2, 2);
+  core::VisualQueryApp app(ds, w);
+  app.apply(ui::LayoutSwitchEvent{0});
+  std::vector<render::SceneModel> frames;
+  for (int f = 0; f < 4; ++f) {
+    app.apply(ui::BrushStrokeEvent{
+        0, {-20.0f + 10.0f * static_cast<float>(f), 0.0f}, 8.0f});
+    frames.push_back(app.buildScene());
+  }
+  ClusterOptions options;
+  options.stereo = false;
+  const ClusterResult result = runClusterSession(ds, w, frames, options);
+  ASSERT_TRUE(result.leftWall.has_value());
+  const auto ref =
+      renderReferenceWall(ds, w, frames.back(), render::Eye::kLeft);
+  EXPECT_EQ(result.leftWall->contentHash(), ref.contentHash());
+}
+
+TEST(ClusterSessionTest, CullingDistributesWork) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall(3, 1);
+  const render::SceneModel scene = makeScene(ds, w);
+  ClusterOptions options;
+  options.stereo = false;
+  options.gatherToMaster = false;
+  const ClusterResult result = runClusterSession(ds, w, {scene}, options);
+  // Each rank culls the cells of the other tiles (parallax pad may keep a
+  // borderline neighbour, so require only that *some* culling happened).
+  std::size_t totalCulled = 0;
+  for (const RankStats& rs : result.rankStats) totalCulled += rs.cellsCulled;
+  EXPECT_GT(totalCulled, 0u);
+}
+
+}  // namespace
+}  // namespace svq::cluster

@@ -1,0 +1,155 @@
+// Tests for core/brush.h — grid painting semantics and region painters.
+#include "core/brush.h"
+
+#include <gtest/gtest.h>
+
+namespace svq::core {
+namespace {
+
+TEST(BrushGridTest, StartsClean) {
+  const BrushGrid grid(50.0f, 64);
+  EXPECT_EQ(grid.brushAt({0, 0}), kNoBrush);
+  EXPECT_FALSE(grid.hasPaint(0));
+  EXPECT_FLOAT_EQ(grid.paintedAreaCm2(0), 0.0f);
+}
+
+TEST(BrushGridTest, PaintCoversDisc) {
+  BrushGrid grid(50.0f, 128);
+  grid.paint({0, {0.0f, 0.0f}, 10.0f});
+  EXPECT_EQ(grid.brushAt({0, 0}), 0);
+  EXPECT_EQ(grid.brushAt({5, 5}), 0);
+  EXPECT_EQ(grid.brushAt({20, 0}), kNoBrush);
+  EXPECT_TRUE(grid.hasPaint(0));
+}
+
+TEST(BrushGridTest, PaintedAreaApproximatesDisc) {
+  BrushGrid grid(50.0f, 256);
+  const float r = 10.0f;
+  grid.paint({0, {0.0f, 0.0f}, r});
+  const float expected = kPi * r * r;
+  EXPECT_NEAR(grid.paintedAreaCm2(0), expected, expected * 0.1f);
+}
+
+TEST(BrushGridTest, LaterPaintOverwrites) {
+  BrushGrid grid(50.0f, 128);
+  grid.paint({0, {0.0f, 0.0f}, 10.0f});
+  grid.paint({1, {0.0f, 0.0f}, 5.0f});
+  EXPECT_EQ(grid.brushAt({0, 0}), 1);     // inner: brush 1 on top
+  EXPECT_EQ(grid.brushAt({8, 0}), 0);     // annulus: still brush 0
+}
+
+TEST(BrushGridTest, OffGridQueriesReturnNoBrush) {
+  BrushGrid grid(50.0f, 64);
+  grid.paint({0, {0.0f, 0.0f}, 50.0f});
+  EXPECT_EQ(grid.brushAt({100.0f, 0.0f}), kNoBrush);
+  EXPECT_EQ(grid.brushAt({0.0f, -200.0f}), kNoBrush);
+}
+
+TEST(BrushGridTest, PaintNearEdgeClipsSafely) {
+  BrushGrid grid(50.0f, 64);
+  grid.paint({2, {49.0f, 49.0f}, 10.0f});  // spills past the corner
+  EXPECT_TRUE(grid.hasPaint(2));
+  EXPECT_EQ(grid.brushAt({49.0f, 49.0f}), 2);
+}
+
+TEST(BrushGridTest, ClearBrushRemovesOnlyThatBrush) {
+  BrushGrid grid(50.0f, 64);
+  grid.paint({0, {-20.0f, 0.0f}, 5.0f});
+  grid.paint({1, {20.0f, 0.0f}, 5.0f});
+  grid.clearBrush(0);
+  EXPECT_FALSE(grid.hasPaint(0));
+  EXPECT_TRUE(grid.hasPaint(1));
+}
+
+TEST(BrushGridTest, ClearAllEmptiesGrid) {
+  BrushGrid grid(50.0f, 64);
+  grid.paint({0, {0, 0}, 30.0f});
+  grid.clearAll();
+  EXPECT_FALSE(grid.hasPaint(0));
+}
+
+TEST(BrushCanvasTest, AddStrokeUpdatesGridAndHistory) {
+  BrushCanvas canvas(50.0f, 64);
+  EXPECT_TRUE(canvas.empty());
+  canvas.addStroke({0, {0, 0}, 8.0f});
+  EXPECT_EQ(canvas.strokes().size(), 1u);
+  EXPECT_EQ(canvas.grid().brushAt({0, 0}), 0);
+}
+
+TEST(BrushCanvasTest, ClearOneBrushRerasterizes) {
+  BrushCanvas canvas(50.0f, 64);
+  canvas.addStroke({0, {0, 0}, 20.0f});
+  canvas.addStroke({1, {0, 0}, 8.0f});  // painted over brush 0
+  canvas.clear(1);
+  // Brush 0's paint must be restored underneath where brush 1 was.
+  EXPECT_EQ(canvas.grid().brushAt({0, 0}), 0);
+  EXPECT_EQ(canvas.strokes().size(), 1u);
+}
+
+TEST(BrushCanvasTest, ClearAllRemovesEverything) {
+  BrushCanvas canvas(50.0f, 64);
+  canvas.addStroke({0, {0, 0}, 5.0f});
+  canvas.addStroke({1, {10, 0}, 5.0f});
+  canvas.clear();
+  EXPECT_TRUE(canvas.empty());
+  EXPECT_EQ(canvas.grid().brushAt({0, 0}), kNoBrush);
+}
+
+TEST(PaintArenaHalfTest, WestHalfOnlyWest) {
+  BrushCanvas canvas(50.0f, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, 50.0f);
+  EXPECT_EQ(canvas.grid().brushAt({-25.0f, 0.0f}), 0);
+  EXPECT_EQ(canvas.grid().brushAt({-10.0f, 20.0f}), 0);
+  // East side mostly unpainted (allow dab bleed of one dab radius).
+  EXPECT_EQ(canvas.grid().brushAt({25.0f, 0.0f}), kNoBrush);
+}
+
+TEST(PaintArenaHalfTest, AllFourSides) {
+  const float R = 50.0f;
+  struct Case {
+    traj::ArenaSide side;
+    Vec2 inside;
+    Vec2 outside;
+  };
+  const Case cases[] = {
+      {traj::ArenaSide::kWest, {-25, 0}, {25, 0}},
+      {traj::ArenaSide::kEast, {25, 0}, {-25, 0}},
+      {traj::ArenaSide::kNorth, {0, 25}, {0, -25}},
+      {traj::ArenaSide::kSouth, {0, -25}, {0, 25}},
+  };
+  for (const Case& c : cases) {
+    BrushCanvas canvas(R, 128);
+    paintArenaHalf(canvas, 1, c.side, R);
+    EXPECT_EQ(canvas.grid().brushAt(c.inside), 1)
+        << traj::toString(c.side);
+    EXPECT_EQ(canvas.grid().brushAt(c.outside), kNoBrush)
+        << traj::toString(c.side);
+  }
+}
+
+TEST(PaintArenaHalfTest, CoverageIsRoughlyHalfDisc) {
+  const float R = 50.0f;
+  BrushCanvas canvas(R, 256);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, R, 3.0f);
+  const float halfDisc = 0.5f * kPi * R * R;
+  EXPECT_NEAR(canvas.grid().paintedAreaCm2(0), halfDisc, halfDisc * 0.2f);
+}
+
+TEST(PaintArenaCenterTest, CentersOnOrigin) {
+  BrushCanvas canvas(50.0f, 128);
+  paintArenaCenter(canvas, 1, 15.0f);
+  EXPECT_EQ(canvas.grid().brushAt({0, 0}), 1);
+  EXPECT_EQ(canvas.grid().brushAt({10, 0}), 1);
+  EXPECT_EQ(canvas.grid().brushAt({30, 0}), kNoBrush);
+}
+
+TEST(PaintArenaCenterTest, AreaMatchesDisc) {
+  BrushCanvas canvas(50.0f, 256);
+  const float r = 15.0f;
+  paintArenaCenter(canvas, 0, r, 3.0f);
+  const float disc = kPi * r * r;
+  EXPECT_NEAR(canvas.grid().paintedAreaCm2(0), disc, disc * 0.35f);
+}
+
+}  // namespace
+}  // namespace svq::core

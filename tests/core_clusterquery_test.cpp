@@ -1,0 +1,128 @@
+// Tests for the §VI.C multi-scale SOM explorer.
+#include "core/clusterquery.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+SomExplorer makeExplorer(const traj::TrajectoryDataset& ds) {
+  traj::SomParams somP;
+  somP.rows = 4;
+  somP.cols = 4;
+  somP.epochs = 4;
+  traj::FeatureParams featP;
+  featP.resampleCount = 16;
+  featP.arenaRadiusCm = ds.arena().radiusCm;
+  return SomExplorer(ds, somP, featP);
+}
+
+traj::TrajectoryDataset makeDataset(std::size_t n = 300) {
+  traj::AntSimulator sim({}, 606);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+TEST(SomExplorerTest, DisplayableClustersAreNonEmpty) {
+  const auto ds = makeDataset();
+  const SomExplorer ex = makeExplorer(ds);
+  EXPECT_GT(ex.displayableClusters().size(), 1u);
+  EXPECT_LE(ex.displayableClusters().size(), 16u);
+  for (std::uint32_t node : ex.displayableClusters()) {
+    EXPECT_FALSE(ex.clustering().members[node].empty());
+  }
+}
+
+TEST(SomExplorerTest, ClusterAveragesMatchDisplayableOrder) {
+  const auto ds = makeDataset();
+  const SomExplorer ex = makeExplorer(ds);
+  const auto averages = ex.clusterAverages();
+  ASSERT_EQ(averages.size(), ex.displayableClusters().size());
+  for (std::size_t i = 0; i < averages.size(); ++i) {
+    EXPECT_EQ(averages[i].meta().id, ex.displayableClusters()[i]);
+    EXPECT_FALSE(averages[i].empty());
+  }
+}
+
+TEST(SomExplorerTest, DrillDownReturnsMembers) {
+  const auto ds = makeDataset();
+  const SomExplorer ex = makeExplorer(ds);
+  std::size_t total = 0;
+  for (std::uint32_t node : ex.displayableClusters()) {
+    const auto members = ex.drillDown(node);
+    EXPECT_FALSE(members.empty());
+    total += members.size();
+    for (std::uint32_t idx : members) {
+      EXPECT_LT(idx, ds.size());
+    }
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(SomExplorerTest, DrillDownOutOfRangeEmpty) {
+  const auto ds = makeDataset(50);
+  const SomExplorer ex = makeExplorer(ds);
+  EXPECT_TRUE(ex.drillDown(9999).empty());
+}
+
+TEST(SomExplorerTest, ClusterQueryCostScalesWithClustersNotMembers) {
+  const auto ds = makeDataset();
+  const SomExplorer ex = makeExplorer(ds);
+  BrushCanvas canvas(ds.arena().radiusCm, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, ds.arena().radiusCm);
+  QueryParams params;
+  const QueryResult overview = ex.queryClusters(canvas.grid(), params);
+  EXPECT_EQ(overview.trajectoriesEvaluated, ex.displayableClusters().size());
+  // Overview touches K * resampleCount segments, far fewer than the full
+  // dataset's points.
+  EXPECT_LT(overview.totalSegmentsEvaluated, ds.totalPoints() / 10);
+}
+
+TEST(SomExplorerTest, MemberQueryMatchesDirectEvaluation) {
+  const auto ds = makeDataset();
+  const SomExplorer ex = makeExplorer(ds);
+  BrushCanvas canvas(ds.arena().radiusCm, 128);
+  paintArenaCenter(canvas, 1, 15.0f);
+  QueryParams params;
+  const std::uint32_t node = ex.displayableClusters().front();
+  const QueryResult viaExplorer =
+      ex.queryClusterMembers(node, canvas.grid(), params);
+  const QueryResult direct =
+      evaluateQuery(ds, ex.drillDown(node), canvas.grid(), params);
+  EXPECT_EQ(viaExplorer.trajectoriesHighlighted,
+            direct.trajectoriesHighlighted);
+  EXPECT_EQ(viaExplorer.totalSegmentsHighlighted,
+            direct.totalSegmentsHighlighted);
+}
+
+TEST(SomExplorerTest, FidelityIsReasonable) {
+  const auto ds = makeDataset(400);
+  const SomExplorer ex = makeExplorer(ds);
+  // A centre brush: every ant starts at the centre, so averages and
+  // members agree trivially — fidelity should be very high.
+  BrushCanvas canvas(ds.arena().radiusCm, 128);
+  paintArenaCenter(canvas, 0, 15.0f);
+  const float fidelity =
+      ex.clusterQueryFidelity(canvas.grid(), QueryParams{});
+  EXPECT_GT(fidelity, 0.8f);
+  EXPECT_LE(fidelity, 1.0f);
+}
+
+TEST(SomExplorerTest, EmptyDatasetHandled) {
+  traj::TrajectoryDataset ds(traj::ArenaSpec{50.0f});
+  traj::SomParams somP;
+  somP.rows = 2;
+  somP.cols = 2;
+  traj::FeatureParams featP;
+  const SomExplorer ex(ds, somP, featP);
+  EXPECT_TRUE(ex.displayableClusters().empty());
+  BrushCanvas canvas(50.0f, 64);
+  EXPECT_FLOAT_EQ(ex.clusterQueryFidelity(canvas.grid(), QueryParams{}),
+                  1.0f);
+}
+
+}  // namespace
+}  // namespace svq::core

@@ -1,0 +1,158 @@
+// Tests for the §VI.C cluster-scale scene builders.
+#include "core/clusterscene.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/clusterapp.h"
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+traj::TrajectoryDataset makeDataset(std::size_t n = 400) {
+  traj::AntSimulator sim({}, 909);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+SomExplorer makeExplorer(const traj::TrajectoryDataset& ds) {
+  traj::SomParams somP;
+  somP.rows = 4;
+  somP.cols = 4;
+  somP.epochs = 3;
+  traj::FeatureParams featP;
+  featP.resampleCount = 16;
+  return SomExplorer(ds, somP, featP);
+}
+
+wall::WallSpec smallWall() {
+  return wall::WallSpec(wall::TileSpec{200, 120, 400.0f, 240.0f, 2.0f}, 3, 2);
+}
+
+TEST(ClusterGridTest, CapacityAlwaysSufficient) {
+  const wall::WallSpec w = smallWall();
+  for (std::size_t n : {1u, 5u, 16u, 36u, 100u, 433u}) {
+    const LayoutConfig cfg = clusterGridFor(n, w);
+    EXPECT_GE(static_cast<std::size_t>(cfg.cellCount()), n) << n;
+    // Not wastefully large either: less than 2x+(one row) overshoot.
+    EXPECT_LE(static_cast<std::size_t>(cfg.cellCount()),
+              2 * n + static_cast<std::size_t>(cfg.cellsX)) << n;
+  }
+}
+
+TEST(ClusterGridTest, ZeroCellsHandled) {
+  const LayoutConfig cfg = clusterGridFor(0, smallWall());
+  EXPECT_GE(cfg.cellCount(), 1);
+}
+
+TEST(OverviewSceneTest, OneCellPerNonEmptyCluster) {
+  const auto ds = makeDataset();
+  const SomExplorer explorer = makeExplorer(ds);
+  const ClusterSceneOptions options;
+  const ClusterOverviewScene overview =
+      buildClusterOverview(explorer, smallWall(), nullptr, options);
+
+  EXPECT_EQ(overview.scene.cells.size(),
+            explorer.displayableClusters().size());
+  EXPECT_EQ(overview.averagesDataset.size(),
+            explorer.displayableClusters().size());
+  EXPECT_EQ(overview.cellToNode, explorer.displayableClusters());
+  // Cell i shows averagesDataset[i].
+  for (std::size_t i = 0; i < overview.scene.cells.size(); ++i) {
+    EXPECT_EQ(overview.scene.cells[i].trajectoryIndex, i);
+    EXPECT_FALSE(overview.scene.cells[i].rect.empty());
+  }
+}
+
+TEST(OverviewSceneTest, LabelsCarryMemberCounts) {
+  const auto ds = makeDataset();
+  const SomExplorer explorer = makeExplorer(ds);
+  ClusterSceneOptions options;
+  options.labelCounts = true;
+  const auto overview =
+      buildClusterOverview(explorer, smallWall(), nullptr, options);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < overview.scene.cells.size(); ++i) {
+    const std::string& label = overview.scene.cells[i].label;
+    ASSERT_EQ(label.rfind("N=", 0), 0u);
+    total += std::stoul(label.substr(2));
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(OverviewSceneTest, BrushHighlightsAverages) {
+  const auto ds = makeDataset();
+  const SomExplorer explorer = makeExplorer(ds);
+  BrushCanvas canvas(ds.arena().radiusCm, 128);
+  paintArenaCenter(canvas, 0, ds.arena().radiusCm * 0.4f);
+  const auto overview = buildClusterOverview(explorer, smallWall(),
+                                             &canvas.grid(),
+                                             ClusterSceneOptions{});
+  std::size_t litCells = 0;
+  for (const auto& cell : overview.scene.cells) {
+    for (std::int8_t h : cell.segmentHighlights) {
+      if (h != kNoBrush) {
+        ++litCells;
+        break;
+      }
+    }
+  }
+  // Averages start near the centre, so most cluster cells light up.
+  EXPECT_GT(litCells, overview.scene.cells.size() / 2);
+}
+
+TEST(OverviewSceneTest, SceneIsRenderable) {
+  const auto ds = makeDataset();
+  const SomExplorer explorer = makeExplorer(ds);
+  const auto overview = buildClusterOverview(explorer, smallWall(), nullptr,
+                                             ClusterSceneOptions{});
+  const auto img = cluster::renderReferenceWall(
+      overview.averagesDataset, smallWall(), overview.scene,
+      render::Eye::kCenter);
+  // Something was drawn (not a solid background).
+  EXPECT_LT(img.countPixels(render::colors::kBlack), img.pixelCount());
+}
+
+TEST(DrillDownSceneTest, ShowsAllMembers) {
+  const auto ds = makeDataset();
+  const SomExplorer explorer = makeExplorer(ds);
+  const std::uint32_t node = explorer.displayableClusters().front();
+  const auto scene = buildClusterDrillDown(explorer, node, smallWall(),
+                                           nullptr, ClusterSceneOptions{});
+  const auto members = explorer.drillDown(node);
+  ASSERT_EQ(scene.cells.size(), members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EXPECT_EQ(scene.cells[i].trajectoryIndex, members[i]);
+  }
+}
+
+TEST(DrillDownSceneTest, BrushQueriesAtFullFidelity) {
+  const auto ds = makeDataset();
+  const SomExplorer explorer = makeExplorer(ds);
+  const std::uint32_t node = explorer.displayableClusters().front();
+  BrushCanvas canvas(ds.arena().radiusCm, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, ds.arena().radiusCm);
+  const auto scene = buildClusterDrillDown(explorer, node, smallWall(),
+                                           &canvas.grid(),
+                                           ClusterSceneOptions{});
+  // Highlights match a direct member query.
+  QueryParams params;
+  const QueryResult direct =
+      evaluateQuery(ds, explorer.drillDown(node), canvas.grid(), params);
+  for (std::size_t i = 0; i < scene.cells.size(); ++i) {
+    EXPECT_EQ(scene.cells[i].segmentHighlights,
+              direct.segmentHighlights[i]);
+  }
+}
+
+TEST(DrillDownSceneTest, UnknownNodeGivesEmptyScene) {
+  const auto ds = makeDataset(50);
+  const SomExplorer explorer = makeExplorer(ds);
+  const auto scene = buildClusterDrillDown(explorer, 9999, smallWall(),
+                                           nullptr, ClusterSceneOptions{});
+  EXPECT_TRUE(scene.cells.empty());
+}
+
+}  // namespace
+}  // namespace svq::core

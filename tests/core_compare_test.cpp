@@ -1,0 +1,92 @@
+// Tests for the §VI.A group-comparison reports.
+#include "core/compare.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+traj::TrajectoryDataset plantedData() {
+  traj::AntSimulator sim({}, 1212);
+  traj::DatasetSpec spec;
+  spec.count = 400;
+  return sim.generate(spec);
+}
+
+TEST(ProfileGroupTest, CountsMatchFilter) {
+  const auto ds = plantedData();
+  const auto profile = profileGroup(
+      ds, traj::MetaFilter::bySide(traj::CaptureSide::kEast), "east");
+  std::size_t expected = 0;
+  for (const auto& t : ds.all()) {
+    if (t.meta().side == traj::CaptureSide::kEast) ++expected;
+  }
+  EXPECT_EQ(profile.count, expected);
+  EXPECT_EQ(profile.name, "east");
+  EXPECT_EQ(profile.sinuosity.n, expected);
+}
+
+TEST(ProfileGroupTest, EmptyGroupIsSafe) {
+  traj::TrajectoryDataset empty(traj::ArenaSpec{50.0f});
+  const auto profile = profileGroup(empty, traj::MetaFilter{}, "all");
+  EXPECT_EQ(profile.count, 0u);
+  EXPECT_DOUBLE_EQ(profile.exitRayleighP, 1.0);
+  EXPECT_FLOAT_EQ(profile.exitResultantLength, 0.0f);
+}
+
+TEST(ProfileCaptureSidesTest, ReproducesSection6AReadings) {
+  const auto ds = plantedData();
+  const auto profiles = profileCaptureSides(ds);
+  ASSERT_EQ(profiles.size(), 5u);
+
+  const GroupProfile& onTrail = profiles[0];
+  const GroupProfile& west = profiles[1];
+  const GroupProfile& east = profiles[2];
+
+  // "more windy" on trail, "more direct" off trail.
+  EXPECT_GT(onTrail.sinuosity.mean, west.sinuosity.mean * 1.5);
+  EXPECT_GT(onTrail.sinuosity.mean, east.sinuosity.mean * 1.5);
+
+  // Off-trail bins have concentrated exit directions (homing); the
+  // on-trail bin does not.
+  EXPECT_LT(east.exitRayleighP, 0.001);
+  EXPECT_LT(west.exitRayleighP, 0.001);
+  EXPECT_GT(east.exitResultantLength, onTrail.exitResultantLength);
+
+  // East-captured ants' mean exit direction points west (|dir| ~ pi).
+  EXPECT_GT(std::abs(east.exitMeanDirection), 2.0f);
+  // West-captured ants' points east (~0).
+  EXPECT_LT(std::abs(west.exitMeanDirection), 1.0f);
+}
+
+TEST(ProfileCaptureSidesTest, NullModelShowsNoContrast) {
+  traj::AntSimulator sim(traj::AntBehaviorParams{}.nullModel(), 1212);
+  traj::DatasetSpec spec;
+  spec.count = 400;
+  const auto ds = sim.generate(spec);
+  const auto profiles = profileCaptureSides(ds);
+  const double ratio =
+      profiles[0].sinuosity.mean / profiles[2].sinuosity.mean;
+  EXPECT_NEAR(ratio, 1.0, 0.5);
+  EXPECT_GT(profiles[2].exitRayleighP, 0.01);  // east bin: uniform exits
+}
+
+TEST(ComparisonTableTest, FormatsAllGroups) {
+  const auto ds = plantedData();
+  const std::string table = comparisonTable(profileCaptureSides(ds));
+  EXPECT_NE(table.find("on_trail"), std::string::npos);
+  EXPECT_NE(table.find("south"), std::string::npos);
+  EXPECT_NE(table.find("sinuosity"), std::string::npos);
+  // Header + 5 rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 6);
+}
+
+TEST(ComparisonTableTest, EmptyProfilesGiveHeaderOnly) {
+  const std::string table = comparisonTable({});
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace svq::core

@@ -1,0 +1,179 @@
+// Tests for the evidence file and insight provenance (the paper's
+// explicitly-future-work features).
+#include "core/evidence.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+TEST(AnnotationTargetTest, Descriptions) {
+  EXPECT_EQ(describeTarget(TrajectoryRef{42}), "trajectory #42");
+  EXPECT_EQ(describeTarget(GroupRef{3}), "group 3");
+  EXPECT_NE(describeTarget(RegionRef{{1.0f, 2.0f}, 5.0f}).find("region"),
+            std::string::npos);
+  EXPECT_EQ(describeTarget(SessionRef{}), "session");
+}
+
+TEST(EvidenceFileTest, AddAssignsIncreasingIds) {
+  EvidenceFile file;
+  const auto a = file.add(1.0, TrajectoryRef{0}, "windy");
+  const auto b = file.add(2.0, TrajectoryRef{1}, "direct");
+  EXPECT_LT(a, b);
+  EXPECT_EQ(file.size(), 2u);
+}
+
+TEST(EvidenceFileTest, FindAndRemove) {
+  EvidenceFile file;
+  const auto id = file.add(1.0, GroupRef{2}, "group note");
+  ASSERT_NE(file.find(id), nullptr);
+  EXPECT_EQ(file.find(id)->text, "group note");
+  EXPECT_TRUE(file.remove(id));
+  EXPECT_EQ(file.find(id), nullptr);
+  EXPECT_FALSE(file.remove(id));
+}
+
+TEST(EvidenceFileTest, TagQueries) {
+  EvidenceFile file;
+  file.add(1.0, TrajectoryRef{0}, "a", {"windy", "on-trail"});
+  file.add(2.0, TrajectoryRef{1}, "b", {"direct"});
+  file.add(3.0, SessionRef{}, "c", {"windy"});
+  EXPECT_EQ(file.withTag("windy").size(), 2u);
+  EXPECT_EQ(file.withTag("direct").size(), 1u);
+  EXPECT_TRUE(file.withTag("nonexistent").empty());
+}
+
+TEST(EvidenceFileTest, OnTrajectoryFilters) {
+  EvidenceFile file;
+  file.add(1.0, TrajectoryRef{7}, "first");
+  file.add(2.0, TrajectoryRef{8}, "other");
+  file.add(3.0, TrajectoryRef{7}, "second");
+  file.add(4.0, GroupRef{7}, "not a trajectory");
+  const auto onSeven = file.onTrajectory(7);
+  ASSERT_EQ(onSeven.size(), 2u);
+  EXPECT_EQ(onSeven[0]->text, "first");
+  EXPECT_EQ(onSeven[1]->text, "second");
+}
+
+TEST(EvidenceFileTest, ReportListsEverything) {
+  EvidenceFile file;
+  file.add(12.0, TrajectoryRef{3}, "returns to earlier spot", {"revisit"});
+  const std::string report = file.exportReport();
+  EXPECT_NE(report.find("trajectory #3"), std::string::npos);
+  EXPECT_NE(report.find("returns to earlier spot"), std::string::npos);
+  EXPECT_NE(report.find("#revisit"), std::string::npos);
+}
+
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  QueryResult someQueryResult() {
+    QueryResult q;
+    q.trajectoriesEvaluated = 100;
+    q.trajectoriesHighlighted = 60;
+    return q;
+  }
+  HypothesisResult someHypothesisResult(bool supported) {
+    HypothesisResult r;
+    r.name = "homing_east_exits_west";
+    r.supportFraction = supported ? 0.9f : 0.2f;
+    r.supported = supported;
+    return r;
+  }
+};
+
+TEST_F(ProvenanceTest, ChainRecordsAndLinks) {
+  ProvenanceLog log;
+  const auto ds = log.recordDataset(0.0, 500, "synthetic ants");
+  const auto q1 = log.recordQuery(10.0, "west half brush",
+                                  someQueryResult(), ds);
+  const auto h1 = log.recordHypothesis(12.0, someHypothesisResult(true), {q1});
+  const auto c1 = log.recordConclusion(
+      20.0, "east-captured ants home west", {h1});
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_TRUE(log.wellFormed());
+
+  const auto lineage = log.lineage(c1);
+  ASSERT_EQ(lineage.size(), 4u);
+  EXPECT_EQ(lineage[0]->id, ds);
+  EXPECT_EQ(lineage[1]->id, q1);
+  EXPECT_EQ(lineage[2]->id, h1);
+  EXPECT_EQ(lineage[3]->id, c1);
+}
+
+TEST_F(ProvenanceTest, LineageOfUnknownIdEmpty) {
+  ProvenanceLog log;
+  EXPECT_TRUE(log.lineage(99).empty());
+}
+
+TEST_F(ProvenanceTest, UnknownParentsDropped) {
+  ProvenanceLog log;
+  const auto q = log.recordQuery(1.0, "brush", someQueryResult(),
+                                 /*datasetId=*/std::uint32_t{42});
+  const auto* e = log.find(q);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->parents.empty());  // 42 never existed
+  EXPECT_TRUE(log.wellFormed());
+}
+
+TEST_F(ProvenanceTest, DiamondLineageDeduplicated) {
+  ProvenanceLog log;
+  const auto ds = log.recordDataset(0.0, 10, "d");
+  const auto q1 = log.recordQuery(1.0, "q1", someQueryResult(), ds);
+  const auto q2 = log.recordQuery(2.0, "q2", someQueryResult(), ds);
+  const auto h = log.recordHypothesis(3.0, someHypothesisResult(true),
+                                      {q1, q2});
+  const auto lineage = log.lineage(h);
+  EXPECT_EQ(lineage.size(), 4u);  // ds appears once despite two paths
+}
+
+TEST_F(ProvenanceTest, SummariesCaptureVerdicts) {
+  ProvenanceLog log;
+  const auto h = log.recordHypothesis(1.0, someHypothesisResult(true), {});
+  EXPECT_NE(log.find(h)->summary.find("SUPPORTED"), std::string::npos);
+  const auto h2 = log.recordHypothesis(2.0, someHypothesisResult(false), {});
+  EXPECT_NE(log.find(h2)->summary.find("not supported"), std::string::npos);
+}
+
+TEST_F(ProvenanceTest, AnnotationEntersChain) {
+  ProvenanceLog log;
+  EvidenceFile evidence;
+  const auto annId =
+      evidence.add(5.0, TrajectoryRef{3}, "returns to centre", {"revisit"});
+  const auto p =
+      log.recordAnnotation(5.0, *evidence.find(annId), {});
+  EXPECT_NE(log.find(p)->summary.find("trajectory #3"), std::string::npos);
+}
+
+TEST_F(ProvenanceTest, ReportShowsDerivation) {
+  ProvenanceLog log;
+  const auto ds = log.recordDataset(0.0, 500, "field data");
+  const auto q = log.recordQuery(1.0, "centre brush", someQueryResult(), ds);
+  log.recordConclusion(2.0, "done", {q});
+  const std::string report = log.exportReport();
+  EXPECT_NE(report.find("derived from"), std::string::npos);
+  EXPECT_NE(report.find("field data"), std::string::npos);
+}
+
+TEST_F(ProvenanceTest, EndToEndWithRealEvaluation) {
+  traj::AntSimulator sim({}, 31415);
+  traj::DatasetSpec spec;
+  spec.count = 150;
+  const auto ds = sim.generate(spec);
+
+  ProvenanceLog log;
+  const auto dsId = log.recordDataset(0.0, ds.size(), "synthetic ants");
+  const Hypothesis h = makeHomingHypothesis(traj::CaptureSide::kEast,
+                                            traj::ArenaSide::kWest,
+                                            ds.arena().radiusCm);
+  const HypothesisResult r = evaluateHypothesis(h, ds);
+  const auto hId = log.recordHypothesis(10.0, r, {dsId});
+  const auto cId = log.recordConclusion(
+      20.0, "homing behaviour confirmed", {hId});
+  EXPECT_TRUE(log.wellFormed());
+  EXPECT_EQ(log.lineage(cId).size(), 3u);
+}
+
+}  // namespace
+}  // namespace svq::core

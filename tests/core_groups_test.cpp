@@ -1,0 +1,247 @@
+// Tests for trajectory grouping: definitions, validation, assignment and
+// paging.
+#include "core/groups.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+traj::TrajectoryDataset makeDataset(std::size_t n = 100,
+                                    std::uint64_t seed = 555) {
+  traj::AntSimulator sim({}, seed);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+TrajectoryGroup eastGroup(RectI rect = {0, 0, 3, 2}) {
+  TrajectoryGroup g;
+  g.id = 1;
+  g.name = "east";
+  g.cellRect = rect;
+  g.filter = traj::MetaFilter::bySide(traj::CaptureSide::kEast);
+  g.colorIndex = 2;
+  return g;
+}
+
+TEST(GroupManagerTest, DefineWithinBounds) {
+  GroupManager mgr;
+  EXPECT_TRUE(mgr.define(eastGroup(), 10, 5));
+  EXPECT_EQ(mgr.groups().size(), 1u);
+}
+
+TEST(GroupManagerTest, RejectOutOfBounds) {
+  GroupManager mgr;
+  EXPECT_FALSE(mgr.define(eastGroup({8, 0, 5, 2}), 10, 5));  // x+w > 10
+  EXPECT_FALSE(mgr.define(eastGroup({0, 4, 2, 3}), 10, 5));  // y+h > 5
+  EXPECT_FALSE(mgr.define(eastGroup({-1, 0, 3, 2}), 10, 5));
+  EXPECT_FALSE(mgr.define(eastGroup({0, 0, 0, 2}), 10, 5));  // empty
+  EXPECT_TRUE(mgr.groups().empty());
+}
+
+TEST(GroupManagerTest, RejectOverlappingGroups) {
+  GroupManager mgr;
+  EXPECT_TRUE(mgr.define(eastGroup({0, 0, 4, 2}), 10, 5));
+  TrajectoryGroup g2 = eastGroup({3, 1, 3, 2});
+  g2.id = 2;
+  EXPECT_FALSE(mgr.define(g2, 10, 5));
+  TrajectoryGroup g3 = eastGroup({4, 0, 3, 2});
+  g3.id = 3;
+  EXPECT_TRUE(mgr.define(g3, 10, 5));  // adjacent is fine
+}
+
+TEST(GroupManagerTest, RedefineSameIdReplaces) {
+  GroupManager mgr;
+  EXPECT_TRUE(mgr.define(eastGroup({0, 0, 2, 2}), 10, 5));
+  TrajectoryGroup updated = eastGroup({0, 0, 4, 3});
+  updated.name = "bigger";
+  EXPECT_TRUE(mgr.define(updated, 10, 5));
+  ASSERT_EQ(mgr.groups().size(), 1u);
+  EXPECT_EQ(mgr.groups()[0].name, "bigger");
+  EXPECT_EQ(mgr.groups()[0].cellRect.w, 4);
+}
+
+TEST(GroupManagerTest, RemoveGroup) {
+  GroupManager mgr;
+  mgr.define(eastGroup(), 10, 5);
+  EXPECT_TRUE(mgr.remove(1));
+  EXPECT_FALSE(mgr.remove(1));
+  EXPECT_TRUE(mgr.groups().empty());
+}
+
+TEST(GroupManagerTest, FindById) {
+  GroupManager mgr;
+  mgr.define(eastGroup(), 10, 5);
+  EXPECT_NE(mgr.find(1), nullptr);
+  EXPECT_EQ(mgr.find(7), nullptr);
+}
+
+TEST(AssignTest, GroupCellsGetMatchingTrajectories) {
+  const auto ds = makeDataset(200);
+  GroupManager mgr;
+  mgr.define(eastGroup({0, 0, 4, 4}), 10, 5);
+  const GroupAssignment a = mgr.assign(ds, 10, 5);
+
+  ASSERT_EQ(a.cells.size(), 50u);
+  for (int cy = 0; cy < 4; ++cy) {
+    for (int cx = 0; cx < 4; ++cx) {
+      const CellAssignment& cell = a.at(cx, cy);
+      EXPECT_EQ(cell.groupId.value(), 1);
+      if (cell.trajectoryIndex) {
+        EXPECT_EQ(ds[*cell.trajectoryIndex].meta().side,
+                  traj::CaptureSide::kEast);
+      }
+    }
+  }
+}
+
+TEST(AssignTest, UngroupedCellsFilledWithUnclaimed) {
+  const auto ds = makeDataset(200);
+  GroupManager mgr;
+  mgr.define(eastGroup({0, 0, 4, 4}), 10, 5);
+  const GroupAssignment a = mgr.assign(ds, 10, 5);
+  // A cell outside the group: no groupId, and if filled, not east-captured
+  // (east trajectories are claimed by the group even when not displayed).
+  const CellAssignment& outside = a.at(6, 2);
+  EXPECT_FALSE(outside.groupId.has_value());
+  if (outside.trajectoryIndex) {
+    EXPECT_NE(ds[*outside.trajectoryIndex].meta().side,
+              traj::CaptureSide::kEast);
+  }
+}
+
+TEST(AssignTest, NoTrajectoryDisplayedTwice) {
+  const auto ds = makeDataset(80);
+  GroupManager mgr;
+  mgr.define(eastGroup({0, 0, 5, 5}), 10, 5);
+  const GroupAssignment a = mgr.assign(ds, 10, 5);
+  std::set<std::uint32_t> seen;
+  for (const CellAssignment& cell : a.cells) {
+    if (cell.trajectoryIndex) {
+      EXPECT_TRUE(seen.insert(*cell.trajectoryIndex).second)
+          << "duplicate " << *cell.trajectoryIndex;
+    }
+  }
+  EXPECT_EQ(seen.size(), a.displayedCount);
+}
+
+TEST(AssignTest, MatchCountsReported) {
+  const auto ds = makeDataset(200);
+  GroupManager mgr;
+  mgr.define(eastGroup({0, 0, 2, 2}), 10, 5);
+  const GroupAssignment a = mgr.assign(ds, 10, 5);
+  ASSERT_EQ(a.groupMatchCounts.size(), 1u);
+  EXPECT_EQ(a.groupMatchCounts[0].first, 1);
+  std::size_t eastCount = 0;
+  for (const auto& t : ds.all()) {
+    if (t.meta().side == traj::CaptureSide::kEast) ++eastCount;
+  }
+  EXPECT_EQ(a.groupMatchCounts[0].second, eastCount);
+}
+
+TEST(AssignTest, SmallDatasetLeavesCellsEmpty) {
+  const auto ds = makeDataset(3);
+  GroupManager mgr;
+  const GroupAssignment a = mgr.assign(ds, 10, 5);
+  EXPECT_EQ(a.displayedCount, 3u);
+  std::size_t filled = 0;
+  for (const CellAssignment& cell : a.cells) {
+    if (cell.trajectoryIndex) ++filled;
+  }
+  EXPECT_EQ(filled, 3u);
+}
+
+TEST(PagingTest, AdvancesThroughMatches) {
+  const auto ds = makeDataset(300);
+  GroupManager mgr;
+  mgr.define(eastGroup({0, 0, 2, 2}), 10, 5);  // capacity 4
+
+  const GroupAssignment page0 = mgr.assign(ds, 10, 5);
+  std::vector<std::uint32_t> first;
+  for (int cy = 0; cy < 2; ++cy) {
+    for (int cx = 0; cx < 2; ++cx) {
+      if (page0.at(cx, cy).trajectoryIndex) {
+        first.push_back(*page0.at(cx, cy).trajectoryIndex);
+      }
+    }
+  }
+
+  EXPECT_TRUE(mgr.page(1, +1, ds));
+  const GroupAssignment page1 = mgr.assign(ds, 10, 5);
+  for (int cy = 0; cy < 2; ++cy) {
+    for (int cx = 0; cx < 2; ++cx) {
+      if (page1.at(cx, cy).trajectoryIndex) {
+        for (std::uint32_t f : first) {
+          EXPECT_NE(*page1.at(cx, cy).trajectoryIndex, f);
+        }
+      }
+    }
+  }
+}
+
+TEST(PagingTest, BackwardsClampsToZero) {
+  const auto ds = makeDataset(100);
+  GroupManager mgr;
+  mgr.define(eastGroup({0, 0, 2, 2}), 10, 5);
+  EXPECT_TRUE(mgr.page(1, -1, ds));
+  EXPECT_EQ(mgr.find(1)->pageOffset, 0u);
+}
+
+TEST(PagingTest, UnknownGroupFails) {
+  const auto ds = makeDataset(10);
+  GroupManager mgr;
+  EXPECT_FALSE(mgr.page(9, 1, ds));
+}
+
+TEST(PagingTest, NoPagingWhenAllFit) {
+  const auto ds = makeDataset(10);
+  GroupManager mgr;
+  mgr.define(eastGroup({0, 0, 5, 5}), 10, 5);  // capacity 25 >> matches
+  EXPECT_TRUE(mgr.page(1, +1, ds));
+  EXPECT_EQ(mgr.find(1)->pageOffset, 0u);
+}
+
+TEST(Figure3Test, FiveBinsCoverGridWithoutOverlap) {
+  GroupManager mgr;
+  defineFigure3Groups(mgr, 36, 12);
+  ASSERT_EQ(mgr.groups().size(), 5u);
+  int cellsCovered = 0;
+  for (const TrajectoryGroup& g : mgr.groups()) {
+    cellsCovered += g.capacity();
+  }
+  EXPECT_EQ(cellsCovered, 36 * 12);
+}
+
+TEST(Figure3Test, BinsFilterByCaptureSide) {
+  GroupManager mgr;
+  defineFigure3Groups(mgr, 24, 6);
+  const auto ds = makeDataset(150);
+  const GroupAssignment a = mgr.assign(ds, 24, 6);
+  // Every displayed trajectory sits in the bin matching its capture side.
+  for (const CellAssignment& cell : a.cells) {
+    if (!cell.trajectoryIndex || !cell.groupId) continue;
+    const auto& g = *std::find_if(
+        mgr.groups().begin(), mgr.groups().end(),
+        [&](const TrajectoryGroup& grp) { return grp.id == *cell.groupId; });
+    EXPECT_TRUE(g.filter.matches(ds[*cell.trajectoryIndex]));
+  }
+}
+
+TEST(Figure3Test, PaperColorOrder) {
+  GroupManager mgr;
+  defineFigure3Groups(mgr, 36, 12);
+  // Blue (0) = on trail, red (1) = west, yellow (2) = east,
+  // gray (3) = north, green (4) = south.
+  EXPECT_EQ(mgr.groups()[0].colorIndex, 0);
+  EXPECT_EQ(*mgr.groups()[0].filter.side, traj::CaptureSide::kOnTrail);
+  EXPECT_EQ(mgr.groups()[1].colorIndex, 1);
+  EXPECT_EQ(*mgr.groups()[1].filter.side, traj::CaptureSide::kWest);
+  EXPECT_EQ(mgr.groups()[4].colorIndex, 4);
+  EXPECT_EQ(*mgr.groups()[4].filter.side, traj::CaptureSide::kSouth);
+}
+
+}  // namespace
+}  // namespace svq::core

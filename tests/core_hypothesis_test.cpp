@@ -1,0 +1,192 @@
+// Tests for hypotheses-as-visual-queries: the Fig. 5 homing hypothesis,
+// the seed-search hypothesis, verdicts on planted vs null data, and the
+// battery workflow.
+#include "core/hypothesis.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+traj::TrajectoryDataset plantedData(std::size_t n = 300,
+                                    std::uint64_t seed = 2012) {
+  traj::AntSimulator sim({}, seed);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+traj::TrajectoryDataset nullData(std::size_t n = 300,
+                                 std::uint64_t seed = 2012) {
+  traj::AntSimulator sim(traj::AntBehaviorParams{}.nullModel(), seed);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+TEST(HitCriterionTest, BrushAndDurationGate) {
+  HighlightSummary s;
+  s.segmentsPerBrush = {3, 0};
+  s.durationPerBrush = {1.5f, 0.0f};
+  s.firstHitTime = {2.0f, -1.0f};
+
+  HitCriterion c;
+  c.brushIndex = 0;
+  EXPECT_TRUE(c.satisfiedBy(s));
+  c.minHighlightDurationS = 2.0f;
+  EXPECT_FALSE(c.satisfiedBy(s));
+  c.minHighlightDurationS = 1.0f;
+  c.brushIndex = 1;
+  EXPECT_FALSE(c.satisfiedBy(s));
+}
+
+TEST(HitCriterionTest, FirstHitTimeGate) {
+  HighlightSummary s;
+  s.segmentsPerBrush = {2};
+  s.durationPerBrush = {1.0f};
+  s.firstHitTime = {12.0f};
+  HitCriterion c;
+  c.brushIndex = 0;
+  c.maxFirstHitTimeS = 10.0f;
+  EXPECT_FALSE(c.satisfiedBy(s));
+  c.maxFirstHitTimeS = 20.0f;
+  EXPECT_TRUE(c.satisfiedBy(s));
+}
+
+TEST(Figure5Test, EastCapturedExitWestSupported) {
+  const auto ds = plantedData();
+  const Hypothesis h = makeHomingHypothesis(
+      traj::CaptureSide::kEast, traj::ArenaSide::kWest, ds.arena().radiusCm);
+  const HypothesisResult r = evaluateHypothesis(h, ds);
+  EXPECT_GT(r.populationSize, 20u);
+  EXPECT_TRUE(r.supported) << "support=" << r.supportFraction;
+  EXPECT_GT(r.supportFraction, 0.5f);
+  // The effect is specific to the east-captured population.
+  EXPECT_GT(r.supportFraction, r.complementSupportFraction);
+}
+
+TEST(Figure5Test, AllFourHomingDirectionsSupported) {
+  const auto ds = plantedData(400);
+  const struct {
+    traj::CaptureSide captured;
+    traj::ArenaSide exit;
+  } cases[] = {
+      {traj::CaptureSide::kEast, traj::ArenaSide::kWest},
+      {traj::CaptureSide::kWest, traj::ArenaSide::kEast},
+      {traj::CaptureSide::kNorth, traj::ArenaSide::kSouth},
+      {traj::CaptureSide::kSouth, traj::ArenaSide::kNorth},
+  };
+  for (const auto& c : cases) {
+    const Hypothesis h =
+        makeHomingHypothesis(c.captured, c.exit, ds.arena().radiusCm);
+    const HypothesisResult r = evaluateHypothesis(h, ds);
+    EXPECT_TRUE(r.supported) << h.name << " support=" << r.supportFraction;
+  }
+}
+
+TEST(Figure5Test, WrongDirectionNotFavoured) {
+  const auto ds = plantedData(400);
+  // "East-captured ants exit EAST" — opposite of the planted effect. The
+  // support should be clearly lower than the correct direction's.
+  const Hypothesis wrong = makeHomingHypothesis(
+      traj::CaptureSide::kEast, traj::ArenaSide::kEast, ds.arena().radiusCm);
+  const Hypothesis right = makeHomingHypothesis(
+      traj::CaptureSide::kEast, traj::ArenaSide::kWest, ds.arena().radiusCm);
+  const HypothesisResult rw = evaluateHypothesis(wrong, ds);
+  const HypothesisResult rr = evaluateHypothesis(right, ds);
+  EXPECT_GT(rr.supportFraction, rw.supportFraction + 0.2f);
+}
+
+TEST(Figure5Test, NullDataGivesNoDirectionalPreference) {
+  const auto ds = nullData(400);
+  const Hypothesis west = makeHomingHypothesis(
+      traj::CaptureSide::kEast, traj::ArenaSide::kWest, ds.arena().radiusCm);
+  const Hypothesis east = makeHomingHypothesis(
+      traj::CaptureSide::kEast, traj::ArenaSide::kEast, ds.arena().radiusCm);
+  const HypothesisResult rw = evaluateHypothesis(west, ds);
+  const HypothesisResult re = evaluateHypothesis(east, ds);
+  // Without homing both half-brushes light up comparably.
+  EXPECT_NEAR(rw.supportFraction, re.supportFraction, 0.25f);
+}
+
+TEST(SeedSearchTest, SupportedOnPlantedData) {
+  const auto ds = plantedData(400);
+  const Hypothesis h = makeSeedSearchHypothesis(ds.arena().radiusCm);
+  const HypothesisResult r = evaluateHypothesis(h, ds);
+  EXPECT_GT(r.populationSize, 20u);
+  EXPECT_TRUE(r.supported) << "support=" << r.supportFraction;
+  EXPECT_GT(r.supportFraction, r.complementSupportFraction);
+}
+
+TEST(SeedSearchTest, WeakOnNullData) {
+  const auto planted = plantedData(400);
+  const auto null = nullData(400);
+  const Hypothesis h = makeSeedSearchHypothesis(null.arena().radiusCm);
+  const HypothesisResult rNull = evaluateHypothesis(h, null);
+  const HypothesisResult rPlanted = evaluateHypothesis(h, planted);
+  EXPECT_GT(rPlanted.supportFraction, rNull.supportFraction + 0.2f);
+}
+
+TEST(BatteryTest, RapidSuccessionEvaluation) {
+  const auto ds = plantedData(250);
+  std::vector<Hypothesis> battery;
+  battery.push_back(makeHomingHypothesis(traj::CaptureSide::kEast,
+                                         traj::ArenaSide::kWest,
+                                         ds.arena().radiusCm));
+  battery.push_back(makeHomingHypothesis(traj::CaptureSide::kWest,
+                                         traj::ArenaSide::kEast,
+                                         ds.arena().radiusCm));
+  battery.push_back(makeSeedSearchHypothesis(ds.arena().radiusCm));
+  const auto results = evaluateBattery(battery, ds);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].name, battery[i].name);
+    EXPECT_GT(results[i].populationSize, 0u);
+    // Each visual query evaluates in interactive time (§V.B "a few
+    // seconds" covers perception; computation is far below that).
+    EXPECT_LT(results[i].evaluationSeconds, 2.0);
+  }
+}
+
+TEST(WindinessTest, PlantedDataOnTrailWindier) {
+  const auto ds = plantedData(400);
+  const WindinessComparison c = compareWindiness(ds);
+  EXPECT_TRUE(c.onTrailWindier);
+  EXPECT_GT(c.onTrailMeanSinuosity, c.offTrailMeanSinuosity);
+}
+
+TEST(WindinessTest, NullDataNoClearDifference) {
+  const auto ds = nullData(400);
+  const WindinessComparison c = compareWindiness(ds);
+  const double ratio = c.onTrailMeanSinuosity /
+                       std::max(1e-9, c.offTrailMeanSinuosity);
+  EXPECT_NEAR(ratio, 1.0, 0.5);
+}
+
+TEST(HypothesisTest, EmptyPopulationUnsupported) {
+  traj::TrajectoryDataset ds(traj::ArenaSpec{50.0f});  // empty dataset
+  const Hypothesis h = makeHomingHypothesis(
+      traj::CaptureSide::kEast, traj::ArenaSide::kWest, 50.0f);
+  const HypothesisResult r = evaluateHypothesis(h, ds);
+  EXPECT_EQ(r.populationSize, 0u);
+  EXPECT_FALSE(r.supported);
+}
+
+TEST(HypothesisTest, ExplicitStrokesUsedWhenNoPainter) {
+  const auto ds = plantedData(100);
+  Hypothesis h;
+  h.name = "manual_stroke";
+  h.population = traj::MetaFilter{};
+  h.strokes.push_back(BrushStroke{0, {0.0f, 0.0f}, 10.0f});  // centre dab
+  h.criterion.brushIndex = 0;
+  h.supportThreshold = 0.9f;
+  const HypothesisResult r = evaluateHypothesis(h, ds);
+  // Every ant starts at the centre, so every trajectory is hit.
+  EXPECT_FLOAT_EQ(r.supportFraction, 1.0f);
+  EXPECT_TRUE(r.supported);
+}
+
+}  // namespace
+}  // namespace svq::core

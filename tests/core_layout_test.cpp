@@ -1,0 +1,177 @@
+// Tests for the bezel-aware small-multiple layout — including the central
+// paper invariant: no cell ever straddles a bezel, for any grid config.
+#include "core/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace svq::core {
+namespace {
+
+TEST(ApportionTest, EvenSplit) {
+  const auto v = apportion(12, 4);
+  for (int x : v) EXPECT_EQ(x, 3);
+}
+
+TEST(ApportionTest, RemainderDistributed) {
+  const auto v = apportion(14, 4);
+  int sum = 0;
+  for (int x : v) {
+    sum += x;
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 4);
+  }
+  EXPECT_EQ(sum, 14);
+}
+
+TEST(ApportionTest, FewerItemsThanBins) {
+  const auto v = apportion(2, 5);
+  int sum = 0;
+  for (int x : v) {
+    sum += x;
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 1);
+  }
+  EXPECT_EQ(sum, 2);
+}
+
+TEST(ApportionTest, SumAlwaysExact) {
+  for (int total = 0; total <= 40; ++total) {
+    for (int bins = 1; bins <= 8; ++bins) {
+      const auto v = apportion(total, bins);
+      int sum = 0;
+      for (int x : v) sum += x;
+      EXPECT_EQ(sum, total) << total << "/" << bins;
+      EXPECT_EQ(v.size(), static_cast<std::size_t>(bins));
+    }
+  }
+}
+
+TEST(PresetsTest, MatchPaperConfigurations) {
+  const auto presets = paperLayoutPresets();
+  ASSERT_EQ(presets.size(), 3u);
+  EXPECT_EQ(presets[0].cellsX, 15);
+  EXPECT_EQ(presets[0].cellsY, 4);
+  EXPECT_EQ(presets[1].cellsX, 24);
+  EXPECT_EQ(presets[1].cellsY, 6);
+  EXPECT_EQ(presets[2].cellsX, 36);
+  EXPECT_EQ(presets[2].cellsY, 12);
+  // The 36x12 preset provides the paper's 432 simultaneous trajectories.
+  EXPECT_EQ(presets[2].cellCount(), 432);
+}
+
+struct LayoutCase {
+  int cellsX;
+  int cellsY;
+};
+
+class LayoutSweepTest : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(LayoutSweepTest, InvariantsHoldOnPaperWall) {
+  const wall::WallSpec wallSpec = wall::cyberCommonsUsedRegion();
+  const LayoutConfig config{GetParam().cellsX, GetParam().cellsY};
+  const auto layout = SmallMultipleLayout::compute(wallSpec, config);
+
+  EXPECT_EQ(layout.cellCount(),
+            static_cast<std::size_t>(config.cellCount()));
+  EXPECT_TRUE(layout.allCellsAvoidBezels(wallSpec));
+  EXPECT_TRUE(layout.noOverlaps());
+  EXPECT_GT(layout.minCellSize(), 8);
+  // Every cell is non-empty and inside the wall.
+  for (const RectI& r : layout.rects()) {
+    EXPECT_FALSE(r.empty());
+    EXPECT_GE(r.x, 0);
+    EXPECT_GE(r.y, 0);
+    EXPECT_LE(r.x + r.w, wallSpec.totalPxW());
+    EXPECT_LE(r.y + r.h, wallSpec.totalPxH());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAndOddGrids, LayoutSweepTest,
+    ::testing::Values(LayoutCase{15, 4}, LayoutCase{24, 6},
+                      LayoutCase{36, 12}, LayoutCase{7, 3},
+                      LayoutCase{13, 5}, LayoutCase{1, 1},
+                      LayoutCase{6, 2}, LayoutCase{48, 16}));
+
+TEST(LayoutTest, WorksOnFullThreeRowWall) {
+  const wall::WallSpec wallSpec = wall::cyberCommonsWall();
+  const auto layout =
+      SmallMultipleLayout::compute(wallSpec, LayoutConfig{30, 9});
+  EXPECT_TRUE(layout.allCellsAvoidBezels(wallSpec));
+  EXPECT_TRUE(layout.noOverlaps());
+}
+
+TEST(LayoutTest, CellRectRowMajorIndexing) {
+  const wall::WallSpec wallSpec = wall::cyberCommonsUsedRegion();
+  const auto layout =
+      SmallMultipleLayout::compute(wallSpec, LayoutConfig{24, 6});
+  // Cells in the same row increase in x; same column increase in y.
+  EXPECT_LT(layout.cellRect(0, 0).x, layout.cellRect(1, 0).x);
+  EXPECT_LT(layout.cellRect(0, 0).y, layout.cellRect(0, 1).y);
+}
+
+TEST(LayoutTest, CellOfPixelFindsCell) {
+  const wall::WallSpec wallSpec = wall::cyberCommonsUsedRegion();
+  const auto layout =
+      SmallMultipleLayout::compute(wallSpec, LayoutConfig{24, 6});
+  const RectI r = layout.cellRect(5, 2);
+  const auto hit =
+      layout.cellOfPixel(r.x + r.w / 2, r.y + r.h / 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FLOAT_EQ(hit->x, 5.0f);
+  EXPECT_FLOAT_EQ(hit->y, 2.0f);
+}
+
+TEST(LayoutTest, CellOfPixelMissesGaps) {
+  const wall::WallSpec wallSpec = wall::cyberCommonsUsedRegion();
+  const auto layout =
+      SmallMultipleLayout::compute(wallSpec, LayoutConfig{24, 6});
+  // Pixel 0,0 is inside the tile margin, before any cell.
+  EXPECT_FALSE(layout.cellOfPixel(0, 0).has_value());
+}
+
+TEST(LayoutTest, UnevenGridCellsSmallerInFullerTiles) {
+  // 15 columns over 6 tile columns: tiles get 3 or 2 columns; cells in
+  // 3-column tiles are narrower.
+  const wall::WallSpec wallSpec = wall::cyberCommonsUsedRegion();
+  const auto layout =
+      SmallMultipleLayout::compute(wallSpec, LayoutConfig{15, 4});
+  const auto cols = apportion(15, 6);
+  int denseTileFirstCol = 0;
+  int sparseTileFirstCol = 0;
+  int acc = 0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == 3) denseTileFirstCol = acc;
+    if (cols[i] == 2) sparseTileFirstCol = acc;
+    acc += cols[i];
+  }
+  const int denseW = layout.cellRect(denseTileFirstCol, 0).w;
+  const int sparseW = layout.cellRect(sparseTileFirstCol, 0).w;
+  EXPECT_LT(denseW, sparseW);
+}
+
+TEST(LayoutTest, GapAndMarginRespected) {
+  const wall::WallSpec wallSpec = wall::cyberCommonsUsedRegion();
+  LayoutConfig config{24, 6};
+  config.cellGapPx = 10;
+  config.tileMarginPx = 20;
+  const auto layout = SmallMultipleLayout::compute(wallSpec, config);
+  EXPECT_TRUE(layout.allCellsAvoidBezels(wallSpec));
+  EXPECT_TRUE(layout.noOverlaps());
+  // First cell starts at the tile margin.
+  EXPECT_EQ(layout.cellRect(0, 0).x, 20);
+  EXPECT_EQ(layout.cellRect(0, 0).y, 20);
+}
+
+TEST(LayoutTest, DensityIncreasesCoverageAcrossPresets) {
+  const wall::WallSpec wallSpec = wall::cyberCommonsUsedRegion();
+  std::size_t prev = 0;
+  for (const LayoutConfig& config : paperLayoutPresets()) {
+    const auto layout = SmallMultipleLayout::compute(wallSpec, config);
+    EXPECT_GT(layout.cellCount(), prev);
+    prev = layout.cellCount();
+  }
+}
+
+}  // namespace
+}  // namespace svq::core

@@ -1,0 +1,227 @@
+// Tests for the visual query engine — highlight semantics, temporal
+// windows, summaries, and order/parallelism invariance.
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+traj::Trajectory lineTraj(Vec2 from, Vec2 to, float duration,
+                          std::size_t samples = 21) {
+  std::vector<traj::TrajPoint> pts;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const float u = static_cast<float>(i) / static_cast<float>(samples - 1);
+    pts.push_back({lerp(from, to, u), duration * u});
+  }
+  return traj::Trajectory({}, std::move(pts));
+}
+
+BrushGrid westBrush() {
+  BrushCanvas canvas(50.0f, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, 50.0f);
+  return canvas.grid();
+}
+
+TEST(EvaluateOneTest, HighlightsSegmentsInBrushedRegion) {
+  // Walks from east to west: the west half of the path must highlight.
+  const auto t = lineTraj({40, 0}, {-40, 0}, 10.0f);
+  const BrushGrid brush = westBrush();
+  QueryParams params;
+  std::vector<std::int8_t> segs;
+  HighlightSummary summary;
+  evaluateOne(t, 0, brush, params, segs, summary);
+  ASSERT_EQ(segs.size(), t.size() - 1);
+  // First segments (east) unhighlighted; last segments (west) highlighted.
+  EXPECT_EQ(segs.front(), kNoBrush);
+  EXPECT_EQ(segs.back(), 0);
+  EXPECT_TRUE(summary.hitByBrush(0));
+  EXPECT_GT(summary.highlightedDuration(0), 3.0f);
+  EXPECT_LT(summary.highlightedDuration(0), 7.0f);
+}
+
+TEST(EvaluateOneTest, NoHighlightOutsideBrush) {
+  const auto t = lineTraj({10, 10}, {40, 40}, 10.0f);  // stays east/north
+  const BrushGrid brush = westBrush();
+  QueryParams params;
+  std::vector<std::int8_t> segs;
+  HighlightSummary summary;
+  evaluateOne(t, 0, brush, params, segs, summary);
+  EXPECT_FALSE(summary.anyHighlight());
+  for (auto s : segs) EXPECT_EQ(s, kNoBrush);
+}
+
+TEST(EvaluateOneTest, FirstHitTimeIsEntryTime) {
+  const auto t = lineTraj({40, 0}, {-40, 0}, 10.0f);
+  const BrushGrid brush = westBrush();
+  QueryParams params;
+  std::vector<std::int8_t> segs;
+  HighlightSummary summary;
+  evaluateOne(t, 0, brush, params, segs, summary);
+  // Crosses x=0 at t=5; entry recorded at the first highlighted segment's
+  // start time, which is just before the crossing.
+  ASSERT_FALSE(summary.firstHitTime.empty());
+  EXPECT_GT(summary.firstHitTime[0], 3.0f);
+  EXPECT_LT(summary.firstHitTime[0], 6.0f);
+}
+
+TEST(EvaluateOneTest, TemporalWindowExcludesSegments) {
+  const auto t = lineTraj({40, 0}, {-40, 0}, 10.0f);
+  const BrushGrid brush = westBrush();
+  QueryParams params;
+  params.timeWindow = {0.0f, 3.0f};  // only the east part of the walk
+  std::vector<std::int8_t> segs;
+  HighlightSummary summary;
+  evaluateOne(t, 0, brush, params, segs, summary);
+  EXPECT_FALSE(summary.anyHighlight());
+}
+
+TEST(EvaluateOneTest, WindowOverlapAtBoundaryCounts) {
+  const auto t = lineTraj({-40, 0}, {-30, 0}, 10.0f);  // all in west
+  const BrushGrid brush = westBrush();
+  QueryParams params;
+  params.timeWindow = {9.9f, 20.0f};  // touches only the last segment
+  std::vector<std::int8_t> segs;
+  HighlightSummary summary;
+  evaluateOne(t, 0, brush, params, segs, summary);
+  EXPECT_TRUE(summary.anyHighlight());
+  EXPECT_EQ(summary.segmentsPerBrush[0], 1u);
+}
+
+TEST(EvaluateOneTest, MultipleBrushesTrackedSeparately) {
+  BrushCanvas canvas(50.0f, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, 50.0f);
+  paintArenaHalf(canvas, 1, traj::ArenaSide::kEast, 50.0f);
+  const auto t = lineTraj({40, 0}, {-40, 0}, 10.0f);
+  QueryParams params;
+  std::vector<std::int8_t> segs;
+  HighlightSummary summary;
+  evaluateOne(t, 0, canvas.grid(), params, segs, summary);
+  EXPECT_TRUE(summary.hitByBrush(0));
+  EXPECT_TRUE(summary.hitByBrush(1));
+  EXPECT_GT(summary.highlightedDuration(0), 2.0f);
+  EXPECT_GT(summary.highlightedDuration(1), 2.0f);
+}
+
+TEST(EvaluateOneTest, ShortTrajectoryNoSegments) {
+  const traj::Trajectory t({}, {{{0, 0}, 0}});
+  const BrushGrid brush = westBrush();
+  QueryParams params;
+  std::vector<std::int8_t> segs;
+  HighlightSummary summary;
+  evaluateOne(t, 3, brush, params, segs, summary);
+  EXPECT_TRUE(segs.empty());
+  EXPECT_EQ(summary.trajectoryIndex, 3u);
+  EXPECT_FALSE(summary.anyHighlight());
+}
+
+traj::TrajectoryDataset syntheticDataset(std::size_t n = 150) {
+  traj::AntSimulator sim({}, 777);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+TEST(EvaluateQueryTest, TotalsAreConsistent) {
+  const auto ds = syntheticDataset();
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  const BrushGrid brush = westBrush();
+  QueryParams params;
+  const QueryResult r = evaluateQuery(ds, indices, brush, params);
+  EXPECT_EQ(r.trajectoriesEvaluated, ds.size());
+  EXPECT_EQ(r.segmentHighlights.size(), ds.size());
+  EXPECT_EQ(r.summaries.size(), ds.size());
+  EXPECT_LE(r.trajectoriesHighlighted, r.trajectoriesEvaluated);
+  EXPECT_LE(r.totalSegmentsHighlighted, r.totalSegmentsEvaluated);
+  EXPECT_GT(r.trajectoriesHighlighted, 0u);
+  // Summaries agree with the segment arrays.
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    std::size_t highlighted = 0;
+    for (auto s : r.segmentHighlights[i]) {
+      if (s != kNoBrush) ++highlighted;
+    }
+    std::size_t fromSummary = 0;
+    for (auto n : r.summaries[i].segmentsPerBrush) fromSummary += n;
+    EXPECT_EQ(highlighted, fromSummary) << "trajectory " << i;
+  }
+}
+
+TEST(EvaluateQueryTest, ParallelMatchesSequential) {
+  const auto ds = syntheticDataset();
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  const BrushGrid brush = westBrush();
+  QueryParams par;
+  par.parallel = true;
+  QueryParams seq;
+  seq.parallel = false;
+  const QueryResult a = evaluateQuery(ds, indices, brush, par);
+  const QueryResult b = evaluateQuery(ds, indices, brush, seq);
+  EXPECT_EQ(a.totalSegmentsHighlighted, b.totalSegmentsHighlighted);
+  EXPECT_EQ(a.trajectoriesHighlighted, b.trajectoriesHighlighted);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(a.segmentHighlights[i], b.segmentHighlights[i]);
+  }
+}
+
+TEST(EvaluateQueryTest, SubsetSelectionRespectsIndices) {
+  const auto ds = syntheticDataset(50);
+  const std::vector<std::uint32_t> indices{3, 10, 42};
+  const BrushGrid brush = westBrush();
+  const QueryResult r = evaluateQuery(ds, indices, brush, QueryParams{});
+  ASSERT_EQ(r.summaries.size(), 3u);
+  EXPECT_EQ(r.summaries[0].trajectoryIndex, 3u);
+  EXPECT_EQ(r.summaries[1].trajectoryIndex, 10u);
+  EXPECT_EQ(r.summaries[2].trajectoryIndex, 42u);
+}
+
+TEST(EvaluateQueryTest, ResultInvariantUnderIndexOrder) {
+  const auto ds = syntheticDataset(60);
+  std::vector<std::uint32_t> forward, backward;
+  for (std::uint32_t i = 0; i < ds.size(); ++i) forward.push_back(i);
+  backward.assign(forward.rbegin(), forward.rend());
+  const BrushGrid brush = westBrush();
+  const QueryResult a = evaluateQuery(ds, forward, brush, QueryParams{});
+  const QueryResult b = evaluateQuery(ds, backward, brush, QueryParams{});
+  EXPECT_EQ(a.totalSegmentsHighlighted, b.totalSegmentsHighlighted);
+  EXPECT_EQ(a.trajectoriesHighlighted, b.trajectoriesHighlighted);
+}
+
+TEST(EvaluateQueryOverTest, PlainArrayEvaluation) {
+  std::vector<traj::Trajectory> trajs;
+  trajs.push_back(lineTraj({40, 0}, {-40, 0}, 10.0f));
+  trajs.push_back(lineTraj({10, 10}, {40, 40}, 10.0f));
+  const BrushGrid brush = westBrush();
+  const QueryResult r = evaluateQueryOver(trajs, brush, QueryParams{});
+  EXPECT_EQ(r.trajectoriesEvaluated, 2u);
+  EXPECT_EQ(r.trajectoriesHighlighted, 1u);
+  EXPECT_TRUE(r.summaries[0].anyHighlight());
+  EXPECT_FALSE(r.summaries[1].anyHighlight());
+}
+
+TEST(EvaluateQueryTest, EmptyIndexListGivesEmptyResult) {
+  const auto ds = syntheticDataset(10);
+  const BrushGrid brush = westBrush();
+  const QueryResult r =
+      evaluateQuery(ds, std::vector<std::uint32_t>{}, brush, QueryParams{});
+  EXPECT_EQ(r.trajectoriesEvaluated, 0u);
+  EXPECT_EQ(r.trajectoriesHighlighted, 0u);
+}
+
+TEST(HighlightSummaryTest, Accessors) {
+  HighlightSummary s;
+  s.segmentsPerBrush = {0, 5, 0};
+  s.durationPerBrush = {0.0f, 2.5f, 0.0f};
+  EXPECT_TRUE(s.anyHighlight());
+  EXPECT_FALSE(s.hitByBrush(0));
+  EXPECT_TRUE(s.hitByBrush(1));
+  EXPECT_FALSE(s.hitByBrush(99));  // out of range is safe
+  EXPECT_FLOAT_EQ(s.highlightedDuration(1), 2.5f);
+  EXPECT_FLOAT_EQ(s.highlightedDuration(99), 0.0f);
+}
+
+}  // namespace
+}  // namespace svq::core

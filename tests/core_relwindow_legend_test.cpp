@@ -1,0 +1,160 @@
+// Tests for the relative temporal window (the "last few seconds of the
+// experiment" reading) and the wall legend HUD.
+#include <gtest/gtest.h>
+
+#include "core/legend.h"
+#include "core/query.h"
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+traj::Trajectory lineTraj(Vec2 from, Vec2 to, float duration,
+                          std::size_t samples = 41) {
+  std::vector<traj::TrajPoint> pts;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const float u = static_cast<float>(i) / static_cast<float>(samples - 1);
+    pts.push_back({lerp(from, to, u), duration * u});
+  }
+  return traj::Trajectory({}, std::move(pts));
+}
+
+TEST(RelativeWindowTest, EffectiveWindowScalesWithDuration) {
+  QueryParams p;
+  p.relativeWindow = Vec2{0.9f, 1.0f};
+  const Vec2 wShort = p.effectiveWindow(10.0f);
+  const Vec2 wLong = p.effectiveWindow(100.0f);
+  EXPECT_FLOAT_EQ(wShort.x, 9.0f);
+  EXPECT_FLOAT_EQ(wShort.y, 10.0f);
+  EXPECT_FLOAT_EQ(wLong.x, 90.0f);
+  EXPECT_FLOAT_EQ(wLong.y, 100.0f);
+}
+
+TEST(RelativeWindowTest, CombinesWithAbsoluteWindow) {
+  QueryParams p;
+  p.timeWindow = {0.0f, 50.0f};
+  p.relativeWindow = Vec2{0.5f, 1.0f};
+  // 100 s trajectory: relative = [50,100], absolute = [0,50] -> [50,50].
+  const Vec2 w = p.effectiveWindow(100.0f);
+  EXPECT_FLOAT_EQ(w.x, 50.0f);
+  EXPECT_FLOAT_EQ(w.y, 50.0f);
+}
+
+TEST(RelativeWindowTest, UnsetMeansAbsoluteOnly) {
+  QueryParams p;
+  p.timeWindow = {3.0f, 7.0f};
+  const Vec2 w = p.effectiveWindow(1000.0f);
+  EXPECT_FLOAT_EQ(w.x, 3.0f);
+  EXPECT_FLOAT_EQ(w.y, 7.0f);
+}
+
+TEST(RelativeWindowTest, SelectsFinalSegmentsPerTrajectory) {
+  // Two east->west walkers of very different durations; a final-20%
+  // relative window must highlight only the westmost part of each.
+  BrushCanvas canvas(50.0f, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, 50.0f);
+
+  std::vector<traj::Trajectory> trajs;
+  trajs.push_back(lineTraj({45, 0}, {-45, 0}, 10.0f));
+  trajs.push_back(lineTraj({45, 0}, {-45, 0}, 150.0f));
+
+  QueryParams p;
+  p.relativeWindow = Vec2{0.8f, 1.0f};
+  const QueryResult r = evaluateQueryOver(trajs, canvas.grid(), p);
+  for (std::size_t i = 0; i < trajs.size(); ++i) {
+    const auto& segs = r.segmentHighlights[i];
+    // Early segments unhighlighted (both in the east AND outside window).
+    EXPECT_EQ(segs.front(), kNoBrush);
+    // Final segments highlighted for both trajectories despite the 15x
+    // duration difference.
+    EXPECT_EQ(segs.back(), 0) << "trajectory " << i;
+    // Highlighted duration ~= 20% of each duration (all of which is in
+    // the west half for these walkers).
+    const float expected = trajs[i].duration() * 0.2f;
+    EXPECT_NEAR(r.summaries[i].highlightedDuration(0), expected,
+                expected * 0.35f);
+  }
+}
+
+TEST(RelativeWindowTest, ExitSideQueryImprovesSpecificity) {
+  // With the final-10% relative window, a west brush stops matching ants
+  // that merely *cross* the west half mid-run.
+  traj::AntSimulator sim({}, 2024);
+  traj::DatasetSpec spec;
+  spec.count = 300;
+  const auto ds = sim.generate(spec);
+  BrushCanvas canvas(ds.arena().radiusCm, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, ds.arena().radiusCm);
+  std::vector<std::uint32_t> all(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) all[i] = i;
+
+  QueryParams rel;
+  rel.relativeWindow = Vec2{0.9f, 1.0f};
+  const auto rRel = evaluateQuery(ds, all, canvas.grid(), rel);
+  const auto rFull = evaluateQuery(ds, all, canvas.grid(), QueryParams{});
+  EXPECT_LT(rRel.trajectoriesHighlighted, rFull.trajectoriesHighlighted);
+
+  // East-captured ants dominate the relative-window hits.
+  std::size_t eastHits = 0, eastPop = 0, westHits = 0, westPop = 0;
+  for (const auto& s : rRel.summaries) {
+    const auto side = ds[s.trajectoryIndex].meta().side;
+    if (side == traj::CaptureSide::kEast) {
+      ++eastPop;
+      if (s.anyHighlight()) ++eastHits;
+    } else if (side == traj::CaptureSide::kWest) {
+      ++westPop;
+      if (s.anyHighlight()) ++westHits;
+    }
+  }
+  ASSERT_GT(eastPop, 10u);
+  ASSERT_GT(westPop, 10u);
+  EXPECT_GT(static_cast<double>(eastHits) / eastPop,
+            static_cast<double>(westHits) / westPop + 0.3);
+}
+
+TEST(LegendTest, DrawsEntriesAndReportsExtent) {
+  render::Framebuffer fb(400, 200, render::colors::kBlack);
+  GroupManager groups;
+  defineFigure3Groups(groups, 20, 5);
+  BrushCanvas brush(50.0f, 64);
+  brush.addStroke({0, {0, 0}, 10.0f});
+
+  const RectI extent = drawWallLegend(render::Canvas::whole(fb), groups,
+                                      &brush);
+  EXPECT_FALSE(extent.empty());
+  // Something was drawn inside the reported extent.
+  std::size_t lit = 0;
+  for (int y = extent.y; y < extent.y + extent.h; ++y) {
+    for (int x = extent.x; x < extent.x + extent.w; ++x) {
+      if (!(fb.at(x, y) == render::colors::kBlack)) ++lit;
+    }
+  }
+  EXPECT_GT(lit, 50u);
+}
+
+TEST(LegendTest, BrushlessLegendOnlyGroups) {
+  render::Framebuffer withBrushFb(400, 200, render::colors::kBlack);
+  render::Framebuffer withoutFb(400, 200, render::colors::kBlack);
+  GroupManager groups;
+  defineFigure3Groups(groups, 20, 5);
+  BrushCanvas brush(50.0f, 64);
+  brush.addStroke({2, {0, 0}, 10.0f});
+
+  const RectI withExtent = drawWallLegend(
+      render::Canvas::whole(withBrushFb), groups, &brush);
+  const RectI withoutExtent = drawWallLegend(
+      render::Canvas::whole(withoutFb), groups, nullptr);
+  EXPECT_GT(withExtent.h, withoutExtent.h);  // extra brush row
+}
+
+TEST(LegendTest, EmptyGroupsAndBrushDrawNothing) {
+  render::Framebuffer fb(100, 100, render::colors::kBlack);
+  GroupManager groups;
+  const RectI extent =
+      drawWallLegend(render::Canvas::whole(fb), groups, nullptr);
+  EXPECT_EQ(extent.h, 0);
+  EXPECT_EQ(fb.countPixels(render::colors::kBlack), fb.pixelCount());
+}
+
+}  // namespace
+}  // namespace svq::core

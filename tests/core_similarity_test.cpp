@@ -1,0 +1,228 @@
+// Tests for similarity highlighting (§IV.C.2's "brush a portion of one
+// interesting trajectory ... similar movement patterns highlighted").
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+/// A trajectory passing through a distinctive square wiggle between two
+/// straight runs; `phase` shifts where the wiggle happens in time.
+traj::Trajectory wigglePath(std::uint32_t id, Vec2 origin, float phaseS) {
+  std::vector<traj::TrajPoint> pts;
+  float t = 0.0f;
+  Vec2 p = origin;
+  auto emit = [&](Vec2 step, float dt, int n) {
+    for (int i = 0; i < n; ++i) {
+      p += step;
+      t += dt;
+      pts.push_back({p, t});
+    }
+  };
+  pts.push_back({p, 0.0f});
+  // Lead-in straight run whose length depends on phase.
+  emit({1.0f, 0.0f}, 0.5f, static_cast<int>(phaseS / 0.5f) + 1);
+  // The wiggle: up, right, down, right (a square bump).
+  emit({0.0f, 2.0f}, 0.5f, 3);
+  emit({2.0f, 0.0f}, 0.5f, 2);
+  emit({0.0f, -2.0f}, 0.5f, 3);
+  emit({2.0f, 0.0f}, 0.5f, 2);
+  // Lead-out.
+  emit({1.0f, 0.0f}, 0.5f, 8);
+  return traj::Trajectory({id}, std::move(pts));
+}
+
+/// A plain straight walker (no wiggle).
+traj::Trajectory straightPath(std::uint32_t id, Vec2 origin) {
+  std::vector<traj::TrajPoint> pts;
+  for (int i = 0; i <= 40; ++i) {
+    pts.push_back({{origin.x + static_cast<float>(i), origin.y},
+                   static_cast<float>(i) * 0.5f});
+  }
+  return traj::Trajectory({id}, std::move(pts));
+}
+
+struct Fixture {
+  traj::TrajectoryDataset ds{traj::ArenaSpec{60.0f}};
+  BrushCanvas canvas{60.0f, 256};
+  SimilarityParams params;
+
+  Fixture() {
+    ds.add(wigglePath(0, {-25.0f, 0.0f}, 2.0f));   // source
+    ds.add(wigglePath(1, {-25.0f, 10.0f}, 6.0f));  // same wiggle, later
+    ds.add(straightPath(2, {-25.0f, -10.0f}));     // no wiggle
+    ds.add(wigglePath(3, {-25.0f, -20.0f}, 1.0f)); // same wiggle, early
+    params.matchThresholdCm = 1.5f;
+    params.resampleCount = 20;
+  }
+
+  SimilarityQuery brushSourceWiggle() {
+    // Paint over the wiggle of the source trajectory (which sits around
+    // x in [-21, -13], y in [0, 2] for phase 2 at origin -25,0).
+    canvas.addStroke({0, {-17.0f, 1.0f}, 6.5f});
+    return extractBrushedQuery(ds[0], 0, canvas.grid(), 0, params);
+  }
+};
+
+TEST(ExtractQueryTest, FindsBrushedRun) {
+  Fixture f;
+  const SimilarityQuery q = f.brushSourceWiggle();
+  ASSERT_TRUE(q.valid());
+  EXPECT_EQ(q.shape.size(), f.params.resampleCount);
+  EXPECT_GT(q.durationS, 1.0f);
+  EXPECT_EQ(q.sourceIndex, 0u);
+  // Translation-invariant: starts at origin.
+  EXPECT_EQ(q.shape.front(), (Vec2{0.0f, 0.0f}));
+}
+
+TEST(ExtractQueryTest, NoPaintGivesInvalidQuery) {
+  Fixture f;
+  const SimilarityQuery q =
+      extractBrushedQuery(f.ds[0], 0, f.canvas.grid(), 0, f.params);
+  EXPECT_FALSE(q.valid());
+}
+
+TEST(ExtractQueryTest, WrongBrushIndexGivesInvalidQuery) {
+  Fixture f;
+  f.canvas.addStroke({1, {-17.0f, 1.0f}, 6.5f});  // brush 1, not 0
+  const SimilarityQuery q =
+      extractBrushedQuery(f.ds[0], 0, f.canvas.grid(), 0, f.params);
+  EXPECT_FALSE(q.valid());
+}
+
+TEST(FindSimilarTest, MatchesWigglesNotStraights) {
+  Fixture f;
+  const SimilarityQuery q = f.brushSourceWiggle();
+  ASSERT_TRUE(q.valid());
+  const std::vector<std::uint32_t> indices{0, 1, 2, 3};
+  const SimilarityResult r =
+      findSimilar(f.ds, indices, q, f.params, /*highlightBrush=*/2);
+
+  auto matched = [&](std::uint32_t idx) {
+    for (const auto& m : r.matches) {
+      if (m.trajectoryIndex == idx) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(matched(0));   // the source matches itself
+  EXPECT_TRUE(matched(1));   // same wiggle at a different time
+  EXPECT_TRUE(matched(3));
+  EXPECT_FALSE(matched(2));  // the straight walker must not match
+  EXPECT_EQ(r.trajectoriesMatched, 3u);
+}
+
+TEST(FindSimilarTest, HighlightsUseRequestedBrush) {
+  Fixture f;
+  const SimilarityQuery q = f.brushSourceWiggle();
+  const std::vector<std::uint32_t> indices{1};
+  const SimilarityResult r = findSimilar(f.ds, indices, q, f.params, 4);
+  bool sawHighlight = false;
+  for (std::int8_t h : r.segmentHighlights[0]) {
+    if (h != kNoBrush) {
+      EXPECT_EQ(h, 4);
+      sawHighlight = true;
+    }
+  }
+  EXPECT_TRUE(sawHighlight);
+}
+
+TEST(FindSimilarTest, MatchWindowCoversTheWiggle) {
+  Fixture f;
+  const SimilarityQuery q = f.brushSourceWiggle();
+  const std::vector<std::uint32_t> indices{1};
+  const SimilarityResult r = findSimilar(f.ds, indices, q, f.params, 2);
+  ASSERT_FALSE(r.matches.empty());
+  // Trajectory 1's wiggle starts after its 6 s lead-in (13 samples); at
+  // least one match window must overlap samples 13..23.
+  bool overlaps = false;
+  for (const auto& m : r.matches) {
+    if (m.beginSample < 23 && m.endSample > 13) overlaps = true;
+  }
+  EXPECT_TRUE(overlaps);
+}
+
+TEST(FindSimilarTest, PositionSensitiveModeRespectsLocation) {
+  Fixture f;
+  f.params.translationInvariant = false;
+  // Paint the source wiggle; trajectory 3 has the same shape but offset
+  // 20 cm south, so in absolute coordinates it must NOT match.
+  const SimilarityQuery q = f.brushSourceWiggle();
+  ASSERT_TRUE(q.valid());
+  const std::vector<std::uint32_t> indices{3};
+  const SimilarityResult r = findSimilar(f.ds, indices, q, f.params, 2);
+  EXPECT_EQ(r.trajectoriesMatched, 0u);
+}
+
+TEST(FindSimilarTest, ThresholdControlsSelectivity) {
+  Fixture f;
+  const SimilarityQuery q = f.brushSourceWiggle();
+  const std::vector<std::uint32_t> indices{0, 1, 2, 3};
+  SimilarityParams loose = f.params;
+  loose.matchThresholdCm = 50.0f;  // everything matches
+  const auto rLoose = findSimilar(f.ds, indices, q, loose, 2);
+  EXPECT_EQ(rLoose.trajectoriesMatched, 4u);
+  SimilarityParams strict = f.params;
+  strict.matchThresholdCm = 0.01f;  // (almost) nothing matches
+  const auto rStrict = findSimilar(f.ds, indices, q, strict, 2);
+  EXPECT_LE(rStrict.trajectoriesMatched, 1u);  // maybe the source itself
+}
+
+TEST(FindSimilarTest, InvalidQueryGivesEmptyResult) {
+  Fixture f;
+  SimilarityQuery q;  // invalid
+  const std::vector<std::uint32_t> indices{0, 1};
+  const SimilarityResult r = findSimilar(f.ds, indices, q, f.params, 2);
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_EQ(r.trajectoriesMatched, 0u);
+}
+
+TEST(FindSimilarTest, ParallelMatchesSequential) {
+  Fixture f;
+  const SimilarityQuery q = f.brushSourceWiggle();
+  const std::vector<std::uint32_t> indices{0, 1, 2, 3};
+  SimilarityParams par = f.params;
+  par.parallel = true;
+  SimilarityParams seq = f.params;
+  seq.parallel = false;
+  const auto a = findSimilar(f.ds, indices, q, par, 2);
+  const auto b = findSimilar(f.ds, indices, q, seq, 2);
+  EXPECT_EQ(a.trajectoriesMatched, b.trajectoriesMatched);
+  EXPECT_EQ(a.matches.size(), b.matches.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(a.segmentHighlights[i], b.segmentHighlights[i]);
+  }
+}
+
+TEST(FindSimilarTest, WorksOnSyntheticAnts) {
+  // Smoke: brush part of one real ant trajectory and scan the dataset.
+  traj::AntSimulator sim({}, 2468);
+  traj::DatasetSpec spec;
+  spec.count = 60;
+  const auto ds = sim.generate(spec);
+  BrushCanvas canvas(ds.arena().radiusCm, 256);
+  // Paint around the first trajectory's midpoint.
+  const auto& src = ds[0];
+  const Vec2 mid = src[src.size() / 2].pos;
+  canvas.addStroke({0, mid, 8.0f});
+  SimilarityParams params;
+  const SimilarityQuery q =
+      extractBrushedQuery(src, 0, canvas.grid(), 0, params);
+  if (!q.valid()) GTEST_SKIP() << "midpoint not brushable for this seed";
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  const SimilarityResult r = findSimilar(ds, indices, q, params, 2);
+  // The source itself must be among the matches.
+  bool sourceMatched = false;
+  for (const auto& m : r.matches) {
+    if (m.trajectoryIndex == 0) sourceMatched = true;
+  }
+  EXPECT_TRUE(sourceMatched);
+}
+
+}  // namespace
+}  // namespace svq::core

@@ -1,0 +1,137 @@
+// Tests for session snapshots: full state round-trips and pixel-identical
+// restored frames.
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "cluster/clusterapp.h"
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+traj::TrajectoryDataset makeDataset() {
+  traj::AntSimulator sim({}, 606);
+  traj::DatasetSpec spec;
+  spec.count = 150;
+  return sim.generate(spec);
+}
+
+wall::WallSpec smallWall() {
+  return wall::WallSpec(wall::TileSpec{160, 96, 320.0f, 192.0f, 2.0f}, 6, 2);
+}
+
+void buildRichState(VisualQueryApp& app) {
+  app.apply(ui::LayoutSwitchEvent{2});
+  defineFigure3Groups(app.groups(), 36, 12);
+  app.refreshAssignment();
+  app.groups().page(2, +1, app.dataset());  // paged east bin
+  app.apply(ui::BrushStrokeEvent{0, {-20.0f, 5.0f}, 12.0f});
+  app.apply(ui::BrushStrokeEvent{1, {0.0f, 0.0f}, 8.0f});
+  app.apply(ui::TimeWindowEvent{5.0f, 90.0f});
+  app.apply(ui::DepthOffsetEvent{-8.0f});
+  app.apply(ui::TimeScaleEvent{0.4f});
+  app.refreshAssignment();
+}
+
+TEST(SnapshotTest, RoundTripRestoresAllState) {
+  const auto ds = makeDataset();
+  VisualQueryApp original(ds, smallWall());
+  buildRichState(original);
+  const auto snapshot = saveSnapshot(original);
+
+  VisualQueryApp restored(ds, smallWall());
+  ASSERT_TRUE(restoreSnapshot(restored, snapshot));
+
+  EXPECT_EQ(restored.activePreset(), original.activePreset());
+  EXPECT_EQ(restored.groups().groups().size(),
+            original.groups().groups().size());
+  EXPECT_EQ(restored.groups().find(2)->pageOffset,
+            original.groups().find(2)->pageOffset);
+  EXPECT_EQ(restored.brush().strokes().size(),
+            original.brush().strokes().size());
+  EXPECT_FLOAT_EQ(restored.timeWindow().lo(), 5.0f);
+  EXPECT_FLOAT_EQ(restored.timeWindow().hi(), 90.0f);
+  EXPECT_FLOAT_EQ(restored.stereoSettings().depthOffsetCm, -8.0f);
+  EXPECT_FLOAT_EQ(restored.stereoSettings().timeScaleCmPerS, 0.4f);
+}
+
+TEST(SnapshotTest, RestoredFramePixelIdentical) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  VisualQueryApp original(ds, w);
+  buildRichState(original);
+  const auto sceneA = original.buildScene();
+
+  VisualQueryApp restored(ds, w);
+  ASSERT_TRUE(restoreSnapshot(restored, saveSnapshot(original)));
+  const auto sceneB = restored.buildScene();
+
+  const auto imgA =
+      cluster::renderReferenceWall(ds, w, sceneA, render::Eye::kLeft);
+  const auto imgB =
+      cluster::renderReferenceWall(ds, w, sceneB, render::Eye::kLeft);
+  EXPECT_EQ(imgA.contentHash(), imgB.contentHash());
+}
+
+TEST(SnapshotTest, RestoreOverwritesExistingState) {
+  const auto ds = makeDataset();
+  VisualQueryApp original(ds, smallWall());
+  buildRichState(original);
+  const auto snapshot = saveSnapshot(original);
+
+  VisualQueryApp dirty(ds, smallWall());
+  dirty.apply(ui::LayoutSwitchEvent{0});
+  dirty.apply(ui::BrushStrokeEvent{3, {10.0f, 10.0f}, 20.0f});
+  ui::GroupDefineEvent g;
+  g.groupId = 9;
+  g.cellRect = {0, 0, 5, 2};
+  dirty.apply(g);
+
+  ASSERT_TRUE(restoreSnapshot(dirty, snapshot));
+  EXPECT_EQ(dirty.groups().find(9), nullptr);  // stale group gone
+  EXPECT_EQ(dirty.activePreset(), 2u);
+  EXPECT_EQ(dirty.brush().strokes().size(), 2u);
+}
+
+TEST(SnapshotTest, RejectsGarbage) {
+  const auto ds = makeDataset();
+  VisualQueryApp app(ds, smallWall());
+  net::MessageBuffer garbage;
+  garbage.putU32(0xBADF00D);
+  EXPECT_FALSE(restoreSnapshot(app, std::move(garbage)));
+  net::MessageBuffer truncated;
+  truncated.putU32(0x53565150u);
+  EXPECT_FALSE(restoreSnapshot(app, std::move(truncated)));
+}
+
+TEST(SnapshotTest, EmptyStateSnapshotRestores) {
+  const auto ds = makeDataset();
+  VisualQueryApp a(ds, smallWall());
+  VisualQueryApp b(ds, smallWall());
+  b.apply(ui::BrushStrokeEvent{0, {0, 0}, 5.0f});
+  ASSERT_TRUE(restoreSnapshot(b, saveSnapshot(a)));
+  EXPECT_TRUE(b.brush().empty());
+  EXPECT_EQ(b.activePreset(), a.activePreset());
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  const auto ds = makeDataset();
+  VisualQueryApp original(ds, smallWall());
+  buildRichState(original);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "svq_snapshot_test.svqp")
+          .string();
+  ASSERT_TRUE(saveSnapshotFile(original, path));
+  VisualQueryApp restored(ds, smallWall());
+  ASSERT_TRUE(restoreSnapshotFile(restored, path));
+  EXPECT_EQ(restored.brush().strokes().size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(restoreSnapshotFile(restored, path));  // gone
+}
+
+}  // namespace
+}  // namespace svq::core

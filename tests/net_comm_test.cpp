@@ -1,0 +1,187 @@
+// Tests for net/comm.h collectives and net/swapsync.h, run over real
+// threads with parameterized rank counts.
+#include "net/comm.h"
+#include "net/swapsync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace svq::net {
+namespace {
+
+/// Runs `body(rank, comm)` on `ranks` threads over one transport.
+void runRanks(int ranks, const std::function<void(int, Communicator&)>& body) {
+  InProcessTransport tp(ranks);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&tp, r, &body] {
+      Communicator comm(tp, r);
+      body(r, comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+class CommTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommTest, BarrierSynchronizesAllRanks) {
+  const int ranks = GetParam();
+  std::atomic<int> entered{0};
+  std::atomic<bool> violation{false};
+  runRanks(ranks, [&](int, Communicator& comm) {
+    for (int round = 0; round < 5; ++round) {
+      entered.fetch_add(1);
+      ASSERT_TRUE(comm.barrier());
+      // After the barrier every rank must have entered this round.
+      if (entered.load() < ranks * (round + 1)) violation = true;
+      ASSERT_TRUE(comm.barrier());  // separate exit barrier per round
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST_P(CommTest, BroadcastDeliversRootPayload) {
+  const int ranks = GetParam();
+  std::vector<std::uint32_t> got(ranks, 0);
+  runRanks(ranks, [&](int rank, Communicator& comm) {
+    MessageBuffer buf;
+    if (rank == 0) buf.putU32(4242);
+    ASSERT_TRUE(comm.broadcast(0, buf));
+    got[rank] = buf.getU32();
+  });
+  for (int r = 0; r < ranks; ++r) EXPECT_EQ(got[r], 4242u);
+}
+
+TEST_P(CommTest, BroadcastFromNonZeroRoot) {
+  const int ranks = GetParam();
+  if (ranks < 2) GTEST_SKIP();
+  std::vector<std::uint32_t> got(ranks, 0);
+  runRanks(ranks, [&](int rank, Communicator& comm) {
+    MessageBuffer buf;
+    if (rank == 1) buf.putU32(99);
+    ASSERT_TRUE(comm.broadcast(1, buf));
+    got[rank] = buf.getU32();
+  });
+  for (int r = 0; r < ranks; ++r) EXPECT_EQ(got[r], 99u);
+}
+
+TEST_P(CommTest, GatherCollectsByRank) {
+  const int ranks = GetParam();
+  std::vector<std::vector<std::uint32_t>> rootView(1);
+  runRanks(ranks, [&](int rank, Communicator& comm) {
+    MessageBuffer mine;
+    mine.putU32(static_cast<std::uint32_t>(rank * 10));
+    std::vector<MessageBuffer> all;
+    ASSERT_TRUE(comm.gather(0, std::move(mine), all));
+    if (rank == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(ranks));
+      for (auto& b : all) rootView[0].push_back(b.getU32());
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+  ASSERT_EQ(rootView[0].size(), static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_EQ(rootView[0][r], static_cast<std::uint32_t>(r * 10));
+  }
+}
+
+TEST_P(CommTest, AllreduceSumsAcrossRanks) {
+  const int ranks = GetParam();
+  std::vector<std::vector<double>> results(ranks);
+  runRanks(ranks, [&](int rank, Communicator& comm) {
+    std::vector<double> v{static_cast<double>(rank), 1.0, 0.5};
+    ASSERT_TRUE(comm.allreduceSum(v));
+    results[rank] = v;
+  });
+  const double rankSum = ranks * (ranks - 1) / 2.0;
+  for (int r = 0; r < ranks; ++r) {
+    ASSERT_EQ(results[r].size(), 3u);
+    EXPECT_DOUBLE_EQ(results[r][0], rankSum);
+    EXPECT_DOUBLE_EQ(results[r][1], static_cast<double>(ranks));
+    EXPECT_DOUBLE_EQ(results[r][2], 0.5 * ranks);
+  }
+}
+
+TEST_P(CommTest, CollectivesComposeInSequence) {
+  const int ranks = GetParam();
+  std::atomic<int> failures{0};
+  runRanks(ranks, [&](int rank, Communicator& comm) {
+    // bcast -> gather -> barrier -> bcast, repeated. Exercises epoch tags.
+    for (int round = 0; round < 3; ++round) {
+      MessageBuffer b;
+      if (rank == 0) b.putU32(static_cast<std::uint32_t>(round));
+      if (!comm.broadcast(0, b) || b.getU32() != static_cast<std::uint32_t>(round)) {
+        ++failures;
+      }
+      MessageBuffer mine;
+      mine.putU32(static_cast<std::uint32_t>(rank));
+      std::vector<MessageBuffer> all;
+      if (!comm.gather(0, std::move(mine), all)) ++failures;
+      if (!comm.barrier()) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(CommTest, UserTrafficDoesNotDisturbCollectives) {
+  const int ranks = GetParam();
+  if (ranks < 2) GTEST_SKIP();
+  runRanks(ranks, [&](int rank, Communicator& comm) {
+    // Rank 0 sends user messages to rank 1 before the collective; they
+    // must stay queued and not be eaten by barrier/broadcast.
+    if (rank == 0) {
+      MessageBuffer user;
+      user.putU32(1234);
+      comm.send(1, /*tag=*/7, std::move(user));
+    }
+    ASSERT_TRUE(comm.barrier());
+    MessageBuffer b;
+    if (rank == 0) b.putU32(1);
+    ASSERT_TRUE(comm.broadcast(0, b));
+    if (rank == 1) {
+      auto env = comm.recv(0, 7);
+      ASSERT_TRUE(env.has_value());
+      env->payload.rewind();
+      EXPECT_EQ(env->payload.getU32(), 1234u);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommTest,
+                         ::testing::Values(1, 2, 3, 6, 12));
+
+TEST(SwapGroupTest, FramesSwappedCountsAndWaitStats) {
+  const int ranks = 4;
+  std::vector<std::uint64_t> swapped(ranks, 0);
+  runRanks(ranks, [&](int rank, Communicator& comm) {
+    SwapGroup group(comm);
+    for (std::uint64_t f = 0; f < 10; ++f) {
+      ASSERT_TRUE(group.ready(f));
+    }
+    swapped[rank] = group.framesSwapped();
+    EXPECT_EQ(group.waitStats().count(), 10);
+  });
+  for (int r = 0; r < ranks; ++r) EXPECT_EQ(swapped[r], 10u);
+}
+
+TEST(SwapGroupTest, SlowRankGatesTheGroup) {
+  const int ranks = 3;
+  std::vector<double> waits(ranks, 0.0);
+  runRanks(ranks, [&](int rank, Communicator& comm) {
+    SwapGroup group(comm);
+    if (rank == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_TRUE(group.ready(0));
+    waits[rank] = group.waitStats().total();
+  });
+  // The slow rank waits the least; a fast rank waits roughly the sleep.
+  EXPECT_LT(waits[0], 0.04);
+  EXPECT_GT(std::max(waits[1], waits[2]), 0.03);
+}
+
+}  // namespace
+}  // namespace svq::net

@@ -1,0 +1,123 @@
+// Tests for the interconnect model: delayed delivery semantics and the
+// invariant that network models change timing but never results.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cluster/clusterapp.h"
+#include "core/session.h"
+#include "net/transport.h"
+#include "traj/synth.h"
+#include "util/stopwatch.h"
+
+namespace svq::net {
+namespace {
+
+MessageBuffer payload(std::size_t bytes) {
+  MessageBuffer buf;
+  buf.putBytes(std::vector<std::uint8_t>(bytes, 0xAB));
+  return buf;
+}
+
+TEST(NetworkModelTest, TransferTimeFormula) {
+  NetworkModel m{0.001, 1e6};  // 1 ms + 1 MB/s
+  EXPECT_DOUBLE_EQ(m.transferSeconds(0), 0.001);
+  EXPECT_DOUBLE_EQ(m.transferSeconds(1000000), 1.001);
+  EXPECT_FALSE(m.instantaneous());
+  EXPECT_TRUE(NetworkModel{}.instantaneous());
+}
+
+TEST(NetworkModelTest, PresetsAreSane) {
+  const NetworkModel gbe = NetworkModel::gigabitEthernet();
+  const NetworkModel tgbe = NetworkModel::tenGigabitEthernet();
+  EXPECT_LT(tgbe.latencySeconds, gbe.latencySeconds);
+  EXPECT_GT(tgbe.bytesPerSecond, gbe.bytesPerSecond);
+  // A 4 MB framebuffer tile takes ~34 ms on GbE, ~3.4 ms on 10GbE.
+  EXPECT_NEAR(gbe.transferSeconds(4000000), 0.034, 0.01);
+}
+
+TEST(DelayedTransportTest, MessageNotVisibleBeforeDelay) {
+  InProcessTransport tp(2, NetworkModel{0.05, 0.0});  // 50 ms latency
+  tp.send(0, 1, 0, payload(10));
+  EXPECT_FALSE(tp.probe(1));  // not yet deliverable
+  Stopwatch timer;
+  auto env = tp.recv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_GE(timer.elapsedSeconds(), 0.045);
+}
+
+TEST(DelayedTransportTest, BandwidthScalesWithSize) {
+  InProcessTransport tp(2, NetworkModel{0.0, 1e6});  // 1 MB/s
+  tp.send(0, 1, 0, payload(50000));  // ~50 ms transfer
+  Stopwatch timer;
+  auto env = tp.recv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_GE(timer.elapsedSeconds(), 0.04);
+}
+
+TEST(DelayedTransportTest, InstantaneousByDefault) {
+  InProcessTransport tp(2);
+  tp.send(0, 1, 0, payload(1000000));
+  Stopwatch timer;
+  auto env = tp.recv(1);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_LT(timer.elapsedSeconds(), 0.05);
+}
+
+TEST(DelayedTransportTest, OrderPreservedUnderEqualDelays) {
+  InProcessTransport tp(2, NetworkModel{0.01, 0.0});
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    MessageBuffer b;
+    b.putU32(i);
+    tp.send(0, 1, 0, std::move(b));
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto env = tp.recv(1);
+    ASSERT_TRUE(env.has_value());
+    env->payload.rewind();
+    EXPECT_EQ(env->payload.getU32(), i);
+  }
+}
+
+TEST(DelayedTransportTest, ShutdownInterruptsDelayedWait) {
+  InProcessTransport tp(2, NetworkModel{10.0, 0.0});  // 10 s latency
+  tp.send(0, 1, 0, payload(4));
+  std::optional<Envelope> result;
+  bool done = false;
+  std::thread receiver([&] {
+    result = tp.recv(1);
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  tp.shutdown();
+  receiver.join();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(ClusterUnderNetworkModelTest, OutputIdenticalJustSlower) {
+  traj::AntSimulator sim({}, 112);
+  traj::DatasetSpec spec;
+  spec.count = 40;
+  const auto ds = sim.generate(spec);
+  const wall::WallSpec w(wall::TileSpec{96, 64, 192.0f, 128.0f, 2.0f}, 2, 1);
+  core::VisualQueryApp app(ds, w);
+  app.apply(ui::LayoutSwitchEvent{0});
+  const render::SceneModel scene = app.buildScene();
+
+  cluster::ClusterOptions fast;
+  fast.stereo = false;
+  cluster::ClusterOptions slow = fast;
+  slow.network = NetworkModel{0.002, 50e6};  // 2 ms + 50 MB/s
+
+  const auto fastResult = cluster::runClusterSession(ds, w, {scene}, fast);
+  const auto slowResult = cluster::runClusterSession(ds, w, {scene}, slow);
+  ASSERT_TRUE(fastResult.leftWall.has_value());
+  ASSERT_TRUE(slowResult.leftWall.has_value());
+  EXPECT_EQ(fastResult.leftWall->contentHash(),
+            slowResult.leftWall->contentHash());
+  EXPECT_GT(slowResult.wallClockSeconds, fastResult.wallClockSeconds);
+}
+
+}  // namespace
+}  // namespace svq::net

@@ -1,0 +1,152 @@
+// Tests for net/transport.h — point-to-point delivery, tag/source
+// matching, FIFO ordering, blocking recv and shutdown semantics.
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace svq::net {
+namespace {
+
+MessageBuffer payload(std::uint32_t v) {
+  MessageBuffer buf;
+  buf.putU32(v);
+  return buf;
+}
+
+std::uint32_t value(Envelope& e) {
+  e.payload.rewind();
+  return e.payload.getU32();
+}
+
+TEST(TransportTest, SelfSendReceive) {
+  InProcessTransport tp(1);
+  EXPECT_TRUE(tp.send(0, 0, 5, payload(42)));
+  auto env = tp.recv(0);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->source, 0);
+  EXPECT_EQ(env->tag, 5);
+  EXPECT_EQ(value(*env), 42u);
+}
+
+TEST(TransportTest, CrossRankDelivery) {
+  InProcessTransport tp(3);
+  tp.send(0, 2, 1, payload(7));
+  auto env = tp.recv(2);
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->source, 0);
+  EXPECT_EQ(value(*env), 7u);
+}
+
+TEST(TransportTest, FifoOrderPerSender) {
+  InProcessTransport tp(2);
+  for (std::uint32_t i = 0; i < 10; ++i) tp.send(0, 1, 0, payload(i));
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    auto env = tp.recv(1);
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(value(*env), i);
+  }
+}
+
+TEST(TransportTest, TagMatchingSkipsNonMatching) {
+  InProcessTransport tp(2);
+  tp.send(0, 1, /*tag=*/10, payload(100));
+  tp.send(0, 1, /*tag=*/20, payload(200));
+  // Request tag 20 first: the tag-10 message stays queued.
+  auto env20 = tp.recv(1, kAnySource, 20);
+  ASSERT_TRUE(env20.has_value());
+  EXPECT_EQ(value(*env20), 200u);
+  auto env10 = tp.recv(1, kAnySource, 10);
+  ASSERT_TRUE(env10.has_value());
+  EXPECT_EQ(value(*env10), 100u);
+}
+
+TEST(TransportTest, SourceMatching) {
+  InProcessTransport tp(3);
+  tp.send(0, 2, 0, payload(1));
+  tp.send(1, 2, 0, payload(2));
+  auto fromRank1 = tp.recv(2, /*source=*/1);
+  ASSERT_TRUE(fromRank1.has_value());
+  EXPECT_EQ(value(*fromRank1), 2u);
+  auto fromRank0 = tp.recv(2, /*source=*/0);
+  ASSERT_TRUE(fromRank0.has_value());
+  EXPECT_EQ(value(*fromRank0), 1u);
+}
+
+TEST(TransportTest, ProbeNonBlocking) {
+  InProcessTransport tp(2);
+  EXPECT_FALSE(tp.probe(1));
+  tp.send(0, 1, 3, payload(9));
+  EXPECT_TRUE(tp.probe(1));
+  EXPECT_TRUE(tp.probe(1, 0, 3));
+  EXPECT_FALSE(tp.probe(1, 0, 4));
+  EXPECT_FALSE(tp.probe(1, 1, 3));
+}
+
+TEST(TransportTest, BlockingRecvWakesOnSend) {
+  InProcessTransport tp(2);
+  std::uint32_t got = 0;
+  std::thread receiver([&] {
+    auto env = tp.recv(1);
+    if (env) got = value(*env);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  tp.send(0, 1, 0, payload(77));
+  receiver.join();
+  EXPECT_EQ(got, 77u);
+}
+
+TEST(TransportTest, ShutdownWakesBlockedReceivers) {
+  InProcessTransport tp(2);
+  bool gotNullopt = false;
+  std::thread receiver([&] {
+    auto env = tp.recv(1);
+    gotNullopt = !env.has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  tp.shutdown();
+  receiver.join();
+  EXPECT_TRUE(gotNullopt);
+}
+
+TEST(TransportTest, SendAfterShutdownFails) {
+  InProcessTransport tp(2);
+  tp.shutdown();
+  EXPECT_FALSE(tp.send(0, 1, 0, payload(1)));
+}
+
+TEST(TransportTest, TrafficAccounting) {
+  InProcessTransport tp(2);
+  EXPECT_EQ(tp.messagesSent(), 0u);
+  tp.send(0, 1, 0, payload(1));  // 4-byte payload
+  tp.send(0, 1, 0, payload(2));
+  EXPECT_EQ(tp.messagesSent(), 2u);
+  EXPECT_EQ(tp.bytesSent(), 8u);
+}
+
+TEST(TransportTest, ManyThreadsManyMessages) {
+  const int senders = 4;
+  const int perSender = 200;
+  InProcessTransport tp(senders + 1);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < senders; ++s) {
+    threads.emplace_back([&tp, s] {
+      for (int i = 0; i < perSender; ++i) {
+        tp.send(s, senders, /*tag=*/s, payload(static_cast<std::uint32_t>(i)));
+      }
+    });
+  }
+  // Receive everything; per-sender FIFO must hold.
+  std::vector<std::uint32_t> nextExpected(senders, 0);
+  for (int i = 0; i < senders * perSender; ++i) {
+    auto env = tp.recv(senders);
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(value(*env), nextExpected[env->source]++);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tp.messagesSent(), static_cast<std::uint64_t>(senders * perSender));
+}
+
+}  // namespace
+}  // namespace svq::net

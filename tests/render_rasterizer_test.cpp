@@ -1,0 +1,243 @@
+// Tests for render/rasterizer.h — primitive correctness, clipping safety
+// (including a fuzz sweep), and the canvas viewport translation that
+// sort-first tiling depends on.
+#include "render/rasterizer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace svq::render {
+namespace {
+
+TEST(CanvasTest, WholeCoversFramebuffer) {
+  Framebuffer fb(10, 5);
+  const Canvas c = Canvas::whole(fb);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.region, (RectI{0, 0, 10, 5}));
+}
+
+TEST(CanvasTest, OffsetRegionTranslatesWrites) {
+  Framebuffer fb(4, 4, colors::kBlack);
+  const Canvas c{&fb, {100, 200, 4, 4}};
+  c.set(101, 202, colors::kWhite);
+  EXPECT_EQ(fb.at(1, 2), colors::kWhite);
+  c.set(99, 200, colors::kWhite);   // left of region: clipped
+  c.set(104, 200, colors::kWhite);  // right of region: clipped
+  EXPECT_EQ(fb.countPixels(colors::kWhite), 1u);
+}
+
+TEST(FillRectTest, ExactCoverage) {
+  Framebuffer fb(10, 10, colors::kBlack);
+  fillRect(Canvas::whole(fb), {2, 3, 4, 2}, colors::kRed);
+  EXPECT_EQ(fb.countPixels(colors::kRed), 8u);
+  EXPECT_EQ(fb.at(2, 3), colors::kRed);
+  EXPECT_EQ(fb.at(5, 4), colors::kRed);
+  EXPECT_EQ(fb.at(6, 4), colors::kBlack);
+}
+
+TEST(FillRectTest, ClipsToCanvas) {
+  Framebuffer fb(4, 4, colors::kBlack);
+  fillRect(Canvas::whole(fb), {-10, -10, 100, 100}, colors::kRed);
+  EXPECT_EQ(fb.countPixels(colors::kRed), 16u);
+}
+
+TEST(FillRectTest, EmptyRectDrawsNothing) {
+  Framebuffer fb(4, 4, colors::kBlack);
+  fillRect(Canvas::whole(fb), {1, 1, 0, 5}, colors::kRed);
+  EXPECT_EQ(fb.countPixels(colors::kRed), 0u);
+}
+
+TEST(StrokeRectTest, PerimeterOnly) {
+  Framebuffer fb(10, 10, colors::kBlack);
+  strokeRect(Canvas::whole(fb), {1, 1, 5, 4}, colors::kGreen);
+  // Perimeter of a 5x4 rect = 2*5 + 2*(4-2) = 14 pixels.
+  EXPECT_EQ(fb.countPixels(colors::kGreen), 14u);
+  EXPECT_EQ(fb.at(1, 1), colors::kGreen);
+  EXPECT_EQ(fb.at(3, 2), colors::kBlack);  // interior untouched
+}
+
+TEST(FillCircleTest, CenterAndRadius) {
+  Framebuffer fb(20, 20, colors::kBlack);
+  fillCircle(Canvas::whole(fb), 10.0f, 10.0f, 3.0f, colors::kBlue);
+  EXPECT_EQ(fb.at(10, 10), colors::kBlue);
+  EXPECT_EQ(fb.at(12, 10), colors::kBlue);
+  EXPECT_EQ(fb.at(15, 10), colors::kBlack);
+  // Area roughly pi*r^2.
+  const auto count = fb.countPixels(colors::kBlue);
+  EXPECT_GT(count, 20u);
+  EXPECT_LT(count, 40u);
+}
+
+TEST(FillCircleTest, NonPositiveRadiusDrawsNothing) {
+  Framebuffer fb(8, 8, colors::kBlack);
+  fillCircle(Canvas::whole(fb), 4, 4, 0.0f, colors::kBlue);
+  fillCircle(Canvas::whole(fb), 4, 4, -2.0f, colors::kBlue);
+  EXPECT_EQ(fb.countPixels(colors::kBlue), 0u);
+}
+
+TEST(DrawLineTest, HorizontalLineContiguous) {
+  Framebuffer fb(10, 5, colors::kBlack);
+  drawLine(Canvas::whole(fb), {1, 2}, {8, 2}, colors::kWhite);
+  for (int x = 1; x <= 8; ++x) {
+    EXPECT_EQ(fb.at(x, 2), colors::kWhite) << "x=" << x;
+  }
+}
+
+TEST(DrawLineTest, DiagonalTouchesEndpoints) {
+  Framebuffer fb(10, 10, colors::kBlack);
+  drawLine(Canvas::whole(fb), {0, 0}, {9, 9}, colors::kWhite);
+  EXPECT_EQ(fb.at(0, 0), colors::kWhite);
+  EXPECT_EQ(fb.at(9, 9), colors::kWhite);
+  EXPECT_EQ(fb.at(5, 5), colors::kWhite);
+}
+
+TEST(DrawLineTest, OffCanvasIsSafe) {
+  Framebuffer fb(4, 4, colors::kBlack);
+  drawLine(Canvas::whole(fb), {-100, -50}, {200, 100}, colors::kWhite);
+  SUCCEED();
+}
+
+TEST(ThickLineTest, WidthScalesCoverage) {
+  Framebuffer thin(40, 40, colors::kBlack);
+  Framebuffer thick(40, 40, colors::kBlack);
+  drawThickLine(Canvas::whole(thin), {5, 20}, {35, 20}, 1.0f,
+                colors::kWhite, 0.25f);
+  drawThickLine(Canvas::whole(thick), {5, 20}, {35, 20}, 4.0f,
+                colors::kWhite, 0.25f);
+  auto litCount = [](const Framebuffer& fb) {
+    std::size_t n = 0;
+    for (int y = 0; y < fb.height(); ++y) {
+      for (int x = 0; x < fb.width(); ++x) {
+        if (fb.at(x, y).r > 0) ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(litCount(thick), litCount(thin) * 2);
+}
+
+TEST(ThickLineTest, CenterIsFullAlpha) {
+  Framebuffer fb(20, 20, colors::kBlack);
+  drawThickLine(Canvas::whole(fb), {2, 10}, {18, 10}, 2.0f, colors::kWhite);
+  EXPECT_EQ(fb.at(10, 10), colors::kWhite);
+}
+
+TEST(ThickLineTest, EdgesAreFeathered) {
+  Framebuffer fb(20, 20, colors::kBlack);
+  drawThickLine(Canvas::whole(fb), {2, 10}, {18, 10}, 2.0f, colors::kWhite,
+                2.0f);
+  // Pixel just beyond half-width but inside feather: partially lit.
+  const Color edge = fb.at(10, 13);
+  EXPECT_GT(edge.r, 0);
+  EXPECT_LT(edge.r, 255);
+}
+
+TEST(ThickLineTest, DegeneratePointDrawsDot) {
+  Framebuffer fb(10, 10, colors::kBlack);
+  drawThickLine(Canvas::whole(fb), {5, 5}, {5, 5}, 1.5f, colors::kWhite);
+  EXPECT_EQ(fb.at(5, 5), colors::kWhite);
+}
+
+TEST(PolylineTest, DrawsAllSegments) {
+  Framebuffer fb(30, 30, colors::kBlack);
+  const std::vector<Vec2> pts{{5, 5}, {25, 5}, {25, 25}};
+  const std::vector<Color> cols(3, colors::kWhite);
+  drawThickPolyline(Canvas::whole(fb), pts, cols, 1.0f);
+  EXPECT_GT(fb.at(15, 5).r, 200);
+  EXPECT_GT(fb.at(25, 15).r, 200);
+}
+
+TEST(PolylineTest, ZeroAlphaVertexBreaksLine) {
+  Framebuffer fb(30, 30, colors::kBlack);
+  const std::vector<Vec2> pts{{5, 15}, {15, 15}, {25, 15}};
+  std::vector<Color> cols{colors::kWhite, colors::kWhite.withAlpha(0),
+                          colors::kWhite};
+  drawThickPolyline(Canvas::whole(fb), pts, cols, 1.0f);
+  // Neither segment should be drawn (both touch the sentinel).
+  EXPECT_EQ(fb.at(10, 15).r, 0);
+  EXPECT_EQ(fb.at(20, 15).r, 0);
+}
+
+TEST(TextTest, DrawsSomethingForEachKnownGlyph) {
+  const std::string charset = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ-.:/%=()_";
+  for (char ch : charset) {
+    if (ch == ' ') continue;
+    Framebuffer fb(10, 10, colors::kBlack);
+    drawTextTiny(Canvas::whole(fb), 1, 1, std::string(1, ch), colors::kWhite);
+    EXPECT_GT(fb.countPixels(colors::kWhite), 0u) << "glyph " << ch;
+  }
+}
+
+TEST(TextTest, SpaceDrawsNothing) {
+  Framebuffer fb(10, 10, colors::kBlack);
+  drawTextTiny(Canvas::whole(fb), 1, 1, " ", colors::kWhite);
+  EXPECT_EQ(fb.countPixels(colors::kWhite), 0u);
+}
+
+TEST(TextTest, LowercaseMapsToUppercase) {
+  Framebuffer a(10, 10, colors::kBlack);
+  Framebuffer b(10, 10, colors::kBlack);
+  drawTextTiny(Canvas::whole(a), 1, 1, "a", colors::kWhite);
+  drawTextTiny(Canvas::whole(b), 1, 1, "A", colors::kWhite);
+  EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+TEST(TextTest, WidthAndHeightMetrics) {
+  EXPECT_EQ(textTinyWidth("ABC"), 18);
+  EXPECT_EQ(textTinyWidth("ABC", 2), 36);
+  EXPECT_EQ(textTinyHeight(), 7);
+  EXPECT_EQ(textTinyHeight(3), 21);
+}
+
+TEST(TextTest, ScaleEnlargesGlyphs) {
+  Framebuffer small(40, 40, colors::kBlack);
+  Framebuffer big(40, 40, colors::kBlack);
+  drawTextTiny(Canvas::whole(small), 1, 1, "8", colors::kWhite, 1);
+  drawTextTiny(Canvas::whole(big), 1, 1, "8", colors::kWhite, 3);
+  EXPECT_GT(big.countPixels(colors::kWhite),
+            small.countPixels(colors::kWhite) * 4);
+}
+
+// Fuzz: random primitives against random canvas viewports must never
+// write outside the framebuffer (bounds-checked writes would throw/ASAN).
+TEST(FuzzTest, RandomPrimitivesNeverCrash) {
+  Rng rng(0xF00D);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int w = rng.rangeInt(1, 32);
+    const int h = rng.rangeInt(1, 32);
+    Framebuffer fb(w, h, colors::kBlack);
+    const Canvas canvas{&fb,
+                        {rng.rangeInt(-50, 50), rng.rangeInt(-50, 50), w, h}};
+    auto rv = [&] {
+      return Vec2{rng.uniform(-100.0f, 100.0f), rng.uniform(-100.0f, 100.0f)};
+    };
+    switch (rng.rangeInt(0, 4)) {
+      case 0:
+        fillRect(canvas,
+                 {rng.rangeInt(-60, 60), rng.rangeInt(-60, 60),
+                  rng.rangeInt(-10, 80), rng.rangeInt(-10, 80)},
+                 colors::kRed);
+        break;
+      case 1:
+        fillCircle(canvas, rv().x, rv().y, rng.uniform(-5.0f, 40.0f),
+                   colors::kGreen);
+        break;
+      case 2:
+        drawLine(canvas, rv(), rv(), colors::kBlue);
+        break;
+      case 3:
+        drawThickLine(canvas, rv(), rv(), rng.uniform(0.0f, 6.0f),
+                      colors::kWhite, rng.uniform(0.1f, 3.0f));
+        break;
+      case 4:
+        drawTextTiny(canvas, rng.rangeInt(-20, 40), rng.rangeInt(-20, 40),
+                     "SVQ 42", colors::kYellow, rng.rangeInt(1, 3));
+        break;
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace svq::render

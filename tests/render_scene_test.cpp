@@ -1,0 +1,194 @@
+// Tests for render/scene.h — cell rendering, culling, and the sort-first
+// partition property (tile renders == full render restricted to tile).
+#include "render/scene.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::render {
+namespace {
+
+traj::TrajectoryDataset makeDataset(std::size_t n = 8) {
+  traj::AntSimulator sim({}, 404);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+SceneModel makeScene(const traj::TrajectoryDataset& ds, int cells = 4) {
+  SceneModel scene;
+  scene.arenaRadiusCm = ds.arena().radiusCm;
+  for (int i = 0; i < cells; ++i) {
+    CellView cell;
+    cell.trajectoryIndex = static_cast<std::uint32_t>(i % ds.size());
+    cell.rect = {10 + i * 60, 10, 50, 50};
+    cell.background = groupBackground(static_cast<std::size_t>(i));
+    scene.cells.push_back(cell);
+  }
+  return scene;
+}
+
+TEST(SceneTest, RenderFillsBackground) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds, 1);
+  scene.wallBackground = colors::kBlack;
+  Framebuffer fb(300, 80, colors::kWhite);
+  renderScene(scene, ds, Canvas::whole(fb), Eye::kCenter);
+  // Pixels outside the cell are wall background, not white.
+  EXPECT_EQ(fb.at(299, 79), colors::kBlack);
+}
+
+TEST(SceneTest, CellBackgroundApplied) {
+  const auto ds = makeDataset();
+  const SceneModel scene = makeScene(ds, 1);
+  Framebuffer fb(300, 80);
+  renderScene(scene, ds, Canvas::whole(fb), Eye::kCenter);
+  // A corner pixel inside the cell rect but away from the trajectory.
+  EXPECT_EQ(fb.at(12, 58), scene.cells[0].background);
+}
+
+TEST(SceneTest, StatsCountCells) {
+  const auto ds = makeDataset();
+  const SceneModel scene = makeScene(ds, 4);
+  Framebuffer fb(300, 80);
+  const RenderStats stats =
+      renderScene(scene, ds, Canvas::whole(fb), Eye::kCenter);
+  EXPECT_EQ(stats.cellsDrawn, 4u);
+  EXPECT_EQ(stats.cellsCulled, 0u);
+  EXPECT_GT(stats.segmentsDrawn, 0u);
+}
+
+TEST(SceneTest, CullingSkipsOffTileCells) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds, 4);  // cells at x=10..250
+  // Zero parallax so the cull rect is not inflated beyond a couple px.
+  scene.stereo.timeScaleCmPerS = 0.0f;
+  scene.stereo.depthOffsetCm = 0.0f;
+  Framebuffer fb(60, 80);
+  // Canvas viewport covering only the first cell.
+  const Canvas canvas{&fb, {0, 0, 60, 80}};
+  const RenderStats stats = renderScene(scene, ds, canvas, Eye::kCenter);
+  EXPECT_EQ(stats.cellsDrawn, 1u);
+  EXPECT_EQ(stats.cellsCulled, 3u);
+}
+
+TEST(SceneTest, SortFirstPartitionMatchesFullRender) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds, 4);
+  scene.stereo.timeScaleCmPerS = 0.3f;
+
+  // Full render.
+  Framebuffer full(260, 70);
+  renderScene(scene, ds, Canvas::whole(full), Eye::kLeft);
+
+  // Two half renders through restricted canvases.
+  Framebuffer leftHalf(130, 70);
+  Framebuffer rightHalf(130, 70);
+  renderScene(scene, ds, Canvas{&leftHalf, {0, 0, 130, 70}}, Eye::kLeft);
+  renderScene(scene, ds, Canvas{&rightHalf, {130, 0, 130, 70}}, Eye::kLeft);
+
+  for (int y = 0; y < 70; ++y) {
+    for (int x = 0; x < 260; ++x) {
+      const Color expected = full.at(x, y);
+      const Color actual =
+          x < 130 ? leftHalf.at(x, y) : rightHalf.at(x - 130, y);
+      ASSERT_EQ(expected, actual) << "pixel " << x << "," << y;
+    }
+  }
+}
+
+TEST(SceneTest, StereoEyesProduceDifferentImages) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds, 2);
+  scene.stereo.timeScaleCmPerS = 0.5f;
+  Framebuffer left(300, 80);
+  Framebuffer right(300, 80);
+  renderScene(scene, ds, Canvas::whole(left), Eye::kLeft);
+  renderScene(scene, ds, Canvas::whole(right), Eye::kRight);
+  EXPECT_NE(left.contentHash(), right.contentHash());
+}
+
+TEST(SceneTest, ZeroTimeScaleEyesIdentical) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds, 2);
+  scene.stereo.timeScaleCmPerS = 0.0f;
+  scene.stereo.depthOffsetCm = 0.0f;
+  Framebuffer left(300, 80);
+  Framebuffer right(300, 80);
+  renderScene(scene, ds, Canvas::whole(left), Eye::kLeft);
+  renderScene(scene, ds, Canvas::whole(right), Eye::kRight);
+  EXPECT_EQ(left.contentHash(), right.contentHash());
+}
+
+TEST(SceneTest, HighlightChangesPixels) {
+  const auto ds = makeDataset();
+  SceneModel plain = makeScene(ds, 1);
+  SceneModel highlighted = makeScene(ds, 1);
+  const std::size_t segs = ds[0].size() - 1;
+  highlighted.cells[0].segmentHighlights.assign(segs, 0);  // all red
+
+  Framebuffer a(80, 80);
+  Framebuffer b(80, 80);
+  renderScene(plain, ds, Canvas::whole(a), Eye::kCenter);
+  renderScene(highlighted, ds, Canvas::whole(b), Eye::kCenter);
+  EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
+TEST(SceneTest, TimeWindowReducesDrawnSegments) {
+  const auto ds = makeDataset();
+  SceneModel all = makeScene(ds, 1);
+  SceneModel windowed = makeScene(ds, 1);
+  windowed.timeWindow = {0.0f, ds[0].duration() * 0.25f};
+  Framebuffer a(80, 80);
+  Framebuffer b(80, 80);
+  const RenderStats sa = renderScene(all, ds, Canvas::whole(a), Eye::kCenter);
+  const RenderStats sb =
+      renderScene(windowed, ds, Canvas::whole(b), Eye::kCenter);
+  EXPECT_LT(sb.segmentsDrawn, sa.segmentsDrawn);
+}
+
+TEST(SceneTest, LabelDrawnWhenSet) {
+  const auto ds = makeDataset();
+  SceneModel unlabeled = makeScene(ds, 1);
+  SceneModel labeled = makeScene(ds, 1);
+  labeled.cells[0].label = "EAST";
+  Framebuffer a(80, 80);
+  Framebuffer b(80, 80);
+  renderScene(unlabeled, ds, Canvas::whole(a), Eye::kCenter);
+  renderScene(labeled, ds, Canvas::whole(b), Eye::kCenter);
+  EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
+TEST(SceneTest, OutOfRangeTrajectoryIndexIsSafe) {
+  const auto ds = makeDataset(2);
+  SceneModel scene = makeScene(ds, 1);
+  scene.cells[0].trajectoryIndex = 999;  // invalid
+  Framebuffer fb(80, 80);
+  const RenderStats stats =
+      renderScene(scene, ds, Canvas::whole(fb), Eye::kCenter);
+  EXPECT_EQ(stats.cellsDrawn, 1u);  // background still drawn
+  EXPECT_EQ(stats.segmentsDrawn, 0u);
+}
+
+TEST(SceneTest, ParallaxAwareCullingKeepsShiftedContent) {
+  // A cell just outside the canvas whose stereo shift pushes pixels in.
+  const auto ds = makeDataset();
+  SceneModel scene;
+  scene.arenaRadiusCm = ds.arena().radiusCm;
+  scene.stereo.timeScaleCmPerS = 1.0f;   // strong parallax
+  scene.stereo.parallaxPxPerCm = 2.0f;
+  CellView cell;
+  cell.trajectoryIndex = 0;
+  cell.rect = {100, 0, 50, 50};
+  scene.cells.push_back(cell);
+
+  Framebuffer fb(99, 50);  // viewport ends at x=99, cell starts at 100
+  const Canvas canvas{&fb, {0, 0, 99, 50}};
+  const RenderStats stats = renderScene(scene, ds, canvas, Eye::kLeft);
+  // The parallax inflation must keep this cell (not cull it).
+  EXPECT_EQ(stats.cellsDrawn, 1u);
+}
+
+}  // namespace
+}  // namespace svq::render

@@ -1,0 +1,91 @@
+// Tests for the session timeline analysis.
+#include "study/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace svq::study {
+namespace {
+
+SessionLog sessionWithPivot() {
+  SessionLog log;
+  // Early: foraging (observations, comparisons).
+  log.add({5.0, CodingTag::kToolUse, "layout_switch", ""});
+  log.add({20.0, CodingTag::kObservation, "", "windy"});
+  log.add({40.0, CodingTag::kComparison, "", "bins"});
+  log.add({55.0, CodingTag::kObservation, "", "direct"});
+  // Late: sensemaking (hypotheses, tests, conclusions).
+  log.add({70.0, CodingTag::kHypothesis, "", "h1"});
+  log.add({75.0, CodingTag::kHypothesisTest, "brush_stroke", ""});
+  log.add({85.0, CodingTag::kConclusion, "", "supported"});
+  log.add({110.0, CodingTag::kHypothesisTest, "brush_stroke", ""});
+  return log;
+}
+
+TEST(LoopMappingTest, ForagingVsSensemakingSplit) {
+  EXPECT_EQ(loopOf(SensemakingStage::kFilterData), Loop::kForaging);
+  EXPECT_EQ(loopOf(SensemakingStage::kVisualize), Loop::kForaging);
+  EXPECT_EQ(loopOf(SensemakingStage::kExtractFeatures), Loop::kForaging);
+  EXPECT_EQ(loopOf(SensemakingStage::kSearchPatterns), Loop::kForaging);
+  EXPECT_EQ(loopOf(SensemakingStage::kSchematize), Loop::kSensemaking);
+  EXPECT_EQ(loopOf(SensemakingStage::kBuildCase), Loop::kSensemaking);
+  EXPECT_EQ(loopOf(SensemakingStage::kTellStory), Loop::kSensemaking);
+}
+
+TEST(BucketizeTest, CoversSessionDuration) {
+  const auto buckets = bucketize(sessionWithPivot(), 30.0);
+  ASSERT_EQ(buckets.size(), 4u);  // 110 s / 30 s -> 4 buckets
+  EXPECT_DOUBLE_EQ(buckets[0].startS, 0.0);
+  EXPECT_DOUBLE_EQ(buckets[3].endS, 120.0);
+}
+
+TEST(BucketizeTest, EventCountsConserved) {
+  const SessionLog log = sessionWithPivot();
+  const auto buckets = bucketize(log, 30.0);
+  std::size_t total = 0;
+  for (const auto& b : buckets) total += b.totalEvents();
+  EXPECT_EQ(total, log.size());
+}
+
+TEST(BucketizeTest, EarlyBucketsForageLateBucketsSensemake) {
+  const auto buckets = bucketize(sessionWithPivot(), 30.0);
+  EXPECT_GT(buckets[0].foragingEvents, buckets[0].sensemakingEvents);
+  EXPECT_GT(buckets[2].sensemakingEvents, buckets[2].foragingEvents);
+}
+
+TEST(BucketizeTest, ZeroWidthGivesEmpty) {
+  EXPECT_TRUE(bucketize(sessionWithPivot(), 0.0).empty());
+}
+
+TEST(BucketizeTest, EmptyLogGivesSingleEmptyBucket) {
+  const auto buckets = bucketize(SessionLog{}, 30.0);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].totalEvents(), 0u);
+  EXPECT_DOUBLE_EQ(buckets[0].sensemakingShare(), 0.5);
+}
+
+TEST(PivotTest, FindsTransition) {
+  const auto buckets = bucketize(sessionWithPivot(), 30.0);
+  const int pivot = firstSensemakingPivot(buckets);
+  EXPECT_EQ(pivot, 2);  // the 60-90 s bucket
+}
+
+TEST(PivotTest, NoPivotInPureForagingSession) {
+  SessionLog log;
+  log.add({5.0, CodingTag::kObservation, "", "a"});
+  log.add({50.0, CodingTag::kComparison, "", "b"});
+  EXPECT_EQ(firstSensemakingPivot(bucketize(log, 30.0)), -1);
+}
+
+TEST(RenderTimelineTest, ShowsBars) {
+  const auto buckets = bucketize(sessionWithPivot(), 30.0);
+  const std::string chart = renderTimeline(buckets);
+  EXPECT_NE(chart.find('f'), std::string::npos);
+  EXPECT_NE(chart.find('s'), std::string::npos);
+  EXPECT_NE(chart.find("0-30"), std::string::npos);
+  // One line per bucket plus header.
+  const auto lines = std::count(chart.begin(), chart.end(), '\n');
+  EXPECT_EQ(lines, static_cast<long>(buckets.size()) + 1);
+}
+
+}  // namespace
+}  // namespace svq::study

@@ -1,0 +1,143 @@
+// Tests for circular statistics: analytic cases + behaviour on the
+// synthesizer's planted directional effects.
+#include "traj/circular.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+#include "util/rng.h"
+
+namespace svq::traj {
+namespace {
+
+TEST(CircularSummaryTest, EmptySample) {
+  const CircularSummary s = circularSummary({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_FLOAT_EQ(s.resultantLength, 0.0f);
+}
+
+TEST(CircularSummaryTest, IdenticalAnglesGiveUnitResultant) {
+  const std::vector<float> angles(20, 1.0f);
+  const CircularSummary s = circularSummary(angles);
+  EXPECT_NEAR(s.resultantLength, 1.0f, 1e-5f);
+  EXPECT_NEAR(s.meanDirection, 1.0f, 1e-5f);
+  EXPECT_NEAR(s.circularVariance(), 0.0f, 1e-5f);
+}
+
+TEST(CircularSummaryTest, OppositePairCancels) {
+  const std::vector<float> angles{0.0f, kPi};
+  const CircularSummary s = circularSummary(angles);
+  EXPECT_NEAR(s.resultantLength, 0.0f, 1e-5f);
+}
+
+TEST(CircularSummaryTest, MeanOfSymmetricPairBisects) {
+  const std::vector<float> angles{0.5f, -0.5f};
+  const CircularSummary s = circularSummary(angles);
+  EXPECT_NEAR(s.meanDirection, 0.0f, 1e-5f);
+  EXPECT_GT(s.resultantLength, 0.8f);
+}
+
+TEST(CircularSummaryTest, WrapsCorrectlyAroundPi) {
+  // Two angles straddling the +-pi seam: mean must be near pi, not 0.
+  const std::vector<float> angles{kPi - 0.1f, -kPi + 0.1f};
+  const CircularSummary s = circularSummary(angles);
+  EXPECT_GT(std::abs(s.meanDirection), kPi - 0.2f);
+}
+
+TEST(RayleighTest, UniformSampleNotSignificant) {
+  Rng rng(42);
+  std::vector<float> angles;
+  for (int i = 0; i < 200; ++i) angles.push_back(rng.uniform(-kPi, kPi));
+  const RayleighResult r = rayleighTest(angles);
+  EXPECT_GT(r.pValue, 0.05);
+}
+
+TEST(RayleighTest, ConcentratedSampleHighlySignificant) {
+  Rng rng(43);
+  std::vector<float> angles;
+  for (int i = 0; i < 100; ++i) {
+    angles.push_back(rng.wrappedNormal(1.0f, 0.3f));
+  }
+  const RayleighResult r = rayleighTest(angles);
+  EXPECT_LT(r.pValue, 1e-6);
+  EXPECT_GT(r.z, 10.0);
+}
+
+TEST(RayleighTest, PValueInUnitRange) {
+  Rng rng(44);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> angles;
+    const int n = rng.rangeInt(10, 100);
+    for (int i = 0; i < n; ++i) angles.push_back(rng.uniform(-kPi, kPi));
+    const RayleighResult r = rayleighTest(angles);
+    EXPECT_GE(r.pValue, 0.0);
+    EXPECT_LE(r.pValue, 1.0);
+  }
+}
+
+TEST(VTestTest, TowardCorrectDirectionSignificant) {
+  Rng rng(45);
+  std::vector<float> angles;
+  for (int i = 0; i < 100; ++i) {
+    angles.push_back(rng.wrappedNormal(kPi, 0.4f));  // concentrated at pi
+  }
+  const VTestResult toward = vTest(angles, kPi);
+  const VTestResult away = vTest(angles, 0.0f);
+  EXPECT_LT(toward.pValue, 1e-6);
+  EXPECT_GT(toward.v, 0.7);
+  EXPECT_GT(away.pValue, 0.5);  // pointing away: no support
+  EXPECT_LT(away.v, 0.0);
+}
+
+TEST(VTestTest, UniformSampleNotSignificant) {
+  Rng rng(46);
+  std::vector<float> angles;
+  for (int i = 0; i < 200; ++i) angles.push_back(rng.uniform(-kPi, kPi));
+  EXPECT_GT(vTest(angles, 0.0f).pValue, 0.01);
+}
+
+TEST(ExitHeadingsTest, ExtractsFinalAngles) {
+  std::vector<Trajectory> trajs;
+  trajs.push_back(Trajectory({}, {{{0, 0}, 0}, {{10, 0}, 1}}));   // east
+  trajs.push_back(Trajectory({}, {{{0, 0}, 0}, {{0, 10}, 1}}));   // north
+  trajs.push_back(Trajectory({}, {{{0, 0}, 0}, {{0.1f, 0}, 1}})); // too close
+  const auto headings = exitHeadings(trajs, 1.0f);
+  ASSERT_EQ(headings.size(), 2u);
+  EXPECT_NEAR(headings[0], 0.0f, 1e-5f);
+  EXPECT_NEAR(headings[1], kPi / 2.0f, 1e-5f);
+}
+
+TEST(PlantedDirectionalityTest, EastCapturedExitsPointWest) {
+  AntSimulator sim({}, 77);
+  DatasetSpec spec;
+  spec.count = 300;
+  const auto ds = sim.generate(spec);
+  std::vector<Trajectory> east;
+  for (const auto& t : ds.all()) {
+    if (t.meta().side == CaptureSide::kEast) east.push_back(t);
+  }
+  const auto headings = exitHeadings(east);
+  ASSERT_GT(headings.size(), 20u);
+  // Rayleigh: strongly non-uniform; V-test toward west: significant.
+  EXPECT_LT(rayleighTest(headings).pValue, 1e-4);
+  EXPECT_LT(vTest(headings, kPi).pValue, 1e-4);
+  // And not significant toward the wrong (east) direction.
+  EXPECT_GT(vTest(headings, 0.0f).pValue, 0.5);
+}
+
+TEST(PlantedDirectionalityTest, NullModelExitsUniform) {
+  AntSimulator sim(AntBehaviorParams{}.nullModel(), 77);
+  DatasetSpec spec;
+  spec.count = 300;
+  const auto ds = sim.generate(spec);
+  std::vector<Trajectory> east;
+  for (const auto& t : ds.all()) {
+    if (t.meta().side == CaptureSide::kEast) east.push_back(t);
+  }
+  const auto headings = exitHeadings(east);
+  ASSERT_GT(headings.size(), 20u);
+  EXPECT_GT(rayleighTest(headings).pValue, 0.01);
+}
+
+}  // namespace
+}  // namespace svq::traj

@@ -1,0 +1,153 @@
+// Tests for traj/dataset.h: container semantics + CSV round-trips.
+#include "traj/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace svq::traj {
+namespace {
+
+Trajectory simpleTraj(std::uint32_t id, CaptureSide side, float duration) {
+  TrajectoryMeta meta;
+  meta.id = id;
+  meta.side = side;
+  std::vector<TrajPoint> pts;
+  for (float t = 0.0f; t <= duration + 1e-4f; t += 1.0f) {
+    pts.push_back({{t * 0.5f, -t * 0.25f}, t});
+  }
+  return Trajectory(meta, std::move(pts));
+}
+
+TEST(ArenaSpecTest, ContainsAndBounds) {
+  const ArenaSpec arena{10.0f};
+  EXPECT_TRUE(arena.contains({0, 0}));
+  EXPECT_TRUE(arena.contains({10, 0}));
+  EXPECT_FALSE(arena.contains({10.1f, 0}));
+  EXPECT_FALSE(arena.contains({8, 8}));
+  EXPECT_EQ(arena.bounds().min, (Vec2{-10.0f, -10.0f}));
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  TrajectoryDataset ds(ArenaSpec{20.0f});
+  EXPECT_TRUE(ds.empty());
+  ds.add(simpleTraj(0, CaptureSide::kEast, 3.0f));
+  ds.add(simpleTraj(1, CaptureSide::kWest, 5.0f));
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[1].meta().id, 1u);
+  EXPECT_FLOAT_EQ(ds.arena().radiusCm, 20.0f);
+}
+
+TEST(DatasetTest, TotalPointsAndMaxDuration) {
+  TrajectoryDataset ds;
+  ds.add(simpleTraj(0, CaptureSide::kEast, 3.0f));   // 4 points
+  ds.add(simpleTraj(1, CaptureSide::kWest, 5.0f));   // 6 points
+  EXPECT_EQ(ds.totalPoints(), 10u);
+  EXPECT_FLOAT_EQ(ds.maxDuration(), 5.0f);
+}
+
+TEST(DatasetTest, SelectByPredicate) {
+  TrajectoryDataset ds;
+  ds.add(simpleTraj(0, CaptureSide::kEast, 3.0f));
+  ds.add(simpleTraj(1, CaptureSide::kWest, 3.0f));
+  ds.add(simpleTraj(2, CaptureSide::kEast, 3.0f));
+  const auto east = ds.select([](const Trajectory& t) {
+    return t.meta().side == CaptureSide::kEast;
+  });
+  ASSERT_EQ(east.size(), 2u);
+  EXPECT_EQ(east[0], 0u);
+  EXPECT_EQ(east[1], 2u);
+}
+
+TEST(DatasetTest, FindById) {
+  TrajectoryDataset ds;
+  ds.add(simpleTraj(42, CaptureSide::kEast, 2.0f));
+  EXPECT_EQ(ds.findById(42).value(), 0u);
+  EXPECT_FALSE(ds.findById(7).has_value());
+}
+
+TEST(DatasetTest, ValidateAcceptsInArenaData) {
+  TrajectoryDataset ds(ArenaSpec{50.0f});
+  ds.add(simpleTraj(0, CaptureSide::kEast, 10.0f));
+  EXPECT_TRUE(ds.validate());
+}
+
+TEST(DatasetTest, ValidateRejectsFarOutsidePoints) {
+  TrajectoryDataset ds(ArenaSpec{2.0f});
+  ds.add(simpleTraj(0, CaptureSide::kEast, 30.0f));  // reaches x=15
+  EXPECT_FALSE(ds.validate(1.0f));
+}
+
+TEST(DatasetTest, ValidateRejectsMalformedTime) {
+  TrajectoryDataset ds(ArenaSpec{50.0f});
+  std::vector<TrajPoint> pts = {{{0, 0}, 0.0f}, {{1, 0}, 0.0f}};
+  ds.add(Trajectory({}, pts));
+  EXPECT_FALSE(ds.validate());
+}
+
+TEST(DatasetCsvTest, RoundTripPreservesEverything) {
+  TrajectoryDataset ds(ArenaSpec{33.0f});
+  TrajectoryMeta meta;
+  meta.id = 5;
+  meta.side = CaptureSide::kSouth;
+  meta.direction = JourneyDirection::kReturning;
+  meta.seed = SeedState::kDroppedAtCapture;
+  ds.add(Trajectory(meta, {{{0.5f, -1.25f}, 0.0f}, {{1.5f, 2.75f}, 0.1f}}));
+  ds.add(simpleTraj(6, CaptureSide::kNorth, 2.0f));
+
+  const auto restored = TrajectoryDataset::fromCsv(ds.toCsv());
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_FLOAT_EQ(restored->arena().radiusCm, 33.0f);
+  EXPECT_EQ((*restored)[0].meta(), meta);
+  ASSERT_EQ((*restored)[0].size(), 2u);
+  EXPECT_NEAR((*restored)[0][1].pos.y, 2.75f, 1e-5f);
+  EXPECT_EQ((*restored)[1].meta().side, CaptureSide::kNorth);
+}
+
+TEST(DatasetCsvTest, EmptyDatasetRoundTrip) {
+  TrajectoryDataset ds(ArenaSpec{12.0f});
+  const auto restored = TrajectoryDataset::fromCsv(ds.toCsv());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->empty());
+  EXPECT_FLOAT_EQ(restored->arena().radiusCm, 12.0f);
+}
+
+TEST(DatasetCsvTest, RejectsUnknownEnumToken) {
+  const std::string bad =
+      "traj_id,side,direction,seed,t,x,y\n0,mars,outbound,no_seed,0,0,0\n";
+  EXPECT_FALSE(TrajectoryDataset::fromCsv(bad).has_value());
+}
+
+TEST(DatasetCsvTest, RejectsWrongColumnCount) {
+  const std::string bad = "traj_id,side,direction,seed,t,x,y\n0,east,outbound\n";
+  EXPECT_FALSE(TrajectoryDataset::fromCsv(bad).has_value());
+}
+
+TEST(DatasetCsvTest, RejectsNonNumericField) {
+  const std::string bad =
+      "traj_id,side,direction,seed,t,x,y\n0,east,outbound,no_seed,zero,0,0\n";
+  EXPECT_FALSE(TrajectoryDataset::fromCsv(bad).has_value());
+}
+
+TEST(DatasetCsvTest, FileRoundTrip) {
+  TrajectoryDataset ds(ArenaSpec{25.0f});
+  ds.add(simpleTraj(1, CaptureSide::kEast, 3.0f));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "svq_ds_test.csv").string();
+  ASSERT_TRUE(ds.saveCsv(path));
+  const auto loaded = TrajectoryDataset::loadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->totalPoints(), ds.totalPoints());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, LoadMissingFileFails) {
+  EXPECT_FALSE(
+      TrajectoryDataset::loadCsv("/nonexistent/path/file.csv").has_value());
+}
+
+}  // namespace
+}  // namespace svq::traj

@@ -1,0 +1,110 @@
+// Tests for dynamic time warping.
+#include "traj/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svq::traj {
+namespace {
+
+std::vector<Vec2> line(std::size_t n, Vec2 from, Vec2 to) {
+  std::vector<Vec2> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float u = static_cast<float>(i) / static_cast<float>(n - 1);
+    out.push_back(lerp(from, to, u));
+  }
+  return out;
+}
+
+TEST(DtwTest, IdenticalSequencesZeroDistance) {
+  const auto a = line(10, {0, 0}, {9, 0});
+  EXPECT_FLOAT_EQ(dtwDistance(a, a), 0.0f);
+  EXPECT_FLOAT_EQ(dtwDistanceNormalized(a, a), 0.0f);
+}
+
+TEST(DtwTest, EmptyInputsAreInfinite) {
+  const auto a = line(5, {0, 0}, {4, 0});
+  EXPECT_GT(dtwDistance({}, a), 1e30f);
+  EXPECT_GT(dtwDistance(a, {}), 1e30f);
+}
+
+TEST(DtwTest, SingletonAgainstLine) {
+  const std::vector<Vec2> point{{0.0f, 0.0f}};
+  const auto a = line(4, {0, 0}, {3, 0});
+  // The point matches every sample: total = 0+1+2+3 = 6.
+  EXPECT_NEAR(dtwDistance(point, a), 6.0f, 1e-4f);
+}
+
+TEST(DtwTest, SpeedInvariance) {
+  // The same path sampled at different densities: DTW stays near zero
+  // while lockstep Euclidean would not even be defined.
+  const auto coarse = line(6, {0, 0}, {10, 0});
+  const auto fine = line(31, {0, 0}, {10, 0});
+  EXPECT_LT(dtwDistanceNormalized(coarse, fine), 0.5f);
+}
+
+TEST(DtwTest, DistanceGrowsWithSeparation) {
+  const auto a = line(10, {0, 0}, {9, 0});
+  const auto near = line(10, {0, 1}, {9, 1});
+  const auto far = line(10, {0, 10}, {9, 10});
+  EXPECT_LT(dtwDistanceNormalized(a, near),
+            dtwDistanceNormalized(a, far));
+  EXPECT_NEAR(dtwDistanceNormalized(a, near), 1.0f, 0.05f);
+  EXPECT_NEAR(dtwDistanceNormalized(a, far), 10.0f, 0.5f);
+}
+
+TEST(DtwTest, ShapeSensitivity) {
+  const auto straight = line(20, {0, 0}, {19, 0});
+  std::vector<Vec2> zigzag;
+  for (std::size_t i = 0; i < 20; ++i) {
+    zigzag.push_back({static_cast<float>(i), (i % 2) ? 3.0f : -3.0f});
+  }
+  EXPECT_GT(dtwDistanceNormalized(straight, zigzag), 1.0f);
+}
+
+TEST(DtwTest, SymmetricDistance) {
+  const auto a = line(8, {0, 0}, {7, 2});
+  const auto b = line(12, {1, 0}, {6, 5});
+  EXPECT_FLOAT_EQ(dtwDistance(a, b), dtwDistance(b, a));
+}
+
+TEST(DtwTest, BandConstraintTightensOrEqualsDistance) {
+  const auto a = line(20, {0, 0}, {19, 0});
+  auto b = line(20, {0, 0}, {19, 0});
+  // Perturb b's timing: same shape but warped parametrization.
+  std::vector<Vec2> warped;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const float u = std::pow(static_cast<float>(i) / 19.0f, 2.0f);
+    warped.push_back({u * 19.0f, 0.0f});
+  }
+  const float unconstrained = dtwDistance(a, warped, -1);
+  const float banded = dtwDistance(a, warped, 3);
+  EXPECT_GE(banded, unconstrained);
+}
+
+TEST(DtwTest, InfeasibleBandReturnsInfinite) {
+  const auto a = line(3, {0, 0}, {2, 0});
+  const auto b = line(30, {0, 0}, {29, 0});
+  // Band 1 cannot align a 3-point path to a 30-point one.
+  EXPECT_GT(dtwDistance(a, b, 1), 1e30f);
+}
+
+TEST(TranslateToOriginTest, ShiftsFirstPointToZero) {
+  const auto shifted = translateToOrigin(line(5, {10, -3}, {14, 1}));
+  EXPECT_EQ(shifted.front(), (Vec2{0.0f, 0.0f}));
+  EXPECT_EQ(shifted.back(), (Vec2{4.0f, 4.0f}));
+  EXPECT_TRUE(translateToOrigin({}).empty());
+}
+
+TEST(TranslateToOriginTest, MakesDtwTranslationInvariant) {
+  const auto a = line(10, {0, 0}, {9, 3});
+  const auto b = line(10, {100, 50}, {109, 53});
+  EXPECT_GT(dtwDistanceNormalized(a, b), 50.0f);
+  EXPECT_NEAR(dtwDistanceNormalized(translateToOrigin(a),
+                                    translateToOrigin(b)),
+              0.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace svq::traj

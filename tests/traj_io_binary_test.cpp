@@ -1,0 +1,96 @@
+// Tests for the compact binary dataset format.
+#include "traj/io_binary.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "traj/synth.h"
+
+namespace svq::traj {
+namespace {
+
+TrajectoryDataset sampleDataset(std::size_t n = 40) {
+  AntSimulator sim({}, 555);
+  DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+TEST(BinaryIoTest, RoundTripBitExact) {
+  const TrajectoryDataset ds = sampleDataset();
+  const auto restored = fromBinary(toBinary(ds));
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), ds.size());
+  EXPECT_FLOAT_EQ(restored->arena().radiusCm, ds.arena().radiusCm);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ((*restored)[i].meta(), ds[i].meta());
+    ASSERT_EQ((*restored)[i].size(), ds[i].size());
+    for (std::size_t p = 0; p < ds[i].size(); ++p) {
+      // Bit-exact float round-trip.
+      EXPECT_EQ((*restored)[i][p], ds[i][p]);
+    }
+  }
+}
+
+TEST(BinaryIoTest, EmptyDatasetRoundTrip) {
+  TrajectoryDataset ds(ArenaSpec{25.0f});
+  const auto restored = fromBinary(toBinary(ds));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->empty());
+  EXPECT_FLOAT_EQ(restored->arena().radiusCm, 25.0f);
+}
+
+TEST(BinaryIoTest, RejectsWrongMagic) {
+  std::string bytes = toBinary(sampleDataset(2));
+  bytes[0] = 'X';
+  EXPECT_FALSE(fromBinary(bytes).has_value());
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  const std::string bytes = toBinary(sampleDataset(3));
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2, 7ul}) {
+    EXPECT_FALSE(fromBinary(bytes.substr(0, cut)).has_value())
+        << "cut at " << cut;
+  }
+}
+
+TEST(BinaryIoTest, RejectsTrailingGarbage) {
+  std::string bytes = toBinary(sampleDataset(2));
+  bytes += "extra";
+  EXPECT_FALSE(fromBinary(bytes).has_value());
+}
+
+TEST(BinaryIoTest, RejectsBadEnumValue) {
+  TrajectoryDataset ds(ArenaSpec{50.0f});
+  ds.add(Trajectory({}, {{{0, 0}, 0}, {{1, 0}, 1}}));
+  std::string bytes = toBinary(ds);
+  // Corrupt the side byte (offset: 16 header + 4 id).
+  bytes[20] = 9;
+  EXPECT_FALSE(fromBinary(bytes).has_value());
+}
+
+TEST(BinaryIoTest, SmallerThanCsv) {
+  const TrajectoryDataset ds = sampleDataset(50);
+  EXPECT_LT(toBinary(ds).size(), ds.toCsv().size() / 2);
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  const TrajectoryDataset ds = sampleDataset(10);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "svq_bin_test.svqt").string();
+  ASSERT_TRUE(saveBinary(ds, path));
+  const auto loaded = loadBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), ds.size());
+  EXPECT_EQ(loaded->totalPoints(), ds.totalPoints());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(loadBinary("/no/such/file.svqt").has_value());
+}
+
+}  // namespace
+}  // namespace svq::traj

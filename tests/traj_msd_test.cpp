@@ -1,0 +1,116 @@
+// Tests for mean-squared displacement analysis.
+#include "traj/msd.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+#include "util/rng.h"
+
+namespace svq::traj {
+namespace {
+
+Trajectory ballistic(float speedCmS, float duration, float dt = 0.1f) {
+  std::vector<TrajPoint> pts;
+  for (float t = 0.0f; t <= duration + 1e-4f; t += dt) {
+    pts.push_back({{speedCmS * t, 0.0f}, t});
+  }
+  return Trajectory({}, std::move(pts));
+}
+
+Trajectory randomWalk(float stepCm, float duration, std::uint64_t seed,
+                      float dt = 0.1f) {
+  Rng rng(seed);
+  std::vector<TrajPoint> pts;
+  Vec2 p{};
+  for (float t = 0.0f; t <= duration + 1e-4f; t += dt) {
+    pts.push_back({p, t});
+    p += rng.unitVec2() * stepCm;  // uncorrelated steps: pure diffusion
+  }
+  return Trajectory({}, std::move(pts));
+}
+
+TEST(GeometricLagsTest, DoublingLadder) {
+  const auto lags = geometricLags(0.5f, 4);
+  ASSERT_EQ(lags.size(), 4u);
+  EXPECT_FLOAT_EQ(lags[0], 0.5f);
+  EXPECT_FLOAT_EQ(lags[3], 4.0f);
+}
+
+TEST(MsdTest, BallisticQuadraticGrowth) {
+  const Trajectory t = ballistic(2.0f, 60.0f);
+  const auto lags = geometricLags(0.5f, 6);
+  const auto curve = msdCurve(t, lags);
+  ASSERT_GE(curve.size(), 5u);
+  // MSD(tau) = (v*tau)^2 exactly for straight-line motion.
+  for (const MsdPoint& p : curve) {
+    EXPECT_NEAR(p.msdCm2, 4.0f * p.lagS * p.lagS,
+                0.05f * 4.0f * p.lagS * p.lagS)
+        << "lag " << p.lagS;
+  }
+  EXPECT_NEAR(diffusionExponent(curve), 2.0f, 0.05f);
+}
+
+TEST(MsdTest, RandomWalkLinearGrowth) {
+  // Pool several walks for a stable estimate.
+  std::vector<Trajectory> walks;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    walks.push_back(randomWalk(0.5f, 120.0f, 100 + s));
+  }
+  const auto lags = geometricLags(0.4f, 6);
+  const auto curve = msdCurveEnsemble(walks, lags);
+  ASSERT_GE(curve.size(), 5u);
+  EXPECT_NEAR(diffusionExponent(curve), 1.0f, 0.25f);
+}
+
+TEST(MsdTest, LagsPastDurationOmitted) {
+  const Trajectory t = ballistic(1.0f, 5.0f);
+  const std::vector<float> lags{1.0f, 3.0f, 100.0f};
+  const auto curve = msdCurve(t, lags);
+  EXPECT_EQ(curve.size(), 2u);
+}
+
+TEST(MsdTest, EmptyAndDegenerateInputs) {
+  const std::vector<float> lags{1.0f};
+  EXPECT_TRUE(msdCurve(Trajectory{}, lags).empty());
+  EXPECT_EQ(diffusionExponent({}), 0.0f);
+  const Trajectory still({}, {{{0, 0}, 0}, {{0, 0}, 1}, {{0, 0}, 2}});
+  const auto curve = msdCurve(still, lags);
+  // Zero displacement -> msd 0 -> no usable log points.
+  EXPECT_FLOAT_EQ(diffusionExponent(curve), 0.0f);
+}
+
+TEST(MsdTest, SamplePairCountsDecreaseWithLag) {
+  const Trajectory t = ballistic(1.0f, 30.0f);
+  const auto curve = msdCurve(t, geometricLags(1.0f, 4));
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i].samplePairs, curve[i - 1].samplePairs);
+  }
+}
+
+TEST(MsdTest, PlantedAntsOffTrailMoreBallistic) {
+  AntSimulator sim({}, 2025);
+  DatasetSpec spec;
+  spec.count = 250;
+  const auto ds = sim.generate(spec);
+  std::vector<Trajectory> onTrail, offTrail;
+  for (const auto& t : ds.all()) {
+    // Skip seed-droppers: their early stationary search depresses alpha.
+    if (t.meta().seed == SeedState::kDroppedAtCapture) continue;
+    if (t.duration() < 8.0f) continue;  // homing ants exit early
+    if (t.meta().side == CaptureSide::kOnTrail) onTrail.push_back(t);
+    else offTrail.push_back(t);
+  }
+  ASSERT_GT(onTrail.size(), 5u);
+  ASSERT_GT(offTrail.size(), 20u);
+  const auto lags = geometricLags(0.25f, 5);  // up to 4 s
+  const float alphaOn =
+      diffusionExponent(msdCurveEnsemble(onTrail, lags));
+  const float alphaOff =
+      diffusionExponent(msdCurveEnsemble(offTrail, lags));
+  // Directed homing walks are more ballistic than windy on-trail walks.
+  EXPECT_GT(alphaOff, alphaOn);
+  EXPECT_GT(alphaOff, 1.5f);
+}
+
+}  // namespace
+}  // namespace svq::traj

@@ -1,0 +1,145 @@
+// Tests for occupancy fields and the density colormap.
+#include "render/colormap.h"
+#include "traj/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::traj {
+namespace {
+
+Trajectory stationaryAt(Vec2 pos, float duration) {
+  std::vector<TrajPoint> pts;
+  for (float t = 0.0f; t <= duration + 1e-4f; t += 1.0f) {
+    pts.push_back({pos, t});
+  }
+  return Trajectory({}, std::move(pts));
+}
+
+TEST(OccupancyTest, EmptyGridZeroEverything) {
+  const OccupancyGrid grid(50.0f, 64);
+  EXPECT_FLOAT_EQ(grid.totalSeconds(), 0.0f);
+  EXPECT_FLOAT_EQ(grid.maxSeconds(), 0.0f);
+  EXPECT_FLOAT_EQ(grid.entropyBits(), 0.0f);
+  EXPECT_FLOAT_EQ(grid.centerFraction(10.0f), 0.0f);
+}
+
+TEST(OccupancyTest, StationaryTrajectoryConcentratesTime) {
+  OccupancyGrid grid(50.0f, 64);
+  grid.accumulate(stationaryAt({10.0f, -5.0f}, 30.0f));
+  EXPECT_NEAR(grid.totalSeconds(), 30.0f, 1e-3f);
+  EXPECT_NEAR(grid.at({10.0f, -5.0f}), 30.0f, 1e-3f);
+  EXPECT_FLOAT_EQ(grid.at({-10.0f, 5.0f}), 0.0f);
+  EXPECT_NEAR(grid.entropyBits(), 0.0f, 1e-4f);  // fully concentrated
+}
+
+TEST(OccupancyTest, TotalTimeConserved) {
+  AntSimulator sim({}, 22);
+  DatasetSpec spec;
+  spec.count = 30;
+  const auto ds = sim.generate(spec);
+  OccupancyGrid grid(ds.arena().radiusCm + 10.0f, 128);
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  grid.accumulate(ds, indices);
+  float expected = 0.0f;
+  for (const auto& t : ds.all()) expected += t.duration();
+  // Midpoints can land a step outside the enlarged grid only rarely.
+  EXPECT_NEAR(grid.totalSeconds(), expected, expected * 0.02f);
+}
+
+TEST(OccupancyTest, TimeWindowClips) {
+  OccupancyGrid grid(50.0f, 64);
+  grid.accumulate(stationaryAt({0.0f, 0.0f}, 100.0f), 20.0f, 50.0f);
+  EXPECT_NEAR(grid.totalSeconds(), 30.0f, 1e-3f);
+}
+
+TEST(OccupancyTest, CenterFractionDetectsSearchers) {
+  AntSimulator sim({}, 23);
+  DatasetSpec spec;
+  spec.count = 200;
+  const auto ds = sim.generate(spec);
+  OccupancyGrid droppers(ds.arena().radiusCm, 128);
+  OccupancyGrid others(ds.arena().radiusCm, 128);
+  for (std::uint32_t i = 0; i < ds.size(); ++i) {
+    if (ds[i].meta().seed == SeedState::kDroppedAtCapture) {
+      droppers.accumulate(ds[i], 0.0f, 30.0f);
+    } else {
+      others.accumulate(ds[i], 0.0f, 30.0f);
+    }
+  }
+  const float centerR = ds.arena().radiusCm * 0.2f;
+  EXPECT_GT(droppers.centerFraction(centerR),
+            others.centerFraction(centerR) + 0.2f);
+}
+
+TEST(OccupancyTest, EntropyOrdersConcentration) {
+  OccupancyGrid focused(50.0f, 64);
+  focused.accumulate(stationaryAt({0, 0}, 50.0f));
+  AntSimulator sim({}, 24);
+  DatasetSpec spec;
+  spec.count = 40;
+  const auto ds = sim.generate(spec);
+  OccupancyGrid spread(50.0f, 64);
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  spread.accumulate(ds, indices);
+  EXPECT_GT(spread.entropyBits(), focused.entropyBits() + 2.0f);
+}
+
+TEST(OccupancyTest, ClearResets) {
+  OccupancyGrid grid(50.0f, 64);
+  grid.accumulate(stationaryAt({0, 0}, 10.0f));
+  grid.clear();
+  EXPECT_FLOAT_EQ(grid.totalSeconds(), 0.0f);
+}
+
+TEST(ColormapTest, EndpointsAndMonotoneLuminance) {
+  using render::sequentialColormap;
+  const auto lum = [](render::Color c) {
+    return 0.2126f * c.r + 0.7152f * c.g + 0.0722f * c.b;
+  };
+  float prev = -1.0f;
+  for (float u = 0.0f; u <= 1.001f; u += 0.05f) {
+    const float l = lum(sequentialColormap(u));
+    EXPECT_GE(l, prev - 1.0f) << "u=" << u;  // monotone (small tolerance)
+    prev = l;
+  }
+  EXPECT_EQ(sequentialColormap(-1.0f), sequentialColormap(0.0f));
+  EXPECT_EQ(sequentialColormap(2.0f), sequentialColormap(1.0f));
+}
+
+TEST(DensityRenderTest, HotspotIsBrightest) {
+  OccupancyGrid grid(50.0f, 64);
+  grid.accumulate(stationaryAt({25.0f, 25.0f}, 60.0f));  // NE quadrant
+  const auto img = render::renderDensityImage(grid, 100);
+  // NE quadrant of the image (x>50, y<50) holds the bright pixel.
+  const auto lum = [](render::Color c) {
+    return 0.2126f * c.r + 0.7152f * c.g + 0.0722f * c.b;
+  };
+  float best = 0.0f;
+  int bestX = 0, bestY = 0;
+  for (int y = 0; y < 100; ++y) {
+    for (int x = 0; x < 100; ++x) {
+      const float l = lum(img.at(x, y));
+      if (l > best) {
+        best = l;
+        bestX = x;
+        bestY = y;
+      }
+    }
+  }
+  EXPECT_GT(bestX, 50);
+  EXPECT_LT(bestY, 50);
+}
+
+TEST(DensityRenderTest, EmptyGridRendersFloorColor) {
+  const OccupancyGrid grid(50.0f, 64);
+  const auto img = render::renderDensityImage(grid, 32);
+  EXPECT_EQ(img.countPixels(render::sequentialColormap(0.0f)),
+            img.pixelCount());
+}
+
+}  // namespace
+}  // namespace svq::traj

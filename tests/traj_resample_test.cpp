@@ -1,0 +1,233 @@
+// Tests for traj/resample.h and traj/features.h.
+#include "traj/features.h"
+#include "traj/resample.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::traj {
+namespace {
+
+Trajectory zigzag(std::size_t n = 21, float amplitude = 1.0f) {
+  std::vector<TrajPoint> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = static_cast<float>(i);
+    const float y = (i % 2 == 0) ? 0.0f : amplitude;
+    pts.push_back({{x, y}, x});
+  }
+  return Trajectory({}, std::move(pts));
+}
+
+TEST(ResampleTest, ExactSampleCount) {
+  const Trajectory t = zigzag();
+  for (std::size_t n : {2u, 5u, 32u, 100u}) {
+    EXPECT_EQ(resampleUniform(t, n).size(), n);
+  }
+}
+
+TEST(ResampleTest, PreservesEndpoints) {
+  const Trajectory t = zigzag();
+  const Trajectory r = resampleUniform(t, 16);
+  EXPECT_EQ(r.front().pos, t.front().pos);
+  EXPECT_EQ(r.back().pos, t.back().pos);
+  EXPECT_FLOAT_EQ(r.front().t, 0.0f);
+  EXPECT_NEAR(r.back().t, t.duration(), 1e-4f);
+}
+
+TEST(ResampleTest, UniformTimeSpacing) {
+  const Trajectory t = zigzag();
+  const Trajectory r = resampleUniform(t, 11);
+  const float dt = r[1].t - r[0].t;
+  for (std::size_t i = 2; i < r.size(); ++i) {
+    EXPECT_NEAR(r[i].t - r[i - 1].t, dt, 1e-4f);
+  }
+}
+
+TEST(ResampleTest, PreservesMeta) {
+  Trajectory t = zigzag();
+  t.meta().id = 77;
+  t.meta().side = CaptureSide::kSouth;
+  const Trajectory r = resampleUniform(t, 8);
+  EXPECT_EQ(r.meta().id, 77u);
+  EXPECT_EQ(r.meta().side, CaptureSide::kSouth);
+}
+
+TEST(ResampleTest, ResultIsWellFormed) {
+  AntSimulator sim({}, 3);
+  DatasetSpec spec;
+  spec.count = 20;
+  const auto ds = sim.generate(spec);
+  for (const auto& t : ds.all()) {
+    EXPECT_TRUE(resampleUniform(t, 32).wellFormed());
+  }
+}
+
+TEST(ResampleTest, SinglePointInput) {
+  const Trajectory t({}, {{{1.0f, 2.0f}, 0.0f}});
+  const Trajectory r = resampleUniform(t, 4);
+  EXPECT_EQ(r.size(), 4u);
+  for (const auto& p : r.points()) {
+    EXPECT_EQ(p.pos, (Vec2{1.0f, 2.0f}));
+  }
+  EXPECT_TRUE(r.wellFormed());
+}
+
+TEST(SmoothTest, PreservesSizeAndEndpointsApproximately) {
+  const Trajectory t = zigzag(31, 2.0f);
+  const Trajectory s = smoothMovingAverage(t, 5);
+  EXPECT_EQ(s.size(), t.size());
+}
+
+TEST(SmoothTest, ReducesZigzagAmplitude) {
+  const Trajectory t = zigzag(41, 2.0f);
+  const Trajectory s = smoothMovingAverage(t, 5);
+  // Interior points should be pulled toward the mean line y=1.
+  float maxDev = 0.0f;
+  for (std::size_t i = 5; i + 5 < s.size(); ++i) {
+    maxDev = std::max(maxDev, std::abs(s[i].pos.y - 1.0f));
+  }
+  EXPECT_LT(maxDev, 0.7f);
+}
+
+TEST(SmoothTest, StraightLineUnchanged) {
+  std::vector<TrajPoint> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({{static_cast<float>(i), 0.0f}, static_cast<float>(i)});
+  }
+  const Trajectory t({}, pts);
+  const Trajectory s = smoothMovingAverage(t, 3);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(s[i].pos.y, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SmoothTest, SmallInputsReturnedAsIs) {
+  const Trajectory t({}, {{{0, 0}, 0}, {{1, 0}, 1}});
+  EXPECT_EQ(smoothMovingAverage(t, 5).size(), 2u);
+}
+
+TEST(DouglasPeuckerTest, StraightLineCollapsesToEndpoints) {
+  std::vector<TrajPoint> pts;
+  for (int i = 0; i <= 20; ++i) {
+    pts.push_back({{static_cast<float>(i), 0.0f}, static_cast<float>(i)});
+  }
+  const Trajectory t({}, pts);
+  const Trajectory s = simplifyDouglasPeucker(t, 0.01f);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.front().pos, t.front().pos);
+  EXPECT_EQ(s.back().pos, t.back().pos);
+}
+
+TEST(DouglasPeuckerTest, KeepsSalientCorner) {
+  const Trajectory t({}, {{{0, 0}, 0},
+                          {{1, 0.01f}, 1},
+                          {{2, 0}, 2},
+                          {{2, 5}, 3},   // sharp corner
+                          {{2, 10}, 4}});
+  const Trajectory s = simplifyDouglasPeucker(t, 0.5f);
+  bool hasCorner = false;
+  for (const auto& p : s.points()) {
+    if (p.pos == Vec2{2.0f, 0.0f}) hasCorner = true;
+  }
+  EXPECT_TRUE(hasCorner);
+}
+
+TEST(DouglasPeuckerTest, ZeroToleranceKeepsNonCollinear) {
+  const Trajectory t = zigzag(15, 1.0f);
+  const Trajectory s = simplifyDouglasPeucker(t, 0.0f);
+  EXPECT_EQ(s.size(), t.size());
+}
+
+TEST(DouglasPeuckerTest, MonotoneInTolerance) {
+  AntSimulator sim({}, 5);
+  DatasetSpec spec;
+  spec.count = 10;
+  const auto ds = sim.generate(spec);
+  for (const auto& t : ds.all()) {
+    std::size_t prev = t.size();
+    for (float eps : {0.1f, 0.5f, 2.0f, 8.0f}) {
+      const std::size_t n = douglasPeuckerCount(t, eps);
+      EXPECT_LE(n, prev);
+      EXPECT_GE(n, 2u);
+      prev = n;
+    }
+  }
+}
+
+TEST(DouglasPeuckerTest, CountMatchesSimplify) {
+  const Trajectory t = zigzag(25, 0.8f);
+  for (float eps : {0.1f, 0.5f, 1.0f}) {
+    EXPECT_EQ(douglasPeuckerCount(t, eps),
+              simplifyDouglasPeucker(t, eps).size());
+  }
+}
+
+TEST(DouglasPeuckerTest, ResultIsWellFormed) {
+  const Trajectory t = zigzag(25, 0.8f);
+  EXPECT_TRUE(simplifyDouglasPeucker(t, 0.5f).wellFormed());
+}
+
+TEST(AverageTrajectoryTest, AverageOfMirroredPairIsCenterline) {
+  const Trajectory up({}, {{{0, 1}, 0}, {{1, 1}, 1}, {{2, 1}, 2}});
+  const Trajectory down({}, {{{0, -1}, 0}, {{1, -1}, 1}, {{2, -1}, 2}});
+  const Trajectory avg = averageTrajectory({&up, &down}, 9);
+  ASSERT_EQ(avg.size(), 3u);
+  for (const auto& p : avg.points()) EXPECT_FLOAT_EQ(p.pos.y, 0.0f);
+  EXPECT_EQ(avg.meta().id, 9u);
+}
+
+TEST(AverageTrajectoryTest, MismatchedSizesGiveEmpty) {
+  const Trajectory a({}, {{{0, 0}, 0}, {{1, 0}, 1}});
+  const Trajectory b({}, {{{0, 0}, 0}, {{1, 0}, 1}, {{2, 0}, 2}});
+  EXPECT_TRUE(averageTrajectory({&a, &b}, 0).empty());
+  EXPECT_TRUE(averageTrajectory({}, 0).empty());
+}
+
+TEST(FeaturesTest, DimensionMatchesParams) {
+  FeatureParams p;
+  p.resampleCount = 16;
+  p.includeShape = true;
+  EXPECT_EQ(featureDimension(p), 35u);
+  p.includeShape = false;
+  EXPECT_EQ(featureDimension(p), 32u);
+}
+
+TEST(FeaturesTest, VectorHasDeclaredDimension) {
+  const Trajectory t = zigzag();
+  FeatureParams p;
+  const auto f = extractFeatures(t, p);
+  EXPECT_EQ(f.size(), featureDimension(p));
+}
+
+TEST(FeaturesTest, StartsAtOrigin) {
+  Trajectory t({}, {{{5, 5}, 0}, {{6, 5}, 1}, {{7, 5}, 2}});
+  FeatureParams p;
+  const auto f = extractFeatures(t, p);
+  EXPECT_FLOAT_EQ(f[0], 0.0f);
+  EXPECT_FLOAT_EQ(f[1], 0.0f);
+}
+
+TEST(FeaturesTest, TranslationInvariantSpatialPart) {
+  const Trajectory a({}, {{{0, 0}, 0}, {{1, 2}, 1}, {{3, 1}, 2}});
+  const Trajectory b({}, {{{10, -5}, 0}, {{11, -3}, 1}, {{13, -4}, 2}});
+  FeatureParams p;
+  p.includeShape = false;
+  EXPECT_LT(featureDistance2(extractFeatures(a, p), extractFeatures(b, p)),
+            1e-8f);
+}
+
+TEST(FeaturesTest, DistanceSeparatesDissimilarShapes) {
+  const Trajectory straight({}, {{{0, 0}, 0}, {{20, 0}, 10}});
+  const Trajectory stationary({}, {{{0, 0}, 0}, {{0.5f, 0}, 10}});
+  FeatureParams p;
+  const float dSame = featureDistance2(extractFeatures(straight, p),
+                                       extractFeatures(straight, p));
+  const float dDiff = featureDistance2(extractFeatures(straight, p),
+                                       extractFeatures(stationary, p));
+  EXPECT_FLOAT_EQ(dSame, 0.0f);
+  EXPECT_GT(dDiff, 0.1f);
+}
+
+}  // namespace
+}  // namespace svq::traj

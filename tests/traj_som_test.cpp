@@ -1,0 +1,220 @@
+// Tests for traj/som.h: training mechanics and end-to-end clustering.
+#include "traj/som.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/resample.h"
+#include "traj/synth.h"
+
+namespace svq::traj {
+namespace {
+
+std::vector<std::vector<float>> twoBlobSamples(std::size_t perBlob) {
+  // Two well-separated 2D blobs.
+  std::vector<std::vector<float>> samples;
+  Rng rng(123);
+  for (std::size_t i = 0; i < perBlob; ++i) {
+    samples.push_back({static_cast<float>(rng.normal(-2.0, 0.1)),
+                       static_cast<float>(rng.normal(0.0, 0.1))});
+    samples.push_back({static_cast<float>(rng.normal(2.0, 0.1)),
+                       static_cast<float>(rng.normal(0.0, 0.1))});
+  }
+  return samples;
+}
+
+TEST(SomTest, ConstructionSizes) {
+  SomParams p;
+  p.rows = 3;
+  p.cols = 4;
+  Som som(p, 10);
+  EXPECT_EQ(som.rows(), 3u);
+  EXPECT_EQ(som.cols(), 4u);
+  EXPECT_EQ(som.nodeCount(), 12u);
+  EXPECT_EQ(som.featureDim(), 10u);
+  EXPECT_EQ(som.weights(2, 3).size(), 10u);
+}
+
+TEST(SomTest, DefaultRadiusDerivedFromLattice) {
+  SomParams p;
+  p.rows = 10;
+  p.cols = 4;
+  p.initialRadius = -1.0f;
+  Som som(p, 2);
+  EXPECT_FLOAT_EQ(som.params().initialRadius, 5.0f);
+}
+
+TEST(SomTest, TrainingIsDeterministicForSeed) {
+  const auto samples = twoBlobSamples(50);
+  SomParams p;
+  p.rows = 4;
+  p.cols = 4;
+  p.seed = 7;
+  Som a(p, 2);
+  Som b(p, 2);
+  a.train(samples);
+  b.train(samples);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(a.weights(r, c), b.weights(r, c));
+    }
+  }
+}
+
+TEST(SomTest, TrainingReducesQuantizationError) {
+  const auto samples = twoBlobSamples(100);
+  SomParams p;
+  p.rows = 4;
+  p.cols = 4;
+  Som untrained(p, 2);
+  const float before = untrained.quantizationError(samples);
+  Som trained(p, 2);
+  trained.train(samples);
+  const float after = trained.quantizationError(samples);
+  EXPECT_LT(after, before * 0.5f);
+  EXPECT_LT(after, 0.3f);
+}
+
+TEST(SomTest, SeparatesTwoBlobs) {
+  const auto samples = twoBlobSamples(100);
+  SomParams p;
+  p.rows = 2;
+  p.cols = 2;
+  Som som(p, 2);
+  som.train(samples);
+  // BMUs of the two blob centers must differ.
+  const std::size_t bmuA = som.bestMatchingUnit({-2.0f, 0.0f});
+  const std::size_t bmuB = som.bestMatchingUnit({2.0f, 0.0f});
+  EXPECT_NE(bmuA, bmuB);
+}
+
+TEST(SomTest, BmuIsNearestNode) {
+  SomParams p;
+  p.rows = 2;
+  p.cols = 2;
+  Som som(p, 2);
+  const auto samples = twoBlobSamples(30);
+  som.train(samples);
+  const std::vector<float> q{-2.0f, 0.0f};
+  const std::size_t bmu = som.bestMatchingUnit(q);
+  const float dBmu = featureDistance2(
+      som.weights(bmu / 2, bmu % 2), q);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_LE(dBmu, featureDistance2(som.weights(r, c), q) + 1e-6f);
+    }
+  }
+}
+
+TEST(SomTest, EmptyTrainingIsNoop) {
+  SomParams p;
+  Som som(p, 4);
+  som.train({});
+  SUCCEED();
+}
+
+TEST(SomTest, TopographicErrorInUnitRange) {
+  const auto samples = twoBlobSamples(50);
+  SomParams p;
+  p.rows = 4;
+  p.cols = 4;
+  Som som(p, 2);
+  som.train(samples);
+  const float te = som.topographicError(samples);
+  EXPECT_GE(te, 0.0f);
+  EXPECT_LE(te, 1.0f);
+}
+
+class ClusterDatasetTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClusterDatasetTest, AssignmentCoversEveryTrajectory) {
+  AntSimulator sim({}, 99);
+  DatasetSpec spec;
+  spec.count = GetParam();
+  const auto ds = sim.generate(spec);
+
+  SomParams somP;
+  somP.rows = 3;
+  somP.cols = 3;
+  somP.epochs = 3;
+  FeatureParams featP;
+  featP.resampleCount = 16;
+
+  const ClusteredDataset c = clusterDataset(ds, somP, featP);
+  EXPECT_EQ(c.assignment.size(), ds.size());
+  std::size_t total = 0;
+  for (const auto& m : c.members) total += m.size();
+  EXPECT_EQ(total, ds.size());
+  // Every assignment index is within the lattice.
+  for (auto a : c.assignment) EXPECT_LT(a, somP.rows * somP.cols);
+  // members lists agree with assignment.
+  for (std::size_t node = 0; node < c.members.size(); ++node) {
+    for (std::uint32_t idx : c.members[node]) {
+      EXPECT_EQ(c.assignment[idx], node);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClusterDatasetTest,
+                         ::testing::Values(10, 60, 200));
+
+TEST(ClusterDatasetTest2, AveragesExistForNonEmptyClusters) {
+  AntSimulator sim({}, 7);
+  DatasetSpec spec;
+  spec.count = 80;
+  const auto ds = sim.generate(spec);
+  SomParams somP;
+  somP.rows = 3;
+  somP.cols = 3;
+  somP.epochs = 3;
+  FeatureParams featP;
+  featP.resampleCount = 12;
+  const ClusteredDataset c = clusterDataset(ds, somP, featP);
+  for (std::size_t node = 0; node < c.members.size(); ++node) {
+    if (c.members[node].empty()) {
+      EXPECT_TRUE(c.averages[node].empty());
+    } else {
+      EXPECT_EQ(c.averages[node].size(), featP.resampleCount);
+      EXPECT_EQ(c.averages[node].meta().id, static_cast<std::uint32_t>(node));
+    }
+  }
+  EXPECT_GT(c.nonEmptyClusters(), 1u);
+  EXPECT_LE(c.maxClusterSize(), ds.size());
+}
+
+TEST(ClusterDatasetTest2, SingletonClusterAverageEqualsMember) {
+  TrajectoryDataset ds(ArenaSpec{50.0f});
+  // Two extremely different trajectories on a 1x2 SOM.
+  std::vector<TrajPoint> a, b;
+  for (int i = 0; i <= 10; ++i) {
+    a.push_back({{static_cast<float>(i) * 4.0f, 0.0f},
+                 static_cast<float>(i)});
+    b.push_back({{0.0f, -static_cast<float>(i) * 4.0f},
+                 static_cast<float>(i)});
+  }
+  ds.add(Trajectory({0}, a));
+  ds.add(Trajectory({1}, b));
+  SomParams somP;
+  somP.rows = 1;
+  somP.cols = 2;
+  somP.epochs = 30;
+  FeatureParams featP;
+  featP.resampleCount = 8;
+  const ClusteredDataset c = clusterDataset(ds, somP, featP);
+  // If the SOM separates them (it should), averages mirror the members.
+  if (c.nonEmptyClusters() == 2) {
+    for (std::size_t node = 0; node < 2; ++node) {
+      ASSERT_EQ(c.members[node].size(), 1u);
+      const auto& avg = c.averages[node];
+      const auto orig = resampleUniform(ds[c.members[node][0]], 8);
+      for (std::size_t i = 0; i < avg.size(); ++i) {
+        EXPECT_NEAR(avg[i].pos.x, orig[i].pos.x, 1e-4f);
+        EXPECT_NEAR(avg[i].pos.y, orig[i].pos.y, 1e-4f);
+      }
+    }
+  } else {
+    GTEST_SKIP() << "SOM merged the two trajectories for this seed";
+  }
+}
+
+}  // namespace
+}  // namespace svq::traj

@@ -1,0 +1,228 @@
+// Tests for traj/stats.h on hand-constructed trajectories with known
+// analytic answers.
+#include "traj/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svq::traj {
+namespace {
+
+Trajectory fromPoints(std::vector<TrajPoint> pts) {
+  return Trajectory({}, std::move(pts));
+}
+
+TEST(SinuosityTest, StraightLineIsOne) {
+  const Trajectory t =
+      fromPoints({{{0, 0}, 0}, {{1, 0}, 1}, {{2, 0}, 2}});
+  EXPECT_FLOAT_EQ(sinuosity(t), 1.0f);
+}
+
+TEST(SinuosityTest, LShapeIsSqrtTwoOverOne) {
+  const Trajectory t =
+      fromPoints({{{0, 0}, 0}, {{1, 0}, 1}, {{1, 1}, 2}});
+  EXPECT_NEAR(sinuosity(t), 2.0f / std::sqrt(2.0f), 1e-5f);
+}
+
+TEST(SinuosityTest, ClosedLoopHitsCap) {
+  const Trajectory t = fromPoints(
+      {{{0, 0}, 0}, {{1, 0}, 1}, {{1, 1}, 2}, {{0, 1}, 3}, {{0, 0}, 4}});
+  EXPECT_FLOAT_EQ(sinuosity(t, 50.0f), 50.0f);
+}
+
+TEST(NetHeadingTest, CardinalDirections) {
+  EXPECT_NEAR(*netHeading(fromPoints({{{0, 0}, 0}, {{1, 0}, 1}})), 0.0f, 1e-6f);
+  EXPECT_NEAR(*netHeading(fromPoints({{{0, 0}, 0}, {{0, 1}, 1}})),
+              kPi / 2.0f, 1e-6f);
+  EXPECT_NEAR(std::abs(*netHeading(fromPoints({{{0, 0}, 0}, {{-1, 0}, 1}}))),
+              kPi, 1e-6f);
+}
+
+TEST(NetHeadingTest, NoDisplacementGivesNullopt) {
+  EXPECT_FALSE(netHeading(fromPoints({{{0, 0}, 0}, {{0, 0}, 1}})).has_value());
+  EXPECT_FALSE(netHeading(fromPoints({{{1, 1}, 0}})).has_value());
+}
+
+TEST(ExitSideTest, FourSectors) {
+  EXPECT_EQ(*exitSide(fromPoints({{{0, 0}, 0}, {{10, 0}, 1}})),
+            ArenaSide::kEast);
+  EXPECT_EQ(*exitSide(fromPoints({{{0, 0}, 0}, {{-10, 1}, 1}})),
+            ArenaSide::kWest);
+  EXPECT_EQ(*exitSide(fromPoints({{{0, 0}, 0}, {{1, 10}, 1}})),
+            ArenaSide::kNorth);
+  EXPECT_EQ(*exitSide(fromPoints({{{0, 0}, 0}, {{-1, -10}, 1}})),
+            ArenaSide::kSouth);
+}
+
+TEST(ExitSideTest, DiagonalBoundariesResolve) {
+  // 45 degrees exactly: |angle| == pi/4 -> east by the <= comparison.
+  EXPECT_EQ(*exitSide(fromPoints({{{0, 0}, 0}, {{10, 10}, 1}})),
+            ArenaSide::kEast);
+}
+
+TEST(ExitSideTest, NearCenterGivesNullopt) {
+  EXPECT_FALSE(
+      exitSide(fromPoints({{{0, 0}, 0}, {{0.5f, 0.0f}, 1}}), 1.0f).has_value());
+}
+
+TEST(ExitedArenaTest, DetectsBoundaryCrossing) {
+  const Trajectory inside = fromPoints({{{0, 0}, 0}, {{3, 0}, 1}});
+  const Trajectory outside = fromPoints({{{0, 0}, 0}, {{11, 0}, 1}});
+  EXPECT_FALSE(exitedArena(inside, 10.0f));
+  EXPECT_TRUE(exitedArena(outside, 10.0f));
+}
+
+TEST(DwellTimeTest, FullyInsideCountsWholeWindow) {
+  const Trajectory t =
+      fromPoints({{{0, 0}, 0}, {{1, 0}, 5}, {{0, 1}, 10}});
+  EXPECT_NEAR(dwellTimeInCenter(t, 5.0f, 0.0f, 10.0f), 10.0f, 1e-4f);
+}
+
+TEST(DwellTimeTest, OutsideRegionCountsZero) {
+  const Trajectory t = fromPoints({{{20, 0}, 0}, {{21, 0}, 10}});
+  EXPECT_FLOAT_EQ(dwellTimeInCenter(t, 5.0f, 0.0f, 10.0f), 0.0f);
+}
+
+TEST(DwellTimeTest, WindowClipsContribution) {
+  const Trajectory t = fromPoints({{{0, 0}, 0}, {{1, 0}, 10}});
+  EXPECT_NEAR(dwellTimeInCenter(t, 5.0f, 2.0f, 6.0f), 4.0f, 1e-4f);
+}
+
+TEST(DwellTimeTest, HalfInHalfOutSegmentCountsHalf) {
+  // First endpoint inside r=5, second far outside.
+  const Trajectory t = fromPoints({{{0, 0}, 0}, {{20, 0}, 10}});
+  EXPECT_NEAR(dwellTimeInCenter(t, 5.0f, 0.0f, 10.0f), 5.0f, 1e-4f);
+}
+
+TEST(DwellTimeTest, EmptyWindowIsZero) {
+  const Trajectory t = fromPoints({{{0, 0}, 0}, {{1, 0}, 10}});
+  EXPECT_FLOAT_EQ(dwellTimeInCenter(t, 5.0f, 6.0f, 6.0f), 0.0f);
+}
+
+TEST(MeanSpeedTest, ConstantSpeed) {
+  const Trajectory t =
+      fromPoints({{{0, 0}, 0}, {{2, 0}, 1}, {{4, 0}, 2}});
+  EXPECT_FLOAT_EQ(meanSpeed(t), 2.0f);
+}
+
+TEST(MeanSpeedTest, DegenerateCases) {
+  EXPECT_FLOAT_EQ(meanSpeed(fromPoints({})), 0.0f);
+  EXPECT_FLOAT_EQ(meanSpeed(fromPoints({{{1, 1}, 0}})), 0.0f);
+}
+
+TEST(TurningAnglesTest, StraightPathHasZeroTurns) {
+  const Trajectory t =
+      fromPoints({{{0, 0}, 0}, {{1, 0}, 1}, {{2, 0}, 2}, {{3, 0}, 3}});
+  for (float a : turningAngles(t)) EXPECT_NEAR(a, 0.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(meanAbsTurning(t), 0.0f);
+}
+
+TEST(TurningAnglesTest, RightAngleTurn) {
+  const Trajectory t =
+      fromPoints({{{0, 0}, 0}, {{1, 0}, 1}, {{1, 1}, 2}});
+  const auto angles = turningAngles(t);
+  ASSERT_EQ(angles.size(), 1u);
+  EXPECT_NEAR(angles[0], kPi / 2.0f, 1e-5f);
+}
+
+TEST(TurningAnglesTest, SignConvention) {
+  // Left turn positive, right turn negative.
+  const Trajectory left =
+      fromPoints({{{0, 0}, 0}, {{1, 0}, 1}, {{1, 1}, 2}});
+  const Trajectory right =
+      fromPoints({{{0, 0}, 0}, {{1, 0}, 1}, {{1, -1}, 2}});
+  EXPECT_GT(turningAngles(left)[0], 0.0f);
+  EXPECT_LT(turningAngles(right)[0], 0.0f);
+}
+
+TEST(TurningAnglesTest, TooShortGivesEmpty) {
+  EXPECT_TRUE(turningAngles(fromPoints({{{0, 0}, 0}, {{1, 0}, 1}})).empty());
+}
+
+TEST(StationaryRunTest, DetectsLongestSlowStretch) {
+  // Slow from t=1..4 (speed 0.1), fast elsewhere.
+  const Trajectory t = fromPoints({{{0, 0}, 0},
+                                   {{5, 0}, 1},
+                                   {{5.1f, 0}, 2},
+                                   {{5.2f, 0}, 3},
+                                   {{5.3f, 0}, 4},
+                                   {{15, 0}, 5}});
+  EXPECT_NEAR(longestStationaryRunS(t, 1.0f), 3.0f, 1e-4f);
+}
+
+TEST(StationaryRunTest, NoSlowSegments) {
+  const Trajectory t = fromPoints({{{0, 0}, 0}, {{5, 0}, 1}, {{10, 0}, 2}});
+  EXPECT_FLOAT_EQ(longestStationaryRunS(t, 1.0f), 0.0f);
+}
+
+TEST(StraightnessTest, BoundsAndValues) {
+  const Trajectory straight = fromPoints({{{0, 0}, 0}, {{4, 0}, 1}});
+  EXPECT_FLOAT_EQ(straightness(straight), 1.0f);
+  const Trajectory loop = fromPoints(
+      {{{0, 0}, 0}, {{1, 0}, 1}, {{1, 1}, 2}, {{0, 1}, 3}, {{0, 0}, 4}});
+  EXPECT_FLOAT_EQ(straightness(loop), 0.0f);
+}
+
+TEST(CenterDepartureTest, FindsFinalDeparture) {
+  // Leaves r=2 at t=2, returns at t=4, leaves for good at t=6.
+  const Trajectory t = fromPoints({{{0, 0}, 0},
+                                   {{1, 0}, 1},
+                                   {{5, 0}, 2},
+                                   {{5, 0}, 3},
+                                   {{1, 0}, 4},
+                                   {{1, 0}, 5},
+                                   {{6, 0}, 6}});
+  const auto dep = centerDepartureTime(t, 2.0f);
+  ASSERT_TRUE(dep.has_value());
+  EXPECT_FLOAT_EQ(*dep, 6.0f);
+}
+
+TEST(CenterDepartureTest, NeverLeavesGivesNullopt) {
+  const Trajectory t = fromPoints({{{0, 0}, 0}, {{1, 0}, 1}});
+  EXPECT_FALSE(centerDepartureTime(t, 5.0f).has_value());
+}
+
+TEST(MeanAngularVelocityTest, CircularMotion) {
+  // Quarter circle per second -> pi/2 rad/s.
+  std::vector<TrajPoint> pts;
+  for (int i = 0; i <= 8; ++i) {
+    const float a = kPi / 4.0f * static_cast<float>(i);
+    pts.push_back({{std::cos(a), std::sin(a)}, static_cast<float>(i) * 0.5f});
+  }
+  const float w = meanAngularVelocity(fromPoints(pts));
+  EXPECT_NEAR(w, kPi / 2.0f, 0.2f);
+}
+
+TEST(MeanAngularVelocityTest, StraightLineIsZero) {
+  const Trajectory t =
+      fromPoints({{{0, 0}, 0}, {{1, 0}, 1}, {{2, 0}, 2}, {{3, 0}, 3}});
+  EXPECT_NEAR(meanAngularVelocity(t), 0.0f, 1e-5f);
+}
+
+TEST(SummarizeTest, BasicMoments) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-9);
+}
+
+TEST(SummarizeTest, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(ArenaSideStringsTest, AllNamed) {
+  EXPECT_STREQ(toString(ArenaSide::kEast), "east");
+  EXPECT_STREQ(toString(ArenaSide::kWest), "west");
+  EXPECT_STREQ(toString(ArenaSide::kNorth), "north");
+  EXPECT_STREQ(toString(ArenaSide::kSouth), "south");
+}
+
+}  // namespace
+}  // namespace svq::traj

@@ -1,0 +1,249 @@
+// Tests for the ant-behaviour synthesizer: determinism, structural
+// invariants, and — crucially — that the planted behavioural effects the
+// paper's hypotheses probe actually hold, and vanish in the null model.
+#include "traj/synth.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/stats.h"
+
+namespace svq::traj {
+namespace {
+
+DatasetSpec smallSpec(std::size_t count = 120) {
+  DatasetSpec spec;
+  spec.count = count;
+  return spec;
+}
+
+TEST(AntSimulatorTest, DeterministicForSameSeed) {
+  AntSimulator a({}, 99);
+  AntSimulator b({}, 99);
+  const auto da = a.generate(smallSpec(20));
+  const auto db = b.generate(smallSpec(20));
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    ASSERT_EQ(da[i].size(), db[i].size());
+    EXPECT_EQ(da[i].meta(), db[i].meta());
+    for (std::size_t p = 0; p < da[i].size(); ++p) {
+      EXPECT_EQ(da[i][p], db[i][p]);
+    }
+  }
+}
+
+TEST(AntSimulatorTest, DifferentSeedsProduceDifferentData) {
+  AntSimulator a({}, 1);
+  AntSimulator b({}, 2);
+  const auto da = a.generate(smallSpec(5));
+  const auto db = b.generate(smallSpec(5));
+  bool anyDifferent = false;
+  for (std::size_t i = 0; i < 5 && !anyDifferent; ++i) {
+    anyDifferent = da[i].size() != db[i].size() ||
+                   da[i].back().pos != db[i].back().pos;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(AntSimulatorTest, TrajectoriesAreWellFormed) {
+  AntSimulator sim({}, 5);
+  const auto ds = sim.generate(smallSpec());
+  for (const auto& t : ds.all()) {
+    EXPECT_TRUE(t.wellFormed());
+    EXPECT_GE(t.size(), 2u);
+  }
+}
+
+TEST(AntSimulatorTest, TrajectoriesStartAtArenaCenter) {
+  AntSimulator sim({}, 5);
+  const auto ds = sim.generate(smallSpec());
+  for (const auto& t : ds.all()) {
+    EXPECT_EQ(t.front().pos, (Vec2{0.0f, 0.0f}));
+    EXPECT_FLOAT_EQ(t.front().t, 0.0f);
+  }
+}
+
+TEST(AntSimulatorTest, DurationsWithinPaperRange) {
+  AntBehaviorParams params;
+  AntSimulator sim(params, 5);
+  const auto ds = sim.generate(smallSpec());
+  for (const auto& t : ds.all()) {
+    EXPECT_LE(t.duration(), params.maxDurationS + params.timeStepS);
+  }
+  // At least some trajectories should run for a while (not all exit fast).
+  int longOnes = 0;
+  for (const auto& t : ds.all()) {
+    if (t.duration() > 10.0f) ++longOnes;
+  }
+  EXPECT_GT(longOnes, 0);
+}
+
+TEST(AntSimulatorTest, DatasetValidatesAgainstArena) {
+  AntSimulator sim({}, 7);
+  const auto ds = sim.generate(smallSpec());
+  // One step beyond the boundary is allowed (exit sample).
+  EXPECT_TRUE(ds.validate(/*slackCm=*/5.0f));
+}
+
+TEST(AntSimulatorTest, ConditionMixRoughlyHonoured) {
+  DatasetSpec spec = smallSpec(600);
+  spec.onTrailFraction = 0.2f;
+  AntSimulator sim({}, 11);
+  const auto ds = sim.generate(spec);
+  std::size_t onTrail = 0;
+  for (const auto& t : ds.all()) {
+    if (t.meta().side == CaptureSide::kOnTrail) ++onTrail;
+  }
+  const double frac = static_cast<double>(onTrail) / 600.0;
+  EXPECT_NEAR(frac, 0.2, 0.07);
+}
+
+TEST(AntSimulatorTest, IdsAreSequential) {
+  AntSimulator sim({}, 13);
+  const auto ds = sim.generate(smallSpec(25));
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds[i].meta().id, static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(HomeHeadingTest, OppositeOfCaptureSide) {
+  EXPECT_FLOAT_EQ(AntSimulator::homeHeading(CaptureSide::kEast), kPi);
+  EXPECT_FLOAT_EQ(AntSimulator::homeHeading(CaptureSide::kWest), 0.0f);
+  EXPECT_FLOAT_EQ(AntSimulator::homeHeading(CaptureSide::kNorth), -kPi / 2);
+  EXPECT_FLOAT_EQ(AntSimulator::homeHeading(CaptureSide::kSouth), kPi / 2);
+}
+
+// --- planted effects -------------------------------------------------------
+
+double exitFraction(const TrajectoryDataset& ds, CaptureSide captured,
+                    ArenaSide exit) {
+  std::size_t population = 0;
+  std::size_t hits = 0;
+  for (const auto& t : ds.all()) {
+    if (t.meta().side != captured) continue;
+    ++population;
+    const auto side = exitSide(t);
+    if (side && *side == exit) ++hits;
+  }
+  return population ? static_cast<double>(hits) / population : 0.0;
+}
+
+TEST(PlantedEffectsTest, H1EastCapturedAntsExitWest) {
+  AntSimulator sim({}, 17);
+  const auto ds = sim.generate(smallSpec(400));
+  const double westExit = exitFraction(ds, CaptureSide::kEast,
+                                       ArenaSide::kWest);
+  EXPECT_GT(westExit, 0.5) << "homing effect should dominate";
+  // And the symmetric cases.
+  EXPECT_GT(exitFraction(ds, CaptureSide::kWest, ArenaSide::kEast), 0.5);
+  EXPECT_GT(exitFraction(ds, CaptureSide::kNorth, ArenaSide::kSouth), 0.5);
+  EXPECT_GT(exitFraction(ds, CaptureSide::kSouth, ArenaSide::kNorth), 0.5);
+}
+
+TEST(PlantedEffectsTest, H1VanishesInNullModel) {
+  AntBehaviorParams null = AntBehaviorParams{}.nullModel();
+  AntSimulator sim(null, 17);
+  const auto ds = sim.generate(smallSpec(400));
+  const double westExit =
+      exitFraction(ds, CaptureSide::kEast, ArenaSide::kWest);
+  // Without homing, exits should be near-uniform over the four sides.
+  EXPECT_LT(westExit, 0.45);
+  EXPECT_GT(westExit, 0.05);
+}
+
+TEST(PlantedEffectsTest, H2OnTrailAntsAreWindier) {
+  AntSimulator sim({}, 19);
+  const auto ds = sim.generate(smallSpec(400));
+  std::vector<double> onTrail, offTrail;
+  for (const auto& t : ds.all()) {
+    const double m = meanAbsTurning(t);
+    if (t.meta().side == CaptureSide::kOnTrail) onTrail.push_back(m);
+    else offTrail.push_back(m);
+  }
+  ASSERT_FALSE(onTrail.empty());
+  ASSERT_FALSE(offTrail.empty());
+  EXPECT_GT(summarize(onTrail).mean, summarize(offTrail).mean * 1.2);
+}
+
+TEST(PlantedEffectsTest, H2VanishesInNullModel) {
+  AntSimulator sim(AntBehaviorParams{}.nullModel(), 19);
+  const auto ds = sim.generate(smallSpec(400));
+  std::vector<double> onTrail, offTrail;
+  for (const auto& t : ds.all()) {
+    const double m = meanAbsTurning(t);
+    if (t.meta().side == CaptureSide::kOnTrail) onTrail.push_back(m);
+    else offTrail.push_back(m);
+  }
+  const double ratio = summarize(onTrail).mean / summarize(offTrail).mean;
+  EXPECT_NEAR(ratio, 1.0, 0.25);
+}
+
+TEST(PlantedEffectsTest, H3SeedDroppersDwellInCenterEarly) {
+  AntSimulator sim({}, 23);
+  const auto ds = sim.generate(smallSpec(400));
+  std::vector<double> droppers, others;
+  const float centerR = ds.arena().radiusCm * 0.3f;
+  for (const auto& t : ds.all()) {
+    const double dwell = dwellTimeInCenter(t, centerR, 0.0f, 30.0f);
+    if (t.meta().seed == SeedState::kDroppedAtCapture) {
+      droppers.push_back(dwell);
+    } else {
+      others.push_back(dwell);
+    }
+  }
+  ASSERT_FALSE(droppers.empty());
+  EXPECT_GT(summarize(droppers).mean, summarize(others).mean * 1.5);
+}
+
+TEST(PlantedEffectsTest, H3SeedDroppersAreStationaryEarly) {
+  AntSimulator sim({}, 29);
+  const auto ds = sim.generate(smallSpec(400));
+  std::vector<double> droppers, others;
+  for (const auto& t : ds.all()) {
+    const double run = longestStationaryRunS(t, 1.0f);
+    if (t.meta().seed == SeedState::kDroppedAtCapture) {
+      droppers.push_back(run);
+    } else {
+      others.push_back(run);
+    }
+  }
+  EXPECT_GT(summarize(droppers).mean, summarize(others).mean);
+}
+
+TEST(PlantedEffectsTest, H4SearchHasPeriodicComponent) {
+  AntBehaviorParams params;
+  params.loopStrength = 1.0f;
+  AntSimulator sim(params, 31);
+  const auto ds = sim.generate(smallSpec(400));
+  // Seed-droppers search with a loop bias: their net angular velocity
+  // magnitude should exceed the null model's.
+  std::vector<double> withLoop;
+  for (const auto& t : ds.all()) {
+    if (t.meta().seed == SeedState::kDroppedAtCapture) {
+      withLoop.push_back(std::abs(meanAngularVelocity(t)));
+    }
+  }
+  AntSimulator simNull(AntBehaviorParams{}.nullModel(), 31);
+  const auto dsNull = simNull.generate(smallSpec(400));
+  std::vector<double> noLoop;
+  for (const auto& t : dsNull.all()) {
+    if (t.meta().seed == SeedState::kDroppedAtCapture) {
+      noLoop.push_back(std::abs(meanAngularVelocity(t)));
+    }
+  }
+  ASSERT_FALSE(withLoop.empty());
+  ASSERT_FALSE(noLoop.empty());
+  EXPECT_GT(summarize(withLoop).mean, summarize(noLoop).mean);
+}
+
+TEST(NullModelTest, ZeroesAllEffectKnobs) {
+  const AntBehaviorParams null = AntBehaviorParams{}.nullModel();
+  EXPECT_EQ(null.windinessStrength, 0.0f);
+  EXPECT_EQ(null.homingStrength, 0.0f);
+  EXPECT_EQ(null.seedSearchStrength, 0.0f);
+  EXPECT_EQ(null.loopStrength, 0.0f);
+  // Kinematics untouched.
+  EXPECT_EQ(null.meanSpeedCmS, AntBehaviorParams{}.meanSpeedCmS);
+}
+
+}  // namespace
+}  // namespace svq::traj

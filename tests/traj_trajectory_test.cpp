@@ -1,0 +1,193 @@
+// Tests for traj/trajectory.h and traj/filter.h.
+#include "traj/filter.h"
+#include "traj/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace svq::traj {
+namespace {
+
+Trajectory makeLine(float duration = 10.0f, float dt = 1.0f) {
+  std::vector<TrajPoint> pts;
+  for (float t = 0.0f; t <= duration + 1e-4f; t += dt) {
+    pts.push_back({{t, 0.0f}, t});
+  }
+  return Trajectory({}, std::move(pts));
+}
+
+TEST(TrajectoryTest, EmptyDefaults) {
+  Trajectory t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FLOAT_EQ(t.duration(), 0.0f);
+  EXPECT_FLOAT_EQ(t.pathLength(), 0.0f);
+  EXPECT_FLOAT_EQ(t.netDisplacement(), 0.0f);
+  EXPECT_FALSE(t.bounds().valid());
+  EXPECT_TRUE(t.wellFormed());
+}
+
+TEST(TrajectoryTest, DurationAndLengths) {
+  const Trajectory t = makeLine(10.0f);
+  EXPECT_FLOAT_EQ(t.duration(), 10.0f);
+  EXPECT_FLOAT_EQ(t.pathLength(), 10.0f);
+  EXPECT_FLOAT_EQ(t.netDisplacement(), 10.0f);
+}
+
+TEST(TrajectoryTest, PathLengthExceedsNetDisplacementForBentPath) {
+  std::vector<TrajPoint> pts = {
+      {{0, 0}, 0}, {{1, 0}, 1}, {{1, 1}, 2}, {{0, 1}, 3}};
+  const Trajectory t({}, pts);
+  EXPECT_FLOAT_EQ(t.pathLength(), 3.0f);
+  EXPECT_FLOAT_EQ(t.netDisplacement(), 1.0f);
+}
+
+TEST(TrajectoryTest, BoundsCoverAllPoints) {
+  std::vector<TrajPoint> pts = {{{-2, 3}, 0}, {{5, -1}, 1}, {{0, 0}, 2}};
+  const Trajectory t({}, pts);
+  const AABB2 b = t.bounds();
+  EXPECT_EQ(b.min, (Vec2{-2.0f, -1.0f}));
+  EXPECT_EQ(b.max, (Vec2{5.0f, 3.0f}));
+}
+
+TEST(TrajectoryTest, SpaceTimeBoundsIncludeTime) {
+  const Trajectory t = makeLine(4.0f);
+  const AABB3 b = t.spaceTimeBounds();
+  EXPECT_FLOAT_EQ(b.min.z, 0.0f);
+  EXPECT_FLOAT_EQ(b.max.z, 4.0f);
+}
+
+TEST(TrajectoryTest, SpaceTimeEmbedding) {
+  const TrajPoint p{{1.0f, 2.0f}, 3.0f};
+  EXPECT_EQ(p.spaceTime(), (Vec3{1.0f, 2.0f, 3.0f}));
+}
+
+TEST(TrajectoryTest, PositionAtInterpolatesLinearly) {
+  const Trajectory t = makeLine(10.0f);
+  EXPECT_EQ(t.positionAt(2.5f), (Vec2{2.5f, 0.0f}));
+  EXPECT_EQ(t.positionAt(0.0f), (Vec2{0.0f, 0.0f}));
+  EXPECT_EQ(t.positionAt(10.0f), (Vec2{10.0f, 0.0f}));
+}
+
+TEST(TrajectoryTest, PositionAtClampsOutOfRange) {
+  const Trajectory t = makeLine(10.0f);
+  EXPECT_EQ(t.positionAt(-5.0f), (Vec2{0.0f, 0.0f}));
+  EXPECT_EQ(t.positionAt(99.0f), (Vec2{10.0f, 0.0f}));
+}
+
+TEST(TrajectoryTest, PositionAtSinglePoint) {
+  const Trajectory t({}, {{{3.0f, 4.0f}, 0.0f}});
+  EXPECT_EQ(t.positionAt(7.0f), (Vec2{3.0f, 4.0f}));
+}
+
+TEST(TrajectoryTest, LowerBoundIndex) {
+  const Trajectory t = makeLine(5.0f);
+  EXPECT_EQ(t.lowerBoundIndex(0.0f), 0u);
+  EXPECT_EQ(t.lowerBoundIndex(2.5f), 3u);
+  EXPECT_EQ(t.lowerBoundIndex(5.0f), 5u);
+  EXPECT_EQ(t.lowerBoundIndex(100.0f), t.size());
+}
+
+TEST(TrajectoryTest, WellFormedDetectsNonMonotoneTime) {
+  std::vector<TrajPoint> pts = {{{0, 0}, 0}, {{1, 0}, 2}, {{2, 0}, 1}};
+  EXPECT_FALSE(Trajectory({}, pts).wellFormed());
+}
+
+TEST(TrajectoryTest, WellFormedDetectsNonZeroStart) {
+  std::vector<TrajPoint> pts = {{{0, 0}, 1.0f}, {{1, 0}, 2.0f}};
+  EXPECT_FALSE(Trajectory({}, pts).wellFormed());
+}
+
+TEST(TrajectoryTest, WellFormedAcceptsValid) {
+  EXPECT_TRUE(makeLine(5.0f).wellFormed());
+}
+
+TEST(EnumStringsTest, CaptureSideRoundTrip) {
+  for (CaptureSide s :
+       {CaptureSide::kOnTrail, CaptureSide::kEast, CaptureSide::kWest,
+        CaptureSide::kNorth, CaptureSide::kSouth}) {
+    CaptureSide parsed;
+    ASSERT_TRUE(parseCaptureSide(toString(s), parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  CaptureSide dummy;
+  EXPECT_FALSE(parseCaptureSide("bogus", dummy));
+}
+
+TEST(EnumStringsTest, JourneyDirectionRoundTrip) {
+  for (JourneyDirection d :
+       {JourneyDirection::kOutbound, JourneyDirection::kReturning}) {
+    JourneyDirection parsed;
+    ASSERT_TRUE(parseJourneyDirection(toString(d), parsed));
+    EXPECT_EQ(parsed, d);
+  }
+  JourneyDirection dummy;
+  EXPECT_FALSE(parseJourneyDirection("", dummy));
+}
+
+TEST(EnumStringsTest, SeedStateRoundTrip) {
+  for (SeedState s : {SeedState::kNotCarrying, SeedState::kCarrying,
+                      SeedState::kDroppedAtCapture}) {
+    SeedState parsed;
+    ASSERT_TRUE(parseSeedState(toString(s), parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  SeedState dummy;
+  EXPECT_FALSE(parseSeedState("seedless", dummy));
+}
+
+Trajectory withMeta(CaptureSide side, JourneyDirection dir, SeedState seed,
+                    float duration) {
+  Trajectory t = makeLine(duration);
+  t.meta().side = side;
+  t.meta().direction = dir;
+  t.meta().seed = seed;
+  return t;
+}
+
+TEST(MetaFilterTest, UnconstrainedMatchesEverything) {
+  MetaFilter f;
+  EXPECT_TRUE(f.isUnconstrained());
+  EXPECT_TRUE(f.matches(withMeta(CaptureSide::kEast,
+                                 JourneyDirection::kOutbound,
+                                 SeedState::kCarrying, 5.0f)));
+}
+
+TEST(MetaFilterTest, SideFilter) {
+  const MetaFilter f = MetaFilter::bySide(CaptureSide::kEast);
+  EXPECT_TRUE(f.matches(withMeta(CaptureSide::kEast,
+                                 JourneyDirection::kOutbound,
+                                 SeedState::kNotCarrying, 5.0f)));
+  EXPECT_FALSE(f.matches(withMeta(CaptureSide::kWest,
+                                  JourneyDirection::kOutbound,
+                                  SeedState::kNotCarrying, 5.0f)));
+}
+
+TEST(MetaFilterTest, ConjunctionOfConstraints) {
+  MetaFilter f;
+  f.side = CaptureSide::kEast;
+  f.seed = SeedState::kCarrying;
+  EXPECT_TRUE(f.matches(withMeta(CaptureSide::kEast,
+                                 JourneyDirection::kReturning,
+                                 SeedState::kCarrying, 5.0f)));
+  EXPECT_FALSE(f.matches(withMeta(CaptureSide::kEast,
+                                  JourneyDirection::kReturning,
+                                  SeedState::kNotCarrying, 5.0f)));
+}
+
+TEST(MetaFilterTest, DurationBounds) {
+  MetaFilter f;
+  f.minDurationS = 3.0f;
+  f.maxDurationS = 8.0f;
+  EXPECT_FALSE(f.matches(makeLine(2.0f)));
+  EXPECT_TRUE(f.matches(makeLine(5.0f)));
+  EXPECT_FALSE(f.matches(makeLine(10.0f)));
+}
+
+TEST(MetaFilterTest, DescribeMentionsConstraints) {
+  MetaFilter f = MetaFilter::bySide(CaptureSide::kNorth);
+  EXPECT_NE(f.describe().find("north"), std::string::npos);
+  EXPECT_EQ(MetaFilter{}.describe(), "all");
+}
+
+}  // namespace
+}  // namespace svq::traj

@@ -1,0 +1,76 @@
+// Tests for the keyboard mapping.
+#include "ui/keymap.h"
+
+#include <gtest/gtest.h>
+
+namespace svq::ui {
+namespace {
+
+TEST(KeymapTest, NumberKeysSelectLayouts) {
+  KeymapState state;
+  for (char k = '1'; k <= '9'; ++k) {
+    const auto e = mapKey(k, state);
+    ASSERT_TRUE(e.has_value()) << k;
+    EXPECT_EQ(std::get<LayoutSwitchEvent>(*e).presetIndex, k - '1');
+  }
+}
+
+TEST(KeymapTest, BrushSelectionIsSticky) {
+  KeymapState state;
+  EXPECT_FALSE(mapKey('g', state).has_value());
+  EXPECT_EQ(state.activeBrush, 1);
+  const auto clear = mapKey('c', state);
+  ASSERT_TRUE(clear.has_value());
+  EXPECT_EQ(std::get<BrushClearEvent>(*clear).brushIndex, 1);
+}
+
+TEST(KeymapTest, ClearAllUsesWildcard) {
+  KeymapState state;
+  const auto e = mapKey('C', state);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(std::get<BrushClearEvent>(*e).brushIndex, 255);
+}
+
+TEST(KeymapTest, PagingKeys) {
+  KeymapState state;
+  EXPECT_EQ(std::get<PageEvent>(*mapKey('n', state)).direction, 1);
+  EXPECT_EQ(std::get<PageEvent>(*mapKey('p', state)).direction, -1);
+}
+
+TEST(KeymapTest, DepthSliderAccumulates) {
+  KeymapState state;
+  auto e1 = mapKey(']', state);
+  EXPECT_FLOAT_EQ(std::get<DepthOffsetEvent>(*e1).offsetCm, 2.0f);
+  auto e2 = mapKey(']', state);
+  EXPECT_FLOAT_EQ(std::get<DepthOffsetEvent>(*e2).offsetCm, 4.0f);
+  auto e3 = mapKey('[', state);
+  EXPECT_FLOAT_EQ(std::get<DepthOffsetEvent>(*e3).offsetCm, 2.0f);
+}
+
+TEST(KeymapTest, TimeScaleClampedAtZero) {
+  KeymapState state;
+  state.timeScaleCmPerS = 0.05f;
+  mapKey('-', state);
+  const auto e = mapKey('-', state);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_GE(std::get<TimeScaleEvent>(*e).cmPerSecond, 0.0f);
+}
+
+TEST(KeymapTest, ZeroResetsTemporalFilter) {
+  KeymapState state;
+  const auto e = mapKey('0', state);
+  ASSERT_TRUE(e.has_value());
+  const auto& w = std::get<TimeWindowEvent>(*e);
+  EXPECT_FLOAT_EQ(w.t0, 0.0f);
+  EXPECT_GT(w.t1, 1e8f);
+}
+
+TEST(KeymapTest, UnboundKeysIgnored) {
+  KeymapState state;
+  EXPECT_FALSE(mapKey('q', state).has_value());
+  EXPECT_FALSE(mapKey(' ', state).has_value());
+  EXPECT_FALSE(mapKey('\n', state).has_value());
+}
+
+}  // namespace
+}  // namespace svq::ui

@@ -1,0 +1,142 @@
+// Tests for util/csv.h and util/stopwatch.h.
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace svq {
+namespace {
+
+TEST(CsvSplitTest, SimpleFields) {
+  const auto f = csvSplit("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvSplitTest, EmptyFieldsPreserved) {
+  const auto f = csvSplit("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(CsvSplitTest, SingleField) {
+  const auto f = csvSplit("hello");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "hello");
+}
+
+TEST(CsvSplitTest, EmptyLineGivesOneEmptyField) {
+  const auto f = csvSplit("");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "");
+}
+
+TEST(CsvSplitTest, QuotedFieldWithComma) {
+  const auto f = csvSplit(R"("a,b",c)");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+}
+
+TEST(CsvSplitTest, EscapedQuotes) {
+  const auto f = csvSplit(R"("say ""hi""",x)");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(CsvSplitTest, ToleratesCarriageReturn) {
+  const auto f = csvSplit("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvJoinTest, PlainFields) {
+  EXPECT_EQ(csvJoin({"a", "b", "c"}), "a,b,c");
+}
+
+TEST(CsvJoinTest, QuotesWhenNeeded) {
+  EXPECT_EQ(csvJoin({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(csvJoin({"with space"}), "\"with space\"");
+  EXPECT_EQ(csvJoin({""}), "\"\"");
+  EXPECT_EQ(csvJoin({"q\"q"}), "\"q\"\"q\"");
+}
+
+TEST(CsvRoundTripTest, SplitJoinIdentity) {
+  const std::vector<std::string> original = {"plain", "with,comma",
+                                             "with \"quote\"", "", "x y"};
+  const auto round = csvSplit(csvJoin(original));
+  EXPECT_EQ(round, original);
+}
+
+TEST(CsvParseTest, MultipleLines) {
+  const auto rows = csvParse("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(CsvParseTest, SkipsBlankLines) {
+  const auto rows = csvParse("a\n\n\nb\n");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(CsvParseTest, HandlesCrLf) {
+  const auto rows = csvParse("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+}
+
+TEST(CsvParseTest, NoTrailingNewline) {
+  const auto rows = csvParse("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch sw;
+  const double t1 = sw.elapsedSeconds();
+  const double t2 = sw.elapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(StopwatchTest, UnitsConsistent) {
+  Stopwatch sw;
+  const double s = sw.elapsedSeconds();
+  const double ms = sw.elapsedMillis();
+  EXPECT_GE(ms, s * 1000.0 - 1.0);
+}
+
+TEST(TimingStatsTest, EmptyStats) {
+  TimingStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(TimingStatsTest, AccumulatesMinMaxMean) {
+  TimingStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  stats.add(2.0);
+  EXPECT_EQ(stats.count(), 3);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.total(), 6.0);
+}
+
+TEST(TimingStatsTest, ResetClears) {
+  TimingStats stats;
+  stats.add(5.0);
+  stats.reset();
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace svq

@@ -1,0 +1,206 @@
+// Unit tests for util/geometry.h: vectors, boxes, rects, angles.
+#include "util/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svq {
+namespace {
+
+TEST(Vec2Test, ArithmeticOperators) {
+  const Vec2 a{1.0f, 2.0f};
+  const Vec2 b{3.0f, -4.0f};
+  EXPECT_EQ(a + b, (Vec2{4.0f, -2.0f}));
+  EXPECT_EQ(a - b, (Vec2{-2.0f, 6.0f}));
+  EXPECT_EQ(a * 2.0f, (Vec2{2.0f, 4.0f}));
+  EXPECT_EQ(2.0f * a, (Vec2{2.0f, 4.0f}));
+  EXPECT_EQ(b / 2.0f, (Vec2{1.5f, -2.0f}));
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+  Vec2 v{1.0f, 1.0f};
+  v += {2.0f, 3.0f};
+  EXPECT_EQ(v, (Vec2{3.0f, 4.0f}));
+  v -= {1.0f, 1.0f};
+  EXPECT_EQ(v, (Vec2{2.0f, 3.0f}));
+  v *= 2.0f;
+  EXPECT_EQ(v, (Vec2{4.0f, 6.0f}));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 x{1.0f, 0.0f};
+  const Vec2 y{0.0f, 1.0f};
+  EXPECT_FLOAT_EQ(x.dot(y), 0.0f);
+  EXPECT_FLOAT_EQ(x.cross(y), 1.0f);
+  EXPECT_FLOAT_EQ(y.cross(x), -1.0f);
+  EXPECT_FLOAT_EQ((Vec2{3.0f, 4.0f}).dot({3.0f, 4.0f}), 25.0f);
+}
+
+TEST(Vec2Test, NormAndNormalized) {
+  const Vec2 v{3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(v.norm(), 5.0f);
+  EXPECT_FLOAT_EQ(v.norm2(), 25.0f);
+  const Vec2 n = v.normalized();
+  EXPECT_NEAR(n.norm(), 1.0f, 1e-6f);
+  EXPECT_NEAR(n.x, 0.6f, 1e-6f);
+}
+
+TEST(Vec2Test, NormalizedZeroVectorIsZeroNotNaN) {
+  const Vec2 n = Vec2{}.normalized();
+  EXPECT_EQ(n, Vec2{});
+}
+
+TEST(Vec2Test, PerpIsCounterClockwise) {
+  const Vec2 v{1.0f, 0.0f};
+  EXPECT_EQ(v.perp(), (Vec2{0.0f, 1.0f}));
+  EXPECT_FLOAT_EQ(v.dot(v.perp()), 0.0f);
+}
+
+TEST(Vec2Test, AngleRoundTrip) {
+  for (float a = -3.0f; a <= 3.0f; a += 0.37f) {
+    const Vec2 v = Vec2::fromAngle(a);
+    EXPECT_NEAR(v.angle(), a, 1e-5f) << "angle " << a;
+    EXPECT_NEAR(v.norm(), 1.0f, 1e-6f);
+  }
+}
+
+TEST(Vec3Test, CrossProductRightHanded) {
+  const Vec3 x{1.0f, 0.0f, 0.0f};
+  const Vec3 y{0.0f, 1.0f, 0.0f};
+  EXPECT_EQ(x.cross(y), (Vec3{0.0f, 0.0f, 1.0f}));
+  EXPECT_EQ(y.cross(x), (Vec3{0.0f, 0.0f, -1.0f}));
+}
+
+TEST(Vec3Test, XyProjection) {
+  const Vec3 v{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(v.xy(), (Vec2{1.0f, 2.0f}));
+}
+
+TEST(LerpTest, EndpointsAndMidpoint) {
+  EXPECT_FLOAT_EQ(lerp(2.0f, 6.0f, 0.0f), 2.0f);
+  EXPECT_FLOAT_EQ(lerp(2.0f, 6.0f, 1.0f), 6.0f);
+  EXPECT_FLOAT_EQ(lerp(2.0f, 6.0f, 0.5f), 4.0f);
+  EXPECT_EQ(lerp(Vec2{0, 0}, Vec2{2, 4}, 0.5f), (Vec2{1.0f, 2.0f}));
+}
+
+TEST(AABB2Test, StartsInvalidExpandsToValid) {
+  AABB2 box;
+  EXPECT_FALSE(box.valid());
+  EXPECT_FLOAT_EQ(box.area(), 0.0f);
+  box.expand(Vec2{1.0f, 2.0f});
+  EXPECT_TRUE(box.valid());
+  EXPECT_EQ(box.min, box.max);
+  box.expand(Vec2{-1.0f, 4.0f});
+  EXPECT_EQ(box.min, (Vec2{-1.0f, 2.0f}));
+  EXPECT_EQ(box.max, (Vec2{1.0f, 4.0f}));
+  EXPECT_FLOAT_EQ(box.area(), 4.0f);
+}
+
+TEST(AABB2Test, ContainsBoundaryInclusive) {
+  const AABB2 box = AABB2::of({0.0f, 0.0f}, {2.0f, 2.0f});
+  EXPECT_TRUE(box.contains({0.0f, 0.0f}));
+  EXPECT_TRUE(box.contains({2.0f, 2.0f}));
+  EXPECT_TRUE(box.contains({1.0f, 1.0f}));
+  EXPECT_FALSE(box.contains({2.1f, 1.0f}));
+}
+
+TEST(AABB2Test, IntersectsAndInflated) {
+  const AABB2 a = AABB2::of({0, 0}, {1, 1});
+  const AABB2 b = AABB2::of({2, 2}, {3, 3});
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(a.inflated(1.0f).intersects(b));
+  EXPECT_TRUE(a.intersects(a));
+}
+
+TEST(AABB2Test, ExpandWithBoxMergesBounds) {
+  AABB2 a = AABB2::of({0, 0}, {1, 1});
+  a.expand(AABB2::of({3, -1}, {4, 0.5f}));
+  EXPECT_EQ(a.min, (Vec2{0.0f, -1.0f}));
+  EXPECT_EQ(a.max, (Vec2{4.0f, 1.0f}));
+  // Expanding with an invalid box is a no-op.
+  AABB2 before = a;
+  a.expand(AABB2{});
+  EXPECT_EQ(a.min, before.min);
+  EXPECT_EQ(a.max, before.max);
+}
+
+TEST(AABB3Test, ExpandAndContains) {
+  AABB3 box;
+  EXPECT_FALSE(box.valid());
+  box.expand({0, 0, 0});
+  box.expand({1, 2, 3});
+  EXPECT_TRUE(box.valid());
+  EXPECT_TRUE(box.contains({0.5f, 1.0f, 1.5f}));
+  EXPECT_FALSE(box.contains({0.5f, 1.0f, 3.5f}));
+  EXPECT_EQ(box.xy().max, (Vec2{1.0f, 2.0f}));
+}
+
+TEST(RectITest, EmptyAndArea) {
+  EXPECT_TRUE((RectI{0, 0, 0, 5}).empty());
+  EXPECT_TRUE((RectI{0, 0, 5, -1}).empty());
+  EXPECT_FALSE((RectI{0, 0, 1, 1}).empty());
+  EXPECT_EQ((RectI{0, 0, 10, 20}).areaPx(), 200);
+  EXPECT_EQ((RectI{0, 0, 0, 20}).areaPx(), 0);
+}
+
+TEST(RectITest, ContainsHalfOpen) {
+  const RectI r{10, 20, 5, 5};
+  EXPECT_TRUE(r.contains(10, 20));
+  EXPECT_TRUE(r.contains(14, 24));
+  EXPECT_FALSE(r.contains(15, 20));
+  EXPECT_FALSE(r.contains(10, 25));
+  EXPECT_FALSE(r.contains(9, 20));
+}
+
+TEST(RectITest, IntersectsAndClipped) {
+  const RectI a{0, 0, 10, 10};
+  const RectI b{5, 5, 10, 10};
+  EXPECT_TRUE(a.intersects(b));
+  const RectI c = a.clipped(b);
+  EXPECT_EQ(c, (RectI{5, 5, 5, 5}));
+  const RectI d{20, 20, 5, 5};
+  EXPECT_FALSE(a.intersects(d));
+  EXPECT_TRUE(a.clipped(d).empty());
+}
+
+TEST(RectITest, TouchingRectsDoNotIntersect) {
+  const RectI a{0, 0, 10, 10};
+  const RectI b{10, 0, 10, 10};  // shares the x=10 edge (half-open)
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(AngleTest, WrapAngleIntoRange) {
+  EXPECT_NEAR(wrapAngle(0.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(wrapAngle(kTwoPi), 0.0f, 1e-5f);
+  EXPECT_NEAR(wrapAngle(kPi + 0.1f), -kPi + 0.1f, 1e-5f);
+  EXPECT_NEAR(wrapAngle(-kPi - 0.1f), kPi - 0.1f, 1e-5f);
+  EXPECT_NEAR(wrapAngle(5.0f * kPi), kPi, 1e-4f);
+}
+
+TEST(AngleTest, WrapAngleAlwaysInHalfOpenInterval) {
+  for (float a = -20.0f; a < 20.0f; a += 0.173f) {
+    const float w = wrapAngle(a);
+    EXPECT_GT(w, -kPi - 1e-5f) << a;
+    EXPECT_LE(w, kPi + 1e-5f) << a;
+    // Same direction as original.
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-4f) << a;
+    EXPECT_NEAR(std::cos(w), std::cos(a), 1e-4f) << a;
+  }
+}
+
+TEST(AngleTest, DegreesRadiansRoundTrip) {
+  EXPECT_FLOAT_EQ(radians(180.0f), kPi);
+  EXPECT_FLOAT_EQ(degrees(kPi), 180.0f);
+  EXPECT_NEAR(degrees(radians(73.5f)), 73.5f, 1e-4f);
+}
+
+TEST(ClampTest, ClampsBothEnds) {
+  EXPECT_EQ(clamp(5, 0, 10), 5);
+  EXPECT_EQ(clamp(-5, 0, 10), 0);
+  EXPECT_EQ(clamp(15, 0, 10), 10);
+  EXPECT_FLOAT_EQ(clamp(0.5f, 0.0f, 1.0f), 0.5f);
+}
+
+}  // namespace
+}  // namespace svq

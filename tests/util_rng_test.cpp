@@ -1,0 +1,222 @@
+// Unit + statistical property tests for util/rng.h.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace svq {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedRestoresSequence) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngTest, BelowIsUnbiasedOverSmallModulus) {
+  Rng rng(9);
+  const std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int trials = 70000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(n)];
+  for (std::uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(counts[k], trials / static_cast<int>(n), 500) << "bucket " << k;
+  }
+}
+
+TEST(RngTest, RangeIntInclusiveBounds) {
+  Rng rng(13);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.rangeInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    sawLo |= (v == -2);
+    sawHi |= (v == 2);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, NormalMomentsMatchStandard) {
+  Rng rng(21);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, WrappedCauchyZeroRhoIsUniform) {
+  Rng rng(29);
+  // With rho=0 the mean of |angle| over uniform(-pi,pi) is pi/2.
+  double sumAbs = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sumAbs += std::abs(rng.wrappedCauchy(0.0f));
+  EXPECT_NEAR(sumAbs / n, kPi / 2.0, 0.03);
+}
+
+TEST(RngTest, WrappedCauchyHighRhoConcentratesAtZero) {
+  Rng rng(31);
+  double sumAbs = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sumAbs += std::abs(rng.wrappedCauchy(0.95f));
+  EXPECT_LT(sumAbs / n, 0.25);
+}
+
+TEST(RngTest, WrappedCauchyRhoOneIsDeterministicZero) {
+  Rng rng(33);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.wrappedCauchy(1.0f), 0.0f);
+}
+
+TEST(RngTest, WrappedCauchyMonotoneConcentration) {
+  // Higher rho => smaller mean |turn|.
+  double prev = 10.0;
+  for (float rho : {0.1f, 0.4f, 0.7f, 0.9f}) {
+    Rng rng(37);
+    double sumAbs = 0.0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) sumAbs += std::abs(rng.wrappedCauchy(rho));
+    const double mean = sumAbs / n;
+    EXPECT_LT(mean, prev) << "rho " << rho;
+    prev = mean;
+  }
+}
+
+TEST(RngTest, WrappedNormalStaysWrapped) {
+  Rng rng(41);
+  for (int i = 0; i < 2000; ++i) {
+    const float a = rng.wrappedNormal(3.0f, 2.0f);
+    EXPECT_GT(a, -kPi - 1e-5f);
+    EXPECT_LE(a, kPi + 1e-5f);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(43);
+  const double lambda = 0.5;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.05);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(47);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(2.0), 0.0);
+}
+
+TEST(RngTest, UnitVec2HasUnitNorm) {
+  Rng rng(53);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NEAR(rng.unitVec2().norm(), 1.0f, 1e-5f);
+  }
+}
+
+TEST(RngTest, InDiscStaysInsideAndFillsArea) {
+  Rng rng(59);
+  const float radius = 3.0f;
+  int inInnerHalfRadius = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p = rng.inDisc(radius);
+    ASSERT_LE(p.norm(), radius + 1e-4f);
+    if (p.norm() < radius * 0.5f) ++inInnerHalfRadius;
+  }
+  // Uniform area density: inner half-radius disc holds 25% of samples.
+  EXPECT_NEAR(static_cast<double>(inInnerHalfRadius) / n, 0.25, 0.015);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+}  // namespace
+}  // namespace svq

@@ -1,0 +1,154 @@
+// Tests for util/threadpool.h: correctness of submit/wait and parallelFor
+// under various range shapes and thread counts.
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace svq {
+namespace {
+
+TEST(ThreadPoolTest, ThreadCountHonoursRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> touched(n);
+  pool.parallelFor(0, n, [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallelFor(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallelFor(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallelFor(9, 10, [&](std::size_t i) {
+    EXPECT_EQ(i, 9u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForNonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallelFor(100, 200, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  long expected = 0;
+  for (long i = 100; i < 200; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartitionIsExact) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallelForChunks(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(m);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expectedNext = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expectedNext);
+    EXPECT_GT(hi, lo);
+    expectedNext = hi;
+  }
+  EXPECT_EQ(expectedNext, 1000u);
+}
+
+TEST(ThreadPoolTest, GrainLimitsSplitting) {
+  ThreadPool pool(8);
+  std::mutex m;
+  int chunkCount = 0;
+  pool.parallelForChunks(
+      0, 100,
+      [&](std::size_t, std::size_t) {
+        std::lock_guard lock(m);
+        ++chunkCount;
+      },
+      100);  // grain == range -> a single chunk
+  EXPECT_EQ(chunkCount, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForResultMatchesSequential) {
+  ThreadPool pool(4);
+  const std::size_t n = 5000;
+  std::vector<double> parallel(n), sequential(n);
+  auto f = [](std::size_t i) {
+    return std::sin(static_cast<double>(i)) * 0.5 + static_cast<double>(i % 7);
+  };
+  pool.parallelFor(0, n, [&](std::size_t i) { parallel[i] = f(i); });
+  for (std::size_t i = 0; i < n; ++i) sequential[i] = f(i);
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST(ThreadPoolTest, ManySmallParallelForsDoNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallelFor(0, 10, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 2000);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPoolTest, FreeFunctionParallelForWorks) {
+  std::vector<std::atomic<int>> touched(256);
+  parallelFor(0, touched.size(), [&](std::size_t i) { touched[i] = 1; });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPoolStillCompletesParallelFor) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallelFor(0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace svq
