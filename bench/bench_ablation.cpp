@@ -39,15 +39,15 @@ void BM_A1_BrushGridResolution(benchmark::State& state) {
   for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
   for (auto _ : state) {
     const auto result =
-        core::evaluateQuery(ds, indices, brush, core::QueryParams{});
+        core::evaluate(core::makeRefs(ds, indices), brush, core::QueryParams{});
     benchmark::DoNotOptimize(result);
   }
   // Verdict agreement vs a 1024-texel reference grid.
   const core::BrushGrid ref = westBrushAt(ds.arena().radiusCm, 1024);
   const auto coarse =
-      core::evaluateQuery(ds, indices, brush, core::QueryParams{});
+      core::evaluate(core::makeRefs(ds, indices), brush, core::QueryParams{});
   const auto fine =
-      core::evaluateQuery(ds, indices, ref, core::QueryParams{});
+      core::evaluate(core::makeRefs(ds, indices), ref, core::QueryParams{});
   std::size_t agree = 0;
   for (std::size_t i = 0; i < ds.size(); ++i) {
     if (coarse.summaries[i].anyHighlight() ==
@@ -151,7 +151,7 @@ void BM_A4_QueryGrain(benchmark::State& state) {
     parallelFor(
         0, ds.size(),
         [&](std::size_t i) {
-          core::evaluateOne(ds[indices[i]], indices[i], brush,
+          core::evaluate(core::TrajectoryRef{&ds[indices[i]], indices[i]}, brush,
                             core::QueryParams{},
                             result.segmentHighlights[i],
                             result.summaries[i]);

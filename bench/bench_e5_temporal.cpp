@@ -9,6 +9,7 @@
 #include "bench_common.h"
 #include "core/hypothesis.h"
 #include "core/query.h"
+#include "core/queryengine.h"
 #include "traj/stats.h"
 
 using namespace svq;
@@ -29,7 +30,7 @@ void BM_WindowedQuery(benchmark::State& state) {
   core::QueryParams params;
   params.timeWindow = {0.0f, static_cast<float>(state.range(0))};
   for (auto _ : state) {
-    const auto result = core::evaluateQuery(ds, indices, brush, params);
+    const auto result = core::evaluate(core::makeRefs(ds, indices), brush, params);
     benchmark::DoNotOptimize(result);
   }
   state.counters["window_s"] = static_cast<double>(state.range(0));
@@ -48,13 +49,41 @@ void BM_WindowSweep(benchmark::State& state) {
       core::QueryParams params;
       params.timeWindow = {static_cast<float>(w) * 18.0f,
                            static_cast<float>(w + 1) * 18.0f};
-      const auto result = core::evaluateQuery(ds, indices, brush, params);
+      const auto result = core::evaluate(core::makeRefs(ds, indices), brush, params);
       benchmark::DoNotOptimize(result);
     }
   }
   state.SetLabel("10 slider positions per iteration");
 }
 BENCHMARK(BM_WindowSweep)->Unit(benchmark::kMillisecond);
+
+void BM_WindowSweepIncremental(benchmark::State& state) {
+  // The same slider drag through the incremental engine: each window
+  // position is a pure re-mask over the cached spatial classification —
+  // zero brush-grid probes per position.
+  const auto& ds = bench::dataset(500);
+  const core::BrushGrid brush = centerBrush(ds.arena().radiusCm);
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  core::QueryEngine engine;
+  engine.setTrajectories(ds, indices);
+  engine.setBrush(&brush);
+  engine.evaluate();  // pay the spatial classification once
+  for (auto _ : state) {
+    for (int w = 0; w < 10; ++w) {
+      core::QueryParams params = engine.params();
+      params.timeWindow = {static_cast<float>(w) * 18.0f,
+                           static_cast<float>(w + 1) * 18.0f};
+      engine.setParams(params);
+      const auto result = engine.evaluate();
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetLabel("10 slider positions per iteration");
+  state.counters["spatial_reclass_last_pass"] =
+      static_cast<double>(engine.metrics().lastPassSpatialClassifications);
+}
+BENCHMARK(BM_WindowSweepIncremental)->Unit(benchmark::kMillisecond);
 
 void BM_StationaryRunDetection(benchmark::State& state) {
   const auto& ds = bench::dataset(500);

@@ -82,7 +82,7 @@ void BM_FullFidelityQuery(benchmark::State& state) {
   for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
   for (auto _ : state) {
     const auto result =
-        core::evaluateQuery(ds, indices, brush, core::QueryParams{});
+        core::evaluate(core::makeRefs(ds, indices), brush, core::QueryParams{});
     benchmark::DoNotOptimize(result);
   }
   state.counters["points"] = static_cast<double>(ds.totalPoints());

@@ -11,6 +11,8 @@
 #include "bench_common.h"
 #include "core/hypothesis.h"
 #include "core/query.h"
+#include "core/queryengine.h"
+#include "util/stopwatch.h"
 
 using namespace svq;
 
@@ -48,7 +50,7 @@ void BM_QueryEval(benchmark::State& state) {
   core::QueryParams params;
   std::size_t highlighted = 0;
   for (auto _ : state) {
-    const auto result = core::evaluateQuery(ds, indices, brush, params);
+    const auto result = core::evaluate(core::makeRefs(ds, indices), brush, params);
     highlighted = result.trajectoriesHighlighted;
     benchmark::DoNotOptimize(result);
   }
@@ -69,13 +71,67 @@ void BM_QueryEvalSequential(benchmark::State& state) {
   core::QueryParams params;
   params.parallel = false;
   for (auto _ : state) {
-    const auto result = core::evaluateQuery(ds, indices, brush, params);
+    const auto result = core::evaluate(core::makeRefs(ds, indices), brush, params);
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(static_cast<long>(state.iterations()) *
                           static_cast<long>(ds.totalPoints()));
 }
 BENCHMARK(BM_QueryEvalSequential)->Arg(500)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- incremental engine ------------------------------------------------------
+
+std::vector<std::uint32_t> allIndices(const traj::TrajectoryDataset& ds) {
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  return indices;
+}
+
+/// Steady-state cost of a localized dab edit: the engine re-classifies
+/// only the trajectories whose footprint intersects the dab.
+void BM_QueryEngineIncrementalDab(benchmark::State& state) {
+  const auto& ds = bench::dataset(static_cast<std::size_t>(state.range(0)));
+  const auto indices = allIndices(ds);
+  core::BrushCanvas canvas(ds.arena().radiusCm, 256);
+  core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest,
+                       ds.arena().radiusCm);
+  core::QueryEngine engine;
+  engine.setTrajectories(ds, indices);
+  engine.setBrush(&canvas.grid());
+  engine.evaluate();  // warm the spatial cache
+
+  // Dab on a spot the data actually visits, so the edit is non-trivial.
+  const Vec2 dabPos = ds[0].points()[ds[0].size() / 2].pos;
+  for (auto _ : state) {
+    const AABB2 dirty =
+        canvas.addStroke(core::BrushStroke{1, dabPos, 3.0f});
+    engine.invalidateRegion(dirty);
+    const auto result = engine.evaluate();
+    benchmark::DoNotOptimize(result);
+  }
+  const auto& m = engine.metrics();
+  state.counters["invalidated"] = static_cast<double>(m.lastPassInvalidated);
+  state.counters["reused"] = static_cast<double>(m.lastPassReused);
+  state.counters["cache_hit_rate"] = m.cacheHitRate();
+}
+BENCHMARK(BM_QueryEngineIncrementalDab)->Arg(432)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Baseline the dab edit competes with: full stateless re-evaluation.
+void BM_QueryEngineFullReeval(benchmark::State& state) {
+  const auto& ds = bench::dataset(static_cast<std::size_t>(state.range(0)));
+  const auto indices = allIndices(ds);
+  core::BrushCanvas canvas(ds.arena().radiusCm, 256);
+  core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest,
+                       ds.arena().radiusCm);
+  for (auto _ : state) {
+    const auto result = core::evaluate(core::makeRefs(ds, indices),
+                                       canvas.grid(), core::QueryParams{});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_QueryEngineFullReeval)->Arg(432)->Arg(2000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_HypothesisEvaluate(benchmark::State& state) {
@@ -107,7 +163,7 @@ void printContext() {
         return t.meta().side == side;
       });
       const auto result =
-          core::evaluateQuery(ds, indices, brush, core::QueryParams{});
+          core::evaluate(core::makeRefs(ds, indices), brush, core::QueryParams{});
       std::size_t endWest = 0;
       for (const auto& s : result.summaries) {
         if (s.lastSegmentBrush == 0) ++endWest;
@@ -133,10 +189,69 @@ void printContext() {
               "near-uniform on the null control\n\n");
 }
 
+/// Headline comparison for the incremental engine: localized dab edit on
+/// the 432-cell scene, incremental vs full re-evaluation.
+void printIncrementalReport() {
+  constexpr std::size_t kSceneSize = 432;  // the paper's 36x12 wall
+  const auto& ds = bench::dataset(kSceneSize);
+  const auto indices = [&] {
+    std::vector<std::uint32_t> v(ds.size());
+    for (std::uint32_t i = 0; i < ds.size(); ++i) v[i] = i;
+    return v;
+  }();
+  core::BrushCanvas canvas(ds.arena().radiusCm, 256);
+  core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest,
+                       ds.arena().radiusCm);
+
+  core::QueryEngine engine;
+  engine.setTrajectories(ds, indices);
+  engine.setBrush(&canvas.grid());
+  engine.evaluate();  // warm cache
+  const Vec2 dabPos = ds[0].points()[ds[0].size() / 2].pos;
+
+  constexpr int kReps = 25;
+  double fullMs = 0.0, incrMs = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    Stopwatch w;
+    const auto result = core::evaluate(core::makeRefs(ds, indices),
+                                       canvas.grid(), engine.params());
+    fullMs += w.elapsedMillis();
+    benchmark::DoNotOptimize(result);
+  }
+  engine.resetMetrics();
+  for (int r = 0; r < kReps; ++r) {
+    const AABB2 dirty =
+        canvas.addStroke(core::BrushStroke{1, dabPos, 3.0f});
+    engine.invalidateRegion(dirty);
+    Stopwatch w;
+    const auto result = engine.evaluate();
+    incrMs += w.elapsedMillis();
+    benchmark::DoNotOptimize(result);
+  }
+  fullMs /= kReps;
+  incrMs /= kReps;
+  const auto& m = engine.metrics();
+
+  std::printf("=== incremental engine: localized dab on the %zu-cell scene "
+              "===\n", kSceneSize);
+  std::printf("full re-evaluation:   %8.3f ms\n", fullMs);
+  std::printf("incremental edit:     %8.3f ms  (last pass: %llu "
+              "re-classified, %llu reused, hit rate %.1f%%)\n",
+              incrMs,
+              static_cast<unsigned long long>(m.lastPassInvalidated),
+              static_cast<unsigned long long>(m.lastPassReused),
+              100.0 * m.cacheHitRate());
+  std::printf("speedup:              %8.1fx %s\n\n",
+              incrMs > 0.0 ? fullMs / incrMs : 0.0,
+              fullMs >= 5.0 * incrMs ? "(>= 5x target met)"
+                                     : "(below 5x target!)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   printContext();
+  printIncrementalReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

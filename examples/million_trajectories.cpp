@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t i = 0; i < dataset.size(); ++i) all[i] = i;
   Stopwatch fullTimer;
   const core::QueryResult full =
-      core::evaluateQuery(dataset, all, canvas.grid(), params);
+      core::evaluate(core::makeRefs(dataset, all), canvas.grid(), params);
   const double fullMs = fullTimer.elapsedMillis();
 
   std::printf("== west-half brush query ==\n");

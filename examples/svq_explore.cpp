@@ -239,22 +239,39 @@ int main(int argc, char** argv) {
 
   const render::SceneModel scene = app.buildScene();
   const core::QueryResult& q = app.lastQueryResult();
-  std::printf("layout %dx%d, coverage %.0f%%; query highlighted %zu/%zu\n",
+  std::printf("layout %dx%d, coverage %.0f%%; query highlighted %zu/%zu "
+              "(generation %llu)\n",
               app.layout().config().cellsX, app.layout().config().cellsY,
               static_cast<double>(app.datasetCoverage()) * 100.0,
-              q.trajectoriesHighlighted, q.trajectoriesEvaluated);
+              q.trajectoriesHighlighted, q.trajectoriesEvaluated,
+              static_cast<unsigned long long>(q.generation));
+  {
+    const core::QueryEngineMetrics& m = app.queryMetrics();
+    std::printf("engine: %llu passes (%llu spatial, %llu temporal-only, "
+                "%llu cached), cache hit rate %.0f%%, last pass %.2f ms\n",
+                static_cast<unsigned long long>(m.passes),
+                static_cast<unsigned long long>(m.spatialPasses),
+                static_cast<unsigned long long>(m.temporalOnlyPasses),
+                static_cast<unsigned long long>(m.cachedPasses),
+                100.0 * m.cacheHitRate(), m.lastPassMillis);
+  }
 
   if (lastFraction) {
-    core::QueryParams rel;
-    rel.relativeWindow = Vec2{1.0f - *lastFraction, 1.0f};
+    // The "final fraction of each run" reading through the incremental
+    // engine: the repaint-free path an interactive slider drag takes.
+    core::QueryEngine relEngine;
     std::vector<std::uint32_t> all(dataset.size());
     for (std::uint32_t i = 0; i < dataset.size(); ++i) all[i] = i;
-    const auto relResult =
-        core::evaluateQuery(dataset, all, app.brush().grid(), rel);
+    relEngine.setTrajectories(dataset, all);
+    relEngine.setBrush(&app.brush().grid());
+    core::QueryParams rel = relEngine.params();
+    rel.relativeWindow = Vec2{1.0f - *lastFraction, 1.0f};
+    relEngine.setParams(rel);
+    const auto relResult = relEngine.evaluate();
     std::printf("relative window (final %.0f%%): %zu/%zu highlighted\n",
                 static_cast<double>(*lastFraction) * 100.0,
-                relResult.trajectoriesHighlighted,
-                relResult.trajectoriesEvaluated);
+                relResult->trajectoriesHighlighted,
+                relResult->trajectoriesEvaluated);
   }
 
   // --- hypotheses ------------------------------------------------------------------

@@ -47,6 +47,7 @@ void serializeScene(MessageBuffer& buf, const render::SceneModel& scene) {
   buf.putF32(scene.style.nearBrightness);
   buf.putF32(scene.style.halfWidthPx);
   buf.putF32(scene.style.startMarkerPx);
+  buf.putU64(scene.queryGeneration);
   buf.putBool(scene.drawArenaOutline);
   buf.putBool(scene.drawCellBorder);
   putColor(buf, scene.wallBackground);
@@ -79,6 +80,7 @@ render::SceneModel deserializeScene(MessageBuffer& buf) {
   scene.style.nearBrightness = buf.getF32();
   scene.style.halfWidthPx = buf.getF32();
   scene.style.startMarkerPx = buf.getF32();
+  scene.queryGeneration = buf.getU64();
   scene.drawArenaOutline = buf.getBool();
   scene.drawCellBorder = buf.getBool();
   scene.wallBackground = getColor(buf);

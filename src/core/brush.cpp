@@ -14,14 +14,31 @@ BrushGrid::BrushGrid(float arenaRadiusCm, int resolution)
                  kNoBrush);
 }
 
-void BrushGrid::clearAll() {
+AABB2 BrushGrid::clearAll() {
+  const bool hadPaint =
+      std::any_of(texels_.begin(), texels_.end(),
+                  [](std::int8_t t) { return t != kNoBrush; });
   std::fill(texels_.begin(), texels_.end(), kNoBrush);
+  return hadPaint ? bounds() : AABB2{};
 }
 
-void BrushGrid::clearBrush(std::int8_t brushIndex) {
-  for (auto& t : texels_) {
-    if (t == brushIndex) t = kNoBrush;
+AABB2 BrushGrid::clearBrush(std::int8_t brushIndex) {
+  int tx0 = resolution_, ty0 = resolution_, tx1 = -1, ty1 = -1;
+  for (int ty = 0; ty < resolution_; ++ty) {
+    for (int tx = 0; tx < resolution_; ++tx) {
+      auto& t = texels_[static_cast<std::size_t>(ty) *
+                            static_cast<std::size_t>(resolution_) +
+                        static_cast<std::size_t>(tx)];
+      if (t == brushIndex) {
+        t = kNoBrush;
+        tx0 = std::min(tx0, tx);
+        ty0 = std::min(ty0, ty);
+        tx1 = std::max(tx1, tx);
+        ty1 = std::max(ty1, ty);
+      }
+    }
   }
+  return tx1 >= tx0 ? texelRect(tx0, ty0, tx1, ty1) : AABB2{};
 }
 
 int BrushGrid::toTexel(float cm) const {
@@ -29,13 +46,22 @@ int BrushGrid::toTexel(float cm) const {
       std::floor((cm + arenaRadiusCm_) / texelSizeCm_));
 }
 
-void BrushGrid::paint(const BrushStroke& stroke) {
+AABB2 BrushGrid::texelRect(int tx0, int ty0, int tx1, int ty1) const {
+  return AABB2::of(
+      {static_cast<float>(tx0) * texelSizeCm_ - arenaRadiusCm_,
+       static_cast<float>(ty0) * texelSizeCm_ - arenaRadiusCm_},
+      {static_cast<float>(tx1 + 1) * texelSizeCm_ - arenaRadiusCm_,
+       static_cast<float>(ty1 + 1) * texelSizeCm_ - arenaRadiusCm_});
+}
+
+AABB2 BrushGrid::paint(const BrushStroke& stroke) {
   const int x0 = std::max(0, toTexel(stroke.centerCm.x - stroke.radiusCm));
   const int x1 = std::min(resolution_ - 1,
                           toTexel(stroke.centerCm.x + stroke.radiusCm));
   const int y0 = std::max(0, toTexel(stroke.centerCm.y - stroke.radiusCm));
   const int y1 = std::min(resolution_ - 1,
                           toTexel(stroke.centerCm.y + stroke.radiusCm));
+  if (x0 > x1 || y0 > y1) return AABB2{};
   const float r2 = stroke.radiusCm * stroke.radiusCm;
   for (int ty = y0; ty <= y1; ++ty) {
     for (int tx = x0; tx <= x1; ++tx) {
@@ -53,6 +79,7 @@ void BrushGrid::paint(const BrushStroke& stroke) {
       }
     }
   }
+  return texelRect(x0, y0, x1, y1);
 }
 
 std::int8_t BrushGrid::brushAt(Vec2 arenaCm) const {
@@ -76,20 +103,34 @@ float BrushGrid::paintedAreaCm2(std::int8_t brushIndex) const {
   return static_cast<float>(count) * texelSizeCm_ * texelSizeCm_;
 }
 
-void BrushCanvas::addStroke(const BrushStroke& stroke) {
+AABB2 BrushCanvas::addStroke(const BrushStroke& stroke) {
   strokes_.push_back(stroke);
-  grid_.paint(stroke);
+  return grid_.paint(stroke);
 }
 
-void BrushCanvas::clear(std::int8_t brushIndex) {
-  if (brushIndex == kNoBrush) {
-    strokes_.clear();
-  } else {
-    std::erase_if(strokes_, [brushIndex](const BrushStroke& s) {
-      return s.brushIndex == brushIndex;
-    });
-  }
+AABB2 BrushCanvas::clear(std::int8_t brushIndex) {
+  // kNoBrush is the single wildcard. Any other negative index cannot name
+  // a stroke (paint never stores them), so reject it explicitly instead of
+  // silently behaving like a second wildcard.
+  if (brushIndex < 0 && brushIndex != kNoBrush) return AABB2{};
+
+  AABB2 dirty;
+  std::erase_if(strokes_, [&](const BrushStroke& s) {
+    if (brushIndex != kNoBrush && s.brushIndex != brushIndex) return false;
+    dirty.expand(AABB2::of(s.centerCm - Vec2{s.radiusCm, s.radiusCm},
+                           s.centerCm + Vec2{s.radiusCm, s.radiusCm}));
+    return true;
+  });
+  if (!dirty.valid()) return AABB2{};  // no-op: nothing matched
+
   rebuild();
+  // Clip to the grid: paint outside it never rasterized anywhere.
+  const AABB2 gb = grid_.bounds();
+  dirty.min.x = std::max(dirty.min.x, gb.min.x);
+  dirty.min.y = std::max(dirty.min.y, gb.min.y);
+  dirty.max.x = std::min(dirty.max.x, gb.max.x);
+  dirty.max.y = std::min(dirty.max.y, gb.max.y);
+  return dirty.valid() ? dirty : AABB2{};
 }
 
 void BrushCanvas::rebuild() {

@@ -10,6 +10,11 @@
 //   * the BrushGrid — a rasterized arena-space mask (like the pixels the
 //     real app painted), giving O(1) point lookups during query
 //     evaluation. Later strokes overwrite earlier ones, like paint.
+//
+// Every mutation reports the arena-space rect it touched. The incremental
+// query engine (core/queryengine) feeds those dirty rects into its
+// invalidation pass so a localized dab re-classifies only trajectories
+// that visit the edited region.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +25,8 @@
 
 namespace svq::core {
 
-/// No brush covers this point/cell.
+/// No brush covers this point/cell. Also the *only* wildcard accepted by
+/// BrushCanvas::clear ("clear everything").
 inline constexpr std::int8_t kNoBrush = -1;
 
 /// One painted dab.
@@ -39,11 +45,24 @@ class BrushGrid {
   float arenaRadiusCm() const { return arenaRadiusCm_; }
   int resolution() const { return resolution_; }
 
-  void clearAll();
-  void clearBrush(std::int8_t brushIndex);
+  /// Arena-space extent of the whole grid.
+  AABB2 bounds() const {
+    return AABB2::of({-arenaRadiusCm_, -arenaRadiusCm_},
+                     {arenaRadiusCm_, arenaRadiusCm_});
+  }
 
-  /// Paints one disc (later paint overwrites earlier).
-  void paint(const BrushStroke& stroke);
+  /// Clears every texel. Returns the dirty rect: the whole grid if any
+  /// paint was removed, an invalid AABB if the grid was already clean.
+  AABB2 clearAll();
+
+  /// Clears one brush's texels. Returns the tight arena-space rect of the
+  /// removed texels (invalid AABB if the brush had no paint).
+  AABB2 clearBrush(std::int8_t brushIndex);
+
+  /// Paints one disc (later paint overwrites earlier). Returns the
+  /// arena-space rect of the touched texels, clipped to the grid (invalid
+  /// AABB when the stroke lands entirely outside).
+  AABB2 paint(const BrushStroke& stroke);
 
   /// Brush index covering an arena point, or kNoBrush. Points outside the
   /// grid return kNoBrush.
@@ -60,6 +79,8 @@ class BrushGrid {
 
  private:
   int toTexel(float cm) const;
+  /// Arena-cm rect covering texels [tx0, tx1] x [ty0, ty1].
+  AABB2 texelRect(int tx0, int ty0, int tx1, int ty1) const;
 
   float arenaRadiusCm_;
   int resolution_;
@@ -76,10 +97,18 @@ class BrushCanvas {
   const BrushGrid& grid() const { return grid_; }
   const std::vector<BrushStroke>& strokes() const { return strokes_; }
 
-  void addStroke(const BrushStroke& stroke);
-  /// Removes strokes of one brush (255/kNoBrush-style wildcard = all) and
-  /// re-rasterizes the survivors.
-  void clear(std::int8_t brushIndex = kNoBrush);
+  /// Adds one stroke and rasterizes it. Returns the arena-space dirty rect
+  /// (invalid AABB when the stroke lands entirely outside the grid).
+  AABB2 addStroke(const BrushStroke& stroke);
+
+  /// Removes strokes and re-rasterizes the survivors.
+  ///
+  /// Wildcard contract: kNoBrush (and only kNoBrush) means "all brushes".
+  /// Any other negative index is out of range — no stroke can carry it —
+  /// and the call is an explicit no-op. A valid index with no strokes is
+  /// likewise a no-op. Returns the arena-space dirty rect covering every
+  /// removed stroke (invalid AABB for a no-op).
+  AABB2 clear(std::int8_t brushIndex = kNoBrush);
 
   bool empty() const { return strokes_.empty(); }
 

@@ -26,7 +26,7 @@ std::vector<traj::Trajectory> SomExplorer::clusterAverages() const {
 QueryResult SomExplorer::queryClusters(const BrushGrid& brush,
                                        const QueryParams& params) const {
   const auto averages = clusterAverages();
-  return evaluateQueryOver(averages, brush, params);
+  return evaluate(makeRefs(averages), brush, params);
 }
 
 std::vector<std::uint32_t> SomExplorer::drillDown(
@@ -39,7 +39,7 @@ QueryResult SomExplorer::queryClusterMembers(std::uint32_t nodeIndex,
                                              const BrushGrid& brush,
                                              const QueryParams& params) const {
   const auto members = drillDown(nodeIndex);
-  return evaluateQuery(*dataset_, members, brush, params);
+  return evaluate(makeRefs(*dataset_, members), brush, params);
 }
 
 float SomExplorer::clusterQueryFidelity(const BrushGrid& brush,

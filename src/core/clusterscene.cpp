@@ -66,7 +66,7 @@ ClusterOverviewScene buildClusterOverview(const SomExplorer& explorer,
   if (brush != nullptr) {
     QueryParams params;
     params.timeWindow = options.timeWindow;
-    query = evaluateQueryOver(out.averagesDataset.all(), *brush, params);
+    query = evaluate(makeRefs(out.averagesDataset.all()), *brush, params);
   }
 
   out.scene = sceneSkeleton(options, explorer.dataset().arena().radiusCm);
@@ -113,7 +113,7 @@ render::SceneModel buildClusterDrillDown(const SomExplorer& explorer,
   if (brush != nullptr) {
     QueryParams params;
     params.timeWindow = options.timeWindow;
-    query = evaluateQuery(explorer.dataset(), members, *brush, params);
+    query = evaluate(makeRefs(explorer.dataset(), members), *brush, params);
   }
 
   render::SceneModel scene =

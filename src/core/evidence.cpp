@@ -7,7 +7,7 @@ namespace svq::core {
 
 std::string describeTarget(const AnnotationTarget& target) {
   struct Visitor {
-    std::string operator()(const TrajectoryRef& r) {
+    std::string operator()(const TrajectoryTarget& r) {
       return "trajectory #" + std::to_string(r.index);
     }
     std::string operator()(const GroupRef& r) {
@@ -67,7 +67,7 @@ std::vector<const Annotation*> EvidenceFile::onTrajectory(
     std::uint32_t index) const {
   std::vector<const Annotation*> out;
   for (const Annotation& a : annotations_) {
-    if (const auto* ref = std::get_if<TrajectoryRef>(&a.target)) {
+    if (const auto* ref = std::get_if<TrajectoryTarget>(&a.target)) {
       if (ref->index == index) out.push_back(&a);
     }
   }

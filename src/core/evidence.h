@@ -29,10 +29,11 @@ namespace svq::core {
 
 // --- annotation targets ----------------------------------------------------
 
-/// The annotation points at one trajectory (dataset index).
-struct TrajectoryRef {
+/// The annotation points at one trajectory (dataset index). Distinct from
+/// core::TrajectoryRef (query.h), which is a non-owning evaluation view.
+struct TrajectoryTarget {
   std::uint32_t index = 0;
-  bool operator==(const TrajectoryRef&) const = default;
+  bool operator==(const TrajectoryTarget&) const = default;
 };
 
 /// ... at a whole trajectory group.
@@ -54,7 +55,7 @@ struct SessionRef {
 };
 
 using AnnotationTarget =
-    std::variant<TrajectoryRef, GroupRef, RegionRef, SessionRef>;
+    std::variant<TrajectoryTarget, GroupRef, RegionRef, SessionRef>;
 
 std::string describeTarget(const AnnotationTarget& target);
 

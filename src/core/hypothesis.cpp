@@ -43,14 +43,14 @@ HypothesisResult evaluateHypothesis(const Hypothesis& h,
   params.timeWindow = h.timeWindow;
 
   const QueryResult popResult =
-      evaluateQuery(dataset, population, canvas.grid(), params);
+      evaluate(makeRefs(dataset, population), canvas.grid(), params);
   std::size_t hits = 0;
   for (const HighlightSummary& s : popResult.summaries) {
     if (h.criterion.satisfiedBy(s)) ++hits;
   }
 
   const QueryResult compResult =
-      evaluateQuery(dataset, complement, canvas.grid(), params);
+      evaluate(makeRefs(dataset, complement), canvas.grid(), params);
   std::size_t compHits = 0;
   for (const HighlightSummary& s : compResult.summaries) {
     if (h.criterion.satisfiedBy(s)) ++compHits;

@@ -4,73 +4,151 @@
 
 namespace svq::core {
 
-void evaluateOne(const traj::Trajectory& t, std::uint32_t index,
-                 const BrushGrid& brush, const QueryParams& params,
-                 std::vector<std::int8_t>& segmentsOut,
-                 HighlightSummary& summaryOut) {
-  const auto pts = t.points();
+namespace {
+
+/// Probes one segment against the brush: both endpoints plus the midpoint
+/// — at the ~3 mm tracking resolution of the dataset a segment is short
+/// relative to any paintable region, so three probes match the
+/// painted-pixel semantics of the original application.
+std::int8_t probeSegment(const BrushGrid& brush, Vec2 a, Vec2 b) {
+  std::int8_t hit = brush.brushAt(a);
+  if (hit == kNoBrush) hit = brush.brushAt(b);
+  if (hit == kNoBrush) hit = brush.brushAt((a + b) * 0.5f);
+  return hit;
+}
+
+/// Window-independent final-position signal: which brush covers the
+/// trajectory's end. The very last sample can sit a step beyond the arena
+/// boundary (the exit crossing), where nothing is painted, so probe the
+/// last few samples walking backwards.
+std::int8_t probeLastSegmentBrush(std::span<const traj::TrajPoint> pts,
+                                  const BrushGrid& brush) {
+  for (std::size_t back = 0; back < 3 && back < pts.size(); ++back) {
+    const std::int8_t b = brush.brushAt(pts[pts.size() - 1 - back].pos);
+    if (b != kNoBrush) return b;
+  }
+  return kNoBrush;
+}
+
+void initSummary(HighlightSummary& summary, std::uint32_t index,
+                 std::size_t brushCount) {
+  summary = HighlightSummary{};
+  summary.trajectoryIndex = index;
+  summary.segmentsPerBrush.assign(brushCount, 0);
+  summary.durationPerBrush.assign(brushCount, 0.0f);
+  summary.firstHitTime.assign(brushCount, -1.0f);
+}
+
+void recordHighlight(HighlightSummary& summary, std::int8_t hit,
+                     const traj::TrajPoint& a, const traj::TrajPoint& b,
+                     std::size_t brushCount) {
+  const auto brushIdx = static_cast<std::size_t>(hit);
+  if (brushIdx < brushCount) {
+    ++summary.segmentsPerBrush[brushIdx];
+    summary.durationPerBrush[brushIdx] += b.t - a.t;
+    if (summary.firstHitTime[brushIdx] < 0.0f) {
+      summary.firstHitTime[brushIdx] = a.t;
+    }
+  }
+}
+
+}  // namespace
+
+void evaluate(const TrajectoryRef& t, const BrushGrid& brush,
+              const QueryParams& params,
+              std::vector<std::int8_t>& segmentsOut,
+              HighlightSummary& summaryOut) {
+  const auto pts = t->points();
   const std::size_t segmentCount = pts.size() >= 2 ? pts.size() - 1 : 0;
   segmentsOut.assign(segmentCount, kNoBrush);
 
-  summaryOut = HighlightSummary{};
-  summaryOut.trajectoryIndex = index;
-  summaryOut.segmentsPerBrush.assign(params.brushCount, 0);
-  summaryOut.durationPerBrush.assign(params.brushCount, 0.0f);
-  summaryOut.firstHitTime.assign(params.brushCount, -1.0f);
+  initSummary(summaryOut, t.index, params.brushCount);
+  summaryOut.lastSegmentBrush = probeLastSegmentBrush(pts, brush);
 
-  // Final-position signal, independent of the temporal window: which brush
-  // covers the trajectory's end. The very last sample can sit a step
-  // beyond the arena boundary (the exit crossing), where nothing is
-  // painted, so probe the last few samples walking backwards.
-  for (std::size_t back = 0; back < 3 && back < pts.size(); ++back) {
-    const std::int8_t b = brush.brushAt(pts[pts.size() - 1 - back].pos);
-    if (b != kNoBrush) {
-      summaryOut.lastSegmentBrush = b;
-      break;
-    }
-  }
-
-  const Vec2 window = params.effectiveWindow(t.duration());
+  const Vec2 window = params.effectiveWindow(t->duration());
   for (std::size_t s = 0; s < segmentCount; ++s) {
     const traj::TrajPoint& a = pts[s];
     const traj::TrajPoint& b = pts[s + 1];
     // Temporal filter: a segment counts when it overlaps the window.
     if (b.t < window.x || a.t > window.y) continue;
-    // Spatial test at both endpoints plus the midpoint — at the ~3 mm
-    // tracking resolution of the dataset a segment is short relative to
-    // any paintable region, so three probes match the painted-pixel
-    // semantics of the original application.
-    std::int8_t hit = brush.brushAt(a.pos);
-    if (hit == kNoBrush) hit = brush.brushAt(b.pos);
-    if (hit == kNoBrush) hit = brush.brushAt((a.pos + b.pos) * 0.5f);
+    const std::int8_t hit = probeSegment(brush, a.pos, b.pos);
     if (hit == kNoBrush) continue;
 
     segmentsOut[s] = hit;
-    const auto brushIdx = static_cast<std::size_t>(hit);
-    if (brushIdx < params.brushCount) {
-      ++summaryOut.segmentsPerBrush[brushIdx];
-      summaryOut.durationPerBrush[brushIdx] += b.t - a.t;
-      if (summaryOut.firstHitTime[brushIdx] < 0.0f) {
-        summaryOut.firstHitTime[brushIdx] = a.t;
-      }
-    }
+    recordHighlight(summaryOut, hit, a, b, params.brushCount);
   }
 }
 
-namespace {
+void classifySpatial(const traj::Trajectory& t, const BrushGrid& brush,
+                     std::vector<std::int8_t>& spatialOut,
+                     std::int8_t& lastSegmentBrushOut) {
+  const auto pts = t.points();
+  const std::size_t segmentCount = pts.size() >= 2 ? pts.size() - 1 : 0;
+  spatialOut.assign(segmentCount, kNoBrush);
+  lastSegmentBrushOut = probeLastSegmentBrush(pts, brush);
+  for (std::size_t s = 0; s < segmentCount; ++s) {
+    spatialOut[s] = probeSegment(brush, pts[s].pos, pts[s + 1].pos);
+  }
+}
 
-template <typename GetTraj>
-QueryResult evaluateImpl(GetTraj getTraj, std::size_t count,
-                         const BrushGrid& brush, const QueryParams& params) {
+void applyTemporalMask(const traj::Trajectory& t, std::uint32_t index,
+                       std::span<const std::int8_t> spatialHits,
+                       std::int8_t lastSegmentBrush,
+                       const QueryParams& params,
+                       std::vector<std::int8_t>& segmentsOut,
+                       HighlightSummary& summaryOut) {
+  const auto pts = t.points();
+  const std::size_t segmentCount = pts.size() >= 2 ? pts.size() - 1 : 0;
+  segmentsOut.assign(segmentCount, kNoBrush);
+
+  initSummary(summaryOut, index, params.brushCount);
+  summaryOut.lastSegmentBrush = lastSegmentBrush;
+
+  const Vec2 window = params.effectiveWindow(t.duration());
+  const std::size_t n = std::min(segmentCount, spatialHits.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::int8_t hit = spatialHits[s];
+    if (hit == kNoBrush) continue;
+    const traj::TrajPoint& a = pts[s];
+    const traj::TrajPoint& b = pts[s + 1];
+    if (b.t < window.x || a.t > window.y) continue;
+
+    segmentsOut[s] = hit;
+    recordHighlight(summaryOut, hit, a, b, params.brushCount);
+  }
+}
+
+std::vector<TrajectoryRef> makeRefs(const traj::TrajectoryDataset& dataset,
+                                    std::span<const std::uint32_t> indices) {
+  std::vector<TrajectoryRef> refs;
+  refs.reserve(indices.size());
+  for (std::uint32_t index : indices) {
+    refs.push_back({&dataset[index], index});
+  }
+  return refs;
+}
+
+std::vector<TrajectoryRef> makeRefs(
+    std::span<const traj::Trajectory> trajectories) {
+  std::vector<TrajectoryRef> refs;
+  refs.reserve(trajectories.size());
+  for (std::size_t i = 0; i < trajectories.size(); ++i) {
+    refs.push_back({&trajectories[i], static_cast<std::uint32_t>(i)});
+  }
+  return refs;
+}
+
+QueryResult evaluate(std::span<const TrajectoryRef> trajectories,
+                     const BrushGrid& brush, const QueryParams& params) {
+  const std::size_t count = trajectories.size();
   QueryResult result;
   result.segmentHighlights.resize(count);
   result.summaries.resize(count);
   result.trajectoriesEvaluated = count;
 
   auto body = [&](std::size_t i) {
-    const auto& [t, index] = getTraj(i);
-    evaluateOne(*t, index, brush, params, result.segmentHighlights[i],
-                result.summaries[i]);
+    evaluate(trajectories[i], brush, params, result.segmentHighlights[i],
+             result.summaries[i]);
   };
 
   if (params.parallel) {
@@ -91,28 +169,25 @@ QueryResult evaluateImpl(GetTraj getTraj, std::size_t count,
   return result;
 }
 
-}  // namespace
+// --- deprecated wrappers ----------------------------------------------------
 
 QueryResult evaluateQuery(const traj::TrajectoryDataset& dataset,
                           std::span<const std::uint32_t> indices,
                           const BrushGrid& brush, const QueryParams& params) {
-  return evaluateImpl(
-      [&](std::size_t i) {
-        return std::pair<const traj::Trajectory*, std::uint32_t>(
-            &dataset[indices[i]], indices[i]);
-      },
-      indices.size(), brush, params);
+  return evaluate(makeRefs(dataset, indices), brush, params);
 }
 
 QueryResult evaluateQueryOver(std::span<const traj::Trajectory> trajectories,
                               const BrushGrid& brush,
                               const QueryParams& params) {
-  return evaluateImpl(
-      [&](std::size_t i) {
-        return std::pair<const traj::Trajectory*, std::uint32_t>(
-            &trajectories[i], static_cast<std::uint32_t>(i));
-      },
-      trajectories.size(), brush, params);
+  return evaluate(makeRefs(trajectories), brush, params);
+}
+
+void evaluateOne(const traj::Trajectory& t, std::uint32_t index,
+                 const BrushGrid& brush, const QueryParams& params,
+                 std::vector<std::int8_t>& segmentsOut,
+                 HighlightSummary& summaryOut) {
+  evaluate(TrajectoryRef{&t, index}, brush, params, segmentsOut, summaryOut);
 }
 
 }  // namespace svq::core

@@ -1,4 +1,4 @@
-// query.h — the scalable visual query engine.
+// query.h — the scalable visual query engine (stateless surface).
 //
 // A visual query = brush mask (where) x temporal window (when), evaluated
 // against every displayed trajectory simultaneously. The engine computes,
@@ -7,9 +7,18 @@
 // displayed trajectories [are] highlighted when the insect moves over a
 // brushed area".
 //
+// Every evaluation flows through ONE code path: a span of TrajectoryRef
+// views. Datasets, displayed subsets, cluster averages and single
+// trajectories are all just different ways of building that span. The
+// legacy evaluateQuery / evaluateQueryOver / evaluateOne entry points
+// survive as [[deprecated]] forwarding wrappers.
+//
 // Evaluation is embarrassingly parallel over trajectories and linear in
 // the number of samples — this is the property that lets a query "cover"
 // 432 cells in interactive time and scale to cluster-level exploration.
+// For *incremental* evaluation with caching and dirty-region invalidation
+// see core/queryengine.h, which builds on the spatial/temporal factoring
+// primitives (classifySpatial / applyTemporalMask) declared here.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +74,8 @@ struct QueryResult {
   std::size_t trajectoriesHighlighted = 0;
   std::size_t totalSegmentsEvaluated = 0;
   std::size_t totalSegmentsHighlighted = 0;
+  /// Monotonic stamp set by the incremental engine (0 = one-shot result).
+  std::uint64_t generation = 0;
 };
 
 /// Engine configuration.
@@ -83,6 +94,8 @@ struct QueryParams {
   bool parallel = true;
 
   /// The effective absolute window for a trajectory of given duration.
+  /// Disjoint absolute/relative windows yield an empty (inverted) window
+  /// that matches no segment.
   Vec2 effectiveWindow(float durationS) const {
     Vec2 w = timeWindow;
     if (relativeWindow) {
@@ -93,20 +106,79 @@ struct QueryParams {
   }
 };
 
+/// Lightweight non-owning view of one trajectory to evaluate, tagged with
+/// the index reported in its HighlightSummary. This is the unit every
+/// query entry point operates on: datasets, cluster averages and single
+/// trajectories all become spans of TrajectoryRef.
+struct TrajectoryRef {
+  const traj::Trajectory* trajectory = nullptr;
+  std::uint32_t index = 0;
+
+  const traj::Trajectory& operator*() const { return *trajectory; }
+  const traj::Trajectory* operator->() const { return trajectory; }
+};
+
+/// Refs for dataset[indices[i]], in `indices` order (e.g. the displayed
+/// subset). The dataset must outlive the refs.
+std::vector<TrajectoryRef> makeRefs(const traj::TrajectoryDataset& dataset,
+                                    std::span<const std::uint32_t> indices);
+
+/// Refs for a plain trajectory array (cluster averages, tests); summary
+/// indices are array positions. The array must outlive the refs.
+std::vector<TrajectoryRef> makeRefs(
+    std::span<const traj::Trajectory> trajectories);
+
+/// Evaluates the brush mask against the referenced trajectories; results
+/// are ordered like `trajectories`. The single stateless entry point.
+QueryResult evaluate(std::span<const TrajectoryRef> trajectories,
+                     const BrushGrid& brush, const QueryParams& params);
+
+/// Evaluates one trajectory through the same code path.
+void evaluate(const TrajectoryRef& t, const BrushGrid& brush,
+              const QueryParams& params,
+              std::vector<std::int8_t>& segmentsOut,
+              HighlightSummary& summaryOut);
+
+// --- spatial/temporal factoring -------------------------------------------
+// A query's spatial half (which brush covers each segment) is independent
+// of the temporal window, and the temporal half (which segments fall in
+// the window) is independent of the brush. The incremental engine caches
+// the expensive spatial half and re-runs only the cheap temporal mask when
+// the analyst drags the range slider.
+
+/// Classifies every segment against the brush, ignoring the temporal
+/// window: spatialOut[s] = brush index (or kNoBrush) from the same
+/// endpoint+midpoint probes the fused path uses. Also extracts the
+/// window-independent last-segment brush.
+void classifySpatial(const traj::Trajectory& t, const BrushGrid& brush,
+                     std::vector<std::int8_t>& spatialOut,
+                     std::int8_t& lastSegmentBrushOut);
+
+/// Masks a precomputed spatial classification with the temporal window and
+/// rebuilds the summary. Equivalent to evaluate() given the same brush.
+void applyTemporalMask(const traj::Trajectory& t, std::uint32_t index,
+                       std::span<const std::int8_t> spatialHits,
+                       std::int8_t lastSegmentBrush,
+                       const QueryParams& params,
+                       std::vector<std::int8_t>& segmentsOut,
+                       HighlightSummary& summaryOut);
+
+// --- deprecated wrappers ----------------------------------------------------
+
 /// Evaluates the brush mask against the listed trajectories.
-/// `indices` selects dataset trajectories (e.g. the displayed subset);
-/// results are ordered like `indices`.
+[[deprecated("use evaluate(makeRefs(dataset, indices), brush, params)")]]
 QueryResult evaluateQuery(const traj::TrajectoryDataset& dataset,
                           std::span<const std::uint32_t> indices,
                           const BrushGrid& brush, const QueryParams& params);
 
 /// Evaluates against a plain trajectory array (cluster averages, tests).
+[[deprecated("use evaluate(makeRefs(trajectories), brush, params)")]]
 QueryResult evaluateQueryOver(std::span<const traj::Trajectory> trajectories,
                               const BrushGrid& brush,
                               const QueryParams& params);
 
-/// Evaluates one trajectory (exposed for unit tests); the summary's
-/// trajectoryIndex is set to `index`.
+/// Evaluates one trajectory; the summary's trajectoryIndex is `index`.
+[[deprecated("use evaluate(TrajectoryRef{&t, index}, brush, params, ...)")]]
 void evaluateOne(const traj::Trajectory& t, std::uint32_t index,
                  const BrushGrid& brush, const QueryParams& params,
                  std::vector<std::int8_t>& segmentsOut,

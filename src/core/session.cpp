@@ -12,7 +12,9 @@ VisualQueryApp::VisualQueryApp(const traj::TrajectoryDataset& dataset,
       wallSpec_(wallSpec),
       presets_(paperLayoutPresets()),
       brushCanvas_(dataset.arena().radiusCm),
-      timeWindow_(0.0f, std::max(1.0f, dataset.maxDuration())) {
+      timeWindow_(0.0f, std::max(1.0f, dataset.maxDuration())),
+      lastQuery_(std::make_shared<const QueryResult>()) {
+  queryEngine_.setBrush(&brushCanvas_.grid());
   recomputeLayout();
 }
 
@@ -43,14 +45,16 @@ bool VisualQueryApp::apply(const ui::Event& event) {
     VisualQueryApp& app;
 
     bool operator()(const ui::BrushStrokeEvent& e) {
-      app.brushCanvas_.addStroke(BrushStroke{
+      const AABB2 dirty = app.brushCanvas_.addStroke(BrushStroke{
           static_cast<std::int8_t>(e.brushIndex), e.centerCm, e.radiusCm});
+      app.queryEngine_.invalidateRegion(dirty);
       return true;
     }
     bool operator()(const ui::BrushClearEvent& e) {
-      app.brushCanvas_.clear(e.brushIndex == 255
-                                 ? kNoBrush
-                                 : static_cast<std::int8_t>(e.brushIndex));
+      const AABB2 dirty = app.brushCanvas_.clear(
+          e.brushIndex == 255 ? kNoBrush
+                              : static_cast<std::int8_t>(e.brushIndex));
+      app.queryEngine_.invalidateRegion(dirty);
       return true;
     }
     bool operator()(const ui::TimeWindowEvent& e) {
@@ -123,19 +127,32 @@ render::SceneModel VisualQueryApp::buildScene() {
     }
   }
 
-  QueryParams params;
+  // Keep the engine bound to the displayed set and the canvas grid (the
+  // grid pointer only changes if the app object itself was relocated).
+  if (displayed != boundDisplayed_) {
+    queryEngine_.setTrajectories(*dataset_, displayed);
+    boundDisplayed_ = displayed;
+  }
+  if (queryEngine_.brush() != &brushCanvas_.grid()) {
+    queryEngine_.setBrush(&brushCanvas_.grid());
+  }
+  QueryParams params = queryEngine_.params();
   params.timeWindow = {timeWindow_.lo(), timeWindow_.hi()};
+  queryEngine_.setParams(params);
+
   if (brushCanvas_.empty()) {
-    lastQuery_ = QueryResult{};
+    // Nothing painted: skip evaluation entirely (and report an untouched
+    // result, preserving the "no query ran" contract).
+    lastQuery_ = std::make_shared<const QueryResult>();
   } else {
-    lastQuery_ = evaluateQuery(*dataset_, displayed, brushCanvas_.grid(),
-                               params);
+    lastQuery_ = queryEngine_.evaluate();
   }
 
   render::SceneModel scene;
   scene.arenaRadiusCm = dataset_->arena().radiusCm;
   scene.timeWindow = {timeWindow_.lo(), timeWindow_.hi()};
   scene.stereo = stereoSettings();
+  scene.queryGeneration = lastQuery_->generation;
   scene.cells.reserve(displayed.size());
 
   for (std::size_t di = 0; di < displayed.size(); ++di) {
@@ -146,8 +163,8 @@ render::SceneModel VisualQueryApp::buildScene() {
     cell.trajectoryIndex = displayed[di];
     cell.rect = layout_.cellRect(cx, cy);
     cell.background = assignment_.cells[ci].background;
-    if (!brushCanvas_.empty() && di < lastQuery_.segmentHighlights.size()) {
-      cell.segmentHighlights = lastQuery_.segmentHighlights[di];
+    if (!brushCanvas_.empty() && di < lastQuery_->segmentHighlights.size()) {
+      cell.segmentHighlights = lastQuery_->segmentHighlights[di];
     }
     scene.cells.push_back(std::move(cell));
   }

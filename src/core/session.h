@@ -11,10 +11,13 @@
 #include <optional>
 #include <vector>
 
+#include <memory>
+
 #include "core/brush.h"
 #include "core/groups.h"
 #include "core/layout.h"
 #include "core/query.h"
+#include "core/queryengine.h"
 #include "render/scene.h"
 #include "traj/dataset.h"
 #include "ui/controls.h"
@@ -66,10 +69,18 @@ class VisualQueryApp {
 
   /// Evaluates the coordinated-brush query for the displayed trajectories
   /// (empty brush = no highlights) and builds the frame's scene model.
+  /// Evaluation is incremental: brush events report dirty regions to the
+  /// query engine, which re-classifies only the trajectories they touch.
   render::SceneModel buildScene();
 
   /// The query result backing the last buildScene() call.
-  const QueryResult& lastQueryResult() const { return lastQuery_; }
+  const QueryResult& lastQueryResult() const { return *lastQuery_; }
+
+  /// The incremental engine's counters (invalidation, cache hits, pass
+  /// latency) — exposed for benchmarks and diagnostics.
+  const QueryEngineMetrics& queryMetrics() const {
+    return queryEngine_.metrics();
+  }
 
   /// Frame counter (increments per buildScene).
   std::uint64_t frameIndex() const { return frameIndex_; }
@@ -88,7 +99,9 @@ class VisualQueryApp {
   BrushCanvas brushCanvas_;
   ui::RangeSlider timeWindow_;
   ui::StereoControls stereoControls_;
-  QueryResult lastQuery_;
+  QueryEngine queryEngine_;
+  std::vector<std::uint32_t> boundDisplayed_;  ///< set the engine is bound to
+  std::shared_ptr<const QueryResult> lastQuery_;
   std::uint64_t frameIndex_ = 0;
 };
 

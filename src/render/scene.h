@@ -40,6 +40,9 @@ struct SceneModel {
   /// Temporal filter [t0, t1]; {0, +inf} means no filtering.
   Vec2 timeWindow{0.0f, 1e9f};
   TrajectoryStyle style;
+  /// Generation of the query result the highlights came from (0 = none /
+  /// one-shot). Lets render nodes detect highlight-only frame changes.
+  std::uint64_t queryGeneration = 0;
   bool drawArenaOutline = true;
   bool drawCellBorder = true;
   Color wallBackground = colors::kBlack;

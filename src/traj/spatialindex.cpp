@@ -1,0 +1,76 @@
+#include "traj/spatialindex.h"
+
+#include <algorithm>
+
+namespace svq::traj {
+
+namespace {
+
+/// Coarse cell coordinate of `v` along one frame axis, clamped to [0, 7].
+int cellOf(float v, float lo, float extent) {
+  if (extent <= 0.0f) return 0;
+  const float u = (v - lo) / extent;
+  const int c = static_cast<int>(u * static_cast<float>(kFootprintGridSide));
+  return std::clamp(c, 0, kFootprintGridSide - 1);
+}
+
+std::uint64_t cellRangeMask(int x0, int x1, int y0, int y1) {
+  std::uint64_t mask = 0;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      mask |= std::uint64_t{1} << (y * kFootprintGridSide + x);
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+SpatialFootprint computeFootprint(const Trajectory& t, const AABB2& frame) {
+  SpatialFootprint fp;
+  const auto pts = t.points();
+  if (pts.empty() || !frame.valid()) return fp;
+
+  const Vec2 extent = frame.size();
+  for (const TrajPoint& p : pts) fp.bounds.expand(p.pos);
+
+  if (pts.size() == 1) {
+    fp.occupancy = cellRangeMask(cellOf(pts[0].pos.x, frame.min.x, extent.x),
+                                 cellOf(pts[0].pos.x, frame.min.x, extent.x),
+                                 cellOf(pts[0].pos.y, frame.min.y, extent.y),
+                                 cellOf(pts[0].pos.y, frame.min.y, extent.y));
+    return fp;
+  }
+
+  for (std::size_t s = 0; s + 1 < pts.size(); ++s) {
+    const Vec2 a = pts[s].pos;
+    const Vec2 b = pts[s + 1].pos;
+    // Mark the whole cell-rect spanned by the segment's endpoints so a
+    // diagonal hop cannot leave an unmarked gap a midpoint probe could
+    // land in. Segments are short relative to the 1/8-frame cells, so
+    // this rect is almost always 1, 2 or 4 cells.
+    const int ax = cellOf(a.x, frame.min.x, extent.x);
+    const int bx = cellOf(b.x, frame.min.x, extent.x);
+    const int ay = cellOf(a.y, frame.min.y, extent.y);
+    const int by = cellOf(b.y, frame.min.y, extent.y);
+    fp.occupancy |= cellRangeMask(std::min(ax, bx), std::max(ax, bx),
+                                  std::min(ay, by), std::max(ay, by));
+  }
+  return fp;
+}
+
+std::uint64_t rectOccupancyMask(const AABB2& rect, const AABB2& frame) {
+  if (!rect.valid() || !frame.valid()) return 0;
+  // Reject rects entirely outside the frame; clamp partial overlaps.
+  if (rect.max.x < frame.min.x || rect.min.x > frame.max.x ||
+      rect.max.y < frame.min.y || rect.min.y > frame.max.y) {
+    return 0;
+  }
+  const Vec2 extent = frame.size();
+  return cellRangeMask(cellOf(rect.min.x, frame.min.x, extent.x),
+                       cellOf(rect.max.x, frame.min.x, extent.x),
+                       cellOf(rect.min.y, frame.min.y, extent.y),
+                       cellOf(rect.max.y, frame.min.y, extent.y));
+}
+
+}  // namespace svq::traj

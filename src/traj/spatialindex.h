@@ -1,0 +1,56 @@
+// spatialindex.h — coarse per-trajectory spatial footprints.
+//
+// The incremental query engine (core/queryengine) re-classifies a
+// trajectory only when a brush edit touches arena space the trajectory
+// actually visits. Two precomputed summaries make that test O(1):
+//
+//   * a tight 2D AABB over all samples, and
+//   * an 8x8 occupancy bitmask over a fixed reference frame (one bit per
+//     coarse arena cell the polyline passes through).
+//
+// The bitmask refines the AABB for the common case of an L-shaped or
+// circling path whose box covers half the arena while the path itself
+// leaves most of it empty. Both tests are conservative: they may report
+// a possible intersection where there is none, but never miss a real one.
+#pragma once
+
+#include <cstdint>
+
+#include "traj/trajectory.h"
+#include "util/geometry.h"
+
+namespace svq::traj {
+
+/// Coarse spatial summary of one trajectory relative to a reference frame
+/// (normally the arena bounds). Value type; cheap to copy.
+struct SpatialFootprint {
+  /// Tight bounds over all samples. Invalid for empty trajectories.
+  AABB2 bounds;
+  /// 8x8 occupancy bitmask over the frame, bit (y*8+x) set iff some
+  /// segment of the trajectory overlaps coarse cell (x, y). Samples
+  /// outside the frame are clamped to the border cells (conservative).
+  std::uint64_t occupancy = 0;
+};
+
+/// Side length of the occupancy lattice (occupancy is kGridSide^2 bits).
+inline constexpr int kFootprintGridSide = 8;
+
+/// Computes the footprint of `t` over `frame`. Every segment marks the
+/// whole cell-range spanned by its two endpoints, so a segment crossing a
+/// cell it has no sample in still sets that cell's bit.
+SpatialFootprint computeFootprint(const Trajectory& t, const AABB2& frame);
+
+/// Bitmask of every coarse cell overlapping `rect` (clamped to the frame).
+/// Invalid/empty rects yield 0.
+std::uint64_t rectOccupancyMask(const AABB2& rect, const AABB2& frame);
+
+/// Conservative intersection test: false only when the trajectory provably
+/// avoids `rect`. `rectMask` must be rectOccupancyMask(rect, frame) for
+/// the same frame the footprint was computed with.
+inline bool footprintMayIntersect(const SpatialFootprint& fp,
+                                  const AABB2& rect,
+                                  std::uint64_t rectMask) {
+  return fp.bounds.intersects(rect) && (fp.occupancy & rectMask) != 0;
+}
+
+}  // namespace svq::traj

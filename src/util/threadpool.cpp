@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 namespace svq {
+
+namespace {
+/// Pool whose workerLoop owns the current thread (nullptr on non-workers).
+thread_local const ThreadPool* currentWorkerPool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -38,7 +44,10 @@ void ThreadPool::wait() {
   allDone_.wait(lock, [this] { return inFlight_ == 0; });
 }
 
+bool ThreadPool::onWorkerThread() const { return currentWorkerPool == this; }
+
 void ThreadPool::workerLoop() {
+  currentWorkerPool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -71,6 +80,14 @@ void ThreadPool::parallelForChunks(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t grain) {
+  if (onWorkerThread()) {
+    // A worker blocking on chunks that may only ever be queued behind the
+    // task it is currently running can never make progress. Fail fast
+    // instead of deadlocking silently.
+    throw std::logic_error(
+        "ThreadPool: nested parallelFor from a worker thread would "
+        "deadlock; run the inner loop sequentially");
+  }
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t parts = std::max<std::size_t>(

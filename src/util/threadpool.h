@@ -20,9 +20,11 @@ namespace svq {
 
 /// Fixed-size worker pool with a blocking parallel-for primitive.
 ///
-/// Thread-safe: submit()/parallelFor() may be called from any thread, but
-/// nested parallelFor from inside a worker deadlocks by design (documented
-/// precondition) — run nested loops sequentially instead.
+/// Thread-safe: submit()/parallelFor() may be called from any thread
+/// EXCEPT this pool's own workers. A nested parallelFor from inside a
+/// worker would deadlock (the caller blocks on chunks that can only run
+/// on the thread doing the blocking), so it is detected and rejected with
+/// std::logic_error — run nested loops sequentially instead.
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
@@ -49,9 +51,15 @@ class ThreadPool {
 
   /// Chunked variant: body receives [chunkBegin, chunkEnd) so callers can
   /// hoist per-chunk state (e.g. an Rng or scratch buffer).
+  /// Throws std::logic_error when called from one of this pool's own
+  /// workers (nested parallelFor would deadlock).
   void parallelForChunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& body,
                          std::size_t grain = 1);
+
+  /// True iff the calling thread is one of this pool's workers — i.e. a
+  /// parallelFor here would be a (rejected) nested call.
+  bool onWorkerThread() const;
 
   /// Process-wide default pool (sized to hardware concurrency).
   static ThreadPool& global();

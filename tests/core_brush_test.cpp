@@ -95,6 +95,89 @@ TEST(BrushCanvasTest, ClearAllRemovesEverything) {
   EXPECT_EQ(canvas.grid().brushAt({0, 0}), kNoBrush);
 }
 
+// Wildcard-contract regression: kNoBrush is the ONLY wildcard; any other
+// negative index must be an explicit no-op, not a second "clear all".
+TEST(BrushCanvasTest, ClearRejectsOutOfRangeNegativeIndex) {
+  BrushCanvas canvas(50.0f, 64);
+  canvas.addStroke({0, {0, 0}, 5.0f});
+  canvas.addStroke({1, {10, 0}, 5.0f});
+  const AABB2 dirty = canvas.clear(-7);
+  EXPECT_FALSE(dirty.valid());
+  EXPECT_EQ(canvas.strokes().size(), 2u);
+  EXPECT_EQ(canvas.grid().brushAt({0, 0}), 0);
+  EXPECT_EQ(canvas.grid().brushAt({10, 0}), 1);
+}
+
+TEST(BrushCanvasTest, ClearUnusedValidIndexIsNoop) {
+  BrushCanvas canvas(50.0f, 64);
+  canvas.addStroke({0, {0, 0}, 5.0f});
+  const AABB2 dirty = canvas.clear(3);  // valid index, no strokes
+  EXPECT_FALSE(dirty.valid());
+  EXPECT_EQ(canvas.strokes().size(), 1u);
+  EXPECT_EQ(canvas.grid().brushAt({0, 0}), 0);
+}
+
+TEST(BrushCanvasTest, ClearOnEmptyCanvasIsNoop) {
+  BrushCanvas canvas(50.0f, 64);
+  EXPECT_FALSE(canvas.clear().valid());
+  EXPECT_FALSE(canvas.clear(0).valid());
+  EXPECT_TRUE(canvas.empty());
+}
+
+// --- dirty-rect reporting --------------------------------------------------
+
+TEST(BrushGridTest, PaintReturnsRectCoveringStroke) {
+  BrushGrid grid(50.0f, 64);
+  const AABB2 dirty = grid.paint({0, {10.0f, -5.0f}, 4.0f});
+  ASSERT_TRUE(dirty.valid());
+  // The dirty rect covers the disc (texel-aligned, so slightly larger).
+  EXPECT_LE(dirty.min.x, 6.0f);
+  EXPECT_GE(dirty.max.x, 14.0f);
+  EXPECT_LE(dirty.min.y, -9.0f);
+  EXPECT_GE(dirty.max.y, -1.0f);
+  // And stays within the grid.
+  EXPECT_GE(dirty.min.x, -50.0f - 2.0f);
+  EXPECT_LE(dirty.max.x, 50.0f + 2.0f);
+}
+
+TEST(BrushGridTest, PaintOutsideGridReturnsInvalidRect) {
+  BrushGrid grid(50.0f, 64);
+  EXPECT_FALSE(grid.paint({0, {200.0f, 200.0f}, 4.0f}).valid());
+}
+
+TEST(BrushGridTest, ClearAllReturnsWholeGridOnlyWhenPainted) {
+  BrushGrid grid(50.0f, 64);
+  EXPECT_FALSE(grid.clearAll().valid());  // already clean
+  grid.paint({0, {0, 0}, 5.0f});
+  const AABB2 dirty = grid.clearAll();
+  ASSERT_TRUE(dirty.valid());
+  EXPECT_FLOAT_EQ(dirty.min.x, -50.0f);
+  EXPECT_FLOAT_EQ(dirty.max.x, 50.0f);
+}
+
+TEST(BrushGridTest, ClearBrushReturnsTightRect) {
+  BrushGrid grid(50.0f, 64);
+  grid.paint({0, {-30.0f, -30.0f}, 4.0f});
+  grid.paint({1, {30.0f, 30.0f}, 4.0f});
+  const AABB2 dirty = grid.clearBrush(0);
+  ASSERT_TRUE(dirty.valid());
+  // Covers brush 0's disc but not brush 1's corner.
+  EXPECT_LT(dirty.max.x, 0.0f);
+  EXPECT_LT(dirty.max.y, 0.0f);
+  EXPECT_FALSE(grid.clearBrush(0).valid());  // second clear: nothing left
+}
+
+TEST(BrushCanvasTest, ClearReturnsRectCoveringRemovedStrokes) {
+  BrushCanvas canvas(50.0f, 64);
+  canvas.addStroke({0, {-20.0f, 0.0f}, 5.0f});
+  canvas.addStroke({1, {20.0f, 0.0f}, 5.0f});
+  const AABB2 dirty = canvas.clear(1);
+  ASSERT_TRUE(dirty.valid());
+  EXPECT_GE(dirty.min.x, 10.0f);  // only the east stroke's region
+  EXPECT_FALSE(canvas.grid().hasPaint(1));
+  EXPECT_TRUE(canvas.grid().hasPaint(0));
+}
+
 TEST(PaintArenaHalfTest, WestHalfOnlyWest) {
   BrushCanvas canvas(50.0f, 128);
   paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, 50.0f);

@@ -91,7 +91,7 @@ TEST(SomExplorerTest, MemberQueryMatchesDirectEvaluation) {
   const QueryResult viaExplorer =
       ex.queryClusterMembers(node, canvas.grid(), params);
   const QueryResult direct =
-      evaluateQuery(ds, ex.drillDown(node), canvas.grid(), params);
+      evaluate(makeRefs(ds, ex.drillDown(node)), canvas.grid(), params);
   EXPECT_EQ(viaExplorer.trajectoriesHighlighted,
             direct.trajectoriesHighlighted);
   EXPECT_EQ(viaExplorer.totalSegmentsHighlighted,

@@ -139,7 +139,7 @@ TEST(DrillDownSceneTest, BrushQueriesAtFullFidelity) {
   // Highlights match a direct member query.
   QueryParams params;
   const QueryResult direct =
-      evaluateQuery(ds, explorer.drillDown(node), canvas.grid(), params);
+      evaluate(makeRefs(ds, explorer.drillDown(node)), canvas.grid(), params);
   for (std::size_t i = 0; i < scene.cells.size(); ++i) {
     EXPECT_EQ(scene.cells[i].segmentHighlights,
               direct.segmentHighlights[i]);

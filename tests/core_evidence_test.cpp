@@ -10,7 +10,7 @@ namespace svq::core {
 namespace {
 
 TEST(AnnotationTargetTest, Descriptions) {
-  EXPECT_EQ(describeTarget(TrajectoryRef{42}), "trajectory #42");
+  EXPECT_EQ(describeTarget(TrajectoryTarget{42}), "trajectory #42");
   EXPECT_EQ(describeTarget(GroupRef{3}), "group 3");
   EXPECT_NE(describeTarget(RegionRef{{1.0f, 2.0f}, 5.0f}).find("region"),
             std::string::npos);
@@ -19,8 +19,8 @@ TEST(AnnotationTargetTest, Descriptions) {
 
 TEST(EvidenceFileTest, AddAssignsIncreasingIds) {
   EvidenceFile file;
-  const auto a = file.add(1.0, TrajectoryRef{0}, "windy");
-  const auto b = file.add(2.0, TrajectoryRef{1}, "direct");
+  const auto a = file.add(1.0, TrajectoryTarget{0}, "windy");
+  const auto b = file.add(2.0, TrajectoryTarget{1}, "direct");
   EXPECT_LT(a, b);
   EXPECT_EQ(file.size(), 2u);
 }
@@ -37,8 +37,8 @@ TEST(EvidenceFileTest, FindAndRemove) {
 
 TEST(EvidenceFileTest, TagQueries) {
   EvidenceFile file;
-  file.add(1.0, TrajectoryRef{0}, "a", {"windy", "on-trail"});
-  file.add(2.0, TrajectoryRef{1}, "b", {"direct"});
+  file.add(1.0, TrajectoryTarget{0}, "a", {"windy", "on-trail"});
+  file.add(2.0, TrajectoryTarget{1}, "b", {"direct"});
   file.add(3.0, SessionRef{}, "c", {"windy"});
   EXPECT_EQ(file.withTag("windy").size(), 2u);
   EXPECT_EQ(file.withTag("direct").size(), 1u);
@@ -47,9 +47,9 @@ TEST(EvidenceFileTest, TagQueries) {
 
 TEST(EvidenceFileTest, OnTrajectoryFilters) {
   EvidenceFile file;
-  file.add(1.0, TrajectoryRef{7}, "first");
-  file.add(2.0, TrajectoryRef{8}, "other");
-  file.add(3.0, TrajectoryRef{7}, "second");
+  file.add(1.0, TrajectoryTarget{7}, "first");
+  file.add(2.0, TrajectoryTarget{8}, "other");
+  file.add(3.0, TrajectoryTarget{7}, "second");
   file.add(4.0, GroupRef{7}, "not a trajectory");
   const auto onSeven = file.onTrajectory(7);
   ASSERT_EQ(onSeven.size(), 2u);
@@ -59,7 +59,7 @@ TEST(EvidenceFileTest, OnTrajectoryFilters) {
 
 TEST(EvidenceFileTest, ReportListsEverything) {
   EvidenceFile file;
-  file.add(12.0, TrajectoryRef{3}, "returns to earlier spot", {"revisit"});
+  file.add(12.0, TrajectoryTarget{3}, "returns to earlier spot", {"revisit"});
   const std::string report = file.exportReport();
   EXPECT_NE(report.find("trajectory #3"), std::string::npos);
   EXPECT_NE(report.find("returns to earlier spot"), std::string::npos);
@@ -140,7 +140,7 @@ TEST_F(ProvenanceTest, AnnotationEntersChain) {
   ProvenanceLog log;
   EvidenceFile evidence;
   const auto annId =
-      evidence.add(5.0, TrajectoryRef{3}, "returns to centre", {"revisit"});
+      evidence.add(5.0, TrajectoryTarget{3}, "returns to centre", {"revisit"});
   const auto p =
       log.recordAnnotation(5.0, *evidence.find(annId), {});
   EXPECT_NE(log.find(p)->summary.find("trajectory #3"), std::string::npos);

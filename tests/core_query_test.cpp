@@ -32,7 +32,7 @@ TEST(EvaluateOneTest, HighlightsSegmentsInBrushedRegion) {
   QueryParams params;
   std::vector<std::int8_t> segs;
   HighlightSummary summary;
-  evaluateOne(t, 0, brush, params, segs, summary);
+  evaluate(TrajectoryRef{&t, 0}, brush, params, segs, summary);
   ASSERT_EQ(segs.size(), t.size() - 1);
   // First segments (east) unhighlighted; last segments (west) highlighted.
   EXPECT_EQ(segs.front(), kNoBrush);
@@ -48,7 +48,7 @@ TEST(EvaluateOneTest, NoHighlightOutsideBrush) {
   QueryParams params;
   std::vector<std::int8_t> segs;
   HighlightSummary summary;
-  evaluateOne(t, 0, brush, params, segs, summary);
+  evaluate(TrajectoryRef{&t, 0}, brush, params, segs, summary);
   EXPECT_FALSE(summary.anyHighlight());
   for (auto s : segs) EXPECT_EQ(s, kNoBrush);
 }
@@ -59,7 +59,7 @@ TEST(EvaluateOneTest, FirstHitTimeIsEntryTime) {
   QueryParams params;
   std::vector<std::int8_t> segs;
   HighlightSummary summary;
-  evaluateOne(t, 0, brush, params, segs, summary);
+  evaluate(TrajectoryRef{&t, 0}, brush, params, segs, summary);
   // Crosses x=0 at t=5; entry recorded at the first highlighted segment's
   // start time, which is just before the crossing.
   ASSERT_FALSE(summary.firstHitTime.empty());
@@ -74,7 +74,7 @@ TEST(EvaluateOneTest, TemporalWindowExcludesSegments) {
   params.timeWindow = {0.0f, 3.0f};  // only the east part of the walk
   std::vector<std::int8_t> segs;
   HighlightSummary summary;
-  evaluateOne(t, 0, brush, params, segs, summary);
+  evaluate(TrajectoryRef{&t, 0}, brush, params, segs, summary);
   EXPECT_FALSE(summary.anyHighlight());
 }
 
@@ -85,7 +85,7 @@ TEST(EvaluateOneTest, WindowOverlapAtBoundaryCounts) {
   params.timeWindow = {9.9f, 20.0f};  // touches only the last segment
   std::vector<std::int8_t> segs;
   HighlightSummary summary;
-  evaluateOne(t, 0, brush, params, segs, summary);
+  evaluate(TrajectoryRef{&t, 0}, brush, params, segs, summary);
   EXPECT_TRUE(summary.anyHighlight());
   EXPECT_EQ(summary.segmentsPerBrush[0], 1u);
 }
@@ -98,7 +98,7 @@ TEST(EvaluateOneTest, MultipleBrushesTrackedSeparately) {
   QueryParams params;
   std::vector<std::int8_t> segs;
   HighlightSummary summary;
-  evaluateOne(t, 0, canvas.grid(), params, segs, summary);
+  evaluate(TrajectoryRef{&t, 0}, canvas.grid(), params, segs, summary);
   EXPECT_TRUE(summary.hitByBrush(0));
   EXPECT_TRUE(summary.hitByBrush(1));
   EXPECT_GT(summary.highlightedDuration(0), 2.0f);
@@ -111,7 +111,7 @@ TEST(EvaluateOneTest, ShortTrajectoryNoSegments) {
   QueryParams params;
   std::vector<std::int8_t> segs;
   HighlightSummary summary;
-  evaluateOne(t, 3, brush, params, segs, summary);
+  evaluate(TrajectoryRef{&t, 3}, brush, params, segs, summary);
   EXPECT_TRUE(segs.empty());
   EXPECT_EQ(summary.trajectoryIndex, 3u);
   EXPECT_FALSE(summary.anyHighlight());
@@ -130,7 +130,7 @@ TEST(EvaluateQueryTest, TotalsAreConsistent) {
   for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
   const BrushGrid brush = westBrush();
   QueryParams params;
-  const QueryResult r = evaluateQuery(ds, indices, brush, params);
+  const QueryResult r = evaluate(makeRefs(ds, indices), brush, params);
   EXPECT_EQ(r.trajectoriesEvaluated, ds.size());
   EXPECT_EQ(r.segmentHighlights.size(), ds.size());
   EXPECT_EQ(r.summaries.size(), ds.size());
@@ -158,8 +158,8 @@ TEST(EvaluateQueryTest, ParallelMatchesSequential) {
   par.parallel = true;
   QueryParams seq;
   seq.parallel = false;
-  const QueryResult a = evaluateQuery(ds, indices, brush, par);
-  const QueryResult b = evaluateQuery(ds, indices, brush, seq);
+  const QueryResult a = evaluate(makeRefs(ds, indices), brush, par);
+  const QueryResult b = evaluate(makeRefs(ds, indices), brush, seq);
   EXPECT_EQ(a.totalSegmentsHighlighted, b.totalSegmentsHighlighted);
   EXPECT_EQ(a.trajectoriesHighlighted, b.trajectoriesHighlighted);
   for (std::size_t i = 0; i < ds.size(); ++i) {
@@ -171,7 +171,7 @@ TEST(EvaluateQueryTest, SubsetSelectionRespectsIndices) {
   const auto ds = syntheticDataset(50);
   const std::vector<std::uint32_t> indices{3, 10, 42};
   const BrushGrid brush = westBrush();
-  const QueryResult r = evaluateQuery(ds, indices, brush, QueryParams{});
+  const QueryResult r = evaluate(makeRefs(ds, indices), brush, QueryParams{});
   ASSERT_EQ(r.summaries.size(), 3u);
   EXPECT_EQ(r.summaries[0].trajectoryIndex, 3u);
   EXPECT_EQ(r.summaries[1].trajectoryIndex, 10u);
@@ -184,8 +184,8 @@ TEST(EvaluateQueryTest, ResultInvariantUnderIndexOrder) {
   for (std::uint32_t i = 0; i < ds.size(); ++i) forward.push_back(i);
   backward.assign(forward.rbegin(), forward.rend());
   const BrushGrid brush = westBrush();
-  const QueryResult a = evaluateQuery(ds, forward, brush, QueryParams{});
-  const QueryResult b = evaluateQuery(ds, backward, brush, QueryParams{});
+  const QueryResult a = evaluate(makeRefs(ds, forward), brush, QueryParams{});
+  const QueryResult b = evaluate(makeRefs(ds, backward), brush, QueryParams{});
   EXPECT_EQ(a.totalSegmentsHighlighted, b.totalSegmentsHighlighted);
   EXPECT_EQ(a.trajectoriesHighlighted, b.trajectoriesHighlighted);
 }
@@ -195,7 +195,7 @@ TEST(EvaluateQueryOverTest, PlainArrayEvaluation) {
   trajs.push_back(lineTraj({40, 0}, {-40, 0}, 10.0f));
   trajs.push_back(lineTraj({10, 10}, {40, 40}, 10.0f));
   const BrushGrid brush = westBrush();
-  const QueryResult r = evaluateQueryOver(trajs, brush, QueryParams{});
+  const QueryResult r = evaluate(makeRefs(trajs), brush, QueryParams{});
   EXPECT_EQ(r.trajectoriesEvaluated, 2u);
   EXPECT_EQ(r.trajectoriesHighlighted, 1u);
   EXPECT_TRUE(r.summaries[0].anyHighlight());
@@ -206,7 +206,7 @@ TEST(EvaluateQueryTest, EmptyIndexListGivesEmptyResult) {
   const auto ds = syntheticDataset(10);
   const BrushGrid brush = westBrush();
   const QueryResult r =
-      evaluateQuery(ds, std::vector<std::uint32_t>{}, brush, QueryParams{});
+      evaluate(makeRefs(ds, std::vector<std::uint32_t>{}), brush, QueryParams{});
   EXPECT_EQ(r.trajectoriesEvaluated, 0u);
   EXPECT_EQ(r.trajectoriesHighlighted, 0u);
 }
@@ -222,6 +222,43 @@ TEST(HighlightSummaryTest, Accessors) {
   EXPECT_FLOAT_EQ(s.highlightedDuration(1), 2.5f);
   EXPECT_FLOAT_EQ(s.highlightedDuration(99), 0.0f);
 }
+
+// The legacy entry points must keep working (they forward into the unified
+// evaluate() path) until removal. This block deliberately silences the
+// deprecation warning to keep the wrappers covered in a -Werror-clean build.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedWrapperTest, WrappersMatchUnifiedEvaluate) {
+  const auto ds = syntheticDataset(40);
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  const BrushGrid brush = westBrush();
+  const QueryParams params;
+
+  const QueryResult viaWrapper = evaluateQuery(ds, indices, brush, params);
+  const QueryResult viaUnified =
+      evaluate(makeRefs(ds, indices), brush, params);
+  ASSERT_EQ(viaWrapper.trajectoriesEvaluated,
+            viaUnified.trajectoriesEvaluated);
+  EXPECT_EQ(viaWrapper.totalSegmentsHighlighted,
+            viaUnified.totalSegmentsHighlighted);
+  EXPECT_EQ(viaWrapper.segmentHighlights, viaUnified.segmentHighlights);
+
+  const QueryResult overWrapper =
+      evaluateQueryOver(ds.all(), brush, params);
+  EXPECT_EQ(overWrapper.totalSegmentsHighlighted,
+            viaUnified.totalSegmentsHighlighted);
+
+  std::vector<std::int8_t> segsA, segsB;
+  HighlightSummary sumA, sumB;
+  evaluateOne(ds[0], 0, brush, params, segsA, sumA);
+  evaluate(TrajectoryRef{&ds[0], 0}, brush, params, segsB, sumB);
+  EXPECT_EQ(segsA, segsB);
+  EXPECT_EQ(sumA.segmentsPerBrush, sumB.segmentsPerBrush);
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace svq::core

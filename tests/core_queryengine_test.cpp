@@ -1,0 +1,216 @@
+// Tests for the incremental query engine — dirty-region invalidation,
+// spatial/temporal factoring, result generations, and equivalence with the
+// stateless one-shot evaluator.
+#include "core/queryengine.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+
+namespace svq::core {
+namespace {
+
+traj::TrajectoryDataset syntheticDataset(std::size_t n = 120) {
+  traj::AntSimulator sim({}, 4242);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+std::vector<std::uint32_t> allIndices(const traj::TrajectoryDataset& ds) {
+  std::vector<std::uint32_t> indices(ds.size());
+  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+  return indices;
+}
+
+void expectSameResult(const QueryResult& a, const QueryResult& b) {
+  ASSERT_EQ(a.trajectoriesEvaluated, b.trajectoriesEvaluated);
+  EXPECT_EQ(a.trajectoriesHighlighted, b.trajectoriesHighlighted);
+  EXPECT_EQ(a.totalSegmentsEvaluated, b.totalSegmentsEvaluated);
+  EXPECT_EQ(a.totalSegmentsHighlighted, b.totalSegmentsHighlighted);
+  ASSERT_EQ(a.segmentHighlights.size(), b.segmentHighlights.size());
+  for (std::size_t i = 0; i < a.segmentHighlights.size(); ++i) {
+    EXPECT_EQ(a.segmentHighlights[i], b.segmentHighlights[i]) << "row " << i;
+    EXPECT_EQ(a.summaries[i].segmentsPerBrush, b.summaries[i].segmentsPerBrush)
+        << "summary " << i;
+    EXPECT_EQ(a.summaries[i].lastSegmentBrush, b.summaries[i].lastSegmentBrush)
+        << "summary " << i;
+  }
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest()
+      : ds_(syntheticDataset()),
+        indices_(allIndices(ds_)),
+        canvas_(ds_.arena().radiusCm, 128) {
+    engine_.setTrajectories(ds_, indices_);
+    engine_.setBrush(&canvas_.grid());
+  }
+
+  /// The stateless evaluator as ground truth for the current canvas/params.
+  QueryResult oneShot() const {
+    return evaluate(makeRefs(ds_, indices_), canvas_.grid(),
+                    engine_.params());
+  }
+
+  traj::TrajectoryDataset ds_;
+  std::vector<std::uint32_t> indices_;
+  BrushCanvas canvas_;
+  QueryEngine engine_;
+};
+
+TEST_F(QueryEngineTest, FirstPassMatchesOneShotEvaluation) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 0.0f}, 10.0f}));
+  const auto result = engine_.evaluate();
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->generation, 1u);
+  expectSameResult(*result, oneShot());
+}
+
+TEST_F(QueryEngineTest, LocalizedEditInvalidatesOnlyIntersectingSubset) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 0.0f}, 10.0f}));
+  engine_.evaluate();
+
+  // A small dab on a spot trajectory 0 actually visits: at least one
+  // trajectory must re-classify, but only those whose footprint overlaps.
+  const Vec2 dabPos = ds_[0].points()[ds_[0].size() / 2].pos;
+  const AABB2 dirty = canvas_.addStroke(BrushStroke{1, dabPos, 3.0f});
+  ASSERT_TRUE(dirty.valid());
+  engine_.invalidateRegion(dirty);
+  const auto result = engine_.evaluate();
+  ASSERT_EQ(result->generation, 2u) << "dab on a visited spot must re-pass";
+
+  const auto& m = engine_.metrics();
+  EXPECT_GT(m.lastPassInvalidated, 0u);
+  EXPECT_GT(m.lastPassReused, 0u) << "dab invalidated the whole set";
+  EXPECT_LT(m.lastPassInvalidated, ds_.size());
+  EXPECT_EQ(m.lastPassInvalidated + m.lastPassReused, ds_.size());
+
+  // Correctness is not allowed to degrade for the speedup.
+  expectSameResult(*result, oneShot());
+}
+
+TEST_F(QueryEngineTest, TemporalWindowChangeDoesNoSpatialWork) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 0.0f}, 10.0f}));
+  engine_.evaluate();
+
+  QueryParams p = engine_.params();
+  p.timeWindow = {5.0f, 40.0f};
+  engine_.setParams(p);
+  const auto result = engine_.evaluate();
+
+  const auto& m = engine_.metrics();
+  EXPECT_EQ(m.lastPassSpatialClassifications, 0u)
+      << "window change must not re-touch the brush grid";
+  EXPECT_EQ(m.lastPassReused, ds_.size());
+  EXPECT_EQ(m.temporalOnlyPasses, 1u);
+  expectSameResult(*result, oneShot());
+
+  // Relative-window changes are temporal too.
+  p.relativeWindow = Vec2{0.5f, 1.0f};
+  engine_.setParams(p);
+  const auto rel = engine_.evaluate();
+  EXPECT_EQ(engine_.metrics().lastPassSpatialClassifications, 0u);
+  expectSameResult(*rel, oneShot());
+}
+
+TEST_F(QueryEngineTest, CleanEvaluateReturnsSameGeneration) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 0.0f}, 10.0f}));
+  const auto first = engine_.evaluate();
+  const auto again = engine_.evaluate();
+  EXPECT_EQ(first.get(), again.get());
+  EXPECT_EQ(engine_.generation(), 1u);
+  EXPECT_EQ(engine_.metrics().cachedPasses, 1u);
+}
+
+TEST_F(QueryEngineTest, GenerationsAreMonotonicAndResultsImmutable) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-10.0f, 0.0f}, 8.0f}));
+  const auto g1 = engine_.evaluate();
+  ASSERT_EQ(g1->generation, 1u);
+  const std::size_t g1Highlighted = g1->totalSegmentsHighlighted;
+
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{2, {15.0f, 10.0f}, 8.0f}));
+  const auto g2 = engine_.evaluate();
+  EXPECT_EQ(g2->generation, 2u);
+  EXPECT_NE(g1.get(), g2.get());
+  // The previous generation a consumer may still hold is untouched.
+  EXPECT_EQ(g1->generation, 1u);
+  EXPECT_EQ(g1->totalSegmentsHighlighted, g1Highlighted);
+}
+
+TEST_F(QueryEngineTest, StrokeClearSequenceMatchesOneShot) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 5.0f}, 10.0f}));
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{1, {25.0f, -15.0f}, 6.0f}));
+  engine_.evaluate();
+
+  engine_.invalidateRegion(canvas_.clear(1));
+  const auto afterClear = engine_.evaluate();
+  expectSameResult(*afterClear, oneShot());
+
+  engine_.invalidateRegion(canvas_.clear());
+  const auto empty = engine_.evaluate();
+  EXPECT_EQ(empty->totalSegmentsHighlighted, 0u);
+  expectSameResult(*empty, oneShot());
+}
+
+TEST_F(QueryEngineTest, RebindingTrajectoriesDropsCache) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 0.0f}, 10.0f}));
+  engine_.evaluate();
+
+  std::vector<std::uint32_t> subset(indices_.begin(), indices_.begin() + 10);
+  engine_.setTrajectories(ds_, subset);
+  const auto result = engine_.evaluate();
+  EXPECT_EQ(result->trajectoriesEvaluated, 10u);
+  expectSameResult(*result, evaluate(makeRefs(ds_, subset), canvas_.grid(),
+                                     engine_.params()));
+}
+
+TEST_F(QueryEngineTest, SequentialModeMatchesParallel) {
+  QueryParams p = engine_.params();
+  p.parallel = false;
+  engine_.setParams(p);
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 0.0f}, 10.0f}));
+  const auto result = engine_.evaluate();
+  expectSameResult(*result, oneShot());
+}
+
+TEST(QueryEngineStandaloneTest, CurrentIsEmptyBeforeFirstPass) {
+  QueryEngine engine;
+  const auto result = engine.current();
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->trajectoriesEvaluated, 0u);
+  EXPECT_EQ(engine.generation(), 0u);
+}
+
+TEST(QueryEngineStandaloneTest, MetricsAccumulateAndReset) {
+  auto ds = syntheticDataset(30);
+  const auto indices = allIndices(ds);
+  BrushCanvas canvas(ds.arena().radiusCm, 128);
+  QueryEngine engine;
+  engine.setTrajectories(ds, indices);
+  engine.setBrush(&canvas.grid());
+  engine.invalidateRegion(
+      canvas.addStroke(BrushStroke{0, {0.0f, 0.0f}, 15.0f}));
+  engine.evaluate();
+  EXPECT_EQ(engine.metrics().passes, 1u);
+  EXPECT_GT(engine.metrics().trajectoriesInvalidated, 0u);
+
+  engine.resetMetrics();
+  EXPECT_EQ(engine.metrics().passes, 0u);
+  EXPECT_EQ(engine.metrics().trajectoriesInvalidated, 0u);
+  EXPECT_DOUBLE_EQ(engine.metrics().cacheHitRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace svq::core

@@ -48,6 +48,79 @@ TEST(RelativeWindowTest, UnsetMeansAbsoluteOnly) {
   EXPECT_FLOAT_EQ(w.y, 7.0f);
 }
 
+TEST(RelativeWindowTest, DisjointWindowsYieldEmptyEffectiveWindow) {
+  // Absolute window ends before the relative one starts: the effective
+  // window inverts (x > y) and must match no segment at all.
+  QueryParams p;
+  p.timeWindow = {0.0f, 10.0f};
+  p.relativeWindow = Vec2{0.5f, 1.0f};
+  const Vec2 w = p.effectiveWindow(100.0f);  // relative = [50, 100]
+  EXPECT_GT(w.x, w.y);
+
+  BrushCanvas canvas(50.0f, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, 50.0f);
+  std::vector<traj::Trajectory> trajs;
+  trajs.push_back(lineTraj({45, 0}, {-45, 0}, 100.0f));
+  const QueryResult r = evaluate(makeRefs(trajs), canvas.grid(), p);
+  EXPECT_EQ(r.totalSegmentsHighlighted, 0u);
+  EXPECT_FALSE(r.summaries[0].anyHighlight());
+}
+
+TEST(RelativeWindowTest, DegenerateZeroZeroWindowKeepsOnlyStart) {
+  // {0,0} pins the window to the single instant t=0: only a segment
+  // starting at exactly t=0 can overlap.
+  QueryParams p;
+  p.relativeWindow = Vec2{0.0f, 0.0f};
+  const Vec2 w = p.effectiveWindow(10.0f);
+  EXPECT_FLOAT_EQ(w.x, 0.0f);
+  EXPECT_FLOAT_EQ(w.y, 0.0f);
+
+  BrushCanvas canvas(50.0f, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, 50.0f);
+  std::vector<traj::Trajectory> trajs;
+  trajs.push_back(lineTraj({-45, 0}, {45, 0}, 10.0f));  // starts in the west
+  const QueryResult r = evaluate(makeRefs(trajs), canvas.grid(), p);
+  ASSERT_FALSE(r.segmentHighlights[0].empty());
+  EXPECT_EQ(r.segmentHighlights[0].front(), 0);  // first segment overlaps t=0
+  EXPECT_EQ(r.summaries[0].segmentsPerBrush[0], 1u);
+}
+
+TEST(RelativeWindowTest, DegenerateOneOneWindowKeepsOnlyEnd) {
+  QueryParams p;
+  p.relativeWindow = Vec2{1.0f, 1.0f};
+  BrushCanvas canvas(50.0f, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, 50.0f);
+  std::vector<traj::Trajectory> trajs;
+  trajs.push_back(lineTraj({45, 0}, {-45, 0}, 10.0f));  // ends in the west
+  const QueryResult r = evaluate(makeRefs(trajs), canvas.grid(), p);
+  ASSERT_FALSE(r.segmentHighlights[0].empty());
+  EXPECT_EQ(r.segmentHighlights[0].back(), 0);  // last segment touches t=T
+  EXPECT_EQ(r.summaries[0].segmentsPerBrush[0], 1u);
+}
+
+TEST(RelativeWindowTest, ZeroDurationTrajectoryDoesNotBlowUp) {
+  // All samples at t=0 (duration 0): every relative window collapses to
+  // [0, 0]; segments still classify spatially and overlap that instant.
+  QueryParams p;
+  p.relativeWindow = Vec2{0.25f, 0.75f};
+  BrushCanvas canvas(50.0f, 128);
+  paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, 50.0f);
+
+  std::vector<traj::TrajPoint> pts;
+  for (int i = 0; i < 5; ++i) {
+    pts.push_back({{-20.0f + static_cast<float>(i), 0.0f}, 0.0f});
+  }
+  std::vector<traj::Trajectory> trajs;
+  trajs.emplace_back(traj::TrajectoryMeta{}, std::move(pts));
+  ASSERT_FLOAT_EQ(trajs[0].duration(), 0.0f);
+
+  const QueryResult r = evaluate(makeRefs(trajs), canvas.grid(), p);
+  EXPECT_EQ(r.trajectoriesEvaluated, 1u);
+  EXPECT_EQ(r.segmentHighlights[0].size(), 4u);
+  // Window [0,0]: all zero-time segments overlap it, and all sit in paint.
+  EXPECT_EQ(r.summaries[0].segmentsPerBrush[0], 4u);
+}
+
 TEST(RelativeWindowTest, SelectsFinalSegmentsPerTrajectory) {
   // Two east->west walkers of very different durations; a final-20%
   // relative window must highlight only the westmost part of each.
@@ -60,7 +133,7 @@ TEST(RelativeWindowTest, SelectsFinalSegmentsPerTrajectory) {
 
   QueryParams p;
   p.relativeWindow = Vec2{0.8f, 1.0f};
-  const QueryResult r = evaluateQueryOver(trajs, canvas.grid(), p);
+  const QueryResult r = evaluate(makeRefs(trajs), canvas.grid(), p);
   for (std::size_t i = 0; i < trajs.size(); ++i) {
     const auto& segs = r.segmentHighlights[i];
     // Early segments unhighlighted (both in the east AND outside window).
@@ -90,8 +163,8 @@ TEST(RelativeWindowTest, ExitSideQueryImprovesSpecificity) {
 
   QueryParams rel;
   rel.relativeWindow = Vec2{0.9f, 1.0f};
-  const auto rRel = evaluateQuery(ds, all, canvas.grid(), rel);
-  const auto rFull = evaluateQuery(ds, all, canvas.grid(), QueryParams{});
+  const auto rRel = evaluate(makeRefs(ds, all), canvas.grid(), rel);
+  const auto rFull = evaluate(makeRefs(ds, all), canvas.grid(), QueryParams{});
   EXPECT_LT(rRel.trajectoriesHighlighted, rFull.trajectoriesHighlighted);
 
   // East-captured ants dominate the relative-window hits.

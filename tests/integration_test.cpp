@@ -197,9 +197,9 @@ TEST_F(IntegrationTest, DatasetCsvRoundTripPreservesQueryResults) {
   std::vector<std::uint32_t> indices;
   for (std::uint32_t i = 0; i < 100; ++i) indices.push_back(i);
   const auto a =
-      core::evaluateQuery(*dataset_, indices, canvas.grid(), {});
+      core::evaluate(core::makeRefs(*dataset_, indices), canvas.grid(), {});
   const auto b =
-      core::evaluateQuery(*restored, indices, canvas.grid(), {});
+      core::evaluate(core::makeRefs(*restored, indices), canvas.grid(), {});
   EXPECT_EQ(a.totalSegmentsHighlighted, b.totalSegmentsHighlighted);
   EXPECT_EQ(a.trajectoriesHighlighted, b.trajectoriesHighlighted);
 }

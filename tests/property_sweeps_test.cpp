@@ -135,7 +135,7 @@ TEST(QueryOrderInvarianceTest, ShuffledIndicesSameTotals) {
   std::vector<std::uint32_t> indices(ds.size());
   for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
   const auto reference =
-      core::evaluateQuery(ds, indices, canvas.grid(), core::QueryParams{});
+      core::evaluate(core::makeRefs(ds, indices), canvas.grid(), core::QueryParams{});
 
   Rng rng(5);
   for (int trial = 0; trial < 5; ++trial) {
@@ -143,7 +143,7 @@ TEST(QueryOrderInvarianceTest, ShuffledIndicesSameTotals) {
       std::swap(indices[i - 1], indices[rng.below(i)]);
     }
     const auto shuffled =
-        core::evaluateQuery(ds, indices, canvas.grid(), core::QueryParams{});
+        core::evaluate(core::makeRefs(ds, indices), canvas.grid(), core::QueryParams{});
     EXPECT_EQ(shuffled.totalSegmentsHighlighted,
               reference.totalSegmentsHighlighted);
     EXPECT_EQ(shuffled.trajectoriesHighlighted,
@@ -168,9 +168,9 @@ TEST_P(WindowSweepTest, WindowedHighlightsSubsetOfFull) {
   core::QueryParams windowed;
   windowed.timeWindow = {0.0f, GetParam()};
   const auto rFull =
-      core::evaluateQuery(ds, indices, canvas.grid(), full);
+      core::evaluate(core::makeRefs(ds, indices), canvas.grid(), full);
   const auto rWin =
-      core::evaluateQuery(ds, indices, canvas.grid(), windowed);
+      core::evaluate(core::makeRefs(ds, indices), canvas.grid(), windowed);
   EXPECT_LE(rWin.totalSegmentsHighlighted, rFull.totalSegmentsHighlighted);
   // Per-trajectory: every windowed highlight is also a full highlight.
   for (std::size_t i = 0; i < ds.size(); ++i) {

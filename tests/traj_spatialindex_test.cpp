@@ -1,0 +1,116 @@
+// Tests for the coarse spatial footprints backing dirty-region
+// invalidation: conservative occupancy, rect masks, intersection tests.
+#include "traj/spatialindex.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace svq::traj {
+namespace {
+
+const AABB2 kFrame = AABB2::of({-50.0f, -50.0f}, {50.0f, 50.0f});
+
+Trajectory lineTraj(Vec2 from, Vec2 to, std::size_t samples = 11) {
+  std::vector<TrajPoint> pts;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const float u = static_cast<float>(i) / static_cast<float>(samples - 1);
+    pts.push_back({lerp(from, to, u), u * 10.0f});
+  }
+  return Trajectory({}, std::move(pts));
+}
+
+TEST(SpatialFootprintTest, BoundsCoverAllSamples) {
+  const auto t = lineTraj({-30.0f, 10.0f}, {20.0f, -5.0f});
+  const SpatialFootprint fp = computeFootprint(t, kFrame);
+  ASSERT_TRUE(fp.bounds.valid());
+  EXPECT_FLOAT_EQ(fp.bounds.min.x, -30.0f);
+  EXPECT_FLOAT_EQ(fp.bounds.max.x, 20.0f);
+  EXPECT_FLOAT_EQ(fp.bounds.min.y, -5.0f);
+  EXPECT_FLOAT_EQ(fp.bounds.max.y, 10.0f);
+}
+
+TEST(SpatialFootprintTest, EmptyTrajectoryHasNoFootprint) {
+  const Trajectory t({}, std::vector<TrajPoint>{});
+  const SpatialFootprint fp = computeFootprint(t, kFrame);
+  EXPECT_FALSE(fp.bounds.valid());
+  EXPECT_EQ(fp.occupancy, 0u);
+}
+
+TEST(SpatialFootprintTest, OccupancyIsConservativeOverSegments) {
+  // A path hugging the west edge must not claim eastern cells.
+  const auto t = lineTraj({-45.0f, -45.0f}, {-45.0f, 45.0f});
+  const SpatialFootprint fp = computeFootprint(t, kFrame);
+  EXPECT_NE(fp.occupancy, 0u);
+
+  const AABB2 east = AABB2::of({30.0f, -50.0f}, {50.0f, 50.0f});
+  EXPECT_FALSE(
+      footprintMayIntersect(fp, east, rectOccupancyMask(east, kFrame)));
+
+  const AABB2 west = AABB2::of({-50.0f, -50.0f}, {-40.0f, 50.0f});
+  EXPECT_TRUE(
+      footprintMayIntersect(fp, west, rectOccupancyMask(west, kFrame)));
+}
+
+TEST(SpatialFootprintTest, SegmentCrossingMarksSpannedCells) {
+  // One long diagonal segment: every cell in the spanned rect is marked,
+  // so a rect anywhere along the diagonal may intersect (conservative).
+  const auto t = lineTraj({-45.0f, -45.0f}, {45.0f, 45.0f}, 2);
+  const SpatialFootprint fp = computeFootprint(t, kFrame);
+  const AABB2 mid = AABB2::of({-5.0f, -5.0f}, {5.0f, 5.0f});
+  EXPECT_TRUE(footprintMayIntersect(fp, mid, rectOccupancyMask(mid, kFrame)));
+}
+
+TEST(SpatialFootprintTest, SinglePointTrajectoryOccupiesOneCellRegion) {
+  const Trajectory t({}, std::vector<TrajPoint>{{{10.0f, 10.0f}, 0.0f}});
+  const SpatialFootprint fp = computeFootprint(t, kFrame);
+  ASSERT_TRUE(fp.bounds.valid());
+  EXPECT_NE(fp.occupancy, 0u);
+  // Exactly one bit: the point sits inside one coarse cell.
+  EXPECT_EQ(fp.occupancy & (fp.occupancy - 1), 0u);
+}
+
+TEST(RectOccupancyMaskTest, InvalidAndOutsideRectsYieldZero) {
+  EXPECT_EQ(rectOccupancyMask(AABB2{}, kFrame), 0u);
+  const AABB2 outside = AABB2::of({60.0f, 60.0f}, {70.0f, 70.0f});
+  EXPECT_EQ(rectOccupancyMask(outside, kFrame), 0u);
+}
+
+TEST(RectOccupancyMaskTest, FullFrameSetsEveryBit) {
+  EXPECT_EQ(rectOccupancyMask(kFrame, kFrame), ~std::uint64_t{0});
+}
+
+TEST(RectOccupancyMaskTest, SmallRectSetsFewBits) {
+  // A rect inside one coarse cell (cells are 12.5 cm here).
+  const AABB2 r = AABB2::of({1.0f, 1.0f}, {5.0f, 5.0f});
+  const std::uint64_t mask = rectOccupancyMask(r, kFrame);
+  ASSERT_NE(mask, 0u);
+  EXPECT_EQ(mask & (mask - 1), 0u) << "expected exactly one cell";
+}
+
+TEST(FootprintMayIntersectTest, RequiresBothBoundsAndOccupancyOverlap) {
+  // L-shaped path: box covers the full quadrant span but occupancy leaves
+  // the far corner empty — the bitmask must refine the AABB answer.
+  std::vector<TrajPoint> pts;
+  for (int i = 0; i <= 10; ++i) {  // west edge, south to north
+    pts.push_back({{-45.0f, -45.0f + 9.0f * static_cast<float>(i)},
+                   static_cast<float>(i)});
+  }
+  for (int i = 1; i <= 10; ++i) {  // north edge, west to east
+    pts.push_back({{-45.0f + 9.0f * static_cast<float>(i), 45.0f},
+                   10.0f + static_cast<float>(i)});
+  }
+  const Trajectory t({}, std::move(pts));
+  const SpatialFootprint fp = computeFootprint(t, kFrame);
+
+  // South-east corner: inside the AABB, but the path never goes there.
+  const AABB2 corner = AABB2::of({30.0f, -45.0f}, {45.0f, -30.0f});
+  EXPECT_TRUE(fp.bounds.intersects(corner));
+  EXPECT_FALSE(
+      footprintMayIntersect(fp, corner, rectOccupancyMask(corner, kFrame)));
+}
+
+}  // namespace
+}  // namespace svq::traj

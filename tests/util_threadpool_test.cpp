@@ -8,6 +8,7 @@
 #include <cmath>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace svq {
@@ -148,6 +149,44 @@ TEST(ThreadPoolTest, SingleWorkerPoolStillCompletesParallelFor) {
   std::atomic<int> count{0};
   pool.parallelFor(0, 100, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerThrowsInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::atomic<int> threw{0};
+  std::atomic<int> ran{0};
+  pool.parallelFor(
+      0, 8,
+      [&](std::size_t) {
+        ran.fetch_add(1);
+        if (!pool.onWorkerThread()) return;  // the caller-inline chunk
+        try {
+          pool.parallelFor(0, 4, [](std::size_t) {});
+        } catch (const std::logic_error&) {
+          threw.fetch_add(1);
+        }
+      },
+      1);
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_GT(threw.load(), 0) << "nested call from a worker must throw";
+}
+
+TEST(ThreadPoolTest, NestedCallIntoADifferentPoolIsAllowed) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  outer.parallelFor(
+      0, 4,
+      [&](std::size_t) {
+        inner.parallelFor(0, 4, [&](std::size_t) { count.fetch_add(1); }, 1);
+      },
+      1);
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadIsFalseOutsideWorkers) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.onWorkerThread());
 }
 
 }  // namespace
