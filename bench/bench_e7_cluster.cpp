@@ -40,9 +40,10 @@ void runShape(benchmark::State& state, int cols, int rows, bool stereo,
   const auto& ds = bench::dataset(300);
   const wall::WallSpec w = wallOfShape(cols, rows);
   const render::SceneModel scene = sceneFor(ds, w);
-  cluster::ClusterOptions options;
-  options.stereo = stereo;
-  options.gatherToMaster = gather;
+  const cluster::ClusterOptions options =
+      cluster::ClusterOptions::preset(cluster::ClusterPreset::kEVL6x3)
+          .withStereo(stereo)
+          .withGather(gather);
 
   double renderS = 0.0, barrierS = 0.0, gatherS = 0.0;
   std::uint64_t bytes = 0;
@@ -114,8 +115,9 @@ void printContext() {
         std::pair{6, 3}}) {
     const wall::WallSpec w = wallOfShape(cols, rows);
     const render::SceneModel scene = sceneFor(ds, w);
-    const auto result =
-        cluster::runClusterSession(ds, w, {scene}, cluster::ClusterOptions{});
+    const auto result = cluster::runClusterSession(
+        ds, w, {scene},
+        cluster::ClusterOptions::preset(cluster::ClusterPreset::kEVL6x3));
     std::size_t drawn = 0, culled = 0;
     for (const auto& rs : result.rankStats) {
       drawn += rs.cellsDrawn;

@@ -1,0 +1,201 @@
+// E9: fault-tolerant cluster rendering under injected rank failures.
+//
+// Regenerates the operational claim behind the paper's wall deployment:
+// a long-running analysis session on an 18-node display cluster must
+// survive a render node dying mid-session. The deterministic context
+// report kills one of 18 ranks mid-session and shows (a) the session
+// completes, (b) the wall degrades for >0 frames but recovers within 3,
+// (c) no frame ever shows a black tile (composites stay bit-identical to
+// the reference for this static scene), while (d) the pre-Status API —
+// blocking collectives with no failure detection — wedges on the same
+// scenario and is only recovered by the watchdog abort.
+//
+// The benchmark sweep measures recovery cost across failure time x rank
+// count x interconnect model.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cluster/clusterapp.h"
+#include "core/session.h"
+
+using namespace svq;
+
+namespace {
+
+// Small tiles and mono rendering: this binary measures the fault path,
+// not rasterization, and the host may be a single core.
+wall::WallSpec wallOfShape(int cols, int rows) {
+  wall::TileSpec tile;
+  tile.pxW = 96;
+  tile.pxH = 54;
+  tile.activeWmm = 1150.0f;
+  tile.activeHmm = 647.0f;
+  return wall::WallSpec(tile, cols, rows);
+}
+
+render::SceneModel sceneFor(const traj::TrajectoryDataset& ds,
+                            const wall::WallSpec& w) {
+  core::VisualQueryApp app(ds, w);
+  app.apply(ui::LayoutSwitchEvent{1});
+  app.apply(ui::BrushStrokeEvent{0, {-25.0f, 0.0f}, 25.0f});
+  return app.buildScene();
+}
+
+cluster::FaultToleranceOptions fastDetection() {
+  cluster::FaultToleranceOptions ft;
+  ft.enabled = true;
+  ft.heartbeatTimeoutSeconds = 0.05;
+  ft.retries = 1;
+  ft.backoffMultiplier = 2.0;
+  return ft;
+}
+
+void runFaultSession(benchmark::State& state, int cols, int rows,
+                     std::uint64_t failAtFrame, net::NetworkModel network) {
+  const auto& ds = bench::dataset(120);
+  const wall::WallSpec w = wallOfShape(cols, rows);
+  const render::SceneModel scene = sceneFor(ds, w);
+  const std::vector<render::SceneModel> frames(6, scene);
+  const int victim = w.tileCount() / 2;  // never rank 0 (the master)
+
+  cluster::ClusterResult last;
+  for (auto _ : state) {
+    last = cluster::runClusterSession(
+        ds, w, frames,
+        cluster::ClusterOptions::preset(cluster::ClusterPreset::kMinimal)
+            .withNetwork(network)
+            .withFaultTolerance(fastDetection())
+            .withFailure(victim, failAtFrame));
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["ranks"] = w.tileCount();
+  state.counters["frames_completed"] = static_cast<double>(last.framesCompleted);
+  state.counters["degraded_frames"] = static_cast<double>(last.degradedFrames);
+  state.counters["frames_to_recovery"] =
+      static_cast<double>(last.framesToRecovery);
+  std::uint64_t timeouts = 0, retries = 0;
+  for (const auto& rs : last.rankStats) {
+    timeouts += rs.timeouts;
+    retries += rs.retries;
+  }
+  state.counters["timeouts"] = static_cast<double>(timeouts);
+  state.counters["retries"] = static_cast<double>(retries);
+}
+
+void BM_RecoveryByRankCount(benchmark::State& state) {
+  static constexpr std::pair<int, int> kShapes[] = {{2, 1}, {3, 2}, {6, 3}};
+  const auto [cols, rows] = kShapes[state.range(0)];
+  runFaultSession(state, cols, rows, /*failAtFrame=*/2, {});
+  state.SetLabel(std::to_string(cols) + "x" + std::to_string(rows) +
+                 " tiles, kill mid-session");
+}
+BENCHMARK(BM_RecoveryByRankCount)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void BM_RecoveryByFailureTime(benchmark::State& state) {
+  const auto failAt = static_cast<std::uint64_t>(state.range(0));
+  runFaultSession(state, 3, 2, failAt, {});
+  state.SetLabel("3x2 tiles, kill at frame " + std::to_string(failAt));
+}
+BENCHMARK(BM_RecoveryByFailureTime)
+    ->Arg(1)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RecoveryByNetworkModel(benchmark::State& state) {
+  static constexpr const char* kNames[] = {"instant", "1GbE", "10GbE"};
+  const net::NetworkModel models[] = {
+      {}, net::NetworkModel::gigabitEthernet(),
+      net::NetworkModel::tenGigabitEthernet()};
+  const auto i = static_cast<std::size_t>(state.range(0));
+  runFaultSession(state, 3, 2, /*failAtFrame=*/2, models[i]);
+  state.SetLabel(std::string("3x2 tiles, ") + kNames[i] + " interconnect");
+}
+BENCHMARK(BM_RecoveryByNetworkModel)
+    ->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void BM_FaultToleranceOverheadHealthy(benchmark::State& state) {
+  // Price of armed failure detection when nothing fails.
+  const bool armed = state.range(0) != 0;
+  const auto& ds = bench::dataset(120);
+  const wall::WallSpec w = wallOfShape(3, 2);
+  const render::SceneModel scene = sceneFor(ds, w);
+  const std::vector<render::SceneModel> frames(6, scene);
+  auto options =
+      cluster::ClusterOptions::preset(cluster::ClusterPreset::kMinimal);
+  if (armed) options.withFaultTolerance(fastDetection());
+  for (auto _ : state) {
+    const auto result = cluster::runClusterSession(ds, w, frames, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(armed ? "detection armed" : "detection off");
+}
+BENCHMARK(BM_FaultToleranceOverheadHealthy)
+    ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void printContext() {
+  std::printf("\n=== E9: rank failure on the 18-node wall ===\n");
+  const auto& ds = bench::dataset(120);
+  const wall::WallSpec w = wallOfShape(6, 3);  // 18 ranks, one per tile
+  const render::SceneModel scene = sceneFor(ds, w);
+  const std::vector<render::SceneModel> frames(6, scene);
+  const int victim = 7;
+  const std::uint64_t failAt = 2;
+  std::printf("18 ranks, 6 frames, rank %d killed at frame %llu\n\n", victim,
+              static_cast<unsigned long long>(failAt));
+
+  const auto degraded = cluster::runClusterSession(
+      ds, w, frames,
+      cluster::ClusterOptions::preset(cluster::ClusterPreset::kMinimal)
+          .withKeepAllComposites(true)
+          .withFaultTolerance(fastDetection())
+          .withFailure(victim, failAt));
+  const auto ref =
+      cluster::renderReferenceWall(ds, w, scene, render::Eye::kLeft);
+  bool everBlackTile = false;
+  for (const auto& fb : degraded.frameComposites) {
+    if (fb.contentHash() != ref.contentHash()) everBlackTile = true;
+  }
+  int inheritedTiles = 0;
+  for (const auto& rs : degraded.rankStats) {
+    if (rs.diedAtFrame < 0) inheritedTiles += rs.tilesOwnedAtEnd - 1;
+  }
+  std::printf("fault-tolerant session (typed Status API):\n");
+  std::printf("  completed:           %llu/%zu frames\n",
+              static_cast<unsigned long long>(degraded.framesCompleted),
+              frames.size());
+  std::printf("  degraded frames:     %llu (>0 expected)\n",
+              static_cast<unsigned long long>(degraded.degradedFrames));
+  std::printf("  frames to recovery:  %llu (<=3 expected)\n",
+              static_cast<unsigned long long>(degraded.framesToRecovery));
+  std::printf("  reassigned tiles:    %d (round-robin to survivors)\n",
+              inheritedTiles);
+  std::printf("  all frames == reference (no black tile): %s\n",
+              everBlackTile ? "NO" : "yes");
+
+  const auto wedged = cluster::runClusterSession(
+      ds, w, frames,
+      cluster::ClusterOptions::preset(cluster::ClusterPreset::kMinimal)
+          .withFailure(victim, failAt)
+          .withWatchdog(2.0));
+  std::printf("same failure, blocking collectives (pre-Status semantics):\n");
+  std::printf("  wedged at frame %llu; watchdog abort: %s\n\n",
+              static_cast<unsigned long long>(wedged.framesCompleted),
+              wedged.aborted ? "yes" : "NO");
+
+  const bool pass = !degraded.aborted &&
+                    degraded.framesCompleted == frames.size() &&
+                    degraded.degradedFrames > 0 &&
+                    degraded.framesToRecovery >= 1 &&
+                    degraded.framesToRecovery <= 3 && !everBlackTile &&
+                    wedged.aborted;
+  std::printf("acceptance: %s\n\n", pass ? "PASS" : "FAIL");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printContext();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -49,9 +49,8 @@ int main(int argc, char** argv) {
   std::printf("%d ranks (one per %dx%d tile), %zu frames, stereo\n\n",
               wallSpec.tileCount(), tile.pxW, tile.pxH, frames.size());
 
-  cluster::ClusterOptions options;
-  options.stereo = true;
-  options.gatherToMaster = true;
+  const cluster::ClusterOptions options =
+      cluster::ClusterOptions::preset(cluster::ClusterPreset::kEVL6x3);
   const cluster::ClusterResult result =
       cluster::runClusterSession(dataset, wallSpec, frames, options);
 

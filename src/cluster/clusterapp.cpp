@@ -1,5 +1,11 @@
 #include "cluster/clusterapp.h"
 
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
 #include <thread>
 
 #include "cluster/scene_serde.h"
@@ -10,93 +16,219 @@
 
 namespace svq::cluster {
 
+std::vector<int> assignedTiles(int rank, int rankCount,
+                               std::uint64_t deadMask) {
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(rankCount));
+  for (int r = 0; r < rankCount; ++r) {
+    if (!((deadMask >> r) & 1u)) alive.push_back(r);
+  }
+  std::vector<int> mine;
+  if (((deadMask >> rank) & 1u) || alive.empty()) return mine;
+  mine.push_back(rank);
+  int dealt = 0;
+  for (int r = 0; r < rankCount; ++r) {
+    if (!((deadMask >> r) & 1u)) continue;
+    if (alive[static_cast<std::size_t>(dealt) % alive.size()] == rank) {
+      mine.push_back(r);
+    }
+    ++dealt;
+  }
+  return mine;
+}
+
 namespace {
 
-constexpr int kTagTileLeft = 100;
-constexpr int kTagTileRight = 101;
+/// Master-side state for stitching the wall when some tiles arrive stale.
+struct CompositeState {
+  std::vector<render::Framebuffer> lastGoodLeft;
+  std::vector<render::Framebuffer> lastGoodRight;
+  std::vector<bool> freshThisFrame;
+  bool failureSeen = false;
+  std::uint64_t failureFrame = 0;
+  bool recovered = false;
+};
 
 /// The per-rank protocol loop.
 void rankMain(int rank, net::InProcessTransport& transport,
+              net::FaultInjector& injector,
               const traj::TrajectoryDataset& dataset,
               const wall::WallSpec& wallSpec,
               const std::vector<render::SceneModel>& frames,
               const ClusterOptions& options, RankStats& stats,
               ClusterResult& sharedResult) {
-  net::Communicator comm(transport, rank);
+  net::Communicator comm(transport, rank,
+                         options.faultTolerance.collectiveConfig());
   net::SwapGroup swapGroup(comm);
   stats.rank = rank;
+  const int ranks = wallSpec.tileCount();
 
-  const RectI tileRect = wallSpec.tileRectPx(wallSpec.tileFromIndex(rank));
-  render::Framebuffer left(tileRect.w, tileRect.h);
-  render::Framebuffer right(tileRect.w, tileRect.h);
+  std::int64_t dieAtFrame = -1;
+  for (const RankFailure& f : options.failures) {
+    if (f.rank == rank) dieAtFrame = static_cast<std::int64_t>(f.atFrame);
+  }
 
-  for (std::size_t f = 0; f < frames.size(); ++f) {
-    // 1. State distribution. The master serializes; everyone (including
-    // the master, for protocol uniformity) decodes the broadcast buffer.
-    net::MessageBuffer sceneBuf;
-    if (rank == 0) serializeScene(sceneBuf, frames[f]);
-    if (!comm.broadcast(0, sceneBuf)) return;
-    const render::SceneModel scene = deserializeScene(sceneBuf);
-
-    // 2. Sort-first render of this rank's tile.
-    Stopwatch renderTimer;
-    const render::Canvas canvas{&left, tileRect};
-    const render::RenderStats rs =
-        renderScene(scene, dataset, canvas, render::Eye::kLeft);
-    stats.cellsDrawn += rs.cellsDrawn;
-    stats.cellsCulled += rs.cellsCulled;
-    if (options.stereo) {
-      const render::Canvas canvasR{&right, tileRect};
-      const render::RenderStats rsR =
-          renderScene(scene, dataset, canvasR, render::Eye::kRight);
-      stats.cellsDrawn += rsR.cellsDrawn;
-      stats.cellsCulled += rsR.cellsCulled;
+  // Tile framebuffers keyed by tile index; a rank holds one (its own) until
+  // failover hands it more.
+  std::map<int, render::Framebuffer> left, right;
+  auto tileBuffer = [&](std::map<int, render::Framebuffer>& eye,
+                        int tile) -> render::Framebuffer& {
+    const RectI r = wallSpec.tileRectPx(wallSpec.tileFromIndex(tile));
+    auto it = eye.find(tile);
+    if (it == eye.end()) {
+      it = eye.emplace(tile, render::Framebuffer(r.w, r.h)).first;
     }
-    stats.renderSeconds += renderTimer.elapsedSeconds();
+    return it->second;
+  };
 
-    // 3. Swap barrier: the wall flips as one.
-    Stopwatch barrierTimer;
-    if (!swapGroup.ready(f)) return;
-    stats.barrierSeconds += barrierTimer.elapsedSeconds();
+  CompositeState composite;
+  if (rank == 0 && options.gatherToMaster) {
+    composite.lastGoodLeft.reserve(static_cast<std::size_t>(ranks));
+    for (int t = 0; t < ranks; ++t) {
+      const RectI r = wallSpec.tileRectPx(wallSpec.tileFromIndex(t));
+      composite.lastGoodLeft.emplace_back(r.w, r.h);
+      if (options.stereo) composite.lastGoodRight.emplace_back(r.w, r.h);
+    }
+    composite.freshThisFrame.assign(static_cast<std::size_t>(ranks), false);
+  }
 
-    // 4. Optional gather for composition/verification.
-    if (options.gatherToMaster) {
-      Stopwatch gatherTimer;
-      net::MessageBuffer tileL;
-      serializeFramebuffer(tileL, left);
-      std::vector<net::MessageBuffer> gatheredL;
-      if (!comm.gather(0, std::move(tileL), gatheredL)) return;
-      std::vector<net::MessageBuffer> gatheredR;
-      if (options.stereo) {
-        net::MessageBuffer tileR;
-        serializeFramebuffer(tileR, right);
-        if (!comm.gather(0, std::move(tileR), gatheredR)) return;
+  auto protocol = [&] {
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      if (dieAtFrame >= 0 && static_cast<std::int64_t>(f) == dieAtFrame) {
+        // Simulated crash: the rank vanishes before this frame's state
+        // distribution. The injector makes its in-flight mail disappear
+        // the way a dead process's would.
+        stats.diedAtFrame = dieAtFrame;
+        injector.killRank(rank);
+        return;
       }
-      stats.gatherSeconds += gatherTimer.elapsedSeconds();
 
-      if (rank == 0) {
-        std::vector<render::Framebuffer> tilesL;
-        tilesL.reserve(gatheredL.size());
-        for (auto& buf : gatheredL) {
-          tilesL.push_back(deserializeFramebuffer(buf));
-        }
-        sharedResult.leftWall = wall::composeActivePixels(wallSpec, tilesL);
-        if (options.keepAllComposites) {
-          sharedResult.frameComposites.push_back(*sharedResult.leftWall);
-        }
+      // 1. State distribution. The master serializes; everyone (including
+      // the master, for protocol uniformity) decodes the broadcast buffer.
+      net::MessageBuffer sceneBuf;
+      if (rank == 0) serializeScene(sceneBuf, frames[f]);
+      if (!comm.broadcast(0, sceneBuf).completed()) return;
+      const render::SceneModel scene = deserializeScene(sceneBuf);
+
+      // Refresh tile ownership from the latest converged dead-set (the
+      // previous barrier's release payload). Sort-first means inheriting a
+      // dead rank's tile is just an extra clip rect — no data moves.
+      const std::vector<int> myTiles =
+          assignedTiles(rank, ranks, comm.deadMask());
+      stats.tilesOwnedAtEnd = static_cast<int>(myTiles.size());
+
+      // 2. Sort-first render of every owned tile.
+      Stopwatch renderTimer;
+      std::vector<TileImage> renderedLeft, renderedRight;
+      for (int tile : myTiles) {
+        const RectI tileRect = wallSpec.tileRectPx(wallSpec.tileFromIndex(tile));
+        render::Framebuffer& fbL = tileBuffer(left, tile);
+        const render::Canvas canvas{&fbL, tileRect};
+        const render::RenderStats rs =
+            renderScene(scene, dataset, canvas, render::Eye::kLeft);
+        stats.cellsDrawn += rs.cellsDrawn;
+        stats.cellsCulled += rs.cellsCulled;
         if (options.stereo) {
-          std::vector<render::Framebuffer> tilesR;
-          tilesR.reserve(gatheredR.size());
-          for (auto& buf : gatheredR) {
-            tilesR.push_back(deserializeFramebuffer(buf));
-          }
-          sharedResult.rightWall =
-              wall::composeActivePixels(wallSpec, tilesR);
+          render::Framebuffer& fbR = tileBuffer(right, tile);
+          const render::Canvas canvasR{&fbR, tileRect};
+          const render::RenderStats rsR =
+              renderScene(scene, dataset, canvasR, render::Eye::kRight);
+          stats.cellsDrawn += rsR.cellsDrawn;
+          stats.cellsCulled += rsR.cellsCulled;
+        }
+        if (options.gatherToMaster) {
+          renderedLeft.push_back(TileImage{tile, fbL});
+          if (options.stereo) renderedRight.push_back(TileImage{tile, right.at(tile)});
         }
       }
+      stats.renderSeconds += renderTimer.elapsedSeconds();
+
+      // 3. Swap barrier: the wall flips as one. This doubles as the
+      // heartbeat — a rank that misses it through the whole retry ladder
+      // is declared dead here, and the release tells the survivors.
+      Stopwatch barrierTimer;
+      const net::Status swapStatus = swapGroup.ready(f);
+      stats.barrierSeconds += barrierTimer.elapsedSeconds();
+      if (!swapStatus.completed()) return;
+
+      // 4. Optional gather for composition/verification. Runs over the
+      // post-barrier membership, so a rank declared dead this frame is no
+      // longer waited for.
+      if (options.gatherToMaster) {
+        Stopwatch gatherTimer;
+        net::MessageBuffer packetL;
+        serializeTilePacket(packetL, renderedLeft);
+        std::vector<net::MessageBuffer> gatheredL;
+        if (!comm.gather(0, std::move(packetL), gatheredL).completed()) return;
+        std::vector<net::MessageBuffer> gatheredR;
+        if (options.stereo) {
+          net::MessageBuffer packetR;
+          serializeTilePacket(packetR, renderedRight);
+          if (!comm.gather(0, std::move(packetR), gatheredR).completed()) {
+            return;
+          }
+        }
+        stats.gatherSeconds += gatherTimer.elapsedSeconds();
+
+        if (rank == 0) {
+          std::fill(composite.freshThisFrame.begin(),
+                    composite.freshThisFrame.end(), false);
+          for (auto& buf : gatheredL) {
+            if (buf.size() == 0) continue;  // dead rank's empty slot
+            for (TileImage& t : deserializeTilePacket(buf)) {
+              composite.lastGoodLeft[static_cast<std::size_t>(t.tileIndex)] =
+                  std::move(t.image);
+              composite.freshThisFrame[static_cast<std::size_t>(t.tileIndex)] =
+                  true;
+            }
+          }
+          if (options.stereo) {
+            for (auto& buf : gatheredR) {
+              if (buf.size() == 0) continue;
+              for (TileImage& t : deserializeTilePacket(buf)) {
+                composite.lastGoodRight[static_cast<std::size_t>(
+                    t.tileIndex)] = std::move(t.image);
+              }
+            }
+          }
+
+          const bool allFresh =
+              std::all_of(composite.freshThisFrame.begin(),
+                          composite.freshThisFrame.end(),
+                          [](bool fresh) { return fresh; });
+          if (!allFresh) {
+            ++sharedResult.degradedFrames;
+            if (!composite.failureSeen) {
+              composite.failureSeen = true;
+              composite.failureFrame = f;
+            }
+          } else if (composite.failureSeen && !composite.recovered) {
+            composite.recovered = true;
+            sharedResult.framesToRecovery = f - composite.failureFrame;
+          }
+
+          sharedResult.leftWall =
+              wall::composeActivePixels(wallSpec, composite.lastGoodLeft);
+          if (options.keepAllComposites) {
+            sharedResult.frameComposites.push_back(*sharedResult.leftWall);
+          }
+          if (options.stereo) {
+            sharedResult.rightWall =
+                wall::composeActivePixels(wallSpec, composite.lastGoodRight);
+          }
+        }
+      }
+      if (rank == 0) ++sharedResult.framesCompleted;
     }
-    (void)kTagTileLeft;
-    (void)kTagTileRight;
+  };
+  protocol();
+
+  stats.timeouts = comm.stats().timeouts;
+  stats.retries = comm.stats().retries;
+  stats.degradedSwaps = swapGroup.degradedSwaps();
+  if (rank == 0) {
+    sharedResult.ranksFailed =
+        static_cast<std::uint64_t>(std::popcount(comm.deadMask()));
   }
 }
 
@@ -109,18 +241,48 @@ ClusterResult runClusterSession(const traj::TrajectoryDataset& dataset,
   ClusterResult result;
   const int ranks = wallSpec.tileCount();
   net::InProcessTransport transport(ranks, options.network);
+  net::FaultInjector injector(options.faults);
+  transport.setFaultInjector(&injector);
   result.rankStats.resize(static_cast<std::size_t>(ranks));
+
+  // Watchdog: lets a deliberately non-fault-tolerant session with a dead
+  // rank be recovered (shutdown + aborted flag) instead of hanging the
+  // caller — the measurable "old API wedges the wall" baseline.
+  std::mutex watchdogMutex;
+  std::condition_variable watchdogCv;
+  bool sessionDone = false;
+  bool watchdogFired = false;
+  std::thread watchdog;
+  if (options.watchdogSeconds > 0.0) {
+    watchdog = std::thread([&] {
+      std::unique_lock lock(watchdogMutex);
+      const bool finished = watchdogCv.wait_for(
+          lock, std::chrono::duration<double>(options.watchdogSeconds),
+          [&] { return sessionDone; });
+      if (!finished) {
+        watchdogFired = true;
+        transport.shutdown();
+      }
+    });
+  }
 
   Stopwatch wallClock;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
-      rankMain(r, transport, dataset, wallSpec, frames, options,
+      rankMain(r, transport, injector, dataset, wallSpec, frames, options,
                result.rankStats[static_cast<std::size_t>(r)], result);
     });
   }
   for (auto& t : threads) t.join();
+  {
+    std::lock_guard lock(watchdogMutex);
+    sessionDone = true;
+    result.aborted = watchdogFired;
+  }
+  watchdogCv.notify_all();
+  if (watchdog.joinable()) watchdog.join();
   transport.shutdown();
 
   result.wallClockSeconds = wallClock.elapsedSeconds();

@@ -114,4 +114,26 @@ render::Framebuffer deserializeFramebuffer(MessageBuffer& buf) {
   return fb;
 }
 
+void serializeTilePacket(MessageBuffer& buf,
+                         const std::vector<TileImage>& tiles) {
+  buf.putU32(static_cast<std::uint32_t>(tiles.size()));
+  for (const TileImage& t : tiles) {
+    buf.putI32(t.tileIndex);
+    serializeFramebuffer(buf, t.image);
+  }
+}
+
+std::vector<TileImage> deserializeTilePacket(MessageBuffer& buf) {
+  const std::uint32_t n = buf.getU32();
+  std::vector<TileImage> tiles;
+  tiles.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TileImage t;
+    t.tileIndex = buf.getI32();
+    t.image = deserializeFramebuffer(buf);
+    tiles.push_back(std::move(t));
+  }
+  return tiles;
+}
+
 }  // namespace svq::cluster

@@ -7,6 +7,8 @@
 // MessageBuffer here.
 #pragma once
 
+#include <vector>
+
 #include "net/message.h"
 #include "render/framebuffer.h"
 #include "render/scene.h"
@@ -19,5 +21,19 @@ render::SceneModel deserializeScene(net::MessageBuffer& buf);
 void serializeFramebuffer(net::MessageBuffer& buf,
                           const render::Framebuffer& fb);
 render::Framebuffer deserializeFramebuffer(net::MessageBuffer& buf);
+
+/// One rendered tile, tagged with its wall tile index. Under fault
+/// tolerance a surviving rank renders (and ships) more than one tile per
+/// frame — its own plus any reassigned from dead ranks — so the gather
+/// payload carries explicit tile indices instead of relying on source
+/// rank == tile index.
+struct TileImage {
+  int tileIndex = 0;
+  render::Framebuffer image;
+};
+
+void serializeTilePacket(net::MessageBuffer& buf,
+                         const std::vector<TileImage>& tiles);
+std::vector<TileImage> deserializeTilePacket(net::MessageBuffer& buf);
 
 }  // namespace svq::cluster

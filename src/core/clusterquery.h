@@ -37,7 +37,7 @@ class SomExplorer {
   }
 
   /// Cluster-average trajectories of the displayable clusters, in the
-  /// same order (suitable for evaluateQueryOver / scene building).
+  /// same order (suitable for evaluate(makeRefs(...)) / scene building).
   std::vector<traj::Trajectory> clusterAverages() const;
 
   /// Evaluates a brush query at the overview scale: one result entry per

@@ -169,25 +169,4 @@ QueryResult evaluate(std::span<const TrajectoryRef> trajectories,
   return result;
 }
 
-// --- deprecated wrappers ----------------------------------------------------
-
-QueryResult evaluateQuery(const traj::TrajectoryDataset& dataset,
-                          std::span<const std::uint32_t> indices,
-                          const BrushGrid& brush, const QueryParams& params) {
-  return evaluate(makeRefs(dataset, indices), brush, params);
-}
-
-QueryResult evaluateQueryOver(std::span<const traj::Trajectory> trajectories,
-                              const BrushGrid& brush,
-                              const QueryParams& params) {
-  return evaluate(makeRefs(trajectories), brush, params);
-}
-
-void evaluateOne(const traj::Trajectory& t, std::uint32_t index,
-                 const BrushGrid& brush, const QueryParams& params,
-                 std::vector<std::int8_t>& segmentsOut,
-                 HighlightSummary& summaryOut) {
-  evaluate(TrajectoryRef{&t, index}, brush, params, segmentsOut, summaryOut);
-}
-
 }  // namespace svq::core

@@ -9,9 +9,7 @@
 //
 // Every evaluation flows through ONE code path: a span of TrajectoryRef
 // views. Datasets, displayed subsets, cluster averages and single
-// trajectories are all just different ways of building that span. The
-// legacy evaluateQuery / evaluateQueryOver / evaluateOne entry points
-// survive as [[deprecated]] forwarding wrappers.
+// trajectories are all just different ways of building that span.
 //
 // Evaluation is embarrassingly parallel over trajectories and linear in
 // the number of samples — this is the property that lets a query "cover"
@@ -162,26 +160,5 @@ void applyTemporalMask(const traj::Trajectory& t, std::uint32_t index,
                        const QueryParams& params,
                        std::vector<std::int8_t>& segmentsOut,
                        HighlightSummary& summaryOut);
-
-// --- deprecated wrappers ----------------------------------------------------
-
-/// Evaluates the brush mask against the listed trajectories.
-[[deprecated("use evaluate(makeRefs(dataset, indices), brush, params)")]]
-QueryResult evaluateQuery(const traj::TrajectoryDataset& dataset,
-                          std::span<const std::uint32_t> indices,
-                          const BrushGrid& brush, const QueryParams& params);
-
-/// Evaluates against a plain trajectory array (cluster averages, tests).
-[[deprecated("use evaluate(makeRefs(trajectories), brush, params)")]]
-QueryResult evaluateQueryOver(std::span<const traj::Trajectory> trajectories,
-                              const BrushGrid& brush,
-                              const QueryParams& params);
-
-/// Evaluates one trajectory; the summary's trajectoryIndex is `index`.
-[[deprecated("use evaluate(TrajectoryRef{&t, index}, brush, params, ...)")]]
-void evaluateOne(const traj::Trajectory& t, std::uint32_t index,
-                 const BrushGrid& brush, const QueryParams& params,
-                 std::vector<std::int8_t>& segmentsOut,
-                 HighlightSummary& summaryOut);
 
 }  // namespace svq::core

@@ -1,73 +1,213 @@
 #include "net/comm.h"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 
 namespace svq::net {
 
-bool Communicator::barrier() {
-  const int tag = nextEpochTag();
-  if (rank_ == 0) {
-    for (int r = 1; r < size(); ++r) {
-      if (!transport_->recv(0, kAnySource, tag)) return false;
-    }
-    for (int r = 1; r < size(); ++r) {
-      if (!transport_->send(0, r, tag, MessageBuffer{})) return false;
-    }
-    return true;
-  }
-  if (!transport_->send(rank_, 0, tag, MessageBuffer{})) return false;
-  return transport_->recv(rank_, 0, tag).has_value();
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsUntil(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
 }
 
-bool Communicator::broadcast(int root, MessageBuffer& data) {
+/// Cap on remembered stale epochs; a straggler sends at most one message
+/// per epoch it was late for, so a small window is plenty.
+constexpr std::size_t kMaxStaleTags = 64;
+
+}  // namespace
+
+void Communicator::drainStaleEpochs() {
+  for (int tag : staleTags_) {
+    stats_.staleDrained += transport_->purge(rank_, kAnySource, tag);
+  }
+  if (staleTags_.size() > kMaxStaleTags) {
+    staleTags_.erase(staleTags_.begin(),
+                     staleTags_.end() - static_cast<long>(kMaxStaleTags));
+  }
+}
+
+/// Collects one message per set bit of `remaining` (bit = source rank) on
+/// `tag`, clearing bits as they arrive, under the configured retry/backoff
+/// ladder. On return, any still-set bit is a peer that stayed silent
+/// through every window. Returns Shutdown/PeerFailed(self) to abort.
+Status Communicator::recvWithRetry(
+    std::uint64_t& remaining, int tag,
+    const std::function<void(Envelope&&)>& accept) {
+  if (!config_.detectsFailure()) {
+    while (remaining != 0) {
+      Envelope env;
+      const Status s =
+          transport_->recvFor(rank_, kNoTimeout, env, kAnySource, tag);
+      if (!s.isOk()) return s;
+      remaining &= ~(1ULL << env.source);
+      accept(std::move(env));
+    }
+    return Status::ok();
+  }
+  double window = config_.timeoutSeconds;
+  for (int attempt = 0; attempt <= config_.retries && remaining != 0;
+       ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      window *= config_.backoffMultiplier;
+    }
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(window));
+    while (remaining != 0) {
+      const double left = secondsUntil(deadline);
+      if (left <= 0.0) {
+        ++stats_.timeouts;
+        break;
+      }
+      Envelope env;
+      const Status s = transport_->recvFor(rank_, left, env, kAnySource, tag);
+      if (s.isTimeout()) {
+        ++stats_.timeouts;
+        break;
+      }
+      if (!s.isOk()) return s;
+      remaining &= ~(1ULL << env.source);
+      accept(std::move(env));
+    }
+  }
+  return Status::ok();
+}
+
+Status Communicator::barrier() {
   const int tag = nextEpochTag();
+  drainStaleEpochs();
+  if (rank_ == 0) {
+    std::uint64_t remaining = 0;
+    for (int r = 1; r < size(); ++r) {
+      if (isAlive(r)) remaining |= 1ULL << r;
+    }
+    const Status cs = recvWithRetry(remaining, tag, [](Envelope&&) {});
+    if (!cs.isOk()) return cs;
+    const std::uint64_t newlyDead = remaining;
+    int failedRank = -1;
+    if (newlyDead != 0) {
+      deadMask_ |= newlyDead;
+      stats_.peerFailures +=
+          static_cast<std::uint64_t>(std::popcount(newlyDead));
+      staleTags_.push_back(tag);
+      failedRank = std::countr_zero(newlyDead);
+    }
+    // Release the survivors; the payload is the heartbeat piggyback that
+    // propagates the converged dead-set.
+    for (int r = 1; r < size(); ++r) {
+      if (!isAlive(r)) continue;
+      MessageBuffer release;
+      release.putU8(static_cast<std::uint8_t>(
+          newlyDead ? StatusCode::kPeerFailed : StatusCode::kOk));
+      release.putI32(failedRank);
+      release.putU64(deadMask_);
+      const Status ss = transport_->sendFor(0, r, tag, std::move(release));
+      if (ss.isShutdown()) return ss;
+    }
+    return newlyDead ? Status::peerFailed(failedRank) : Status::ok();
+  }
+  // Non-root: report in, then wait for the release. The wait budget covers
+  // the root's full retry ladder (it may be waiting on a different rank).
+  {
+    const Status ss = transport_->sendFor(rank_, 0, tag, MessageBuffer{});
+    if (!ss.isOk()) return ss;
+  }
+  const double budget = config_.detectsFailure()
+                            ? config_.totalBudgetSeconds() * 2.0 + 0.25
+                            : kNoTimeout;
+  Envelope env;
+  const Status rs = transport_->recvFor(rank_, budget, env, 0, tag);
+  if (rs.isTimeout()) {
+    ++stats_.timeouts;
+    return Status::timeout(0);  // the coordinator is unreachable
+  }
+  if (!rs.isOk()) return rs;
+  const auto code = static_cast<StatusCode>(env.payload.getU8());
+  const int failedRank = env.payload.getI32();
+  deadMask_ |= env.payload.getU64();
+  return code == StatusCode::kPeerFailed ? Status::peerFailed(failedRank)
+                                         : Status::ok();
+}
+
+Status Communicator::broadcast(int root, MessageBuffer& data) {
+  const int tag = nextEpochTag();
+  drainStaleEpochs();
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
-      if (r == root) continue;
-      if (!transport_->send(root, r, tag, data)) return false;
+      if (r == root || !isAlive(r)) continue;
+      const Status ss = transport_->sendFor(root, r, tag, data);
+      if (!ss.isOk()) return ss;
     }
     data.rewind();
-    return true;
+    return Status::ok();
   }
-  auto env = transport_->recv(rank_, root, tag);
-  if (!env) return false;
-  data = std::move(env->payload);
+  Envelope env;
+  const double budget = config_.detectsFailure()
+                            ? config_.totalBudgetSeconds() * 2.0 + 0.25
+                            : kNoTimeout;
+  const Status rs = transport_->recvFor(rank_, budget, env, root, tag);
+  if (rs.isTimeout()) {
+    ++stats_.timeouts;
+    return Status::timeout(root);
+  }
+  if (!rs.isOk()) return rs;
+  data = std::move(env.payload);
   data.rewind();
-  return true;
+  return Status::ok();
 }
 
-bool Communicator::gather(int root, MessageBuffer data,
-                          std::vector<MessageBuffer>& out) {
+Status Communicator::gather(int root, MessageBuffer data,
+                            std::vector<MessageBuffer>& out) {
   const int tag = nextEpochTag();
+  drainStaleEpochs();
   out.clear();
   if (rank_ == root) {
     out.resize(static_cast<std::size_t>(size()));
     out[static_cast<std::size_t>(root)] = std::move(data);
-    for (int i = 0; i < size() - 1; ++i) {
-      auto env = transport_->recv(root, kAnySource, tag);
-      if (!env) return false;
-      out[static_cast<std::size_t>(env->source)] = std::move(env->payload);
+    std::uint64_t remaining = 0;
+    for (int r = 0; r < size(); ++r) {
+      if (r != root && isAlive(r)) remaining |= 1ULL << r;
     }
+    const Status cs = recvWithRetry(remaining, tag, [&out](Envelope&& env) {
+      out[static_cast<std::size_t>(env.source)] = std::move(env.payload);
+    });
+    if (!cs.isOk()) return cs;
     for (auto& b : out) b.rewind();
-    return true;
+    if (remaining != 0) {
+      deadMask_ |= remaining;
+      stats_.peerFailures +=
+          static_cast<std::uint64_t>(std::popcount(remaining));
+      staleTags_.push_back(tag);
+      return Status::peerFailed(std::countr_zero(remaining));
+    }
+    return Status::ok();
   }
-  return transport_->send(rank_, root, tag, std::move(data));
+  return transport_->sendFor(rank_, root, tag, std::move(data));
 }
 
-bool Communicator::allreduceSum(std::vector<double>& values) {
+Status Communicator::allreduceSum(std::vector<double>& values) {
   MessageBuffer buf;
   buf.putU32(static_cast<std::uint32_t>(values.size()));
   for (double v : values) buf.putU64(std::bit_cast<std::uint64_t>(v));
 
   std::vector<MessageBuffer> gathered;
-  if (!gather(0, std::move(buf), gathered)) return false;
+  Status status = gather(0, std::move(buf), gathered);
+  if (!status.completed()) return status;
 
   MessageBuffer result;
   if (rank_ == 0) {
     std::vector<double> sum(values.size(), 0.0);
     for (auto& contrib : gathered) {
+      if (contrib.size() == 0) continue;  // a dead rank's empty slot
       const std::uint32_t n = contrib.getU32();
-      if (n != sum.size()) return false;
+      if (n != sum.size()) {
+        throw MessageError("allreduce length mismatch");
+      }
       for (std::uint32_t i = 0; i < n; ++i) {
         sum[i] += std::bit_cast<double>(contrib.getU64());
       }
@@ -75,13 +215,15 @@ bool Communicator::allreduceSum(std::vector<double>& values) {
     result.putU32(static_cast<std::uint32_t>(sum.size()));
     for (double v : sum) result.putU64(std::bit_cast<std::uint64_t>(v));
   }
-  if (!broadcast(0, result)) return false;
+  const Status bs = broadcast(0, result);
+  if (!bs.completed()) return bs;
+  status = worse(status, bs);
   const std::uint32_t n = result.getU32();
   values.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     values[i] = std::bit_cast<double>(result.getU64());
   }
-  return true;
+  return status;
 }
 
 }  // namespace svq::net

@@ -5,12 +5,25 @@
 // gather, and allreduce. Collectives use a reserved tag namespace and a
 // per-communicator epoch counter so user traffic and successive
 // collectives never collide.
+//
+// Fault model: every collective returns a typed net::Status. With a
+// finite CollectiveConfig::timeoutSeconds, rank 0 (the coordinator of the
+// central-counter algorithms) detects missing peers by deadline — with
+// bounded retry/backoff before declaring failure — marks them dead, and
+// propagates the dead-set to the survivors in the barrier release payload
+// (the heartbeat piggyback). Subsequent collectives run over the
+// surviving membership, so one dead rank degrades the group instead of
+// wedging it. Epoch tags that timed out are recorded and drained at the
+// start of later collectives, so a late straggler's stale message can
+// never poison a newer collective or a wildcard user receive.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "net/status.h"
 #include "net/transport.h"
 
 namespace svq::net {
@@ -19,16 +32,51 @@ namespace svq::net {
 /// and < kCollectiveTagBase.
 inline constexpr int kCollectiveTagBase = 1 << 24;
 
+/// Deadline policy for collectives. The default (no timeout) reproduces
+/// the classic blocking semantics: a collective waits forever, and the
+/// only failure mode is transport shutdown.
+struct CollectiveConfig {
+  /// Per-wait deadline; < 0 waits indefinitely (failure detection off).
+  double timeoutSeconds = kNoTimeout;
+  /// Extra deadline windows granted before a silent peer is declared
+  /// failed; each window is backoffMultiplier times the previous one.
+  int retries = 2;
+  double backoffMultiplier = 2.0;
+
+  bool detectsFailure() const { return timeoutSeconds >= 0.0; }
+  /// Total wait budget across the initial window plus all retries.
+  double totalBudgetSeconds() const {
+    if (!detectsFailure()) return kNoTimeout;
+    double total = 0.0, window = timeoutSeconds;
+    for (int i = 0; i <= retries; ++i) {
+      total += window;
+      window *= backoffMultiplier;
+    }
+    return total;
+  }
+};
+
+/// Observability counters for the fault-handling paths.
+struct CollectiveStats {
+  std::uint64_t timeouts = 0;       ///< deadline windows that expired
+  std::uint64_t retries = 0;        ///< extra windows granted after a timeout
+  std::uint64_t peerFailures = 0;   ///< ranks this communicator declared dead
+  std::uint64_t staleDrained = 0;   ///< stale-epoch messages purged
+};
+
 /// Per-rank handle with MPI-like semantics. Not thread-safe per instance;
 /// each rank thread owns exactly one Communicator.
 class Communicator {
  public:
-  Communicator(InProcessTransport& transport, int rank)
-      : transport_(&transport), rank_(rank) {}
+  Communicator(InProcessTransport& transport, int rank,
+               CollectiveConfig config = {})
+      : transport_(&transport), rank_(rank), config_(config) {}
 
   int rank() const { return rank_; }
   int size() const { return transport_->rankCount(); }
   InProcessTransport& transport() const { return *transport_; }
+  const CollectiveConfig& config() const { return config_; }
+  void setConfig(const CollectiveConfig& config) { config_ = config; }
 
   /// Point-to-point, user tag space.
   bool send(int dst, int tag, MessageBuffer payload) {
@@ -38,28 +86,57 @@ class Communicator {
     return transport_->recv(rank_, source, tag);
   }
 
-  /// Blocks until every rank has entered the same barrier call.
+  // --- membership ----------------------------------------------------------
+  // Ranks declared failed are excluded from every subsequent collective.
+  // The dead-set converges across survivors at the next barrier (rank 0's
+  // release payload carries it).
+
+  bool isAlive(int rank) const { return !((deadMask_ >> rank) & 1u); }
+  int aliveCount() const { return size() - std::popcount(deadMask_); }
+  std::uint64_t deadMask() const { return deadMask_; }
+  /// Marks a rank dead locally (rank 0 also propagates at the next
+  /// barrier). Used by the cluster layer for scripted failovers.
+  void markDead(int rank) { deadMask_ |= 1ULL << rank; }
+
+  // --- collectives ---------------------------------------------------------
+
+  /// Blocks until every live rank has entered the same barrier call.
   /// Central-counter algorithm: ranks report to 0, 0 releases everyone.
-  /// Returns false on transport shutdown.
-  bool barrier();
+  /// The release payload doubles as the heartbeat: it carries the updated
+  /// dead-set. Returns PeerFailed(rank) when a peer was newly declared
+  /// dead (the barrier still completed over the survivors).
+  Status barrier();
 
-  /// Root's buffer is copied to all ranks; others' input is ignored.
+  /// Root's buffer is copied to all live ranks; others' input is ignored.
   /// Every rank receives the broadcast payload in `data`.
-  bool broadcast(int root, MessageBuffer& data);
+  Status broadcast(int root, MessageBuffer& data);
 
-  /// Every rank contributes `data`; on root, `out` receives size() buffers
-  /// indexed by rank. Non-root ranks get an empty `out`.
-  bool gather(int root, MessageBuffer data, std::vector<MessageBuffer>& out);
+  /// Every live rank contributes `data`; on root, `out` receives size()
+  /// buffers indexed by rank (dead ranks' entries empty). Non-root ranks
+  /// get an empty `out`. PeerFailed(rank) = a contributor was declared
+  /// dead this call; the surviving contributions are still in `out`.
+  Status gather(int root, MessageBuffer data, std::vector<MessageBuffer>& out);
 
-  /// Element-wise double-sum reduction of equal-length vectors; result is
-  /// delivered to every rank (reduce-to-root + broadcast).
-  bool allreduceSum(std::vector<double>& values);
+  /// Element-wise double-sum reduction of equal-length vectors over the
+  /// live ranks; result is delivered to every rank (reduce + broadcast).
+  Status allreduceSum(std::vector<double>& values);
+
+  const CollectiveStats& stats() const { return stats_; }
 
  private:
   int nextEpochTag() { return kCollectiveTagBase + (epoch_++ & 0xFFFFFF); }
+  void drainStaleEpochs();
+  /// Collects one message per set bit of `remaining` (bit index = source
+  /// rank) under the configured retry/backoff ladder; counts stats.
+  Status recvWithRetry(std::uint64_t& remaining, int tag,
+                       const std::function<void(Envelope&&)>& accept);
 
   InProcessTransport* transport_;
   int rank_;
+  CollectiveConfig config_;
+  CollectiveStats stats_;
+  std::uint64_t deadMask_ = 0;
+  std::vector<int> staleTags_;
   std::uint32_t epoch_ = 0;
 };
 

@@ -1,0 +1,45 @@
+#include "net/fault.h"
+
+#include <cassert>
+
+namespace svq::net {
+
+void FaultInjector::killRank(int rank) {
+  assert(rank >= 0 && rank < 64);
+  deadMask_.fetch_or(1ULL << rank, std::memory_order_acq_rel);
+  std::function<void(int)> observer;
+  {
+    std::lock_guard lock(mutex_);
+    observer = killObserver_;
+  }
+  if (observer) observer(rank);
+}
+
+bool FaultInjector::onSend(int src, int dst, double& extraDelaySeconds) {
+  extraDelaySeconds = 0.0;
+  // Messages from or to a crashed rank vanish: a dead process neither
+  // sends nor receives, and the sender learns of it only via timeout.
+  if (isDead(src) || isDead(dst)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (plan_.dropProbability <= 0.0 && plan_.delayProbability <= 0.0) {
+    return true;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 20) |
+                            static_cast<std::uint64_t>(dst);
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = edgeRng_.try_emplace(key, Rng(plan_.seed ^ (key * 0x9E3779B97F4A7C15ULL)));
+  Rng& rng = it->second;
+  if (plan_.dropProbability > 0.0 && rng.chance(plan_.dropProbability)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (plan_.delayProbability > 0.0 && rng.chance(plan_.delayProbability)) {
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+    extraDelaySeconds = plan_.delaySeconds;
+  }
+  return true;
+}
+
+}  // namespace svq::net

@@ -1,0 +1,83 @@
+// fault.h — deterministic fault injection for the in-process transport.
+//
+// The fault-tolerance protocol (timeouts, failure detection, tile
+// reassignment) needs failures it can rehearse: a rank that dies
+// mid-session, a message that the interconnect drops, a message that
+// arrives late. FaultInjector is the single hook the transport consults on
+// every send; it is seeded and deterministic per (src, dst) edge — each
+// edge draws from its own RNG stream, and per-edge send order is the
+// sender's program order, so a given seed always produces the same
+// drop/delay pattern regardless of thread interleaving across edges.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace svq::net {
+
+class FaultInjector {
+ public:
+  struct Plan {
+    double dropProbability = 0.0;   ///< P(message silently dropped)
+    double delayProbability = 0.0;  ///< P(message delayed by delaySeconds)
+    double delaySeconds = 0.0;      ///< extra latency for delayed messages
+    std::uint64_t seed = 0x5eedULL;
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(Plan plan) : plan_(plan) {}
+
+  /// Marks `rank` as crashed. Thread-safe and immediate: the rank's
+  /// subsequent sends are swallowed, messages addressed to it are dropped,
+  /// and its blocked receives wake with PeerFailed (when attached to a
+  /// transport). At most 64 ranks.
+  void killRank(int rank);
+
+  bool isDead(int rank) const {
+    return (deadMask_.load(std::memory_order_acquire) >> rank) & 1u;
+  }
+  std::uint64_t deadMask() const {
+    return deadMask_.load(std::memory_order_acquire);
+  }
+
+  /// Transport hook, called once per send. Returns false if the message
+  /// must be dropped; otherwise sets `extraDelaySeconds` (possibly 0).
+  bool onSend(int src, int dst, double& extraDelaySeconds);
+
+  // --- accounting ----------------------------------------------------------
+  std::uint64_t messagesDropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messagesDelayed() const {
+    return delayed_.load(std::memory_order_relaxed);
+  }
+  int ranksKilled() const {
+    return std::popcount(deadMask_.load(std::memory_order_acquire));
+  }
+
+  /// Set by InProcessTransport::setFaultInjector so killRank can wake the
+  /// victim's blocked receive.
+  void setKillObserver(std::function<void(int)> observer) {
+    std::lock_guard lock(mutex_);
+    killObserver_ = std::move(observer);
+  }
+
+ private:
+  Plan plan_;
+  mutable std::mutex mutex_;
+  /// Per-edge RNG streams keyed by (src << 20) | dst, lazily seeded from
+  /// plan_.seed so each edge's decision sequence is reproducible.
+  std::unordered_map<std::uint64_t, Rng> edgeRng_;
+  std::function<void(int)> killObserver_;
+  std::atomic<std::uint64_t> deadMask_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+};
+
+}  // namespace svq::net

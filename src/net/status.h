@@ -1,0 +1,72 @@
+// status.h — typed result of network operations.
+//
+// Every collective on Communicator/SwapGroup and every deadline-aware
+// transport operation returns a Status instead of a bare bool, so callers
+// can distinguish "a peer died" (continue in degraded mode) from "my own
+// deadline expired" (retry or give up) from "the transport was torn down"
+// (exit). PeerFailed/Timeout carry the offending rank, which is what the
+// cluster layer needs to reassign a dead rank's tile.
+#pragma once
+
+#include <cstdint>
+
+namespace svq::net {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,          ///< operation completed over all live participants
+  kTimeout = 1,     ///< deadline expired before the operation completed
+  kPeerFailed = 2,  ///< completed, but a peer was declared failed (degraded)
+  kShutdown = 3,    ///< transport shut down; no further progress possible
+};
+
+struct [[nodiscard]] Status {
+  StatusCode code = StatusCode::kOk;
+  /// The offending rank for kTimeout/kPeerFailed (-1 when not applicable:
+  /// kOk, kShutdown, or a timeout with no single identifiable peer).
+  int rank = -1;
+
+  static Status ok() { return {StatusCode::kOk, -1}; }
+  static Status timeout(int rank = -1) { return {StatusCode::kTimeout, rank}; }
+  static Status peerFailed(int rank) { return {StatusCode::kPeerFailed, rank}; }
+  static Status shutdown() { return {StatusCode::kShutdown, -1}; }
+
+  bool isOk() const { return code == StatusCode::kOk; }
+  bool isTimeout() const { return code == StatusCode::kTimeout; }
+  bool isPeerFailed() const { return code == StatusCode::kPeerFailed; }
+  bool isShutdown() const { return code == StatusCode::kShutdown; }
+  /// True when the operation produced a usable result — either fully (kOk)
+  /// or minus declared-dead peers (kPeerFailed). The degraded-mode loop in
+  /// svq::cluster keys off this.
+  bool completed() const { return isOk() || isPeerFailed(); }
+
+  explicit operator bool() const { return isOk(); }
+  bool operator==(const Status&) const = default;
+
+  const char* name() const {
+    switch (code) {
+      case StatusCode::kOk: return "Ok";
+      case StatusCode::kTimeout: return "Timeout";
+      case StatusCode::kPeerFailed: return "PeerFailed";
+      case StatusCode::kShutdown: return "Shutdown";
+    }
+    return "?";
+  }
+};
+
+/// The more severe of two statuses (Shutdown > Timeout > PeerFailed > Ok),
+/// used to fold the phases of a composite collective (e.g. allreduce =
+/// gather + broadcast) into one caller-visible result.
+inline Status worse(Status a, Status b) {
+  auto severity = [](StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return 0;
+      case StatusCode::kPeerFailed: return 1;
+      case StatusCode::kTimeout: return 2;
+      case StatusCode::kShutdown: return 3;
+    }
+    return 0;
+  };
+  return severity(b.code) > severity(a.code) ? b : a;
+}
+
+}  // namespace svq::net

@@ -2,13 +2,18 @@
 
 namespace svq::net {
 
-bool SwapGroup::ready(std::uint64_t frameId) {
+Status SwapGroup::ready(std::uint64_t frameId) {
   (void)frameId;  // the barrier epoch sequencing already orders frames
   Stopwatch timer;
-  const bool ok = comm_->barrier();
+  const Status status = comm_->barrier();
   waitStats_.add(timer.elapsedSeconds());
-  if (ok) ++framesSwapped_;
-  return ok;
+  if (status.completed()) {
+    ++framesSwapped_;
+    if (status.isPeerFailed()) ++degradedSwaps_;
+  } else {
+    ++failedSwaps_;
+  }
+  return status;
 }
 
 }  // namespace svq::net

@@ -7,11 +7,17 @@
 // per-node wait time is recorded so the benches can report barrier
 // overhead and load imbalance (the slowest tile gates the frame).
 //
+// The swap barrier doubles as the cluster heartbeat: with a finite
+// CollectiveConfig timeout, a member that misses the barrier through the
+// whole retry/backoff ladder is declared failed, the survivors still swap
+// (degraded), and ready() reports PeerFailed with the dead rank.
+//
 // NOTE (like all collectives): every member must call ready() for the
 // same sequence of frame ids.
 #pragma once
 
 #include "net/comm.h"
+#include "net/status.h"
 #include "util/stopwatch.h"
 
 namespace svq::net {
@@ -21,18 +27,27 @@ class SwapGroup {
   explicit SwapGroup(Communicator& comm) : comm_(&comm) {}
 
   /// Signals that this rank finished rendering frame `frameId` and blocks
-  /// until every rank has. Returns false on transport shutdown.
-  bool ready(std::uint64_t frameId);
+  /// until every live rank has. Ok = clean swap; PeerFailed(rank) = a
+  /// member was declared dead but the surviving wall still swapped;
+  /// Timeout/Shutdown = this rank could not swap at all.
+  Status ready(std::uint64_t frameId);
 
   /// Cumulative time this rank has spent blocked in ready().
   const TimingStats& waitStats() const { return waitStats_; }
 
   std::uint64_t framesSwapped() const { return framesSwapped_; }
+  /// Swaps that completed degraded (a peer was declared dead).
+  std::uint64_t degradedSwaps() const { return degradedSwaps_; }
+  /// ready() calls that failed outright (timeout waiting for the
+  /// coordinator, or transport shutdown).
+  std::uint64_t failedSwaps() const { return failedSwaps_; }
 
  private:
   Communicator* comm_;
   TimingStats waitStats_;
   std::uint64_t framesSwapped_ = 0;
+  std::uint64_t degradedSwaps_ = 0;
+  std::uint64_t failedSwaps_ = 0;
 };
 
 }  // namespace svq::net

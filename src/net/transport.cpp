@@ -15,18 +15,40 @@ InProcessTransport::InProcessTransport(int rankCount, NetworkModel network)
   }
 }
 
-bool InProcessTransport::send(int srcRank, int dstRank, int tag,
-                              MessageBuffer payload) {
-  if (shutdown_.load(std::memory_order_acquire)) return false;
+void InProcessTransport::setFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_) {
+    injector_->setKillObserver([this](int rank) {
+      if (rank < 0 || rank >= rankCount()) return;
+      Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+      std::lock_guard lock(box.mutex);
+      box.arrived.notify_all();
+    });
+  }
+}
+
+Status InProcessTransport::sendFor(int srcRank, int dstRank, int tag,
+                                   MessageBuffer payload) {
+  if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
   assert(dstRank >= 0 && dstRank < rankCount());
+  double extraDelay = 0.0;
+  if (injector_) {
+    if (injector_->isDead(srcRank)) return Status::peerFailed(srcRank);
+    if (!injector_->onSend(srcRank, dstRank, extraDelay)) {
+      return Status::ok();  // dropped in flight; sender cannot tell
+    }
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dstRank)];
   messagesSent_.fetch_add(1, std::memory_order_relaxed);
   bytesSent_.fetch_add(payload.size(), std::memory_order_relaxed);
   Clock::time_point deliverAt = Clock::now();
-  if (!network_.instantaneous()) {
+  const double transferS =
+      (network_.instantaneous() ? 0.0
+                                : network_.transferSeconds(payload.size())) +
+      extraDelay;
+  if (transferS > 0.0) {
     deliverAt += std::chrono::duration_cast<Clock::duration>(
-        std::chrono::duration<double>(
-            network_.transferSeconds(payload.size())));
+        std::chrono::duration<double>(transferS));
   }
   {
     std::lock_guard lock(box.mutex);
@@ -34,34 +56,50 @@ bool InProcessTransport::send(int srcRank, int dstRank, int tag,
         Queued{Envelope{srcRank, tag, std::move(payload)}, deliverAt});
   }
   box.arrived.notify_all();
-  return true;
+  return Status::ok();
 }
 
-std::optional<Envelope> InProcessTransport::recv(int rank, int source,
-                                                 int tag) {
+Status InProcessTransport::recvFor(int rank, double timeoutSeconds,
+                                   Envelope& out, int source, int tag) {
   assert(rank >= 0 && rank < rankCount());
+  const bool hasDeadline = timeoutSeconds >= 0.0;
+  const Clock::time_point deadline =
+      hasDeadline ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(
+                                           timeoutSeconds))
+                  : Clock::time_point::max();
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
   std::unique_lock lock(box.mutex);
   for (;;) {
+    if (injector_ && injector_->isDead(rank)) {
+      return Status::peerFailed(rank);  // a crashed rank cannot receive
+    }
     const Clock::time_point now = Clock::now();
     // Earliest matching-but-not-yet-deliverable message, if any.
     std::optional<Clock::time_point> earliestPending;
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (!matches(it->envelope, source, tag)) continue;
       if (it->deliverAt <= now) {
-        Envelope e = std::move(it->envelope);
+        out = std::move(it->envelope);
         box.queue.erase(it);
-        return e;
+        return Status::ok();
       }
       if (!earliestPending || it->deliverAt < *earliestPending) {
         earliestPending = it->deliverAt;
       }
     }
-    if (shutdown_.load(std::memory_order_acquire)) return std::nullopt;
-    if (earliestPending) {
-      box.arrived.wait_until(lock, *earliestPending);
-    } else {
+    if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
+    if (hasDeadline && now >= deadline) {
+      return Status::timeout(source == kAnySource ? -1 : source);
+    }
+    Clock::time_point wakeAt = deadline;
+    if (earliestPending && *earliestPending < wakeAt) {
+      wakeAt = *earliestPending;
+    }
+    if (wakeAt == Clock::time_point::max()) {
       box.arrived.wait(lock);
+    } else {
+      box.arrived.wait_until(lock, wakeAt);
     }
   }
 }
@@ -75,6 +113,22 @@ bool InProcessTransport::probe(int rank, int source, int tag) {
     if (matches(q.envelope, source, tag) && q.deliverAt <= now) return true;
   }
   return false;
+}
+
+std::size_t InProcessTransport::purge(int rank, int source, int tag) {
+  assert(rank >= 0 && rank < rankCount());
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard lock(box.mutex);
+  std::size_t removed = 0;
+  for (auto it = box.queue.begin(); it != box.queue.end();) {
+    if (matches(it->envelope, source, tag)) {
+      it = box.queue.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
 }
 
 void InProcessTransport::shutdown() {

@@ -6,6 +6,11 @@
 // rendering protocol built on top is the real, paper-relevant code path.
 // Messages are copied on send (no shared mutable state), preserving the
 // distributed-memory model.
+//
+// Fault surface: recvFor/sendFor take deadlines and return net::Status, and
+// an optional FaultInjector (kill rank / drop message / delay message,
+// seeded and deterministic) lets tests and benches rehearse interconnect
+// failure without wall-clock races.
 #pragma once
 
 #include <chrono>
@@ -15,13 +20,18 @@
 #include <optional>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/message.h"
+#include "net/status.h"
 
 namespace svq::net {
 
 /// Wildcard values for recv matching.
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+/// Timeout value meaning "wait indefinitely".
+inline constexpr double kNoTimeout = -1.0;
 
 /// A delivered message.
 struct Envelope {
@@ -58,27 +68,67 @@ struct NetworkModel {
 /// N-rank in-process transport with per-rank FIFO mailboxes.
 ///
 /// Thread-safe. Each rank should be driven by its own thread; recv blocks
-/// until a matching message arrives or shutdown() is called.
+/// until a matching message arrives, the deadline expires, or shutdown()
+/// is called.
 class InProcessTransport {
  public:
   explicit InProcessTransport(int rankCount, NetworkModel network = {});
 
   int rankCount() const { return static_cast<int>(mailboxes_.size()); }
 
-  /// Copies the payload into dst's mailbox. Returns false after shutdown.
-  bool send(int srcRank, int dstRank, int tag, MessageBuffer payload);
+  /// Copies the payload into dst's mailbox. Returns false after shutdown
+  /// (legacy convenience; see sendFor for the typed form).
+  bool send(int srcRank, int dstRank, int tag, MessageBuffer payload) {
+    return sendFor(srcRank, dstRank, tag, std::move(payload)).isOk();
+  }
+
+  /// Typed send. In-process sends never block, so there is no deadline;
+  /// the name parallels recvFor. Returns:
+  ///   Shutdown    — transport was shut down;
+  ///   PeerFailed(srcRank) — the *sender* is marked dead by the injector
+  ///                 (a crashed process cannot send);
+  ///   Ok          — queued for delivery, or swallowed because the injector
+  ///                 dropped it / the receiver is dead (the sender cannot
+  ///                 observe either, exactly like a real interconnect).
+  Status sendFor(int srcRank, int dstRank, int tag, MessageBuffer payload);
 
   /// Blocking receive for `rank`, matching source/tag (wildcards allowed).
   /// FIFO per (source, tag) pair; messages from other sources/tags stay
   /// queued. Returns nullopt if the transport is shut down while waiting.
   std::optional<Envelope> recv(int rank, int source = kAnySource,
-                               int tag = kAnyTag);
+                               int tag = kAnyTag) {
+    Envelope out;
+    return recvFor(rank, kNoTimeout, out, source, tag).isOk()
+               ? std::optional<Envelope>(std::move(out))
+               : std::nullopt;
+  }
 
-  /// Non-blocking probe: true iff a matching message is queued.
+  /// Deadline-aware receive. timeoutSeconds < 0 waits indefinitely;
+  /// 0 polls. Returns:
+  ///   Ok          — `out` holds the matched envelope;
+  ///   Timeout     — deadline expired (rank = `source` when specific);
+  ///   PeerFailed(rank) — the *receiving* rank is marked dead;
+  ///   Shutdown    — transport shut down while waiting.
+  Status recvFor(int rank, double timeoutSeconds, Envelope& out,
+                 int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe: true iff a matching message is deliverable now.
   bool probe(int rank, int source = kAnySource, int tag = kAnyTag);
+
+  /// Removes every queued message for `rank` matching source/tag,
+  /// deliverable or not, and returns how many were removed. Used to drain
+  /// stale collective epochs after a timeout so a late straggler cannot
+  /// poison a later collective or a wildcard user receive.
+  std::size_t purge(int rank, int source = kAnySource, int tag = kAnyTag);
 
   /// Wakes all blocked receivers; subsequent recv/send calls fail fast.
   void shutdown();
+
+  /// Attaches a fault injector (non-owning; caller keeps it alive for the
+  /// transport's lifetime). Call before rank threads start. killRank on
+  /// the injector wakes the victim's blocked receive.
+  void setFaultInjector(FaultInjector* injector);
+  FaultInjector* faultInjector() const { return injector_; }
 
   /// Total messages and bytes ever sent (traffic accounting for benches).
   std::uint64_t messagesSent() const;
@@ -107,6 +157,7 @@ class InProcessTransport {
 
   NetworkModel network_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  FaultInjector* injector_ = nullptr;
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> messagesSent_{0};
   std::atomic<std::uint64_t> bytesSent_{0};

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "core/session.h"
 #include "traj/synth.h"
 
@@ -222,6 +224,130 @@ TEST(ClusterSessionTest, CullingDistributesWork) {
   std::size_t totalCulled = 0;
   for (const RankStats& rs : result.rankStats) totalCulled += rs.cellsCulled;
   EXPECT_GT(totalCulled, 0u);
+}
+
+TEST(TileAssignmentTest, HealthyClusterOwnsOwnTiles) {
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(assignedTiles(r, 6, 0), std::vector<int>{r});
+  }
+}
+
+TEST(TileAssignmentTest, DeadTilesDealtRoundRobinOverSurvivors) {
+  const std::uint64_t dead = (1ULL << 2) | (1ULL << 4);
+  // Survivors in ascending order: 0,1,3,5. Dead tiles 2 then 4 are dealt
+  // to survivors 0 then 1.
+  EXPECT_EQ(assignedTiles(0, 6, dead), (std::vector<int>{0, 2}));
+  EXPECT_EQ(assignedTiles(1, 6, dead), (std::vector<int>{1, 4}));
+  EXPECT_EQ(assignedTiles(3, 6, dead), std::vector<int>{3});
+  EXPECT_EQ(assignedTiles(5, 6, dead), std::vector<int>{5});
+  EXPECT_TRUE(assignedTiles(2, 6, dead).empty());
+  EXPECT_TRUE(assignedTiles(4, 6, dead).empty());
+}
+
+TEST(TileAssignmentTest, AssignmentPartitionsTheWall) {
+  // Every tile owned exactly once, for every dead-set.
+  const int n = 8;
+  for (std::uint64_t dead = 0; dead < (1ULL << n); dead += 37) {
+    if (std::popcount(dead) == n) continue;  // nobody left
+    std::vector<int> owners(n, 0);
+    for (int r = 0; r < n; ++r) {
+      for (int tile : assignedTiles(r, n, dead)) ++owners[tile];
+    }
+    for (int t = 0; t < n; ++t) {
+      ASSERT_EQ(owners[t], 1) << "tile " << t << " dead-set " << dead;
+    }
+  }
+}
+
+TEST(ClusterFaultTest, KilledRankDegradesThenRecoversPixelComplete) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall(3, 2);
+  const render::SceneModel scene = makeScene(ds, w);
+  const std::vector<render::SceneModel> frames(6, scene);
+
+  FaultToleranceOptions ft;
+  ft.enabled = true;
+  ft.heartbeatTimeoutSeconds = 0.1;
+  ft.retries = 1;
+  const ClusterOptions options =
+      ClusterOptions::preset(ClusterPreset::kMinimal)
+          .withKeepAllComposites(true)
+          .withFaultTolerance(ft)
+          .withFailure(/*rank=*/3, /*atFrame=*/2);
+
+  const ClusterResult result = runClusterSession(ds, w, frames, options);
+
+  // The session completes instead of wedging.
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.framesCompleted, frames.size());
+  EXPECT_EQ(result.ranksFailed, 1u);
+  EXPECT_EQ(result.rankStats[3].diedAtFrame, 2);
+
+  // The wall degraded while the failure was detected, then recovered
+  // within the bound (the frame after detection re-renders the tile).
+  EXPECT_GE(result.degradedFrames, 1u);
+  EXPECT_LE(result.degradedFrames, 2u);
+  EXPECT_GE(result.framesToRecovery, 1u);
+  EXPECT_LE(result.framesToRecovery, 3u);
+
+  // Some survivor inherited the dead rank's tile.
+  int inherited = 0;
+  for (const RankStats& rs : result.rankStats) {
+    if (rs.diedAtFrame < 0 && rs.tilesOwnedAtEnd > 1) ++inherited;
+  }
+  EXPECT_EQ(inherited, 1);
+
+  // Pixel story: bit-identical to the reference before the failure, and —
+  // because the scene is static, so the last-good tile equals the live
+  // tile — on every degraded frame and after recovery too. No black tile,
+  // ever.
+  const auto ref = renderReferenceWall(ds, w, scene, render::Eye::kLeft);
+  ASSERT_EQ(result.frameComposites.size(), frames.size());
+  for (std::size_t f = 0; f < result.frameComposites.size(); ++f) {
+    EXPECT_EQ(result.frameComposites[f].contentHash(), ref.contentHash())
+        << "frame " << f;
+  }
+}
+
+TEST(ClusterFaultTest, WithoutFaultToleranceWatchdogAbortsWedgedSession) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall(3, 2);
+  const render::SceneModel scene = makeScene(ds, w);
+  const std::vector<render::SceneModel> frames(6, scene);
+
+  // Same failure, but the collectives block forever (classic bool-era
+  // semantics): the swap barrier wedges on the dead rank and only the
+  // watchdog gets the session back.
+  const ClusterOptions options = ClusterOptions::preset(ClusterPreset::kMinimal)
+                                     .withFailure(/*rank=*/3, /*atFrame=*/2)
+                                     .withWatchdog(2.5);
+
+  const ClusterResult result = runClusterSession(ds, w, frames, options);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_LT(result.framesCompleted, frames.size());
+}
+
+TEST(ClusterFaultTest, InterconnectDelayOnlySlowsTheSession) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall(2, 1);
+  const render::SceneModel scene = makeScene(ds, w);
+
+  net::FaultInjector::Plan plan;
+  plan.delayProbability = 1.0;
+  plan.delaySeconds = 0.005;
+  FaultToleranceOptions ft;
+  ft.enabled = true;
+  ft.heartbeatTimeoutSeconds = 1.0;  // far above the injected delay
+  const ClusterOptions options = ClusterOptions::preset(ClusterPreset::kMinimal)
+                                     .withFaults(plan)
+                                     .withFaultTolerance(ft);
+
+  const ClusterResult result = runClusterSession(ds, w, {scene}, options);
+  EXPECT_EQ(result.framesCompleted, 1u);
+  EXPECT_EQ(result.degradedFrames, 0u);
+  ASSERT_TRUE(result.leftWall.has_value());
+  const auto ref = renderReferenceWall(ds, w, scene, render::Eye::kLeft);
+  EXPECT_EQ(result.leftWall->contentHash(), ref.contentHash());
 }
 
 }  // namespace

@@ -223,42 +223,5 @@ TEST(HighlightSummaryTest, Accessors) {
   EXPECT_FLOAT_EQ(s.highlightedDuration(99), 0.0f);
 }
 
-// The legacy entry points must keep working (they forward into the unified
-// evaluate() path) until removal. This block deliberately silences the
-// deprecation warning to keep the wrappers covered in a -Werror-clean build.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedWrapperTest, WrappersMatchUnifiedEvaluate) {
-  const auto ds = syntheticDataset(40);
-  std::vector<std::uint32_t> indices(ds.size());
-  for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
-  const BrushGrid brush = westBrush();
-  const QueryParams params;
-
-  const QueryResult viaWrapper = evaluateQuery(ds, indices, brush, params);
-  const QueryResult viaUnified =
-      evaluate(makeRefs(ds, indices), brush, params);
-  ASSERT_EQ(viaWrapper.trajectoriesEvaluated,
-            viaUnified.trajectoriesEvaluated);
-  EXPECT_EQ(viaWrapper.totalSegmentsHighlighted,
-            viaUnified.totalSegmentsHighlighted);
-  EXPECT_EQ(viaWrapper.segmentHighlights, viaUnified.segmentHighlights);
-
-  const QueryResult overWrapper =
-      evaluateQueryOver(ds.all(), brush, params);
-  EXPECT_EQ(overWrapper.totalSegmentsHighlighted,
-            viaUnified.totalSegmentsHighlighted);
-
-  std::vector<std::int8_t> segsA, segsB;
-  HighlightSummary sumA, sumB;
-  evaluateOne(ds[0], 0, brush, params, segsA, sumA);
-  evaluate(TrajectoryRef{&ds[0], 0}, brush, params, segsB, sumB);
-  EXPECT_EQ(segsA, segsB);
-  EXPECT_EQ(sumA.segmentsPerBrush, sumB.segmentsPerBrush);
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace svq::core

@@ -33,10 +33,10 @@ TEST_P(CommTest, BarrierSynchronizesAllRanks) {
   runRanks(ranks, [&](int, Communicator& comm) {
     for (int round = 0; round < 5; ++round) {
       entered.fetch_add(1);
-      ASSERT_TRUE(comm.barrier());
+      ASSERT_TRUE(comm.barrier().isOk());
       // After the barrier every rank must have entered this round.
       if (entered.load() < ranks * (round + 1)) violation = true;
-      ASSERT_TRUE(comm.barrier());  // separate exit barrier per round
+      ASSERT_TRUE(comm.barrier().isOk());  // separate exit barrier per round
     }
   });
   EXPECT_FALSE(violation.load());
@@ -48,7 +48,7 @@ TEST_P(CommTest, BroadcastDeliversRootPayload) {
   runRanks(ranks, [&](int rank, Communicator& comm) {
     MessageBuffer buf;
     if (rank == 0) buf.putU32(4242);
-    ASSERT_TRUE(comm.broadcast(0, buf));
+    ASSERT_TRUE(comm.broadcast(0, buf).isOk());
     got[rank] = buf.getU32();
   });
   for (int r = 0; r < ranks; ++r) EXPECT_EQ(got[r], 4242u);
@@ -61,7 +61,7 @@ TEST_P(CommTest, BroadcastFromNonZeroRoot) {
   runRanks(ranks, [&](int rank, Communicator& comm) {
     MessageBuffer buf;
     if (rank == 1) buf.putU32(99);
-    ASSERT_TRUE(comm.broadcast(1, buf));
+    ASSERT_TRUE(comm.broadcast(1, buf).isOk());
     got[rank] = buf.getU32();
   });
   for (int r = 0; r < ranks; ++r) EXPECT_EQ(got[r], 99u);
@@ -74,7 +74,7 @@ TEST_P(CommTest, GatherCollectsByRank) {
     MessageBuffer mine;
     mine.putU32(static_cast<std::uint32_t>(rank * 10));
     std::vector<MessageBuffer> all;
-    ASSERT_TRUE(comm.gather(0, std::move(mine), all));
+    ASSERT_TRUE(comm.gather(0, std::move(mine), all).isOk());
     if (rank == 0) {
       ASSERT_EQ(all.size(), static_cast<std::size_t>(ranks));
       for (auto& b : all) rootView[0].push_back(b.getU32());
@@ -93,7 +93,7 @@ TEST_P(CommTest, AllreduceSumsAcrossRanks) {
   std::vector<std::vector<double>> results(ranks);
   runRanks(ranks, [&](int rank, Communicator& comm) {
     std::vector<double> v{static_cast<double>(rank), 1.0, 0.5};
-    ASSERT_TRUE(comm.allreduceSum(v));
+    ASSERT_TRUE(comm.allreduceSum(v).isOk());
     results[rank] = v;
   });
   const double rankSum = ranks * (ranks - 1) / 2.0;
@@ -113,14 +113,14 @@ TEST_P(CommTest, CollectivesComposeInSequence) {
     for (int round = 0; round < 3; ++round) {
       MessageBuffer b;
       if (rank == 0) b.putU32(static_cast<std::uint32_t>(round));
-      if (!comm.broadcast(0, b) || b.getU32() != static_cast<std::uint32_t>(round)) {
+      if (!comm.broadcast(0, b).isOk() || b.getU32() != static_cast<std::uint32_t>(round)) {
         ++failures;
       }
       MessageBuffer mine;
       mine.putU32(static_cast<std::uint32_t>(rank));
       std::vector<MessageBuffer> all;
-      if (!comm.gather(0, std::move(mine), all)) ++failures;
-      if (!comm.barrier()) ++failures;
+      if (!comm.gather(0, std::move(mine), all).isOk()) ++failures;
+      if (!comm.barrier().isOk()) ++failures;
     }
   });
   EXPECT_EQ(failures.load(), 0);
@@ -137,10 +137,10 @@ TEST_P(CommTest, UserTrafficDoesNotDisturbCollectives) {
       user.putU32(1234);
       comm.send(1, /*tag=*/7, std::move(user));
     }
-    ASSERT_TRUE(comm.barrier());
+    ASSERT_TRUE(comm.barrier().isOk());
     MessageBuffer b;
     if (rank == 0) b.putU32(1);
-    ASSERT_TRUE(comm.broadcast(0, b));
+    ASSERT_TRUE(comm.broadcast(0, b).isOk());
     if (rank == 1) {
       auto env = comm.recv(0, 7);
       ASSERT_TRUE(env.has_value());
@@ -159,7 +159,7 @@ TEST(SwapGroupTest, FramesSwappedCountsAndWaitStats) {
   runRanks(ranks, [&](int rank, Communicator& comm) {
     SwapGroup group(comm);
     for (std::uint64_t f = 0; f < 10; ++f) {
-      ASSERT_TRUE(group.ready(f));
+      ASSERT_TRUE(group.ready(f).isOk());
     }
     swapped[rank] = group.framesSwapped();
     EXPECT_EQ(group.waitStats().count(), 10);
@@ -175,7 +175,7 @@ TEST(SwapGroupTest, SlowRankGatesTheGroup) {
     if (rank == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
-    ASSERT_TRUE(group.ready(0));
+    ASSERT_TRUE(group.ready(0).isOk());
     waits[rank] = group.waitStats().total();
   });
   // The slow rank waits the least; a fast rank waits roughly the sleep.

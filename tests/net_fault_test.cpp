@@ -1,0 +1,376 @@
+// Tests for net/fault.h and the fault surface of transport/comm: seeded
+// deterministic injection (kill / drop / delay), deadline-aware receives,
+// failure detection in every collective, and stale-epoch draining.
+#include "net/comm.h"
+#include "net/fault.h"
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace svq::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Runs `body(rank, comm)` on `ranks` threads over the given transport.
+void runRanks(InProcessTransport& tp, CollectiveConfig cfg,
+              const std::function<void(int, Communicator&)>& body) {
+  std::vector<std::thread> threads;
+  for (int r = 0; r < tp.rankCount(); ++r) {
+    threads.emplace_back([&tp, cfg, r, &body] {
+      Communicator comm(tp, r, cfg);
+      body(r, comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+/// Failure-detection config with margins wide enough for a loaded 1-core
+/// CI box: detection needs ~0.3 s of silence, never a tight race.
+CollectiveConfig detectingConfig() {
+  CollectiveConfig cfg;
+  cfg.timeoutSeconds = 0.1;
+  cfg.retries = 1;
+  cfg.backoffMultiplier = 2.0;
+  return cfg;
+}
+
+// --- FaultInjector ----------------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameEdgeSameDecisions) {
+  FaultInjector::Plan plan;
+  plan.dropProbability = 0.3;
+  plan.delayProbability = 0.3;
+  plan.delaySeconds = 0.01;
+  plan.seed = 77;
+  FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 200; ++i) {
+    double delayA = 0.0, delayB = 0.0;
+    const bool keepA = a.onSend(0, 1, delayA);
+    const bool keepB = b.onSend(0, 1, delayB);
+    ASSERT_EQ(keepA, keepB) << "decision " << i;
+    ASSERT_EQ(delayA, delayB) << "decision " << i;
+  }
+}
+
+TEST(FaultInjectorTest, EdgesDrawFromIndependentStreams) {
+  FaultInjector::Plan plan;
+  plan.dropProbability = 0.5;
+  plan.seed = 9;
+  // Interleaving sends on edge (2,3) must not perturb edge (0,1).
+  FaultInjector pure(plan), interleaved(plan);
+  double d = 0.0;
+  std::vector<bool> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(pure.onSend(0, 1, d));
+    interleaved.onSend(2, 3, d);
+    b.push_back(interleaved.onSend(0, 1, d));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjectorTest, DropProbabilityOneDropsEverything) {
+  FaultInjector::Plan plan;
+  plan.dropProbability = 1.0;
+  FaultInjector inj(plan);
+  double d = 0.0;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(inj.onSend(0, 1, d));
+  EXPECT_EQ(inj.messagesDropped(), 10u);
+}
+
+TEST(FaultInjectorTest, DelayProbabilityOneDelaysEverything) {
+  FaultInjector::Plan plan;
+  plan.delayProbability = 1.0;
+  plan.delaySeconds = 0.25;
+  FaultInjector inj(plan);
+  for (int i = 0; i < 5; ++i) {
+    double d = 0.0;
+    EXPECT_TRUE(inj.onSend(0, 1, d));
+    EXPECT_DOUBLE_EQ(d, 0.25);
+  }
+  EXPECT_EQ(inj.messagesDelayed(), 5u);
+  EXPECT_EQ(inj.messagesDropped(), 0u);
+}
+
+TEST(FaultInjectorTest, KillRankMarksDeadAndSwallowsTraffic) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.isDead(3));
+  inj.killRank(3);
+  EXPECT_TRUE(inj.isDead(3));
+  EXPECT_EQ(inj.ranksKilled(), 1);
+  EXPECT_EQ(inj.deadMask(), 1ULL << 3);
+  double d = 0.0;
+  EXPECT_FALSE(inj.onSend(3, 0, d));  // dead sender
+  EXPECT_FALSE(inj.onSend(0, 3, d));  // dead receiver
+  EXPECT_EQ(inj.messagesDropped(), 2u);
+}
+
+// --- transport fault surface ------------------------------------------------
+
+TEST(TransportFaultTest, SendFromDeadRankReportsPeerFailed) {
+  InProcessTransport tp(2);
+  FaultInjector inj;
+  tp.setFaultInjector(&inj);
+  inj.killRank(0);
+  MessageBuffer buf;
+  buf.putU32(1);
+  const Status st = tp.sendFor(0, 1, 5, std::move(buf));
+  EXPECT_TRUE(st.isPeerFailed());
+  EXPECT_EQ(st.rank, 0);
+}
+
+TEST(TransportFaultTest, SendToDeadRankSucceedsButVanishes) {
+  InProcessTransport tp(2);
+  FaultInjector inj;
+  tp.setFaultInjector(&inj);
+  inj.killRank(1);
+  MessageBuffer buf;
+  buf.putU32(1);
+  // A real sender cannot observe that the peer's host just died.
+  EXPECT_TRUE(tp.sendFor(0, 1, 5, std::move(buf)).isOk());
+  EXPECT_FALSE(tp.probe(1));
+  EXPECT_GE(inj.messagesDropped(), 1u);
+}
+
+TEST(TransportFaultTest, RecvForTimesOutAndNamesTheSource) {
+  InProcessTransport tp(2);
+  Envelope out;
+  Status st = tp.recvFor(0, 0.02, out, /*source=*/1);
+  EXPECT_TRUE(st.isTimeout());
+  EXPECT_EQ(st.rank, 1);
+  st = tp.recvFor(0, 0.0, out);  // wildcard poll
+  EXPECT_TRUE(st.isTimeout());
+  EXPECT_EQ(st.rank, -1);
+}
+
+TEST(TransportFaultTest, RecvOnDeadRankReportsItself) {
+  InProcessTransport tp(2);
+  FaultInjector inj;
+  tp.setFaultInjector(&inj);
+  inj.killRank(1);
+  Envelope out;
+  const Status st = tp.recvFor(1, kNoTimeout, out);
+  EXPECT_TRUE(st.isPeerFailed());
+  EXPECT_EQ(st.rank, 1);
+}
+
+TEST(TransportFaultTest, BlockedRecvWakesWhenItsRankIsKilled) {
+  InProcessTransport tp(2);
+  FaultInjector inj;
+  tp.setFaultInjector(&inj);
+  Status got = Status::ok();
+  std::thread receiver([&] {
+    Envelope out;
+    got = tp.recvFor(1, kNoTimeout, out);
+  });
+  std::this_thread::sleep_for(50ms);
+  inj.killRank(1);
+  receiver.join();
+  EXPECT_TRUE(got.isPeerFailed());
+  EXPECT_EQ(got.rank, 1);
+}
+
+TEST(TransportFaultTest, DelayedMessageIsInvisibleUntilItsTime) {
+  FaultInjector::Plan plan;
+  plan.delayProbability = 1.0;
+  plan.delaySeconds = 0.3;
+  FaultInjector inj(plan);
+  InProcessTransport tp(2);
+  tp.setFaultInjector(&inj);
+  MessageBuffer buf;
+  buf.putU32(7);
+  ASSERT_TRUE(tp.sendFor(0, 1, 2, std::move(buf)).isOk());
+  Envelope out;
+  EXPECT_TRUE(tp.recvFor(1, 0.05, out, 0, 2).isTimeout());
+  const Status st = tp.recvFor(1, 2.0, out, 0, 2);
+  ASSERT_TRUE(st.isOk());
+  out.payload.rewind();
+  EXPECT_EQ(out.payload.getU32(), 7u);
+}
+
+TEST(TransportFaultTest, PurgeRemovesMatchingQueuedMessages) {
+  InProcessTransport tp(2);
+  for (int i = 0; i < 2; ++i) {
+    MessageBuffer b;
+    b.putU32(static_cast<std::uint32_t>(i));
+    ASSERT_TRUE(tp.sendFor(0, 1, /*tag=*/4, std::move(b)).isOk());
+  }
+  MessageBuffer keep;
+  keep.putU32(99);
+  ASSERT_TRUE(tp.sendFor(0, 1, /*tag=*/8, std::move(keep)).isOk());
+  EXPECT_EQ(tp.purge(1, kAnySource, 4), 2u);
+  EXPECT_FALSE(tp.probe(1, kAnySource, 4));
+  Envelope out;
+  ASSERT_TRUE(tp.recvFor(1, 0.0, out, kAnySource, 8).isOk());
+  out.payload.rewind();
+  EXPECT_EQ(out.payload.getU32(), 99u);
+}
+
+// --- collectives under faults -----------------------------------------------
+
+TEST(CollectiveFaultTest, EveryCollectiveSurvivesAKilledRank) {
+  InProcessTransport tp(3);
+  FaultInjector inj;
+  tp.setFaultInjector(&inj);
+  inj.killRank(2);  // dies before the session starts; never participates
+  std::vector<Status> first(3, Status::ok());
+  runRanks(tp, detectingConfig(), [&](int rank, Communicator& comm) {
+    if (rank == 2) return;  // the corpse
+    // Barrier doubles as failure detector: the root times out waiting for
+    // rank 2, declares it dead, and the release tells rank 1.
+    first[rank] = comm.barrier();
+    ASSERT_TRUE(first[rank].completed());
+    EXPECT_FALSE(comm.isAlive(2));
+    EXPECT_EQ(comm.aliveCount(), 2);
+
+    // Subsequent collectives run cleanly over the survivors.
+    ASSERT_TRUE(comm.barrier().isOk());
+    MessageBuffer b;
+    if (rank == 0) b.putU32(31337);
+    ASSERT_TRUE(comm.broadcast(0, b).isOk());
+    EXPECT_EQ(b.getU32(), 31337u);
+
+    MessageBuffer mine;
+    mine.putU32(static_cast<std::uint32_t>(rank + 1));
+    std::vector<MessageBuffer> all;
+    ASSERT_TRUE(comm.gather(0, std::move(mine), all).isOk());
+    if (rank == 0) {
+      ASSERT_EQ(all.size(), 3u);
+      EXPECT_EQ(all[0].getU32(), 1u);
+      EXPECT_EQ(all[1].getU32(), 2u);
+      EXPECT_EQ(all[2].size(), 0u);  // dead rank's slot stays empty
+    }
+
+    std::vector<double> v{static_cast<double>(rank), 1.0};
+    ASSERT_TRUE(comm.allreduceSum(v).isOk());
+    EXPECT_DOUBLE_EQ(v[0], 1.0);  // 0 + 1; rank 2 contributes nothing
+    EXPECT_DOUBLE_EQ(v[1], 2.0);
+  });
+  EXPECT_TRUE(first[0].isPeerFailed());
+  EXPECT_EQ(first[0].rank, 2);
+  EXPECT_TRUE(first[1].isPeerFailed());
+  EXPECT_EQ(first[1].rank, 2);
+}
+
+TEST(CollectiveFaultTest, GatherDetectsASilentContributor) {
+  InProcessTransport tp(3);
+  FaultInjector inj;
+  tp.setFaultInjector(&inj);
+  inj.killRank(1);
+  runRanks(tp, detectingConfig(), [&](int rank, Communicator& comm) {
+    if (rank == 1) return;
+    MessageBuffer mine;
+    mine.putU32(static_cast<std::uint32_t>(rank));
+    std::vector<MessageBuffer> all;
+    const Status st = comm.gather(0, std::move(mine), all);
+    if (rank == 0) {
+      EXPECT_TRUE(st.isPeerFailed());
+      EXPECT_EQ(st.rank, 1);
+      ASSERT_EQ(all.size(), 3u);
+      EXPECT_EQ(all[0].getU32(), 0u);
+      EXPECT_EQ(all[1].size(), 0u);
+      EXPECT_EQ(all[2].getU32(), 2u);
+      EXPECT_GE(comm.stats().timeouts, 1u);
+      EXPECT_GE(comm.stats().retries, 1u);
+    } else {
+      EXPECT_TRUE(st.isOk());  // contributors only send
+    }
+  });
+}
+
+TEST(CollectiveFaultTest, TotalMessageLossIsATimeoutNotAHang) {
+  FaultInjector::Plan plan;
+  plan.dropProbability = 1.0;
+  FaultInjector inj(plan);
+  InProcessTransport tp(2);
+  tp.setFaultInjector(&inj);
+  std::vector<Status> got(2, Status::ok());
+  runRanks(tp, detectingConfig(), [&](int rank, Communicator& comm) {
+    got[rank] = comm.barrier();
+  });
+  // Root saw silence and declared the peer dead; the peer never got a
+  // release and timed out on the root. Nobody blocked forever.
+  EXPECT_TRUE(got[0].isPeerFailed());
+  EXPECT_EQ(got[0].rank, 1);
+  EXPECT_TRUE(got[1].isTimeout());
+  EXPECT_EQ(got[1].rank, 0);
+}
+
+TEST(CollectiveFaultTest, UniformDelayOnlySlowsCollectivesDown) {
+  FaultInjector::Plan plan;
+  plan.delayProbability = 1.0;
+  plan.delaySeconds = 0.01;
+  FaultInjector inj(plan);
+  InProcessTransport tp(3);
+  tp.setFaultInjector(&inj);
+  CollectiveConfig cfg;
+  cfg.timeoutSeconds = 2.0;  // far above the injected delay
+  cfg.retries = 1;
+  runRanks(tp, cfg, [&](int rank, Communicator& comm) {
+    ASSERT_TRUE(comm.barrier().isOk());
+    MessageBuffer b;
+    if (rank == 0) b.putU32(5);
+    ASSERT_TRUE(comm.broadcast(0, b).isOk());
+    MessageBuffer mine;
+    mine.putU32(1);
+    std::vector<MessageBuffer> all;
+    ASSERT_TRUE(comm.gather(0, std::move(mine), all).isOk());
+  });
+  EXPECT_GT(inj.messagesDelayed(), 0u);
+  EXPECT_EQ(inj.messagesDropped(), 0u);
+}
+
+TEST(CollectiveFaultTest, StaleEpochStragglerIsDrainedNotDelivered) {
+  InProcessTransport tp(3);
+  FaultInjector inj;
+  tp.setFaultInjector(&inj);
+  std::atomic<bool> declaredDead{false};
+  std::atomic<bool> stragglerSent{false};
+  std::vector<std::uint64_t> drained(3, 0);
+  runRanks(tp, detectingConfig(), [&](int rank, Communicator& comm) {
+    if (rank == 2) {
+      // Stay silent until the others have declared us dead, then enter the
+      // barrier anyway: our arrival message lands in rank 0's mailbox
+      // tagged with an epoch rank 0 has already timed out.
+      while (!declaredDead.load()) std::this_thread::sleep_for(1ms);
+      const Status late = comm.barrier();
+      EXPECT_TRUE(late.isTimeout());  // nobody will ever release us
+      stragglerSent = true;
+      return;
+    }
+    EXPECT_TRUE(comm.barrier().isPeerFailed());
+    if (rank == 0) {
+      declaredDead = true;
+      while (!stragglerSent.load()) std::this_thread::sleep_for(1ms);
+      // The straggler's stale arrival must be purged by the next
+      // collective, not misread as this epoch's traffic...
+      ASSERT_TRUE(comm.barrier().isOk());
+      drained[0] = comm.stats().staleDrained;
+      // ...and must not leak into wildcard user receives either.
+      Envelope out;
+      EXPECT_TRUE(tp.recvFor(0, 0.0, out).isTimeout());
+    } else {
+      while (!stragglerSent.load()) std::this_thread::sleep_for(1ms);
+      ASSERT_TRUE(comm.barrier().isOk());
+    }
+  });
+  EXPECT_GE(drained[0], 1u);
+}
+
+TEST(CollectiveFaultTest, InfiniteTimeoutKeepsClassicBlockingSemantics) {
+  // Default config = no failure detection: a barrier over healthy ranks
+  // completes Ok and records no timeouts or retries.
+  InProcessTransport tp(4);
+  runRanks(tp, CollectiveConfig{}, [&](int, Communicator& comm) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(comm.barrier().isOk());
+    EXPECT_EQ(comm.stats().timeouts, 0u);
+    EXPECT_EQ(comm.stats().retries, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace svq::net

@@ -116,7 +116,11 @@ TEST(ClusterUnderNetworkModelTest, OutputIdenticalJustSlower) {
   ASSERT_TRUE(slowResult.leftWall.has_value());
   EXPECT_EQ(fastResult.leftWall->contentHash(),
             slowResult.leftWall->contentHash());
-  EXPECT_GT(slowResult.wallClockSeconds, fastResult.wallClockSeconds);
+  // The modeled network imposes a hard floor on the slow session's frame
+  // (broadcast -> barrier arrival -> release -> gather, each >= one 2 ms
+  // hop); comparing against the fast session's wall clock instead would
+  // be scheduling-noise-flaky on a loaded single-core host.
+  EXPECT_GE(slowResult.wallClockSeconds, 0.006);
 }
 
 }  // namespace
