@@ -1,0 +1,272 @@
+// E10: out-of-core scalability — 100k to 1M trajectories through the
+// sharded store (see EXPERIMENTS.md §E10).
+//
+// For each size N the driver:
+//   1. stream-generates N short trajectories straight into a shard store
+//      (peak writer memory = one shard, never the dataset),
+//   2. opens the store under a fixed cache budget and trains the batch
+//      SOM out-of-core (ShardSomExplorer — shards stream through the
+//      thread pool, features are recomputed per pass, never all resident),
+//   3. drills into the largest cluster and runs a full-fidelity brush
+//      query over its materialized members,
+//   4. measures overview brush-query throughput,
+// and reports train time, queries/sec, cache hit rate, and peak resident
+// trajectory bytes against the budget.
+//
+// Two acceptance checks gate the run (non-zero exit on failure):
+//   - bounded residency: peak resident bytes <= budget + one shard (the
+//     cache admits a shard before evicting, so the transient overshoot is
+//     at most the largest shard),
+//   - determinism (smallest size only): parallel training is bit-identical
+//     to serial — same weights, same assignment.
+//
+// Usage:
+//   bench_e10_scale [--sizes=100000,300000,1000000] [--budget-mb=64]
+//                   [--shard-capacity=4096] [--threads=4] [--epochs=6]
+//
+// The default is a single 100k sweep (fits a laptop's coffee break); the
+// acceptance run for the 1M figure is --sizes=100000,1000000.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/clusterquery.h"
+#include "traj/shardstore.h"
+#include "traj/synth.h"
+#include "util/stopwatch.h"
+#include "util/threadpool.h"
+
+using namespace svq;
+
+namespace {
+
+struct Options {
+  std::vector<std::uint64_t> sizes{100000};
+  std::size_t budgetMb = 64;
+  std::uint32_t shardCapacity = 4096;
+  unsigned threads = 4;
+  std::size_t epochs = 6;
+};
+
+bool parseArgs(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sizes=", 0) == 0) {
+      opt.sizes.clear();
+      std::string list = arg.substr(8);
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        opt.sizes.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+        pos = comma == std::string::npos ? list.size() : comma + 1;
+      }
+    } else if (arg.rfind("--budget-mb=", 0) == 0) {
+      opt.budgetMb = std::strtoull(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--shard-capacity=", 0) == 0) {
+      opt.shardCapacity = static_cast<std::uint32_t>(
+          std::strtoul(arg.c_str() + 17, nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      opt.epochs = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return opt.sizes.size() > 0 && opt.budgetMb > 0 && opt.shardCapacity > 0;
+}
+
+/// Streams N short trajectories into a shard store at `path`. Short
+/// trajectories (24 s cap at 5 Hz) keep the 1M file around half a GB.
+bool generateStore(const std::string& path, std::uint64_t n,
+                   std::uint32_t shardCapacity, double* seconds) {
+  traj::AntBehaviorParams params;
+  params.timeStepS = 0.2f;
+  params.maxDurationS = 24.0f;
+  traj::AntSimulator sim(params, 0xE10ULL + n);
+  const traj::ArenaSpec arena{};
+
+  Stopwatch sw;
+  traj::ShardStoreWriter writer(path, arena, shardCapacity);
+  if (!writer.ok()) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    traj::TrajectoryMeta meta;
+    meta.id = static_cast<std::uint32_t>(i);
+    meta.side = static_cast<traj::CaptureSide>(i % 5);
+    meta.direction = static_cast<traj::JourneyDirection>(i % 2);
+    meta.seed = static_cast<traj::SeedState>(i % 3);
+    writer.add(sim.simulate(meta, arena));
+  }
+  const bool ok = writer.finish();
+  *seconds = sw.elapsedSeconds();
+  return ok;
+}
+
+core::BrushGrid westBrush(float arenaRadius) {
+  core::BrushCanvas canvas(arenaRadius, 256);
+  core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, arenaRadius);
+  return canvas.grid();
+}
+
+std::uint64_t largestShardEstimateBytes(const traj::ShardStore& store) {
+  std::uint64_t largest = 0;
+  for (std::size_t s = 0; s < store.shardCount(); ++s) {
+    const traj::ShardInfo& info = store.shardInfo(s);
+    const std::uint64_t est = info.pointCount * sizeof(traj::TrajPoint) +
+                              info.trajectoryCount * sizeof(traj::Trajectory);
+    largest = est > largest ? est : largest;
+  }
+  return largest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parseArgs(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: %s [--sizes=N,N,...] [--budget-mb=M] "
+                 "[--shard-capacity=C] [--threads=T] [--epochs=E]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  traj::SomParams somP;
+  somP.rows = 8;
+  somP.cols = 8;
+  somP.epochs = opt.epochs;
+  somP.seed = 0x5C2012ULL;
+  traj::FeatureParams featP;
+  featP.resampleCount = 24;
+
+  ThreadPool pool(opt.threads);
+  const std::size_t budget = opt.budgetMb << 20;
+  bool allPass = true;
+
+  std::printf("E10 out-of-core scale sweep: budget=%zu MB, shard capacity=%u, "
+              "threads=%u, SOM %zux%zu x%zu epochs\n\n",
+              opt.budgetMb, opt.shardCapacity, opt.threads, somP.rows,
+              somP.cols, somP.epochs);
+  std::printf("%10s %9s %9s %9s %8s %9s %11s %11s %9s %9s\n", "trajs",
+              "gen_s", "file_MB", "train_s", "hit%", "peak_MB", "overview_qps",
+              "drill_qps", "clusters", "largest");
+
+  for (std::size_t si = 0; si < opt.sizes.size(); ++si) {
+    const std::uint64_t n = opt.sizes[si];
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("svq_e10_" + std::to_string(n) + ".svqs")).string();
+
+    double genSeconds = 0.0;
+    if (!generateStore(path, n, opt.shardCapacity, &genSeconds)) {
+      std::fprintf(stderr, "FAIL: could not write store for n=%" PRIu64 "\n",
+                   n);
+      return 1;
+    }
+    const auto fileBytes = std::filesystem::file_size(path);
+
+    traj::ShardStoreOptions storeOpt;
+    storeOpt.cacheBudgetBytes = budget;
+    storeOpt.metricsPrefix = "e10." + std::to_string(n);
+    auto store = traj::ShardStore::open(path, storeOpt);
+    if (!store) {
+      std::fprintf(stderr, "FAIL: could not open store for n=%" PRIu64 "\n",
+                   n);
+      return 1;
+    }
+
+    // 2. Out-of-core SOM training (the expensive offline step).
+    Stopwatch trainSw;
+    core::ShardSomExplorer explorer(*store, somP, featP, &pool);
+    const double trainSeconds = trainSw.elapsedSeconds();
+
+    // 3. Cluster drill-down: materialize the largest cluster and brush it
+    // at full fidelity.
+    std::uint32_t largestNode = 0;
+    std::size_t largestSize = 0;
+    for (std::uint32_t node : explorer.displayableClusters()) {
+      const std::size_t sz = explorer.clustering().members[node].size();
+      if (sz > largestSize) {
+        largestSize = sz;
+        largestNode = node;
+      }
+    }
+    const core::BrushGrid brush = westBrush(store->arena().radiusCm);
+    const core::QueryParams queryParams;
+
+    Stopwatch drillSw;
+    const core::QueryResult drill =
+        explorer.queryClusterMembers(largestNode, brush, queryParams);
+    const double drillSeconds = drillSw.elapsedSeconds();
+
+    // 4. Overview brush-query throughput (the interactive path: one
+    // evaluation per displayable cluster, independent of N).
+    const int overviewReps = 50;
+    Stopwatch overviewSw;
+    std::size_t highlighted = 0;
+    for (int r = 0; r < overviewReps; ++r) {
+      highlighted +=
+          explorer.queryClusters(brush, queryParams).trajectoriesHighlighted;
+    }
+    const double overviewQps = overviewReps / overviewSw.elapsedSeconds();
+
+    const traj::ShardCacheStats stats = store->cacheStats();
+    std::printf("%10" PRIu64 " %9.2f %9.1f %9.2f %7.1f%% %9.1f %11.1f %11.2f "
+                "%9zu %9zu\n",
+                n, genSeconds, fileBytes / double(1u << 20), trainSeconds,
+                100.0 * stats.hitRate(),
+                stats.peakBytesResident / double(1u << 20), overviewQps,
+                1.0 / drillSeconds, explorer.displayableClusters().size(),
+                largestSize);
+
+    // Acceptance: residency bounded by budget + one shard (admit-then-
+    // evict transient), verified by the metrics counters.
+    const std::uint64_t bound = budget + largestShardEstimateBytes(*store);
+    if (stats.peakBytesResident > bound) {
+      std::printf("  FAIL: peak resident %" PRIu64 " B exceeds budget+shard "
+                  "bound %" PRIu64 " B\n",
+                  stats.peakBytesResident, bound);
+      allPass = false;
+    } else {
+      std::printf("  PASS: peak resident %.1f MB within budget+shard bound "
+                  "%.1f MB (evictions=%" PRIu64 ")\n",
+                  stats.peakBytesResident / double(1u << 20),
+                  bound / double(1u << 20), stats.evictions);
+    }
+    if (drill.trajectoriesEvaluated != largestSize) {
+      std::printf("  FAIL: drill-down evaluated %zu of %zu members\n",
+                  drill.trajectoriesEvaluated, largestSize);
+      allPass = false;
+    }
+    (void)highlighted;
+
+    // Determinism gate at the smallest size: parallel training must be
+    // bit-identical to serial (same seed, any thread count or shard
+    // order — see Som::trainBatch).
+    if (si == 0) {
+      const traj::ShardClustering serial =
+          traj::clusterShardStore(*store, somP, featP, nullptr);
+      const bool identical =
+          serial.assignment == explorer.clustering().assignment &&
+          serial.somWeights == explorer.clustering().somWeights;
+      std::printf("  %s: parallel SOM %s serial (n=%" PRIu64 ")\n",
+                  identical ? "PASS" : "FAIL",
+                  identical ? "bit-identical to" : "DIVERGES from", n);
+      allPass = allPass && identical;
+    }
+
+    store.reset();
+    std::filesystem::remove(path);
+  }
+
+  std::printf("\n%s\n", allPass ? "E10: ALL CHECKS PASSED"
+                                : "E10: CHECK FAILURES (see above)");
+  return allPass ? 0 : 1;
+}

@@ -42,6 +42,59 @@ QueryResult SomExplorer::queryClusterMembers(std::uint32_t nodeIndex,
   return evaluate(makeRefs(*dataset_, members), brush, params);
 }
 
+ShardSomExplorer::ShardSomExplorer(const traj::ShardStore& store,
+                                   const traj::SomParams& somParams,
+                                   const traj::FeatureParams& featureParams,
+                                   ThreadPool* pool)
+    : store_(&store),
+      clustering_(
+          traj::clusterShardStore(store, somParams, featureParams, pool)) {
+  for (std::uint32_t node = 0; node < clustering_.nodeCount(); ++node) {
+    if (!clustering_.members[node].empty()) displayable_.push_back(node);
+  }
+}
+
+std::vector<traj::Trajectory> ShardSomExplorer::clusterAverages() const {
+  std::vector<traj::Trajectory> out;
+  out.reserve(displayable_.size());
+  for (std::uint32_t node : displayable_) {
+    out.push_back(clustering_.averages[node]);
+  }
+  return out;
+}
+
+QueryResult ShardSomExplorer::queryClusters(const BrushGrid& brush,
+                                            const QueryParams& params) const {
+  const auto averages = clusterAverages();
+  return evaluate(makeRefs(averages), brush, params);
+}
+
+std::vector<std::uint32_t> ShardSomExplorer::drillDown(
+    std::uint32_t nodeIndex) const {
+  if (nodeIndex >= clustering_.nodeCount()) return {};
+  return clustering_.members[nodeIndex];
+}
+
+traj::TrajectoryDataset ShardSomExplorer::materializeCluster(
+    std::uint32_t nodeIndex) const {
+  traj::TrajectoryDataset out(store_->arena());
+  const auto members = drillDown(nodeIndex);
+  out.reserve(members.size());
+  // Members are ascending, so shard loads are sequential: each member
+  // shard is fetched once and served from the cache for its run.
+  for (std::uint32_t g : members) {
+    out.add(store_->trajectory(g));
+  }
+  return out;
+}
+
+QueryResult ShardSomExplorer::queryClusterMembers(
+    std::uint32_t nodeIndex, const BrushGrid& brush,
+    const QueryParams& params) const {
+  const traj::TrajectoryDataset members = materializeCluster(nodeIndex);
+  return evaluate(makeRefs(members.all()), brush, params);
+}
+
 float SomExplorer::clusterQueryFidelity(const BrushGrid& brush,
                                         const QueryParams& params) const {
   if (displayable_.empty()) return 1.0f;

@@ -14,6 +14,7 @@
 #include "core/brush.h"
 #include "core/query.h"
 #include "traj/dataset.h"
+#include "traj/shardstore.h"
 #include "traj/som.h"
 
 namespace svq::core {
@@ -65,6 +66,57 @@ class SomExplorer {
  private:
   const traj::TrajectoryDataset* dataset_;
   traj::ClusteredDataset clustering_;
+  std::vector<std::uint32_t> displayable_;
+};
+
+/// Multi-scale explorer over an out-of-core ShardStore — the 100k–1M
+/// regime. Clustering streams shards through the thread pool (see
+/// traj::clusterShardStore); only the cluster averages and index
+/// structures stay resident. Drill-down materializes one cluster's
+/// members from the store on demand (bounded by the store's cache
+/// budget) and runs them through the same evaluate() path, so
+/// coordinated brushing is unchanged across scales.
+class ShardSomExplorer {
+ public:
+  /// Clusters the store (the expensive offline step). `pool` nullptr
+  /// trains serially; results are bit-identical either way.
+  ShardSomExplorer(const traj::ShardStore& store,
+                   const traj::SomParams& somParams,
+                   const traj::FeatureParams& featureParams,
+                   ThreadPool* pool = nullptr);
+
+  const traj::ShardStore& store() const { return *store_; }
+  const traj::ShardClustering& clustering() const { return clustering_; }
+
+  /// Non-empty cluster node indices in lattice order.
+  const std::vector<std::uint32_t>& displayableClusters() const {
+    return displayable_;
+  }
+
+  /// Cluster-average trajectories of the displayable clusters, in order.
+  std::vector<traj::Trajectory> clusterAverages() const;
+
+  /// Brush query at the overview scale: one entry per displayable cluster.
+  QueryResult queryClusters(const BrushGrid& brush,
+                            const QueryParams& params) const;
+
+  /// Global trajectory indices of one cluster; empty for out-of-range
+  /// nodes.
+  std::vector<std::uint32_t> drillDown(std::uint32_t nodeIndex) const;
+
+  /// Materializes one cluster's member trajectories from the store, in
+  /// ascending global-index order. Touches each member shard once.
+  traj::TrajectoryDataset materializeCluster(std::uint32_t nodeIndex) const;
+
+  /// Full-fidelity brush query over one cluster's members (materialized
+  /// on demand); result order matches drillDown(nodeIndex).
+  QueryResult queryClusterMembers(std::uint32_t nodeIndex,
+                                  const BrushGrid& brush,
+                                  const QueryParams& params) const;
+
+ private:
+  const traj::ShardStore* store_;
+  traj::ShardClustering clustering_;
   std::vector<std::uint32_t> displayable_;
 };
 

@@ -42,6 +42,55 @@ render::SceneModel sceneSkeleton(const ClusterSceneOptions& options,
   return scene;
 }
 
+// Shared overview-population path: out.averagesDataset and out.cellToNode
+// are filled by the caller; memberCounts[i] is the member count of cell i.
+void populateOverview(ClusterOverviewScene& out,
+                      const std::vector<std::size_t>& memberCounts,
+                      float arenaRadiusCm, const wall::WallSpec& wallSpec,
+                      const BrushGrid* brush,
+                      const ClusterSceneOptions& options) {
+  const std::size_t cells = out.cellToNode.size();
+  const LayoutConfig config = clusterGridFor(cells, wallSpec);
+  const SmallMultipleLayout layout =
+      SmallMultipleLayout::compute(wallSpec, config);
+
+  QueryResult query;
+  if (brush != nullptr) {
+    QueryParams params;
+    params.timeWindow = options.timeWindow;
+    query = evaluate(makeRefs(out.averagesDataset.all()), *brush, params);
+  }
+
+  out.scene = sceneSkeleton(options, arenaRadiusCm);
+
+  std::size_t maxMembers = 1;
+  for (std::size_t members : memberCounts) {
+    maxMembers = std::max(maxMembers, members);
+  }
+  for (std::size_t i = 0; i < cells; ++i) {
+    render::CellView cell;
+    cell.trajectoryIndex = static_cast<std::uint32_t>(i);
+    const int cx = static_cast<int>(i) % config.cellsX;
+    const int cy = static_cast<int>(i) / config.cellsX;
+    cell.rect = layout.cellRect(cx, cy);
+    const std::size_t members = memberCounts[i];
+    if (options.tintBySize) {
+      const float u = static_cast<float>(members) /
+                      static_cast<float>(maxMembers);
+      cell.background =
+          render::Color::lerp(render::colors::kDarkBg,
+                              render::Color{60, 60, 90, 255}, u);
+    }
+    if (options.labelCounts) {
+      cell.label = "N=" + std::to_string(members);
+    }
+    if (brush != nullptr && i < query.segmentHighlights.size()) {
+      cell.segmentHighlights = query.segmentHighlights[i];
+    }
+    out.scene.cells.push_back(std::move(cell));
+  }
+}
+
 }  // namespace
 
 ClusterOverviewScene buildClusterOverview(const SomExplorer& explorer,
@@ -58,44 +107,36 @@ ClusterOverviewScene buildClusterOverview(const SomExplorer& explorer,
     out.averagesDataset.add(avg);
   }
 
-  const LayoutConfig config = clusterGridFor(nodes.size(), wallSpec);
-  const SmallMultipleLayout layout =
-      SmallMultipleLayout::compute(wallSpec, config);
+  std::vector<std::size_t> memberCounts;
+  memberCounts.reserve(nodes.size());
+  for (std::uint32_t node : nodes) {
+    memberCounts.push_back(explorer.clustering().members[node].size());
+  }
+  populateOverview(out, memberCounts, explorer.dataset().arena().radiusCm,
+                   wallSpec, brush, options);
+  return out;
+}
 
-  QueryResult query;
-  if (brush != nullptr) {
-    QueryParams params;
-    params.timeWindow = options.timeWindow;
-    query = evaluate(makeRefs(out.averagesDataset.all()), *brush, params);
+ClusterOverviewScene buildClusterOverview(const ShardSomExplorer& explorer,
+                                          const wall::WallSpec& wallSpec,
+                                          const BrushGrid* brush,
+                                          const ClusterSceneOptions& options) {
+  ClusterOverviewScene out;
+  const auto& nodes = explorer.displayableClusters();
+  out.cellToNode = nodes;
+
+  out.averagesDataset = traj::TrajectoryDataset(explorer.store().arena());
+  for (const traj::Trajectory& avg : explorer.clusterAverages()) {
+    out.averagesDataset.add(avg);
   }
 
-  out.scene = sceneSkeleton(options, explorer.dataset().arena().radiusCm);
-
-  const std::size_t maxMembers =
-      std::max<std::size_t>(1, explorer.clustering().maxClusterSize());
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    render::CellView cell;
-    cell.trajectoryIndex = static_cast<std::uint32_t>(i);
-    const int cx = static_cast<int>(i) % config.cellsX;
-    const int cy = static_cast<int>(i) / config.cellsX;
-    cell.rect = layout.cellRect(cx, cy);
-    const std::size_t members =
-        explorer.clustering().members[nodes[i]].size();
-    if (options.tintBySize) {
-      const float u = static_cast<float>(members) /
-                      static_cast<float>(maxMembers);
-      cell.background =
-          render::Color::lerp(render::colors::kDarkBg,
-                              render::Color{60, 60, 90, 255}, u);
-    }
-    if (options.labelCounts) {
-      cell.label = "N=" + std::to_string(members);
-    }
-    if (brush != nullptr && i < query.segmentHighlights.size()) {
-      cell.segmentHighlights = query.segmentHighlights[i];
-    }
-    out.scene.cells.push_back(std::move(cell));
+  std::vector<std::size_t> memberCounts;
+  memberCounts.reserve(nodes.size());
+  for (std::uint32_t node : nodes) {
+    memberCounts.push_back(explorer.clustering().members[node].size());
   }
+  populateOverview(out, memberCounts, explorer.store().arena().radiusCm,
+                   wallSpec, brush, options);
   return out;
 }
 
@@ -130,6 +171,42 @@ render::SceneModel buildClusterDrillDown(const SomExplorer& explorer,
     scene.cells.push_back(std::move(cell));
   }
   return scene;
+}
+
+ClusterDrillDownScene buildClusterDrillDown(const ShardSomExplorer& explorer,
+                                            std::uint32_t nodeIndex,
+                                            const wall::WallSpec& wallSpec,
+                                            const BrushGrid* brush,
+                                            const ClusterSceneOptions& options) {
+  ClusterDrillDownScene out;
+  out.cellToGlobalIndex = explorer.drillDown(nodeIndex);
+  out.membersDataset = explorer.materializeCluster(nodeIndex);
+
+  const LayoutConfig config =
+      clusterGridFor(out.membersDataset.size(), wallSpec);
+  const SmallMultipleLayout layout =
+      SmallMultipleLayout::compute(wallSpec, config);
+
+  QueryResult query;
+  if (brush != nullptr) {
+    QueryParams params;
+    params.timeWindow = options.timeWindow;
+    query = evaluate(makeRefs(out.membersDataset.all()), *brush, params);
+  }
+
+  out.scene = sceneSkeleton(options, explorer.store().arena().radiusCm);
+  for (std::size_t i = 0; i < out.membersDataset.size(); ++i) {
+    render::CellView cell;
+    cell.trajectoryIndex = static_cast<std::uint32_t>(i);
+    const int cx = static_cast<int>(i) % config.cellsX;
+    const int cy = static_cast<int>(i) / config.cellsX;
+    cell.rect = layout.cellRect(cx, cy);
+    if (brush != nullptr && i < query.segmentHighlights.size()) {
+      cell.segmentHighlights = query.segmentHighlights[i];
+    }
+    out.scene.cells.push_back(std::move(cell));
+  }
+  return out;
 }
 
 }  // namespace svq::core

@@ -44,6 +44,14 @@ ClusterOverviewScene buildClusterOverview(const SomExplorer& explorer,
                                           const BrushGrid* brush,
                                           const ClusterSceneOptions& options);
 
+/// Overview scene over an out-of-core store: identical layout and brush
+/// semantics, but only the cluster averages are resident — the store's
+/// trajectories stay on disk.
+ClusterOverviewScene buildClusterOverview(const ShardSomExplorer& explorer,
+                                          const wall::WallSpec& wallSpec,
+                                          const BrushGrid* brush,
+                                          const ClusterSceneOptions& options);
+
 /// Drill-down scene for one cluster: its member trajectories in the
 /// standard grid, queried with the same brush at full fidelity.
 render::SceneModel buildClusterDrillDown(const SomExplorer& explorer,
@@ -51,6 +59,24 @@ render::SceneModel buildClusterDrillDown(const SomExplorer& explorer,
                                          const wall::WallSpec& wallSpec,
                                          const BrushGrid* brush,
                                          const ClusterSceneOptions& options);
+
+/// Drill-down over an out-of-core store: the chosen cluster's members are
+/// materialized from the shard cache on demand and returned alongside the
+/// scene (cells index membersDataset; cellToGlobalIndex maps back to
+/// store indices). The same brush machinery runs unchanged.
+struct ClusterDrillDownScene {
+  traj::TrajectoryDataset membersDataset;  ///< materialized cluster members
+  render::SceneModel scene;
+  /// scene.cells[i] shows membersDataset[i] == store trajectory
+  /// cellToGlobalIndex[i].
+  std::vector<std::uint32_t> cellToGlobalIndex;
+};
+
+ClusterDrillDownScene buildClusterDrillDown(const ShardSomExplorer& explorer,
+                                            std::uint32_t nodeIndex,
+                                            const wall::WallSpec& wallSpec,
+                                            const BrushGrid* brush,
+                                            const ClusterSceneOptions& options);
 
 /// Grid shape used for N cells on a wall (near-square, wall aspect aware).
 LayoutConfig clusterGridFor(std::size_t cellCount,

@@ -29,23 +29,29 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
 
   bool u8(std::uint8_t& v) { return raw(&v, sizeof v); }
   bool u32(std::uint32_t& v) { return raw(&v, sizeof v); }
   bool f32(float& v) { return raw(&v, sizeof v); }
   bool atEnd() const { return cursor_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
 
  private:
   bool raw(void* p, std::size_t n) {
-    if (cursor_ + n > bytes_.size()) return false;
+    if (n > bytes_.size() - cursor_) return false;
     std::memcpy(p, bytes_.data() + cursor_, n);
     cursor_ += n;
     return true;
   }
-  const std::string& bytes_;
+  std::string_view bytes_;
   std::size_t cursor_ = 0;
 };
+
+// Smallest possible encodings, used to bound count fields against the
+// remaining payload before allocating anything.
+constexpr std::size_t kTrajectoryRecordMinBytes = 4 + 1 + 1 + 1 + 4;
+constexpr std::size_t kPointBytes = 3 * sizeof(float);
 
 }  // namespace
 
@@ -71,7 +77,7 @@ std::string toBinary(const TrajectoryDataset& dataset) {
   return w.take();
 }
 
-std::optional<TrajectoryDataset> fromBinary(const std::string& bytes) {
+std::optional<TrajectoryDataset> fromBinary(std::string_view bytes) {
   Reader r(bytes);
   std::uint32_t magic = 0, version = 0, count = 0;
   float radius = 0.0f;
@@ -79,6 +85,10 @@ std::optional<TrajectoryDataset> fromBinary(const std::string& bytes) {
   if (!r.u32(version) || version != kVersion) return std::nullopt;
   if (!r.f32(radius) || radius <= 0.0f) return std::nullopt;
   if (!r.u32(count)) return std::nullopt;
+  // A hostile count field must not drive allocation: every trajectory
+  // occupies at least kTrajectoryRecordMinBytes, so a count the payload
+  // cannot hold is rejected before reserve().
+  if (count > r.remaining() / kTrajectoryRecordMinBytes) return std::nullopt;
 
   TrajectoryDataset ds(ArenaSpec{radius});
   ds.reserve(count);
@@ -90,6 +100,7 @@ std::optional<TrajectoryDataset> fromBinary(const std::string& bytes) {
         !r.u32(points)) {
       return std::nullopt;
     }
+    if (points > r.remaining() / kPointBytes) return std::nullopt;
     if (side > static_cast<std::uint8_t>(CaptureSide::kSouth) ||
         dir > static_cast<std::uint8_t>(JourneyDirection::kReturning) ||
         seed > static_cast<std::uint8_t>(SeedState::kDroppedAtCapture)) {
@@ -108,6 +119,10 @@ std::optional<TrajectoryDataset> fromBinary(const std::string& bytes) {
   }
   if (!r.atEnd()) return std::nullopt;  // trailing garbage
   return ds;
+}
+
+std::optional<TrajectoryDataset> fromBinary(const std::string& bytes) {
+  return fromBinary(std::string_view(bytes));
 }
 
 bool saveBinary(const TrajectoryDataset& dataset, const std::string& path) {

@@ -11,6 +11,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "traj/dataset.h"
 
@@ -19,7 +20,11 @@ namespace svq::traj {
 /// Serializes the dataset to the binary format.
 std::string toBinary(const TrajectoryDataset& dataset);
 
-/// Parses the binary format; nullopt on wrong magic/version/truncation.
+/// Parses the binary format; nullopt on wrong magic/version/truncation or
+/// count fields larger than the payload could possibly hold (the parser
+/// never allocates more than O(bytes.size())). The view overload lets the
+/// shard store decode a slice of a larger file without copying.
+std::optional<TrajectoryDataset> fromBinary(std::string_view bytes);
 std::optional<TrajectoryDataset> fromBinary(const std::string& bytes);
 
 /// File convenience wrappers.

@@ -1,0 +1,515 @@
+#include "traj/shardstore.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <fstream>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "traj/io_binary.h"
+#include "traj/resample.h"
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+namespace svq::traj {
+
+namespace {
+
+constexpr std::uint32_t kShardMagic = 0x53515653u;   // "SVQS"
+constexpr std::uint32_t kFooterMagic = 0x46515653u;  // "SVQF"
+constexpr std::uint32_t kShardVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 4;
+// offset + byteSize + firstGlobalIndex + pointCount, trajCount,
+// bounds (4 floats), maxDuration.
+constexpr std::size_t kFooterEntryBytes = 8 * 4 + 4 + 4 * 4 + 4;
+// shardCount, trajectoryCount, pointCount, footerBytes, magic.
+constexpr std::size_t kTailBytes = 4 + 8 + 8 + 8 + 4;
+
+void putU32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void putU64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void putF32(std::string& out, float v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+/// Bounded little-endian reader over a byte buffer.
+class BufReader {
+ public:
+  explicit BufReader(std::string_view bytes) : bytes_(bytes) {}
+  bool u32(std::uint32_t& v) { return raw(&v, sizeof v); }
+  bool u64(std::uint64_t& v) { return raw(&v, sizeof v); }
+  bool f32(float& v) { return raw(&v, sizeof v); }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (n > bytes_.size() - cursor_) return false;
+    std::memcpy(p, bytes_.data() + cursor_, n);
+    cursor_ += n;
+    return true;
+  }
+  std::string_view bytes_;
+  std::size_t cursor_ = 0;
+};
+
+/// Decoded-shard memory estimate used for the cache budget.
+std::uint64_t residentBytesEstimate(const ShardInfo& info) {
+  return info.pointCount * sizeof(TrajPoint) +
+         static_cast<std::uint64_t>(info.trajectoryCount) * sizeof(Trajectory);
+}
+
+}  // namespace
+
+// --- writer ----------------------------------------------------------------
+
+struct ShardStoreWriter::Impl {
+  std::ofstream out;
+  ArenaSpec arena;
+  std::uint32_t shardCapacity = 0;
+  TrajectoryDataset buffer;
+  std::vector<ShardInfo> infos;
+  std::uint64_t cursor = 0;
+  std::uint64_t totalPoints = 0;
+};
+
+ShardStoreWriter::ShardStoreWriter(const std::string& path, ArenaSpec arena,
+                                   std::uint32_t shardCapacity)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->arena = arena;
+  impl_->shardCapacity = std::max(1u, shardCapacity);
+  impl_->buffer = TrajectoryDataset(arena);
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    SVQ_ERROR << "shardstore: cannot open " << path << " for writing";
+    return;
+  }
+  std::string header;
+  putU32(header, kShardMagic);
+  putU32(header, kShardVersion);
+  putF32(header, arena.radiusCm);
+  putU32(header, impl_->shardCapacity);
+  impl_->out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  impl_->cursor = kHeaderBytes;
+  ok_ = static_cast<bool>(impl_->out);
+}
+
+ShardStoreWriter::~ShardStoreWriter() = default;
+
+void ShardStoreWriter::add(Trajectory t) {
+  if (!ok_ || finished_) return;
+  impl_->buffer.add(std::move(t));
+  ++totalTrajectories_;
+  if (impl_->buffer.size() >= impl_->shardCapacity) flushShard();
+}
+
+void ShardStoreWriter::flushShard() {
+  if (impl_->buffer.empty()) return;
+  ShardInfo info;
+  info.offset = impl_->cursor;
+  info.trajectoryCount = static_cast<std::uint32_t>(impl_->buffer.size());
+  info.firstGlobalIndex =
+      totalTrajectories_ - static_cast<std::uint64_t>(impl_->buffer.size());
+  for (const Trajectory& t : impl_->buffer.all()) {
+    info.pointCount += t.size();
+    info.bounds.expand(t.bounds());
+    info.maxDuration = std::max(info.maxDuration, t.duration());
+  }
+  const std::string blob = toBinary(impl_->buffer);
+  info.byteSize = blob.size();
+  impl_->out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  impl_->cursor += blob.size();
+  impl_->totalPoints += info.pointCount;
+  impl_->infos.push_back(info);
+  impl_->buffer = TrajectoryDataset(impl_->arena);
+  ok_ = static_cast<bool>(impl_->out);
+}
+
+bool ShardStoreWriter::finish() {
+  if (!ok_ || finished_) return ok_ && finished_;
+  flushShard();
+  std::string footer;
+  for (const ShardInfo& info : impl_->infos) {
+    putU64(footer, info.offset);
+    putU64(footer, info.byteSize);
+    putU64(footer, info.firstGlobalIndex);
+    putU64(footer, info.pointCount);
+    putU32(footer, info.trajectoryCount);
+    const bool valid = info.bounds.valid();
+    putF32(footer, valid ? info.bounds.min.x : 0.0f);
+    putF32(footer, valid ? info.bounds.min.y : 0.0f);
+    putF32(footer, valid ? info.bounds.max.x : 0.0f);
+    putF32(footer, valid ? info.bounds.max.y : 0.0f);
+    putF32(footer, info.maxDuration);
+  }
+  putU32(footer, static_cast<std::uint32_t>(impl_->infos.size()));
+  putU64(footer, totalTrajectories_);
+  putU64(footer, impl_->totalPoints);
+  putU64(footer, static_cast<std::uint64_t>(impl_->infos.size()) *
+                     kFooterEntryBytes);
+  putU32(footer, kFooterMagic);
+  impl_->out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  impl_->out.flush();
+  ok_ = static_cast<bool>(impl_->out);
+  finished_ = true;
+  impl_->out.close();
+  return ok_;
+}
+
+// --- reader ----------------------------------------------------------------
+
+struct ShardStore::Impl {
+  std::string path;
+  ShardStoreOptions options;
+  ArenaSpec arena;
+  std::uint32_t shardCapacity = 0;
+  std::vector<ShardInfo> infos;
+  std::uint64_t trajectoryCount = 0;
+  std::uint64_t totalPoints = 0;
+
+  // Cache state: all guarded by mutex (including the ifstream).
+  mutable std::mutex mutex;
+  mutable std::ifstream in;
+  struct Entry {
+    std::shared_ptr<const TrajectoryDataset> dataset;
+    std::uint64_t bytes = 0;
+    std::list<std::size_t>::iterator lruIt;
+  };
+  mutable std::unordered_map<std::size_t, Entry> cache;
+  mutable std::list<std::size_t> lru;  // front = most recently used
+  mutable std::uint64_t bytesResident = 0;
+
+  Counter* hits = nullptr;
+  Counter* misses = nullptr;
+  Counter* evictions = nullptr;
+  Gauge* residentGauge = nullptr;
+
+  void evictDownToBudget() {
+    while (bytesResident > options.cacheBudgetBytes && lru.size() > 1) {
+      const std::size_t victim = lru.back();
+      lru.pop_back();
+      auto it = cache.find(victim);
+      bytesResident -= it->second.bytes;
+      residentGauge->sub(it->second.bytes);
+      cache.erase(it);
+      evictions->add();
+    }
+  }
+};
+
+ShardStore::ShardStore() : impl_(std::make_unique<Impl>()) {}
+ShardStore::~ShardStore() = default;
+ShardStore::ShardStore(ShardStore&&) noexcept = default;
+ShardStore& ShardStore::operator=(ShardStore&&) noexcept = default;
+
+std::optional<ShardStore> ShardStore::open(const std::string& path,
+                                           ShardStoreOptions options) {
+  ShardStore store;
+  Impl& s = *store.impl_;
+  s.path = path;
+  s.options = options;
+  s.in.open(path, std::ios::binary);
+  if (!s.in) return std::nullopt;
+
+  s.in.seekg(0, std::ios::end);
+  const std::uint64_t fileSize = static_cast<std::uint64_t>(s.in.tellg());
+  if (fileSize < kHeaderBytes + kTailBytes) return std::nullopt;
+
+  // Header.
+  std::string headerBytes(kHeaderBytes, '\0');
+  s.in.seekg(0);
+  s.in.read(headerBytes.data(), kHeaderBytes);
+  BufReader header(headerBytes);
+  std::uint32_t magic = 0, version = 0;
+  float radius = 0.0f;
+  if (!header.u32(magic) || magic != kShardMagic) return std::nullopt;
+  if (!header.u32(version) || version != kShardVersion) return std::nullopt;
+  if (!header.f32(radius) || radius <= 0.0f) return std::nullopt;
+  if (!header.u32(s.shardCapacity) || s.shardCapacity == 0) return std::nullopt;
+  s.arena = ArenaSpec{radius};
+
+  // Tail, then footer.
+  std::string tailBytes(kTailBytes, '\0');
+  s.in.seekg(static_cast<std::streamoff>(fileSize - kTailBytes));
+  s.in.read(tailBytes.data(), kTailBytes);
+  BufReader tail(tailBytes);
+  std::uint32_t shardCount = 0, tailMagic = 0;
+  std::uint64_t footerBytes = 0;
+  if (!tail.u32(shardCount) || !tail.u64(s.trajectoryCount) ||
+      !tail.u64(s.totalPoints) || !tail.u64(footerBytes) ||
+      !tail.u32(tailMagic) || tailMagic != kFooterMagic) {
+    return std::nullopt;
+  }
+  if (footerBytes != static_cast<std::uint64_t>(shardCount) * kFooterEntryBytes ||
+      kHeaderBytes + footerBytes + kTailBytes > fileSize) {
+    return std::nullopt;
+  }
+
+  std::string footerBuf(footerBytes, '\0');
+  s.in.seekg(static_cast<std::streamoff>(fileSize - kTailBytes - footerBytes));
+  s.in.read(footerBuf.data(), static_cast<std::streamsize>(footerBytes));
+  if (!s.in) return std::nullopt;
+  BufReader footer(footerBuf);
+  s.infos.resize(shardCount);
+  std::uint64_t expectedFirst = 0;
+  for (ShardInfo& info : s.infos) {
+    float minX = 0, minY = 0, maxX = 0, maxY = 0;
+    if (!footer.u64(info.offset) || !footer.u64(info.byteSize) ||
+        !footer.u64(info.firstGlobalIndex) || !footer.u64(info.pointCount) ||
+        !footer.u32(info.trajectoryCount) || !footer.f32(minX) ||
+        !footer.f32(minY) || !footer.f32(maxX) || !footer.f32(maxY) ||
+        !footer.f32(info.maxDuration)) {
+      return std::nullopt;
+    }
+    info.bounds = AABB2::of({minX, minY}, {maxX, maxY});
+    // Payloads must lie between header and footer and tile the global
+    // index space in order.
+    if (info.offset < kHeaderBytes ||
+        info.offset + info.byteSize > fileSize - kTailBytes - footerBytes ||
+        info.firstGlobalIndex != expectedFirst || info.trajectoryCount == 0) {
+      return std::nullopt;
+    }
+    expectedFirst += info.trajectoryCount;
+  }
+  if (expectedFirst != s.trajectoryCount) return std::nullopt;
+
+  const std::string prefix = options.metricsPrefix;
+  auto& registry = MetricsRegistry::global();
+  s.hits = &registry.counter(prefix + ".hits");
+  s.misses = &registry.counter(prefix + ".misses");
+  s.evictions = &registry.counter(prefix + ".evictions");
+  s.residentGauge = &registry.gauge(prefix + ".bytes_resident");
+  return store;
+}
+
+const ArenaSpec& ShardStore::arena() const { return impl_->arena; }
+std::size_t ShardStore::shardCount() const { return impl_->infos.size(); }
+std::uint64_t ShardStore::trajectoryCount() const {
+  return impl_->trajectoryCount;
+}
+std::uint64_t ShardStore::totalPoints() const { return impl_->totalPoints; }
+std::uint32_t ShardStore::shardCapacity() const { return impl_->shardCapacity; }
+
+const ShardInfo& ShardStore::shardInfo(std::size_t shard) const {
+  return impl_->infos[shard];
+}
+
+std::shared_ptr<const TrajectoryDataset> ShardStore::shard(
+    std::size_t shard) const {
+  Impl& s = *impl_;
+  assert(shard < s.infos.size());
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (auto it = s.cache.find(shard); it != s.cache.end()) {
+    s.hits->add();
+    s.lru.splice(s.lru.begin(), s.lru, it->second.lruIt);
+    return it->second.dataset;
+  }
+  s.misses->add();
+  const ShardInfo& info = s.infos[shard];
+  std::string blob(info.byteSize, '\0');
+  s.in.clear();
+  s.in.seekg(static_cast<std::streamoff>(info.offset));
+  s.in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!s.in) {
+    SVQ_ERROR << "shardstore: short read for shard " << shard;
+    return nullptr;
+  }
+  auto decoded = fromBinary(std::string_view(blob));
+  if (!decoded) {
+    SVQ_ERROR << "shardstore: corrupt payload for shard " << shard;
+    return nullptr;
+  }
+  auto dataset =
+      std::make_shared<const TrajectoryDataset>(std::move(*decoded));
+  Impl::Entry entry;
+  entry.dataset = dataset;
+  entry.bytes = residentBytesEstimate(info);
+  s.lru.push_front(shard);
+  entry.lruIt = s.lru.begin();
+  s.bytesResident += entry.bytes;
+  s.residentGauge->add(entry.bytes);
+  s.cache.emplace(shard, std::move(entry));
+  s.evictDownToBudget();
+  return dataset;
+}
+
+std::pair<std::size_t, std::uint32_t> ShardStore::locate(
+    std::uint64_t globalIndex) const {
+  const auto& infos = impl_->infos;
+  assert(globalIndex < impl_->trajectoryCount);
+  auto it = std::upper_bound(
+      infos.begin(), infos.end(), globalIndex,
+      [](std::uint64_t g, const ShardInfo& info) {
+        return g < info.firstGlobalIndex;
+      });
+  const std::size_t shard = static_cast<std::size_t>(it - infos.begin()) - 1;
+  return {shard, static_cast<std::uint32_t>(
+                     globalIndex - infos[shard].firstGlobalIndex)};
+}
+
+Trajectory ShardStore::trajectory(std::uint64_t globalIndex) const {
+  const auto [shardIdx, local] = locate(globalIndex);
+  const auto dataset = shard(shardIdx);
+  if (!dataset) return {};
+  return (*dataset)[local];
+}
+
+ShardCacheStats ShardStore::cacheStats() const {
+  const Impl& s = *impl_;
+  ShardCacheStats stats;
+  stats.hits = s.hits->value();
+  stats.misses = s.misses->value();
+  stats.evictions = s.evictions->value();
+  stats.bytesResident = s.residentGauge->value();
+  stats.peakBytesResident = s.residentGauge->peak();
+  return stats;
+}
+
+void ShardStore::clearCache() const {
+  Impl& s = *impl_;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& [shard, entry] : s.cache) s.residentGauge->sub(entry.bytes);
+  s.cache.clear();
+  s.lru.clear();
+  s.bytesResident = 0;
+}
+
+// --- clustering ------------------------------------------------------------
+
+std::vector<std::vector<float>> ShardFeatureSource::loadBlock(
+    std::size_t b) const {
+  const auto dataset = store_->shard(b);
+  if (!dataset) return {};
+  const std::size_t dim = featureDimension(params_);
+  std::vector<std::vector<float>> features(dataset->size());
+  for (std::size_t i = 0; i < dataset->size(); ++i) {
+    features[i] = extractFeatures((*dataset)[i], params_);
+    // Degenerate (empty) trajectories yield short vectors; pad so every
+    // sample matches the SOM's feature dimension.
+    features[i].resize(dim, 0.0f);
+  }
+  return features;
+}
+
+std::size_t ShardClustering::nonEmptyClusters() const {
+  std::size_t n = 0;
+  for (const auto& m : members) {
+    if (!m.empty()) ++n;
+  }
+  return n;
+}
+
+std::size_t ShardClustering::maxClusterSize() const {
+  std::size_t n = 0;
+  for (const auto& m : members) n = std::max(n, m.size());
+  return n;
+}
+
+ShardClustering clusterShardStore(const ShardStore& store,
+                                  const SomParams& somParams,
+                                  const FeatureParams& featureParams,
+                                  ThreadPool* pool) {
+  ShardClustering out;
+  out.somParams = somParams;
+  out.featureParams = featureParams;
+
+  const std::size_t dim = featureDimension(featureParams);
+  Som som(somParams, dim);
+  ShardFeatureSource source(store, featureParams);
+  BatchTrainOptions trainOptions;
+  trainOptions.pool = pool;
+  som.trainBatch(source, trainOptions);
+
+  const std::size_t nodes = som.nodeCount();
+  out.somWeights.reserve(nodes);
+  for (std::size_t r = 0; r < som.rows(); ++r) {
+    for (std::size_t c = 0; c < som.cols(); ++c) {
+      out.somWeights.push_back(som.weights(r, c));
+    }
+  }
+
+  // Assignment + cluster-average pass: shards stream through the pool,
+  // each accumulating resampled member positions into its own per-node
+  // sums; reduction runs in shard order (deterministic).
+  const std::size_t shardCount = store.shardCount();
+  const std::size_t resample = featureParams.resampleCount;
+  out.assignment.resize(store.trajectoryCount());
+  struct ShardAcc {
+    std::vector<double> sums;           // nodes * resample * 3 (x, y, t)
+    std::vector<std::uint64_t> counts;  // nodes
+  };
+  std::vector<ShardAcc> acc(shardCount);
+
+  const auto processShard = [&](std::size_t shardIdx) {
+    const auto dataset = store.shard(shardIdx);
+    ShardAcc& a = acc[shardIdx];
+    a.sums.assign(nodes * resample * 3, 0.0);
+    a.counts.assign(nodes, 0);
+    if (!dataset) return;
+    const std::uint64_t first = store.shardInfo(shardIdx).firstGlobalIndex;
+    for (std::size_t i = 0; i < dataset->size(); ++i) {
+      const Trajectory& t = (*dataset)[i];
+      std::vector<float> f = extractFeatures(t, featureParams);
+      f.resize(dim, 0.0f);
+      const std::size_t bmu = som.bestMatchingUnit(f);
+      out.assignment[first + i] = static_cast<std::uint32_t>(bmu);
+      if (t.empty()) continue;  // nothing to average
+      const Trajectory r = resampleUniform(t, resample);
+      double* sums = a.sums.data() + bmu * resample * 3;
+      for (std::size_t p = 0; p < resample && p < r.size(); ++p) {
+        sums[p * 3 + 0] += static_cast<double>(r[p].pos.x);
+        sums[p * 3 + 1] += static_cast<double>(r[p].pos.y);
+        sums[p * 3 + 2] += static_cast<double>(r[p].t);
+      }
+      ++a.counts[bmu];
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallelFor(0, shardCount, processShard, 1);
+  } else {
+    for (std::size_t i = 0; i < shardCount; ++i) processShard(i);
+  }
+
+  std::vector<double> sums(nodes * resample * 3, 0.0);
+  std::vector<std::uint64_t> counts(nodes, 0);
+  for (std::size_t shardIdx = 0; shardIdx < shardCount; ++shardIdx) {
+    for (std::size_t i = 0; i < sums.size(); ++i) sums[i] += acc[shardIdx].sums[i];
+    for (std::size_t n = 0; n < nodes; ++n) counts[n] += acc[shardIdx].counts[n];
+  }
+
+  out.members.assign(nodes, {});
+  for (std::size_t g = 0; g < out.assignment.size(); ++g) {
+    out.members[out.assignment[g]].push_back(static_cast<std::uint32_t>(g));
+  }
+
+  out.averages.resize(nodes);
+  for (std::size_t node = 0; node < nodes; ++node) {
+    if (counts[node] == 0) continue;
+    const double inv = 1.0 / static_cast<double>(counts[node]);
+    std::vector<TrajPoint> pts(resample);
+    const double* nodeSums = sums.data() + node * resample * 3;
+    for (std::size_t p = 0; p < resample; ++p) {
+      pts[p].pos.x = static_cast<float>(nodeSums[p * 3 + 0] * inv);
+      pts[p].pos.y = static_cast<float>(nodeSums[p * 3 + 1] * inv);
+      pts[p].t = static_cast<float>(nodeSums[p * 3 + 2] * inv);
+    }
+    TrajectoryMeta meta;
+    meta.id = static_cast<std::uint32_t>(node);
+    out.averages[node] = Trajectory(meta, std::move(pts));
+  }
+  return out;
+}
+
+bool writeShardStore(const TrajectoryDataset& dataset, const std::string& path,
+                     std::uint32_t shardCapacity) {
+  ShardStoreWriter writer(path, dataset.arena(), shardCapacity);
+  if (!writer.ok()) return false;
+  for (const Trajectory& t : dataset.all()) writer.add(t);
+  return writer.finish();
+}
+
+}  // namespace svq::traj

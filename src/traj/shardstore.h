@@ -1,0 +1,199 @@
+// shardstore.h — sharded, out-of-core trajectory store (§VI.C at scale).
+//
+// The in-memory TrajectoryDataset tops out around 10k trajectories; the
+// paper's scalability path (and the ROADMAP north star) needs 100k–1M.
+// This store keeps the dataset on disk, split into fixed-capacity shards,
+// and materializes only the shards a computation actually touches through
+// a memory-bounded LRU cache.
+//
+// File layout ("SVQS" container, version 1, little-endian), built on the
+// existing SVQT trajectory format:
+//
+//   header:   magic u32 "SVQS", version u32, arenaRadius f32,
+//             shardCapacity u32
+//   payloads: shardCount complete SVQT blobs (io_binary format),
+//             back-to-back
+//   footer:   per shard { offset u64, byteSize u64, firstGlobalIndex u64,
+//             pointCount u64, trajectoryCount u32, bounds 4*f32,
+//             maxDuration f32 }
+//   tail:     shardCount u32, trajectoryCount u64, pointCount u64,
+//             footerBytes u64, magic u32 "SVQF"
+//
+// The tail is fixed-size and read first (from the end of the file), so
+// opening a store touches O(shardCount) bytes, never the payloads. The
+// per-shard feature summaries (bounds, counts, max duration) let callers
+// prune shards without loading them.
+//
+// Cache behaviour: shard(i) returns a shared_ptr so evicted shards stay
+// alive for callers still holding them; eviction is LRU down to
+// cacheBudgetBytes (a single shard larger than the budget stays resident
+// while referenced — the budget bounds what the *cache* retains).
+// Hit/miss/eviction/bytes-resident counters are surfaced through the
+// util/metrics registry under "<metricsPrefix>.*".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "traj/dataset.h"
+#include "traj/som.h"
+#include "util/geometry.h"
+#include "util/metrics.h"
+
+namespace svq::traj {
+
+/// Footer entry: everything known about a shard without loading it.
+struct ShardInfo {
+  std::uint64_t offset = 0;           ///< payload byte offset in the file
+  std::uint64_t byteSize = 0;         ///< payload byte size
+  std::uint64_t firstGlobalIndex = 0; ///< global index of its first trajectory
+  std::uint64_t pointCount = 0;
+  std::uint32_t trajectoryCount = 0;
+  AABB2 bounds;                       ///< union of member sample bounds
+  float maxDuration = 0.0f;           ///< longest member duration (s)
+};
+
+/// Streaming writer: add() trajectories in global-index order; a shard is
+/// flushed to disk whenever `shardCapacity` trajectories are buffered, so
+/// peak memory is one shard regardless of dataset size.
+class ShardStoreWriter {
+ public:
+  ShardStoreWriter(const std::string& path, ArenaSpec arena,
+                   std::uint32_t shardCapacity);
+  ~ShardStoreWriter();
+
+  ShardStoreWriter(const ShardStoreWriter&) = delete;
+  ShardStoreWriter& operator=(const ShardStoreWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  std::uint64_t trajectoriesWritten() const { return totalTrajectories_; }
+
+  void add(Trajectory t);
+  /// Flushes the partial shard and the footer; returns false on IO errors.
+  /// The file is not a valid store until finish() succeeds.
+  bool finish();
+
+ private:
+  void flushShard();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t totalTrajectories_ = 0;
+  bool ok_ = false;
+  bool finished_ = false;
+};
+
+/// Cache counter snapshot (values read from the metrics registry).
+struct ShardCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytesResident = 0;
+  std::uint64_t peakBytesResident = 0;
+
+  double hitRate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+struct ShardStoreOptions {
+  /// LRU budget over decoded shard bytes (estimate: points * sizeof
+  /// TrajPoint + trajectories * sizeof Trajectory).
+  std::size_t cacheBudgetBytes = 64u << 20;
+  /// Metrics names are "<prefix>.hits" etc. Give concurrent stores
+  /// distinct prefixes when their counters must not mix.
+  std::string metricsPrefix = "shardstore";
+};
+
+/// Read side: lazily loads shards through the LRU cache. Thread-safe —
+/// SOM training streams shards from pool workers.
+class ShardStore {
+ public:
+  /// Opens a store file; nullopt on missing/corrupt header or footer.
+  static std::optional<ShardStore> open(const std::string& path,
+                                        ShardStoreOptions options = {});
+  ~ShardStore();
+  ShardStore(ShardStore&&) noexcept;
+  ShardStore& operator=(ShardStore&&) noexcept;
+
+  const ArenaSpec& arena() const;
+  std::size_t shardCount() const;
+  std::uint64_t trajectoryCount() const;
+  std::uint64_t totalPoints() const;
+  std::uint32_t shardCapacity() const;
+  const ShardInfo& shardInfo(std::size_t shard) const;
+
+  /// Loads (or returns the cached) shard. Never nullptr for in-range
+  /// shards with intact payloads; nullptr when the payload fails to
+  /// decode (file corrupted after open).
+  std::shared_ptr<const TrajectoryDataset> shard(std::size_t shard) const;
+
+  /// Maps a global trajectory index to (shard, index-within-shard).
+  std::pair<std::size_t, std::uint32_t> locate(std::uint64_t globalIndex) const;
+
+  /// Copies one trajectory out of its (cached) shard.
+  Trajectory trajectory(std::uint64_t globalIndex) const;
+
+  ShardCacheStats cacheStats() const;
+  /// Drops every cached shard (counters keep their values).
+  void clearCache() const;
+
+ private:
+  ShardStore();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// FeatureBlockSource over a store: block b = shard b's feature vectors,
+/// recomputed on every load (the shard cache absorbs the IO; features are
+/// never all resident at once).
+class ShardFeatureSource final : public FeatureBlockSource {
+ public:
+  ShardFeatureSource(const ShardStore& store, FeatureParams params)
+      : store_(&store), params_(params) {}
+
+  std::size_t blockCount() const override { return store_->shardCount(); }
+  std::vector<std::vector<float>> loadBlock(std::size_t b) const override;
+
+ private:
+  const ShardStore* store_;
+  FeatureParams params_;
+};
+
+/// Clustering of a shard store: same shape as ClusteredDataset but indices
+/// are *global* store indices and averages are accumulated out-of-core.
+struct ShardClustering {
+  SomParams somParams;
+  FeatureParams featureParams;
+  /// Trained lattice weights, row-major (nodeCount x featureDim).
+  std::vector<std::vector<float>> somWeights;
+  /// assignment[g] = BMU node of global trajectory g.
+  std::vector<std::uint32_t> assignment;
+  /// members[node] = global indices assigned to that node, ascending.
+  std::vector<std::vector<std::uint32_t>> members;
+  /// Cluster-average trajectory per node (empty for empty nodes).
+  std::vector<Trajectory> averages;
+
+  std::size_t nodeCount() const { return members.size(); }
+  std::size_t nonEmptyClusters() const;
+  std::size_t maxClusterSize() const;
+};
+
+/// Trains a batch SOM over the store (see Som::trainBatch — bit-identical
+/// across thread counts and shard streaming order for a fixed seed) and
+/// assigns every trajectory to its BMU, streaming shards twice per epoch
+/// plus once for assignment/averages. `pool` nullptr = serial.
+ShardClustering clusterShardStore(const ShardStore& store,
+                                  const SomParams& somParams,
+                                  const FeatureParams& featureParams,
+                                  ThreadPool* pool = nullptr);
+
+/// Convenience: shard an in-memory dataset out to `path`.
+bool writeShardStore(const TrajectoryDataset& dataset, const std::string& path,
+                     std::uint32_t shardCapacity);
+
+}  // namespace svq::traj

@@ -77,6 +77,107 @@ void Som::train(const std::vector<std::vector<float>>& samples) {
   }
 }
 
+BatchTrainStats Som::trainBatch(const FeatureBlockSource& source,
+                                const BatchTrainOptions& options) {
+  BatchTrainStats stats;
+  stats.epochs = params_.epochs;
+  const std::size_t blocks = source.blockCount();
+  if (blocks == 0 || params_.epochs == 0) return stats;
+
+  std::vector<std::size_t> order = options.order;
+  if (order.empty()) {
+    order.resize(blocks);
+    std::iota(order.begin(), order.end(), 0);
+  }
+  assert(order.size() == blocks);
+
+  const std::size_t nodes = nodeCount();
+  const std::size_t dim = featureDim_;
+  // Per-block accumulators: neighbourhood-weighted sample sums. Indexed by
+  // block id (not processing slot) and reduced in id order below — the
+  // keystone of the determinism guarantee.
+  struct Accum {
+    std::vector<double> num;      // nodes * dim, h-weighted sample sums
+    std::vector<double> den;      // nodes, h sums
+    std::uint64_t samples = 0;
+  };
+
+  const float denomEpochs =
+      params_.epochs > 1 ? static_cast<float>(params_.epochs - 1) : 1.0f;
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    const float progress = static_cast<float>(epoch) / denomEpochs;
+    const float radius =
+        params_.initialRadius *
+        std::pow(params_.finalRadius / params_.initialRadius, progress);
+    const float twoSigma2 = 2.0f * radius * radius;
+    const long reach =
+        std::max(1L, static_cast<long>(std::ceil(radius * 3.0f)));
+
+    std::vector<Accum> acc(blocks);
+    const auto processBlock = [&](std::size_t b) {
+      const auto samples = source.loadBlock(b);
+      Accum& a = acc[b];
+      a.num.assign(nodes * dim, 0.0);
+      a.den.assign(nodes, 0.0);
+      a.samples = samples.size();
+      for (const auto& sample : samples) {
+        const std::size_t bmu = bestMatchingUnit(sample);
+        const auto bmuR = static_cast<long>(bmu / params_.cols);
+        const auto bmuC = static_cast<long>(bmu % params_.cols);
+        const long rLo = std::max(0L, bmuR - reach);
+        const long rHi =
+            std::min(static_cast<long>(params_.rows) - 1, bmuR + reach);
+        const long cLo = std::max(0L, bmuC - reach);
+        const long cHi =
+            std::min(static_cast<long>(params_.cols) - 1, bmuC + reach);
+        for (long r = rLo; r <= rHi; ++r) {
+          for (long c = cLo; c <= cHi; ++c) {
+            const float dr = static_cast<float>(r - bmuR);
+            const float dc = static_cast<float>(c - bmuC);
+            const float h =
+                std::exp(-(dr * dr + dc * dc) / std::max(1e-6f, twoSigma2));
+            if (h < 1e-4f) continue;
+            const std::size_t node = static_cast<std::size_t>(r) * params_.cols +
+                                     static_cast<std::size_t>(c);
+            a.den[node] += static_cast<double>(h);
+            double* num = a.num.data() + node * dim;
+            for (std::size_t i = 0; i < dim; ++i) {
+              num[i] += static_cast<double>(h) * static_cast<double>(sample[i]);
+            }
+          }
+        }
+      }
+    };
+
+    if (options.pool != nullptr) {
+      options.pool->parallelFor(
+          0, blocks, [&](std::size_t slot) { processBlock(order[slot]); }, 1);
+    } else {
+      for (std::size_t slot = 0; slot < blocks; ++slot) processBlock(order[slot]);
+    }
+
+    // Deterministic reduction in block-id order.
+    std::vector<double> num(nodes * dim, 0.0);
+    std::vector<double> den(nodes, 0.0);
+    std::uint64_t totalSamples = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      for (std::size_t i = 0; i < nodes * dim; ++i) num[i] += acc[b].num[i];
+      for (std::size_t n = 0; n < nodes; ++n) den[n] += acc[b].den[n];
+      totalSamples += acc[b].samples;
+    }
+    stats.samplesPerEpoch = totalSamples;
+
+    for (std::size_t node = 0; node < nodes; ++node) {
+      if (den[node] <= 0.0) continue;  // no support this epoch: keep weights
+      auto& w = nodes_[node];
+      for (std::size_t i = 0; i < dim; ++i) {
+        w[i] = static_cast<float>(num[node * dim + i] / den[node]);
+      }
+    }
+  }
+  return stats;
+}
+
 void Som::updateNode(std::size_t node, const std::vector<float>& sample,
                      float eta) {
   auto& w = nodes_[node];

@@ -11,12 +11,70 @@
 #include <cstdint>
 #include <vector>
 
+#include <functional>
+
 #include "traj/dataset.h"
 #include "traj/features.h"
 #include "traj/trajectory.h"
 #include "util/rng.h"
 
+namespace svq {
+class ThreadPool;
+}
+
 namespace svq::traj {
+
+/// Source of feature-vector blocks for out-of-core batch training. A block
+/// is typically one shard of a ShardStore; loadBlock() may be called from
+/// any thread (and concurrently for distinct blocks), and may recompute
+/// features on every call — the trainer never holds more than the blocks
+/// currently in flight.
+class FeatureBlockSource {
+ public:
+  virtual ~FeatureBlockSource() = default;
+  virtual std::size_t blockCount() const = 0;
+  /// Feature vectors of block `b`; all must share the SOM's featureDim.
+  virtual std::vector<std::vector<float>> loadBlock(std::size_t b) const = 0;
+};
+
+/// Adapter: chops an in-memory feature matrix into fixed-size blocks.
+class InMemoryBlockSource final : public FeatureBlockSource {
+ public:
+  InMemoryBlockSource(const std::vector<std::vector<float>>& samples,
+                      std::size_t blockSize)
+      : samples_(&samples), blockSize_(blockSize == 0 ? 1 : blockSize) {}
+
+  std::size_t blockCount() const override {
+    return (samples_->size() + blockSize_ - 1) / blockSize_;
+  }
+  std::vector<std::vector<float>> loadBlock(std::size_t b) const override {
+    const std::size_t lo = b * blockSize_;
+    const std::size_t hi = std::min(samples_->size(), lo + blockSize_);
+    return {samples_->begin() + static_cast<std::ptrdiff_t>(lo),
+            samples_->begin() + static_cast<std::ptrdiff_t>(hi)};
+  }
+
+ private:
+  const std::vector<std::vector<float>>* samples_;
+  std::size_t blockSize_;
+};
+
+/// Knobs for Som::trainBatch.
+struct BatchTrainOptions {
+  /// Pool to stream blocks through; nullptr trains serially on the caller
+  /// thread. Results are bit-identical either way (see trainBatch).
+  ThreadPool* pool = nullptr;
+  /// Block *processing* order (a permutation of [0, blockCount)); empty
+  /// means natural order. Exists so tests can prove order-invariance:
+  /// accumulators are indexed by block id and reduced in id order, so the
+  /// streaming order never changes the result.
+  std::vector<std::size_t> order;
+};
+
+struct BatchTrainStats {
+  std::size_t epochs = 0;
+  std::uint64_t samplesPerEpoch = 0;
+};
 
 struct SomParams {
   std::size_t rows = 6;
@@ -50,6 +108,18 @@ class Som {
   /// Trains on the given feature vectors (all must have featureDim size).
   /// Sample presentation order is shuffled per epoch from the seed.
   void train(const std::vector<std::vector<float>>& samples);
+
+  /// Batch-Kohonen training over an out-of-core block source. Each epoch
+  /// computes, per lattice node, the neighbourhood-weighted mean of all
+  /// samples (numerator/denominator sums in double precision) and replaces
+  /// the node weights with it; the radius decays per epoch from
+  /// initialRadius to finalRadius. Unlike online train(), the update is a
+  /// sum over samples, so it parallelizes: blocks stream through the pool
+  /// into per-block accumulators which are reduced in block-index order.
+  /// That fixed reduction order makes the result BIT-IDENTICAL for a given
+  /// seed regardless of thread count or block processing order.
+  BatchTrainStats trainBatch(const FeatureBlockSource& source,
+                             const BatchTrainOptions& options = {});
 
   /// Index (row * cols + col) of the best-matching unit for a vector.
   std::size_t bestMatchingUnit(const std::vector<float>& v) const;

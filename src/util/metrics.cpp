@@ -1,0 +1,41 @@
+#include "util/metrics.h"
+
+namespace svq {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  for (const auto& [name, g] : gauges_) {
+    out[name] = g->value();
+    out[name + ".peak"] = g->peak();
+  }
+  return out;
+}
+
+void MetricsRegistry::resetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+}
+
+}  // namespace svq

@@ -1,0 +1,79 @@
+// metrics.h — lightweight process-wide metrics registry.
+//
+// Out-of-core components (the shard cache, the batch SOM trainer) need to
+// prove their resource claims: "resident bytes stayed under the budget",
+// "the cache hit rate was 97%". Counters and gauges registered here are
+// cheap atomics with stable addresses, looked up once by name and then
+// bumped lock-free on hot paths; snapshot() gives benches and tests a
+// consistent name→value view to assert against or print.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace svq {
+
+/// Monotonically increasing event count (hits, misses, evictions...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Up/down level (bytes resident, entries cached) with a high-water mark.
+/// add() maintains peak() atomically; sub() must not underflow.
+class Gauge {
+ public:
+  void add(std::uint64_t n) {
+    const std::uint64_t now = value_.fetch_add(n, std::memory_order_relaxed) + n;
+    std::uint64_t prev = peak_.load(std::memory_order_relaxed);
+    while (prev < now &&
+           !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::uint64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// Name-keyed registry. counter()/gauge() create on first use and return a
+/// reference that stays valid for the registry's lifetime, so components
+/// resolve their instruments once and touch only atomics afterwards.
+class MetricsRegistry {
+ public:
+  /// Process-wide default registry.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// Point-in-time copy of every instrument. Gauges contribute two
+  /// entries: "<name>" (current) and "<name>.peak".
+  std::map<std::string, std::uint64_t> snapshot() const;
+
+  /// Zeroes every registered instrument (tests and bench sweeps).
+  void resetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace svq

@@ -1,0 +1,156 @@
+// Tests for the out-of-core exploration path: ShardSomExplorer drill-down
+// materialization and the shard-backed cluster scenes — coordinated
+// brushing must behave exactly like the in-memory path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+
+#include "core/clusterscene.h"
+#include "traj/shardstore.h"
+#include "traj/synth.h"
+#include "util/threadpool.h"
+#include "wall/wall.h"
+
+namespace svq::core {
+namespace {
+
+using traj::ShardStore;
+using traj::ShardStoreOptions;
+using traj::TrajectoryDataset;
+
+class ShardExplorerTest : public ::testing::Test {
+ protected:
+  ShardExplorerTest() {
+    traj::AntSimulator sim({}, 1313);
+    traj::DatasetSpec spec;
+    spec.count = 120;
+    dataset_ = sim.generate(spec);
+    path_ = (std::filesystem::temp_directory_path() / "svq_core_shard.svqs")
+                .string();
+    EXPECT_TRUE(traj::writeShardStore(dataset_, path_, 16));
+    ShardStoreOptions options;
+    options.metricsPrefix = "coretest.shard";
+    store_ = ShardStore::open(path_, options);
+    EXPECT_TRUE(store_.has_value());
+
+    somParams_.rows = 3;
+    somParams_.cols = 3;
+    somParams_.epochs = 3;
+    featureParams_.resampleCount = 12;
+    featureParams_.arenaRadiusCm = dataset_.arena().radiusCm;
+  }
+  ~ShardExplorerTest() override { std::remove(path_.c_str()); }
+
+  BrushGrid westBrush() const {
+    BrushCanvas canvas(dataset_.arena().radiusCm, 128);
+    core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest,
+                         dataset_.arena().radiusCm);
+    return canvas.grid();
+  }
+
+  TrajectoryDataset dataset_;
+  std::string path_;
+  std::optional<ShardStore> store_;
+  traj::SomParams somParams_;
+  traj::FeatureParams featureParams_;
+};
+
+TEST_F(ShardExplorerTest, DrillDownMaterializesExactlyTheClusterMembers) {
+  ShardSomExplorer explorer(*store_, somParams_, featureParams_);
+  ASSERT_FALSE(explorer.displayableClusters().empty());
+
+  std::size_t totalMembers = 0;
+  for (std::uint32_t node : explorer.displayableClusters()) {
+    const auto members = explorer.drillDown(node);
+    const TrajectoryDataset materialized = explorer.materializeCluster(node);
+    ASSERT_EQ(materialized.size(), members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      // Materialized member i must be the store trajectory members[i],
+      // which in turn is dataset trajectory members[i] (global order is
+      // write order).
+      EXPECT_EQ(materialized[i].meta(), dataset_[members[i]].meta());
+      EXPECT_EQ(materialized[i].size(), dataset_[members[i]].size());
+    }
+    totalMembers += members.size();
+  }
+  EXPECT_EQ(totalMembers, dataset_.size());
+}
+
+TEST_F(ShardExplorerTest, MemberQueryMatchesDirectEvaluationOnTheDataset) {
+  ShardSomExplorer explorer(*store_, somParams_, featureParams_);
+  const BrushGrid brush = westBrush();
+  const QueryParams params;
+
+  const std::uint32_t node = explorer.displayableClusters().front();
+  const QueryResult viaStore =
+      explorer.queryClusterMembers(node, brush, params);
+
+  const auto members = explorer.drillDown(node);
+  const QueryResult direct =
+      evaluate(makeRefs(dataset_, members), brush, params);
+
+  ASSERT_EQ(viaStore.trajectoriesEvaluated, direct.trajectoriesEvaluated);
+  EXPECT_EQ(viaStore.trajectoriesHighlighted, direct.trajectoriesHighlighted);
+  EXPECT_EQ(viaStore.totalSegmentsHighlighted,
+            direct.totalSegmentsHighlighted);
+  ASSERT_EQ(viaStore.segmentHighlights.size(),
+            direct.segmentHighlights.size());
+  for (std::size_t i = 0; i < direct.segmentHighlights.size(); ++i) {
+    EXPECT_EQ(viaStore.segmentHighlights[i], direct.segmentHighlights[i]);
+  }
+}
+
+TEST_F(ShardExplorerTest, OverviewQueryReturnsOneEntryPerDisplayableCluster) {
+  ThreadPool pool(2);
+  ShardSomExplorer explorer(*store_, somParams_, featureParams_, &pool);
+  const QueryResult overview =
+      explorer.queryClusters(westBrush(), QueryParams{});
+  EXPECT_EQ(overview.trajectoriesEvaluated,
+            explorer.displayableClusters().size());
+  EXPECT_EQ(overview.summaries.size(), explorer.displayableClusters().size());
+}
+
+TEST_F(ShardExplorerTest, ShardOverviewSceneMatchesInMemoryShape) {
+  ShardSomExplorer shardExplorer(*store_, somParams_, featureParams_);
+  const wall::WallSpec wallSpec = wall::cyberCommonsUsedRegion();
+  const BrushGrid brush = westBrush();
+  ClusterSceneOptions options;
+
+  const ClusterOverviewScene scene =
+      buildClusterOverview(shardExplorer, wallSpec, &brush, options);
+  EXPECT_EQ(scene.scene.cells.size(),
+            shardExplorer.displayableClusters().size());
+  EXPECT_EQ(scene.averagesDataset.size(),
+            shardExplorer.displayableClusters().size());
+  EXPECT_EQ(scene.cellToNode, shardExplorer.displayableClusters());
+  // Labels carry member counts.
+  ASSERT_FALSE(scene.scene.cells.empty());
+  EXPECT_EQ(scene.scene.cells[0].label.rfind("N=", 0), 0u);
+}
+
+TEST_F(ShardExplorerTest, ShardDrillDownSceneIndexesMaterializedMembers) {
+  ShardSomExplorer explorer(*store_, somParams_, featureParams_);
+  const wall::WallSpec wallSpec = wall::cyberCommonsUsedRegion();
+  const BrushGrid brush = westBrush();
+
+  const std::uint32_t node = explorer.displayableClusters().front();
+  const ClusterDrillDownScene drill =
+      buildClusterDrillDown(explorer, node, wallSpec, &brush, {});
+  EXPECT_EQ(drill.membersDataset.size(), drill.cellToGlobalIndex.size());
+  EXPECT_EQ(drill.scene.cells.size(), drill.membersDataset.size());
+  for (std::size_t i = 0; i < drill.scene.cells.size(); ++i) {
+    EXPECT_EQ(drill.scene.cells[i].trajectoryIndex, i);
+  }
+  EXPECT_EQ(drill.cellToGlobalIndex, explorer.drillDown(node));
+}
+
+TEST_F(ShardExplorerTest, DrillDownOutOfRangeNodeIsEmpty) {
+  ShardSomExplorer explorer(*store_, somParams_, featureParams_);
+  EXPECT_TRUE(explorer.drillDown(9999).empty());
+  EXPECT_TRUE(explorer.materializeCluster(9999).empty());
+}
+
+}  // namespace
+}  // namespace svq::core

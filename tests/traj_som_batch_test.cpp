@@ -1,0 +1,161 @@
+// Golden determinism tests for batch SOM training: for a fixed seed the
+// trained weights and BMU assignments must be bit-identical across 1, 4
+// and 8 threads, and across serial vs. shuffled (streamed) block order.
+// Also sanity-checks that batch training actually learns.
+#include "traj/som.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace svq::traj {
+namespace {
+
+std::vector<std::vector<float>> blobSamples(std::size_t n) {
+  // Four well-separated 2D blobs.
+  std::vector<std::vector<float>> samples;
+  Rng rng(2024);
+  const float centers[4][2] = {{-3, -3}, {-3, 3}, {3, -3}, {3, 3}};
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = centers[i % 4];
+    samples.push_back({static_cast<float>(rng.normal(c[0], 0.15)),
+                       static_cast<float>(rng.normal(c[1], 0.15))});
+  }
+  return samples;
+}
+
+std::vector<std::vector<float>> allWeights(const Som& som) {
+  std::vector<std::vector<float>> w;
+  for (std::size_t r = 0; r < som.rows(); ++r) {
+    for (std::size_t c = 0; c < som.cols(); ++c) {
+      w.push_back(som.weights(r, c));
+    }
+  }
+  return w;
+}
+
+std::vector<std::size_t> bmuAssignments(
+    const Som& som, const std::vector<std::vector<float>>& samples) {
+  std::vector<std::size_t> out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out[i] = som.bestMatchingUnit(samples[i]);
+  }
+  return out;
+}
+
+class SomBatchTest : public ::testing::Test {
+ protected:
+  SomBatchTest() : samples_(blobSamples(400)), source_(samples_, 32) {}
+
+  Som trainWith(const BatchTrainOptions& options) {
+    SomParams p;
+    p.rows = 4;
+    p.cols = 4;
+    p.epochs = 5;
+    p.seed = 0x60D5EEDULL;
+    Som som(p, 2);
+    som.trainBatch(source_, options);
+    return som;
+  }
+
+  std::vector<std::vector<float>> samples_;
+  InMemoryBlockSource source_;
+};
+
+TEST_F(SomBatchTest, GoldenAcrossThreadCounts) {
+  const Som serial = trainWith({});
+  const auto serialWeights = allWeights(serial);
+  const auto serialBmus = bmuAssignments(serial, samples_);
+
+  for (unsigned threads : {1u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    BatchTrainOptions options;
+    options.pool = &pool;
+    const Som som = trainWith(options);
+    EXPECT_EQ(allWeights(som), serialWeights)
+        << "weights diverged at " << threads << " threads";
+    EXPECT_EQ(bmuAssignments(som, samples_), serialBmus)
+        << "BMU assignments diverged at " << threads << " threads";
+  }
+}
+
+TEST_F(SomBatchTest, GoldenAcrossBlockProcessingOrder) {
+  const Som natural = trainWith({});
+  const auto naturalWeights = allWeights(natural);
+
+  // Reversed and shuffled streaming orders, serial and pooled: the
+  // accumulators are indexed by block id and reduced in id order, so the
+  // order blocks arrive in must not change a single bit.
+  BatchTrainOptions reversed;
+  reversed.order.resize(source_.blockCount());
+  std::iota(reversed.order.begin(), reversed.order.end(), 0);
+  std::reverse(reversed.order.begin(), reversed.order.end());
+  EXPECT_EQ(allWeights(trainWith(reversed)), naturalWeights);
+
+  Rng rng(42);
+  BatchTrainOptions shuffled;
+  shuffled.order.resize(source_.blockCount());
+  std::iota(shuffled.order.begin(), shuffled.order.end(), 0);
+  for (std::size_t i = shuffled.order.size(); i > 1; --i) {
+    std::swap(shuffled.order[i - 1], shuffled.order[rng.below(i)]);
+  }
+  EXPECT_EQ(allWeights(trainWith(shuffled)), naturalWeights);
+
+  ThreadPool pool(4);
+  shuffled.pool = &pool;
+  EXPECT_EQ(allWeights(trainWith(shuffled)), naturalWeights);
+}
+
+TEST_F(SomBatchTest, BatchTrainingReducesQuantizationError) {
+  SomParams p;
+  p.rows = 4;
+  p.cols = 4;
+  p.epochs = 6;
+  p.seed = 0xBEEFULL;
+  Som untrained(p, 2);
+  const float before = untrained.quantizationError(samples_);
+
+  Som trained(p, 2);
+  trained.trainBatch(source_);
+  const float after = trained.quantizationError(samples_);
+  EXPECT_LT(after, before * 0.5f);
+  // Four well-separated blobs on a 16-node lattice: each blob should map
+  // to its own BMU.
+  std::set<std::size_t> blobNodes;
+  for (std::size_t blob = 0; blob < 4; ++blob) {
+    blobNodes.insert(trained.bestMatchingUnit(samples_[blob]));
+  }
+  EXPECT_EQ(blobNodes.size(), 4u);
+}
+
+TEST_F(SomBatchTest, ReportsStats) {
+  SomParams p;
+  p.rows = 4;
+  p.cols = 4;
+  p.epochs = 5;
+  Som som(p, 2);
+  const BatchTrainStats stats = som.trainBatch(source_);
+  EXPECT_EQ(stats.epochs, 5u);
+  EXPECT_EQ(stats.samplesPerEpoch, samples_.size());
+}
+
+TEST(SomBatchEdgeTest, EmptySourceIsANoOp) {
+  std::vector<std::vector<float>> none;
+  InMemoryBlockSource source(none, 8);
+  SomParams p;
+  p.rows = 2;
+  p.cols = 2;
+  Som som(p, 2);
+  const auto before = som.weights(0, 0);
+  const BatchTrainStats stats = som.trainBatch(source);
+  EXPECT_EQ(stats.samplesPerEpoch, 0u);
+  EXPECT_EQ(som.weights(0, 0), before);
+}
+
+}  // namespace
+}  // namespace svq::traj

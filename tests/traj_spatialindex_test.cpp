@@ -90,6 +90,77 @@ TEST(RectOccupancyMaskTest, SmallRectSetsFewBits) {
   EXPECT_EQ(mask & (mask - 1), 0u) << "expected exactly one cell";
 }
 
+// --- edge cases: cell boundaries, frame borders, out-of-arena queries ----
+
+TEST(SpatialFootprintTest, PointExactlyOnCellBoundaryLandsInUpperCell) {
+  // Frame cells are 12.5 cm; x=0 is the boundary between columns 3 and 4.
+  // The half-open cell convention puts a boundary sample in the upper
+  // cell, and only that cell — exactly one bit, at (4, 4).
+  const Trajectory t({}, std::vector<TrajPoint>{{{0.0f, 0.0f}, 0.0f}});
+  const SpatialFootprint fp = computeFootprint(t, kFrame);
+  EXPECT_EQ(fp.occupancy, std::uint64_t{1} << (4 * kFootprintGridSide + 4));
+}
+
+TEST(SpatialFootprintTest, SegmentAlongCellBoundaryMarksOnlyUpperColumn) {
+  // A vertical path exactly on x=0 must occupy column 4 only; a query
+  // rect strictly inside column 3 is provably avoided.
+  const auto t = lineTraj({0.0f, -49.0f}, {0.0f, 49.0f}, 21);
+  const SpatialFootprint fp = computeFootprint(t, kFrame);
+  std::uint64_t expected = 0;
+  for (int y = 0; y < kFootprintGridSide; ++y) {
+    expected |= std::uint64_t{1} << (y * kFootprintGridSide + 4);
+  }
+  EXPECT_EQ(fp.occupancy, expected);
+
+  const AABB2 leftOfBoundary = AABB2::of({-12.0f, -40.0f}, {-0.5f, 40.0f});
+  EXPECT_FALSE(footprintMayIntersect(
+      fp, leftOfBoundary, rectOccupancyMask(leftOfBoundary, kFrame)));
+}
+
+TEST(SpatialFootprintTest, SamplesOnAndBeyondFrameBorderClampToBorderCells) {
+  // Exactly on the frame max edge: u=1.0 would index cell 8; it must
+  // clamp to the last cell (7), not wrap or drop the sample.
+  const Trajectory onEdge({}, std::vector<TrajPoint>{{{50.0f, 50.0f}, 0.0f}});
+  const SpatialFootprint fpEdge = computeFootprint(onEdge, kFrame);
+  EXPECT_EQ(fpEdge.occupancy,
+            std::uint64_t{1} << (7 * kFootprintGridSide + 7));
+
+  // Outside the frame entirely: clamped to the border cell (conservative
+  // — the footprint still participates in border-cell queries).
+  const Trajectory outside({},
+                           std::vector<TrajPoint>{{{120.0f, 0.0f}, 0.0f}});
+  const SpatialFootprint fpOut = computeFootprint(outside, kFrame);
+  EXPECT_EQ(fpOut.occupancy,
+            std::uint64_t{1} << (4 * kFootprintGridSide + 7));
+}
+
+TEST(FootprintMayIntersectTest, QueryRectOutsideArenaNeverMatches) {
+  // A busy path through the whole arena vs. a rect entirely outside the
+  // frame: the rect's mask is 0, so the test must be false even though
+  // the footprint is dense.
+  const auto t = lineTraj({-45.0f, -45.0f}, {45.0f, 45.0f});
+  const SpatialFootprint fp = computeFootprint(t, kFrame);
+  ASSERT_NE(fp.occupancy, 0u);
+
+  const AABB2 outside = AABB2::of({60.0f, -10.0f}, {80.0f, 10.0f});
+  EXPECT_EQ(rectOccupancyMask(outside, kFrame), 0u);
+  EXPECT_FALSE(
+      footprintMayIntersect(fp, outside, rectOccupancyMask(outside, kFrame)));
+}
+
+TEST(RectOccupancyMaskTest, RectStraddlingFrameBorderClampsToBorderCells) {
+  // Partially outside: the overlap clamps to the frame instead of being
+  // rejected; the mask covers the border column it actually touches.
+  const AABB2 straddle = AABB2::of({45.0f, -5.0f}, {70.0f, 5.0f});
+  const std::uint64_t mask = rectOccupancyMask(straddle, kFrame);
+  ASSERT_NE(mask, 0u);
+  // Only column 7 (x in [43.75, 50]), rows 3 and 4 (y spans the boundary).
+  const std::uint64_t expected =
+      (std::uint64_t{1} << (3 * kFootprintGridSide + 7)) |
+      (std::uint64_t{1} << (4 * kFootprintGridSide + 7));
+  EXPECT_EQ(mask, expected);
+}
+
 TEST(FootprintMayIntersectTest, RequiresBothBoundsAndOccupancyOverlap) {
   // L-shaped path: box covers the full quadrant span but occupancy leaves
   // the far corner empty — the bitmask must refine the AABB answer.
