@@ -23,10 +23,21 @@
 // Usage:
 //   bench_e10_scale [--sizes=100000,300000,1000000] [--budget-mb=64]
 //                   [--shard-capacity=4096] [--threads=4] [--epochs=6]
+//                   [--fault-pct=P]
 //
 // The default is a single 100k sweep (fits a laptop's coffee break); the
 // acceptance run for the 1M figure is --sizes=100000,1000000.
+//
+// With --fault-pct=P a degraded pass follows each healthy one: the same
+// store is reopened behind a deterministic fault injector flipping one
+// bit in P% of shard payloads (persistent media rot — CRC catches it,
+// the shard is quarantined). Three extra acceptance checks gate it:
+//   - completion: clustering and drill-down still finish over survivors,
+//   - coverage: the metrics registry's quarantine tally lands near 1-P%,
+//   - determinism: for the same fault seed, quarantine set, assignment
+//     and SOM weights are bit-identical at 1, 4 and 8 threads.
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +48,8 @@
 #include "core/clusterquery.h"
 #include "traj/shardstore.h"
 #include "traj/synth.h"
+#include "util/io.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/threadpool.h"
 
@@ -50,6 +63,8 @@ struct Options {
   std::uint32_t shardCapacity = 4096;
   unsigned threads = 4;
   std::size_t epochs = 6;
+  /// Percent of shard payloads hit by a persistent bit flip (0 = off).
+  double faultPct = 0.0;
 };
 
 bool parseArgs(int argc, char** argv, Options& opt) {
@@ -75,12 +90,15 @@ bool parseArgs(int argc, char** argv, Options& opt) {
           static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 10));
     } else if (arg.rfind("--epochs=", 0) == 0) {
       opt.epochs = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--fault-pct=", 0) == 0) {
+      opt.faultPct = std::strtod(arg.c_str() + 12, nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
   }
-  return opt.sizes.size() > 0 && opt.budgetMb > 0 && opt.shardCapacity > 0;
+  return opt.sizes.size() > 0 && opt.budgetMb > 0 && opt.shardCapacity > 0 &&
+         opt.faultPct >= 0.0 && opt.faultPct < 100.0;
 }
 
 /// Streams N short trajectories into a shard store at `path`. Short
@@ -126,6 +144,135 @@ std::uint64_t largestShardEstimateBytes(const traj::ShardStore& store) {
   return largest;
 }
 
+/// Degraded pass for --fault-pct: reopens `path` behind a deterministic
+/// bit-flip injector at 1/4/8 threads and checks (a) clustering and
+/// drill-down complete over the survivors, (b) the metrics registry's
+/// quarantine tally puts coverage near 1-P%, (c) residency stays within
+/// the budget+shard bound, (d) all three thread counts produce the same
+/// quarantine set, assignment and SOM weights bit-for-bit.
+bool runFaultScenario(const std::string& path, std::uint64_t n,
+                      double faultPct, std::size_t budget,
+                      const traj::SomParams& somP,
+                      const traj::FeatureParams& featP) {
+  const double p = faultPct / 100.0;
+  bool pass = true;
+
+  traj::ShardClustering reference;
+  double refCoverage = -1.0;
+
+  const unsigned threadCounts[] = {1, 4, 8};
+  for (std::size_t ti = 0; ti < 3; ++ti) {
+    const unsigned t = threadCounts[ti];
+    io::FaultInjector::Plan plan;
+    plan.bitFlipProbability = p;  // persistent rot: CRC catches, quarantine
+    plan.seed = 0xE10FA;          // same seed at every thread count
+    io::FaultInjector injector(plan);
+
+    const std::string prefix =
+        "e10.fault." + std::to_string(n) + ".t" + std::to_string(t);
+    auto& registry = MetricsRegistry::global();
+    registry.reset(prefix);
+
+    traj::ShardStoreOptions storeOpt;
+    storeOpt.cacheBudgetBytes = budget;
+    storeOpt.metricsPrefix = prefix;
+    storeOpt.faultInjector = &injector;
+    auto store = traj::ShardStore::open(path, storeOpt);
+    if (!store) {
+      std::printf("  FAIL: degraded open failed (n=%" PRIu64 ")\n", n);
+      return false;
+    }
+
+    ThreadPool pool(t);
+    core::ShardSomExplorer explorer(*store, somP, featP, &pool);
+    const traj::ShardClustering& clustering = explorer.clustering();
+
+    // (a) Completion: drill into the largest surviving cluster.
+    std::uint32_t largestNode = 0;
+    std::size_t largestSize = 0;
+    for (std::uint32_t node : explorer.displayableClusters()) {
+      const std::size_t sz = clustering.members[node].size();
+      if (sz > largestSize) {
+        largestSize = sz;
+        largestNode = node;
+      }
+    }
+    const core::BrushGrid brush = westBrush(store->arena().radiusCm);
+    const core::QueryResult drill =
+        explorer.queryClusterMembers(largestNode, brush, core::QueryParams{});
+    if (largestSize == 0 || drill.trajectoriesEvaluated != largestSize) {
+      std::printf("  FAIL: degraded drill-down evaluated %zu of %zu members "
+                  "(threads=%u)\n",
+                  drill.trajectoriesEvaluated, largestSize, t);
+      pass = false;
+    }
+
+    // (b) Coverage from the metrics registry, cross-checked against the
+    // store's own accounting and the injected rate.
+    const auto counters = registry.snapshot(prefix);
+    const std::uint64_t q = counters.at(prefix + ".quarantined_trajectories");
+    const double coverage =
+        1.0 - static_cast<double>(q) / static_cast<double>(n);
+    const double tolerance = std::max(
+        0.02, 4.0 * std::sqrt(p * (1.0 - p) /
+                              static_cast<double>(store->shardCount())));
+    if (std::abs(coverage - store->coverage()) > 1e-9 ||
+        std::abs(coverage - clustering.coverage()) > 1e-9) {
+      std::printf("  FAIL: metrics coverage %.4f disagrees with store %.4f / "
+                  "clustering %.4f\n",
+                  coverage, store->coverage(), clustering.coverage());
+      pass = false;
+    }
+    if (std::abs(coverage - (1.0 - p)) > tolerance) {
+      std::printf("  FAIL: coverage %.4f not within %.4f of expected %.4f\n",
+                  coverage, tolerance, 1.0 - p);
+      pass = false;
+    }
+
+    // (c) Residency bound holds while degraded too.
+    const traj::ShardCacheStats stats = store->cacheStats();
+    const std::uint64_t bound = budget + largestShardEstimateBytes(*store);
+    if (stats.peakBytesResident > bound) {
+      std::printf("  FAIL: degraded peak resident %" PRIu64
+                  " B exceeds bound %" PRIu64 " B\n",
+                  stats.peakBytesResident, bound);
+      pass = false;
+    }
+
+    // (d) Bit-determinism across thread counts for the same fault seed.
+    if (ti == 0) {
+      reference = clustering;
+      refCoverage = coverage;
+      std::printf("  degraded pass (bit-flip p=%.3f, seed 0x%llX): "
+                  "%zu/%zu shards quarantined, coverage %.4f\n",
+                  p, static_cast<unsigned long long>(plan.seed),
+                  clustering.quarantinedShards.size(), store->shardCount(),
+                  coverage);
+      std::printf("%s", registry.dump(prefix).c_str());
+    } else {
+      const bool identical =
+          clustering.quarantinedShards == reference.quarantinedShards &&
+          clustering.assignment == reference.assignment &&
+          clustering.somWeights == reference.somWeights &&
+          clustering.coveredTrajectories == reference.coveredTrajectories &&
+          coverage == refCoverage;
+      if (!identical) {
+        std::printf("  FAIL: degraded clustering at %u threads DIVERGES from "
+                    "1 thread\n",
+                    t);
+        pass = false;
+      }
+    }
+    registry.reset(prefix);
+  }
+  if (pass) {
+    std::printf("  PASS: degraded run complete, coverage %.4f ~= %.4f, "
+                "bit-identical at 1/4/8 threads\n",
+                refCoverage, 1.0 - p);
+  }
+  return pass;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,7 +280,8 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, opt)) {
     std::fprintf(stderr,
                  "usage: %s [--sizes=N,N,...] [--budget-mb=M] "
-                 "[--shard-capacity=C] [--threads=T] [--epochs=E]\n",
+                 "[--shard-capacity=C] [--threads=T] [--epochs=E] "
+                 "[--fault-pct=P]\n",
                  argv[0]);
     return 2;
   }
@@ -260,6 +408,13 @@ int main(int argc, char** argv) {
                   identical ? "PASS" : "FAIL",
                   identical ? "bit-identical to" : "DIVERGES from", n);
       allPass = allPass && identical;
+    }
+
+    // Degraded pass: same store, injected media faults.
+    if (opt.faultPct > 0.0) {
+      allPass =
+          runFaultScenario(path, n, opt.faultPct, budget, somP, featP) &&
+          allPass;
     }
 
     store.reset();

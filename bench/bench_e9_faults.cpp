@@ -14,9 +14,14 @@
 // count x interconnect model.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "bench_common.h"
 #include "cluster/clusterapp.h"
 #include "core/session.h"
+#include "traj/shardstore.h"
+#include "util/io.h"
+#include "util/metrics.h"
 
 using namespace svq;
 
@@ -131,6 +136,8 @@ void BM_FaultToleranceOverheadHealthy(benchmark::State& state) {
 BENCHMARK(BM_FaultToleranceOverheadHealthy)
     ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+void printStorageFaultContext();
+
 void printContext() {
   std::printf("\n=== E9: rank failure on the 18-node wall ===\n");
   const auto& ds = bench::dataset(120);
@@ -188,6 +195,66 @@ void printContext() {
                     degraded.framesToRecovery <= 3 && !everBlackTile &&
                     wedged.aborted;
   std::printf("acceptance: %s\n\n", pass ? "PASS" : "FAIL");
+
+  printStorageFaultContext();
+}
+
+// Companion to the rank-failure scenario: the same session survives its
+// *storage* ranks rotting too. A small shard store is read through a
+// deterministic fault injector (persistent bit flips + transient EIO);
+// the metrics registry shows the quarantine/retry tallies the operator
+// would see, then reset() clears the namespace for the next scenario.
+void printStorageFaultContext() {
+  std::printf("=== E9b: storage faults on the same session ===\n");
+  const std::string prefix = "e9.storage";
+  auto& registry = MetricsRegistry::global();
+  registry.reset(prefix);
+
+  const auto& ds = bench::dataset(120);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "svq_e9_storage.svqs").string();
+  {
+    traj::ShardStoreWriter writer(path, ds.arena(), /*shardCapacity=*/8);
+    for (std::size_t i = 0; i < ds.size(); ++i) writer.add(ds[i]);
+    if (!writer.finish()) {
+      std::printf("  FAIL: could not write store\n\n");
+      return;
+    }
+  }
+
+  io::FaultInjector::Plan plan;
+  plan.bitFlipProbability = 0.15;   // persistent: CRC catches, quarantine
+  plan.eioProbability = 0.25;       // transient: retry clears it
+  plan.transientFailCount = 1;
+  plan.seed = 0xE9B;
+  io::FaultInjector injector(plan);
+
+  traj::ShardStoreOptions storeOpt;
+  storeOpt.metricsPrefix = prefix;
+  storeOpt.retry.backoffBaseMs = 0.0;
+  storeOpt.faultInjector = &injector;
+  auto store = traj::ShardStore::open(path, storeOpt);
+  if (!store) {
+    std::printf("  FAIL: could not open store\n\n");
+    return;
+  }
+  for (std::size_t s = 0; s < store->shardCount(); ++s) (void)store->shard(s);
+
+  std::printf("%zu shards read under injected faults (bit-flip p=%.2f, "
+              "transient EIO p=%.2f):\n",
+              store->shardCount(), plan.bitFlipProbability,
+              plan.eioProbability);
+  std::printf("%s", registry.dump(prefix).c_str());
+  std::printf("coverage after quarantine: %.3f "
+              "(every surviving shard still readable)\n",
+              store->coverage());
+  const bool pass = store->coverage() > 0.0 &&
+                    store->quarantinedShardCount() < store->shardCount();
+  std::printf("acceptance: %s\n\n", pass ? "PASS" : "FAIL");
+
+  registry.reset(prefix);
+  store.reset();
+  std::filesystem::remove(path);
 }
 
 }  // namespace

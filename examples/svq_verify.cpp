@@ -1,0 +1,116 @@
+// svq_verify — integrity checker / repair tool for .svqs shard stores.
+//
+// A wall deployment leaves big shard stores on scratch disks for weeks;
+// before a session (or after a crash mid-write) the operator wants to
+// know: is this file intact, and if not, how much of it is salvageable?
+//
+//   svq_verify <store.svqs>            open + full CRC scan, report
+//   svq_verify --repair <store.svqs>   truncate to the last committed
+//                                      shard and rewrite the footer
+//
+// Exit codes: 0 = store healthy (or repair recovered data), 1 = damage
+// found (verify) / nothing recoverable (repair), 2 = usage.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "traj/shardstore.h"
+#include "util/io.h"
+
+using namespace svq;
+
+namespace {
+
+const char* causeName(io::StatusCode code) {
+  switch (code) {
+    case io::StatusCode::kOk: return "ok";
+    case io::StatusCode::kTruncated: return "truncated";
+    case io::StatusCode::kCorrupt: return "corrupt";
+    case io::StatusCode::kIoError: return "io-error";
+    case io::StatusCode::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+int verifyStore(const std::string& path) {
+  io::Status openStatus = io::Status::ok();
+  auto store = traj::ShardStore::open(path, {}, &openStatus);
+  if (!store) {
+    std::printf("%s: cannot open (%s)\n", path.c_str(),
+                causeName(openStatus.code));
+    std::printf("the index (header/footer/tail) is damaged; run with "
+                "--repair to salvage committed shards\n");
+    return 1;
+  }
+  std::printf("%s: %zu shards, %" PRIu64 " trajectories, %" PRIu64
+              " points\n",
+              path.c_str(), store->shardCount(), store->trajectoryCount(),
+              store->totalPoints());
+
+  const traj::ShardVerifyReport report = store->verify();
+  if (report.ok()) {
+    std::printf("verify: all %zu shard payloads pass CRC\n",
+                report.shardsChecked);
+    return 0;
+  }
+  std::printf("verify: %zu of %zu shards FAILED:\n", report.badShards.size(),
+              report.shardsChecked);
+  for (const auto& [shard, status] : report.badShards) {
+    std::printf("  shard %zu: %s (%" PRIu64 " trajectories lost)\n", shard,
+                causeName(status.code),
+                static_cast<std::uint64_t>(
+                    store->shardInfo(shard).trajectoryCount));
+  }
+  std::printf("coverage if queried as-is: %.4f\n", store->coverage());
+  std::printf("bad shards are quarantined; queries degrade over the "
+              "survivors. --repair drops trailing damage only.\n");
+  return 1;
+}
+
+int repairStore(const std::string& path) {
+  traj::RepairReport report;
+  const bool ok = traj::repairShardStore(path, &report);
+  if (!ok) {
+    std::printf("%s: repair failed (%s) — no committed shard could be "
+                "recovered\n",
+                path.c_str(), causeName(report.status.code));
+    return 1;
+  }
+  std::printf("%s: repaired — %zu shards / %" PRIu64
+              " trajectories kept, %" PRIu64 " bytes past the last committed "
+              "shard discarded\n",
+              path.c_str(), report.shardsRecovered,
+              report.trajectoriesRecovered, report.bytesDiscarded);
+  // A repaired store must open cleanly; prove it.
+  auto store = traj::ShardStore::open(path);
+  if (!store) {
+    std::printf("ERROR: repaired store does not reopen\n");
+    return 1;
+  }
+  std::printf("reopened: %zu shards, %" PRIu64 " trajectories\n",
+              store->shardCount(), store->trajectoryCount());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool repair = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repair") == 0) {
+      repair = true;
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      path.clear();
+      break;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s [--repair] <store.svqs>\n", argv[0]);
+    return 2;
+  }
+  return repair ? repairStore(path) : verifyStore(path);
+}

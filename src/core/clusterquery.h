@@ -114,6 +114,16 @@ class ShardSomExplorer {
                                   const BrushGrid& brush,
                                   const QueryParams& params) const;
 
+  /// Fraction of the store's trajectories the clustering covers — < 1.0
+  /// when shards were quarantined during clustering (see ShardStore).
+  /// Scenes built from this explorer surface < 1.0 as "partial data".
+  double coverage() const { return clustering_.coverage(); }
+
+  /// Shard indices lost to quarantine during clustering, ascending.
+  const std::vector<std::uint32_t>& quarantinedShards() const {
+    return clustering_.quarantinedShards;
+  }
+
  private:
   const traj::ShardStore* store_;
   traj::ShardClustering clustering_;

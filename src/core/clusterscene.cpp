@@ -42,13 +42,16 @@ render::SceneModel sceneSkeleton(const ClusterSceneOptions& options,
   return scene;
 }
 
-// Shared overview-population path: out.averagesDataset and out.cellToNode
-// are filled by the caller; memberCounts[i] is the member count of cell i.
+// Shared overview-population path: out.averagesDataset, out.cellToNode
+// and out.coverage are filled by the caller; memberCounts[i] is the
+// member count of cell i. When coverage < 1 (quarantined shards) and
+// markPartialData is on, every cell gets a partial-data marker.
 void populateOverview(ClusterOverviewScene& out,
                       const std::vector<std::size_t>& memberCounts,
                       float arenaRadiusCm, const wall::WallSpec& wallSpec,
                       const BrushGrid* brush,
                       const ClusterSceneOptions& options) {
+  const bool partial = options.markPartialData && out.coverage < 1.0;
   const std::size_t cells = out.cellToNode.size();
   const LayoutConfig config = clusterGridFor(cells, wallSpec);
   const SmallMultipleLayout layout =
@@ -83,6 +86,12 @@ void populateOverview(ClusterOverviewScene& out,
     }
     if (options.labelCounts) {
       cell.label = "N=" + std::to_string(members);
+    }
+    if (partial) {
+      // Degraded store: the member count is a lower bound, say so.
+      cell.label += cell.label.empty() ? "partial" : " *";
+      cell.background = render::Color::lerp(
+          cell.background, render::Color{96, 64, 24, 255}, 0.35f);
     }
     if (brush != nullptr && i < query.segmentHighlights.size()) {
       cell.segmentHighlights = query.segmentHighlights[i];
@@ -124,6 +133,7 @@ ClusterOverviewScene buildClusterOverview(const ShardSomExplorer& explorer,
   ClusterOverviewScene out;
   const auto& nodes = explorer.displayableClusters();
   out.cellToNode = nodes;
+  out.coverage = explorer.coverage();
 
   out.averagesDataset = traj::TrajectoryDataset(explorer.store().arena());
   for (const traj::Trajectory& avg : explorer.clusterAverages()) {
@@ -181,6 +191,7 @@ ClusterDrillDownScene buildClusterDrillDown(const ShardSomExplorer& explorer,
   ClusterDrillDownScene out;
   out.cellToGlobalIndex = explorer.drillDown(nodeIndex);
   out.membersDataset = explorer.materializeCluster(nodeIndex);
+  out.coverage = explorer.coverage();
 
   const LayoutConfig config =
       clusterGridFor(out.membersDataset.size(), wallSpec);

@@ -22,6 +22,13 @@ struct ClusterSceneOptions {
   bool tintBySize = true;
   /// Label cells with "N=<members>".
   bool labelCounts = true;
+  /// When the backing clustering covers < 100% of the store (shards were
+  /// quarantined — see ShardStore), mark every cluster cell as holding
+  /// partial data: a "*" label suffix and a warning-tinted background.
+  /// Cells are marked wall-wide because quarantine loses *membership*
+  /// information — any cluster may be missing members. Scenes over a
+  /// fully healthy store render identically with this on or off.
+  bool markPartialData = true;
   render::StereoSettings stereo;
   Vec2 timeWindow{0.0f, 1e9f};
 };
@@ -37,6 +44,9 @@ struct ClusterOverviewScene {
   /// scene.cells[i] shows averagesDataset[i], which is cluster
   /// displayableClusters()[i].
   std::vector<std::uint32_t> cellToNode;
+  /// Fraction of the source trajectories behind this overview; < 1.0 when
+  /// shards were quarantined (cells carry partial-data markers then).
+  double coverage = 1.0;
 };
 
 ClusterOverviewScene buildClusterOverview(const SomExplorer& explorer,
@@ -70,6 +80,9 @@ struct ClusterDrillDownScene {
   /// scene.cells[i] shows membersDataset[i] == store trajectory
   /// cellToGlobalIndex[i].
   std::vector<std::uint32_t> cellToGlobalIndex;
+  /// Coverage of the clustering this drill-down came from (< 1.0 means
+  /// this cluster's member list may itself be incomplete).
+  double coverage = 1.0;
 };
 
 ClusterDrillDownScene buildClusterDrillDown(const ShardSomExplorer& explorer,

@@ -24,6 +24,14 @@ bool GroupManager::define(const TrajectoryGroup& group, int cellsX,
   return true;
 }
 
+std::size_t GroupManager::pruneToGrid(int cellsX, int cellsY) {
+  return std::erase_if(groups_, [&](const TrajectoryGroup& g) {
+    return g.cellRect.empty() || g.cellRect.x < 0 || g.cellRect.y < 0 ||
+           g.cellRect.x + g.cellRect.w > cellsX ||
+           g.cellRect.y + g.cellRect.h > cellsY;
+  });
+}
+
 bool GroupManager::remove(std::uint8_t id) {
   const auto n = std::erase_if(
       groups_, [id](const TrajectoryGroup& g) { return g.id == id; });

@@ -71,6 +71,13 @@ class GroupManager {
   /// Removes a group; false if unknown.
   bool remove(std::uint8_t id);
 
+  /// Drops every group whose rect no longer fits a cellsX x cellsY grid
+  /// (their cells return to the default pool). Run on layout switches:
+  /// groups are validated against the grid at define() time, so a switch
+  /// to a smaller preset must not leave rects pointing past it. Returns
+  /// the number of groups dropped.
+  std::size_t pruneToGrid(int cellsX, int cellsY);
+
   void clear() { groups_.clear(); }
 
   const std::vector<TrajectoryGroup>& groups() const { return groups_; }

@@ -72,6 +72,10 @@ bool VisualQueryApp::apply(const ui::Event& event) {
     bool operator()(const ui::LayoutSwitchEvent& e) {
       if (e.presetIndex >= app.presets_.size()) return false;
       app.activePreset_ = e.presetIndex;
+      const LayoutConfig& cfg = app.presets_[app.activePreset_];
+      // Groups were validated against the previous grid; any that no
+      // longer fit must go before the assignment is recomputed.
+      app.groups_.pruneToGrid(cfg.cellsX, cfg.cellsY);
       app.recomputeLayout();
       return true;
     }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "ui/events.h"
+#include "util/io.h"
 #include "util/logging.h"
 
 namespace svq::core {
@@ -11,6 +12,14 @@ namespace svq::core {
 namespace {
 constexpr std::uint32_t kSnapshotMagic = 0x53565150u;  // "SVQP"
 constexpr std::uint32_t kVersion = 1;
+// Payload-bounded count checks: a corrupt count field must be rejected
+// from the bytes actually present, not discovered via per-record throws
+// after O(count) side effects. Minimum encoded sizes per record:
+// group = id u8 + name length u32 + rect 4*f32 + MetaFilter (5 optional
+// flag bytes) + colorIndex u8 + pageOffset u32; stroke = brushIndex u8 +
+// centerCm 2*f32 + radiusCm f32.
+constexpr std::size_t kGroupRecordMinBytes = 1 + 4 + 16 + 5 + 1 + 4;
+constexpr std::size_t kStrokeRecordBytes = 1 + 8 + 4;
 }  // namespace
 
 net::MessageBuffer saveSnapshot(const VisualQueryApp& app) {
@@ -57,6 +66,7 @@ bool restoreSnapshot(VisualQueryApp& app, net::MessageBuffer snapshot) {
 
     app.groups().clear();
     const std::uint32_t groupCount = snapshot.getU32();
+    if (groupCount > snapshot.remaining() / kGroupRecordMinBytes) return false;
     const LayoutConfig& cfg = app.layoutPresets()[preset];
     for (std::uint32_t i = 0; i < groupCount; ++i) {
       TrajectoryGroup g;
@@ -73,6 +83,7 @@ bool restoreSnapshot(VisualQueryApp& app, net::MessageBuffer snapshot) {
 
     app.apply(ui::BrushClearEvent{255});
     const std::uint32_t strokeCount = snapshot.getU32();
+    if (strokeCount > snapshot.remaining() / kStrokeRecordBytes) return false;
     for (std::uint32_t i = 0; i < strokeCount; ++i) {
       ui::BrushStrokeEvent e;
       e.brushIndex = snapshot.getU8();
@@ -95,15 +106,18 @@ bool restoreSnapshot(VisualQueryApp& app, net::MessageBuffer snapshot) {
 }
 
 bool saveSnapshotFile(const VisualQueryApp& app, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    SVQ_ERROR << "cannot open " << path << " for writing";
+  const auto buf = saveSnapshot(app);
+  // Write-temp + fsync + atomic-rename: a crash mid-save must never leave
+  // a truncated snapshot at `path` (snapshots are how whole wall sessions
+  // are restored — same commit protocol as the shard store).
+  const io::Status status = io::atomicWriteFile(
+      path, std::string_view(reinterpret_cast<const char*>(buf.bytes().data()),
+                             buf.size()));
+  if (!status.isOk()) {
+    SVQ_ERROR << "snapshot save to " << path << " failed: " << status.name();
     return false;
   }
-  const auto buf = saveSnapshot(app);
-  out.write(reinterpret_cast<const char*>(buf.bytes().data()),
-            static_cast<std::streamsize>(buf.size()));
-  return static_cast<bool>(out);
+  return true;
 }
 
 bool restoreSnapshotFile(VisualQueryApp& app, const std::string& path) {

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <list>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "traj/io_binary.h"
@@ -18,14 +21,19 @@ namespace svq::traj {
 namespace {
 
 constexpr std::uint32_t kShardMagic = 0x53515653u;   // "SVQS"
+constexpr std::uint32_t kBlockMagic = 0x42515653u;   // "SVQB"
 constexpr std::uint32_t kFooterMagic = 0x46515653u;  // "SVQF"
-constexpr std::uint32_t kShardVersion = 1;
-constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 4;
-// offset + byteSize + firstGlobalIndex + pointCount, trajCount,
+constexpr std::uint32_t kShardVersion = 2;
+// magic, version, arenaRadius, shardCapacity + headerCrc over them.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 4 + 4;
+// Per-shard block header: magic, byteSize, payloadCrc + headerCrc over them.
+constexpr std::size_t kBlockHeaderBytes = 4 + 8 + 4 + 4;
+// offset + byteSize + firstGlobalIndex + pointCount, trajCount, payloadCrc,
 // bounds (4 floats), maxDuration.
-constexpr std::size_t kFooterEntryBytes = 8 * 4 + 4 + 4 * 4 + 4;
-// shardCount, trajectoryCount, pointCount, footerBytes, magic.
-constexpr std::size_t kTailBytes = 4 + 8 + 8 + 8 + 4;
+constexpr std::size_t kFooterEntryBytes = 8 * 4 + 4 + 4 + 4 * 4 + 4;
+// shardCount, trajectoryCount, pointCount, footerBytes, footerCrc,
+// tailCrc (over the preceding 32 bytes), magic.
+constexpr std::size_t kTailBytes = 4 + 8 + 8 + 8 + 4 + 4 + 4;
 
 void putU32(std::string& out, std::uint32_t v) {
   out.append(reinterpret_cast<const char*>(&v), sizeof v);
@@ -62,14 +70,93 @@ std::uint64_t residentBytesEstimate(const ShardInfo& info) {
          static_cast<std::uint64_t>(info.trajectoryCount) * sizeof(Trajectory);
 }
 
+std::string encodeFileHeader(float radiusCm, std::uint32_t shardCapacity) {
+  std::string header;
+  putU32(header, kShardMagic);
+  putU32(header, kShardVersion);
+  putF32(header, radiusCm);
+  putU32(header, shardCapacity);
+  putU32(header, io::crc32c(header.data(), header.size()));
+  return header;
+}
+
+std::string encodeBlockHeader(std::uint64_t byteSize, std::uint32_t payloadCrc) {
+  std::string block;
+  putU32(block, kBlockMagic);
+  putU64(block, byteSize);
+  putU32(block, payloadCrc);
+  putU32(block, io::crc32c(block.data(), block.size()));
+  return block;
+}
+
+/// Validated block-header fields; false on bad magic or CRC.
+bool decodeBlockHeader(std::string_view bytes, std::uint64_t& byteSize,
+                       std::uint32_t& payloadCrc) {
+  if (bytes.size() < kBlockHeaderBytes) return false;
+  BufReader r(bytes);
+  std::uint32_t magic = 0, headerCrc = 0;
+  if (!r.u32(magic) || magic != kBlockMagic) return false;
+  if (!r.u64(byteSize) || !r.u32(payloadCrc) || !r.u32(headerCrc)) return false;
+  return headerCrc == io::crc32c(bytes.data(), kBlockHeaderBytes - 4);
+}
+
+/// Footer + tail for a finished sequence of shards.
+std::string encodeFooterAndTail(const std::vector<ShardInfo>& infos,
+                                std::uint64_t trajectoryCount,
+                                std::uint64_t totalPoints) {
+  std::string footer;
+  for (const ShardInfo& info : infos) {
+    putU64(footer, info.offset);
+    putU64(footer, info.byteSize);
+    putU64(footer, info.firstGlobalIndex);
+    putU64(footer, info.pointCount);
+    putU32(footer, info.trajectoryCount);
+    putU32(footer, info.payloadCrc);
+    const bool valid = info.bounds.valid();
+    putF32(footer, valid ? info.bounds.min.x : 0.0f);
+    putF32(footer, valid ? info.bounds.min.y : 0.0f);
+    putF32(footer, valid ? info.bounds.max.x : 0.0f);
+    putF32(footer, valid ? info.bounds.max.y : 0.0f);
+    putF32(footer, info.maxDuration);
+  }
+  const std::uint32_t footerCrc = io::crc32c(footer.data(), footer.size());
+
+  std::string tail;
+  putU32(tail, static_cast<std::uint32_t>(infos.size()));
+  putU64(tail, trajectoryCount);
+  putU64(tail, totalPoints);
+  putU64(tail, static_cast<std::uint64_t>(infos.size()) * kFooterEntryBytes);
+  putU32(tail, footerCrc);
+  putU32(tail, io::crc32c(tail.data(), tail.size()));
+  putU32(tail, kFooterMagic);
+  return footer + tail;
+}
+
+/// Summarizes a decoded shard payload into its ShardInfo (offset,
+/// byteSize, payloadCrc and firstGlobalIndex are the caller's).
+void summarizePayload(const TrajectoryDataset& shard, ShardInfo& info) {
+  info.trajectoryCount = static_cast<std::uint32_t>(shard.size());
+  info.pointCount = 0;
+  info.bounds = AABB2{};
+  info.maxDuration = 0.0f;
+  for (const Trajectory& t : shard.all()) {
+    info.pointCount += t.size();
+    info.bounds.expand(t.bounds());
+    info.maxDuration = std::max(info.maxDuration, t.duration());
+  }
+}
+
 }  // namespace
 
 // --- writer ----------------------------------------------------------------
 
 struct ShardStoreWriter::Impl {
   std::ofstream out;
+  std::string finalPath;
+  std::string tempPath;
   ArenaSpec arena;
   std::uint32_t shardCapacity = 0;
+  io::FaultInjector* faultInjector = nullptr;
   TrajectoryDataset buffer;
   std::vector<ShardInfo> infos;
   std::uint64_t cursor = 0;
@@ -77,27 +164,33 @@ struct ShardStoreWriter::Impl {
 };
 
 ShardStoreWriter::ShardStoreWriter(const std::string& path, ArenaSpec arena,
-                                   std::uint32_t shardCapacity)
+                                   std::uint32_t shardCapacity,
+                                   io::FaultInjector* faultInjector)
     : impl_(std::make_unique<Impl>()) {
   impl_->arena = arena;
   impl_->shardCapacity = std::max(1u, shardCapacity);
+  impl_->faultInjector = faultInjector;
   impl_->buffer = TrajectoryDataset(arena);
-  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  impl_->finalPath = path;
+  impl_->tempPath = path + ".tmp";
+  impl_->out.open(impl_->tempPath, std::ios::binary | std::ios::trunc);
   if (!impl_->out) {
-    SVQ_ERROR << "shardstore: cannot open " << path << " for writing";
+    SVQ_ERROR << "shardstore: cannot open " << impl_->tempPath
+              << " for writing";
     return;
   }
-  std::string header;
-  putU32(header, kShardMagic);
-  putU32(header, kShardVersion);
-  putF32(header, arena.radiusCm);
-  putU32(header, impl_->shardCapacity);
+  const std::string header = encodeFileHeader(arena.radiusCm,
+                                              impl_->shardCapacity);
   impl_->out.write(header.data(), static_cast<std::streamsize>(header.size()));
   impl_->cursor = kHeaderBytes;
   ok_ = static_cast<bool>(impl_->out);
 }
 
 ShardStoreWriter::~ShardStoreWriter() = default;
+
+const std::string& ShardStoreWriter::tempPath() const {
+  return impl_->tempPath;
+}
 
 void ShardStoreWriter::add(Trajectory t) {
   if (!ok_ || finished_) return;
@@ -109,19 +202,17 @@ void ShardStoreWriter::add(Trajectory t) {
 void ShardStoreWriter::flushShard() {
   if (impl_->buffer.empty()) return;
   ShardInfo info;
-  info.offset = impl_->cursor;
-  info.trajectoryCount = static_cast<std::uint32_t>(impl_->buffer.size());
   info.firstGlobalIndex =
       totalTrajectories_ - static_cast<std::uint64_t>(impl_->buffer.size());
-  for (const Trajectory& t : impl_->buffer.all()) {
-    info.pointCount += t.size();
-    info.bounds.expand(t.bounds());
-    info.maxDuration = std::max(info.maxDuration, t.duration());
-  }
+  summarizePayload(impl_->buffer, info);
   const std::string blob = toBinary(impl_->buffer);
   info.byteSize = blob.size();
+  info.payloadCrc = io::crc32c(blob.data(), blob.size());
+  info.offset = impl_->cursor + kBlockHeaderBytes;
+  const std::string block = encodeBlockHeader(info.byteSize, info.payloadCrc);
+  impl_->out.write(block.data(), static_cast<std::streamsize>(block.size()));
   impl_->out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  impl_->cursor += blob.size();
+  impl_->cursor += block.size() + blob.size();
   impl_->totalPoints += info.pointCount;
   impl_->infos.push_back(info);
   impl_->buffer = TrajectoryDataset(impl_->arena);
@@ -131,31 +222,37 @@ void ShardStoreWriter::flushShard() {
 bool ShardStoreWriter::finish() {
   if (!ok_ || finished_) return ok_ && finished_;
   flushShard();
-  std::string footer;
-  for (const ShardInfo& info : impl_->infos) {
-    putU64(footer, info.offset);
-    putU64(footer, info.byteSize);
-    putU64(footer, info.firstGlobalIndex);
-    putU64(footer, info.pointCount);
-    putU32(footer, info.trajectoryCount);
-    const bool valid = info.bounds.valid();
-    putF32(footer, valid ? info.bounds.min.x : 0.0f);
-    putF32(footer, valid ? info.bounds.min.y : 0.0f);
-    putF32(footer, valid ? info.bounds.max.x : 0.0f);
-    putF32(footer, valid ? info.bounds.max.y : 0.0f);
-    putF32(footer, info.maxDuration);
-  }
-  putU32(footer, static_cast<std::uint32_t>(impl_->infos.size()));
-  putU64(footer, totalTrajectories_);
-  putU64(footer, impl_->totalPoints);
-  putU64(footer, static_cast<std::uint64_t>(impl_->infos.size()) *
-                     kFooterEntryBytes);
-  putU32(footer, kFooterMagic);
-  impl_->out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  const std::string footerAndTail =
+      encodeFooterAndTail(impl_->infos, totalTrajectories_, impl_->totalPoints);
+  impl_->out.write(footerAndTail.data(),
+                   static_cast<std::streamsize>(footerAndTail.size()));
+  impl_->cursor += footerAndTail.size();
   impl_->out.flush();
   ok_ = static_cast<bool>(impl_->out);
   finished_ = true;
   impl_->out.close();
+  if (!ok_) return false;
+
+  // Injected torn write: cut the byte stream mid-file and "crash" before
+  // publication — the truncated temp file stays behind for repair, the
+  // target path is untouched.
+  if (impl_->faultInjector != nullptr &&
+      impl_->faultInjector->tornWriteAtByte() != io::FaultInjector::kNoTornWrite &&
+      impl_->faultInjector->tornWriteAtByte() < impl_->cursor) {
+    std::error_code ec;
+    std::filesystem::resize_file(impl_->tempPath,
+                                 impl_->faultInjector->tornWriteAtByte(), ec);
+    impl_->faultInjector->noteTornWrite();
+    SVQ_WARN << "shardstore: injected torn write at byte "
+             << impl_->faultInjector->tornWriteAtByte() << " in "
+             << impl_->tempPath;
+    ok_ = false;
+    return false;
+  }
+
+  // Footer-last commit protocol: only a file whose tail made it to disk
+  // is published, via fsync + atomic rename.
+  ok_ = io::atomicPublish(impl_->tempPath, impl_->finalPath);
   return ok_;
 }
 
@@ -170,7 +267,8 @@ struct ShardStore::Impl {
   std::uint64_t trajectoryCount = 0;
   std::uint64_t totalPoints = 0;
 
-  // Cache state: all guarded by mutex (including the ifstream).
+  // Cache + quarantine state: all guarded by mutex (including the
+  // ifstream).
   mutable std::mutex mutex;
   mutable std::ifstream in;
   struct Entry {
@@ -181,10 +279,18 @@ struct ShardStore::Impl {
   mutable std::unordered_map<std::size_t, Entry> cache;
   mutable std::list<std::size_t> lru;  // front = most recently used
   mutable std::uint64_t bytesResident = 0;
+  /// Per-shard status; non-ok entries are quarantined (sticky).
+  mutable std::vector<io::Status> shardStatus;
+  mutable std::uint64_t quarantinedTrajectories = 0;
 
   Counter* hits = nullptr;
   Counter* misses = nullptr;
   Counter* evictions = nullptr;
+  Counter* quarantinedShardsCounter = nullptr;
+  Counter* quarantinedTrajectoriesCounter = nullptr;
+  Counter* crcFailures = nullptr;
+  Counter* readRetries = nullptr;
+  Counter* ioErrors = nullptr;
   Gauge* residentGauge = nullptr;
 
   void evictDownToBudget() {
@@ -198,6 +304,79 @@ struct ShardStore::Impl {
       evictions->add();
     }
   }
+
+  /// Reads + CRC-verifies one shard payload with bounded retry for
+  /// transient faults. Mutex must be held (the ifstream is shared).
+  io::Status readPayloadLocked(std::size_t shard, std::string& blob) const {
+    const ShardInfo& info = infos[shard];
+    for (int attempt = 0;; ++attempt) {
+      blob.assign(info.byteSize, '\0');
+      io::Status status = io::Status::ok();
+      in.clear();
+      // Cross-check the on-disk block header against the footer entry:
+      // a store stitched from mismatched pieces must not parse as valid.
+      std::string block(kBlockHeaderBytes, '\0');
+      in.seekg(static_cast<std::streamoff>(info.offset - kBlockHeaderBytes));
+      in.read(block.data(), static_cast<std::streamsize>(block.size()));
+      if (!in) {
+        status = in.eof() ? io::Status::truncated(
+                                static_cast<std::int64_t>(shard))
+                          : io::Status::ioError(
+                                static_cast<std::int64_t>(shard));
+      } else {
+        std::uint64_t blockByteSize = 0;
+        std::uint32_t blockCrc = 0;
+        if (!decodeBlockHeader(block, blockByteSize, blockCrc) ||
+            blockByteSize != info.byteSize || blockCrc != info.payloadCrc) {
+          status = io::Status::corrupt(static_cast<std::int64_t>(shard));
+        }
+      }
+      if (status.isOk()) {
+        in.clear();
+        in.seekg(static_cast<std::streamoff>(info.offset));
+        in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
+        if (!in) {
+          status = in.eof()
+                       ? io::Status::truncated(static_cast<std::int64_t>(shard))
+                       : io::Status::ioError(static_cast<std::int64_t>(shard));
+        }
+      }
+      if (status.isOk() && options.faultInjector != nullptr) {
+        status = options.faultInjector->onRead(shard, attempt, blob);
+      }
+      if (status.isOk() && blob.size() != info.byteSize) {
+        status = io::Status::truncated(static_cast<std::int64_t>(shard));
+      }
+      if (status.isOk() &&
+          io::crc32c(blob.data(), blob.size()) != info.payloadCrc) {
+        crcFailures->add();
+        status = io::Status::corrupt(static_cast<std::int64_t>(shard));
+      }
+      if (status.isOk()) return status;
+      if (status.isIoError()) ioErrors->add();
+      if (!status.isTransient() ||
+          attempt + 1 >= options.retry.maxAttempts) {
+        return status;
+      }
+      readRetries->add();
+      const double ms = options.retry.backoffMsForRetry(attempt);
+      if (ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+      }
+    }
+  }
+
+  /// Records a shard's terminal failure. Mutex must be held.
+  void quarantineLocked(std::size_t shard, io::Status cause) const {
+    if (!shardStatus[shard].isOk()) return;  // already quarantined
+    shardStatus[shard] = cause;
+    quarantinedTrajectories += infos[shard].trajectoryCount;
+    quarantinedShardsCounter->add();
+    quarantinedTrajectoriesCounter->add(infos[shard].trajectoryCount);
+    SVQ_WARN << "shardstore: quarantined shard " << shard << " ("
+             << cause.name() << ", " << infos[shard].trajectoryCount
+             << " trajectories) in " << path;
+  }
 };
 
 ShardStore::ShardStore() : impl_(std::make_unique<Impl>()) {}
@@ -206,41 +385,59 @@ ShardStore::ShardStore(ShardStore&&) noexcept = default;
 ShardStore& ShardStore::operator=(ShardStore&&) noexcept = default;
 
 std::optional<ShardStore> ShardStore::open(const std::string& path,
-                                           ShardStoreOptions options) {
+                                           ShardStoreOptions options,
+                                           io::Status* openStatus) {
+  io::Status localStatus = io::Status::ok();
+  io::Status& status = openStatus != nullptr ? *openStatus : localStatus;
+  status = io::Status::corrupt();
+
   ShardStore store;
   Impl& s = *store.impl_;
   s.path = path;
   s.options = options;
   s.in.open(path, std::ios::binary);
-  if (!s.in) return std::nullopt;
+  if (!s.in) {
+    status = io::Status::ioError();
+    return std::nullopt;
+  }
 
   s.in.seekg(0, std::ios::end);
   const std::uint64_t fileSize = static_cast<std::uint64_t>(s.in.tellg());
-  if (fileSize < kHeaderBytes + kTailBytes) return std::nullopt;
+  if (fileSize < kHeaderBytes + kTailBytes) {
+    status = io::Status::truncated();
+    return std::nullopt;
+  }
 
-  // Header.
+  // Header (CRC-sealed: a bit flip in e.g. the arena radius must not
+  // yield a store that opens with silently wrong geometry).
   std::string headerBytes(kHeaderBytes, '\0');
   s.in.seekg(0);
   s.in.read(headerBytes.data(), kHeaderBytes);
   BufReader header(headerBytes);
-  std::uint32_t magic = 0, version = 0;
+  std::uint32_t magic = 0, version = 0, headerCrc = 0;
   float radius = 0.0f;
   if (!header.u32(magic) || magic != kShardMagic) return std::nullopt;
   if (!header.u32(version) || version != kShardVersion) return std::nullopt;
   if (!header.f32(radius) || radius <= 0.0f) return std::nullopt;
   if (!header.u32(s.shardCapacity) || s.shardCapacity == 0) return std::nullopt;
+  if (!header.u32(headerCrc) ||
+      headerCrc != io::crc32c(headerBytes.data(), kHeaderBytes - 4)) {
+    return std::nullopt;
+  }
   s.arena = ArenaSpec{radius};
 
-  // Tail, then footer.
+  // Tail (CRC-sealed), then footer (CRC checked against the tail).
   std::string tailBytes(kTailBytes, '\0');
   s.in.seekg(static_cast<std::streamoff>(fileSize - kTailBytes));
   s.in.read(tailBytes.data(), kTailBytes);
   BufReader tail(tailBytes);
-  std::uint32_t shardCount = 0, tailMagic = 0;
+  std::uint32_t shardCount = 0, footerCrc = 0, tailCrc = 0, tailMagic = 0;
   std::uint64_t footerBytes = 0;
   if (!tail.u32(shardCount) || !tail.u64(s.trajectoryCount) ||
       !tail.u64(s.totalPoints) || !tail.u64(footerBytes) ||
-      !tail.u32(tailMagic) || tailMagic != kFooterMagic) {
+      !tail.u32(footerCrc) || !tail.u32(tailCrc) || !tail.u32(tailMagic) ||
+      tailMagic != kFooterMagic ||
+      tailCrc != io::crc32c(tailBytes.data(), kTailBytes - 8)) {
     return std::nullopt;
   }
   if (footerBytes != static_cast<std::uint64_t>(shardCount) * kFooterEntryBytes ||
@@ -251,7 +448,13 @@ std::optional<ShardStore> ShardStore::open(const std::string& path,
   std::string footerBuf(footerBytes, '\0');
   s.in.seekg(static_cast<std::streamoff>(fileSize - kTailBytes - footerBytes));
   s.in.read(footerBuf.data(), static_cast<std::streamsize>(footerBytes));
-  if (!s.in) return std::nullopt;
+  if (!s.in) {
+    status = io::Status::ioError();
+    return std::nullopt;
+  }
+  if (io::crc32c(footerBuf.data(), footerBuf.size()) != footerCrc) {
+    return std::nullopt;
+  }
   BufReader footer(footerBuf);
   s.infos.resize(shardCount);
   std::uint64_t expectedFirst = 0;
@@ -259,15 +462,15 @@ std::optional<ShardStore> ShardStore::open(const std::string& path,
     float minX = 0, minY = 0, maxX = 0, maxY = 0;
     if (!footer.u64(info.offset) || !footer.u64(info.byteSize) ||
         !footer.u64(info.firstGlobalIndex) || !footer.u64(info.pointCount) ||
-        !footer.u32(info.trajectoryCount) || !footer.f32(minX) ||
-        !footer.f32(minY) || !footer.f32(maxX) || !footer.f32(maxY) ||
-        !footer.f32(info.maxDuration)) {
+        !footer.u32(info.trajectoryCount) || !footer.u32(info.payloadCrc) ||
+        !footer.f32(minX) || !footer.f32(minY) || !footer.f32(maxX) ||
+        !footer.f32(maxY) || !footer.f32(info.maxDuration)) {
       return std::nullopt;
     }
     info.bounds = AABB2::of({minX, minY}, {maxX, maxY});
-    // Payloads must lie between header and footer and tile the global
-    // index space in order.
-    if (info.offset < kHeaderBytes ||
+    // Payloads must lie between header and footer (leaving room for their
+    // block headers) and tile the global index space in order.
+    if (info.offset < kHeaderBytes + kBlockHeaderBytes ||
         info.offset + info.byteSize > fileSize - kTailBytes - footerBytes ||
         info.firstGlobalIndex != expectedFirst || info.trajectoryCount == 0) {
       return std::nullopt;
@@ -276,12 +479,21 @@ std::optional<ShardStore> ShardStore::open(const std::string& path,
   }
   if (expectedFirst != s.trajectoryCount) return std::nullopt;
 
+  s.shardStatus.assign(shardCount, io::Status::ok());
+
   const std::string prefix = options.metricsPrefix;
   auto& registry = MetricsRegistry::global();
   s.hits = &registry.counter(prefix + ".hits");
   s.misses = &registry.counter(prefix + ".misses");
   s.evictions = &registry.counter(prefix + ".evictions");
+  s.quarantinedShardsCounter = &registry.counter(prefix + ".quarantined_shards");
+  s.quarantinedTrajectoriesCounter =
+      &registry.counter(prefix + ".quarantined_trajectories");
+  s.crcFailures = &registry.counter(prefix + ".crc_failures");
+  s.readRetries = &registry.counter(prefix + ".read_retries");
+  s.ioErrors = &registry.counter(prefix + ".io_errors");
   s.residentGauge = &registry.gauge(prefix + ".bytes_resident");
+  status = io::Status::ok();
   return store;
 }
 
@@ -307,19 +519,22 @@ std::shared_ptr<const TrajectoryDataset> ShardStore::shard(
     s.lru.splice(s.lru.begin(), s.lru, it->second.lruIt);
     return it->second.dataset;
   }
+  if (!s.shardStatus[shard].isOk()) return nullptr;  // quarantined
   s.misses->add();
   const ShardInfo& info = s.infos[shard];
-  std::string blob(info.byteSize, '\0');
-  s.in.clear();
-  s.in.seekg(static_cast<std::streamoff>(info.offset));
-  s.in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
-  if (!s.in) {
-    SVQ_ERROR << "shardstore: short read for shard " << shard;
+  std::string blob;
+  const io::Status readStatus = s.readPayloadLocked(shard, blob);
+  if (!readStatus.isOk()) {
+    SVQ_ERROR << "shardstore: " << readStatus.name() << " reading shard "
+              << shard;
+    s.quarantineLocked(shard, readStatus);
     return nullptr;
   }
   auto decoded = fromBinary(std::string_view(blob));
   if (!decoded) {
     SVQ_ERROR << "shardstore: corrupt payload for shard " << shard;
+    s.quarantineLocked(
+        shard, io::Status::corrupt(static_cast<std::int64_t>(shard)));
     return nullptr;
   }
   auto dataset =
@@ -334,6 +549,56 @@ std::shared_ptr<const TrajectoryDataset> ShardStore::shard(
   s.cache.emplace(shard, std::move(entry));
   s.evictDownToBudget();
   return dataset;
+}
+
+io::Status ShardStore::shardStatus(std::size_t shard) const {
+  Impl& s = *impl_;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.shardStatus[shard];
+}
+
+std::size_t ShardStore::quarantinedShardCount() const {
+  Impl& s = *impl_;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t n = 0;
+  for (const io::Status& st : s.shardStatus) {
+    if (!st.isOk()) ++n;
+  }
+  return n;
+}
+
+std::uint64_t ShardStore::quarantinedTrajectoryCount() const {
+  Impl& s = *impl_;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.quarantinedTrajectories;
+}
+
+double ShardStore::coverage() const {
+  Impl& s = *impl_;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.trajectoryCount == 0) return 1.0;
+  return static_cast<double>(s.trajectoryCount - s.quarantinedTrajectories) /
+         static_cast<double>(s.trajectoryCount);
+}
+
+ShardVerifyReport ShardStore::verify() const {
+  Impl& s = *impl_;
+  ShardVerifyReport report;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (std::size_t shard = 0; shard < s.infos.size(); ++shard) {
+    ++report.shardsChecked;
+    io::Status status = s.shardStatus[shard];
+    if (status.isOk()) {
+      std::string blob;
+      status = s.readPayloadLocked(shard, blob);
+      if (!status.isOk()) s.quarantineLocked(shard, status);
+    }
+    if (!status.isOk()) {
+      report.badShards.emplace_back(shard, status);
+      report.worst = io::worse(report.worst, status);
+    }
+  }
+  return report;
 }
 
 std::pair<std::size_t, std::uint32_t> ShardStore::locate(
@@ -377,12 +642,109 @@ void ShardStore::clearCache() const {
   s.bytesResident = 0;
 }
 
+// --- repair ----------------------------------------------------------------
+
+bool repairShardStore(const std::string& path, RepairReport* report) {
+  RepairReport local;
+  RepairReport& out = report != nullptr ? *report : local;
+  out = RepairReport{};
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.status = io::Status::ioError();
+    return false;
+  }
+  in.seekg(0, std::ios::end);
+  const std::uint64_t fileSize = static_cast<std::uint64_t>(in.tellg());
+
+  // The file header must survive — without it even the arena radius is
+  // unknowable and there is nothing to repair *to*.
+  if (fileSize < kHeaderBytes) {
+    out.status = io::Status::truncated();
+    return false;
+  }
+  std::string headerBytes(kHeaderBytes, '\0');
+  in.seekg(0);
+  in.read(headerBytes.data(), kHeaderBytes);
+  BufReader header(headerBytes);
+  std::uint32_t magic = 0, version = 0, shardCapacity = 0, headerCrc = 0;
+  float radius = 0.0f;
+  if (!in || !header.u32(magic) || magic != kShardMagic ||
+      !header.u32(version) || version != kShardVersion ||
+      !header.f32(radius) || radius <= 0.0f || !header.u32(shardCapacity) ||
+      shardCapacity == 0 || !header.u32(headerCrc) ||
+      headerCrc != io::crc32c(headerBytes.data(), kHeaderBytes - 4)) {
+    out.status = io::Status::corrupt();
+    return false;
+  }
+
+  // Scan the self-delimiting shard blocks from the front; the longest
+  // prefix of shards whose headers, CRCs and payload decodes all verify
+  // is the committed prefix. Everything after it (a torn shard, a stale
+  // footer) is discarded.
+  std::vector<ShardInfo> infos;
+  std::vector<std::pair<std::string, std::string>> blocks;  // header, payload
+  std::uint64_t cursor = kHeaderBytes;
+  std::uint64_t expectedFirst = 0;
+  std::uint64_t totalPoints = 0;
+  while (cursor + kBlockHeaderBytes <= fileSize) {
+    std::string block(kBlockHeaderBytes, '\0');
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(cursor));
+    in.read(block.data(), static_cast<std::streamsize>(block.size()));
+    if (!in) break;
+    std::uint64_t byteSize = 0;
+    std::uint32_t payloadCrc = 0;
+    if (!decodeBlockHeader(block, byteSize, payloadCrc)) break;
+    if (cursor + kBlockHeaderBytes + byteSize > fileSize) break;  // torn
+    std::string blob(byteSize, '\0');
+    in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!in) break;
+    if (io::crc32c(blob.data(), blob.size()) != payloadCrc) break;
+    const auto decoded = fromBinary(std::string_view(blob));
+    if (!decoded || decoded->empty()) break;
+    ShardInfo info;
+    info.firstGlobalIndex = expectedFirst;
+    info.byteSize = byteSize;
+    info.payloadCrc = payloadCrc;
+    summarizePayload(*decoded, info);
+    expectedFirst += info.trajectoryCount;
+    totalPoints += info.pointCount;
+    infos.push_back(info);
+    blocks.emplace_back(std::move(block), std::move(blob));
+    cursor += kBlockHeaderBytes + byteSize;
+  }
+  in.close();
+  out.shardsRecovered = infos.size();
+  out.trajectoriesRecovered = expectedFirst;
+  out.bytesDiscarded = fileSize - cursor;
+
+  // Rewrite the store from the committed prefix (recomputed footer/tail)
+  // with the same write-temp + atomic-rename discipline as the writer,
+  // so a crash mid-repair cannot make things worse.
+  std::string repaired = encodeFileHeader(radius, shardCapacity);
+  std::uint64_t offset = kHeaderBytes;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    infos[i].offset = offset + kBlockHeaderBytes;
+    repaired += blocks[i].first;
+    repaired += blocks[i].second;
+    offset += blocks[i].first.size() + blocks[i].second.size();
+  }
+  repaired += encodeFooterAndTail(infos, expectedFirst, totalPoints);
+  out.status = io::atomicWriteFile(path, repaired);
+  if (!out.status.isOk()) return false;
+  SVQ_INFO << "shardstore: repaired " << path << " to " << infos.size()
+           << " shards / " << expectedFirst << " trajectories ("
+           << out.bytesDiscarded << " bytes discarded)";
+  return true;
+}
+
 // --- clustering ------------------------------------------------------------
 
 std::vector<std::vector<float>> ShardFeatureSource::loadBlock(
     std::size_t b) const {
   const auto dataset = store_->shard(b);
-  if (!dataset) return {};
+  if (!dataset) return {};  // quarantined: streams as an empty block
   const std::size_t dim = featureDimension(params_);
   std::vector<std::vector<float>> features(dataset->size());
   for (std::size_t i = 0; i < dataset->size(); ++i) {
@@ -415,6 +777,7 @@ ShardClustering clusterShardStore(const ShardStore& store,
   ShardClustering out;
   out.somParams = somParams;
   out.featureParams = featureParams;
+  out.totalTrajectories = store.trajectoryCount();
 
   const std::size_t dim = featureDimension(featureParams);
   Som som(somParams, dim);
@@ -433,10 +796,11 @@ ShardClustering clusterShardStore(const ShardStore& store,
 
   // Assignment + cluster-average pass: shards stream through the pool,
   // each accumulating resampled member positions into its own per-node
-  // sums; reduction runs in shard order (deterministic).
+  // sums; reduction runs in shard order (deterministic). Quarantined
+  // shards contribute nothing — their trajectories stay kUnassigned.
   const std::size_t shardCount = store.shardCount();
   const std::size_t resample = featureParams.resampleCount;
-  out.assignment.resize(store.trajectoryCount());
+  out.assignment.assign(store.trajectoryCount(), ShardClustering::kUnassigned);
   struct ShardAcc {
     std::vector<double> sums;           // nodes * resample * 3 (x, y, t)
     std::vector<std::uint64_t> counts;  // nodes
@@ -481,8 +845,19 @@ ShardClustering clusterShardStore(const ShardStore& store,
     for (std::size_t n = 0; n < nodes; ++n) counts[n] += acc[shardIdx].counts[n];
   }
 
+  // Coverage accounting: quarantine is sticky, so after the passes above
+  // the store's per-shard status is the authoritative survivor set.
+  for (std::size_t shardIdx = 0; shardIdx < shardCount; ++shardIdx) {
+    if (store.isQuarantined(shardIdx)) {
+      out.quarantinedShards.push_back(static_cast<std::uint32_t>(shardIdx));
+    } else {
+      out.coveredTrajectories += store.shardInfo(shardIdx).trajectoryCount;
+    }
+  }
+
   out.members.assign(nodes, {});
   for (std::size_t g = 0; g < out.assignment.size(); ++g) {
+    if (out.assignment[g] == ShardClustering::kUnassigned) continue;
     out.members[out.assignment[g]].push_back(static_cast<std::uint32_t>(g));
   }
 

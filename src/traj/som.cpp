@@ -160,12 +160,15 @@ BatchTrainStats Som::trainBatch(const FeatureBlockSource& source,
     std::vector<double> num(nodes * dim, 0.0);
     std::vector<double> den(nodes, 0.0);
     std::uint64_t totalSamples = 0;
+    std::size_t emptyBlocks = 0;
     for (std::size_t b = 0; b < blocks; ++b) {
       for (std::size_t i = 0; i < nodes * dim; ++i) num[i] += acc[b].num[i];
       for (std::size_t n = 0; n < nodes; ++n) den[n] += acc[b].den[n];
       totalSamples += acc[b].samples;
+      if (acc[b].samples == 0) ++emptyBlocks;
     }
     stats.samplesPerEpoch = totalSamples;
+    stats.emptyBlocks = emptyBlocks;
 
     for (std::size_t node = 0; node < nodes; ++node) {
       if (den[node] <= 0.0) continue;  // no support this epoch: keep weights

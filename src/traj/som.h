@@ -74,6 +74,11 @@ struct BatchTrainOptions {
 struct BatchTrainStats {
   std::size_t epochs = 0;
   std::uint64_t samplesPerEpoch = 0;
+  /// Blocks that yielded zero samples in the last epoch — e.g. quarantined
+  /// shards streaming through a degraded ShardFeatureSource. Empty blocks
+  /// contribute nothing to the (block-id-ordered) reduction, so training
+  /// stays bit-identical for a fixed set of surviving blocks.
+  std::size_t emptyBlocks = 0;
 };
 
 struct SomParams {

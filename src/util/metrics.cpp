@@ -1,6 +1,14 @@
 #include "util/metrics.h"
 
+#include <sstream>
+
 namespace svq {
+
+namespace {
+bool hasPrefix(const std::string& name, const std::string& prefix) {
+  return name.rfind(prefix, 0) == 0;
+}
+}  // namespace
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
@@ -32,10 +40,43 @@ std::map<std::string, std::uint64_t> MetricsRegistry::snapshot() const {
   return out;
 }
 
+std::map<std::string, std::uint64_t> MetricsRegistry::snapshot(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) {
+    if (hasPrefix(name, prefix)) out[name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!hasPrefix(name, prefix)) continue;
+    out[name] = g->value();
+    out[name + ".peak"] = g->peak();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::dump(const std::string& prefix) const {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot(prefix)) {
+    out << name << " = " << value << "\n";
+  }
+  return out.str();
+}
+
 void MetricsRegistry::resetAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
+}
+
+void MetricsRegistry::reset(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    if (hasPrefix(name, prefix)) c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    if (hasPrefix(name, prefix)) g->reset();
+  }
 }
 
 }  // namespace svq

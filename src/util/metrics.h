@@ -67,8 +67,21 @@ class MetricsRegistry {
   /// entries: "<name>" (current) and "<name>.peak".
   std::map<std::string, std::uint64_t> snapshot() const;
 
+  /// snapshot() restricted to instruments whose name starts with `prefix`
+  /// — how benches and fault tests assert on one component's counters
+  /// (e.g. a store's quarantine tallies) without reaching into internals.
+  std::map<std::string, std::uint64_t> snapshot(const std::string& prefix) const;
+
+  /// Printable "name = value" lines (sorted), optionally restricted to a
+  /// prefix. Empty string when nothing matches.
+  std::string dump(const std::string& prefix = "") const;
+
   /// Zeroes every registered instrument (tests and bench sweeps).
   void resetAll();
+
+  /// Zeroes only instruments whose name starts with `prefix`, so a bench
+  /// scenario can reset its own counters without disturbing others.
+  void reset(const std::string& prefix);
 
  private:
   mutable std::mutex mutex_;

@@ -3,6 +3,8 @@
 // brushing must behave exactly like the in-memory path.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <numeric>
@@ -22,18 +24,23 @@ using traj::TrajectoryDataset;
 
 class ShardExplorerTest : public ::testing::Test {
  protected:
-  ShardExplorerTest() {
+  // SetUp (not the constructor) so the ASSERTs are fatal: a test body
+  // must never run against an unopened store. The path is unique per
+  // process — ctest -j runs each test of this fixture as its own
+  // process, and concurrent writers to one shared file would corrupt it.
+  void SetUp() override {
     traj::AntSimulator sim({}, 1313);
     traj::DatasetSpec spec;
     spec.count = 120;
     dataset_ = sim.generate(spec);
-    path_ = (std::filesystem::temp_directory_path() / "svq_core_shard.svqs")
+    path_ = (std::filesystem::temp_directory_path() /
+             ("svq_core_shard_" + std::to_string(::getpid()) + ".svqs"))
                 .string();
-    EXPECT_TRUE(traj::writeShardStore(dataset_, path_, 16));
+    ASSERT_TRUE(traj::writeShardStore(dataset_, path_, 16));
     ShardStoreOptions options;
     options.metricsPrefix = "coretest.shard";
     store_ = ShardStore::open(path_, options);
-    EXPECT_TRUE(store_.has_value());
+    ASSERT_TRUE(store_.has_value());
 
     somParams_.rows = 3;
     somParams_.cols = 3;

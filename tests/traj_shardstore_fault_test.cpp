@@ -1,0 +1,510 @@
+// Storage fault-model tests for the shard store (labelled "fault"):
+//   * corruption matrix — single bit flips in every file region
+//     (payload / block header / footer / tail / file header), against
+//     cached and uncached readers;
+//   * CRC coverage — every single-bit payload flip is caught;
+//   * crash recovery — a writer killed at EVERY byte offset repairs to
+//     the last committed shard (or a typed error), never valid-but-wrong;
+//   * quarantine-then-query — degraded clustering completes, reports
+//     coverage, and is bit-deterministic across 1/4/8 threads;
+//   * transient-fault retry — EIO/short-read clear within the retry
+//     budget without quarantine; persistent faults quarantine.
+#include "traj/shardstore.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/threadpool.h"
+
+namespace svq::traj {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Tiny hand-built trajectories keep store files ~1KB, so the
+/// every-byte-offset crash property stays fast.
+TrajectoryDataset tinyDataset(std::size_t count, std::size_t pointsPer = 3) {
+  TrajectoryDataset ds((ArenaSpec{}));
+  for (std::size_t i = 0; i < count; ++i) {
+    TrajectoryMeta meta;
+    meta.id = static_cast<std::uint32_t>(i);
+    std::vector<TrajPoint> pts(pointsPer);
+    for (std::size_t p = 0; p < pointsPer; ++p) {
+      pts[p].pos = {static_cast<float>(i) + 0.25f * static_cast<float>(p),
+                    1.0f - 0.5f * static_cast<float>(p)};
+      pts[p].t = static_cast<float>(p);
+    }
+    ds.add(Trajectory(meta, std::move(pts)));
+  }
+  return ds;
+}
+
+std::string flipBit(std::string bytes, std::size_t bit) {
+  bytes[bit / 8] = static_cast<char>(
+      static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+  return bytes;
+}
+
+class ShardStoreFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : files_) std::remove(p.c_str());
+  }
+  std::string track(const std::string& name) {
+    const std::string path = tempPath(name);
+    files_.push_back(path);
+    files_.push_back(path + ".tmp");
+    return path;
+  }
+  std::vector<std::string> files_;
+};
+
+// --- corruption matrix -----------------------------------------------------
+
+// One store, one bit flip per file region. Index regions (file header,
+// footer, tail) must fail open() with a typed status; data regions
+// (payload, block header) must open fine and quarantine exactly the hit
+// shard on first read.
+TEST_F(ShardStoreFaultTest, BitFlipMatrixByFileRegion) {
+  const TrajectoryDataset ds = tinyDataset(8);
+  const std::string path = track("svq_fault_matrix.svqs");
+  ASSERT_TRUE(writeShardStore(ds, path, 2));
+  const std::string good = slurp(path);
+
+  // Region geometry from the healthy store (see shardstore.h layout).
+  auto ref = ShardStore::open(path);
+  ASSERT_TRUE(ref.has_value());
+  ASSERT_EQ(ref->shardCount(), 4u);
+  const std::uint64_t payloadStart = ref->shardInfo(1).offset;
+  const std::uint64_t payloadEnd = payloadStart + ref->shardInfo(1).byteSize;
+  const std::uint64_t blockHeaderStart = payloadStart - 20;
+  const std::uint64_t footerBytes = ref->shardCount() * 60;
+  const std::uint64_t tailStart = good.size() - 40;
+  const std::uint64_t footerStart = tailStart - footerBytes;
+  ref.reset();
+
+  struct Region {
+    const char* name;
+    std::uint64_t firstByte;
+    std::uint64_t lastByte;  // inclusive
+    bool opens;              // survives open(); fails on shard read instead
+  };
+  const Region regions[] = {
+      {"file header", 0, 19, false},
+      {"block header", blockHeaderStart, payloadStart - 1, true},
+      {"payload", payloadStart, payloadEnd - 1, true},
+      {"footer", footerStart, tailStart - 1, false},
+      {"tail", tailStart, good.size() - 1, false},
+  };
+
+  int caseIndex = 0;
+  for (const Region& region : regions) {
+    // First, middle and last byte of the region; a different bit each.
+    const std::uint64_t bytes[] = {region.firstByte,
+                                   (region.firstByte + region.lastByte) / 2,
+                                   region.lastByte};
+    for (int b = 0; b < 3; ++b) {
+      const std::size_t bit = bytes[b] * 8 + (caseIndex + b) % 8;
+      spit(path, flipBit(good, bit));
+      io::Status openStatus;
+      ShardStoreOptions options;
+      options.metricsPrefix =
+          "faulttest.matrix." + std::to_string(caseIndex) + std::to_string(b);
+      auto store = ShardStore::open(path, options, &openStatus);
+      if (!region.opens) {
+        EXPECT_FALSE(store.has_value())
+            << region.name << " flip at byte " << bytes[b];
+        EXPECT_FALSE(openStatus.isOk()) << region.name;
+        continue;
+      }
+      ASSERT_TRUE(store.has_value())
+          << region.name << " flip at byte " << bytes[b];
+      // Uncached read: the damaged shard quarantines, neighbours stay
+      // readable — degrade, never abort.
+      EXPECT_EQ(store->shard(1), nullptr) << region.name;
+      EXPECT_TRUE(store->shardStatus(1).isCorrupt()) << region.name;
+      EXPECT_EQ(store->shardStatus(1).shard, 1);
+      EXPECT_NE(store->shard(0), nullptr) << region.name;
+      EXPECT_NE(store->shard(2), nullptr) << region.name;
+      EXPECT_EQ(store->quarantinedShardCount(), 1u);
+      EXPECT_DOUBLE_EQ(store->coverage(), 6.0 / 8.0);
+    }
+    ++caseIndex;
+  }
+  spit(path, good);
+}
+
+// The cached/uncached axis of the matrix: a shard already resident in
+// the LRU cache keeps serving after the disk copy rots; dropping the
+// cache surfaces the corruption and quarantines.
+TEST_F(ShardStoreFaultTest, CachedShardOutlivesOnDiskCorruption) {
+  const TrajectoryDataset ds = tinyDataset(6);
+  const std::string path = track("svq_fault_cached.svqs");
+  ASSERT_TRUE(writeShardStore(ds, path, 2));
+  const std::string good = slurp(path);
+
+  ShardStoreOptions options;
+  options.metricsPrefix = "faulttest.cached";
+  auto store = ShardStore::open(path, options);
+  ASSERT_TRUE(store.has_value());
+  const auto cached = store->shard(0);
+  ASSERT_NE(cached, nullptr);
+
+  // Rot shard 0's payload on disk while it is cached.
+  spit(path, flipBit(good, store->shardInfo(0).offset * 8 + 5));
+  EXPECT_NE(store->shard(0), nullptr);  // cache hit, no disk touch
+  EXPECT_TRUE(store->shardStatus(0).isOk());
+
+  store->clearCache();
+  EXPECT_EQ(store->shard(0), nullptr);  // now the CRC catches it
+  EXPECT_TRUE(store->shardStatus(0).isCorrupt());
+  // The pinned shared_ptr from before eviction still holds good data.
+  EXPECT_EQ(cached->size(), 2u);
+}
+
+// CRC acceptance: 100% of single bit flips across an entire payload are
+// detected (every byte; a rotating bit position per byte).
+TEST_F(ShardStoreFaultTest, EverySingleBitFlipInAPayloadIsCaught) {
+  const TrajectoryDataset ds = tinyDataset(4, 2);
+  const std::string path = track("svq_fault_crc.svqs");
+  ASSERT_TRUE(writeShardStore(ds, path, 2));
+  const std::string good = slurp(path);
+
+  std::uint64_t payloadStart = 0, payloadEnd = 0;
+  {
+    auto ref = ShardStore::open(path);
+    ASSERT_TRUE(ref.has_value());
+    payloadStart = ref->shardInfo(0).offset;
+    payloadEnd = payloadStart + ref->shardInfo(0).byteSize;
+  }
+
+  for (std::uint64_t byte = payloadStart; byte < payloadEnd; ++byte) {
+    spit(path, flipBit(good, byte * 8 + byte % 8));
+    ShardStoreOptions options;
+    options.metricsPrefix = "faulttest.crc";
+    auto store = ShardStore::open(path, options);
+    ASSERT_TRUE(store.has_value()) << "byte " << byte;
+    EXPECT_EQ(store->shard(0), nullptr) << "undetected flip at byte " << byte;
+    EXPECT_TRUE(store->shardStatus(0).isCorrupt()) << "byte " << byte;
+  }
+  spit(path, good);
+}
+
+// --- crash recovery --------------------------------------------------------
+
+// An injected torn write cuts the stream mid-file: finish() fails, the
+// target path never appears, and the truncated temp file stays behind.
+TEST_F(ShardStoreFaultTest, TornWriteNeverPublishesAndLeavesTempForRepair) {
+  const TrajectoryDataset ds = tinyDataset(8);
+  const std::string path = track("svq_fault_torn.svqs");
+
+  io::FaultInjector::Plan plan;
+  plan.tornWriteAtByte = 150;
+  io::FaultInjector injector(plan);
+
+  ShardStoreWriter writer(path, ds.arena(), 2, &injector);
+  ASSERT_TRUE(writer.ok());
+  for (const Trajectory& t : ds.all()) writer.add(t);
+  EXPECT_FALSE(writer.finish());
+  EXPECT_EQ(injector.tornWrites(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(path)) << "torn write was published";
+  ASSERT_TRUE(std::filesystem::exists(writer.tempPath()));
+  EXPECT_EQ(std::filesystem::file_size(writer.tempPath()), 150u);
+
+  RepairReport report;
+  ASSERT_TRUE(repairShardStore(writer.tempPath(), &report));
+  EXPECT_TRUE(report.status.isOk());
+  auto store = ShardStore::open(writer.tempPath());
+  ASSERT_TRUE(store.has_value());
+  EXPECT_EQ(store->trajectoryCount(), report.trajectoriesRecovered);
+}
+
+// The kill-writer property: for EVERY byte offset N, a writer torn at N
+// either repairs to exactly the shards fully committed before N, or
+// reports a typed error (N inside the file header) — never a store that
+// opens with wrong data.
+TEST_F(ShardStoreFaultTest, KilledWriterRepairsAtEveryByteOffset) {
+  const TrajectoryDataset ds = tinyDataset(10, 2);
+  const std::string path = track("svq_fault_kill.svqs");
+  ASSERT_TRUE(writeShardStore(ds, path, 3));
+  const std::string good = slurp(path);
+
+  // Committed boundary of each shard = end of its payload bytes.
+  std::vector<std::uint64_t> shardEnds;
+  std::vector<std::uint32_t> shardTrajs;
+  {
+    auto ref = ShardStore::open(path);
+    ASSERT_TRUE(ref.has_value());
+    for (std::size_t i = 0; i < ref->shardCount(); ++i) {
+      shardEnds.push_back(ref->shardInfo(i).offset + ref->shardInfo(i).byteSize);
+      shardTrajs.push_back(ref->shardInfo(i).trajectoryCount);
+    }
+  }
+
+  const std::string torn = track("svq_fault_kill_torn.svqs");
+  for (std::size_t cut = 0; cut <= good.size(); ++cut) {
+    spit(torn, good.substr(0, cut));
+    RepairReport report;
+    const bool repaired = repairShardStore(torn, &report);
+    if (cut < 20) {
+      // Not even the file header survived: typed error, nothing repaired.
+      EXPECT_FALSE(repaired) << "cut " << cut;
+      EXPECT_FALSE(report.status.isOk()) << "cut " << cut;
+      continue;
+    }
+    ASSERT_TRUE(repaired) << "cut " << cut;
+
+    std::size_t expectShards = 0;
+    std::uint64_t expectTrajs = 0;
+    while (expectShards < shardEnds.size() &&
+           shardEnds[expectShards] <= cut) {
+      expectTrajs += shardTrajs[expectShards];
+      ++expectShards;
+    }
+    EXPECT_EQ(report.shardsRecovered, expectShards) << "cut " << cut;
+    EXPECT_EQ(report.trajectoriesRecovered, expectTrajs) << "cut " << cut;
+
+    auto store = ShardStore::open(torn);
+    ASSERT_TRUE(store.has_value()) << "cut " << cut;
+    ASSERT_EQ(store->trajectoryCount(), expectTrajs) << "cut " << cut;
+    // Never valid-but-wrong: every recovered trajectory is bit-exact.
+    for (std::uint64_t g = 0; g < expectTrajs; ++g) {
+      const Trajectory t = store->trajectory(g);
+      ASSERT_EQ(t.meta(), ds[g].meta()) << "cut " << cut << " traj " << g;
+      ASSERT_EQ(t.size(), ds[g].size()) << "cut " << cut << " traj " << g;
+      for (std::size_t p = 0; p < t.size(); ++p) {
+        ASSERT_EQ(t[p], ds[g][p]) << "cut " << cut << " traj " << g;
+      }
+    }
+  }
+}
+
+// --- typed open statuses ---------------------------------------------------
+
+TEST_F(ShardStoreFaultTest, OpenReportsTypedCauses) {
+  io::Status status;
+  EXPECT_FALSE(ShardStore::open("/no/such/file.svqs", {}, &status).has_value());
+  EXPECT_TRUE(status.isIoError());
+
+  const TrajectoryDataset ds = tinyDataset(4);
+  const std::string path = track("svq_fault_open.svqs");
+  ASSERT_TRUE(writeShardStore(ds, path, 2));
+  const std::string good = slurp(path);
+
+  spit(path, good.substr(0, 30));  // shorter than header + tail
+  EXPECT_FALSE(ShardStore::open(path, {}, &status).has_value());
+  EXPECT_TRUE(status.isTruncated());
+
+  std::string badMagic = good;
+  badMagic[0] = 'X';
+  spit(path, badMagic);
+  EXPECT_FALSE(ShardStore::open(path, {}, &status).has_value());
+  EXPECT_TRUE(status.isCorrupt());
+}
+
+// --- verify ----------------------------------------------------------------
+
+TEST_F(ShardStoreFaultTest, VerifyScansAllShardsAndQuarantinesBadOnes) {
+  const TrajectoryDataset ds = tinyDataset(8);
+  const std::string path = track("svq_fault_verify.svqs");
+  ASSERT_TRUE(writeShardStore(ds, path, 2));
+  const std::string good = slurp(path);
+
+  ShardStoreOptions options;
+  options.metricsPrefix = "faulttest.verify.clean";
+  {
+    auto store = ShardStore::open(path, options);
+    ASSERT_TRUE(store.has_value());
+    const ShardVerifyReport report = store->verify();
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.shardsChecked, 4u);
+    EXPECT_TRUE(report.worst.isOk());
+  }
+
+  std::uint64_t target = 0;
+  {
+    auto ref = ShardStore::open(path);
+    ASSERT_TRUE(ref.has_value());
+    target = ref->shardInfo(2).offset + 1;
+  }
+  spit(path, flipBit(good, target * 8));
+  options.metricsPrefix = "faulttest.verify.bad";
+  auto store = ShardStore::open(path, options);
+  ASSERT_TRUE(store.has_value());
+  const ShardVerifyReport report = store->verify();
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.badShards.size(), 1u);
+  EXPECT_EQ(report.badShards[0].first, 2u);
+  EXPECT_TRUE(report.badShards[0].second.isCorrupt());
+  EXPECT_TRUE(report.worst.isCorrupt());
+  // verify() doubles as pre-flight self-healing: the bad shard is now
+  // quarantined for subsequent reads too.
+  EXPECT_TRUE(store->isQuarantined(2));
+  EXPECT_EQ(store->shard(2), nullptr);
+}
+
+// --- transient faults + retry ----------------------------------------------
+
+TEST_F(ShardStoreFaultTest, TransientEioRecoversWithinRetryBudget) {
+  const TrajectoryDataset ds = tinyDataset(6);
+  const std::string path = track("svq_fault_retry.svqs");
+  ASSERT_TRUE(writeShardStore(ds, path, 2));
+
+  io::FaultInjector::Plan plan;
+  plan.eioProbability = 1.0;  // every shard fails...
+  plan.transientFailCount = 2;  // ...twice, then clears
+  io::FaultInjector injector(plan);
+
+  ShardStoreOptions options;
+  options.metricsPrefix = "faulttest.retry";
+  options.faultInjector = &injector;
+  options.retry.maxAttempts = 3;
+  options.retry.backoffBaseMs = 0.0;  // keep the test fast
+  auto store = ShardStore::open(path, options);
+  ASSERT_TRUE(store.has_value());
+
+  for (std::size_t i = 0; i < store->shardCount(); ++i) {
+    EXPECT_NE(store->shard(i), nullptr) << "shard " << i;
+    EXPECT_TRUE(store->shardStatus(i).isOk());
+  }
+  EXPECT_DOUBLE_EQ(store->coverage(), 1.0);
+  const auto metrics =
+      MetricsRegistry::global().snapshot("faulttest.retry");
+  EXPECT_EQ(metrics.at("faulttest.retry.read_retries"),
+            2u * store->shardCount());
+  EXPECT_EQ(metrics.at("faulttest.retry.quarantined_shards"), 0u);
+}
+
+TEST_F(ShardStoreFaultTest, PersistentEioQuarantinesAfterRetriesExhaust) {
+  const TrajectoryDataset ds = tinyDataset(4);
+  const std::string path = track("svq_fault_eio.svqs");
+  ASSERT_TRUE(writeShardStore(ds, path, 2));
+
+  io::FaultInjector::Plan plan;
+  plan.eioProbability = 1.0;
+  plan.transientFailCount = -1;  // never clears
+  io::FaultInjector injector(plan);
+
+  ShardStoreOptions options;
+  options.metricsPrefix = "faulttest.eio";
+  options.faultInjector = &injector;
+  options.retry.maxAttempts = 2;
+  options.retry.backoffBaseMs = 0.0;
+  auto store = ShardStore::open(path, options);
+  ASSERT_TRUE(store.has_value());
+
+  EXPECT_EQ(store->shard(0), nullptr);
+  EXPECT_TRUE(store->shardStatus(0).isIoError());
+  EXPECT_EQ(store->quarantinedShardCount(), 1u);
+  EXPECT_LT(store->coverage(), 1.0);
+}
+
+// --- quarantine-then-query determinism -------------------------------------
+
+// The acceptance scenario: a store with a fraction of shards quarantined
+// still clusters end to end, reports the exact coverage, and produces
+// bit-identical results at 1, 4 and 8 threads for the same fault seed.
+TEST_F(ShardStoreFaultTest, DegradedClusteringIsBitDeterministicAcrossThreads) {
+  const TrajectoryDataset ds = tinyDataset(48, 4);
+  const std::string path = track("svq_fault_cluster.svqs");
+  ASSERT_TRUE(writeShardStore(ds, path, 4));  // 12 shards
+
+  io::FaultInjector::Plan plan;
+  plan.bitFlipProbability = 0.3;
+  plan.seed = 0xDE6;
+
+  SomParams somParams;
+  somParams.rows = 3;
+  somParams.cols = 3;
+  somParams.epochs = 2;
+  FeatureParams featureParams;
+  featureParams.resampleCount = 8;
+
+  struct Run {
+    ShardClustering clustering;
+    double storeCoverage = 0.0;
+  };
+  const auto runAt = [&](int threads, const std::string& tag) {
+    io::FaultInjector injector(plan);
+    ShardStoreOptions options;
+    options.metricsPrefix = "faulttest.det." + tag;
+    options.faultInjector = &injector;
+    auto store = ShardStore::open(path, options);
+    EXPECT_TRUE(store.has_value());
+    Run run;
+    if (threads <= 1) {
+      run.clustering =
+          clusterShardStore(*store, somParams, featureParams, nullptr);
+    } else {
+      ThreadPool pool(static_cast<std::size_t>(threads));
+      run.clustering =
+          clusterShardStore(*store, somParams, featureParams, &pool);
+    }
+    run.storeCoverage = store->coverage();
+    return run;
+  };
+
+  const Run serial = runAt(1, "t1");
+  const Run four = runAt(4, "t4");
+  const Run eight = runAt(8, "t8");
+
+  // The seed must actually bite for the scenario to mean anything.
+  ASSERT_FALSE(serial.clustering.quarantinedShards.empty());
+  ASSERT_LT(serial.clustering.quarantinedShards.size(), 12u);
+
+  for (const Run* run : {&four, &eight}) {
+    EXPECT_EQ(run->clustering.quarantinedShards,
+              serial.clustering.quarantinedShards);
+    EXPECT_EQ(run->clustering.assignment, serial.clustering.assignment);
+    EXPECT_EQ(run->clustering.somWeights, serial.clustering.somWeights);
+    EXPECT_EQ(run->clustering.coveredTrajectories,
+              serial.clustering.coveredTrajectories);
+    EXPECT_DOUBLE_EQ(run->storeCoverage, serial.storeCoverage);
+    for (std::size_t node = 0; node < serial.clustering.averages.size();
+         ++node) {
+      const Trajectory& a = serial.clustering.averages[node];
+      const Trajectory& b = run->clustering.averages[node];
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t p = 0; p < a.size(); ++p) EXPECT_EQ(a[p], b[p]);
+    }
+  }
+
+  // Degradation is exact: coverage is the surviving-trajectory fraction,
+  // lost trajectories are kUnassigned, surviving ones are clustered.
+  const ShardClustering& c = serial.clustering;
+  EXPECT_DOUBLE_EQ(c.coverage(), serial.storeCoverage);
+  EXPECT_LT(c.coverage(), 1.0);
+  std::uint64_t unassigned = 0;
+  for (std::uint32_t a : c.assignment) {
+    if (a == ShardClustering::kUnassigned) {
+      ++unassigned;
+    } else {
+      ASSERT_LT(a, c.nodeCount());
+    }
+  }
+  EXPECT_EQ(unassigned, c.totalTrajectories - c.coveredTrajectories);
+  std::uint64_t memberTotal = 0;
+  for (const auto& m : c.members) memberTotal += m.size();
+  EXPECT_EQ(memberTotal, c.coveredTrajectories);
+}
+
+}  // namespace
+}  // namespace svq::traj

@@ -1,0 +1,255 @@
+// Tests for the io layer: CRC32C check vectors, typed status folding,
+// crash-safe atomic writes, retry backoff, and the determinism contract
+// of the file-layer fault injector (labelled "fault" — CI's
+// fault-injection job runs exactly these suites).
+#include "util/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace svq::io {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// --- crc32c ----------------------------------------------------------------
+
+TEST(Crc32cTest, MatchesTheCastagnoliCheckValue) {
+  // The canonical CRC32C check vector.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(crc32c("", 0), 0u); }
+
+TEST(Crc32cTest, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t partial = crc32c(data.data(), split);
+    EXPECT_EQ(crc32c(data.data() + split, data.size() - split, partial),
+              crc32c(data))
+        << "split " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleBitFlip) {
+  const std::string data = "storage fault model payload";
+  const std::uint32_t good = crc32c(data);
+  for (std::size_t bit = 0; bit < data.size() * 8; ++bit) {
+    std::string flipped = data;
+    flipped[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(flipped[bit / 8]) ^ (1u << (bit % 8)));
+    EXPECT_NE(crc32c(flipped), good) << "bit " << bit;
+  }
+}
+
+// --- status ----------------------------------------------------------------
+
+TEST(IoStatusTest, FactoriesAndPredicates) {
+  EXPECT_TRUE(Status::ok().isOk());
+  EXPECT_TRUE(static_cast<bool>(Status::ok()));
+  EXPECT_FALSE(static_cast<bool>(Status::corrupt(3)));
+  EXPECT_EQ(Status::corrupt(3).shard, 3);
+  EXPECT_TRUE(Status::ioError().isTransient());
+  EXPECT_TRUE(Status::truncated().isTransient());
+  EXPECT_FALSE(Status::corrupt().isTransient());
+  EXPECT_FALSE(Status::quarantined().isTransient());
+  EXPECT_STREQ(Status::corrupt().name(), "Corrupt");
+}
+
+TEST(IoStatusTest, WorseFoldsBySeverity) {
+  EXPECT_EQ(worse(Status::ok(), Status::truncated(1)).code,
+            StatusCode::kTruncated);
+  EXPECT_EQ(worse(Status::corrupt(), Status::truncated()).code,
+            StatusCode::kCorrupt);
+  EXPECT_EQ(worse(Status::corrupt(), Status::ioError()).code,
+            StatusCode::kIoError);
+  EXPECT_EQ(worse(Status::quarantined(), Status::ioError()).code,
+            StatusCode::kQuarantined);
+  // worse() keeps the first argument on ties (stable fold).
+  EXPECT_EQ(worse(Status::corrupt(7), Status::corrupt(9)).shard, 7);
+}
+
+// --- retry policy ----------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffGrowsGeometrically) {
+  RetryPolicy policy;
+  policy.backoffBaseMs = 1.0;
+  policy.backoffMultiplier = 3.0;
+  EXPECT_DOUBLE_EQ(policy.backoffMsForRetry(0), 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoffMsForRetry(1), 3.0);
+  EXPECT_DOUBLE_EQ(policy.backoffMsForRetry(2), 9.0);
+}
+
+// --- atomic writes ---------------------------------------------------------
+
+TEST(AtomicWriteTest, WritesBytesAndLeavesNoTempBehind) {
+  const std::string path = tempPath("svq_io_atomic.bin");
+  const std::string payload = "crash-safe payload \x01\x02\x03";
+  ASSERT_TRUE(atomicWriteFile(path, payload).isOk());
+  EXPECT_EQ(slurp(path), payload);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, ReplacesExistingFileAtomically) {
+  const std::string path = tempPath("svq_io_atomic_replace.bin");
+  ASSERT_TRUE(atomicWriteFile(path, "old contents").isOk());
+  ASSERT_TRUE(atomicWriteFile(path, "new").isOk());
+  EXPECT_EQ(slurp(path), "new");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, UnwritableTargetReportsIoError) {
+  EXPECT_TRUE(
+      atomicWriteFile("/no/such/dir/svq_io.bin", "payload").isIoError());
+}
+
+TEST(AtomicPublishTest, PublishesTempAtFinalPath) {
+  const std::string tmp = tempPath("svq_io_pub.tmp");
+  const std::string dst = tempPath("svq_io_pub.bin");
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    out << "published";
+  }
+  ASSERT_TRUE(atomicPublish(tmp, dst));
+  EXPECT_EQ(slurp(dst), "published");
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  std::remove(dst.c_str());
+}
+
+// --- fault injector --------------------------------------------------------
+
+/// The full fault map over a range of shards, for golden comparison.
+std::vector<FaultInjector::ReadFault> faultMap(const FaultInjector& inj,
+                                               std::uint64_t shards) {
+  std::vector<FaultInjector::ReadFault> map(shards);
+  for (std::uint64_t s = 0; s < shards; ++s) map[s] = inj.faultFor(s);
+  return map;
+}
+
+TEST(FaultInjectorTest, FaultsArePureFunctionOfSeedAndShard) {
+  FaultInjector::Plan plan;
+  plan.bitFlipProbability = 0.1;
+  plan.eioProbability = 0.05;
+  plan.shortReadProbability = 0.05;
+  plan.seed = 0xABCDEF;
+
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  const auto mapA = faultMap(a, 1000);
+  // Same plan, independent instance, queried twice: identical maps — the
+  // determinism keystone (no hidden per-call stream state).
+  EXPECT_EQ(mapA, faultMap(b, 1000));
+  EXPECT_EQ(mapA, faultMap(a, 1000));
+
+  plan.seed = 0xABCDF0;
+  FaultInjector c(plan);
+  EXPECT_NE(mapA, faultMap(c, 1000)) << "seed must matter";
+}
+
+TEST(FaultInjectorTest, FaultRatesTrackTheConfiguredProbabilities) {
+  FaultInjector::Plan plan;
+  plan.bitFlipProbability = 0.2;
+  plan.seed = 42;
+  FaultInjector inj(plan);
+  std::uint64_t flips = 0;
+  const std::uint64_t n = 10000;
+  for (std::uint64_t s = 0; s < n; ++s) {
+    if (inj.faultFor(s) == FaultInjector::ReadFault::kBitFlip) ++flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / static_cast<double>(n), 0.2, 0.02);
+}
+
+TEST(FaultInjectorTest, CleanPlanInjectsNothing) {
+  FaultInjector inj;
+  std::string payload = "untouched";
+  EXPECT_TRUE(inj.onRead(0, 0, payload).isOk());
+  EXPECT_EQ(payload, "untouched");
+  EXPECT_EQ(inj.faultFor(7), FaultInjector::ReadFault::kNone);
+}
+
+TEST(FaultInjectorTest, BitFlipFlipsExactlyOneBitAndReportsOk) {
+  FaultInjector::Plan plan;
+  plan.bitFlipProbability = 1.0;
+  FaultInjector inj(plan);
+  const std::string original = "payload bytes under test";
+  std::string payload = original;
+  // Bit flips report Ok: corruption is discovered by the caller's CRC
+  // check, exactly like real silent media corruption.
+  EXPECT_TRUE(inj.onRead(0, 0, payload).isOk());
+  ASSERT_EQ(payload.size(), original.size());
+  int bitsChanged = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    unsigned char diff = static_cast<unsigned char>(payload[i]) ^
+                         static_cast<unsigned char>(original[i]);
+    while (diff != 0) {
+      bitsChanged += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(bitsChanged, 1);
+  EXPECT_EQ(inj.bitFlips(), 1u);
+
+  // Persistent: the same shard gets the same flip on every attempt.
+  std::string again = original;
+  EXPECT_TRUE(inj.onRead(0, 5, again).isOk());
+  EXPECT_EQ(again, payload);
+}
+
+TEST(FaultInjectorTest, TransientEioClearsAfterConfiguredAttempts) {
+  FaultInjector::Plan plan;
+  plan.eioProbability = 1.0;
+  plan.transientFailCount = 2;
+  FaultInjector inj(plan);
+  std::string payload = "data";
+  EXPECT_TRUE(inj.onRead(3, 0, payload).isIoError());
+  EXPECT_TRUE(inj.onRead(3, 1, payload).isIoError());
+  EXPECT_TRUE(inj.onRead(3, 2, payload).isOk());
+  EXPECT_EQ(payload, "data");
+  EXPECT_EQ(inj.ioErrors(), 2u);
+}
+
+TEST(FaultInjectorTest, PersistentEioNeverClears) {
+  FaultInjector::Plan plan;
+  plan.eioProbability = 1.0;
+  plan.transientFailCount = -1;
+  FaultInjector inj(plan);
+  std::string payload = "data";
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    EXPECT_TRUE(inj.onRead(0, attempt, payload).isIoError());
+  }
+}
+
+TEST(FaultInjectorTest, ShortReadTruncatesThenClears) {
+  FaultInjector::Plan plan;
+  plan.shortReadProbability = 1.0;
+  plan.transientFailCount = 1;
+  FaultInjector inj(plan);
+  const std::string original(256, 'x');
+  std::string payload = original;
+  EXPECT_TRUE(inj.onRead(0, 0, payload).isTruncated());
+  EXPECT_LT(payload.size(), original.size());
+  payload = original;
+  EXPECT_TRUE(inj.onRead(0, 1, payload).isOk());
+  EXPECT_EQ(payload.size(), original.size());
+  EXPECT_EQ(inj.shortReads(), 1u);
+}
+
+}  // namespace
+}  // namespace svq::io
