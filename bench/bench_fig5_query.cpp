@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/hypothesis.h"
 #include "core/query.h"
 #include "core/queryengine.h"
@@ -210,12 +211,12 @@ void printIncrementalReport() {
   const Vec2 dabPos = ds[0].points()[ds[0].size() / 2].pos;
 
   constexpr int kReps = 25;
-  double fullMs = 0.0, incrMs = 0.0;
+  std::vector<double> fullSamples, incrSamples;
   for (int r = 0; r < kReps; ++r) {
     Stopwatch w;
     const auto result = core::evaluate(core::makeRefs(ds, indices),
                                        canvas.grid(), engine.params());
-    fullMs += w.elapsedMillis();
+    fullSamples.push_back(w.elapsedMillis());
     benchmark::DoNotOptimize(result);
   }
   engine.resetMetrics();
@@ -225,12 +226,29 @@ void printIncrementalReport() {
     engine.invalidateRegion(dirty);
     Stopwatch w;
     const auto result = engine.evaluate();
-    incrMs += w.elapsedMillis();
+    incrSamples.push_back(w.elapsedMillis());
     benchmark::DoNotOptimize(result);
   }
+  double fullMs = 0.0, incrMs = 0.0;
+  for (const double s : fullSamples) fullMs += s;
+  for (const double s : incrSamples) incrMs += s;
   fullMs /= kReps;
   incrMs /= kReps;
   const auto& m = engine.metrics();
+
+  // Machine-readable mirror of this report for CI's perf-smoke job.
+  bench::BenchReport json;
+  json.add("query_full_reeval", fullSamples);
+  auto& incr = json.add("query_incremental_dab", incrSamples);
+  incr.counters["invalidated"] =
+      static_cast<double>(m.lastPassInvalidated);
+  incr.counters["reused"] = static_cast<double>(m.lastPassReused);
+  incr.counters["cache_hit_rate"] = m.cacheHitRate();
+  incr.counters["speedup_vs_full"] =
+      bench::median(incrSamples) > 0.0
+          ? bench::median(fullSamples) / bench::median(incrSamples)
+          : 0.0;
+  json.write("BENCH_query.json");
 
   std::printf("=== incremental engine: localized dab on the %zu-cell scene "
               "===\n", kSceneSize);

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Gate the render-bench smoke run against a checked-in baseline.
+
+Usage: perf_smoke.py <report.json> <baseline.json> [tolerance]
+
+Both files are BENCH_render.json-shaped reports (bench/bench_json.h).
+Absolute frame times vary across runners, so the gate compares the
+machine-independent ratio metrics the bench computes from a single run:
+
+  pipeline_dab_serial/speedup_vs_full   higher is better
+  pipeline_dab_serial/dirty_fraction    lower is better
+  delta_broadcast/delta_ratio           lower is better
+
+A metric may regress by at most `tolerance` (default 0.25 = 25%) relative
+to the baseline value; a missing scenario or counter fails outright.
+Exit code: 0 pass, 1 regression/malformed report.
+"""
+
+import json
+import sys
+
+CHECKS = [
+    # (scenario, counter, direction)
+    ("pipeline_dab_serial", "speedup_vs_full", "higher"),
+    ("pipeline_dab_serial", "dirty_fraction", "lower"),
+    ("delta_broadcast", "delta_ratio", "lower"),
+]
+
+
+def counters(report, scenario):
+    for s in report.get("scenarios", []):
+        if s.get("name") == scenario:
+            return s.get("counters", {})
+    return None
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    with open(argv[1]) as f:
+        report = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+    tolerance = float(argv[3]) if len(argv) > 3 else 0.25
+
+    failed = False
+    for scenario, counter, direction in CHECKS:
+        base_counters = counters(baseline, scenario)
+        got_counters = counters(report, scenario)
+        if base_counters is None or counter not in base_counters:
+            print(f"SKIP {scenario}/{counter}: not in baseline")
+            continue
+        if got_counters is None or counter not in got_counters:
+            print(f"FAIL {scenario}/{counter}: missing from report")
+            failed = True
+            continue
+        base = base_counters[counter]
+        got = got_counters[counter]
+        if direction == "higher":
+            bound = base * (1.0 - tolerance)
+            ok = got >= bound
+            rel = "<" if not ok else ">="
+        else:
+            bound = base * (1.0 + tolerance)
+            ok = got <= bound
+            rel = ">" if not ok else "<="
+        status = "ok  " if ok else "FAIL"
+        print(f"{status} {scenario}/{counter}: {got:.4f} {rel} "
+              f"{bound:.4f} (baseline {base:.4f}, {direction} is better)")
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,7 +11,9 @@
 #include "cluster/scene_serde.h"
 #include "net/swapsync.h"
 #include "net/transport.h"
+#include "render/pipeline.h"
 #include "render/rasterizer.h"
+#include "util/metrics.h"
 #include "wall/compositor.h"
 
 namespace svq::cluster {
@@ -69,8 +71,13 @@ void rankMain(int rank, net::InProcessTransport& transport,
   }
 
   // Tile framebuffers keyed by tile index; a rank holds one (its own) until
-  // failover hands it more.
+  // failover hands it more. Each (tile, eye) stream gets its own
+  // incremental render pipeline: the tile buffer persists across frames,
+  // so unchanged cells are simply left in place. Pipelines run serially —
+  // ranks are already one thread each; nesting a pool here would
+  // oversubscribe the host.
   std::map<int, render::Framebuffer> left, right;
+  std::map<int, render::CellRenderPipeline> pipesLeft, pipesRight;
   auto tileBuffer = [&](std::map<int, render::Framebuffer>& eye,
                         int tile) -> render::Framebuffer& {
     const RectI r = wallSpec.tileRectPx(wallSpec.tileFromIndex(tile));
@@ -92,6 +99,14 @@ void rankMain(int rank, net::InProcessTransport& transport,
     composite.freshThisFrame.assign(static_cast<std::size_t>(ranks), false);
   }
 
+  SceneDeltaEncoder encoder;  // master only
+  SceneReceiver receiver;
+  MetricsRegistry& metricsReg = MetricsRegistry::global();
+  Counter& metricBytesFull = metricsReg.counter("cluster.broadcast.bytes_full");
+  Counter& metricBytesDelta =
+      metricsReg.counter("cluster.broadcast.bytes_delta");
+  Counter& metricResyncs = metricsReg.counter("cluster.broadcast.resyncs");
+
   auto protocol = [&] {
     for (std::size_t f = 0; f < frames.size(); ++f) {
       if (dieAtFrame >= 0 && static_cast<std::int64_t>(f) == dieAtFrame) {
@@ -103,38 +118,105 @@ void rankMain(int rank, net::InProcessTransport& transport,
         return;
       }
 
-      // 1. State distribution. The master serializes; everyone (including
-      // the master, for protocol uniformity) decodes the broadcast buffer.
-      net::MessageBuffer sceneBuf;
-      if (rank == 0) serializeScene(sceneBuf, frames[f]);
-      if (!comm.broadcast(0, sceneBuf).completed()) return;
-      const render::SceneModel scene = deserializeScene(sceneBuf);
+      // Scripted scene-cache loss: the rank forgets its scene before this
+      // frame's state distribution, so a delta packet will be rejected.
+      for (const SceneCacheDrop& drop : options.sceneCacheDrops) {
+        if (drop.rank == rank && drop.atFrame == f) receiver.dropCache();
+      }
 
-      // Refresh tile ownership from the latest converged dead-set (the
-      // previous barrier's release payload). Sort-first means inheriting a
-      // dead rank's tile is just an extra clip rect — no data moves.
+      // 1. State distribution. The master serializes — only the cells
+      // whose content hash changed since the last epoch when delta
+      // broadcast is on — and everyone (including the master, for
+      // protocol uniformity) decodes the broadcast buffer.
+      net::MessageBuffer sceneBuf;
+      ScenePacketKind kind = ScenePacketKind::kFull;
+      if (rank == 0) {
+        if (options.deltaBroadcast) {
+          kind = encoder.encode(sceneBuf, frames[f]);
+        } else {
+          serializeSceneFull(sceneBuf, frames[f],
+                             static_cast<std::uint64_t>(f) + 1);
+        }
+        if (kind == ScenePacketKind::kDelta) {
+          sharedResult.broadcastBytesDelta += sceneBuf.size();
+          ++sharedResult.broadcastFramesDelta;
+          metricBytesDelta.add(sceneBuf.size());
+        } else {
+          sharedResult.broadcastBytesFull += sceneBuf.size();
+          ++sharedResult.broadcastFramesFull;
+          metricBytesFull.add(sceneBuf.size());
+        }
+      }
+      if (!comm.broadcast(0, sceneBuf).completed()) return;
+      const bool applied = receiver.apply(sceneBuf);
+
+      // Pin this frame's tile ownership to the dead-set as converged at
+      // frame start (the previous barrier's release payload). A death
+      // detected later this frame — e.g. by the ack round below — takes
+      // effect at frame f+1: the master composites the dead tile from its
+      // last-good image for one frame (degraded) rather than racing the
+      // reassignment mid-frame. Sort-first means inheriting a dead rank's
+      // tile is just an extra clip rect — no data moves.
       const std::vector<int> myTiles =
           assignedTiles(rank, ranks, comm.deadMask());
       stats.tilesOwnedAtEnd = static_cast<int>(myTiles.size());
 
-      // 2. Sort-first render of every owned tile.
+      // 1b. Delta protocol resync round: every rank acks/nacks the packet
+      // it received; the master answers with a full re-send of the frame
+      // if anyone was left behind (dropped cache, fresh rank), or a tiny
+      // control packet if not. One collective each way keeps the ranks in
+      // lockstep without the master guessing receiver state.
+      if (options.deltaBroadcast) {
+        net::MessageBuffer ackBuf;
+        ackBuf.putU8(applied ? 1 : 0);
+        std::vector<net::MessageBuffer> acks;
+        if (!comm.gather(0, std::move(ackBuf), acks).completed()) return;
+        net::MessageBuffer resyncBuf;
+        if (rank == 0) {
+          bool anyNack = false;
+          for (net::MessageBuffer& a : acks) {
+            if (a.size() > 0 && a.getU8() == 0) anyNack = true;
+          }
+          if (anyNack) {
+            encoder.encodeResync(resyncBuf, frames[f]);
+            ++sharedResult.broadcastResyncs;
+            sharedResult.broadcastBytesFull += resyncBuf.size();
+            metricBytesFull.add(resyncBuf.size());
+            metricResyncs.add(1);
+          } else {
+            serializeSceneNone(resyncBuf, encoder.epoch());
+            sharedResult.broadcastBytesControl += resyncBuf.size();
+          }
+        }
+        if (!comm.broadcast(0, resyncBuf).completed()) return;
+        receiver.apply(resyncBuf);
+      }
+      const render::SceneModel& scene = receiver.scene();
+
+      // 2. Sort-first render of every owned tile, incrementally: the tile
+      // framebuffer persists across frames, so the pipeline rasterizes
+      // only the cells whose content changed and leaves the rest in place.
       Stopwatch renderTimer;
       std::vector<TileImage> renderedLeft, renderedRight;
+      auto accumulate = [&stats](const render::PipelineStats& ps) {
+        stats.cellsDrawn +=
+            ps.cellsRasterized + ps.cellsBlitted + ps.cellsSkipped;
+        stats.cellsCulled += ps.cellsCulled;
+        stats.cellsRasterized += ps.cellsRasterized;
+        stats.cellsBlitted += ps.cellsBlitted;
+        stats.cellsSkipped += ps.cellsSkipped;
+      };
       for (int tile : myTiles) {
         const RectI tileRect = wallSpec.tileRectPx(wallSpec.tileFromIndex(tile));
         render::Framebuffer& fbL = tileBuffer(left, tile);
-        const render::Canvas canvas{&fbL, tileRect};
-        const render::RenderStats rs =
-            renderScene(scene, dataset, canvas, render::Eye::kLeft);
-        stats.cellsDrawn += rs.cellsDrawn;
-        stats.cellsCulled += rs.cellsCulled;
+        const render::Canvas canvas{&fbL, tileRect, {}};
+        accumulate(pipesLeft[tile].render(scene, dataset, canvas,
+                                          render::Eye::kLeft));
         if (options.stereo) {
           render::Framebuffer& fbR = tileBuffer(right, tile);
-          const render::Canvas canvasR{&fbR, tileRect};
-          const render::RenderStats rsR =
-              renderScene(scene, dataset, canvasR, render::Eye::kRight);
-          stats.cellsDrawn += rsR.cellsDrawn;
-          stats.cellsCulled += rsR.cellsCulled;
+          const render::Canvas canvasR{&fbR, tileRect, {}};
+          accumulate(pipesRight[tile].render(scene, dataset, canvasR,
+                                             render::Eye::kRight));
         }
         if (options.gatherToMaster) {
           renderedLeft.push_back(TileImage{tile, fbL});
@@ -298,7 +380,10 @@ render::Framebuffer renderReferenceWall(const traj::TrajectoryDataset& dataset,
                                         render::Eye eye) {
   render::Framebuffer fb(wallSpec.totalPxW(), wallSpec.totalPxH());
   const render::Canvas canvas = render::Canvas::whole(fb);
-  renderScene(scene, dataset, canvas, eye);
+  // Render through the cell pipeline (cold, serial) so the reference has
+  // the same cell-clipped semantics as the cluster ranks.
+  render::CellRenderPipeline pipeline;
+  pipeline.render(scene, dataset, canvas, eye);
   return fb;
 }
 

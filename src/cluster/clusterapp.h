@@ -73,6 +73,14 @@ struct RankFailure {
   std::uint64_t atFrame = 0;
 };
 
+/// Scripted scene-cache loss for tests: the rank forgets its cached scene
+/// at the top of frame `atFrame`, so the next delta broadcast it receives
+/// is rejected and the master must resync it with a full packet.
+struct SceneCacheDrop {
+  int rank = -1;
+  std::uint64_t atFrame = 0;
+};
+
 /// Wall/bench presets for ClusterOptions::preset().
 enum class ClusterPreset {
   kMinimal,   ///< mono, gather on — cheapest correct session
@@ -93,8 +101,15 @@ struct ClusterOptions {
   /// the transport when any probability is non-zero.
   net::FaultInjector::Plan faults;
   FaultToleranceOptions faultTolerance;
+  /// Broadcast only the cells whose content hash changed since the last
+  /// acked epoch (full-scene packets on the first frame, layout changes
+  /// and resyncs). Off = every frame ships the full scene.
+  bool deltaBroadcast = true;
   /// Scripted rank crashes (tests/benches).
   std::vector<RankFailure> failures;
+  /// Scripted scene-cache losses (tests): exercises the delta-broadcast
+  /// resync path without killing the rank.
+  std::vector<SceneCacheDrop> sceneCacheDrops;
   /// Session watchdog: > 0 aborts a wedged session (transport shutdown)
   /// after this many wall-clock seconds. This is how a *non*-fault-
   /// tolerant session with a dead rank is recovered for measurement.
@@ -154,6 +169,14 @@ struct ClusterOptions {
     failures.push_back(RankFailure{rank, atFrame});
     return *this;
   }
+  ClusterOptions& withDeltaBroadcast(bool on) {
+    deltaBroadcast = on;
+    return *this;
+  }
+  ClusterOptions& withSceneCacheDrop(int rank, std::uint64_t atFrame) {
+    sceneCacheDrops.push_back(SceneCacheDrop{rank, atFrame});
+    return *this;
+  }
   ClusterOptions& withWatchdog(double seconds) {
     watchdogSeconds = seconds;
     return *this;
@@ -166,8 +189,14 @@ struct RankStats {
   double renderSeconds = 0.0;    ///< total time in renderScene
   double barrierSeconds = 0.0;   ///< total time blocked in the swap barrier
   double gatherSeconds = 0.0;    ///< total time serializing/sending tiles
+  /// Cells composited into this rank's tiles (rasterized + restored from
+  /// cache + skipped-as-unchanged).
   std::size_t cellsDrawn = 0;
   std::size_t cellsCulled = 0;
+  // Incremental-pipeline breakdown of cellsDrawn:
+  std::size_t cellsRasterized = 0;  ///< content changed, redrawn
+  std::size_t cellsBlitted = 0;     ///< restored from the per-cell cache
+  std::size_t cellsSkipped = 0;     ///< unchanged, pixels already in place
   // Fault observability:
   std::uint64_t degradedSwaps = 0;  ///< barriers that completed minus a peer
   std::uint64_t timeouts = 0;       ///< deadline windows expired in collectives
@@ -189,6 +218,16 @@ struct ClusterResult {
   std::uint64_t messagesSent = 0;
   std::uint64_t bytesSent = 0;
   double wallClockSeconds = 0.0;
+  // Scene-broadcast accounting (master's view): payload bytes of the
+  // frame-state broadcasts by packet kind. Control = the per-frame resync
+  // verdicts (kNone) of the delta protocol; resync full packets count
+  // into broadcastBytesFull and broadcastResyncs.
+  std::uint64_t broadcastBytesFull = 0;
+  std::uint64_t broadcastBytesDelta = 0;
+  std::uint64_t broadcastBytesControl = 0;
+  std::uint64_t broadcastFramesFull = 0;
+  std::uint64_t broadcastFramesDelta = 0;
+  std::uint64_t broadcastResyncs = 0;
   // Fault observability (master's view):
   std::uint64_t framesCompleted = 0;   ///< frames the master composited/swapped
   std::uint64_t degradedFrames = 0;    ///< composites that used stale tiles

@@ -23,20 +23,33 @@ Color getColor(MessageBuffer& buf) {
   return c;
 }
 
-}  // namespace
-
-void serializeScene(MessageBuffer& buf, const render::SceneModel& scene) {
-  buf.putU32(static_cast<std::uint32_t>(scene.cells.size()));
-  for (const render::CellView& cell : scene.cells) {
-    buf.putU32(cell.trajectoryIndex);
-    buf.putRect(cell.rect);
-    putColor(buf, cell.background);
-    buf.putU32(static_cast<std::uint32_t>(cell.segmentHighlights.size()));
-    for (std::int8_t h : cell.segmentHighlights) {
-      buf.putU8(static_cast<std::uint8_t>(h));
-    }
-    buf.putString(cell.label);
+void putCell(MessageBuffer& buf, const render::CellView& cell) {
+  buf.putU32(cell.trajectoryIndex);
+  buf.putRect(cell.rect);
+  putColor(buf, cell.background);
+  buf.putU32(static_cast<std::uint32_t>(cell.segmentHighlights.size()));
+  for (std::int8_t h : cell.segmentHighlights) {
+    buf.putU8(static_cast<std::uint8_t>(h));
   }
+  buf.putString(cell.label);
+}
+
+render::CellView getCell(MessageBuffer& buf) {
+  render::CellView cell;
+  cell.trajectoryIndex = buf.getU32();
+  cell.rect = buf.getRect();
+  cell.background = getColor(buf);
+  const std::uint32_t n = buf.getU32();
+  cell.segmentHighlights.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    cell.segmentHighlights.push_back(static_cast<std::int8_t>(buf.getU8()));
+  }
+  cell.label = buf.getString();
+  return cell;
+}
+
+/// Scene-wide (non-cell) fields; shared by the full and delta encodings.
+void putSceneFields(MessageBuffer& buf, const render::SceneModel& scene) {
   buf.putF32(scene.stereo.timeScaleCmPerS);
   buf.putF32(scene.stereo.depthOffsetCm);
   buf.putF32(scene.stereo.parallaxPxPerCm);
@@ -53,23 +66,7 @@ void serializeScene(MessageBuffer& buf, const render::SceneModel& scene) {
   putColor(buf, scene.wallBackground);
 }
 
-render::SceneModel deserializeScene(MessageBuffer& buf) {
-  render::SceneModel scene;
-  const std::uint32_t cellCount = buf.getU32();
-  scene.cells.reserve(cellCount);
-  for (std::uint32_t i = 0; i < cellCount; ++i) {
-    render::CellView cell;
-    cell.trajectoryIndex = buf.getU32();
-    cell.rect = buf.getRect();
-    cell.background = getColor(buf);
-    const std::uint32_t n = buf.getU32();
-    cell.segmentHighlights.reserve(n);
-    for (std::uint32_t s = 0; s < n; ++s) {
-      cell.segmentHighlights.push_back(static_cast<std::int8_t>(buf.getU8()));
-    }
-    cell.label = buf.getString();
-    scene.cells.push_back(std::move(cell));
-  }
+void getSceneFields(MessageBuffer& buf, render::SceneModel& scene) {
   scene.stereo.timeScaleCmPerS = buf.getF32();
   scene.stereo.depthOffsetCm = buf.getF32();
   scene.stereo.parallaxPxPerCm = buf.getF32();
@@ -84,7 +81,120 @@ render::SceneModel deserializeScene(MessageBuffer& buf) {
   scene.drawArenaOutline = buf.getBool();
   scene.drawCellBorder = buf.getBool();
   scene.wallBackground = getColor(buf);
+}
+
+}  // namespace
+
+void serializeScene(MessageBuffer& buf, const render::SceneModel& scene) {
+  buf.putU32(static_cast<std::uint32_t>(scene.cells.size()));
+  for (const render::CellView& cell : scene.cells) putCell(buf, cell);
+  putSceneFields(buf, scene);
+}
+
+render::SceneModel deserializeScene(MessageBuffer& buf) {
+  render::SceneModel scene;
+  const std::uint32_t cellCount = buf.getU32();
+  scene.cells.reserve(cellCount);
+  for (std::uint32_t i = 0; i < cellCount; ++i) {
+    scene.cells.push_back(getCell(buf));
+  }
+  getSceneFields(buf, scene);
   return scene;
+}
+
+void serializeSceneFull(MessageBuffer& buf, const render::SceneModel& scene,
+                        std::uint64_t epoch) {
+  buf.putU8(static_cast<std::uint8_t>(ScenePacketKind::kFull));
+  buf.putU64(epoch);
+  serializeScene(buf, scene);
+}
+
+void serializeSceneDelta(MessageBuffer& buf, const render::SceneModel& scene,
+                         const std::vector<std::uint32_t>& changed,
+                         std::uint64_t epoch, std::uint64_t baseEpoch) {
+  buf.putU8(static_cast<std::uint8_t>(ScenePacketKind::kDelta));
+  buf.putU64(epoch);
+  buf.putU64(baseEpoch);
+  putSceneFields(buf, scene);
+  buf.putU32(static_cast<std::uint32_t>(scene.cells.size()));
+  buf.putU32(static_cast<std::uint32_t>(changed.size()));
+  for (std::uint32_t index : changed) {
+    buf.putU32(index);
+    putCell(buf, scene.cells[index]);
+  }
+}
+
+void serializeSceneNone(MessageBuffer& buf, std::uint64_t epoch) {
+  buf.putU8(static_cast<std::uint8_t>(ScenePacketKind::kNone));
+  buf.putU64(epoch);
+}
+
+ScenePacketKind SceneDeltaEncoder::encode(MessageBuffer& buf,
+                                          const render::SceneModel& scene) {
+  std::vector<std::uint64_t> newHashes = render::sceneCellHashes(scene);
+  std::vector<std::uint32_t> changed;
+  bool deltaSound = hasBase_ && newHashes.size() == hashes_.size();
+  if (deltaSound) {
+    for (std::size_t i = 0; i < newHashes.size(); ++i) {
+      if (newHashes[i] != hashes_[i]) {
+        changed.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    // A delta touching most cells costs more than a full packet (it
+    // repeats the index overhead); scene-wide changes dirty everything and
+    // land here too.
+    if (changed.size() * 2 >= newHashes.size() && !newHashes.empty()) {
+      deltaSound = false;
+    }
+  }
+  ++epoch_;
+  if (deltaSound) {
+    serializeSceneDelta(buf, scene, changed, epoch_, epoch_ - 1);
+  } else {
+    serializeSceneFull(buf, scene, epoch_);
+  }
+  hashes_ = std::move(newHashes);
+  hasBase_ = true;
+  return deltaSound ? ScenePacketKind::kDelta : ScenePacketKind::kFull;
+}
+
+void SceneDeltaEncoder::encodeResync(MessageBuffer& buf,
+                                     const render::SceneModel& scene) {
+  serializeSceneFull(buf, scene, epoch_);
+}
+
+bool SceneReceiver::apply(MessageBuffer& buf) {
+  const auto kind = static_cast<ScenePacketKind>(buf.getU8());
+  const std::uint64_t epoch = buf.getU64();
+  switch (kind) {
+    case ScenePacketKind::kNone:
+      return true;
+    case ScenePacketKind::kFull:
+      scene_ = deserializeScene(buf);
+      epoch_ = epoch;
+      hasScene_ = true;
+      return true;
+    case ScenePacketKind::kDelta: {
+      const std::uint64_t baseEpoch = buf.getU64();
+      if (!hasScene_ || epoch_ != baseEpoch) return false;
+      getSceneFields(buf, scene_);
+      const std::uint32_t cellCount = buf.getU32();
+      if (cellCount != scene_.cells.size()) {
+        throw net::MessageError("scene delta cell-count mismatch");
+      }
+      const std::uint32_t changed = buf.getU32();
+      for (std::uint32_t i = 0; i < changed; ++i) {
+        const std::uint32_t index = buf.getU32();
+        if (index >= scene_.cells.size()) {
+          throw net::MessageError("scene delta cell index out of range");
+        }
+        scene_.cells[index] = getCell(buf);
+      }
+      epoch_ = epoch;
+      return true;
+    }
+  }
+  throw net::MessageError("unknown scene packet kind");
 }
 
 void serializeFramebuffer(MessageBuffer& buf, const render::Framebuffer& fb) {

@@ -172,6 +172,20 @@ render::SceneModel VisualQueryApp::buildScene() {
     }
     scene.cells.push_back(std::move(cell));
   }
+
+  // Damage tracking: diff this frame's per-cell content hashes against the
+  // previous frame's so render consumers know which cells to repaint.
+  std::vector<std::uint64_t> hashes = render::sceneCellHashes(scene);
+  lastDamagedCells_.clear();
+  if (hashes.size() != lastCellHashes_.size()) {
+    lastSceneFullyDamaged_ = true;
+  } else {
+    lastSceneFullyDamaged_ = false;
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      if (hashes[i] != lastCellHashes_[i]) lastDamagedCells_.push_back(i);
+    }
+  }
+  lastCellHashes_ = std::move(hashes);
   return scene;
 }
 

@@ -85,6 +85,20 @@ class VisualQueryApp {
   /// Frame counter (increments per buildScene).
   std::uint64_t frameIndex() const { return frameIndex_; }
 
+  // --- render damage ------------------------------------------------------
+  /// Cell indices (into the last built scene's cells) whose rendered
+  /// content changed since the previous buildScene(), computed by content-
+  /// hash diff (render::cellContentHash). Meaningful only when
+  /// lastSceneFullyDamaged() is false.
+  const std::vector<std::size_t>& lastDamagedCells() const {
+    return lastDamagedCells_;
+  }
+
+  /// True when the whole scene must be considered damaged: the first
+  /// frame, a layout switch (cell count/rect change) or a scene-wide
+  /// change that dirtied every cell.
+  bool lastSceneFullyDamaged() const { return lastSceneFullyDamaged_; }
+
  private:
   void recomputeLayout();
   void recomputeAssignment();
@@ -103,6 +117,9 @@ class VisualQueryApp {
   std::vector<std::uint32_t> boundDisplayed_;  ///< set the engine is bound to
   std::shared_ptr<const QueryResult> lastQuery_;
   std::uint64_t frameIndex_ = 0;
+  std::vector<std::uint64_t> lastCellHashes_;
+  std::vector<std::size_t> lastDamagedCells_;
+  bool lastSceneFullyDamaged_ = true;
 };
 
 }  // namespace svq::core

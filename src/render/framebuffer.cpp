@@ -17,11 +17,21 @@ void Framebuffer::clear(Color c) {
 }
 
 void Framebuffer::blit(const Framebuffer& src, int dstX, int dstY) {
-  const RectI target = RectI{dstX, dstY, src.width_, src.height_}.clipped(rect());
+  copyRect(src, src.rect(), dstX, dstY);
+}
+
+void Framebuffer::copyRect(const Framebuffer& src, const RectI& srcRect,
+                           int dstX, int dstY) {
+  const RectI from = srcRect.clipped(src.rect());
+  if (from.empty()) return;
+  // Destination rect for the clipped source, then clip to this buffer.
+  const int offX = dstX + (from.x - srcRect.x);
+  const int offY = dstY + (from.y - srcRect.y);
+  const RectI target = RectI{offX, offY, from.w, from.h}.clipped(rect());
   if (target.empty()) return;
   for (int y = 0; y < target.h; ++y) {
-    const int sy = target.y - dstY + y;
-    const int sx = target.x - dstX;
+    const int sy = from.y + (target.y - offY) + y;
+    const int sx = from.x + (target.x - offX);
     const Color* srcRow = &src.pixels_[src.index(sx, sy)];
     Color* dstRow = &pixels_[index(target.x, target.y + y)];
     std::copy(srcRow, srcRow + target.w, dstRow);

@@ -55,6 +55,11 @@ class Framebuffer {
   /// Copies `src` so that its (0,0) lands at (dstX, dstY); clips.
   void blit(const Framebuffer& src, int dstX, int dstY);
 
+  /// Row-wise copy of src's `srcRect` so its top-left lands at
+  /// (dstX, dstY); clips against both framebuffers.
+  void copyRect(const Framebuffer& src, const RectI& srcRect, int dstX,
+                int dstY);
+
   /// FNV-1a hash over raw pixel bytes — used by determinism tests to
   /// compare cluster-rendered frames against single-rank references.
   std::uint64_t contentHash() const;

@@ -1,0 +1,259 @@
+#include "render/pipeline.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace svq::render {
+
+namespace {
+
+struct PipelineMetrics {
+  Counter& cellsRasterized;
+  Counter& cellsBlitted;
+  Counter& cellsSkipped;
+  Counter& cellsCulled;
+  Counter& pixelsRasterized;
+  Counter& pixelsBlitted;
+  Counter& fullRecomposites;
+  Counter& overlapFallbacks;
+
+  static PipelineMetrics& get() {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    static PipelineMetrics m{reg.counter("render.cells_rasterized"),
+                             reg.counter("render.cells_blitted"),
+                             reg.counter("render.cells_skipped"),
+                             reg.counter("render.cells_culled"),
+                             reg.counter("render.pixels_rasterized"),
+                             reg.counter("render.pixels_blitted"),
+                             reg.counter("render.full_recomposites"),
+                             reg.counter("render.overlap_fallbacks")};
+    return m;
+  }
+};
+
+std::size_t envSize(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+}  // namespace
+
+PipelineOptions PipelineOptions::fromEnv() {
+  PipelineOptions o;
+  const std::size_t threads = envSize("SVQ_RENDER_THREADS", 0);
+  if (threads > 1) {
+    // One pool per distinct thread count, reused across pipelines.
+    static std::mutex mutex;
+    static std::map<std::size_t, std::unique_ptr<ThreadPool>> pools;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto& pool = pools[threads];
+    if (!pool) pool = std::make_unique<ThreadPool>(static_cast<unsigned>(threads));
+    o.pool = pool.get();
+  }
+  o.cacheBudgetBytes = envSize("SVQ_RENDER_CACHE_MB", 256) << 20;
+  return o;
+}
+
+CellRenderPipeline::CellRenderPipeline(PipelineOptions options)
+    : options_(options) {}
+
+bool CellRenderPipeline::cellsDisjoint(const SceneModel& scene) const {
+  // O(n^2) pairwise check over non-empty rects; layouts are a few hundred
+  // cells and this runs only when the layout changes.
+  const std::size_t n = scene.cells.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const RectI& a = scene.cells[i].rect;
+    if (a.empty()) continue;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (a.intersects(scene.cells[j].rect)) return false;
+    }
+  }
+  return true;
+}
+
+void CellRenderPipeline::resetLayout(const SceneModel& scene,
+                                     const Canvas& canvas) {
+  slots_.assign(scene.cells.size(), CellSlot{});
+  const RectI bounds = canvas.clipRect();
+  for (std::size_t i = 0; i < scene.cells.size(); ++i) {
+    slots_[i].clip = scene.cells[i].rect.clipped(bounds);
+  }
+  cachedBytes_ = 0;
+  layoutDisjoint_ = cellsDisjoint(scene);
+}
+
+PipelineStats CellRenderPipeline::render(const SceneModel& scene,
+                                         const traj::TrajectoryDataset& dataset,
+                                         const Canvas& canvas, Eye eye) {
+  PipelineStats stats;
+  PipelineMetrics& metrics = PipelineMetrics::get();
+
+  // Fold the eye into the key: a cached left-eye cell must never be
+  // blitted into a right-eye render of the same scene.
+  const std::uint64_t sceneHash =
+      sceneStateHash(scene) ^
+      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(eye) + 1));
+  std::vector<std::uint64_t> newKeys;
+  newKeys.reserve(scene.cells.size());
+  for (const CellView& cell : scene.cells) {
+    newKeys.push_back(cellContentHash(cell, sceneHash));
+  }
+
+  // Layout change = any cell's clipped rect moved, or the cell count
+  // changed. A moved cell leaves stale pixels at its old location that no
+  // per-cell repaint covers, so the whole target recomposites.
+  bool layoutChanged = slots_.size() != scene.cells.size();
+  if (!layoutChanged) {
+    const RectI bounds = canvas.clipRect();
+    for (std::size_t i = 0; i < scene.cells.size(); ++i) {
+      if (slots_[i].clip != scene.cells[i].rect.clipped(bounds)) {
+        layoutChanged = true;
+        break;
+      }
+    }
+  }
+  if (layoutChanged) resetLayout(scene, canvas);
+
+  if (!layoutDisjoint_) {
+    // Overlapping cells depend on painter's order; incremental skip and
+    // parallel rasterization are both unsound, so defer to the serial
+    // legacy renderer wholesale.
+    stats.overlapFallback = true;
+    metrics.overlapFallbacks.add(1);
+    const RenderStats legacy = renderScene(scene, dataset, canvas, eye);
+    stats.cellsRasterized = legacy.cellsDrawn;
+    stats.cellsCulled = legacy.cellsCulled;
+    stats.segmentsDrawn = legacy.segmentsDrawn;
+    stats.fullRecomposite = true;
+    metrics.cellsRasterized.add(legacy.cellsDrawn);
+    metrics.cellsCulled.add(legacy.cellsCulled);
+    keys_ = std::move(newKeys);
+    targetValid_ = false;  // incremental state is meaningless here
+    return stats;
+  }
+
+  const bool targetChanged = targetFb_ != canvas.fb ||
+                             targetRegion_ != canvas.region || eye_ != eye ||
+                             background_ != scene.wallBackground;
+  const bool recomposite = targetChanged || layoutChanged || !targetValid_;
+  stats.fullRecomposite = recomposite;
+  if (recomposite) metrics.fullRecomposites.add(1);
+
+  if (recomposite) {
+    fillRect(canvas, canvas.clipRect(), scene.wallBackground);
+  }
+
+  // Classify every cell: culled / skip / blit-from-cache / rasterize.
+  // Budget accounting happens here, serially, so the parallel phase only
+  // touches per-cell disjoint state.
+  struct Work {
+    std::size_t cell;
+    bool cachePixels;
+  };
+  std::vector<Work> toRasterize;
+  std::vector<std::size_t> toBlit;
+  for (std::size_t i = 0; i < scene.cells.size(); ++i) {
+    CellSlot& slot = slots_[i];
+    if (slot.clip.empty()) {
+      ++stats.cellsCulled;
+      slot.key = newKeys[i];
+      slot.hasKey = true;
+      continue;
+    }
+    const bool unchanged = slot.hasKey && slot.key == newKeys[i];
+    if (unchanged && !recomposite) {
+      ++stats.cellsSkipped;
+      continue;
+    }
+    if (unchanged && !slot.pixels.empty()) {
+      toBlit.push_back(i);
+      continue;
+    }
+    // Dirty (or unchanged-but-uncached during a recomposite): rasterize.
+    const std::size_t newBytes = static_cast<std::size_t>(slot.clip.areaPx()) *
+                                 sizeof(Color);
+    const std::size_t oldBytes = slot.pixels.pixelCount() * sizeof(Color);
+    bool cacheIt = false;
+    if (options_.cacheBudgetBytes > 0 &&
+        cachedBytes_ - oldBytes + newBytes <= options_.cacheBudgetBytes) {
+      cachedBytes_ = cachedBytes_ - oldBytes + newBytes;
+      cacheIt = true;
+    } else if (oldBytes > 0) {
+      // Over budget: drop the stale pixels, keep the key slot.
+      slot.pixels = Framebuffer{};
+      cachedBytes_ -= oldBytes;
+    }
+    toRasterize.push_back({i, cacheIt});
+  }
+
+  // Restore unchanged-but-uncached-in-target cells with row blits.
+  for (const std::size_t i : toBlit) {
+    CellSlot& slot = slots_[i];
+    canvas.blitRows(slot.pixels, 0, 0, slot.clip);
+    ++stats.cellsBlitted;
+    stats.pixelsBlitted += static_cast<std::uint64_t>(slot.clip.areaPx());
+  }
+
+  // Rasterize dirty cells. Cells own disjoint rects (checked at layout
+  // reset and asserted here), so concurrent sub-canvas writes never touch
+  // the same pixel and output is bit-identical for any thread count.
+  assert(layoutDisjoint_);
+  std::vector<std::size_t> segments(toRasterize.size(), 0);
+  auto rasterizeOne = [&](std::size_t w) {
+    const Work& work = toRasterize[w];
+    const CellView& cell = scene.cells[work.cell];
+    CellSlot& slot = slots_[work.cell];
+    RenderStats cellStats;
+    renderCell(scene, cell, dataset, canvas.subCanvas(cell.rect), eye,
+               cellStats);
+    segments[w] = cellStats.segmentsDrawn;
+    if (work.cachePixels) {
+      // Snapshot the cell's pixels out of the target for later blit
+      // restores. Slots are per-cell, so this is race-free too.
+      slot.pixels = Framebuffer(slot.clip.w, slot.clip.h);
+      slot.pixels.copyRect(*canvas.fb,
+                           RectI{slot.clip.x - canvas.region.x,
+                                 slot.clip.y - canvas.region.y, slot.clip.w,
+                                 slot.clip.h},
+                           0, 0);
+    }
+    slot.key = newKeys[work.cell];
+    slot.hasKey = true;
+  };
+  if (options_.pool != nullptr && !options_.pool->onWorkerThread() &&
+      toRasterize.size() > 1) {
+    options_.pool->parallelFor(0, toRasterize.size(), rasterizeOne);
+  } else {
+    for (std::size_t w = 0; w < toRasterize.size(); ++w) rasterizeOne(w);
+  }
+  for (const std::size_t s : segments) stats.segmentsDrawn += s;
+  stats.cellsRasterized = toRasterize.size();
+  for (const Work& work : toRasterize) {
+    stats.pixelsRasterized +=
+        static_cast<std::uint64_t>(slots_[work.cell].clip.areaPx());
+  }
+
+  metrics.cellsRasterized.add(stats.cellsRasterized);
+  metrics.cellsBlitted.add(stats.cellsBlitted);
+  metrics.cellsSkipped.add(stats.cellsSkipped);
+  metrics.cellsCulled.add(stats.cellsCulled);
+  metrics.pixelsRasterized.add(stats.pixelsRasterized);
+  metrics.pixelsBlitted.add(stats.pixelsBlitted);
+
+  keys_ = std::move(newKeys);
+  targetFb_ = canvas.fb;
+  targetRegion_ = canvas.region;
+  eye_ = eye;
+  background_ = scene.wallBackground;
+  targetValid_ = true;
+  return stats;
+}
+
+}  // namespace svq::render

@@ -1,0 +1,128 @@
+// pipeline.h — dirty-cell-aware, cell-parallel scene rendering.
+//
+// renderScene (scene.h) redraws every cell of every eye on every frame.
+// The interactive loop of the paper never needs that: the incremental
+// query engine knows exactly which cells' highlights changed, and the
+// wall's layout is static between edits. CellRenderPipeline closes the
+// loop on the render side:
+//
+//   * per-cell framebuffer cache — each cell rasterizes into the target
+//     through a sub-canvas clipped to its own rect, keyed by a content
+//     hash (cellContentHash) over everything renderCell reads. A cell
+//     whose key is unchanged since the last frame is skipped outright —
+//     its pixels are already in the (persistent) target — or restored
+//     with a row-wise blit from the cache after target damage;
+//   * cell-parallel rasterization — dirty cells rasterize concurrently
+//     over a ThreadPool. Cells own pairwise-disjoint rects (verified per
+//     layout; scenes with overlapping cells fall back to the serial
+//     legacy path), so concurrent cells never touch the same pixel and
+//     the output is bit-identical for any thread count — the same
+//     determinism contract the batch SOM trainer makes;
+//   * clipping semantics — a cell's pixels are clipped to its rect.
+//     Stereo parallax can shift a polyline horizontally past the cell
+//     boundary; the legacy renderer let those pixels spill into the
+//     wall background, the pipeline clips them at the cell edge (cells
+//     own their pixels — the property that makes skip/blit compositing
+//     and race-free parallelism possible). renderScene keeps the old
+//     spill semantics for comparison.
+//
+// Metrics (util/metrics, prefix "render."): cells rasterized / blitted /
+// skipped, pixels rasterized / blitted — dumped by bench_render.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "render/scene.h"
+#include "util/threadpool.h"
+
+namespace svq::render {
+
+/// Knobs for CellRenderPipeline.
+struct PipelineOptions {
+  /// Worker pool for cell-parallel rasterization; nullptr = serial.
+  /// Output is bit-identical either way.
+  ThreadPool* pool = nullptr;
+  /// Budget for cached cell framebuffers. Cells beyond the budget keep
+  /// their keys (skip detection still works) but drop their pixels, so a
+  /// target-damage recomposite re-rasterizes them instead of blitting.
+  /// 0 disables pixel caching entirely.
+  std::size_t cacheBudgetBytes = 256ull << 20;
+
+  /// Reads SVQ_RENDER_THREADS (0/unset = serial, N>1 = pool of N) and
+  /// SVQ_RENDER_CACHE_MB from the environment.
+  static PipelineOptions fromEnv();
+};
+
+/// What one render() call did (also mirrored into the global metrics
+/// registry under "render.").
+struct PipelineStats {
+  std::size_t cellsRasterized = 0;  ///< content changed: full redraw
+  std::size_t cellsBlitted = 0;     ///< unchanged, restored from cache
+  std::size_t cellsSkipped = 0;     ///< unchanged, pixels already in target
+  std::size_t cellsCulled = 0;      ///< outside the canvas region
+  std::uint64_t pixelsRasterized = 0;
+  std::uint64_t pixelsBlitted = 0;
+  std::size_t segmentsDrawn = 0;
+  bool fullRecomposite = false;  ///< background + every visible cell redone
+  bool overlapFallback = false;  ///< overlapping cells: legacy serial path
+
+  std::size_t cellsDrawn() const { return cellsRasterized + cellsBlitted; }
+};
+
+/// Incremental renderer for one (target framebuffer, eye) stream.
+///
+/// The pipeline assumes it renders the *same logical surface* repeatedly:
+/// the first render (or any change of target, region, eye, layout or wall
+/// background) does a full recomposite; subsequent renders touch only the
+/// cells whose content hash changed. Call invalidate() when the target's
+/// pixels were damaged externally (e.g. buffer reuse) — the next render
+/// recomposites from the cache via blits instead of trusting the target.
+///
+/// Not thread-safe per instance; one pipeline per render stream (the
+/// cluster app keeps one per owned tile per eye).
+class CellRenderPipeline {
+ public:
+  explicit CellRenderPipeline(PipelineOptions options = {});
+
+  /// Renders `scene` into `canvas` for `eye`, incrementally.
+  PipelineStats render(const SceneModel& scene,
+                       const traj::TrajectoryDataset& dataset,
+                       const Canvas& canvas, Eye eye);
+
+  /// Marks the target's pixels unreliable; the next render recomposites
+  /// every visible cell (blitting unchanged ones from the cache).
+  void invalidate() { targetValid_ = false; }
+
+  /// Per-cell content keys of the last rendered scene (index-aligned with
+  /// scene.cells). Exposed for the delta-broadcast master and tests.
+  const std::vector<std::uint64_t>& cellKeys() const { return keys_; }
+
+  const PipelineOptions& options() const { return options_; }
+  std::size_t cachedBytes() const { return cachedBytes_; }
+
+ private:
+  struct CellSlot {
+    std::uint64_t key = 0;
+    bool hasKey = false;
+    RectI clip;           ///< cell.rect ∩ canvas.region at last render
+    Framebuffer pixels;   ///< cached copy of the clip rect (may be empty)
+  };
+
+  void resetLayout(const SceneModel& scene, const Canvas& canvas);
+  bool cellsDisjoint(const SceneModel& scene) const;
+
+  PipelineOptions options_;
+  std::vector<CellSlot> slots_;
+  std::vector<std::uint64_t> keys_;
+  // Target identity: recomposite when any of these change.
+  Framebuffer* targetFb_ = nullptr;
+  RectI targetRegion_;
+  Eye eye_ = Eye::kCenter;
+  Color background_{};
+  bool targetValid_ = false;
+  bool layoutDisjoint_ = true;
+  std::size_t cachedBytes_ = 0;
+};
+
+}  // namespace svq::render

@@ -7,12 +7,42 @@
 
 namespace svq::render {
 
+void Canvas::fillSpan(int gx, int gy, int w, Color c) const {
+  const RectI bounds = clipRect();
+  if (gy < bounds.y || gy >= bounds.y + bounds.h) return;
+  const int x0 = std::max(gx, bounds.x);
+  const int x1 = std::min(gx + w, bounds.x + bounds.w);
+  if (x0 >= x1) return;
+  Color* row = &fb->at(x0 - region.x, gy - region.y);
+  if (c.a == 255) {
+    std::fill(row, row + (x1 - x0), c);
+  } else {
+    for (int x = x0; x < x1; ++x, ++row) *row = Color::over(*row, c);
+  }
+}
+
+void Canvas::blitRows(const Framebuffer& src, int srcX, int srcY,
+                      const RectI& dstGlobal) const {
+  const RectI target = dstGlobal.clipped(clipRect());
+  if (target.empty()) return;
+  for (int y = 0; y < target.h; ++y) {
+    const int sy = srcY + (target.y - dstGlobal.y) + y;
+    const int sx = srcX + (target.x - dstGlobal.x);
+    if (sy < 0 || sy >= src.height()) continue;
+    const int runX = std::max(sx, 0);
+    const int run = std::min(sx + target.w, src.width()) - runX;
+    if (run <= 0) continue;
+    const Color* srcRow = &src.at(runX, sy);
+    Color* dstRow = &fb->at(target.x + (runX - sx) - region.x,
+                            target.y + y - region.y);
+    std::copy(srcRow, srcRow + run, dstRow);
+  }
+}
+
 void fillRect(const Canvas& canvas, const RectI& r, Color c) {
-  const RectI clipped = r.clipped(canvas.region);
+  const RectI clipped = r.clipped(canvas.clipRect());
   for (int y = clipped.y; y < clipped.y + clipped.h; ++y) {
-    for (int x = clipped.x; x < clipped.x + clipped.w; ++x) {
-      canvas.blend(x, y, c);
-    }
+    canvas.fillSpan(clipped.x, y, clipped.w, c);
   }
 }
 
@@ -30,24 +60,64 @@ void fillCircle(const Canvas& canvas, float cx, float cy, float r, Color c) {
   const int x1 = static_cast<int>(std::ceil(cx + r));
   const int y0 = static_cast<int>(std::floor(cy - r));
   const int y1 = static_cast<int>(std::ceil(cy + r));
-  const RectI box = RectI{x0, y0, x1 - x0 + 1, y1 - y0 + 1}.clipped(canvas.region);
+  const RectI box =
+      RectI{x0, y0, x1 - x0 + 1, y1 - y0 + 1}.clipped(canvas.clipRect());
   const float r2 = r * r;
   for (int y = box.y; y < box.y + box.h; ++y) {
-    for (int x = box.x; x < box.x + box.w; ++x) {
+    // Every (x, y) in the clipped box is inside the canvas; write through
+    // the row pointer instead of re-checking containment per pixel.
+    Color* row = &canvas.fb->at(box.x - canvas.region.x, y - canvas.region.y);
+    const float dy = static_cast<float>(y) + 0.5f - cy;
+    for (int x = box.x; x < box.x + box.w; ++x, ++row) {
       const float dx = static_cast<float>(x) + 0.5f - cx;
-      const float dy = static_cast<float>(y) + 0.5f - cy;
-      if (dx * dx + dy * dy <= r2) canvas.blend(x, y, c);
+      if (dx * dx + dy * dy <= r2) *row = Color::over(*row, c);
     }
   }
 }
+
+namespace {
+
+/// Intersects the parameter interval [t0, t1] of a(t) = o + d*t with the
+/// slab lo <= o + d*t <= hi. Returns false when the intersection is empty.
+bool clipAxis(float o, float d, float lo, float hi, float& t0, float& t1) {
+  if (d == 0.0f) return o >= lo && o <= hi;
+  float ta = (lo - o) / d;
+  float tb = (hi - o) / d;
+  if (ta > tb) std::swap(ta, tb);
+  t0 = std::max(t0, ta);
+  t1 = std::min(t1, tb);
+  return t0 <= t1;
+}
+
+}  // namespace
 
 void drawLine(const Canvas& canvas, Vec2 a, Vec2 b, Color c) {
   const float dx = b.x - a.x;
   const float dy = b.y - a.y;
   const int steps =
       static_cast<int>(std::max(std::abs(dx), std::abs(dy))) + 1;
-  for (int i = 0; i <= steps; ++i) {
-    const float t = static_cast<float>(i) / static_cast<float>(steps);
+
+  // Clip the *parameter range* against the canvas before the pixel walk
+  // (Liang-Barsky over a 1px-inflated clip rect). The parametrization is
+  // unchanged, so the pixels produced inside the canvas are bit-identical
+  // to an unclipped walk — but a line crossing an off-tile cell no longer
+  // costs O(length) rejected samples. The 1px inflation covers rounding:
+  // a sample up to 0.5px outside the rect can still round to an inside
+  // pixel.
+  const RectI bounds = canvas.clipRect();
+  if (bounds.empty()) return;
+  float t0 = 0.0f, t1 = 1.0f;
+  if (!clipAxis(a.x, dx, static_cast<float>(bounds.x) - 1.0f,
+                static_cast<float>(bounds.x + bounds.w), t0, t1) ||
+      !clipAxis(a.y, dy, static_cast<float>(bounds.y) - 1.0f,
+                static_cast<float>(bounds.y + bounds.h), t0, t1)) {
+    return;
+  }
+  const float fsteps = static_cast<float>(steps);
+  const int i0 = std::max(0, static_cast<int>(std::floor(t0 * fsteps)));
+  const int i1 = std::min(steps, static_cast<int>(std::ceil(t1 * fsteps)));
+  for (int i = i0; i <= i1; ++i) {
+    const float t = static_cast<float>(i) / fsteps;
     canvas.blend(static_cast<int>(std::round(a.x + dx * t)),
                  static_cast<int>(std::round(a.y + dy * t)), c);
   }
@@ -63,13 +133,14 @@ void drawThickLine(const Canvas& canvas, Vec2 a, Vec2 b, float halfWidth,
   const int y0 = static_cast<int>(std::floor(std::min(a.y, b.y) - reach));
   const int y1 = static_cast<int>(std::ceil(std::max(a.y, b.y) + reach));
   const RectI box =
-      RectI{x0, y0, x1 - x0 + 1, y1 - y0 + 1}.clipped(canvas.region);
+      RectI{x0, y0, x1 - x0 + 1, y1 - y0 + 1}.clipped(canvas.clipRect());
   if (box.empty()) return;
 
   const Vec2 ab = b - a;
   const float len2 = ab.norm2();
   for (int y = box.y; y < box.y + box.h; ++y) {
-    for (int x = box.x; x < box.x + box.w; ++x) {
+    Color* row = &canvas.fb->at(box.x - canvas.region.x, y - canvas.region.y);
+    for (int x = box.x; x < box.x + box.w; ++x, ++row) {
       const Vec2 p{static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f};
       float dist;
       if (len2 <= 0.0f) {
@@ -83,7 +154,7 @@ void drawThickLine(const Canvas& canvas, Vec2 a, Vec2 b, float halfWidth,
       if (dist > halfWidth) coverage = 1.0f - (dist - halfWidth) / feather;
       const auto alpha = static_cast<std::uint8_t>(
           svq::clamp(coverage * static_cast<float>(c.a), 0.0f, 255.0f));
-      canvas.blend(x, y, c.withAlpha(alpha));
+      *row = Color::over(*row, c.withAlpha(alpha));
     }
   }
 }

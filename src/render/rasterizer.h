@@ -23,25 +23,59 @@ struct Canvas {
   /// Global-pixel region this framebuffer covers; fb local (0,0) maps to
   /// (region.x, region.y).
   RectI region;
+  /// Optional extra clip in global pixels. The default-constructed rect
+  /// (all zero) means "clip to `region` only"; any other value — including
+  /// other empty rects, which clip everything out — is honoured as-is.
+  /// The cell-parallel pipeline hands each cell a sub-canvas clipped to
+  /// the cell's own rect so concurrent cells never write the same pixel.
+  RectI clip;
 
   /// Full-framebuffer canvas at global origin.
   static Canvas whole(Framebuffer& target) {
-    return {&target, target.rect()};
+    return {&target, target.rect(), {}};
   }
 
   bool valid() const {
     return fb != nullptr && region.w == fb->width() && region.h == fb->height();
   }
 
-  /// Blend a global pixel (clips to the region).
+  bool hasClip() const { return !(clip == RectI{}); }
+
+  /// The rect primitives actually clip against: region ∩ clip. May be
+  /// empty, in which case nothing draws.
+  RectI clipRect() const {
+    return hasClip() ? clip.clipped(region) : region;
+  }
+
+  /// Same framebuffer/viewport, additionally clipped to `clipGlobal`.
+  Canvas subCanvas(const RectI& clipGlobal) const {
+    RectI c = clipGlobal.clipped(clipRect());
+    // An empty intersection must not collapse into the default rect (the
+    // "no clip" sentinel): pin it to a canonical nothing-passes value.
+    if (c.empty()) c = RectI{0, 0, -1, -1};
+    return {fb, region, c};
+  }
+
+  /// Blend a global pixel (clips to region ∩ clip).
   void blend(int gx, int gy, Color c) const {
-    if (!region.contains(gx, gy)) return;
+    if (!clipRect().contains(gx, gy)) return;
     fb->blend(gx - region.x, gy - region.y, c);
   }
   void set(int gx, int gy, Color c) const {
-    if (!region.contains(gx, gy)) return;
+    if (!clipRect().contains(gx, gy)) return;
     fb->set(gx - region.x, gy - region.y, c);
   }
+
+  /// Blend a horizontal run of `w` pixels starting at global (gx, gy),
+  /// clipped — the hot-loop primitive that replaces per-pixel contains
+  /// checks. Opaque colors take a straight fill fast path.
+  void fillSpan(int gx, int gy, int w, Color c) const;
+
+  /// Row-wise copy (no blending) of `src` so that src (srcX, srcY) lands
+  /// at global (dstGlobal.x, dstGlobal.y), covering dstGlobal, clipped to
+  /// this canvas. Used to composite cached cell framebuffers.
+  void blitRows(const Framebuffer& src, int srcX, int srcY,
+                const RectI& dstGlobal) const;
 };
 
 /// Fills a global-space rect.

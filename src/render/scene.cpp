@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 namespace svq::render {
 
@@ -71,6 +72,71 @@ void renderCell(const SceneModel& scene, const CellView& cell,
                  cell.background.scaled(3.0f));
   }
   ++stats.cellsDrawn;
+}
+
+namespace {
+
+/// FNV-1a over raw bytes, chained from `h`.
+std::uint64_t fnvMix(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnvValue(std::uint64_t h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnvMix(h, &v, sizeof(T));
+}
+
+}  // namespace
+
+std::uint64_t sceneStateHash(const SceneModel& scene) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnvValue(h, scene.stereo.timeScaleCmPerS);
+  h = fnvValue(h, scene.stereo.depthOffsetCm);
+  h = fnvValue(h, scene.stereo.parallaxPxPerCm);
+  h = fnvValue(h, scene.stereo.maxComfortParallaxPx);
+  h = fnvValue(h, scene.arenaRadiusCm);
+  h = fnvValue(h, scene.timeWindow.x);
+  h = fnvValue(h, scene.timeWindow.y);
+  h = fnvValue(h, scene.style.baseColor);
+  h = fnvValue(h, scene.style.nearBrightness);
+  h = fnvValue(h, scene.style.halfWidthPx);
+  h = fnvValue(h, scene.style.startMarkerPx);
+  h = fnvValue(h, scene.drawArenaOutline);
+  h = fnvValue(h, scene.drawCellBorder);
+  h = fnvValue(h, scene.wallBackground);
+  return h;
+}
+
+std::uint64_t cellContentHash(const CellView& cell, std::uint64_t sceneHash) {
+  std::uint64_t h = sceneHash;
+  h = fnvValue(h, cell.trajectoryIndex);
+  h = fnvValue(h, cell.rect.x);
+  h = fnvValue(h, cell.rect.y);
+  h = fnvValue(h, cell.rect.w);
+  h = fnvValue(h, cell.rect.h);
+  h = fnvValue(h, cell.background);
+  h = fnvMix(h, cell.segmentHighlights.data(), cell.segmentHighlights.size());
+  h = fnvMix(h, cell.label.data(), cell.label.size());
+  // Length separators so {highlights="A", label=""} != {"", "A"}.
+  h = fnvValue(h, static_cast<std::uint64_t>(cell.segmentHighlights.size()));
+  h = fnvValue(h, static_cast<std::uint64_t>(cell.label.size()));
+  return h;
+}
+
+std::vector<std::uint64_t> sceneCellHashes(const SceneModel& scene) {
+  const std::uint64_t sceneHash = sceneStateHash(scene);
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(scene.cells.size());
+  for (const CellView& cell : scene.cells) {
+    hashes.push_back(cellContentHash(cell, sceneHash));
+  }
+  return hashes;
 }
 
 RenderStats renderScene(const SceneModel& scene,

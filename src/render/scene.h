@@ -70,4 +70,23 @@ void renderCell(const SceneModel& scene, const CellView& cell,
                 const traj::TrajectoryDataset& dataset, const Canvas& canvas,
                 Eye eye, RenderStats& stats);
 
+// --- content hashing ---------------------------------------------------------
+// The dirty-cell pipeline (render/pipeline.h) and the delta scene
+// broadcast (cluster/scene_serde.h) both need to answer "did this cell's
+// pixels change?" without rasterizing. These FNV-1a hashes cover every
+// input that renderCell reads, so key equality implies pixel equality.
+
+/// Hash of the scene-wide fields that affect every cell's pixels (stereo,
+/// window, style, flags, arena radius, wall background). Deliberately
+/// excludes `queryGeneration`: it identifies the highlight *source*, not
+/// the pixels, and would dirty every cell every frame.
+std::uint64_t sceneStateHash(const SceneModel& scene);
+
+/// Content hash of one cell folded over `sceneHash`: trajectory index,
+/// rect, background, per-segment highlights and label.
+std::uint64_t cellContentHash(const CellView& cell, std::uint64_t sceneHash);
+
+/// cellContentHash for every cell of the scene (shared sceneStateHash).
+std::vector<std::uint64_t> sceneCellHashes(const SceneModel& scene);
+
 }  // namespace svq::render

@@ -350,5 +350,198 @@ TEST(ClusterFaultTest, InterconnectDelayOnlySlowsTheSession) {
   EXPECT_EQ(result.leftWall->contentHash(), ref.contentHash());
 }
 
+// --- delta scene broadcast ---------------------------------------------------
+
+TEST(SceneDeltaSerdeTest, FullThenDeltaRoundTrip) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const render::SceneModel sceneA = makeScene(ds, w);
+  render::SceneModel sceneB = sceneA;
+  sceneB.cells[3].segmentHighlights.assign(20, static_cast<std::int8_t>(0));
+
+  SceneDeltaEncoder encoder;
+  net::MessageBuffer full;
+  EXPECT_EQ(encoder.encode(full, sceneA), ScenePacketKind::kFull);
+  net::MessageBuffer delta;
+  EXPECT_EQ(encoder.encode(delta, sceneB), ScenePacketKind::kDelta);
+  // One dirty cell out of many: the delta is a small fraction of the full
+  // packet.
+  EXPECT_LT(delta.size(), full.size() / 2);
+
+  SceneReceiver receiver;
+  full.rewind();
+  EXPECT_TRUE(receiver.apply(full));
+  EXPECT_EQ(receiver.epoch(), 1u);
+  delta.rewind();
+  EXPECT_TRUE(receiver.apply(delta));
+  EXPECT_EQ(receiver.epoch(), 2u);
+
+  // The patched scene renders pixel-identically to the original.
+  const auto ref = renderReferenceWall(ds, w, sceneB, render::Eye::kLeft);
+  const auto got =
+      renderReferenceWall(ds, w, receiver.scene(), render::Eye::kLeft);
+  EXPECT_EQ(got.contentHash(), ref.contentHash());
+}
+
+TEST(SceneDeltaSerdeTest, DeltaRejectedWithoutMatchingBase) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const render::SceneModel sceneA = makeScene(ds, w);
+  render::SceneModel sceneB = sceneA;
+  sceneB.cells[0].label = "changed";
+
+  SceneDeltaEncoder encoder;
+  net::MessageBuffer full;
+  encoder.encode(full, sceneA);
+  net::MessageBuffer delta;
+  ASSERT_EQ(encoder.encode(delta, sceneB), ScenePacketKind::kDelta);
+
+  // A fresh receiver (no base epoch) must reject the delta...
+  SceneReceiver fresh;
+  delta.rewind();
+  EXPECT_FALSE(fresh.apply(delta));
+  EXPECT_FALSE(fresh.hasScene());
+
+  // ...as must one that held the base but dropped its cache.
+  SceneReceiver dropped;
+  full.rewind();
+  EXPECT_TRUE(dropped.apply(full));
+  dropped.dropCache();
+  delta.rewind();
+  EXPECT_FALSE(dropped.apply(delta));
+
+  // The resync full packet repairs both.
+  net::MessageBuffer resync;
+  encoder.encodeResync(resync, sceneB);
+  resync.rewind();
+  EXPECT_TRUE(fresh.apply(resync));
+  EXPECT_EQ(fresh.epoch(), encoder.epoch());
+  EXPECT_EQ(fresh.scene().cells[0].label, "changed");
+}
+
+TEST(SceneDeltaSerdeTest, SceneWideChangeFallsBackToFullPacket) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const render::SceneModel sceneA = makeScene(ds, w);
+  render::SceneModel sceneB = sceneA;
+  sceneB.timeWindow = {1.0f, 30.0f};  // dirties every cell's pixels
+
+  SceneDeltaEncoder encoder;
+  net::MessageBuffer b1, b2;
+  encoder.encode(b1, sceneA);
+  EXPECT_EQ(encoder.encode(b2, sceneB), ScenePacketKind::kFull);
+}
+
+/// Evolving interactive session: one brush dab per frame.
+std::vector<render::SceneModel> makeEvolvingFrames(
+    const traj::TrajectoryDataset& ds, const wall::WallSpec& w,
+    std::size_t frames) {
+  core::VisualQueryApp app(ds, w);
+  app.apply(ui::LayoutSwitchEvent{0});
+  app.apply(ui::BrushStrokeEvent{0, {-20.0f, 0.0f}, 15.0f});
+  std::vector<render::SceneModel> out;
+  out.push_back(app.buildScene());
+  for (std::size_t f = 1; f < frames; ++f) {
+    app.apply(ui::BrushStrokeEvent{0,
+                                   {-20.0f + 4.0f * static_cast<float>(f),
+                                    5.0f * static_cast<float>(f % 3)},
+                                   4.0f});
+    out.push_back(app.buildScene());
+  }
+  return out;
+}
+
+TEST(ClusterDeltaTest, DeltaSessionPixelIdenticalToFullSession) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const auto frames = makeEvolvingFrames(ds, w, 5);
+
+  ClusterOptions deltaOn = ClusterOptions::preset(ClusterPreset::kMinimal)
+                               .withKeepAllComposites(true);
+  ClusterOptions deltaOff = ClusterOptions::preset(ClusterPreset::kMinimal)
+                                .withKeepAllComposites(true)
+                                .withDeltaBroadcast(false);
+  const ClusterResult a = runClusterSession(ds, w, frames, deltaOn);
+  const ClusterResult b = runClusterSession(ds, w, frames, deltaOff);
+
+  EXPECT_GT(a.broadcastFramesDelta, 0u);
+  EXPECT_EQ(a.broadcastResyncs, 0u);
+  EXPECT_EQ(b.broadcastFramesDelta, 0u);
+  ASSERT_EQ(a.frameComposites.size(), frames.size());
+  ASSERT_EQ(b.frameComposites.size(), frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    EXPECT_EQ(a.frameComposites[f].contentHash(),
+              b.frameComposites[f].contentHash())
+        << "frame " << f;
+    const auto ref = renderReferenceWall(ds, w, frames[f], render::Eye::kLeft);
+    EXPECT_EQ(a.frameComposites[f].contentHash(), ref.contentHash())
+        << "frame " << f << " vs reference";
+  }
+}
+
+TEST(ClusterDeltaTest, DeltaFramesShrinkBroadcastBytes) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const auto frames = makeEvolvingFrames(ds, w, 6);
+
+  const ClusterResult r = runClusterSession(
+      ds, w, frames, ClusterOptions::preset(ClusterPreset::kMinimal));
+  ASSERT_GT(r.broadcastFramesDelta, 0u);
+  ASSERT_GT(r.broadcastFramesFull, 0u);
+  const double avgDelta = static_cast<double>(r.broadcastBytesDelta) /
+                          static_cast<double>(r.broadcastFramesDelta);
+  const double avgFull = static_cast<double>(r.broadcastBytesFull) /
+                         static_cast<double>(r.broadcastFramesFull);
+  // A one-dab frame touches a handful of the layout's cells.
+  EXPECT_LT(avgDelta, avgFull * 0.5);
+}
+
+TEST(ClusterDeltaTest, CacheDropForcesResyncAndStaysPixelComplete) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall();
+  const auto frames = makeEvolvingFrames(ds, w, 4);
+
+  const ClusterResult r = runClusterSession(
+      ds, w, frames,
+      ClusterOptions::preset(ClusterPreset::kMinimal)
+          .withKeepAllComposites(true)
+          .withSceneCacheDrop(2, 2));
+  EXPECT_GE(r.broadcastResyncs, 1u);
+  ASSERT_EQ(r.frameComposites.size(), frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const auto ref = renderReferenceWall(ds, w, frames[f], render::Eye::kLeft);
+    EXPECT_EQ(r.frameComposites[f].contentHash(), ref.contentHash())
+        << "frame " << f;
+  }
+}
+
+TEST(ClusterDeltaTest, KilledRankWithDeltaBroadcastRecoversPixelComplete) {
+  const auto ds = makeDataset();
+  const wall::WallSpec w = smallWall(3, 1);
+  const auto frames = makeEvolvingFrames(ds, w, 6);
+
+  FaultToleranceOptions ft;
+  ft.enabled = true;
+  ft.heartbeatTimeoutSeconds = 0.1;
+  ft.retries = 1;
+  const ClusterResult r =
+      runClusterSession(ds, w, frames,
+                        ClusterOptions::preset(ClusterPreset::kMinimal)
+                            .withKeepAllComposites(true)
+                            .withFaultTolerance(ft)
+                            .withFailure(/*rank=*/2, /*atFrame=*/1));
+  EXPECT_EQ(r.ranksFailed, 1u);
+  EXPECT_EQ(r.framesCompleted, frames.size());
+  ASSERT_EQ(r.frameComposites.size(), frames.size());
+  // Frames before the kill and after recovery are bit-identical to the
+  // reference; degraded frames composite the dead tile from its last-good
+  // image (stale by exactly the frames the scene evolved while degraded).
+  const auto ref0 = renderReferenceWall(ds, w, frames[0], render::Eye::kLeft);
+  EXPECT_EQ(r.frameComposites[0].contentHash(), ref0.contentHash());
+  const auto refLast =
+      renderReferenceWall(ds, w, frames.back(), render::Eye::kLeft);
+  EXPECT_EQ(r.frameComposites.back().contentHash(), refLast.contentHash());
+}
+
 }  // namespace
 }  // namespace svq::cluster

@@ -185,6 +185,39 @@ TEST_F(QueryEngineTest, SequentialModeMatchesParallel) {
   expectSameResult(*result, oneShot());
 }
 
+TEST_F(QueryEngineTest, LastInvalidatedReportsDamagedRows) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 0.0f}, 10.0f}));
+  engine_.evaluate();
+  // First pass touches everything.
+  EXPECT_EQ(engine_.lastInvalidated().size(), ds_.size());
+
+  // A localized dab re-passes only the overlapping subset, and
+  // lastInvalidated names exactly those rows.
+  const Vec2 dabPos = ds_[0].points()[ds_[0].size() / 2].pos;
+  engine_.invalidateRegion(canvas_.addStroke(BrushStroke{1, dabPos, 3.0f}));
+  engine_.evaluate();
+  const auto& damaged = engine_.lastInvalidated();
+  EXPECT_EQ(damaged.size(), engine_.metrics().lastPassInvalidated);
+  ASSERT_FALSE(damaged.empty());
+  EXPECT_LT(damaged.size(), ds_.size());
+  for (const std::size_t row : damaged) EXPECT_LT(row, ds_.size());
+
+  // A cached pass damages nothing.
+  engine_.evaluate();
+  EXPECT_TRUE(engine_.lastInvalidated().empty());
+
+  // A temporal-only pass reports no spatial damage either; renderers must
+  // fall back to scene content hashes for those (every cell's pixels may
+  // change).
+  QueryParams p = engine_.params();
+  p.timeWindow = {5.0f, 40.0f};
+  engine_.setParams(p);
+  engine_.evaluate();
+  EXPECT_EQ(engine_.metrics().temporalOnlyPasses, 1u);
+  EXPECT_TRUE(engine_.lastInvalidated().empty());
+}
+
 TEST(QueryEngineStandaloneTest, CurrentIsEmptyBeforeFirstPass) {
   QueryEngine engine;
   const auto result = engine.current();

@@ -194,6 +194,35 @@ TEST_F(SessionTest, ScriptReplayAppliesEverything) {
   EXPECT_FLOAT_EQ(app_.timeWindow().hi(), 30.0f);
 }
 
+TEST_F(SessionTest, BuildSceneReportsDamagedCells) {
+  // First build has no baseline: everything is damaged. (The stroke also
+  // makes highlight rows exist everywhere, so the later dab below changes
+  // only the rows it actually brushes.)
+  app_.apply(ui::BrushStrokeEvent{0, {-20.0f, 0.0f}, 15.0f});
+  app_.buildScene();
+  EXPECT_TRUE(app_.lastSceneFullyDamaged());
+
+  // Rebuilding an unchanged session damages nothing.
+  app_.buildScene();
+  EXPECT_FALSE(app_.lastSceneFullyDamaged());
+  EXPECT_TRUE(app_.lastDamagedCells().empty());
+
+  // A localized dab damages some cells, but not the whole wall.
+  app_.apply(ui::BrushStrokeEvent{1, {-12.0f, 4.0f}, 3.0f});
+  const render::SceneModel scene = app_.buildScene();
+  EXPECT_FALSE(app_.lastSceneFullyDamaged());
+  EXPECT_FALSE(app_.lastDamagedCells().empty());
+  EXPECT_LT(app_.lastDamagedCells().size(), scene.cells.size());
+  for (const std::size_t i : app_.lastDamagedCells()) {
+    EXPECT_LT(i, scene.cells.size());
+  }
+
+  // A layout switch changes the cell count: full damage again.
+  app_.apply(ui::LayoutSwitchEvent{2});
+  app_.buildScene();
+  EXPECT_TRUE(app_.lastSceneFullyDamaged());
+}
+
 TEST(SessionSmallWallTest, WorksOnSingleTileWall) {
   const auto ds = makeDataset(30);
   VisualQueryApp app(ds, wall::WallSpec(wall::TileSpec{}, 1, 1));

@@ -1,0 +1,333 @@
+// Tests for render/pipeline.h — the dirty-cell incremental renderer: cache
+// keying, skip/blit/rasterize classification, cache-budget behaviour, the
+// overlap fallback, and the determinism contracts (parallel == serial,
+// cached == cold) that the cluster renderer and benches rely on.
+#include "render/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/synth.h"
+#include "util/threadpool.h"
+
+namespace svq::render {
+namespace {
+
+traj::TrajectoryDataset makeDataset(std::size_t n = 12) {
+  traj::AntSimulator sim({}, 909);
+  traj::DatasetSpec spec;
+  spec.count = n;
+  return sim.generate(spec);
+}
+
+/// Grid of disjoint cells with per-segment highlights, stereo on.
+SceneModel makeScene(const traj::TrajectoryDataset& ds, int cols = 4,
+                     int rows = 2, int cellW = 60, int cellH = 40) {
+  SceneModel scene;
+  scene.arenaRadiusCm = ds.arena().radiusCm;
+  for (int cy = 0; cy < rows; ++cy) {
+    for (int cx = 0; cx < cols; ++cx) {
+      const int i = cy * cols + cx;
+      CellView cell;
+      cell.trajectoryIndex = static_cast<std::uint32_t>(i % ds.size());
+      cell.rect = {cx * cellW, cy * cellH, cellW, cellH};
+      cell.background = groupBackground(static_cast<std::size_t>(i % 3));
+      cell.label = "C" + std::to_string(i);
+      scene.cells.push_back(cell);
+    }
+  }
+  return scene;
+}
+
+/// Simulates a brush edit: changes the highlights of one cell.
+void dabCell(SceneModel& scene, std::size_t cell, std::int8_t brush) {
+  auto& hl = scene.cells[cell].segmentHighlights;
+  hl.assign(40, static_cast<std::int8_t>(-1));
+  for (std::size_t s = 10; s < 20; ++s) hl[s] = brush;
+}
+
+Framebuffer coldRender(const SceneModel& scene,
+                       const traj::TrajectoryDataset& ds, int w, int h,
+                       Eye eye) {
+  Framebuffer fb(w, h);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas::whole(fb), eye);
+  return fb;
+}
+
+TEST(PipelineTest, ColdMatchesLegacyWhenNothingSpills) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds);
+  // Centre eye: no parallax shift, so the legacy renderer's output stays
+  // inside each cell's rect and the pipeline's cell clipping is invisible.
+  Framebuffer legacy(240, 80);
+  renderScene(scene, ds, Canvas::whole(legacy), Eye::kCenter);
+  const Framebuffer pipelined = coldRender(scene, ds, 240, 80, Eye::kCenter);
+  EXPECT_EQ(pipelined.contentHash(), legacy.contentHash());
+}
+
+TEST(PipelineTest, SecondIdenticalFrameSkipsEverything) {
+  const auto ds = makeDataset();
+  const SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+  const PipelineStats first =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_TRUE(first.fullRecomposite);
+  EXPECT_EQ(first.cellsRasterized, scene.cells.size());
+
+  const std::uint64_t hash = fb.contentHash();
+  const PipelineStats second =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_FALSE(second.fullRecomposite);
+  EXPECT_EQ(second.cellsRasterized, 0u);
+  EXPECT_EQ(second.cellsSkipped, scene.cells.size());
+  EXPECT_EQ(second.pixelsRasterized, 0u);
+  EXPECT_EQ(fb.contentHash(), hash);
+}
+
+TEST(PipelineTest, DirtyCellOnlyRasterizedAndMatchesCold) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+
+  dabCell(scene, 3, 0);
+  const PipelineStats stats =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_EQ(stats.cellsRasterized, 1u);
+  EXPECT_EQ(stats.cellsSkipped, scene.cells.size() - 1);
+  EXPECT_EQ(fb.contentHash(),
+            coldRender(scene, ds, 240, 80, Eye::kLeft).contentHash());
+}
+
+TEST(PipelineTest, QueryGenerationChangeAloneDirtiesNothing) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  scene.queryGeneration += 7;  // identifies the source, not the pixels
+  const PipelineStats stats =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_EQ(stats.cellsRasterized, 0u);
+}
+
+TEST(PipelineTest, SceneWideChangeDirtiesEveryCell) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  scene.timeWindow = {5.0f, 60.0f};
+  const PipelineStats stats =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_EQ(stats.cellsRasterized, scene.cells.size());
+  EXPECT_EQ(fb.contentHash(),
+            coldRender(scene, ds, 240, 80, Eye::kLeft).contentHash());
+}
+
+TEST(PipelineTest, ParallelBitIdenticalToSerial) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds, 6, 4, 40, 30);
+  const Framebuffer serialCold = coldRender(scene, ds, 240, 120, Eye::kLeft);
+
+  for (unsigned threads : {1u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    PipelineOptions options;
+    options.pool = &pool;
+    Framebuffer fb(240, 120);
+    CellRenderPipeline pipeline(options);
+    pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+    EXPECT_EQ(fb.contentHash(), serialCold.contentHash())
+        << threads << " threads, cold";
+
+    // Incremental dab edit must also match, at every thread count.
+    SceneModel edited = scene;
+    dabCell(edited, 7, 1);
+    dabCell(edited, 12, 0);
+    pipeline.render(edited, ds, Canvas::whole(fb), Eye::kLeft);
+    EXPECT_EQ(fb.contentHash(),
+              coldRender(edited, ds, 240, 120, Eye::kLeft).contentHash())
+        << threads << " threads, incremental";
+  }
+}
+
+TEST(PipelineTest, InvalidateRestoresFromCacheBitIdentical) {
+  const auto ds = makeDataset();
+  const SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  const std::uint64_t hash = fb.contentHash();
+
+  fb.clear(colors::kRed);  // external damage
+  pipeline.invalidate();
+  const PipelineStats stats =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_TRUE(stats.fullRecomposite);
+  EXPECT_EQ(stats.cellsBlitted, scene.cells.size());
+  EXPECT_EQ(stats.cellsRasterized, 0u);
+  EXPECT_GT(stats.pixelsBlitted, 0u);
+  EXPECT_EQ(fb.contentHash(), hash);
+}
+
+TEST(PipelineTest, ZeroBudgetDisablesCacheButStaysCorrect) {
+  const auto ds = makeDataset();
+  const SceneModel scene = makeScene(ds);
+  PipelineOptions options;
+  options.cacheBudgetBytes = 0;
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline(options);
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_EQ(pipeline.cachedBytes(), 0u);
+  const std::uint64_t hash = fb.contentHash();
+
+  // Skip detection still works without pixel caching...
+  const PipelineStats steady =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_EQ(steady.cellsSkipped, scene.cells.size());
+
+  // ...and target damage falls back to re-rasterizing, not blitting.
+  fb.clear(colors::kRed);
+  pipeline.invalidate();
+  const PipelineStats restore =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_EQ(restore.cellsBlitted, 0u);
+  EXPECT_EQ(restore.cellsRasterized, scene.cells.size());
+  EXPECT_EQ(fb.contentHash(), hash);
+}
+
+TEST(PipelineTest, TinyBudgetCachesSomeCellsAndStaysCorrect) {
+  const auto ds = makeDataset();
+  const SceneModel scene = makeScene(ds);
+  PipelineOptions options;
+  // Room for roughly two 60x40 RGBA cells.
+  options.cacheBudgetBytes = 2 * 60 * 40 * 4 + 64;
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline(options);
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_LE(pipeline.cachedBytes(), options.cacheBudgetBytes);
+  EXPECT_GT(pipeline.cachedBytes(), 0u);
+  const std::uint64_t hash = fb.contentHash();
+
+  fb.clear(colors::kRed);
+  pipeline.invalidate();
+  const PipelineStats restore =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_GT(restore.cellsBlitted, 0u);
+  EXPECT_GT(restore.cellsRasterized, 0u);
+  EXPECT_EQ(fb.contentHash(), hash);
+}
+
+TEST(PipelineTest, OverlappingCellsFallBackToLegacy) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds, 2, 1, 60, 40);
+  scene.cells[1].rect = {30, 0, 60, 40};  // overlaps cell 0
+  Framebuffer legacy(120, 40);
+  renderScene(scene, ds, Canvas::whole(legacy), Eye::kLeft);
+
+  Framebuffer fb(120, 40);
+  CellRenderPipeline pipeline;
+  const PipelineStats stats =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_TRUE(stats.overlapFallback);
+  EXPECT_EQ(fb.contentHash(), legacy.contentHash());
+
+  // Every frame goes through the fallback while the overlap persists.
+  const PipelineStats again =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_TRUE(again.overlapFallback);
+  EXPECT_EQ(fb.contentHash(), legacy.contentHash());
+}
+
+TEST(PipelineTest, ZeroAreaAndOffTargetCellsAreCulled) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds, 2, 1, 60, 40);
+  CellView zeroArea;
+  zeroArea.trajectoryIndex = 0;
+  zeroArea.rect = {10, 10, 0, 0};
+  scene.cells.push_back(zeroArea);
+  CellView offTarget;
+  offTarget.trajectoryIndex = 1;
+  offTarget.rect = {500, 500, 60, 40};
+  scene.cells.push_back(offTarget);
+
+  Framebuffer fb(120, 40);
+  CellRenderPipeline pipeline;
+  const PipelineStats stats =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_EQ(stats.cellsCulled, 2u);
+  EXPECT_EQ(stats.cellsRasterized, 2u);
+  EXPECT_EQ(pipeline.cellKeys().size(), scene.cells.size());
+}
+
+TEST(PipelineTest, TilePartitionMatchesFullRender) {
+  const auto ds = makeDataset();
+  // Cells straddle the 120px tile border (cells are 50 wide at x=0,50,100…).
+  SceneModel scene = makeScene(ds, 4, 2, 50, 40);
+  const Framebuffer full = coldRender(scene, ds, 240, 80, Eye::kLeft);
+
+  Framebuffer tile(120, 80);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas{&tile, {120, 0, 120, 80}, {}}, Eye::kLeft);
+  for (int y = 0; y < 80; ++y) {
+    for (int x = 0; x < 120; ++x) {
+      ASSERT_EQ(tile.at(x, y), full.at(120 + x, y))
+          << "tile pixel (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(PipelineTest, LayoutChangeForcesRecomposite) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+
+  // Swap two cells' rects: the old pixels must not survive anywhere.
+  std::swap(scene.cells[0].rect, scene.cells[7].rect);
+  const PipelineStats stats =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_TRUE(stats.fullRecomposite);
+  EXPECT_EQ(fb.contentHash(),
+            coldRender(scene, ds, 240, 80, Eye::kLeft).contentHash());
+}
+
+TEST(PipelineTest, CellKeysTrackContent) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  const std::vector<std::uint64_t> before = pipeline.cellKeys();
+
+  dabCell(scene, 2, 0);
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  const std::vector<std::uint64_t>& after = pipeline.cellKeys();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (i == 2) {
+      EXPECT_NE(before[i], after[i]);
+    } else {
+      EXPECT_EQ(before[i], after[i]);
+    }
+  }
+}
+
+TEST(PipelineTest, EyeChangeRecomposites) {
+  const auto ds = makeDataset();
+  const SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  const PipelineStats stats =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kRight);
+  EXPECT_TRUE(stats.fullRecomposite);
+  EXPECT_EQ(fb.contentHash(),
+            coldRender(scene, ds, 240, 80, Eye::kRight).contentHash());
+}
+
+}  // namespace
+}  // namespace svq::render

@@ -19,7 +19,7 @@ TEST(CanvasTest, WholeCoversFramebuffer) {
 
 TEST(CanvasTest, OffsetRegionTranslatesWrites) {
   Framebuffer fb(4, 4, colors::kBlack);
-  const Canvas c{&fb, {100, 200, 4, 4}};
+  const Canvas c{&fb, {100, 200, 4, 4}, {}};
   c.set(101, 202, colors::kWhite);
   EXPECT_EQ(fb.at(1, 2), colors::kWhite);
   c.set(99, 200, colors::kWhite);   // left of region: clipped
@@ -199,6 +199,146 @@ TEST(TextTest, ScaleEnlargesGlyphs) {
             small.countPixels(colors::kWhite) * 4);
 }
 
+TEST(FillSpanTest, OpaqueAndBlendedRuns) {
+  Framebuffer fb(10, 4, colors::kBlack);
+  const Canvas c = Canvas::whole(fb);
+  c.fillSpan(2, 1, 5, colors::kRed);  // opaque fast path
+  EXPECT_EQ(fb.countPixels(colors::kRed), 5u);
+  EXPECT_EQ(fb.at(2, 1), colors::kRed);
+  EXPECT_EQ(fb.at(6, 1), colors::kRed);
+  EXPECT_EQ(fb.at(7, 1), colors::kBlack);
+  // 50% white over black blends to mid grey, not white.
+  c.fillSpan(0, 2, 3, colors::kWhite.withAlpha(128));
+  EXPECT_GT(fb.at(1, 2).r, 100);
+  EXPECT_LT(fb.at(1, 2).r, 160);
+}
+
+TEST(FillSpanTest, ClipsToRegionAndClipRect) {
+  Framebuffer fb(8, 8, colors::kBlack);
+  const Canvas c = Canvas::whole(fb).subCanvas({2, 2, 4, 4});
+  c.fillSpan(-10, 3, 100, colors::kRed);  // row crosses the clip rect
+  EXPECT_EQ(fb.countPixels(colors::kRed), 4u);
+  EXPECT_EQ(fb.at(2, 3), colors::kRed);
+  EXPECT_EQ(fb.at(5, 3), colors::kRed);
+  EXPECT_EQ(fb.at(1, 3), colors::kBlack);
+  EXPECT_EQ(fb.at(6, 3), colors::kBlack);
+  c.fillSpan(0, 0, 8, colors::kRed);  // row outside the clip rect
+  EXPECT_EQ(fb.countPixels(colors::kRed), 4u);
+}
+
+TEST(BlitRowsTest, CopiesAndClips) {
+  Framebuffer src(4, 3, colors::kGreen);
+  Framebuffer dst(10, 10, colors::kBlack);
+  const Canvas c = Canvas::whole(dst);
+  c.blitRows(src, 0, 0, {2, 5, 4, 3});
+  EXPECT_EQ(dst.countPixels(colors::kGreen), 12u);
+  EXPECT_EQ(dst.at(2, 5), colors::kGreen);
+  EXPECT_EQ(dst.at(5, 7), colors::kGreen);
+  // Destination straddling the canvas edge: only in-bounds rows land.
+  Framebuffer dst2(10, 10, colors::kBlack);
+  Canvas::whole(dst2).blitRows(src, 0, 0, {8, 8, 4, 3});
+  EXPECT_EQ(dst2.countPixels(colors::kGreen), 4u);  // 2x2 corner
+}
+
+TEST(BlitRowsTest, CopyDoesNotBlend) {
+  Framebuffer src(2, 2, colors::kWhite.withAlpha(0));  // fully transparent
+  Framebuffer dst(4, 4, colors::kRed);
+  Canvas::whole(dst).blitRows(src, 0, 0, {1, 1, 2, 2});
+  // Raw copy semantics: the transparent pixels replace red.
+  EXPECT_EQ(dst.at(1, 1), colors::kWhite.withAlpha(0));
+  EXPECT_EQ(dst.countPixels(colors::kRed), 12u);
+}
+
+TEST(SubCanvasTest, NestedClipsIntersect) {
+  Framebuffer fb(10, 10, colors::kBlack);
+  const Canvas c =
+      Canvas::whole(fb).subCanvas({2, 2, 6, 6}).subCanvas({4, 0, 10, 10});
+  fillRect(c, {0, 0, 10, 10}, colors::kRed);
+  // Effective clip = {4,2,4,6}.
+  EXPECT_EQ(fb.countPixels(colors::kRed), 24u);
+  EXPECT_EQ(fb.at(4, 2), colors::kRed);
+  EXPECT_EQ(fb.at(3, 3), colors::kBlack);
+  EXPECT_EQ(fb.at(8, 3), colors::kBlack);
+}
+
+// The clipped drawLine must produce exactly the pixels of the unclipped
+// walk restricted to the clip rect — the bit-identity contract the
+// per-cell pipeline's disjoint ownership rests on.
+TEST(DrawLineClipTest, ClippedMatchesMaskedUnclipped) {
+  Rng rng(0xC11F);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int w = rng.rangeInt(8, 48);
+    const int h = rng.rangeInt(8, 48);
+    const RectI clip{rng.rangeInt(0, w - 4), rng.rangeInt(0, h - 4),
+                     rng.rangeInt(1, 16), rng.rangeInt(1, 16)};
+    const Vec2 a{rng.uniform(-60.0f, 100.0f), rng.uniform(-60.0f, 100.0f)};
+    const Vec2 b{rng.uniform(-60.0f, 100.0f), rng.uniform(-60.0f, 100.0f)};
+
+    Framebuffer clipped(w, h, colors::kBlack);
+    drawLine(Canvas::whole(clipped).subCanvas(clip), a, b, colors::kWhite);
+
+    Framebuffer full(w, h, colors::kBlack);
+    drawLine(Canvas::whole(full), a, b, colors::kWhite);
+
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const Color expect =
+            clip.contains(x, y) ? full.at(x, y) : colors::kBlack;
+        ASSERT_EQ(clipped.at(x, y), expect)
+            << "iter " << iter << " at (" << x << "," << y << ") line " << a
+            << "->" << b << " clip " << clip;
+      }
+    }
+  }
+}
+
+// Same masking contract for the other clipped primitives, including
+// shapes straddling the clip border.
+TEST(ClipEquivalenceTest, PrimitivesMatchMaskedUnclipped) {
+  Rng rng(0xBEEF);
+  for (int iter = 0; iter < 150; ++iter) {
+    const int w = rng.rangeInt(8, 40);
+    const int h = rng.rangeInt(8, 40);
+    const RectI clip{rng.rangeInt(-4, w), rng.rangeInt(-4, h),
+                     rng.rangeInt(1, 20), rng.rangeInt(1, 20)};
+    Framebuffer clipped(w, h, colors::kBlack);
+    Framebuffer full(w, h, colors::kBlack);
+    const Canvas cc = Canvas::whole(clipped).subCanvas(clip);
+    const Canvas cf = Canvas::whole(full);
+    const auto kind = rng.rangeInt(0, 2);
+    const Vec2 p{rng.uniform(-10.0f, w + 10.0f),
+                 rng.uniform(-10.0f, h + 10.0f)};
+    const Vec2 q{rng.uniform(-10.0f, w + 10.0f),
+                 rng.uniform(-10.0f, h + 10.0f)};
+    const float radius = rng.uniform(0.5f, 12.0f);
+    const RectI rect{rng.rangeInt(-8, w), rng.rangeInt(-8, h),
+                     rng.rangeInt(0, 24), rng.rangeInt(0, 24)};
+    switch (kind) {
+      case 0:
+        fillRect(cc, rect, colors::kRed);
+        fillRect(cf, rect, colors::kRed);
+        break;
+      case 1:
+        fillCircle(cc, p.x, p.y, radius, colors::kGreen);
+        fillCircle(cf, p.x, p.y, radius, colors::kGreen);
+        break;
+      default:
+        drawThickLine(cc, p, q, radius * 0.33f, colors::kWhite);
+        drawThickLine(cf, p, q, radius * 0.33f, colors::kWhite);
+        break;
+    }
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const Color expect =
+            clip.contains(x, y) ? full.at(x, y) : colors::kBlack;
+        ASSERT_EQ(clipped.at(x, y), expect)
+            << "iter " << iter << " kind " << kind << " at (" << x << ","
+            << y << ")";
+      }
+    }
+  }
+}
+
 // Fuzz: random primitives against random canvas viewports must never
 // write outside the framebuffer (bounds-checked writes would throw/ASAN).
 TEST(FuzzTest, RandomPrimitivesNeverCrash) {
@@ -208,7 +348,7 @@ TEST(FuzzTest, RandomPrimitivesNeverCrash) {
     const int h = rng.rangeInt(1, 32);
     Framebuffer fb(w, h, colors::kBlack);
     const Canvas canvas{&fb,
-                        {rng.rangeInt(-50, 50), rng.rangeInt(-50, 50), w, h}};
+                        {rng.rangeInt(-50, 50), rng.rangeInt(-50, 50), w, h}, {}};
     auto rv = [&] {
       return Vec2{rng.uniform(-100.0f, 100.0f), rng.uniform(-100.0f, 100.0f)};
     };

@@ -67,7 +67,7 @@ TEST(SceneTest, CullingSkipsOffTileCells) {
   scene.stereo.depthOffsetCm = 0.0f;
   Framebuffer fb(60, 80);
   // Canvas viewport covering only the first cell.
-  const Canvas canvas{&fb, {0, 0, 60, 80}};
+  const Canvas canvas{&fb, {0, 0, 60, 80}, {}};
   const RenderStats stats = renderScene(scene, ds, canvas, Eye::kCenter);
   EXPECT_EQ(stats.cellsDrawn, 1u);
   EXPECT_EQ(stats.cellsCulled, 3u);
@@ -85,8 +85,8 @@ TEST(SceneTest, SortFirstPartitionMatchesFullRender) {
   // Two half renders through restricted canvases.
   Framebuffer leftHalf(130, 70);
   Framebuffer rightHalf(130, 70);
-  renderScene(scene, ds, Canvas{&leftHalf, {0, 0, 130, 70}}, Eye::kLeft);
-  renderScene(scene, ds, Canvas{&rightHalf, {130, 0, 130, 70}}, Eye::kLeft);
+  renderScene(scene, ds, Canvas{&leftHalf, {0, 0, 130, 70}, {}}, Eye::kLeft);
+  renderScene(scene, ds, Canvas{&rightHalf, {130, 0, 130, 70}, {}}, Eye::kLeft);
 
   for (int y = 0; y < 70; ++y) {
     for (int x = 0; x < 260; ++x) {
@@ -184,7 +184,7 @@ TEST(SceneTest, ParallaxAwareCullingKeepsShiftedContent) {
   scene.cells.push_back(cell);
 
   Framebuffer fb(99, 50);  // viewport ends at x=99, cell starts at 100
-  const Canvas canvas{&fb, {0, 0, 99, 50}};
+  const Canvas canvas{&fb, {0, 0, 99, 50}, {}};
   const RenderStats stats = renderScene(scene, ds, canvas, Eye::kLeft);
   // The parallax inflation must keep this cell (not cull it).
   EXPECT_EQ(stats.cellsDrawn, 1u);
