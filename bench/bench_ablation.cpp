@@ -71,7 +71,7 @@ void runClusterUnder(benchmark::State& state, net::NetworkModel network) {
   tile.pxW = 192;
   tile.pxH = 108;
   const wall::WallSpec w(tile, 6, 2);
-  core::VisualQueryApp app(ds, w);
+  core::Session app(core::SharedContext::create(ds, w));
   app.apply(ui::LayoutSwitchEvent{0});
   app.apply(ui::BrushStrokeEvent{0, {-25.0f, 0.0f}, 25.0f});
   const render::SceneModel scene = app.buildScene();

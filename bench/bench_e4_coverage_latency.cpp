@@ -20,7 +20,7 @@ namespace {
 void BM_EndToEndInteraction(benchmark::State& state) {
   const auto& ds = bench::dataset(500);
   const wall::WallSpec wallSpec = bench::reducedWall();
-  core::VisualQueryApp app(ds, wallSpec);
+  core::Session app(core::SharedContext::create(ds, wallSpec));
   app.apply(ui::LayoutSwitchEvent{2});
   render::Framebuffer fb(wallSpec.totalPxW(), wallSpec.totalPxH());
   float x = -30.0f;
@@ -46,7 +46,7 @@ BENCHMARK(BM_EndToEndInteraction)->Unit(benchmark::kMillisecond);
 
 void BM_QueryAndSceneOnly(benchmark::State& state) {
   const auto& ds = bench::dataset(500);
-  core::VisualQueryApp app(ds, bench::reducedWall());
+  core::Session app(core::SharedContext::create(ds, bench::reducedWall()));
   app.apply(ui::LayoutSwitchEvent{2});
   app.apply(ui::BrushStrokeEvent{0, {-25.0f, 0.0f}, 25.0f});
   for (auto _ : state) {
@@ -90,7 +90,7 @@ BENCHMARK(BM_HypothesisBattery)->Unit(benchmark::kMillisecond);
 
 void BM_LayoutSwitchLatency(benchmark::State& state) {
   const auto& ds = bench::dataset(500);
-  core::VisualQueryApp app(ds, bench::reducedWall());
+  core::Session app(core::SharedContext::create(ds, bench::reducedWall()));
   std::uint8_t preset = 0;
   for (auto _ : state) {
     app.apply(ui::LayoutSwitchEvent{preset});
@@ -106,7 +106,7 @@ void printContext() {
   const wall::WallSpec wallSpec = bench::paperWall();
   std::printf("dataset: %zu trajectories (paper: ~500)\n\n", ds.size());
   std::printf("%-8s %-8s %-18s\n", "preset", "cells", "dataset coverage");
-  core::VisualQueryApp app(ds, wallSpec);
+  core::Session app(core::SharedContext::create(ds, wallSpec));
   for (std::uint8_t p = 0; p < 3; ++p) {
     app.apply(ui::LayoutSwitchEvent{p});
     app.buildScene();

@@ -46,7 +46,7 @@ void BM_ScriptReplayThroughApp(benchmark::State& state) {
   const auto& ds = bench::dataset(500);
   const ui::InputScript script = analystSession();
   for (auto _ : state) {
-    core::VisualQueryApp app(ds, bench::reducedWall());
+    core::Session app(core::SharedContext::create(ds, bench::reducedWall()));
     const std::size_t applied = app.applyScript(script);
     benchmark::DoNotOptimize(applied);
   }

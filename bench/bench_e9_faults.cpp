@@ -40,7 +40,7 @@ wall::WallSpec wallOfShape(int cols, int rows) {
 
 render::SceneModel sceneFor(const traj::TrajectoryDataset& ds,
                             const wall::WallSpec& w) {
-  core::VisualQueryApp app(ds, w);
+  core::Session app(core::SharedContext::create(ds, w));
   app.apply(ui::LayoutSwitchEvent{1});
   app.apply(ui::BrushStrokeEvent{0, {-25.0f, 0.0f}, 25.0f});
   return app.buildScene();

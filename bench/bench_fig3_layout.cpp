@@ -44,7 +44,7 @@ BENCHMARK(BM_LayoutCompute)->Arg(0)->Arg(1)->Arg(2);
 void BM_WallFrameRender(benchmark::State& state) {
   const auto& ds = bench::dataset(500);
   const wall::WallSpec wallSpec = bench::reducedWall();
-  core::VisualQueryApp app(ds, wallSpec);
+  core::Session app(core::SharedContext::create(ds, wallSpec));
   app.apply(ui::LayoutSwitchEvent{static_cast<std::uint8_t>(state.range(0))});
   core::defineFigure3Groups(app.groups(), app.layout().config().cellsX,
                             app.layout().config().cellsY);
@@ -74,7 +74,7 @@ BENCHMARK(BM_WallFrameRender)->Arg(0)->Arg(1)->Arg(2)
 void BM_WallFrameRenderPaperRes(benchmark::State& state) {
   const auto& ds = bench::dataset(500);
   const wall::WallSpec wallSpec = bench::paperWall();
-  core::VisualQueryApp app(ds, wallSpec);
+  core::Session app(core::SharedContext::create(ds, wallSpec));
   app.apply(ui::LayoutSwitchEvent{2});  // 36x12
   core::defineFigure3Groups(app.groups(), 36, 12);
   app.refreshAssignment();

@@ -84,7 +84,7 @@ std::vector<render::SceneModel> makeFrames(const traj::TrajectoryDataset& ds,
                                            std::uint8_t layoutPreset,
                                            std::size_t frameCount) {
   constexpr float kDabRadiusCm = 1.5f;
-  core::VisualQueryApp app(ds, wall);
+  core::Session app(core::SharedContext::create(ds, wall));
   app.apply(ui::LayoutSwitchEvent{layoutPreset});
   app.apply(ui::BrushStrokeEvent{0, {-20.0f, 0.0f}, 15.0f});
   std::vector<render::SceneModel> frames;

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
               wallSpec.totalPxH(),
               static_cast<double>(wallSpec.totalPixels()) / 1e6);
 
-  core::VisualQueryApp app(dataset, wallSpec);
+  core::Session app(core::SharedContext::create(dataset, wallSpec));
   app.apply(ui::LayoutSwitchEvent{2});  // 36x12 = 432 cells (Fig. 3)
   core::defineFigure3Groups(app.groups(), 36, 12);
   app.refreshAssignment();

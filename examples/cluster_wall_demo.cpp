@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   // Build an evolving session: layout switch, grouping, growing brush,
   // then a temporal-filter narrowing — one scene model per frame.
-  core::VisualQueryApp app(dataset, wallSpec);
+  core::Session app(core::SharedContext::create(dataset, wallSpec));
   std::vector<render::SceneModel> frames;
   app.apply(ui::LayoutSwitchEvent{1});
   frames.push_back(app.buildScene());

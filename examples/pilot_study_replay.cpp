@@ -104,7 +104,7 @@ int main() {
   const wall::WallSpec wallSpec(wall::TileSpec{320, 180, 1150.0f, 647.0f,
                                                4.0f},
                                 6, 2);
-  core::VisualQueryApp app(dataset, wallSpec);
+  core::Session app(core::SharedContext::create(dataset, wallSpec));
 
   const ui::InputScript script = analystSession(dataset.arena().radiusCm);
   const std::size_t applied = app.applyScript(script);

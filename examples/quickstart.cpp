@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   tile.pxW = 320;
   tile.pxH = 180;
   const svq::wall::WallSpec wallSpec(tile, 6, 2);
-  svq::core::VisualQueryApp app(dataset, wallSpec);
+  svq::core::Session app(svq::core::SharedContext::create(dataset, wallSpec));
   app.apply(svq::ui::LayoutSwitchEvent{1});  // 24x6 small multiples
   std::printf("layout: %dx%d = %zu cells\n",
               app.layout().config().cellsX, app.layout().config().cellsY,

@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
   // Render a wall frame with the similarity highlights.
   const wall::WallSpec wallSpec(
       wall::TileSpec{320, 180, 1150.0f, 647.0f, 4.0f}, 6, 2);
-  core::VisualQueryApp app(dataset, wallSpec);
+  core::Session app(core::SharedContext::create(dataset, wallSpec));
   app.apply(ui::LayoutSwitchEvent{1});
   render::SceneModel scene = app.buildScene();
   // Graft the similarity highlights onto the displayed cells.

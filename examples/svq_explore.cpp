@@ -184,7 +184,7 @@ int main(int argc, char** argv) {
   // --- application state --------------------------------------------------------
   const wall::WallSpec wallSpec(
       wall::TileSpec{320, 180, 1150.0f, 647.0f, 4.0f}, 6, 2);
-  core::VisualQueryApp app(dataset, wallSpec);
+  core::Session app(core::SharedContext::create(dataset, wallSpec));
   app.apply(ui::LayoutSwitchEvent{
       static_cast<std::uint8_t>(clamp(layoutPreset, 0, 2))});
   if (fig3Groups) {

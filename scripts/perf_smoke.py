@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Gate the render-bench smoke run against a checked-in baseline.
+"""Gate a bench smoke run against a checked-in baseline.
 
 Usage: perf_smoke.py <report.json> <baseline.json> [tolerance]
 
-Both files are BENCH_render.json-shaped reports (bench/bench_json.h).
-Absolute frame times vary across runners, so the gate compares the
-machine-independent ratio metrics the bench computes from a single run:
+Both files are bench_json.h-shaped reports. Absolute frame times vary
+across runners, so the gate compares the machine-independent ratio
+metrics each bench computes from a single run.
 
-  pipeline_dab_serial/speedup_vs_full   higher is better
-  pipeline_dab_serial/dirty_fraction    lower is better
-  delta_broadcast/delta_ratio           lower is better
+Which metrics to compare comes from the baseline itself: a top-level
+"checks" array of {"scenario", "counter", "direction"} objects
+(direction is "higher" or "lower" = which way is better). Baselines
+without a "checks" array (the original BENCH_render one) fall back to
+the legacy built-in render-pipeline list below.
 
 A metric may regress by at most `tolerance` (default 0.25 = 25%) relative
 to the baseline value; a missing scenario or counter fails outright.
@@ -19,7 +21,7 @@ Exit code: 0 pass, 1 regression/malformed report.
 import json
 import sys
 
-CHECKS = [
+LEGACY_CHECKS = [
     # (scenario, counter, direction)
     ("pipeline_dab_serial", "speedup_vs_full", "higher"),
     ("pipeline_dab_serial", "dirty_fraction", "lower"),
@@ -44,8 +46,11 @@ def main(argv):
         baseline = json.load(f)
     tolerance = float(argv[3]) if len(argv) > 3 else 0.25
 
+    checks = [(c["scenario"], c["counter"], c["direction"])
+              for c in baseline.get("checks", [])] or LEGACY_CHECKS
+
     failed = False
-    for scenario, counter, direction in CHECKS:
+    for scenario, counter, direction in checks:
         base_counters = counters(baseline, scenario)
         got_counters = counters(report, scenario)
         if base_counters is None or counter not in base_counters:

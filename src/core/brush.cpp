@@ -138,6 +138,13 @@ void BrushCanvas::rebuild() {
   for (const BrushStroke& s : strokes_) grid_.paint(s);
 }
 
+BrushCanvas BrushCanvas::clone() const {
+  BrushCanvas copy(grid_.arenaRadiusCm(), grid_.resolution());
+  copy.grid_ = grid_;        // vector<int8_t> texels: fresh allocation
+  copy.strokes_ = strokes_;  // stroke history: fresh allocation
+  return copy;
+}
+
 void paintArenaHalf(BrushCanvas& canvas, std::int8_t brushIndex,
                     traj::ArenaSide side, float arenaRadiusCm,
                     float dabRadiusCm) {

@@ -112,6 +112,12 @@ class BrushCanvas {
 
   bool empty() const { return strokes_.empty(); }
 
+  /// Explicit deep copy: the clone owns fresh texel and stroke buffers
+  /// sharing no storage with this canvas. This is the detach path of
+  /// copy-on-write sessions (core/session.h) — spelled out as a named
+  /// operation so call sites state the (O(resolution^2)) cost.
+  BrushCanvas clone() const;
+
  private:
   void rebuild();
 

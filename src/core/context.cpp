@@ -1,0 +1,48 @@
+#include "core/context.h"
+
+#include <cstdlib>
+
+namespace svq::core {
+
+SharedContext::Options SharedContext::Options::fromEnv() {
+  Options o;
+  if (const char* v = std::getenv("SVQ_SHARED_CACHE_MB");
+      v != nullptr && *v != '\0') {
+    o.renderCacheBytes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
+                         << 20;
+  }
+  return o;
+}
+
+SharedContext::SharedContext(const traj::TrajectoryDataset& dataset,
+                             wall::WallSpec wallSpec, Options options)
+    : dataset_(&dataset),
+      wallSpec_(std::move(wallSpec)),
+      presets_(paperLayoutPresets()),
+      shardStore_(std::move(options.shardStore)),
+      som_(std::move(options.som)),
+      renderCache_(options.renderCacheBytes) {
+  layouts_.reserve(presets_.size());
+  defaultAssignments_.reserve(presets_.size());
+  const GroupManager noGroups;
+  for (const LayoutConfig& cfg : presets_) {
+    layouts_.push_back(SmallMultipleLayout::compute(wallSpec_, cfg));
+    defaultAssignments_.push_back(std::make_shared<const GroupAssignment>(
+        noGroups.assign(dataset, cfg.cellsX, cfg.cellsY)));
+  }
+}
+
+std::shared_ptr<const SharedContext> SharedContext::create(
+    const traj::TrajectoryDataset& dataset, wall::WallSpec wallSpec) {
+  return create(dataset, std::move(wallSpec), Options{});
+}
+
+std::shared_ptr<const SharedContext> SharedContext::create(
+    const traj::TrajectoryDataset& dataset, wall::WallSpec wallSpec,
+    Options options) {
+  // make_shared needs a public ctor; new + shared_ptr keeps it private.
+  return std::shared_ptr<const SharedContext>(
+      new SharedContext(dataset, std::move(wallSpec), std::move(options)));
+}
+
+}  // namespace svq::core

@@ -1,0 +1,112 @@
+// context.h — the immutable state shared by every session of one node.
+//
+// The single-explorer façade (VisualQueryApp) bundled two very different
+// kinds of state: the heavyweight, read-only world every explorer sees
+// the same way (dataset, wall geometry, layout presets) and the cheap,
+// per-explorer interaction state (brush, groups, window, stereo knobs).
+// A session service multiplexing hundreds of tenants over one store
+// needs that split explicit:
+//
+//   * SharedContext — everything immutable after construction, built
+//     once and shared by shared_ptr<const ...>: the dataset (borrowed),
+//     the wall spec, the layout presets with their *precomputed*
+//     SmallMultipleLayouts, the default (group-less) cell assignment per
+//     preset, optionally the out-of-core shard store and trained SOM,
+//     and the one mutable-but-internally-synchronized member: the
+//     cross-session cell render cache (render/sharedcache.h).
+//   * Session (session.h) — per-tenant copy-on-write state + apply().
+//
+// Precomputing layouts and default assignments here is what makes
+// Session construction and layout churn O(state), not O(dataset): a
+// fresh tenant with no groups borrows the context's assignment instead
+// of recomputing its own.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/groups.h"
+#include "core/layout.h"
+#include "render/sharedcache.h"
+#include "traj/dataset.h"
+#include "wall/wall.h"
+
+namespace svq::traj {
+class ShardStore;
+class Som;
+}  // namespace svq::traj
+
+namespace svq::core {
+
+/// Immutable shared world for N concurrent sessions. Thread-safe by
+/// construction: every accessor is const and the only mutable member
+/// (the render cache) synchronizes internally.
+class SharedContext {
+ public:
+  /// Index into paperLayoutPresets() every new session starts on (24x6).
+  static constexpr std::size_t kDefaultPreset = 1;
+
+  struct Options {
+    /// Budget of the cross-session cell render cache.
+    std::size_t renderCacheBytes = 512ull << 20;
+    /// Optional out-of-core backing store the dataset was drilled from.
+    std::shared_ptr<traj::ShardStore> shardStore;
+    /// Optional trained SOM for per-session drill-down.
+    std::shared_ptr<const traj::Som> som;
+
+    /// Reads SVQ_SHARED_CACHE_MB from the environment.
+    static Options fromEnv();
+  };
+
+  /// Builds the shared world: layout presets, one SmallMultipleLayout and
+  /// one default (group-less) assignment per preset. The dataset is
+  /// borrowed and must outlive the context.
+  static std::shared_ptr<const SharedContext> create(
+      const traj::TrajectoryDataset& dataset, wall::WallSpec wallSpec);
+  static std::shared_ptr<const SharedContext> create(
+      const traj::TrajectoryDataset& dataset, wall::WallSpec wallSpec,
+      Options options);
+
+  const traj::TrajectoryDataset& dataset() const { return *dataset_; }
+  const wall::WallSpec& wallSpec() const { return wallSpec_; }
+  const std::vector<LayoutConfig>& layoutPresets() const { return presets_; }
+
+  /// Precomputed layout of preset `preset` (index into layoutPresets()).
+  const SmallMultipleLayout& layout(std::size_t preset) const {
+    return layouts_[preset];
+  }
+
+  /// The cell assignment a session with no groups defined uses — shared,
+  /// so group-less sessions (the common case at admission) never compute
+  /// or store their own.
+  std::shared_ptr<const GroupAssignment> defaultAssignment(
+      std::size_t preset) const {
+    return defaultAssignments_[preset];
+  }
+
+  /// Cross-session cell render cache. Internally synchronized; pipelines
+  /// of any session may use it concurrently.
+  render::SharedCellCache& renderCache() const { return renderCache_; }
+
+  /// Optional attachments (may be null).
+  const std::shared_ptr<traj::ShardStore>& shardStore() const {
+    return shardStore_;
+  }
+  const std::shared_ptr<const traj::Som>& som() const { return som_; }
+
+ private:
+  SharedContext(const traj::TrajectoryDataset& dataset, wall::WallSpec wallSpec,
+                Options options);
+
+  const traj::TrajectoryDataset* dataset_;
+  wall::WallSpec wallSpec_;
+  std::vector<LayoutConfig> presets_;
+  std::vector<SmallMultipleLayout> layouts_;  ///< index-aligned with presets_
+  std::vector<std::shared_ptr<const GroupAssignment>> defaultAssignments_;
+  std::shared_ptr<traj::ShardStore> shardStore_;
+  std::shared_ptr<const traj::Som> som_;
+  mutable render::SharedCellCache renderCache_;
+};
+
+}  // namespace svq::core

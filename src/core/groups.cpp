@@ -45,6 +45,14 @@ TrajectoryGroup* GroupManager::find(std::uint8_t id) {
   return nullptr;
 }
 
+GroupManager GroupManager::clone() const {
+  GroupManager copy;
+  // Element-wise vector copy: every group's name, filter and paging state
+  // lands in storage owned by the clone.
+  copy.groups_ = groups_;
+  return copy;
+}
+
 bool GroupManager::page(std::uint8_t id, int direction,
                         const traj::TrajectoryDataset& dataset) {
   TrajectoryGroup* g = find(id);

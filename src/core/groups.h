@@ -88,6 +88,11 @@ class GroupManager {
   bool page(std::uint8_t id, int direction,
             const traj::TrajectoryDataset& dataset);
 
+  /// Explicit deep copy: the clone owns fresh group definitions (names,
+  /// filters, paging state) sharing no storage with this manager. The
+  /// detach path of copy-on-write sessions (core/session.h).
+  GroupManager clone() const;
+
   /// Computes the cell assignment for the given grid:
   ///  * each group's cells are filled (row-major) with trajectories
   ///    matching its filter, starting at its pageOffset;

@@ -6,55 +6,88 @@
 
 namespace svq::core {
 
-VisualQueryApp::VisualQueryApp(const traj::TrajectoryDataset& dataset,
-                               wall::WallSpec wallSpec)
-    : dataset_(&dataset),
-      wallSpec_(wallSpec),
-      presets_(paperLayoutPresets()),
-      brushCanvas_(dataset.arena().radiusCm),
-      timeWindow_(0.0f, std::max(1.0f, dataset.maxDuration())),
-      lastQuery_(std::make_shared<const QueryResult>()) {
-  queryEngine_.setBrush(&brushCanvas_.grid());
-  recomputeLayout();
+Session::Session(std::shared_ptr<const SharedContext> context)
+    : context_(std::move(context)),
+      brush_(std::make_shared<BrushCanvas>(
+          context_->dataset().arena().radiusCm)),
+      groups_(std::make_shared<GroupManager>()),
+      assignment_(context_->defaultAssignment(activePreset_)),
+      timeWindow_(0.0f, std::max(1.0f, context_->dataset().maxDuration())),
+      queryEngine_(std::make_unique<QueryEngine>()),
+      lastQuery_(std::make_shared<const QueryResult>()) {}
+
+Session Session::fork() const {
+  Session child(context_);
+  child.activePreset_ = activePreset_;
+  // Share the COW buffers; whoever writes first detaches.
+  child.brush_ = brush_;
+  child.groups_ = groups_;
+  child.assignment_ = assignment_;
+  child.timeWindow_ = timeWindow_;
+  child.stereoControls_ = stereoControls_;
+  child.somFocus_ = somFocus_;
+  // child.engineBoundVersion_ is 0: its fresh engine binds (and marks all
+  // spatially dirty) on its first buildScene().
+  return child;
 }
 
-render::StereoSettings VisualQueryApp::stereoSettings() const {
+BrushCanvas& Session::mutableBrush() {
+  if (brush_.use_count() > 1) {
+    brush_ = std::make_shared<BrushCanvas>(brush_->clone());
+    ++brushBindVersion_;
+  }
+  return *brush_;
+}
+
+GroupManager& Session::mutableGroups() {
+  if (groups_.use_count() > 1) {
+    groups_ = std::make_shared<GroupManager>(groups_->clone());
+  }
+  return *groups_;
+}
+
+render::StereoSettings Session::stereoSettings() const {
   render::StereoSettings s;
   stereoControls_.applyTo(s);
   return s;
 }
 
-float VisualQueryApp::datasetCoverage() const {
-  if (dataset_->empty()) return 0.0f;
-  return static_cast<float>(assignment_.displayedCount) /
-         static_cast<float>(dataset_->size());
+float Session::datasetCoverage() const {
+  if (dataset().empty()) return 0.0f;
+  return static_cast<float>(assignment_->displayedCount) /
+         static_cast<float>(dataset().size());
 }
 
-void VisualQueryApp::recomputeLayout() {
-  layout_ = SmallMultipleLayout::compute(wallSpec_, presets_[activePreset_]);
-  recomputeAssignment();
+void Session::recomputeAssignment() {
+  if (groups_->groups().empty()) {
+    // No groups: every group-less session of this context shares one
+    // precomputed assignment — admission and layout churn stay O(1).
+    assignment_ = context_->defaultAssignment(activePreset_);
+    return;
+  }
+  const LayoutConfig& cfg = context_->layoutPresets()[activePreset_];
+  assignment_ = std::make_shared<const GroupAssignment>(
+      groups_->assign(dataset(), cfg.cellsX, cfg.cellsY));
 }
 
-void VisualQueryApp::recomputeAssignment() {
-  const LayoutConfig& cfg = presets_[activePreset_];
-  assignment_ = groups_.assign(*dataset_, cfg.cellsX, cfg.cellsY);
-}
-
-bool VisualQueryApp::apply(const ui::Event& event) {
+bool Session::apply(const ui::Event& event) {
   struct Visitor {
-    VisualQueryApp& app;
+    Session& app;
 
     bool operator()(const ui::BrushStrokeEvent& e) {
-      const AABB2 dirty = app.brushCanvas_.addStroke(BrushStroke{
+      const AABB2 dirty = app.mutableBrush().addStroke(BrushStroke{
           static_cast<std::int8_t>(e.brushIndex), e.centerCm, e.radiusCm});
-      app.queryEngine_.invalidateRegion(dirty);
+      app.queryEngine_->invalidateRegion(dirty);
       return true;
     }
     bool operator()(const ui::BrushClearEvent& e) {
-      const AABB2 dirty = app.brushCanvas_.clear(
+      // An empty canvas has nothing to clear — succeed without detaching
+      // the COW buffer.
+      if (app.brush_->empty()) return true;
+      const AABB2 dirty = app.mutableBrush().clear(
           e.brushIndex == 255 ? kNoBrush
                               : static_cast<std::int8_t>(e.brushIndex));
-      app.queryEngine_.invalidateRegion(dirty);
+      app.queryEngine_->invalidateRegion(dirty);
       return true;
     }
     bool operator()(const ui::TimeWindowEvent& e) {
@@ -70,36 +103,44 @@ bool VisualQueryApp::apply(const ui::Event& event) {
       return true;
     }
     bool operator()(const ui::LayoutSwitchEvent& e) {
-      if (e.presetIndex >= app.presets_.size()) return false;
+      if (e.presetIndex >= app.layoutPresets().size()) return false;
       app.activePreset_ = e.presetIndex;
-      const LayoutConfig& cfg = app.presets_[app.activePreset_];
       // Groups were validated against the previous grid; any that no
-      // longer fit must go before the assignment is recomputed.
-      app.groups_.pruneToGrid(cfg.cellsX, cfg.cellsY);
-      app.recomputeLayout();
+      // longer fit must go before the assignment is recomputed. (Skip the
+      // COW detach when there are no groups to prune.)
+      if (!app.groups_->groups().empty()) {
+        const LayoutConfig& cfg = app.layoutPresets()[app.activePreset_];
+        app.mutableGroups().pruneToGrid(cfg.cellsX, cfg.cellsY);
+      }
+      app.recomputeAssignment();
       return true;
     }
     bool operator()(const ui::GroupDefineEvent& e) {
-      const LayoutConfig& cfg = app.presets_[app.activePreset_];
+      const LayoutConfig& cfg = app.layoutPresets()[app.activePreset_];
       TrajectoryGroup g;
       g.id = e.groupId;
       g.name = e.name;
       g.cellRect = e.cellRect;
       g.filter = e.filter;
       g.colorIndex = e.colorIndex;
-      if (!app.groups_.define(g, cfg.cellsX, cfg.cellsY)) return false;
+      if (!app.mutableGroups().define(g, cfg.cellsX, cfg.cellsY)) {
+        return false;
+      }
       app.recomputeAssignment();
       return true;
     }
     bool operator()(const ui::GroupClearEvent& e) {
-      if (!app.groups_.remove(e.groupId)) return false;
+      if (app.groups_->groups().empty()) return false;
+      if (!app.mutableGroups().remove(e.groupId)) return false;
       app.recomputeAssignment();
       return true;
     }
     bool operator()(const ui::PageEvent& e) {
+      if (app.groups_->groups().empty()) return false;
+      GroupManager& gm = app.mutableGroups();
       bool any = false;
-      for (const TrajectoryGroup& g : app.groups_.groups()) {
-        any |= app.groups_.page(g.id, e.direction, *app.dataset_);
+      for (const TrajectoryGroup& g : gm.groups()) {
+        any |= gm.page(g.id, e.direction, app.dataset());
       }
       if (any) app.recomputeAssignment();
       return any;
@@ -108,7 +149,7 @@ bool VisualQueryApp::apply(const ui::Event& event) {
   return std::visit(Visitor{*this}, event);
 }
 
-std::size_t VisualQueryApp::applyScript(const ui::InputScript& script) {
+std::size_t Session::applyScript(const ui::InputScript& script) {
   std::size_t applied = 0;
   script.replay([this, &applied](const ui::TimedEvent& e) {
     if (apply(e.event)) ++applied;
@@ -116,44 +157,48 @@ std::size_t VisualQueryApp::applyScript(const ui::InputScript& script) {
   return applied;
 }
 
-render::SceneModel VisualQueryApp::buildScene() {
+render::SceneModel Session::buildScene() {
   ++frameIndex_;
-  const LayoutConfig& cfg = presets_[activePreset_];
+  const LayoutConfig& cfg = layoutPresets()[activePreset_];
+  const SmallMultipleLayout& layout = context_->layout(activePreset_);
+  const GroupAssignment& assignment = *assignment_;
 
   // Displayed trajectory indices, in cell order, for the query engine.
   std::vector<std::uint32_t> displayed;
   std::vector<std::size_t> cellOfDisplayed;  // cell index per entry
-  displayed.reserve(assignment_.cells.size());
-  for (std::size_t ci = 0; ci < assignment_.cells.size(); ++ci) {
-    if (assignment_.cells[ci].trajectoryIndex) {
-      displayed.push_back(*assignment_.cells[ci].trajectoryIndex);
+  displayed.reserve(assignment.cells.size());
+  for (std::size_t ci = 0; ci < assignment.cells.size(); ++ci) {
+    if (assignment.cells[ci].trajectoryIndex) {
+      displayed.push_back(*assignment.cells[ci].trajectoryIndex);
       cellOfDisplayed.push_back(ci);
     }
   }
 
-  // Keep the engine bound to the displayed set and the canvas grid (the
-  // grid pointer only changes if the app object itself was relocated).
+  // Keep the engine bound to the displayed set and this session's own
+  // brush grid (the grid changes identity on construction and COW
+  // detach; brushBindVersion_ tracks exactly those).
   if (displayed != boundDisplayed_) {
-    queryEngine_.setTrajectories(*dataset_, displayed);
+    queryEngine_->setTrajectories(dataset(), displayed);
     boundDisplayed_ = displayed;
   }
-  if (queryEngine_.brush() != &brushCanvas_.grid()) {
-    queryEngine_.setBrush(&brushCanvas_.grid());
+  if (engineBoundVersion_ != brushBindVersion_) {
+    queryEngine_->setBrush(&brush_->grid());
+    engineBoundVersion_ = brushBindVersion_;
   }
-  QueryParams params = queryEngine_.params();
+  QueryParams params = queryEngine_->params();
   params.timeWindow = {timeWindow_.lo(), timeWindow_.hi()};
-  queryEngine_.setParams(params);
+  queryEngine_->setParams(params);
 
-  if (brushCanvas_.empty()) {
+  if (brush_->empty()) {
     // Nothing painted: skip evaluation entirely (and report an untouched
     // result, preserving the "no query ran" contract).
     lastQuery_ = std::make_shared<const QueryResult>();
   } else {
-    lastQuery_ = queryEngine_.evaluate();
+    lastQuery_ = queryEngine_->evaluate();
   }
 
   render::SceneModel scene;
-  scene.arenaRadiusCm = dataset_->arena().radiusCm;
+  scene.arenaRadiusCm = dataset().arena().radiusCm;
   scene.timeWindow = {timeWindow_.lo(), timeWindow_.hi()};
   scene.stereo = stereoSettings();
   scene.queryGeneration = lastQuery_->generation;
@@ -165,9 +210,9 @@ render::SceneModel VisualQueryApp::buildScene() {
     const int cy = static_cast<int>(ci) / cfg.cellsX;
     render::CellView cell;
     cell.trajectoryIndex = displayed[di];
-    cell.rect = layout_.cellRect(cx, cy);
-    cell.background = assignment_.cells[ci].background;
-    if (!brushCanvas_.empty() && di < lastQuery_->segmentHighlights.size()) {
+    cell.rect = layout.cellRect(cx, cy);
+    cell.background = assignment.cells[ci].background;
+    if (!brush_->empty() && di < lastQuery_->segmentHighlights.size()) {
       cell.segmentHighlights = lastQuery_->segmentHighlights[di];
     }
     scene.cells.push_back(std::move(cell));

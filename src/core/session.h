@@ -1,19 +1,36 @@
-// session.h — the application façade.
+// session.h — the per-tenant exploration session.
 //
-// VisualQueryApp ties the technique together: it owns the dataset, the
-// wall geometry, the layout presets, groups, the brush canvas, the
-// temporal filter and the stereo controls; consumes ui::Events; and
-// produces the SceneModel a renderer (local or cluster) draws. This is
-// the class the paper's screenshots depict in action.
+// Session is one explorer's mutable view over an immutable SharedContext
+// (context.h): brush canvas, groups, temporal window, stereo knobs,
+// active layout preset and SOM drill-down focus; it consumes ui::Events
+// and produces the SceneModel a renderer (local or cluster) draws. This
+// is the state the paper's screenshots depict in action — re-cut so that
+// hundreds of Sessions can share one context:
+//
+//   * copy-on-write state — the brush canvas, the group set and the cell
+//     assignment live behind shared_ptrs. fork() is O(1): the child
+//     shares every buffer until one side writes, at which point the
+//     writer detaches onto its own deep copy (BrushCanvas::clone /
+//     GroupManager::clone). Mutation never aliases across sessions.
+//   * cheap construction — a fresh session with no groups borrows the
+//     context's precomputed layout and default assignment instead of
+//     computing its own, so admission is O(1) in dataset size.
+//   * movable — the incremental QueryEngine (which owns a mutex) sits
+//     behind a unique_ptr, and the engine's borrowed brush-grid pointer
+//     targets heap state behind shared_ptr, so moving a Session never
+//     invalidates the binding.
+//
+// VisualQueryApp, the old single-explorer façade, survives this PR as a
+// deprecated forwarder (context + session in one line) and then goes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
-#include <memory>
-
 #include "core/brush.h"
+#include "core/context.h"
 #include "core/groups.h"
 #include "core/layout.h"
 #include "core/query.h"
@@ -27,31 +44,66 @@
 
 namespace svq::core {
 
-/// Application state + event processing + scene building.
-class VisualQueryApp {
+/// Per-tenant state + event processing + scene building over a shared,
+/// immutable context. Move-only; use fork() for an explicit COW copy.
+class Session {
  public:
-  /// The dataset is borrowed and must outlive the app.
-  VisualQueryApp(const traj::TrajectoryDataset& dataset,
-                 wall::WallSpec wallSpec);
+  explicit Session(std::shared_ptr<const SharedContext> context);
 
-  // --- state access ------------------------------------------------------
-  const traj::TrajectoryDataset& dataset() const { return *dataset_; }
-  const wall::WallSpec& wallSpec() const { return wallSpec_; }
-  const SmallMultipleLayout& layout() const { return layout_; }
-  const std::vector<LayoutConfig>& layoutPresets() const { return presets_; }
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// O(1) copy sharing brush/group/assignment buffers copy-on-write: the
+  /// child sees this session's current state, and subsequent writes on
+  /// either side detach onto private deep copies.
+  Session fork() const;
+
+  // --- shared world --------------------------------------------------------
+  const SharedContext& context() const { return *context_; }
+  const std::shared_ptr<const SharedContext>& contextPtr() const {
+    return context_;
+  }
+  const traj::TrajectoryDataset& dataset() const {
+    return context_->dataset();
+  }
+  const wall::WallSpec& wallSpec() const { return context_->wallSpec(); }
+  const std::vector<LayoutConfig>& layoutPresets() const {
+    return context_->layoutPresets();
+  }
+
+  // --- per-tenant state ----------------------------------------------------
+  const SmallMultipleLayout& layout() const {
+    return context_->layout(activePreset_);
+  }
   std::size_t activePreset() const { return activePreset_; }
-  GroupManager& groups() { return groups_; }
-  const GroupManager& groups() const { return groups_; }
-  const BrushCanvas& brush() const { return brushCanvas_; }
+  /// Mutable access detaches (COW) — call refreshAssignment() after
+  /// direct edits. Prefer apply() for event-driven edits.
+  GroupManager& groups() { return mutableGroups(); }
+  const GroupManager& groups() const { return *groups_; }
+  const BrushCanvas& brush() const { return *brush_; }
   const ui::RangeSlider& timeWindow() const { return timeWindow_; }
   const ui::StereoControls& stereoControls() const { return stereoControls_; }
   render::StereoSettings stereoSettings() const;
+
+  /// Per-session SOM drill-down focus: the SOM cell this tenant expanded,
+  /// if any (nullopt = overview). Plain session state — two tenants can
+  /// drill into different prototypes of the one shared SOM.
+  struct SomFocus {
+    int x = 0;
+    int y = 0;
+    bool operator==(const SomFocus&) const = default;
+  };
+  const std::optional<SomFocus>& somFocus() const { return somFocus_; }
+  void setSomFocus(int x, int y) { somFocus_ = SomFocus{x, y}; }
+  void clearSomFocus() { somFocus_.reset(); }
 
   /// Fraction of the dataset visible in the current layout (the §VI.B
   /// "85% of the data" headline for 36x12 over ~500 trajectories).
   float datasetCoverage() const;
 
-  // --- event processing --------------------------------------------------
+  // --- event processing ----------------------------------------------------
   /// Applies one interaction event. Returns false for events that could
   /// not be applied (e.g. invalid group rect).
   bool apply(const ui::Event& event);
@@ -63,9 +115,9 @@ class VisualQueryApp {
   /// (Event-driven edits refresh automatically.)
   void refreshAssignment() { recomputeAssignment(); }
 
-  // --- outputs -----------------------------------------------------------
+  // --- outputs -------------------------------------------------------------
   /// Current cell -> trajectory assignment.
-  const GroupAssignment& assignment() const { return assignment_; }
+  const GroupAssignment& assignment() const { return *assignment_; }
 
   /// Evaluates the coordinated-brush query for the displayed trajectories
   /// (empty brush = no highlights) and builds the frame's scene model.
@@ -79,13 +131,13 @@ class VisualQueryApp {
   /// The incremental engine's counters (invalidation, cache hits, pass
   /// latency) — exposed for benchmarks and diagnostics.
   const QueryEngineMetrics& queryMetrics() const {
-    return queryEngine_.metrics();
+    return queryEngine_->metrics();
   }
 
   /// Frame counter (increments per buildScene).
   std::uint64_t frameIndex() const { return frameIndex_; }
 
-  // --- render damage ------------------------------------------------------
+  // --- render damage -------------------------------------------------------
   /// Cell indices (into the last built scene's cells) whose rendered
   /// content changed since the previous buildScene(), computed by content-
   /// hash diff (render::cellContentHash). Meaningful only when
@@ -100,26 +152,46 @@ class VisualQueryApp {
   bool lastSceneFullyDamaged() const { return lastSceneFullyDamaged_; }
 
  private:
-  void recomputeLayout();
+  /// Detach-on-write accessors: deep-copy when the buffer is shared with
+  /// a fork, no-op when exclusively owned.
+  BrushCanvas& mutableBrush();
+  GroupManager& mutableGroups();
   void recomputeAssignment();
 
-  const traj::TrajectoryDataset* dataset_;
-  wall::WallSpec wallSpec_;
-  std::vector<LayoutConfig> presets_;
-  std::size_t activePreset_ = 1;  // 24x6 default
-  SmallMultipleLayout layout_;
-  GroupManager groups_;
-  GroupAssignment assignment_;
-  BrushCanvas brushCanvas_;
+  std::shared_ptr<const SharedContext> context_;
+  std::size_t activePreset_ = SharedContext::kDefaultPreset;
+  std::shared_ptr<BrushCanvas> brush_;
+  std::shared_ptr<GroupManager> groups_;
+  std::shared_ptr<const GroupAssignment> assignment_;
   ui::RangeSlider timeWindow_;
   ui::StereoControls stereoControls_;
-  QueryEngine queryEngine_;
+  std::optional<SomFocus> somFocus_;
+  std::unique_ptr<QueryEngine> queryEngine_;
+  /// Bumped whenever brush_ points at a new canvas (ctor, COW detach);
+  /// buildScene() re-binds the engine when it lags, so the engine never
+  /// evaluates against a grid this session no longer owns.
+  std::uint64_t brushBindVersion_ = 1;
+  std::uint64_t engineBoundVersion_ = 0;
   std::vector<std::uint32_t> boundDisplayed_;  ///< set the engine is bound to
   std::shared_ptr<const QueryResult> lastQuery_;
   std::uint64_t frameIndex_ = 0;
   std::vector<std::uint64_t> lastCellHashes_;
   std::vector<std::size_t> lastDamagedCells_;
   bool lastSceneFullyDamaged_ = true;
+};
+
+/// Transitional forwarder for the pre-split façade: builds a private
+/// SharedContext around the dataset and wraps it in a Session. Every
+/// in-tree caller has been migrated; this survives exactly one PR for
+/// out-of-tree users and then goes away.
+class [[deprecated(
+    "split into core::SharedContext::create(...) + core::Session; "
+    "VisualQueryApp will be removed in the next release")]] VisualQueryApp
+    : public Session {
+ public:
+  VisualQueryApp(const traj::TrajectoryDataset& dataset,
+                 wall::WallSpec wallSpec)
+      : Session(SharedContext::create(dataset, std::move(wallSpec))) {}
 };
 
 }  // namespace svq::core

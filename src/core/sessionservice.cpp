@@ -1,0 +1,210 @@
+#include "core/sessionservice.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace svq::core {
+
+namespace {
+
+struct ServiceMetrics {
+  Gauge& active;
+  Counter& admitted;
+  Counter& admissionRejected;
+  Counter& closed;
+  Counter& eventsApplied;
+  Counter& eventsRejected;
+  Counter& eventsQueued;
+  Counter& backpressure;
+  Histogram& applyLatencyUs;
+
+  static ServiceMetrics& get() {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    static ServiceMetrics m{reg.gauge("sessions.active"),
+                            reg.counter("sessions.admitted"),
+                            reg.counter("sessions.admission_rejected"),
+                            reg.counter("sessions.closed"),
+                            reg.counter("sessions.events_applied"),
+                            reg.counter("sessions.events_rejected"),
+                            reg.counter("sessions.events_queued"),
+                            reg.counter("sessions.backpressure"),
+                            reg.histogram("sessions.apply_latency_us")};
+    return m;
+  }
+};
+
+std::size_t envSize(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+}  // namespace
+
+SessionService::Options SessionService::Options::fromEnv() {
+  Options o;
+  o.maxSessions = envSize("SVQ_MAX_SESSIONS", o.maxSessions);
+  o.eventQueueDepth = envSize("SVQ_SESSION_QUEUE_DEPTH", o.eventQueueDepth);
+  return o;
+}
+
+SessionService::SessionService(std::shared_ptr<const SharedContext> context)
+    : SessionService(std::move(context), Options{}) {}
+
+SessionService::SessionService(std::shared_ptr<const SharedContext> context,
+                               Options options)
+    : context_(std::move(context)), options_(options) {}
+
+SessionService::Admission SessionService::admit() {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return {Status::shutdown(), 0};
+  }
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  std::unique_lock<std::shared_mutex> lock(mapMutex_);
+  if (tenants_.size() >= options_.maxSessions) {
+    metrics.admissionRejected.add(1);
+    return {Status::atCapacity(), 0};
+  }
+  const SessionId id = nextId_++;
+  tenants_.emplace(id, std::make_shared<Tenant>(Session(context_)));
+  metrics.admitted.add(1);
+  metrics.active.add(1);
+  return {Status::ok(static_cast<std::int64_t>(id)), id};
+}
+
+Status SessionService::close(SessionId id) {
+  if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
+  std::shared_ptr<Tenant> victim;
+  {
+    std::unique_lock<std::shared_mutex> lock(mapMutex_);
+    auto it = tenants_.find(id);
+    if (it == tenants_.end()) {
+      return Status::unknownSession(static_cast<std::int64_t>(id));
+    }
+    victim = std::move(it->second);
+    tenants_.erase(it);
+  }
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  metrics.closed.add(1);
+  metrics.active.sub(1);
+  // The Session (and any queued events) dies when the last in-flight
+  // operation holding the shared_ptr releases it.
+  return Status::ok(static_cast<std::int64_t>(id));
+}
+
+std::shared_ptr<SessionService::Tenant> SessionService::tenant(
+    SessionId id) const {
+  std::shared_lock<std::shared_mutex> lock(mapMutex_);
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+Status SessionService::submit(SessionId id, const ui::Event& event) {
+  if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
+  const std::shared_ptr<Tenant> t = tenant(id);
+  if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  std::lock_guard<std::mutex> lock(t->mutex);
+  if (t->queue.size() >= options_.eventQueueDepth) {
+    metrics.backpressure.add(1);
+    return Status::backpressure(static_cast<std::int64_t>(id));
+  }
+  t->queue.push_back(event);
+  metrics.eventsQueued.add(1);
+  return Status::ok(static_cast<std::int64_t>(id));
+}
+
+bool SessionService::applyOneLocked(Tenant& t, const ui::Event& event) {
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  const auto start = std::chrono::steady_clock::now();
+  const bool applied = t.session.apply(event);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  metrics.applyLatencyUs.record(static_cast<std::uint64_t>(micros));
+  if (applied) {
+    metrics.eventsApplied.add(1);
+  } else {
+    metrics.eventsRejected.add(1);
+  }
+  return applied;
+}
+
+Status SessionService::drain(SessionId id, std::size_t* appliedOut) {
+  if (appliedOut != nullptr) *appliedOut = 0;
+  if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
+  const std::shared_ptr<Tenant> t = tenant(id);
+  if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
+  std::lock_guard<std::mutex> lock(t->mutex);
+  bool allApplied = true;
+  std::size_t applied = 0;
+  while (!t->queue.empty()) {
+    const ui::Event event = std::move(t->queue.front());
+    t->queue.pop_front();
+    if (applyOneLocked(*t, event)) {
+      ++applied;
+    } else {
+      allApplied = false;
+    }
+  }
+  if (appliedOut != nullptr) *appliedOut = applied;
+  return allApplied ? Status::ok(static_cast<std::int64_t>(id))
+                    : Status::rejected(static_cast<std::int64_t>(id));
+}
+
+Status SessionService::apply(SessionId id, const ui::Event& event) {
+  if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
+  const std::shared_ptr<Tenant> t = tenant(id);
+  if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
+  std::lock_guard<std::mutex> lock(t->mutex);
+  // Queued events first: a tenant's stream stays ordered even when it
+  // mixes submit() and apply().
+  while (!t->queue.empty()) {
+    const ui::Event queued = std::move(t->queue.front());
+    t->queue.pop_front();
+    applyOneLocked(*t, queued);
+  }
+  return applyOneLocked(*t, event)
+             ? Status::ok(static_cast<std::int64_t>(id))
+             : Status::rejected(static_cast<std::int64_t>(id));
+}
+
+Status SessionService::buildScene(SessionId id, render::SceneModel& out) {
+  if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
+  const std::shared_ptr<Tenant> t = tenant(id);
+  if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
+  std::lock_guard<std::mutex> lock(t->mutex);
+  out = t->session.buildScene();
+  return Status::ok(static_cast<std::int64_t>(id));
+}
+
+std::size_t SessionService::activeSessions() const {
+  std::shared_lock<std::shared_mutex> lock(mapMutex_);
+  return tenants_.size();
+}
+
+std::size_t SessionService::queuedEvents(SessionId id) const {
+  const std::shared_ptr<Tenant> t = tenant(id);
+  if (!t) return 0;
+  std::lock_guard<std::mutex> lock(t->mutex);
+  return t->queue.size();
+}
+
+void SessionService::shutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  std::vector<std::shared_ptr<Tenant>> victims;
+  {
+    std::unique_lock<std::shared_mutex> lock(mapMutex_);
+    victims.reserve(tenants_.size());
+    for (auto& [id, t] : tenants_) victims.push_back(std::move(t));
+    tenants_.clear();
+  }
+  ServiceMetrics::get().active.sub(victims.size());
+  // Destruction outside mapMutex_; in-flight operations finish under each
+  // tenant's own mutex before the last reference drops.
+}
+
+}  // namespace svq::core

@@ -1,0 +1,139 @@
+// sessionservice.h — N concurrent explorers over one SharedContext.
+//
+// The multi-tenant layer of the ROADMAP north-star: one node owns one
+// immutable SharedContext (dataset / shard store / SOM / shared render
+// cache) and multiplexes up to maxSessions independent Sessions over it.
+// Each tenant gets:
+//
+//   * admission control — admit() hands out a SessionId or a typed
+//     refusal (core::Status kAtCapacity) a load balancer can act on;
+//   * a bounded event queue — submit() enqueues without touching session
+//     state (cheap, callable from an ingest thread); a full queue returns
+//     kBackpressure, telling that tenant to slow down without penalizing
+//     anyone else. drain() applies the backlog; apply() is the
+//     synchronous submit-and-apply path interactive callers use;
+//   * isolation — per-tenant state is copy-on-write Session state, and
+//     every operation on a tenant runs under that tenant's own mutex.
+//     Different tenants never contend except on the (read-mostly) session
+//     map and the internally-synchronized shared render cache.
+//
+// Metrics (util/metrics, prefix "sessions."): active (gauge),
+// admitted / admission_rejected / closed / events_applied /
+// events_rejected / events_queued / backpressure (counters), and
+// apply_latency_us (histogram -> p50/p99 in snapshots). Together with
+// render.shared.* these are the per-node health numbers: sessions
+// active, events/s, cache cross-hit-rate, apply latency tail.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/context.h"
+#include "core/session.h"
+#include "core/status.h"
+#include "ui/events.h"
+
+namespace svq::core {
+
+/// Opaque tenant handle (dense, never reused within one service).
+using SessionId = std::uint64_t;
+
+/// Thread-safe multiplexer of Sessions over one SharedContext.
+class SessionService {
+ public:
+  struct Options {
+    /// Admission ceiling (SVQ_MAX_SESSIONS).
+    std::size_t maxSessions = 256;
+    /// Bound of each tenant's pending-event queue (SVQ_SESSION_QUEUE_DEPTH).
+    std::size_t eventQueueDepth = 128;
+
+    static Options fromEnv();
+  };
+
+  /// What admit() hands back: an id iff status.isOk().
+  struct Admission {
+    Status status;
+    SessionId id = 0;
+    explicit operator bool() const { return status.isOk(); }
+  };
+
+  explicit SessionService(std::shared_ptr<const SharedContext> context);
+  SessionService(std::shared_ptr<const SharedContext> context,
+                 Options options);
+
+  /// Creates a fresh tenant session (O(1): COW state over the shared
+  /// context). kAtCapacity when maxSessions are live, kShutdown after
+  /// shutdown().
+  Admission admit();
+
+  /// Ends a tenant; queued events are dropped. kUnknownSession if the id
+  /// was never admitted or already closed.
+  Status close(SessionId id);
+
+  /// Enqueues an event for later drain(). kBackpressure (and the event is
+  /// NOT queued) when the tenant's queue is at eventQueueDepth.
+  Status submit(SessionId id, const ui::Event& event);
+
+  /// Applies every queued event in submission order. kRejected when any
+  /// event could not be applied (the rest still apply); `appliedOut`
+  /// (optional) receives the number applied either way.
+  Status drain(SessionId id, std::size_t* appliedOut = nullptr);
+
+  /// Drains the backlog, then applies `event` synchronously — the
+  /// interactive path. Latency lands in sessions.apply_latency_us.
+  Status apply(SessionId id, const ui::Event& event);
+
+  /// Builds the tenant's current scene into `out`.
+  Status buildScene(SessionId id, render::SceneModel& out);
+
+  /// Runs `fn(Session&)` under the tenant's lock — snapshots, custom
+  /// reads, render loops owning their own pipeline.
+  template <typename Fn>
+  Status withSession(SessionId id, Fn&& fn) {
+    if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
+    const std::shared_ptr<Tenant> t = tenant(id);
+    if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
+    std::lock_guard<std::mutex> lock(t->mutex);
+    fn(t->session);
+    return Status::ok(static_cast<std::int64_t>(id));
+  }
+
+  std::size_t activeSessions() const;
+  /// Pending (queued, undrained) events of one tenant; 0 for unknown ids.
+  std::size_t queuedEvents(SessionId id) const;
+  const Options& options() const { return options_; }
+  const SharedContext& context() const { return *context_; }
+
+  /// Stops the service: closes every tenant; subsequent operations return
+  /// kShutdown.
+  void shutdown();
+
+ private:
+  struct Tenant {
+    explicit Tenant(Session s) : session(std::move(s)) {}
+    std::mutex mutex;  ///< guards session + queue
+    Session session;
+    std::deque<ui::Event> queue;
+  };
+
+  /// The tenant's record, or nullptr. Tenants are held by shared_ptr so a
+  /// concurrent close() never pulls a locked tenant out from under an
+  /// in-flight operation.
+  std::shared_ptr<Tenant> tenant(SessionId id) const;
+  /// Applies one event under t.mutex (held by caller); records metrics.
+  bool applyOneLocked(Tenant& t, const ui::Event& event);
+
+  std::shared_ptr<const SharedContext> context_;
+  Options options_;
+  mutable std::shared_mutex mapMutex_;  ///< guards tenants_ + nextId_
+  std::unordered_map<SessionId, std::shared_ptr<Tenant>> tenants_;
+  SessionId nextId_ = 1;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace svq::core

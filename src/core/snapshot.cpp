@@ -22,7 +22,7 @@ constexpr std::size_t kGroupRecordMinBytes = 1 + 4 + 16 + 5 + 1 + 4;
 constexpr std::size_t kStrokeRecordBytes = 1 + 8 + 4;
 }  // namespace
 
-net::MessageBuffer saveSnapshot(const VisualQueryApp& app) {
+net::MessageBuffer saveSnapshot(const Session& app) {
   net::MessageBuffer buf;
   buf.putU32(kSnapshotMagic);
   buf.putU32(kVersion);
@@ -54,7 +54,7 @@ net::MessageBuffer saveSnapshot(const VisualQueryApp& app) {
   return buf;
 }
 
-bool restoreSnapshot(VisualQueryApp& app, net::MessageBuffer snapshot) {
+bool restoreSnapshot(Session& app, net::MessageBuffer snapshot) {
   try {
     snapshot.rewind();
     if (snapshot.getU32() != kSnapshotMagic) return false;
@@ -105,7 +105,7 @@ bool restoreSnapshot(VisualQueryApp& app, net::MessageBuffer snapshot) {
   }
 }
 
-bool saveSnapshotFile(const VisualQueryApp& app, const std::string& path) {
+bool saveSnapshotFile(const Session& app, const std::string& path) {
   const auto buf = saveSnapshot(app);
   // Write-temp + fsync + atomic-rename: a crash mid-save must never leave
   // a truncated snapshot at `path` (snapshots are how whole wall sessions
@@ -114,13 +114,13 @@ bool saveSnapshotFile(const VisualQueryApp& app, const std::string& path) {
       path, std::string_view(reinterpret_cast<const char*>(buf.bytes().data()),
                              buf.size()));
   if (!status.isOk()) {
-    SVQ_ERROR << "snapshot save to " << path << " failed: " << status.name();
+    SVQ_ERROR << "snapshot save to " << path << " failed: " << status.message();
     return false;
   }
   return true;
 }
 
-bool restoreSnapshotFile(VisualQueryApp& app, const std::string& path) {
+bool restoreSnapshotFile(Session& app, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   std::ostringstream ss;

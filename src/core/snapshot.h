@@ -1,7 +1,7 @@
 // snapshot.h — session state persistence.
 //
 // §VII: "integrating our application into larger scientific workflows".
-// A snapshot captures the complete interactive state of a VisualQueryApp
+// A snapshot captures the complete interactive state of a Session
 // — layout preset, groups, paging, brush strokes, temporal filter and
 // stereo sliders — so a session can be saved, resumed, shared, or
 // branched (each hypothesis exploration can be checkpointed). Restoring
@@ -18,15 +18,15 @@
 namespace svq::core {
 
 /// Serializes the app's interactive state (not the dataset).
-net::MessageBuffer saveSnapshot(const VisualQueryApp& app);
+net::MessageBuffer saveSnapshot(const Session& app);
 
 /// Restores a snapshot into an app. The app must be bound to a dataset
 /// compatible with the one the snapshot was taken over (same trajectory
 /// count/ids); returns false on malformed input.
-bool restoreSnapshot(VisualQueryApp& app, net::MessageBuffer snapshot);
+bool restoreSnapshot(Session& app, net::MessageBuffer snapshot);
 
 /// File convenience wrappers.
-bool saveSnapshotFile(const VisualQueryApp& app, const std::string& path);
-bool restoreSnapshotFile(VisualQueryApp& app, const std::string& path);
+bool saveSnapshotFile(const Session& app, const std::string& path);
+bool restoreSnapshotFile(Session& app, const std::string& path);
 
 }  // namespace svq::core

@@ -1,0 +1,96 @@
+// status.h — typed result of session-service operations.
+//
+// The session layer's counterpart to net/status.h and io/status (util/
+// io.h): admission, event submission and scene building report a typed
+// Status instead of a bare bool, so a client (or the load balancer in
+// front of a fleet of these nodes) can distinguish "the node is full,
+// go elsewhere" (kAtCapacity) from "this tenant is pushing events faster
+// than it drains them" (kBackpressure — slow down, nothing is lost that
+// the client wasn't told about) from "the event itself was invalid"
+// (kRejected) from "that session does not exist" (kUnknownSession).
+// Shares the common surface of util/status.h — ok()/message()/detail() —
+// with the other two status families.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace svq::core {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,              ///< operation completed
+  kRejected = 1,        ///< the event could not be applied (invalid target)
+  kBackpressure = 2,    ///< per-session event queue full; retry after drain
+  kUnknownSession = 3,  ///< no such session (never admitted, or closed)
+  kAtCapacity = 4,      ///< admission refused: node at max sessions
+  kShutdown = 5,        ///< service shutting down; no further progress
+};
+
+struct [[nodiscard]] Status {
+  StatusCode code = StatusCode::kOk;
+  /// The session the status refers to (-1 when not applicable: admission
+  /// rejections, shutdown).
+  std::int64_t session = -1;
+
+  static Status ok(std::int64_t session = -1) {
+    return {StatusCode::kOk, session};
+  }
+  static Status rejected(std::int64_t session) {
+    return {StatusCode::kRejected, session};
+  }
+  static Status backpressure(std::int64_t session) {
+    return {StatusCode::kBackpressure, session};
+  }
+  static Status unknownSession(std::int64_t session) {
+    return {StatusCode::kUnknownSession, session};
+  }
+  static Status atCapacity() { return {StatusCode::kAtCapacity, -1}; }
+  static Status shutdown() { return {StatusCode::kShutdown, -1}; }
+
+  bool isOk() const { return code == StatusCode::kOk; }
+  bool isRejected() const { return code == StatusCode::kRejected; }
+  bool isBackpressure() const { return code == StatusCode::kBackpressure; }
+  bool isUnknownSession() const {
+    return code == StatusCode::kUnknownSession;
+  }
+  bool isAtCapacity() const { return code == StatusCode::kAtCapacity; }
+  bool isShutdown() const { return code == StatusCode::kShutdown; }
+  /// True when the caller should retry the same node later (transient
+  /// load conditions), as opposed to a permanent/structural refusal.
+  bool isRetryable() const { return isBackpressure() || isAtCapacity(); }
+
+  explicit operator bool() const { return isOk(); }
+  bool operator==(const Status&) const = default;
+
+  const char* name() const {
+    switch (code) {
+      case StatusCode::kOk: return "Ok";
+      case StatusCode::kRejected: return "Rejected";
+      case StatusCode::kBackpressure: return "Backpressure";
+      case StatusCode::kUnknownSession: return "UnknownSession";
+      case StatusCode::kAtCapacity: return "AtCapacity";
+      case StatusCode::kShutdown: return "Shutdown";
+    }
+    return "?";
+  }
+
+  // --- common surface (util::StatusLike) ----------------------------------
+  std::int64_t detail() const { return session; }
+  const char* detailLabel() const { return "session"; }
+  /// "Ok", "Backpressure(session=7)", ... (util/status.h formatting).
+  std::string message() const { return util::statusMessage(*this); }
+};
+
+static_assert(util::StatusLike<Status>);
+
+/// The more severe of two statuses (Shutdown > AtCapacity > UnknownSession
+/// > Backpressure > Rejected > Ok) — enum order is severity order here,
+/// mirroring io::worse().
+inline Status worse(Status a, Status b) {
+  return util::worseOf(
+      a, b, [](const Status& s) { return static_cast<int>(s.code); });
+}
+
+}  // namespace svq::core

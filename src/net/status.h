@@ -9,6 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "util/status.h"
 
 namespace svq::net {
 
@@ -51,22 +54,29 @@ struct [[nodiscard]] Status {
     }
     return "?";
   }
+
+  // --- common surface (util::StatusLike) ----------------------------------
+  std::int64_t detail() const { return rank; }
+  const char* detailLabel() const { return "rank"; }
+  /// "Ok", "Timeout(rank=3)", ... — shared formatting, no per-call switch.
+  std::string message() const { return util::statusMessage(*this); }
 };
+
+static_assert(util::StatusLike<Status>);
 
 /// The more severe of two statuses (Shutdown > Timeout > PeerFailed > Ok),
 /// used to fold the phases of a composite collective (e.g. allreduce =
 /// gather + broadcast) into one caller-visible result.
 inline Status worse(Status a, Status b) {
-  auto severity = [](StatusCode c) {
-    switch (c) {
+  return util::worseOf(a, b, [](const Status& s) {
+    switch (s.code) {
       case StatusCode::kOk: return 0;
       case StatusCode::kPeerFailed: return 1;
       case StatusCode::kTimeout: return 2;
       case StatusCode::kShutdown: return 3;
     }
     return 0;
-  };
-  return severity(b.code) > severity(a.code) ? b : a;
+  });
 }
 
 }  // namespace svq::net

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 
+#include "render/sharedcache.h"
 #include "util/metrics.h"
 
 namespace svq::render {
@@ -16,6 +17,7 @@ namespace {
 struct PipelineMetrics {
   Counter& cellsRasterized;
   Counter& cellsBlitted;
+  Counter& cellsSharedBlitted;
   Counter& cellsSkipped;
   Counter& cellsCulled;
   Counter& pixelsRasterized;
@@ -27,6 +29,7 @@ struct PipelineMetrics {
     MetricsRegistry& reg = MetricsRegistry::global();
     static PipelineMetrics m{reg.counter("render.cells_rasterized"),
                              reg.counter("render.cells_blitted"),
+                             reg.counter("render.cells_shared_blitted"),
                              reg.counter("render.cells_skipped"),
                              reg.counter("render.cells_culled"),
                              reg.counter("render.pixels_rasterized"),
@@ -62,7 +65,11 @@ PipelineOptions PipelineOptions::fromEnv() {
 }
 
 CellRenderPipeline::CellRenderPipeline(PipelineOptions options)
-    : options_(options) {}
+    : options_(options) {
+  if (options_.sharedCache != nullptr) {
+    sharedClientId_ = options_.sharedCache->registerClient();
+  }
+}
 
 bool CellRenderPipeline::cellsDisjoint(const SceneModel& scene) const {
   // O(n^2) pairwise check over non-empty rects; layouts are a few hundred
@@ -172,31 +179,53 @@ PipelineStats CellRenderPipeline::render(const SceneModel& scene,
       ++stats.cellsSkipped;
       continue;
     }
-    if (unchanged && !slot.pixels.empty()) {
+    if (unchanged && slot.pixels) {
       toBlit.push_back(i);
       continue;
     }
-    // Dirty (or unchanged-but-uncached during a recomposite): rasterize.
     const std::size_t newBytes = static_cast<std::size_t>(slot.clip.areaPx()) *
                                  sizeof(Color);
-    const std::size_t oldBytes = slot.pixels.pixelCount() * sizeof(Color);
-    bool cacheIt = false;
-    if (options_.cacheBudgetBytes > 0 &&
-        cachedBytes_ - oldBytes + newBytes <= options_.cacheBudgetBytes) {
-      cachedBytes_ = cachedBytes_ - oldBytes + newBytes;
-      cacheIt = true;
-    } else if (oldBytes > 0) {
-      // Over budget: drop the stale pixels, keep the key slot.
-      slot.pixels = Framebuffer{};
-      cachedBytes_ -= oldBytes;
+    const std::size_t oldBytes =
+        (slot.pixels ? slot.pixels->pixelCount() : 0) * sizeof(Color);
+    // Reserves local cache budget for this cell's new pixels; on refusal
+    // drops the stale copy but keeps the key slot.
+    auto reserveLocal = [&]() {
+      if (options_.cacheBudgetBytes > 0 &&
+          cachedBytes_ - oldBytes + newBytes <= options_.cacheBudgetBytes) {
+        cachedBytes_ = cachedBytes_ - oldBytes + newBytes;
+        return true;
+      }
+      if (oldBytes > 0) {
+        slot.pixels.reset();
+        cachedBytes_ -= oldBytes;
+      }
+      return false;
+    };
+    // Dirty (or unchanged-but-uncached during a recomposite). Another
+    // session's pipeline may already have rasterized this exact cell —
+    // the key covers everything renderCell reads, so a dimension-matched
+    // hit is pixel-identical by construction.
+    if (options_.sharedCache != nullptr) {
+      if (auto shared = options_.sharedCache->find(
+              newKeys[i], slot.clip.w, slot.clip.h, sharedClientId_)) {
+        canvas.blitRows(*shared, 0, 0, slot.clip);
+        ++stats.cellsSharedBlitted;
+        stats.pixelsBlitted += static_cast<std::uint64_t>(slot.clip.areaPx());
+        // Adopt the shared allocation into the local slot (no copy) so
+        // target-damage recomposites can restore without rasterizing.
+        slot.pixels = reserveLocal() ? std::move(shared) : nullptr;
+        slot.key = newKeys[i];
+        slot.hasKey = true;
+        continue;
+      }
     }
-    toRasterize.push_back({i, cacheIt});
+    toRasterize.push_back({i, reserveLocal()});
   }
 
   // Restore unchanged-but-uncached-in-target cells with row blits.
   for (const std::size_t i : toBlit) {
     CellSlot& slot = slots_[i];
-    canvas.blitRows(slot.pixels, 0, 0, slot.clip);
+    canvas.blitRows(*slot.pixels, 0, 0, slot.clip);
     ++stats.cellsBlitted;
     stats.pixelsBlitted += static_cast<std::uint64_t>(slot.clip.areaPx());
   }
@@ -214,15 +243,21 @@ PipelineStats CellRenderPipeline::render(const SceneModel& scene,
     renderCell(scene, cell, dataset, canvas.subCanvas(cell.rect), eye,
                cellStats);
     segments[w] = cellStats.segmentsDrawn;
-    if (work.cachePixels) {
+    if (work.cachePixels || options_.sharedCache != nullptr) {
       // Snapshot the cell's pixels out of the target for later blit
-      // restores. Slots are per-cell, so this is race-free too.
-      slot.pixels = Framebuffer(slot.clip.w, slot.clip.h);
-      slot.pixels.copyRect(*canvas.fb,
-                           RectI{slot.clip.x - canvas.region.x,
-                                 slot.clip.y - canvas.region.y, slot.clip.w,
-                                 slot.clip.h},
-                           0, 0);
+      // restores. Slots are per-cell, so this is race-free; one
+      // allocation backs both the local slot and the shared cache entry.
+      auto snap = std::make_shared<Framebuffer>(slot.clip.w, slot.clip.h);
+      snap->copyRect(*canvas.fb,
+                     RectI{slot.clip.x - canvas.region.x,
+                           slot.clip.y - canvas.region.y, slot.clip.w,
+                           slot.clip.h},
+                     0, 0);
+      if (options_.sharedCache != nullptr) {
+        options_.sharedCache->insert(newKeys[work.cell], snap,
+                                     sharedClientId_);
+      }
+      if (work.cachePixels) slot.pixels = std::move(snap);
     }
     slot.key = newKeys[work.cell];
     slot.hasKey = true;
@@ -242,6 +277,7 @@ PipelineStats CellRenderPipeline::render(const SceneModel& scene,
 
   metrics.cellsRasterized.add(stats.cellsRasterized);
   metrics.cellsBlitted.add(stats.cellsBlitted);
+  metrics.cellsSharedBlitted.add(stats.cellsSharedBlitted);
   metrics.cellsSkipped.add(stats.cellsSkipped);
   metrics.cellsCulled.add(stats.cellsCulled);
   metrics.pixelsRasterized.add(stats.pixelsRasterized);

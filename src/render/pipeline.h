@@ -31,12 +31,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "render/scene.h"
 #include "util/threadpool.h"
 
 namespace svq::render {
+
+class SharedCellCache;
 
 /// Knobs for CellRenderPipeline.
 struct PipelineOptions {
@@ -48,6 +51,14 @@ struct PipelineOptions {
   /// target-damage recomposite re-rasterizes them instead of blitting.
   /// 0 disables pixel caching entirely.
   std::size_t cacheBudgetBytes = 256ull << 20;
+  /// Cross-session cell cache (render/sharedcache.h), or nullptr. When
+  /// set, dirty cells are first looked up by content key — a hit blits
+  /// pixels another session (or an evicted slot of this one) already
+  /// rasterized — and freshly rasterized cells are published back.
+  /// Every pipeline sharing a cache must render the same dataset on the
+  /// same wall (the SharedContext discipline); output is bit-identical
+  /// with or without the cache.
+  SharedCellCache* sharedCache = nullptr;
 
   /// Reads SVQ_RENDER_THREADS (0/unset = serial, N>1 = pool of N) and
   /// SVQ_RENDER_CACHE_MB from the environment.
@@ -58,7 +69,8 @@ struct PipelineOptions {
 /// registry under "render.").
 struct PipelineStats {
   std::size_t cellsRasterized = 0;  ///< content changed: full redraw
-  std::size_t cellsBlitted = 0;     ///< unchanged, restored from cache
+  std::size_t cellsBlitted = 0;     ///< unchanged, restored from local cache
+  std::size_t cellsSharedBlitted = 0;  ///< dirty, served from shared cache
   std::size_t cellsSkipped = 0;     ///< unchanged, pixels already in target
   std::size_t cellsCulled = 0;      ///< outside the canvas region
   std::uint64_t pixelsRasterized = 0;
@@ -67,7 +79,9 @@ struct PipelineStats {
   bool fullRecomposite = false;  ///< background + every visible cell redone
   bool overlapFallback = false;  ///< overlapping cells: legacy serial path
 
-  std::size_t cellsDrawn() const { return cellsRasterized + cellsBlitted; }
+  std::size_t cellsDrawn() const {
+    return cellsRasterized + cellsBlitted + cellsSharedBlitted;
+  }
 };
 
 /// Incremental renderer for one (target framebuffer, eye) stream.
@@ -105,8 +119,12 @@ class CellRenderPipeline {
   struct CellSlot {
     std::uint64_t key = 0;
     bool hasKey = false;
-    RectI clip;           ///< cell.rect ∩ canvas.region at last render
-    Framebuffer pixels;   ///< cached copy of the clip rect (may be empty)
+    RectI clip;  ///< cell.rect ∩ canvas.region at last render
+    /// Cached copy of the clip rect (may be null). Shared, not copied,
+    /// with the cross-session cache: a slot populated by rasterization
+    /// holds the same allocation the shared cache publishes, and a slot
+    /// populated by a shared-cache hit adopts the found entry.
+    std::shared_ptr<const Framebuffer> pixels;
   };
 
   void resetLayout(const SceneModel& scene, const Canvas& canvas);
@@ -123,6 +141,8 @@ class CellRenderPipeline {
   bool targetValid_ = false;
   bool layoutDisjoint_ = true;
   std::size_t cachedBytes_ = 0;
+  /// Identity in options_.sharedCache for cross-hit accounting (0 = none).
+  std::uint64_t sharedClientId_ = 0;
 };
 
 }  // namespace svq::render

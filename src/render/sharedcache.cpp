@@ -1,0 +1,125 @@
+#include "render/sharedcache.h"
+
+#include "util/metrics.h"
+
+namespace svq::render {
+
+namespace {
+
+struct SharedCacheMetrics {
+  Counter& hits;
+  Counter& crossHits;
+  Counter& misses;
+  Counter& inserts;
+  Counter& evictions;
+  Gauge& bytes;
+
+  static SharedCacheMetrics& get() {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    static SharedCacheMetrics m{reg.counter("render.shared.hits"),
+                                reg.counter("render.shared.cross_hits"),
+                                reg.counter("render.shared.misses"),
+                                reg.counter("render.shared.inserts"),
+                                reg.counter("render.shared.evictions"),
+                                reg.gauge("render.shared.bytes")};
+    return m;
+  }
+};
+
+std::size_t framebufferBytes(const Framebuffer& fb) {
+  return fb.pixelCount() * sizeof(Color);
+}
+
+}  // namespace
+
+SharedCellCache::SharedCellCache(std::size_t budgetBytes)
+    : budgetBytes_(budgetBytes) {}
+
+std::uint64_t SharedCellCache::registerClient() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nextClientId_++;
+}
+
+std::shared_ptr<const Framebuffer> SharedCellCache::find(
+    std::uint64_t key, int width, int height, std::uint64_t clientId) {
+  SharedCacheMetrics& metrics = SharedCacheMetrics::get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.pixels->width() != width ||
+      it->second.pixels->height() != height) {
+    ++stats_.misses;
+    metrics.misses.add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+  ++stats_.hits;
+  metrics.hits.add(1);
+  if (it->second.owner != clientId) {
+    ++stats_.crossHits;
+    metrics.crossHits.add(1);
+  }
+  return it->second.pixels;
+}
+
+void SharedCellCache::insert(std::uint64_t key,
+                             std::shared_ptr<const Framebuffer> pixels,
+                             std::uint64_t clientId) {
+  if (!pixels || pixels->empty()) return;
+  const std::size_t incoming = framebufferBytes(*pixels);
+  if (incoming > budgetBytes_) return;
+  SharedCacheMetrics& metrics = SharedCacheMetrics::get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // First writer wins; identical keys hold identical pixels.
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    return;
+  }
+  evictToFitLocked(incoming);
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(pixels), clientId, lru_.begin()});
+  bytes_ += incoming;
+  ++stats_.inserts;
+  metrics.inserts.add(1);
+  metrics.bytes.add(incoming);
+}
+
+void SharedCellCache::evictToFitLocked(std::size_t incomingBytes) {
+  SharedCacheMetrics& metrics = SharedCacheMetrics::get();
+  while (bytes_ + incomingBytes > budgetBytes_ && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    const std::size_t freed = framebufferBytes(*it->second.pixels);
+    bytes_ -= freed;
+    entries_.erase(it);
+    ++stats_.evictions;
+    metrics.evictions.add(1);
+    metrics.bytes.sub(freed);
+  }
+}
+
+std::size_t SharedCellCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t SharedCellCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SharedCellCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SharedCacheMetrics::get().bytes.sub(bytes_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+SharedCellCache::Stats SharedCellCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace svq::render

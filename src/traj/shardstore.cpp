@@ -525,7 +525,7 @@ std::shared_ptr<const TrajectoryDataset> ShardStore::shard(
   std::string blob;
   const io::Status readStatus = s.readPayloadLocked(shard, blob);
   if (!readStatus.isOk()) {
-    SVQ_ERROR << "shardstore: " << readStatus.name() << " reading shard "
+    SVQ_ERROR << "shardstore: " << readStatus.message() << " reading shard "
               << shard;
     s.quarantineLocked(shard, readStatus);
     return nullptr;

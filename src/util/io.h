@@ -27,6 +27,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/status.h"
+
 namespace svq::io {
 
 enum class StatusCode : std::uint8_t {
@@ -79,13 +81,22 @@ struct [[nodiscard]] Status {
     }
     return "?";
   }
+
+  // --- common surface (util::StatusLike) ----------------------------------
+  std::int64_t detail() const { return shard; }
+  const char* detailLabel() const { return "shard"; }
+  /// "Ok", "Corrupt(shard=17)", ... — shared formatting (util/status.h).
+  std::string message() const { return util::statusMessage(*this); }
 };
+
+static_assert(util::StatusLike<Status>);
 
 /// The more severe of two statuses (Quarantined > IoError > Corrupt >
 /// Truncated > Ok) — folds multi-shard scans into one verdict, mirroring
-/// net::worse().
+/// net::worse(). For io, enum order *is* severity order.
 inline Status worse(Status a, Status b) {
-  return static_cast<int>(b.code) > static_cast<int>(a.code) ? b : a;
+  return util::worseOf(
+      a, b, [](const Status& s) { return static_cast<int>(s.code); });
 }
 
 /// CRC32C (Castagnoli, reflected polynomial 0x82F63B78). `crc` is the

@@ -10,6 +10,30 @@ bool hasPrefix(const std::string& name, const std::string& prefix) {
 }
 }  // namespace
 
+std::uint64_t Histogram::quantile(double q) const {
+  std::array<std::uint64_t, kBuckets + 1> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank over the cumulative bucket counts.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i <= kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // Bucket i holds values of bit width i: upper bound 2^i - 1.
+      return i == 0 ? 0 : (i >= 64 ? ~0ULL : (1ULL << i) - 1);
+    }
+  }
+  return ~0ULL;
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
@@ -29,6 +53,13 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   return *slot;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 std::map<std::string, std::uint64_t> MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::string, std::uint64_t> out;
@@ -36,6 +67,11 @@ std::map<std::string, std::uint64_t> MetricsRegistry::snapshot() const {
   for (const auto& [name, g] : gauges_) {
     out[name] = g->value();
     out[name + ".peak"] = g->peak();
+  }
+  for (const auto& [name, h] : histograms_) {
+    out[name + ".count"] = h->count();
+    out[name + ".p50"] = h->quantile(0.5);
+    out[name + ".p99"] = h->quantile(0.99);
   }
   return out;
 }
@@ -52,6 +88,12 @@ std::map<std::string, std::uint64_t> MetricsRegistry::snapshot(
     out[name] = g->value();
     out[name + ".peak"] = g->peak();
   }
+  for (const auto& [name, h] : histograms_) {
+    if (!hasPrefix(name, prefix)) continue;
+    out[name + ".count"] = h->count();
+    out[name + ".p50"] = h->quantile(0.5);
+    out[name + ".p99"] = h->quantile(0.99);
+  }
   return out;
 }
 
@@ -67,6 +109,7 @@ void MetricsRegistry::resetAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 void MetricsRegistry::reset(const std::string& prefix) {
@@ -76,6 +119,9 @@ void MetricsRegistry::reset(const std::string& prefix) {
   }
   for (auto& [name, g] : gauges_) {
     if (hasPrefix(name, prefix)) g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    if (hasPrefix(name, prefix)) h->reset();
   }
 }
 

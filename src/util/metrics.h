@@ -8,7 +8,9 @@
 // consistent name→value view to assert against or print.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -52,6 +54,43 @@ class Gauge {
   std::atomic<std::uint64_t> peak_{0};
 };
 
+/// Lock-free latency/size distribution with power-of-two buckets.
+///
+/// The session service needs p50/p99 apply latency per tenant mix without
+/// a lock on the hot path. record() bumps one atomic bucket (bucket i
+/// holds values whose bit width is i, i.e. [2^(i-1), 2^i)); quantile()
+/// walks the cumulative counts and reports the bucket's upper bound — an
+/// estimate that is exact to within 2x, always monotone in q, and stable
+/// under concurrent recording. Values are whatever unit the caller picks
+/// (the service records microseconds).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t value) {
+    buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile sample (q in [0,1]);
+  /// 0 when empty. quantile(0.5) / quantile(0.99) are the p50/p99 the
+  /// registry snapshot exposes.
+  std::uint64_t quantile(double q) const;
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  /// buckets_[0] counts zeros; buckets_[i] counts bit-width-i values.
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_{};
+};
+
 /// Name-keyed registry. counter()/gauge() create on first use and return a
 /// reference that stays valid for the registry's lifetime, so components
 /// resolve their instruments once and touch only atomics afterwards.
@@ -62,9 +101,11 @@ class MetricsRegistry {
 
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
   /// Point-in-time copy of every instrument. Gauges contribute two
-  /// entries: "<name>" (current) and "<name>.peak".
+  /// entries: "<name>" (current) and "<name>.peak"; histograms three:
+  /// "<name>.count", "<name>.p50" and "<name>.p99".
   std::map<std::string, std::uint64_t> snapshot() const;
 
   /// snapshot() restricted to instruments whose name starts with `prefix`
@@ -87,6 +128,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace svq

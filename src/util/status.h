@@ -1,0 +1,61 @@
+// status.h — the common surface shared by the repo's typed status types.
+//
+// Three layers return typed statuses instead of bare bools: the network
+// collectives (net::Status, offending rank), the storage layer
+// (io::Status, offending shard) and the session service (core::Status,
+// offending session). Each keeps its own enum — the failure vocabularies
+// are genuinely different — but the *surface* is one contract, expressed
+// here so callers and tests never duplicate per-type switch boilerplate:
+//
+//   * StatusLike — the concept every status satisfies: isOk(), name(),
+//     detail() (the offending rank/shard/session, -1 when not
+//     applicable) and detailLabel() (what that number means);
+//   * statusMessage() — one formatter for all of them, producing
+//     "Timeout(rank=3)" / "Corrupt(shard=17)" / "Ok" without the caller
+//     writing a switch per type;
+//   * worseOf() — one severity fold for multi-part operations, taking
+//     the type's own severity ranking (enum order is wire order, not
+//     severity order — net ranks Timeout above PeerFailed).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+namespace svq::util {
+
+/// The contract shared by net::Status, io::Status and core::Status.
+template <typename S>
+concept StatusLike = requires(const S s) {
+  { s.isOk() } -> std::convertible_to<bool>;
+  { s.name() } -> std::convertible_to<const char*>;
+  { s.detail() } -> std::convertible_to<std::int64_t>;
+  { s.detailLabel() } -> std::convertible_to<const char*>;
+};
+
+/// Uniform human-readable rendering: "Ok", "Timeout(rank=3)",
+/// "Corrupt(shard=17)", "AtCapacity(session=42)". The detail is shown
+/// only when it identifies something (>= 0).
+template <StatusLike S>
+std::string statusMessage(const S& s) {
+  std::string out = s.name();
+  if (s.detail() >= 0) {
+    out += '(';
+    out += s.detailLabel();
+    out += '=';
+    out += std::to_string(s.detail());
+    out += ')';
+  }
+  return out;
+}
+
+/// The more severe of two statuses under the type's own severity ranking
+/// (`severity` maps a status to an int; bigger is worse). Folds the
+/// phases of a composite operation into one caller-visible verdict —
+/// shared by net::worse(), io::worse() and core::worse().
+template <typename S, typename Severity>
+S worseOf(const S& a, const S& b, Severity severity) {
+  return severity(b) > severity(a) ? b : a;
+}
+
+}  // namespace svq::util

@@ -33,7 +33,7 @@ wall::WallSpec smallWall(int cols = 3, int rows = 2) {
 
 render::SceneModel makeScene(const traj::TrajectoryDataset& ds,
                              const wall::WallSpec& w) {
-  core::VisualQueryApp app(ds, w);
+  core::Session app(core::SharedContext::create(ds, w));
   app.apply(ui::LayoutSwitchEvent{0});
   app.apply(ui::BrushStrokeEvent{0, {-20.0f, 0.0f}, 15.0f});
   return app.buildScene();
@@ -194,7 +194,7 @@ TEST(ClusterSessionTest, MultiFrameEvolvingScenes) {
   // final frame must match the final scene's reference.
   const auto ds = makeDataset();
   const wall::WallSpec w = smallWall(2, 2);
-  core::VisualQueryApp app(ds, w);
+  core::Session app(core::SharedContext::create(ds, w));
   app.apply(ui::LayoutSwitchEvent{0});
   std::vector<render::SceneModel> frames;
   for (int f = 0; f < 4; ++f) {
@@ -436,7 +436,7 @@ TEST(SceneDeltaSerdeTest, SceneWideChangeFallsBackToFullPacket) {
 std::vector<render::SceneModel> makeEvolvingFrames(
     const traj::TrajectoryDataset& ds, const wall::WallSpec& w,
     std::size_t frames) {
-  core::VisualQueryApp app(ds, w);
+  core::Session app(core::SharedContext::create(ds, w));
   app.apply(ui::LayoutSwitchEvent{0});
   app.apply(ui::BrushStrokeEvent{0, {-20.0f, 0.0f}, 15.0f});
   std::vector<render::SceneModel> out;

@@ -1,4 +1,4 @@
-// Tests for the VisualQueryApp façade: event processing, layout switching,
+// Tests for the Session façade (SharedContext + per-tenant Session): event processing, layout switching,
 // scene building, coverage, and scripted replay.
 #include "core/session.h"
 
@@ -20,10 +20,11 @@ class SessionTest : public ::testing::Test {
  protected:
   SessionTest()
       : dataset_(makeDataset()),
-        app_(dataset_, wall::cyberCommonsUsedRegion()) {}
+        app_(SharedContext::create(dataset_, wall::cyberCommonsUsedRegion())) {
+  }
 
   traj::TrajectoryDataset dataset_;
-  VisualQueryApp app_;
+  Session app_;
 };
 
 TEST_F(SessionTest, InitialStateUsesDefaultPreset) {
@@ -225,7 +226,7 @@ TEST_F(SessionTest, BuildSceneReportsDamagedCells) {
 
 TEST(SessionSmallWallTest, WorksOnSingleTileWall) {
   const auto ds = makeDataset(30);
-  VisualQueryApp app(ds, wall::WallSpec(wall::TileSpec{}, 1, 1));
+  Session app(SharedContext::create(ds, wall::WallSpec(wall::TileSpec{}, 1, 1)));
   app.apply(ui::LayoutSwitchEvent{0});
   const render::SceneModel scene = app.buildScene();
   EXPECT_GT(scene.cells.size(), 0u);

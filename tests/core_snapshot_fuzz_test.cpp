@@ -33,7 +33,7 @@ wall::WallSpec smallWall() {
 /// Drives the app into a random reachable state: layout preset, brush
 /// strokes, groups (some invalid rects — apply() rejecting them is part
 /// of the reachable-state space), sliders.
-void randomizeState(VisualQueryApp& app, Rng& rng) {
+void randomizeState(Session& app, Rng& rng) {
   app.apply(ui::LayoutSwitchEvent{
       static_cast<std::uint8_t>(rng.below(app.layoutPresets().size()))});
   app.groups().clear();
@@ -71,8 +71,8 @@ void randomizeState(VisualQueryApp& app, Rng& rng) {
 TEST(SnapshotFuzzTest, RandomStatesRoundTripByteIdentically) {
   const auto ds = makeDataset();
   const wall::WallSpec wall = smallWall();
-  VisualQueryApp source(ds, wall);
-  VisualQueryApp restored(ds, wall);
+  Session source(SharedContext::create(ds, wall));
+  Session restored(SharedContext::create(ds, wall));
   Rng rng(kFuzzSeed);
 
   for (int iter = 0; iter < kIterations; ++iter) {
@@ -86,8 +86,8 @@ TEST(SnapshotFuzzTest, RandomStatesRoundTripByteIdentically) {
 
 TEST(SnapshotFuzzTest, RandomTruncationsAreRejectedWithoutCrashing) {
   const auto ds = makeDataset();
-  VisualQueryApp source(ds, smallWall());
-  VisualQueryApp scratch(ds, smallWall());
+  Session source(SharedContext::create(ds, smallWall()));
+  Session scratch(SharedContext::create(ds, smallWall()));
   Rng rng(kFuzzSeed ^ 0x1);
 
   for (int iter = 0; iter < kIterations; ++iter) {
@@ -107,8 +107,8 @@ TEST(SnapshotFuzzTest, RandomTruncationsAreRejectedWithoutCrashing) {
 
 TEST(SnapshotFuzzTest, RandomBitFlipsNeverCrashOrOverAllocate) {
   const auto ds = makeDataset();
-  VisualQueryApp source(ds, smallWall());
-  VisualQueryApp scratch(ds, smallWall());
+  Session source(SharedContext::create(ds, smallWall()));
+  Session scratch(SharedContext::create(ds, smallWall()));
   Rng rng(kFuzzSeed ^ 0x2);
 
   for (int iter = 0; iter < kIterations; ++iter) {

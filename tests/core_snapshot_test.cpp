@@ -24,7 +24,7 @@ wall::WallSpec smallWall() {
   return wall::WallSpec(wall::TileSpec{160, 96, 320.0f, 192.0f, 2.0f}, 6, 2);
 }
 
-void buildRichState(VisualQueryApp& app) {
+void buildRichState(Session& app) {
   app.apply(ui::LayoutSwitchEvent{2});
   defineFigure3Groups(app.groups(), 36, 12);
   app.refreshAssignment();
@@ -39,11 +39,11 @@ void buildRichState(VisualQueryApp& app) {
 
 TEST(SnapshotTest, RoundTripRestoresAllState) {
   const auto ds = makeDataset();
-  VisualQueryApp original(ds, smallWall());
+  Session original(SharedContext::create(ds, smallWall()));
   buildRichState(original);
   const auto snapshot = saveSnapshot(original);
 
-  VisualQueryApp restored(ds, smallWall());
+  Session restored(SharedContext::create(ds, smallWall()));
   ASSERT_TRUE(restoreSnapshot(restored, snapshot));
 
   EXPECT_EQ(restored.activePreset(), original.activePreset());
@@ -62,11 +62,11 @@ TEST(SnapshotTest, RoundTripRestoresAllState) {
 TEST(SnapshotTest, RestoredFramePixelIdentical) {
   const auto ds = makeDataset();
   const wall::WallSpec w = smallWall();
-  VisualQueryApp original(ds, w);
+  Session original(SharedContext::create(ds, w));
   buildRichState(original);
   const auto sceneA = original.buildScene();
 
-  VisualQueryApp restored(ds, w);
+  Session restored(SharedContext::create(ds, w));
   ASSERT_TRUE(restoreSnapshot(restored, saveSnapshot(original)));
   const auto sceneB = restored.buildScene();
 
@@ -79,11 +79,11 @@ TEST(SnapshotTest, RestoredFramePixelIdentical) {
 
 TEST(SnapshotTest, RestoreOverwritesExistingState) {
   const auto ds = makeDataset();
-  VisualQueryApp original(ds, smallWall());
+  Session original(SharedContext::create(ds, smallWall()));
   buildRichState(original);
   const auto snapshot = saveSnapshot(original);
 
-  VisualQueryApp dirty(ds, smallWall());
+  Session dirty(SharedContext::create(ds, smallWall()));
   dirty.apply(ui::LayoutSwitchEvent{0});
   dirty.apply(ui::BrushStrokeEvent{3, {10.0f, 10.0f}, 20.0f});
   ui::GroupDefineEvent g;
@@ -99,7 +99,7 @@ TEST(SnapshotTest, RestoreOverwritesExistingState) {
 
 TEST(SnapshotTest, RejectsGarbage) {
   const auto ds = makeDataset();
-  VisualQueryApp app(ds, smallWall());
+  Session app(SharedContext::create(ds, smallWall()));
   net::MessageBuffer garbage;
   garbage.putU32(0xBADF00D);
   EXPECT_FALSE(restoreSnapshot(app, std::move(garbage)));
@@ -110,8 +110,8 @@ TEST(SnapshotTest, RejectsGarbage) {
 
 TEST(SnapshotTest, EmptyStateSnapshotRestores) {
   const auto ds = makeDataset();
-  VisualQueryApp a(ds, smallWall());
-  VisualQueryApp b(ds, smallWall());
+  Session a(SharedContext::create(ds, smallWall()));
+  Session b(SharedContext::create(ds, smallWall()));
   b.apply(ui::BrushStrokeEvent{0, {0, 0}, 5.0f});
   ASSERT_TRUE(restoreSnapshot(b, saveSnapshot(a)));
   EXPECT_TRUE(b.brush().empty());
@@ -120,13 +120,13 @@ TEST(SnapshotTest, EmptyStateSnapshotRestores) {
 
 TEST(SnapshotTest, FileRoundTrip) {
   const auto ds = makeDataset();
-  VisualQueryApp original(ds, smallWall());
+  Session original(SharedContext::create(ds, smallWall()));
   buildRichState(original);
   const std::string path =
       (std::filesystem::temp_directory_path() / "svq_snapshot_test.svqp")
           .string();
   ASSERT_TRUE(saveSnapshotFile(original, path));
-  VisualQueryApp restored(ds, smallWall());
+  Session restored(SharedContext::create(ds, smallWall()));
   ASSERT_TRUE(restoreSnapshotFile(restored, path));
   EXPECT_EQ(restored.brush().strokes().size(), 2u);
   std::remove(path.c_str());

@@ -72,7 +72,7 @@ traj::TrajectoryDataset* IntegrationTest::dataset_ = nullptr;
 
 TEST_F(IntegrationTest, FullPipelineProducesConsistentFrame) {
   const wall::WallSpec w = miniPaperWall();
-  core::VisualQueryApp app(*dataset_, w);
+  core::Session app(core::SharedContext::create(*dataset_, w));
   const std::size_t applied = app.applyScript(analystSession());
   EXPECT_EQ(applied, analystSession().size());
 
@@ -110,7 +110,7 @@ TEST_F(IntegrationTest, FullPipelineProducesConsistentFrame) {
 
 TEST_F(IntegrationTest, ClusterRenderMatchesReferenceBothEyes) {
   const wall::WallSpec w = miniPaperWall();
-  core::VisualQueryApp app(*dataset_, w);
+  core::Session app(core::SharedContext::create(*dataset_, w));
   app.applyScript(analystSession());
   const render::SceneModel scene = app.buildScene();
 
@@ -172,8 +172,8 @@ TEST_F(IntegrationTest, ScriptPersistenceRoundTripDrivesSameState) {
   const auto restored = ui::InputScript::deserialize(script.serialize());
   ASSERT_TRUE(restored.has_value());
 
-  core::VisualQueryApp a(*dataset_, w);
-  core::VisualQueryApp b(*dataset_, w);
+  core::Session a(core::SharedContext::create(*dataset_, w));
+  core::Session b(core::SharedContext::create(*dataset_, w));
   a.applyScript(script);
   b.applyScript(*restored);
   const auto sceneA = a.buildScene();

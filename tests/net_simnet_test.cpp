@@ -101,7 +101,7 @@ TEST(ClusterUnderNetworkModelTest, OutputIdenticalJustSlower) {
   spec.count = 40;
   const auto ds = sim.generate(spec);
   const wall::WallSpec w(wall::TileSpec{96, 64, 192.0f, 128.0f, 2.0f}, 2, 1);
-  core::VisualQueryApp app(ds, w);
+  core::Session app(core::SharedContext::create(ds, w));
   app.apply(ui::LayoutSwitchEvent{0});
   const render::SceneModel scene = app.buildScene();
 

@@ -102,13 +102,13 @@ TEST(KeymapSessionTest, KeyDrivenEqualsEventDriven) {
   const wall::WallSpec w(wall::TileSpec{160, 96, 320.0f, 192.0f, 2.0f}, 6, 2);
 
   // Key-driven app: '3' (layout), 'g' (green brush), 'c' clear, ']' depth.
-  core::VisualQueryApp keyed(ds, w);
+  core::Session keyed(core::SharedContext::create(ds, w));
   ui::KeymapState keys;
   for (char k : std::string("3g]]")) {
     if (auto e = ui::mapKey(k, keys)) keyed.apply(*e);
   }
   // Equivalent explicit events.
-  core::VisualQueryApp evented(ds, w);
+  core::Session evented(core::SharedContext::create(ds, w));
   evented.apply(ui::LayoutSwitchEvent{2});
   evented.apply(ui::DepthOffsetEvent{4.0f});
 
