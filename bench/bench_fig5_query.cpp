@@ -6,18 +6,37 @@
 // cost as the trajectory count grows — the "entire dataset visually
 // queried in a matter of few seconds" claim reduces computationally to
 // millisecond-scale evaluation plus pre-attentive perception.
+//
+// Writes BENCH_query.json (see bench_json.h; consumed by
+// scripts/perf_smoke.py): the incremental-vs-full dab edit ratios plus the
+// SIMD-vs-scalar point-in-brush kernel ratio, which must come with
+// bit-identical outputs (non-zero exit otherwise). --smoke shrinks the
+// scene/rep counts for CI and skips the Google-benchmark suites;
+// --out=PATH overrides the report path.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "bench_json.h"
 #include "core/hypothesis.h"
 #include "core/query.h"
+#include "core/querykernel.h"
 #include "core/queryengine.h"
+#include "util/rng.h"
+#include "util/simd.h"
 #include "util/stopwatch.h"
 
 using namespace svq;
 
 namespace {
+
+struct Options {
+  bool smoke = false;
+  std::string out = "BENCH_query.json";
+};
 
 core::BrushGrid westBrush(float arenaRadius) {
   core::BrushCanvas canvas(arenaRadius, 256);
@@ -103,7 +122,7 @@ void BM_QueryEngineIncrementalDab(benchmark::State& state) {
   engine.evaluate();  // warm the spatial cache
 
   // Dab on a spot the data actually visits, so the edit is non-trivial.
-  const Vec2 dabPos = ds[0].points()[ds[0].size() / 2].pos;
+  const Vec2 dabPos = ds[0].view().pos(ds[0].size() / 2);
   for (auto _ : state) {
     const AABB2 dirty =
         canvas.addStroke(core::BrushStroke{1, dabPos, 3.0f});
@@ -192,8 +211,9 @@ void printContext() {
 
 /// Headline comparison for the incremental engine: localized dab edit on
 /// the 432-cell scene, incremental vs full re-evaluation.
-void printIncrementalReport() {
-  constexpr std::size_t kSceneSize = 432;  // the paper's 36x12 wall
+void printIncrementalReport(bench::BenchReport& json, bool smoke) {
+  // Full runs use the paper's 36x12 = 432-cell wall; smoke shrinks it.
+  const std::size_t kSceneSize = smoke ? 120 : 432;
   const auto& ds = bench::dataset(kSceneSize);
   const auto indices = [&] {
     std::vector<std::uint32_t> v(ds.size());
@@ -208,9 +228,9 @@ void printIncrementalReport() {
   engine.setTrajectories(ds, indices);
   engine.setBrush(&canvas.grid());
   engine.evaluate();  // warm cache
-  const Vec2 dabPos = ds[0].points()[ds[0].size() / 2].pos;
+  const Vec2 dabPos = ds[0].view().pos(ds[0].size() / 2);
 
-  constexpr int kReps = 25;
+  const int kReps = smoke ? 10 : 25;
   std::vector<double> fullSamples, incrSamples;
   for (int r = 0; r < kReps; ++r) {
     Stopwatch w;
@@ -237,7 +257,6 @@ void printIncrementalReport() {
   const auto& m = engine.metrics();
 
   // Machine-readable mirror of this report for CI's perf-smoke job.
-  bench::BenchReport json;
   json.add("query_full_reeval", fullSamples);
   auto& incr = json.add("query_incremental_dab", incrSamples);
   incr.counters["invalidated"] =
@@ -248,7 +267,6 @@ void printIncrementalReport() {
       bench::median(incrSamples) > 0.0
           ? bench::median(fullSamples) / bench::median(incrSamples)
           : 0.0;
-  json.write("BENCH_query.json");
 
   std::printf("=== incremental engine: localized dab on the %zu-cell scene "
               "===\n", kSceneSize);
@@ -265,13 +283,102 @@ void printIncrementalReport() {
                                      : "(below 5x target!)");
 }
 
+/// SIMD-vs-scalar ratio of the point-in-brush kernel on a dense SoA sweep,
+/// with a bit-identity check between the two paths. Returns false (and the
+/// bench exits non-zero) if the dispatched kernel's output ever differs
+/// from scalar — the determinism contract underneath every query result.
+bool printKernelRatioReport(bench::BenchReport& json, bool smoke) {
+  const float arenaRadius = 50.0f;
+  const core::BrushGrid brush = westBrush(arenaRadius);
+  const core::BrushGridView view = brush.view();
+  const util::Isa isa = util::activeIsa();
+
+  const std::size_t n = smoke ? (1u << 15) : (1u << 18);
+  Rng rng(0x51D0ULL);
+  std::vector<float> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-1.5f * arenaRadius, 1.5f * arenaRadius);
+    y[i] = rng.uniform(-1.5f * arenaRadius, 1.5f * arenaRadius);
+  }
+  std::vector<std::int8_t> outScalar(n), outSimd(n);
+
+  const int kReps = smoke ? 15 : 40;
+  std::vector<double> scalarMs, simdMs;
+  for (int r = 0; r < kReps; ++r) {
+    Stopwatch w;
+    core::pointBrushScalar(view, x.data(), y.data(), outScalar.data(), n);
+    scalarMs.push_back(w.elapsedMillis());
+    benchmark::DoNotOptimize(outScalar);
+  }
+  for (int r = 0; r < kReps; ++r) {
+    Stopwatch w;
+    core::pointBrushVariant(isa, view, x.data(), y.data(), outSimd.data(), n);
+    simdMs.push_back(w.elapsedMillis());
+    benchmark::DoNotOptimize(outSimd);
+  }
+  const bool identical =
+      std::memcmp(outScalar.data(), outSimd.data(), n) == 0;
+  const double ratio = bench::median(simdMs) > 0.0
+                           ? bench::median(scalarMs) / bench::median(simdMs)
+                           : 0.0;
+
+  auto& s = json.add("query_point_kernel", simdMs);
+  s.counters["scalar_median_ms"] = bench::median(scalarMs);
+  s.counters["simd_speedup"] = ratio;
+  s.counters["bit_identical"] = identical ? 1.0 : 0.0;
+  s.counters["points"] = static_cast<double>(n);
+
+  std::printf("=== point-in-brush kernel: %s vs scalar, %zu points ===\n",
+              util::toString(isa), n);
+  std::printf("scalar:   %8.3f ms\nsimd:     %8.3f ms\nratio:    %8.2fx  "
+              "outputs %s\n\n",
+              bench::median(scalarMs), bench::median(simdMs), ratio,
+              identical ? "bit-identical" : "DIFFER");
+
+  bool ok = identical;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: %s kernel output differs from scalar\n",
+                 util::toString(isa));
+  }
+  if (!smoke && isa != util::Isa::kScalar && ratio < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: %s kernel ratio %.2fx below the 2x target\n",
+                 util::toString(isa), ratio);
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  printContext();
-  printIncrementalReport();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  Options opt;
+  // Strip our flags so benchmark::Initialize only sees its own.
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      opt.out = argv[i] + 6;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+
+  if (!opt.smoke) printContext();
+
+  bench::BenchReport json;
+  printIncrementalReport(json, opt.smoke);
+  bool ok = printKernelRatioReport(json, opt.smoke);
+  if (!json.write(opt.out)) ok = false;
+  std::printf("report: %s\n", opt.out.c_str());
+
+  if (!opt.smoke) {
+    int pargc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pargc, passthrough.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return ok ? 0 : 1;
 }

@@ -40,8 +40,11 @@
 #include "bench_json.h"
 #include "cluster/clusterapp.h"
 #include "core/session.h"
+#include "render/kernels.h"
 #include "render/pipeline.h"
 #include "util/metrics.h"
+#include "util/rng.h"
+#include "util/simd.h"
 #include "util/stopwatch.h"
 #include "util/threadpool.h"
 
@@ -61,8 +64,9 @@ std::size_t trajectoriesNear(const traj::TrajectoryDataset& ds, Vec2 p,
   const float r2 = r * r;
   std::size_t hits = 0;
   for (std::size_t t = 0; t < ds.size(); ++t) {
-    for (const auto& pt : ds[t].points()) {
-      const Vec2 d{pt.pos.x - p.x, pt.pos.y - p.y};
+    const auto v = ds[t].view();
+    for (std::size_t i = 0; i < v.count; ++i) {
+      const Vec2 d{v.x[i] - p.x, v.y[i] - p.y};
       if (d.x * d.x + d.y * d.y <= r2) {
         ++hits;
         break;
@@ -267,6 +271,57 @@ int run(const Options& opt) {
     s.counters["delta_ratio"] = deltaRatio;
     s.counters["delta_frames"] =
         static_cast<double>(on.broadcastFramesDelta);
+  }
+
+  // --- span kernel: SIMD vs scalar source-over blend -------------------------
+  {
+    const util::Isa isa = util::activeIsa();
+    const std::size_t n = opt.smoke ? (1u << 14) : (1u << 17);
+    Rng rng(0xb1e9dULL);
+    std::vector<render::Color> base(n);
+    for (auto& px : base) {
+      px = {static_cast<std::uint8_t>(rng.below(256)),
+            static_cast<std::uint8_t>(rng.below(256)),
+            static_cast<std::uint8_t>(rng.below(256)), 255};
+    }
+    const render::Color src{200, 80, 40, 96};  // translucent: blend path
+    const int kReps = opt.smoke ? 15 : 40;
+    std::vector<double> scalarMs, simdMs;
+    std::vector<render::Color> scalarOut, simdOut;
+    for (int r = 0; r < kReps; ++r) {
+      scalarOut = base;
+      Stopwatch w;
+      render::blendSpanScalar(scalarOut.data(), n, src);
+      scalarMs.push_back(w.elapsedMillis());
+    }
+    for (int r = 0; r < kReps; ++r) {
+      simdOut = base;
+      Stopwatch w;
+      render::blendSpanVariant(isa, simdOut.data(), n, src);
+      simdMs.push_back(w.elapsedMillis());
+    }
+    if (std::memcmp(scalarOut.data(), simdOut.data(),
+                    n * sizeof(render::Color)) != 0) {
+      std::fprintf(stderr, "FAIL: %s blend span differs from scalar\n",
+                   util::toString(isa));
+      ok = false;
+    }
+    const double ratio =
+        bench::median(simdMs) > 0.0
+            ? bench::median(scalarMs) / bench::median(simdMs)
+            : 0.0;
+    auto& s = report.add("render_span_kernel", simdMs);
+    s.counters["scalar_median_ms"] = bench::median(scalarMs);
+    s.counters["simd_speedup"] = ratio;
+    s.counters["pixels"] = static_cast<double>(n);
+    std::printf("blend span kernel:     %s %.2fx vs scalar (%zu px)\n",
+                util::toString(isa), ratio, n);
+    if (!opt.smoke && isa != util::Isa::kScalar && ratio < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: %s blend ratio %.2fx below the 2x target\n",
+                   util::toString(isa), ratio);
+      ok = false;
+    }
   }
 
   // --- report ----------------------------------------------------------------

@@ -36,6 +36,17 @@ struct BrushStroke {
   float radiusCm = 5.0f;
 };
 
+/// Kernel-facing POD view of a BrushGrid: everything the point-in-brush
+/// SIMD kernels (core/querykernel.h) need to classify arena points, with
+/// no indirection through the owning grid. Valid as long as the grid is
+/// alive and unmodified.
+struct BrushGridView {
+  const std::int8_t* texels = nullptr;
+  int resolution = 0;
+  float arenaRadiusCm = 0.0f;
+  float texelSizeCm = 0.0f;
+};
+
 /// Rasterized arena-space paint mask.
 class BrushGrid {
  public:
@@ -76,6 +87,11 @@ class BrushGrid {
 
   /// Raw texel access for serialization / tests.
   const std::vector<std::int8_t>& texels() const { return texels_; }
+
+  /// Kernel-facing view (see BrushGridView).
+  BrushGridView view() const {
+    return {texels_.data(), resolution_, arenaRadiusCm_, texelSizeCm_};
+  }
 
  private:
   int toTexel(float cm) const;

@@ -1,6 +1,6 @@
 // context.h — the immutable state shared by every session of one node.
 //
-// The single-explorer façade (VisualQueryApp) bundled two very different
+// The old single-explorer façade bundled two very different
 // kinds of state: the heavyweight, read-only world every explorer sees
 // the same way (dataset, wall geometry, layout presets) and the cheap,
 // per-explorer interaction state (brush, groups, window, stereo knobs).

@@ -4,7 +4,7 @@
 
 namespace svq::core {
 
-RectI drawWallLegend(const render::Canvas& canvas, const GroupManager& groups,
+RectI drawWallLegend(render::Canvas canvas, const GroupManager& groups,
                      const BrushCanvas* brush, const LegendStyle& style) {
   int y = style.y;
   int maxWidth = 0;

@@ -23,7 +23,7 @@ struct LegendStyle {
 
 /// Draws group entries and, when `brush` is non-null, one entry per brush
 /// index that currently has paint. Returns the pixel rect covered.
-RectI drawWallLegend(const render::Canvas& canvas, const GroupManager& groups,
+RectI drawWallLegend(render::Canvas canvas, const GroupManager& groups,
                      const BrushCanvas* brush, const LegendStyle& style = {});
 
 }  // namespace svq::core

@@ -2,32 +2,56 @@
 
 #include <algorithm>
 
+#include "core/querykernel.h"
+#include "util/arena.h"
+
 namespace svq::core {
 
 namespace {
 
-/// Probes one segment against the brush: both endpoints plus the midpoint
-/// — at the ~3 mm tracking resolution of the dataset a segment is short
-/// relative to any paintable region, so three probes match the
-/// painted-pixel semantics of the original application.
-std::int8_t probeSegment(const BrushGrid& brush, Vec2 a, Vec2 b) {
-  std::int8_t hit = brush.brushAt(a);
-  if (hit == kNoBrush) hit = brush.brushAt(b);
-  if (hit == kNoBrush) hit = brush.brushAt((a + b) * 0.5f);
-  return hit;
-}
-
 /// Window-independent final-position signal: which brush covers the
 /// trajectory's end. The very last sample can sit a step beyond the arena
 /// boundary (the exit crossing), where nothing is painted, so probe the
-/// last few samples walking backwards.
-std::int8_t probeLastSegmentBrush(std::span<const traj::TrajPoint> pts,
+/// last few samples walking backwards. Three scalar probes — not worth a
+/// kernel launch.
+std::int8_t probeLastSegmentBrush(traj::PointsView pts,
                                   const BrushGrid& brush) {
   for (std::size_t back = 0; back < 3 && back < pts.size(); ++back) {
-    const std::int8_t b = brush.brushAt(pts[pts.size() - 1 - back].pos);
+    const std::int8_t b = brush.brushAt(pts.pos(pts.size() - 1 - back));
     if (b != kNoBrush) return b;
   }
   return kNoBrush;
+}
+
+/// Kernel-side segment classification: spatial[s] for all segments of
+/// `pts`, writing into caller-provided storage. Replicates the historical
+/// per-segment probe — endpoint a, else endpoint b, else midpoint — by
+/// classifying every point once, then every segment midpoint, with the
+/// vectorized point-in-brush kernel. The midpoint probe is pure, so
+/// evaluating it unconditionally (instead of only on double-miss segments)
+/// changes nothing but lets the whole pass run as three dense kernel
+/// sweeps over the SoA channels.
+void classifySegments(traj::PointsView pts, const BrushGridView& grid,
+                      std::int8_t* spatial, std::size_t segmentCount) {
+  util::Arena& arena = util::frameArena();
+  util::ArenaScope scope(arena);
+
+  std::int8_t* pointBrush = arena.allocate<std::int8_t>(pts.size());
+  pointBrushKernel(grid, pts.x, pts.y, pointBrush, pts.size());
+
+  float* midX = arena.allocate<float>(segmentCount);
+  float* midY = arena.allocate<float>(segmentCount);
+  segmentMidpoints(pts.x, midX, segmentCount);
+  segmentMidpoints(pts.y, midY, segmentCount);
+  std::int8_t* midBrush = arena.allocate<std::int8_t>(segmentCount);
+  pointBrushKernel(grid, midX, midY, midBrush, segmentCount);
+
+  for (std::size_t s = 0; s < segmentCount; ++s) {
+    std::int8_t hit = pointBrush[s];
+    if (hit == kNoBrush) hit = pointBrush[s + 1];
+    if (hit == kNoBrush) hit = midBrush[s];
+    spatial[s] = hit;
+  }
 }
 
 void initSummary(HighlightSummary& summary, std::uint32_t index,
@@ -39,15 +63,14 @@ void initSummary(HighlightSummary& summary, std::uint32_t index,
   summary.firstHitTime.assign(brushCount, -1.0f);
 }
 
-void recordHighlight(HighlightSummary& summary, std::int8_t hit,
-                     const traj::TrajPoint& a, const traj::TrajPoint& b,
-                     std::size_t brushCount) {
+void recordHighlight(HighlightSummary& summary, std::int8_t hit, float tA,
+                     float tB, std::size_t brushCount) {
   const auto brushIdx = static_cast<std::size_t>(hit);
   if (brushIdx < brushCount) {
     ++summary.segmentsPerBrush[brushIdx];
-    summary.durationPerBrush[brushIdx] += b.t - a.t;
+    summary.durationPerBrush[brushIdx] += tB - tA;
     if (summary.firstHitTime[brushIdx] < 0.0f) {
-      summary.firstHitTime[brushIdx] = a.t;
+      summary.firstHitTime[brushIdx] = tA;
     }
   }
 }
@@ -58,36 +81,28 @@ void evaluate(const TrajectoryRef& t, const BrushGrid& brush,
               const QueryParams& params,
               std::vector<std::int8_t>& segmentsOut,
               HighlightSummary& summaryOut) {
-  const auto pts = t->points();
+  const traj::PointsView pts = t->view();
   const std::size_t segmentCount = pts.size() >= 2 ? pts.size() - 1 : 0;
-  segmentsOut.assign(segmentCount, kNoBrush);
 
-  initSummary(summaryOut, t.index, params.brushCount);
-  summaryOut.lastSegmentBrush = probeLastSegmentBrush(pts, brush);
+  util::Arena& arena = util::frameArena();
+  util::ArenaScope scope(arena);
+  std::int8_t* spatial = arena.allocate<std::int8_t>(segmentCount);
+  if (segmentCount > 0) classifySegments(pts, brush.view(), spatial, segmentCount);
 
-  const Vec2 window = params.effectiveWindow(t->duration());
-  for (std::size_t s = 0; s < segmentCount; ++s) {
-    const traj::TrajPoint& a = pts[s];
-    const traj::TrajPoint& b = pts[s + 1];
-    // Temporal filter: a segment counts when it overlaps the window.
-    if (b.t < window.x || a.t > window.y) continue;
-    const std::int8_t hit = probeSegment(brush, a.pos, b.pos);
-    if (hit == kNoBrush) continue;
-
-    segmentsOut[s] = hit;
-    recordHighlight(summaryOut, hit, a, b, params.brushCount);
-  }
+  applyTemporalMask(*t, t.index, {spatial, segmentCount},
+                    probeLastSegmentBrush(pts, brush), params, segmentsOut,
+                    summaryOut);
 }
 
 void classifySpatial(const traj::Trajectory& t, const BrushGrid& brush,
                      std::vector<std::int8_t>& spatialOut,
                      std::int8_t& lastSegmentBrushOut) {
-  const auto pts = t.points();
+  const traj::PointsView pts = t.view();
   const std::size_t segmentCount = pts.size() >= 2 ? pts.size() - 1 : 0;
   spatialOut.assign(segmentCount, kNoBrush);
   lastSegmentBrushOut = probeLastSegmentBrush(pts, brush);
-  for (std::size_t s = 0; s < segmentCount; ++s) {
-    spatialOut[s] = probeSegment(brush, pts[s].pos, pts[s + 1].pos);
+  if (segmentCount > 0) {
+    classifySegments(pts, brush.view(), spatialOut.data(), segmentCount);
   }
 }
 
@@ -97,7 +112,7 @@ void applyTemporalMask(const traj::Trajectory& t, std::uint32_t index,
                        const QueryParams& params,
                        std::vector<std::int8_t>& segmentsOut,
                        HighlightSummary& summaryOut) {
-  const auto pts = t.points();
+  const traj::PointsView pts = t.view();
   const std::size_t segmentCount = pts.size() >= 2 ? pts.size() - 1 : 0;
   segmentsOut.assign(segmentCount, kNoBrush);
 
@@ -109,12 +124,12 @@ void applyTemporalMask(const traj::Trajectory& t, std::uint32_t index,
   for (std::size_t s = 0; s < n; ++s) {
     const std::int8_t hit = spatialHits[s];
     if (hit == kNoBrush) continue;
-    const traj::TrajPoint& a = pts[s];
-    const traj::TrajPoint& b = pts[s + 1];
-    if (b.t < window.x || a.t > window.y) continue;
+    const float tA = pts.time(s);
+    const float tB = pts.time(s + 1);
+    if (tB < window.x || tA > window.y) continue;
 
     segmentsOut[s] = hit;
-    recordHighlight(summaryOut, hit, a, b, params.brushCount);
+    recordHighlight(summaryOut, hit, tA, tB, params.brushCount);
   }
 }
 

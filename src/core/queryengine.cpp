@@ -142,9 +142,8 @@ std::shared_ptr<const QueryResult> QueryEngine::evaluate() {
     }
     if (brush_ == nullptr) {
       // No brush bound: nothing can highlight; emit empty rows.
-      const auto pts = refs_[i]->points();
-      next->segmentHighlights[i].assign(
-          pts.size() >= 2 ? pts.size() - 1 : 0, kNoBrush);
+      const std::size_t nPts = refs_[i]->size();
+      next->segmentHighlights[i].assign(nPts >= 2 ? nPts - 1 : 0, kNoBrush);
       HighlightSummary& s = next->summaries[i];
       s = HighlightSummary{};
       s.trajectoryIndex = refs_[i].index;

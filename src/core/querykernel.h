@@ -1,0 +1,55 @@
+// querykernel.h — vectorized point-in-brush classification.
+//
+// The spatial half of every visual query reduces to one primitive: given N
+// arena points, which brush (if any) covers each? With trajectory points
+// stored SoA (traj::PointsView) the x and y channels are dense float
+// arrays, so the texel lookup `floor((cm + R) / texelSize)` vectorizes
+// across 4 (SSE2) or 8 (AVX2) points per iteration; only the final byte
+// fetch from the paint grid stays scalar (an i32 gather over int8 texels
+// would over-read past the grid).
+//
+// Every variant is BIT-IDENTICAL to BrushGrid::brushAt applied per point:
+// the divide is IEEE-exact in both forms, floor is exact (SSE2 emulates it
+// as truncate-then-adjust), and out-of-grid lanes — including values whose
+// truncation saturates — classify as kNoBrush exactly like the scalar
+// bounds check. tests/simd_kernel_test.cpp fuzzes this equivalence; the
+// determinism gates depend on it.
+//
+// Variant selection happens once per process via util::activeIsa()
+// (SVQ_FORCE_SCALAR pins the scalar path). The per-ISA entry points are
+// exported for the fuzz test and the bench ratio metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/brush.h"
+#include "util/simd.h"
+
+namespace svq::core {
+
+/// out[i] = brush index covering arena point (x[i], y[i]), or kNoBrush.
+/// Dispatches to the best variant for the running CPU.
+void pointBrushKernel(const BrushGridView& grid, const float* x,
+                      const float* y, std::int8_t* out, std::size_t n);
+
+/// Explicit-ISA entry points (fuzz tests, ratio benches). Calling an ISA
+/// the CPU lacks is undefined; guard with util::detectIsa().
+void pointBrushScalar(const BrushGridView& grid, const float* x,
+                      const float* y, std::int8_t* out, std::size_t n);
+void pointBrushSse2(const BrushGridView& grid, const float* x, const float* y,
+                    std::int8_t* out, std::size_t n);
+void pointBrushAvx2(const BrushGridView& grid, const float* x, const float* y,
+                    std::int8_t* out, std::size_t n);
+
+/// Runs the variant for `isa` (scalar for anything the build lacks).
+void pointBrushVariant(util::Isa isa, const BrushGridView& grid,
+                       const float* x, const float* y, std::int8_t* out,
+                       std::size_t n);
+
+/// mid[s] = (c[s] + c[s+1]) * 0.5f for s in [0, nSegments) — the segment
+/// midpoints of one SoA channel, matching the scalar probe's
+/// `(a + b) * 0.5f` operation order exactly.
+void segmentMidpoints(const float* c, float* mid, std::size_t nSegments);
+
+}  // namespace svq::core

@@ -20,8 +20,8 @@
 //     targets heap state behind shared_ptr, so moving a Session never
 //     invalidates the binding.
 //
-// VisualQueryApp, the old single-explorer façade, survives this PR as a
-// deprecated forwarder (context + session in one line) and then goes.
+// The old single-explorer façade (VisualQueryApp) is gone; construct a
+// SharedContext and wrap it in a Session instead.
 #pragma once
 
 #include <cstdint>
@@ -180,18 +180,9 @@ class Session {
   bool lastSceneFullyDamaged_ = true;
 };
 
-/// Transitional forwarder for the pre-split façade: builds a private
-/// SharedContext around the dataset and wraps it in a Session. Every
-/// in-tree caller has been migrated; this survives exactly one PR for
-/// out-of-tree users and then goes away.
-class [[deprecated(
-    "split into core::SharedContext::create(...) + core::Session; "
-    "VisualQueryApp will be removed in the next release")]] VisualQueryApp
-    : public Session {
- public:
-  VisualQueryApp(const traj::TrajectoryDataset& dataset,
-                 wall::WallSpec wallSpec)
-      : Session(SharedContext::create(dataset, std::move(wallSpec))) {}
-};
+// The VisualQueryApp forwarder (pre-split façade) has been removed after
+// its one-release deprecation window. Build a SharedContext and wrap it:
+//   auto ctx = SharedContext::create(dataset, wallSpec);
+//   Session session(ctx);
 
 }  // namespace svq::core

@@ -16,7 +16,7 @@ std::vector<Vec2> resampleRun(const traj::Trajectory& t, std::size_t begin,
                               std::size_t end, std::size_t count) {
   std::vector<Vec2> out;
   if (end <= begin + 1 || count < 2) return out;
-  const auto pts = t.points();
+  const traj::PointsView pts = t.view();
   const float t0 = pts[begin].t;
   const float t1 = pts[end - 1].t;
   out.reserve(count);
@@ -36,7 +36,7 @@ SimilarityQuery extractBrushedQuery(const traj::Trajectory& source,
                                     const SimilarityParams& params) {
   SimilarityQuery query;
   query.sourceIndex = sourceIndex;
-  const auto pts = source.points();
+  const traj::PointsView pts = source.view();
 
   // Longest contiguous covered run.
   std::size_t bestBegin = 0, bestEnd = 0;
@@ -88,7 +88,7 @@ SimilarityResult findSimilar(const traj::TrajectoryDataset& dataset,
 
   auto scanTarget = [&](std::size_t ti) {
     const traj::Trajectory& t = dataset[indices[ti]];
-    const auto pts = t.points();
+    const traj::PointsView pts = t.view();
     result.segmentHighlights[ti].assign(
         pts.size() >= 2 ? pts.size() - 1 : 0, kNoBrush);
     if (pts.size() < 2) return;

@@ -29,7 +29,7 @@ Color sequentialColormap(float u) {
   return kStops[std::size(kStops) - 1].c;
 }
 
-void drawDensityField(const Canvas& canvas, const RectI& rect,
+void drawDensityField(Canvas canvas, const RectI& rect,
                       const traj::OccupancyGrid& grid, float maxValue,
                       float gamma) {
   if (rect.empty()) return;

@@ -19,7 +19,7 @@ Color sequentialColormap(float u);
 /// Renders a density field into a rect on a canvas. Values are scaled by
 /// `maxValue` (<= 0 means use the grid's own maximum); gamma < 1
 /// brightens the low end, making sparse structure visible.
-void drawDensityField(const Canvas& canvas, const RectI& rect,
+void drawDensityField(Canvas canvas, const RectI& rect,
                       const traj::OccupancyGrid& grid,
                       float maxValue = -1.0f, float gamma = 0.5f);
 

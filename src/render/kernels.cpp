@@ -1,0 +1,242 @@
+#include "render/kernels.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SVQ_X86 1
+#endif
+
+namespace svq::render {
+
+// ---- blendSpan -----------------------------------------------------------
+
+void blendSpanScalar(Color* dst, std::size_t n, Color src) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = Color::over(dst[i], src);
+}
+
+#ifdef SVQ_X86
+
+namespace {
+
+/// Per-span constants of the source-over blend, computed with the exact
+/// float ops Color::over performs so vector lanes reproduce its bits:
+/// sa = a/255, then per channel s*sa is a constant of the span.
+struct BlendConsts {
+  float oneMinusSa;
+  float rSa, gSa, bSa;
+
+  explicit BlendConsts(Color src) {
+    const float sa = static_cast<float>(src.a) / 255.0f;
+    oneMinusSa = 1.0f - sa;
+    rSa = static_cast<float>(src.r) * sa;
+    gSa = static_cast<float>(src.g) * sa;
+    bSa = static_cast<float>(src.b) * sa;
+  }
+};
+
+}  // namespace
+
+void blendSpanSse2(Color* dst, std::size_t n, Color src) {
+  if (src.a == 255) { fillRowScalar(dst, n, src); return; }
+  if (src.a == 0) return;
+  const BlendConsts k(src);
+  const __m128 oneMinusSa = _mm_set1_ps(k.oneMinusSa);
+  const __m128 half = _mm_set1_ps(0.5f);
+  const __m128 sSa[3] = {_mm_set1_ps(k.rSa), _mm_set1_ps(k.gSa),
+                         _mm_set1_ps(k.bSa)};
+  const __m128i byteMask = _mm_set1_epi32(0xFF);
+  const __m128i alpha = _mm_set1_epi32(static_cast<int>(0xFF000000u));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    auto* p = reinterpret_cast<__m128i*>(dst + i);
+    const __m128i px = _mm_loadu_si128(p);
+    __m128i out = alpha;
+    for (int c = 0; c < 3; ++c) {
+      const __m128i ch =
+          _mm_and_si128(_mm_srli_epi32(px, 8 * c), byteMask);
+      // d*(1-sa) + s*sa + 0.5f, left-associated, discrete mul/add —
+      // Color::over's expression tree, then truncating conversion.
+      const __m128 blended = _mm_add_ps(
+          _mm_add_ps(_mm_mul_ps(_mm_cvtepi32_ps(ch), oneMinusSa), sSa[c]),
+          half);
+      out = _mm_or_si128(
+          out, _mm_slli_epi32(_mm_cvttps_epi32(blended), 8 * c));
+    }
+    _mm_storeu_si128(p, out);
+  }
+  if (i < n) blendSpanScalar(dst + i, n - i, src);
+}
+
+__attribute__((target("avx2")))
+void blendSpanAvx2(Color* dst, std::size_t n, Color src) {
+  if (src.a == 255) { fillRowScalar(dst, n, src); return; }
+  if (src.a == 0) return;
+  const BlendConsts k(src);
+  const __m256 oneMinusSa = _mm256_set1_ps(k.oneMinusSa);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 sSa[3] = {_mm256_set1_ps(k.rSa), _mm256_set1_ps(k.gSa),
+                         _mm256_set1_ps(k.bSa)};
+  const __m256i byteMask = _mm256_set1_epi32(0xFF);
+  const __m256i alpha = _mm256_set1_epi32(static_cast<int>(0xFF000000u));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    auto* p = reinterpret_cast<__m256i*>(dst + i);
+    const __m256i px = _mm256_loadu_si256(p);
+    __m256i out = alpha;
+    for (int c = 0; c < 3; ++c) {
+      const __m256i ch =
+          _mm256_and_si256(_mm256_srli_epi32(px, 8 * c), byteMask);
+      const __m256 blended = _mm256_add_ps(
+          _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(ch), oneMinusSa),
+                        sSa[c]),
+          half);
+      out = _mm256_or_si256(
+          out, _mm256_slli_epi32(_mm256_cvttps_epi32(blended), 8 * c));
+    }
+    _mm256_storeu_si256(p, out);
+  }
+  if (i < n) blendSpanScalar(dst + i, n - i, src);
+}
+
+#else  // !SVQ_X86
+
+void blendSpanSse2(Color* dst, std::size_t n, Color src) {
+  blendSpanScalar(dst, n, src);
+}
+void blendSpanAvx2(Color* dst, std::size_t n, Color src) {
+  blendSpanScalar(dst, n, src);
+}
+
+#endif  // SVQ_X86
+
+void blendSpanVariant(util::Isa isa, Color* dst, std::size_t n, Color src) {
+  switch (isa) {
+    case util::Isa::kAvx2: blendSpanAvx2(dst, n, src); return;
+    case util::Isa::kSse2: blendSpanSse2(dst, n, src); return;
+    case util::Isa::kScalar: break;
+  }
+  blendSpanScalar(dst, n, src);
+}
+
+void blendSpan(Color* dst, std::size_t n, Color src) {
+  blendSpanVariant(util::activeIsa(), dst, n, src);
+}
+
+// ---- fillRow -------------------------------------------------------------
+
+void fillRowScalar(Color* dst, std::size_t n, Color src) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src;
+}
+
+#ifdef SVQ_X86
+
+namespace {
+
+inline int packColor(Color c) {
+  int bits;
+  static_assert(sizeof(Color) == sizeof(int));
+  std::memcpy(&bits, &c, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+void fillRowSse2(Color* dst, std::size_t n, Color src) {
+  const __m128i v = _mm_set1_epi32(packColor(src));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = src;
+}
+
+__attribute__((target("avx2")))
+void fillRowAvx2(Color* dst, std::size_t n, Color src) {
+  const __m256i v = _mm256_set1_epi32(packColor(src));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < n; ++i) dst[i] = src;
+}
+
+#else  // !SVQ_X86
+
+void fillRowSse2(Color* dst, std::size_t n, Color src) {
+  fillRowScalar(dst, n, src);
+}
+void fillRowAvx2(Color* dst, std::size_t n, Color src) {
+  fillRowScalar(dst, n, src);
+}
+
+#endif  // SVQ_X86
+
+void fillRowVariant(util::Isa isa, Color* dst, std::size_t n, Color src) {
+  switch (isa) {
+    case util::Isa::kAvx2: fillRowAvx2(dst, n, src); return;
+    case util::Isa::kSse2: fillRowSse2(dst, n, src); return;
+    case util::Isa::kScalar: break;
+  }
+  fillRowScalar(dst, n, src);
+}
+
+void fillRow(Color* dst, std::size_t n, Color src) {
+  fillRowVariant(util::activeIsa(), dst, n, src);
+}
+
+// ---- copyRow -------------------------------------------------------------
+
+void copyRowScalar(Color* dst, const Color* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+#ifdef SVQ_X86
+
+void copyRowSse2(Color* dst, const Color* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+__attribute__((target("avx2")))
+void copyRowAvx2(Color* dst, const Color* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+#else  // !SVQ_X86
+
+void copyRowSse2(Color* dst, const Color* src, std::size_t n) {
+  copyRowScalar(dst, src, n);
+}
+void copyRowAvx2(Color* dst, const Color* src, std::size_t n) {
+  copyRowScalar(dst, src, n);
+}
+
+#endif  // SVQ_X86
+
+void copyRowVariant(util::Isa isa, Color* dst, const Color* src,
+                    std::size_t n) {
+  switch (isa) {
+    case util::Isa::kAvx2: copyRowAvx2(dst, src, n); return;
+    case util::Isa::kSse2: copyRowSse2(dst, src, n); return;
+    case util::Isa::kScalar: break;
+  }
+  copyRowScalar(dst, src, n);
+}
+
+void copyRow(Color* dst, const Color* src, std::size_t n) {
+  copyRowVariant(util::activeIsa(), dst, src, n);
+}
+
+}  // namespace svq::render

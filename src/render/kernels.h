@@ -1,0 +1,53 @@
+// kernels.h — vectorized span primitives behind render::Canvas.
+//
+// The rasterizer's hot loops reduce to three dense row operations:
+//
+//   * blendSpan — source-over blend of one translucent color onto a pixel
+//     run (the alpha path of Canvas::fillSpan);
+//   * fillRow — store one opaque color across a run (the fast path of
+//     Canvas::fillSpan);
+//   * copyRow — copy a run between framebuffers (Canvas::blitRows).
+//
+// Each ships scalar/SSE2/AVX2 variants selected once per process via
+// util::activeIsa() (SVQ_FORCE_SCALAR pins scalar). Variants are
+// BIT-IDENTICAL to the scalar path: blendSpan replicates Color::over's
+// exact expression tree — d*(1-sa) + s*sa + 0.5f with truncating u8
+// conversion — using discrete mul/add (never FMA) so the float results
+// match lane for lane. Framebuffer content hashes, the pipeline's cache
+// keys and the delta-broadcast determinism gates all depend on this;
+// tests/simd_kernel_test.cpp fuzzes the equivalence.
+#pragma once
+
+#include <cstddef>
+
+#include "render/color.h"
+#include "util/simd.h"
+
+namespace svq::render {
+
+/// dst[i] = Color::over(dst[i], src) for i < n. Caller handles the
+/// src.a == 255 (opaque) and src.a == 0 (no-op) fast paths; variants
+/// assume 0 < src.a < 255 (they still produce Color::over's result for
+/// the extremes, just not as fast).
+void blendSpan(Color* dst, std::size_t n, Color src);
+void blendSpanScalar(Color* dst, std::size_t n, Color src);
+void blendSpanSse2(Color* dst, std::size_t n, Color src);
+void blendSpanAvx2(Color* dst, std::size_t n, Color src);
+void blendSpanVariant(util::Isa isa, Color* dst, std::size_t n, Color src);
+
+/// dst[i] = src for i < n (opaque store, no blending).
+void fillRow(Color* dst, std::size_t n, Color src);
+void fillRowScalar(Color* dst, std::size_t n, Color src);
+void fillRowSse2(Color* dst, std::size_t n, Color src);
+void fillRowAvx2(Color* dst, std::size_t n, Color src);
+void fillRowVariant(util::Isa isa, Color* dst, std::size_t n, Color src);
+
+/// dst[i] = src[i] for i < n. Runs must not overlap.
+void copyRow(Color* dst, const Color* src, std::size_t n);
+void copyRowScalar(Color* dst, const Color* src, std::size_t n);
+void copyRowSse2(Color* dst, const Color* src, std::size_t n);
+void copyRowAvx2(Color* dst, const Color* src, std::size_t n);
+void copyRowVariant(util::Isa isa, Color* dst, const Color* src,
+                    std::size_t n);
+
+}  // namespace svq::render

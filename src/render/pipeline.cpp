@@ -86,7 +86,7 @@ bool CellRenderPipeline::cellsDisjoint(const SceneModel& scene) const {
 }
 
 void CellRenderPipeline::resetLayout(const SceneModel& scene,
-                                     const Canvas& canvas) {
+                                     Canvas canvas) {
   slots_.assign(scene.cells.size(), CellSlot{});
   const RectI bounds = canvas.clipRect();
   for (std::size_t i = 0; i < scene.cells.size(); ++i) {
@@ -98,7 +98,7 @@ void CellRenderPipeline::resetLayout(const SceneModel& scene,
 
 PipelineStats CellRenderPipeline::render(const SceneModel& scene,
                                          const traj::TrajectoryDataset& dataset,
-                                         const Canvas& canvas, Eye eye) {
+                                         Canvas canvas, Eye eye) {
   PipelineStats stats;
   PipelineMetrics& metrics = PipelineMetrics::get();
 

@@ -102,7 +102,7 @@ class CellRenderPipeline {
   /// Renders `scene` into `canvas` for `eye`, incrementally.
   PipelineStats render(const SceneModel& scene,
                        const traj::TrajectoryDataset& dataset,
-                       const Canvas& canvas, Eye eye);
+                       Canvas canvas, Eye eye);
 
   /// Marks the target's pixels unreliable; the next render recomposites
   /// every visible cell (blitting unchanged ones from the cache).
@@ -127,7 +127,7 @@ class CellRenderPipeline {
     std::shared_ptr<const Framebuffer> pixels;
   };
 
-  void resetLayout(const SceneModel& scene, const Canvas& canvas);
+  void resetLayout(const SceneModel& scene, Canvas canvas);
   bool cellsDisjoint(const SceneModel& scene) const;
 
   PipelineOptions options_;

@@ -5,24 +5,27 @@
 #include <cmath>
 #include <cstdint>
 
+#include "render/kernels.h"
+
 namespace svq::render {
 
-void Canvas::fillSpan(int gx, int gy, int w, Color c) const {
+void Canvas::fillSpan(int gx, int gy, int w, Color c) {
   const RectI bounds = clipRect();
   if (gy < bounds.y || gy >= bounds.y + bounds.h) return;
   const int x0 = std::max(gx, bounds.x);
   const int x1 = std::min(gx + w, bounds.x + bounds.w);
   if (x0 >= x1) return;
   Color* row = &fb->at(x0 - region.x, gy - region.y);
+  const auto run = static_cast<std::size_t>(x1 - x0);
   if (c.a == 255) {
-    std::fill(row, row + (x1 - x0), c);
-  } else {
-    for (int x = x0; x < x1; ++x, ++row) *row = Color::over(*row, c);
+    fillRow(row, run, c);
+  } else if (c.a != 0) {
+    blendSpan(row, run, c);
   }
 }
 
 void Canvas::blitRows(const Framebuffer& src, int srcX, int srcY,
-                      const RectI& dstGlobal) const {
+                      const RectI& dstGlobal) {
   const RectI target = dstGlobal.clipped(clipRect());
   if (target.empty()) return;
   for (int y = 0; y < target.h; ++y) {
@@ -35,18 +38,18 @@ void Canvas::blitRows(const Framebuffer& src, int srcX, int srcY,
     const Color* srcRow = &src.at(runX, sy);
     Color* dstRow = &fb->at(target.x + (runX - sx) - region.x,
                             target.y + y - region.y);
-    std::copy(srcRow, srcRow + run, dstRow);
+    copyRow(dstRow, srcRow, static_cast<std::size_t>(run));
   }
 }
 
-void fillRect(const Canvas& canvas, const RectI& r, Color c) {
+void fillRect(Canvas canvas, const RectI& r, Color c) {
   const RectI clipped = r.clipped(canvas.clipRect());
   for (int y = clipped.y; y < clipped.y + clipped.h; ++y) {
     canvas.fillSpan(clipped.x, y, clipped.w, c);
   }
 }
 
-void strokeRect(const Canvas& canvas, const RectI& r, Color c) {
+void strokeRect(Canvas canvas, const RectI& r, Color c) {
   if (r.empty()) return;
   fillRect(canvas, {r.x, r.y, r.w, 1}, c);
   fillRect(canvas, {r.x, r.y + r.h - 1, r.w, 1}, c);
@@ -54,7 +57,7 @@ void strokeRect(const Canvas& canvas, const RectI& r, Color c) {
   fillRect(canvas, {r.x + r.w - 1, r.y + 1, 1, r.h - 2}, c);
 }
 
-void fillCircle(const Canvas& canvas, float cx, float cy, float r, Color c) {
+void fillCircle(Canvas canvas, float cx, float cy, float r, Color c) {
   if (r <= 0.0f) return;
   const int x0 = static_cast<int>(std::floor(cx - r));
   const int x1 = static_cast<int>(std::ceil(cx + r));
@@ -91,7 +94,7 @@ bool clipAxis(float o, float d, float lo, float hi, float& t0, float& t1) {
 
 }  // namespace
 
-void drawLine(const Canvas& canvas, Vec2 a, Vec2 b, Color c) {
+void drawLine(Canvas canvas, Vec2 a, Vec2 b, Color c) {
   const float dx = b.x - a.x;
   const float dy = b.y - a.y;
   const int steps =
@@ -123,7 +126,7 @@ void drawLine(const Canvas& canvas, Vec2 a, Vec2 b, Color c) {
   }
 }
 
-void drawThickLine(const Canvas& canvas, Vec2 a, Vec2 b, float halfWidth,
+void drawThickLine(Canvas canvas, Vec2 a, Vec2 b, float halfWidth,
                    Color c, float feather) {
   halfWidth = std::max(0.5f, halfWidth);
   feather = std::max(0.25f, feather);
@@ -159,7 +162,7 @@ void drawThickLine(const Canvas& canvas, Vec2 a, Vec2 b, float halfWidth,
   }
 }
 
-void drawThickPolyline(const Canvas& canvas, std::span<const Vec2> points,
+void drawThickPolyline(Canvas canvas, std::span<const Vec2> points,
                        std::span<const Color> pointColors, float halfWidth) {
   for (std::size_t i = 1; i < points.size(); ++i) {
     // A zero-alpha vertex is a break sentinel (temporal-window gaps):
@@ -240,7 +243,7 @@ constexpr std::uint8_t kUnknownRows[7] = {0x1F, 0x1F, 0x1F, 0x1F,
 
 }  // namespace
 
-void drawTextTiny(const Canvas& canvas, int x, int y, std::string_view text,
+void drawTextTiny(Canvas canvas, int x, int y, std::string_view text,
                   Color c, int scale) {
   scale = std::max(1, scale);
   int cx = x;

@@ -56,55 +56,65 @@ struct Canvas {
     return {fb, region, c};
   }
 
+  // Mutating primitives are non-const: a Canvas is a cheap non-owning
+  // view, so writers take it *by value* (see the free functions below)
+  // instead of pretending pixel writes are const.
+
   /// Blend a global pixel (clips to region ∩ clip).
-  void blend(int gx, int gy, Color c) const {
+  void blend(int gx, int gy, Color c) {
     if (!clipRect().contains(gx, gy)) return;
     fb->blend(gx - region.x, gy - region.y, c);
   }
-  void set(int gx, int gy, Color c) const {
+  void set(int gx, int gy, Color c) {
     if (!clipRect().contains(gx, gy)) return;
     fb->set(gx - region.x, gy - region.y, c);
   }
 
   /// Blend a horizontal run of `w` pixels starting at global (gx, gy),
   /// clipped — the hot-loop primitive that replaces per-pixel contains
-  /// checks. Opaque colors take a straight fill fast path.
-  void fillSpan(int gx, int gy, int w, Color c) const;
+  /// checks. Opaque colors take a vectorized fill fast path; translucent
+  /// colors run the SIMD source-over span kernel (render/kernels.h).
+  void fillSpan(int gx, int gy, int w, Color c);
 
   /// Row-wise copy (no blending) of `src` so that src (srcX, srcY) lands
   /// at global (dstGlobal.x, dstGlobal.y), covering dstGlobal, clipped to
   /// this canvas. Used to composite cached cell framebuffers.
   void blitRows(const Framebuffer& src, int srcX, int srcY,
-                const RectI& dstGlobal) const;
+                const RectI& dstGlobal);
 };
 
+// Drawing functions take the Canvas by value: it is a 3-pointer-sized view
+// whose copy is free, and by-value parameters keep temporary sub-canvases
+// (`renderCell(..., canvas.subCanvas(rect), ...)`) working while the
+// mutating members above are honestly non-const.
+
 /// Fills a global-space rect.
-void fillRect(const Canvas& canvas, const RectI& r, Color c);
+void fillRect(Canvas canvas, const RectI& r, Color c);
 
 /// 1-pixel rectangle outline.
-void strokeRect(const Canvas& canvas, const RectI& r, Color c);
+void strokeRect(Canvas canvas, const RectI& r, Color c);
 
 /// Filled circle centred at (cx, cy) with radius r (global pixels).
-void fillCircle(const Canvas& canvas, float cx, float cy, float r, Color c);
+void fillCircle(Canvas canvas, float cx, float cy, float r, Color c);
 
 /// 1-pixel line (DDA), global coordinates.
-void drawLine(const Canvas& canvas, Vec2 a, Vec2 b, Color c);
+void drawLine(Canvas canvas, Vec2 a, Vec2 b, Color c);
 
 /// Thick anti-aliased line: capsule of half-width `halfWidth` around the
 /// segment; coverage fades linearly over the last `feather` pixels.
-void drawThickLine(const Canvas& canvas, Vec2 a, Vec2 b, float halfWidth,
+void drawThickLine(Canvas canvas, Vec2 a, Vec2 b, float halfWidth,
                    Color c, float feather = 1.0f);
 
 /// Polyline of thick segments with per-vertex colors (colors.size() must
 /// equal points.size(); segment color is the average of its endpoints).
 /// Vertices with alpha == 0 act as break sentinels: segments touching
 /// them are skipped, which is how temporal-window gaps render.
-void drawThickPolyline(const Canvas& canvas, std::span<const Vec2> points,
+void drawThickPolyline(Canvas canvas, std::span<const Vec2> points,
                        std::span<const Color> pointColors, float halfWidth);
 
 /// 5x7 bitmap text (digits, upper-case letters, a few symbols), scaled by
 /// integer `scale`. Unknown glyphs render as solid blocks.
-void drawTextTiny(const Canvas& canvas, int x, int y, std::string_view text,
+void drawTextTiny(Canvas canvas, int x, int y, std::string_view text,
                   Color c, int scale = 1);
 
 /// Pixel width of drawTextTiny output for the given text/scale.

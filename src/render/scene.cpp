@@ -21,7 +21,7 @@ RectI inflatedForParallax(const RectI& r, const OrthoStereoCamera& camera,
 }  // namespace
 
 void renderCell(const SceneModel& scene, const CellView& cell,
-                const traj::TrajectoryDataset& dataset, const Canvas& canvas,
+                const traj::TrajectoryDataset& dataset, Canvas canvas,
                 Eye eye, RenderStats& stats) {
   fillRect(canvas, cell.rect, cell.background);
   if (scene.drawCellBorder) {
@@ -141,7 +141,7 @@ std::vector<std::uint64_t> sceneCellHashes(const SceneModel& scene) {
 
 RenderStats renderScene(const SceneModel& scene,
                         const traj::TrajectoryDataset& dataset,
-                        const Canvas& canvas, Eye eye) {
+                        Canvas canvas, Eye eye) {
   RenderStats stats;
   fillRect(canvas, canvas.region, scene.wallBackground);
 

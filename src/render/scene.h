@@ -63,11 +63,11 @@ struct RenderStats {
 /// index. Returns render statistics.
 RenderStats renderScene(const SceneModel& scene,
                         const traj::TrajectoryDataset& dataset,
-                        const Canvas& canvas, Eye eye);
+                        Canvas canvas, Eye eye);
 
 /// Renders one cell (no background clear); exposed for unit tests.
 void renderCell(const SceneModel& scene, const CellView& cell,
-                const traj::TrajectoryDataset& dataset, const Canvas& canvas,
+                const traj::TrajectoryDataset& dataset, Canvas canvas,
                 Eye eye, RenderStats& stats);
 
 // --- content hashing ---------------------------------------------------------

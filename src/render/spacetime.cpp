@@ -10,7 +10,7 @@ StyledPolyline tessellate(const traj::Trajectory& t,
                           std::span<const std::int8_t> segmentHighlights,
                           Vec2 window, const TrajectoryStyle& style) {
   StyledPolyline out;
-  const auto pts = t.points();
+  const traj::PointsView pts = t.view();
   if (pts.empty()) return out;
   out.points.reserve(pts.size());
   out.colors.reserve(pts.size());

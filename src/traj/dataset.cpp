@@ -62,8 +62,9 @@ bool TrajectoryDataset::validate(float slackCm) const {
       (arena_.radiusCm + slackCm) * (arena_.radiusCm + slackCm);
   for (const auto& t : trajectories_) {
     if (!t.wellFormed()) return false;
-    for (const auto& p : t.points()) {
-      if (p.pos.norm2() > limit2) return false;
+    const auto v = t.view();
+    for (std::size_t i = 0; i < v.count; ++i) {
+      if (v.pos(i).norm2() > limit2) return false;
     }
   }
   return true;
@@ -75,10 +76,11 @@ std::string TrajectoryDataset::toCsv() const {
   out << "traj_id,side,direction,seed,t,x,y\n";
   for (const auto& t : trajectories_) {
     const auto& m = t.meta();
-    for (const auto& p : t.points()) {
+    const auto v = t.view();
+    for (std::size_t i = 0; i < v.count; ++i) {
       out << m.id << ',' << toString(m.side) << ',' << toString(m.direction)
-          << ',' << toString(m.seed) << ',' << p.t << ',' << p.pos.x << ','
-          << p.pos.y << '\n';
+          << ',' << toString(m.seed) << ',' << v.time(i) << ',' << v.x[i]
+          << ',' << v.y[i] << '\n';
     }
   }
   return out.str();
@@ -123,7 +125,7 @@ std::optional<TrajectoryDataset> TrajectoryDataset::fromCsv(
       current = Trajectory(meta, {});
       haveCurrent = true;
     }
-    current.mutablePoints().push_back(pt);
+    current.appendPoint(pt);
   }
   if (haveCurrent) ds.add(std::move(current));
   return ds;

@@ -19,9 +19,10 @@ std::vector<float> extractFeatures(const Trajectory& t,
   const Trajectory r = resampleUniform(t, p.resampleCount);
   const Vec2 origin = r.empty() ? Vec2{} : r.front().pos;
   const float scale = 1.0f / std::max(1e-3f, p.arenaRadiusCm);
-  for (const auto& pt : r.points()) {
-    f.push_back((pt.pos.x - origin.x) * scale);
-    f.push_back((pt.pos.y - origin.y) * scale);
+  const PointsView v = r.view();
+  for (std::size_t i = 0; i < v.count; ++i) {
+    f.push_back((v.x[i] - origin.x) * scale);
+    f.push_back((v.y[i] - origin.y) * scale);
   }
   if (p.includeShape) {
     // Normalized shape scalars: straightness is already in [0,1]; speed and

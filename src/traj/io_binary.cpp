@@ -68,10 +68,11 @@ std::string toBinary(const TrajectoryDataset& dataset) {
     w.u8(static_cast<std::uint8_t>(m.direction));
     w.u8(static_cast<std::uint8_t>(m.seed));
     w.u32(static_cast<std::uint32_t>(t.size()));
-    for (const TrajPoint& p : t.points()) {
-      w.f32(p.t);
-      w.f32(p.pos.x);
-      w.f32(p.pos.y);
+    const PointsView v = t.view();
+    for (std::size_t p = 0; p < v.count; ++p) {
+      w.f32(v.t[p]);
+      w.f32(v.x[p]);
+      w.f32(v.y[p]);
     }
   }
   return w.take();

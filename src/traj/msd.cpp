@@ -7,14 +7,14 @@ namespace svq::traj {
 std::vector<MsdPoint> msdCurve(const Trajectory& t,
                                std::span<const float> lagsS) {
   std::vector<MsdPoint> curve;
-  const auto pts = t.points();
+  const PointsView pts = t.view();
   for (float lag : lagsS) {
     double sum = 0.0;
     std::size_t pairs = 0;
-    for (const TrajPoint& p : pts) {
-      const float target = p.t + lag;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const float target = pts.time(i) + lag;
       if (target > pts.back().t) break;
-      const Vec2 d = t.positionAt(target) - p.pos;
+      const Vec2 d = t.positionAt(target) - pts.pos(i);
       sum += static_cast<double>(d.norm2());
       ++pairs;
     }
@@ -32,10 +32,11 @@ std::vector<MsdPoint> msdCurveEnsemble(std::span<const Trajectory> trajs,
     double sum = 0.0;
     std::size_t pairs = 0;
     for (const Trajectory& t : trajs) {
-      for (const TrajPoint& p : t.points()) {
-        const float target = p.t + lag;
+      const PointsView pts = t.view();
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        const float target = pts.time(i) + lag;
         if (t.empty() || target > t.back().t) break;
-        const Vec2 d = t.positionAt(target) - p.pos;
+        const Vec2 d = t.positionAt(target) - pts.pos(i);
         sum += static_cast<double>(d.norm2());
         ++pairs;
       }

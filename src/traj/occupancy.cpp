@@ -19,12 +19,12 @@ int OccupancyGrid::toTexel(float cm) const {
 }
 
 void OccupancyGrid::accumulate(const Trajectory& t, float t0, float t1) {
-  const auto pts = t.points();
+  const PointsView pts = t.view();
   for (std::size_t i = 1; i < pts.size(); ++i) {
-    const float segT0 = std::max(pts[i - 1].t, t0);
-    const float segT1 = std::min(pts[i].t, t1);
+    const float segT0 = std::max(pts.time(i - 1), t0);
+    const float segT1 = std::min(pts.time(i), t1);
     if (segT1 <= segT0) continue;
-    const Vec2 mid = (pts[i - 1].pos + pts[i].pos) * 0.5f;
+    const Vec2 mid = (pts.pos(i - 1) + pts.pos(i)) * 0.5f;
     const int tx = toTexel(mid.x);
     const int ty = toTexel(mid.y);
     if (tx < 0 || ty < 0 || tx >= resolution_ || ty >= resolution_) continue;

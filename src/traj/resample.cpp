@@ -29,8 +29,10 @@ Trajectory smoothMovingAverage(const Trajectory& t, std::size_t window) {
   if (t.size() < 3 || window < 2) return t;
   if (window % 2 == 0) ++window;
   const std::size_t half = window / 2;
-  const auto pts = t.points();
-  std::vector<TrajPoint> out(pts.begin(), pts.end());
+  const PointsView pts = t.view();
+  std::vector<TrajPoint> out;
+  out.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) out.push_back(pts[i]);
   for (std::size_t i = 0; i < pts.size(); ++i) {
     const std::size_t lo = i >= half ? i - half : 0;
     const std::size_t hi = std::min(pts.size() - 1, i + half);
@@ -51,13 +53,13 @@ float pointSegmentDistance(Vec2 p, Vec2 a, Vec2 b) {
   return (p - (a + ab * u)).norm();
 }
 
-void rdpMark(std::span<const TrajPoint> pts, std::size_t lo, std::size_t hi,
-             float epsilon, std::vector<char>& keep) {
+void rdpMark(PointsView pts, std::size_t lo, std::size_t hi, float epsilon,
+             std::vector<char>& keep) {
   if (hi <= lo + 1) return;
   float maxDist = -1.0f;
   std::size_t maxIdx = lo;
   for (std::size_t i = lo + 1; i < hi; ++i) {
-    const float d = pointSegmentDistance(pts[i].pos, pts[lo].pos, pts[hi].pos);
+    const float d = pointSegmentDistance(pts.pos(i), pts.pos(lo), pts.pos(hi));
     if (d > maxDist) {
       maxDist = d;
       maxIdx = i;
@@ -75,7 +77,7 @@ std::vector<char> rdpKeepMask(const Trajectory& t, float epsilonCm) {
   if (t.size() == 0) return keep;
   keep.front() = 1;
   keep.back() = 1;
-  if (t.size() > 2) rdpMark(t.points(), 0, t.size() - 1, epsilonCm, keep);
+  if (t.size() > 2) rdpMark(t.view(), 0, t.size() - 1, epsilonCm, keep);
   return keep;
 }
 

@@ -28,23 +28,23 @@ std::uint64_t cellRangeMask(int x0, int x1, int y0, int y1) {
 
 SpatialFootprint computeFootprint(const Trajectory& t, const AABB2& frame) {
   SpatialFootprint fp;
-  const auto pts = t.points();
+  const PointsView pts = t.view();
   if (pts.empty() || !frame.valid()) return fp;
 
   const Vec2 extent = frame.size();
-  for (const TrajPoint& p : pts) fp.bounds.expand(p.pos);
+  for (std::size_t i = 0; i < pts.size(); ++i) fp.bounds.expand(pts.pos(i));
 
   if (pts.size() == 1) {
-    fp.occupancy = cellRangeMask(cellOf(pts[0].pos.x, frame.min.x, extent.x),
-                                 cellOf(pts[0].pos.x, frame.min.x, extent.x),
-                                 cellOf(pts[0].pos.y, frame.min.y, extent.y),
-                                 cellOf(pts[0].pos.y, frame.min.y, extent.y));
+    fp.occupancy = cellRangeMask(cellOf(pts.x[0], frame.min.x, extent.x),
+                                 cellOf(pts.x[0], frame.min.x, extent.x),
+                                 cellOf(pts.y[0], frame.min.y, extent.y),
+                                 cellOf(pts.y[0], frame.min.y, extent.y));
     return fp;
   }
 
   for (std::size_t s = 0; s + 1 < pts.size(); ++s) {
-    const Vec2 a = pts[s].pos;
-    const Vec2 b = pts[s + 1].pos;
+    const Vec2 a = pts.pos(s);
+    const Vec2 b = pts.pos(s + 1);
     // Mark the whole cell-rect spanned by the segment's endpoints so a
     // diagonal hop cannot leave an unmarked gap a midpoint probe could
     // land in. Segments are short relative to the 1/8-frame cells, so

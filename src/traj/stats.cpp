@@ -50,7 +50,7 @@ float dwellTimeInCenter(const Trajectory& t, float radiusCm, float t0,
   if (t.size() < 2 || t1 <= t0) return 0.0f;
   const float r2 = radiusCm * radiusCm;
   float dwell = 0.0f;
-  const auto pts = t.points();
+  const PointsView pts = t.view();
   for (std::size_t i = 1; i < pts.size(); ++i) {
     const float segT0 = std::max(pts[i - 1].t, t0);
     const float segT1 = std::min(pts[i].t, t1);
@@ -73,7 +73,7 @@ float meanSpeed(const Trajectory& t) {
 
 std::vector<float> turningAngles(const Trajectory& t) {
   std::vector<float> out;
-  const auto pts = t.points();
+  const PointsView pts = t.view();
   if (pts.size() < 3) return out;
   out.reserve(pts.size() - 2);
   for (std::size_t i = 2; i < pts.size(); ++i) {
@@ -97,7 +97,7 @@ float meanAbsTurning(const Trajectory& t) {
 }
 
 float longestStationaryRunS(const Trajectory& t, float speedThresholdCmS) {
-  const auto pts = t.points();
+  const PointsView pts = t.view();
   if (pts.size() < 2) return 0.0f;
   float best = 0.0f;
   float current = 0.0f;
@@ -123,7 +123,7 @@ float straightness(const Trajectory& t) {
 
 std::optional<float> centerDepartureTime(const Trajectory& t,
                                          float radiusCm) {
-  const auto pts = t.points();
+  const PointsView pts = t.view();
   const float r2 = radiusCm * radiusCm;
   // Walk backwards: find the last sample inside the disc; departure is the
   // following sample's time. If the last sample is inside, never departed.
@@ -137,7 +137,7 @@ std::optional<float> centerDepartureTime(const Trajectory& t,
 }
 
 float meanAngularVelocity(const Trajectory& t) {
-  const auto pts = t.points();
+  const PointsView pts = t.view();
   if (pts.size() < 3) return 0.0f;
   float signedRotation = 0.0f;
   float prevHeading = 0.0f;

@@ -58,54 +58,105 @@ bool parseSeedState(const std::string& s, SeedState& out) {
   return true;
 }
 
+void Trajectory::reservePoints(std::size_t minPoints) {
+  if (minPoints <= cap_) return;
+  std::size_t cap = cap_ == 0 ? kPointBlock : cap_;
+  while (cap < minPoints) cap *= 2;
+  // cap is kPointBlock << k, so channel bases stay block-aligned.
+  std::vector<float> grown(3 * cap, 0.0f);
+  if (size_ > 0) {
+    std::copy_n(xs(), size_, grown.data());
+    std::copy_n(ys(), size_, grown.data() + cap);
+    std::copy_n(ts(), size_, grown.data() + 2 * cap);
+  }
+  soa_ = std::move(grown);
+  cap_ = cap;
+}
+
+void Trajectory::appendPoint(Vec2 pos, float t) {
+  reservePoints(size_ + 1);
+  xs()[size_] = pos.x;
+  ys()[size_] = pos.y;
+  ts()[size_] = t;
+  ++size_;
+}
+
+void Trajectory::assignPoints(const std::vector<TrajPoint>& points) {
+  size_ = 0;
+  reservePoints(points.size());
+  float* px = xs();
+  float* py = ys();
+  float* pt = ts();
+  for (const TrajPoint& p : points) {
+    *px++ = p.pos.x;
+    *py++ = p.pos.y;
+    *pt++ = p.t;
+  }
+  size_ = points.size();
+}
+
+std::vector<TrajPoint> Trajectory::pointsAoS() const {
+  std::vector<TrajPoint> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back({{xs()[i], ys()[i]}, ts()[i]});
+  }
+  return out;
+}
+
 float Trajectory::pathLength() const {
+  const PointsView v = view();
   float len = 0.0f;
-  for (std::size_t i = 1; i < points_.size(); ++i) {
-    len += (points_[i].pos - points_[i - 1].pos).norm();
+  for (std::size_t i = 1; i < v.count; ++i) {
+    len += (v.pos(i) - v.pos(i - 1)).norm();
   }
   return len;
 }
 
 float Trajectory::netDisplacement() const {
-  if (points_.size() < 2) return 0.0f;
-  return (points_.back().pos - points_.front().pos).norm();
+  if (size_ < 2) return 0.0f;
+  const PointsView v = view();
+  return (v.pos(v.count - 1) - v.pos(0)).norm();
 }
 
 AABB2 Trajectory::bounds() const {
+  const PointsView v = view();
   AABB2 box;
-  for (const auto& p : points_) box.expand(p.pos);
+  for (std::size_t i = 0; i < v.count; ++i) box.expand(v.pos(i));
   return box;
 }
 
 AABB3 Trajectory::spaceTimeBounds() const {
+  const PointsView v = view();
   AABB3 box;
-  for (const auto& p : points_) box.expand(p.spaceTime());
+  for (std::size_t i = 0; i < v.count; ++i) box.expand(v.spaceTime(i));
   return box;
 }
 
 std::size_t Trajectory::lowerBoundIndex(float t) const {
-  auto it = std::lower_bound(
-      points_.begin(), points_.end(), t,
-      [](const TrajPoint& p, float value) { return p.t < value; });
-  return static_cast<std::size_t>(it - points_.begin());
+  const float* begin = ts();
+  const float* end = begin + size_;
+  return static_cast<std::size_t>(std::lower_bound(begin, end, t) - begin);
 }
 
 Vec2 Trajectory::positionAt(float t) const {
-  if (points_.size() == 1) return points_.front().pos;
-  if (t <= points_.front().t) return points_.front().pos;
-  if (t >= points_.back().t) return points_.back().pos;
+  const PointsView v = view();
+  if (v.count == 1) return v.pos(0);
+  if (t <= v.time(0)) return v.pos(0);
+  if (t >= v.time(v.count - 1)) return v.pos(v.count - 1);
   const std::size_t hi = lowerBoundIndex(t);
   const std::size_t lo = hi - 1;
-  const float span = points_[hi].t - points_[lo].t;
-  const float u = span > 0.0f ? (t - points_[lo].t) / span : 0.0f;
-  return lerp(points_[lo].pos, points_[hi].pos, u);
+  const float span = v.time(hi) - v.time(lo);
+  const float u = span > 0.0f ? (t - v.time(lo)) / span : 0.0f;
+  return lerp(v.pos(lo), v.pos(hi), u);
 }
 
 bool Trajectory::wellFormed(float eps) const {
-  if (points_.empty()) return true;
-  if (std::abs(points_.front().t) > eps) return false;
-  for (std::size_t i = 1; i < points_.size(); ++i) {
-    if (points_[i].t <= points_[i - 1].t) return false;
+  if (size_ == 0) return true;
+  const float* t = ts();
+  if (std::abs(t[0]) > eps) return false;
+  for (std::size_t i = 1; i < size_; ++i) {
+    if (t[i] <= t[i - 1]) return false;
   }
   return true;
 }

@@ -6,10 +6,18 @@
 // heading, and its seed-carrying state. Positions are centimetres in arena
 // space with the arena centre at the origin (ants are released at the
 // centre); time is seconds since release.
+//
+// Storage is structure-of-arrays: one flat float buffer holding the x[],
+// y[], and t[] channels as three contiguous spans, each padded to a
+// multiple of kPointBlock points. Kernels (query point-in-brush, raster
+// span ops) consume the channels through PointsView — the one sanctioned
+// way to see points — so SIMD lanes read dense same-channel floats instead
+// of striding over interleaved {x,y,t} records. The legacy AoS accessor
+// pointsAoS() materializes a copy and is deprecated (DESIGN.md §12).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <span>
 #include <string>
 #include <vector>
 
@@ -17,7 +25,16 @@
 
 namespace svq::traj {
 
+/// SoA channel padding granularity, in points. 64 points = 256 bytes per
+/// channel = 4 cache lines = 8 AVX2 lanes' worth of floats, and divides
+/// the SVQS shard block payload (whole SVQT points, 12 bytes each) so a
+/// decoded shard block always fills whole SoA blocks with no straggler
+/// remainder crossing a channel boundary.
+inline constexpr std::size_t kPointBlock = 64;
+
 /// One tracked sample: 2D arena position (cm) at time t (s since release).
+/// With SoA storage this is the *exchange* type (I/O, synthesis, tests) —
+/// trajectories do not store TrajPoint records internally.
 struct TrajPoint {
   Vec2 pos;
   float t = 0.0f;
@@ -25,6 +42,30 @@ struct TrajPoint {
   constexpr bool operator==(const TrajPoint&) const = default;
   /// Space-time-cube embedding: XY = arena, Z = time.
   constexpr Vec3 spaceTime() const { return {pos.x, pos.y, t}; }
+};
+
+/// Non-owning SoA view over a trajectory's samples: three parallel float
+/// spans of `count` live values each (the owning buffer pads every channel
+/// to kPointBlock, so x/y/t each sit in contiguous, non-overlapping
+/// storage). This is the kernel-facing point API: vector code loads lanes
+/// straight from x/y/t; scalar code uses the indexed helpers.
+struct PointsView {
+  const float* x = nullptr;
+  const float* y = nullptr;
+  const float* t = nullptr;
+  std::size_t count = 0;
+
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+
+  Vec2 pos(std::size_t i) const { return {x[i], y[i]}; }
+  float time(std::size_t i) const { return t[i]; }
+  Vec3 spaceTime(std::size_t i) const { return {x[i], y[i], t[i]}; }
+
+  /// Materialized sample (by value — there is no AoS record to point at).
+  TrajPoint operator[](std::size_t i) const { return {{x[i], y[i]}, t[i]}; }
+  TrajPoint front() const { return (*this)[0]; }
+  TrajPoint back() const { return (*this)[count - 1]; }
 };
 
 /// Position of the capture site relative to the colony's main foraging
@@ -70,7 +111,7 @@ struct TrajectoryMeta {
   constexpr bool operator==(const TrajectoryMeta&) const = default;
 };
 
-/// A single ant trajectory: metadata + time-ordered samples.
+/// A single ant trajectory: metadata + time-ordered samples in SoA blocks.
 ///
 /// Invariants maintained by the producers in this library (synthesizer,
 /// dataset loader, resampler): points are sorted by strictly increasing t,
@@ -78,24 +119,40 @@ struct TrajectoryMeta {
 class Trajectory {
  public:
   Trajectory() = default;
-  Trajectory(TrajectoryMeta meta, std::vector<TrajPoint> points)
-      : meta_(meta), points_(std::move(points)) {}
+  Trajectory(TrajectoryMeta meta, const std::vector<TrajPoint>& points)
+      : meta_(meta) {
+    assignPoints(points);
+  }
 
   const TrajectoryMeta& meta() const { return meta_; }
   TrajectoryMeta& meta() { return meta_; }
 
-  std::span<const TrajPoint> points() const { return points_; }
-  std::vector<TrajPoint>& mutablePoints() { return points_; }
+  /// SoA view of the samples — the one way kernels and iteration see
+  /// points. Valid until the next mutation of this trajectory.
+  PointsView view() const { return {xs(), ys(), ts(), size_}; }
 
-  std::size_t size() const { return points_.size(); }
-  bool empty() const { return points_.empty(); }
-  const TrajPoint& front() const { return points_.front(); }
-  const TrajPoint& back() const { return points_.back(); }
-  const TrajPoint& operator[](std::size_t i) const { return points_[i]; }
+  /// Appends one sample (amortized O(1); grows in whole kPointBlock units).
+  void appendPoint(const TrajPoint& p) { appendPoint(p.pos, p.t); }
+  void appendPoint(Vec2 pos, float t);
+
+  /// Replaces all samples.
+  void assignPoints(const std::vector<TrajPoint>& points);
+  void clearPoints() { size_ = 0; }
+
+  /// DEPRECATED AoS escape hatch: materializes a copy of the samples as
+  /// interleaved records. O(n) per call — migrate to view().
+  [[deprecated("AoS accessor; use view() — see DESIGN.md §12")]]
+  std::vector<TrajPoint> pointsAoS() const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  TrajPoint front() const { return view()[0]; }
+  TrajPoint back() const { return view()[size_ - 1]; }
+  TrajPoint operator[](std::size_t i) const { return view()[i]; }
 
   /// Total tracked duration in seconds (0 for < 2 points).
   float duration() const {
-    return points_.size() >= 2 ? points_.back().t - points_.front().t : 0.0f;
+    return size_ >= 2 ? ts()[size_ - 1] - ts()[0] : 0.0f;
   }
 
   /// Sum of inter-sample segment lengths (cm).
@@ -122,8 +179,21 @@ class Trajectory {
   bool wellFormed(float eps = 1e-4f) const;
 
  private:
+  // Channel bases inside the flat buffer: [x: cap_][y: cap_][t: cap_].
+  const float* xs() const { return soa_.data(); }
+  const float* ys() const { return soa_.data() + cap_; }
+  const float* ts() const { return soa_.data() + 2 * cap_; }
+  float* xs() { return soa_.data(); }
+  float* ys() { return soa_.data() + cap_; }
+  float* ts() { return soa_.data() + 2 * cap_; }
+
+  /// Grows capacity to at least `minPoints`, preserving live samples.
+  void reservePoints(std::size_t minPoints);
+
   TrajectoryMeta meta_;
-  std::vector<TrajPoint> points_;
+  std::vector<float> soa_;   ///< 3 * cap_ floats: x block, y block, t block.
+  std::size_t cap_ = 0;      ///< per-channel capacity, multiple of kPointBlock
+  std::size_t size_ = 0;     ///< live samples per channel
 };
 
 }  // namespace svq::traj

@@ -1,0 +1,10 @@
+#include "util/arena.h"
+
+namespace svq::util {
+
+Arena& frameArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace svq::util

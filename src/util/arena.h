@@ -1,0 +1,136 @@
+// arena.h — bump allocator for per-frame kernel scratch.
+//
+// The per-frame evaluation path (QueryEngine::evaluate → classifySpatial →
+// point-in-brush kernel) needs short-lived float/int scratch buffers sized
+// by the trajectory under test. Allocating them from the heap per
+// trajectory puts malloc on the hot loop; an arena turns every allocation
+// into a pointer bump and every frame's cleanup into a single reset.
+//
+// Usage pattern (per worker thread, per frame/task):
+//
+//   Arena& a = frameArena();
+//   ArenaScope scope(a);              // rewinds on destruction
+//   float* mx = a.allocate<float>(n); // 64-byte aligned, uninitialized
+//
+// Arenas are NOT thread-safe; frameArena() hands each thread its own
+// thread_local instance, which is how the cell-parallel / trajectory-
+// parallel paths stay race-free. Memory is retained across resets (hot
+// frames reuse the same chunks), released only on destruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace svq::util {
+
+class Arena {
+ public:
+  /// Alignment of every allocation — one cache line, and enough for any
+  /// SIMD vector width the kernels use.
+  static constexpr std::size_t kAlign = 64;
+
+  explicit Arena(std::size_t firstChunkBytes = 1 << 16)
+      : nextChunkBytes_(firstChunkBytes < kAlign ? kAlign : firstChunkBytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    for (Chunk& c : chunks_) ::operator delete(c.base, std::align_val_t{kAlign});
+  }
+
+  /// Uninitialized storage for `count` Ts, 64-byte aligned. T must be
+  /// trivially destructible — the arena never runs destructors.
+  template <typename T>
+  T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(allocateBytes(count * sizeof(T)));
+  }
+
+  void* allocateBytes(std::size_t bytes) {
+    bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+    if (current_ >= chunks_.size() || used_ + bytes > chunks_[current_].size) {
+      advanceChunk(bytes);
+    }
+    void* p = chunks_[current_].base + used_;
+    used_ += bytes;
+    return p;
+  }
+
+  /// Opaque rewind point for ArenaScope.
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  Mark mark() const { return {current_, used_}; }
+
+  /// Rewinds to a mark; everything allocated after it is invalid. Chunks
+  /// stay owned (and hot) for reuse.
+  void rewind(Mark m) {
+    current_ = m.chunk;
+    used_ = m.used;
+  }
+
+  /// Frees everything (keeps the chunks).
+  void reset() { rewind({0, 0}); }
+
+  /// Bytes currently reserved from the OS across all chunks.
+  std::size_t capacityBytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::byte* base = nullptr;
+    std::size_t size = 0;
+  };
+
+  void advanceChunk(std::size_t needBytes) {
+    // Reuse the next retained chunk if it fits, else append a new one
+    // (geometric growth so pathological frames settle into one chunk).
+    if (!chunks_.empty() && current_ + 1 < chunks_.size() &&
+        chunks_[current_ + 1].size >= needBytes) {
+      ++current_;
+      used_ = 0;
+      return;
+    }
+    while (nextChunkBytes_ < needBytes) nextChunkBytes_ *= 2;
+    Chunk c;
+    c.base = static_cast<std::byte*>(
+        ::operator new(nextChunkBytes_, std::align_val_t{kAlign}));
+    c.size = nextChunkBytes_;
+    nextChunkBytes_ *= 2;
+    chunks_.push_back(c);
+    current_ = chunks_.size() - 1;
+    used_ = 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;
+  std::size_t used_ = 0;
+  std::size_t nextChunkBytes_;
+};
+
+/// RAII rewind: allocations made inside the scope vanish when it ends.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// Per-thread arena for frame-scoped kernel scratch.
+Arena& frameArena();
+
+}  // namespace svq::util

@@ -1,0 +1,42 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace svq::util {
+
+Isa detectIsa() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Isa::kSse2;
+#endif
+  return Isa::kScalar;
+}
+
+namespace {
+
+Isa resolveActive() {
+  const char* force = std::getenv("SVQ_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' && std::strcmp(force, "0") != 0) {
+    return Isa::kScalar;
+  }
+  return detectIsa();
+}
+
+}  // namespace
+
+Isa activeIsa() {
+  static const Isa cached = resolveActive();
+  return cached;
+}
+
+const char* toString(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace svq::util

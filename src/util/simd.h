@@ -1,0 +1,38 @@
+// simd.h — runtime SIMD instruction-set dispatch.
+//
+// The two hot loops (brush-overlap query kernel, CPU rasterizer span
+// fill/blit) ship three implementations each: scalar, SSE2, AVX2. This
+// module picks one instruction set ONCE at startup so the kernels branch
+// on a cached enum, never on cpuid, inside the loop.
+//
+// Contract: every SIMD variant is bit-identical to its scalar fallback.
+// The determinism gates (1/4/8-thread, delta-on/off, TSan, content-hash
+// golden tests) rely on this — a vectorized kernel is an optimization,
+// never an observable behaviour change. The kernel fuzz tests
+// (tests/simd_kernel_test.cpp) enforce it on random spans.
+//
+// Override: set SVQ_FORCE_SCALAR=1 in the environment to pin every kernel
+// to the scalar path regardless of hardware (used by the forced-scalar CI
+// leg and for A/B ratio benchmarks).
+#pragma once
+
+namespace svq::util {
+
+/// Instruction sets the kernels are compiled for, in preference order.
+enum class Isa {
+  kScalar = 0,
+  kSse2,
+  kAvx2,
+};
+
+/// Best instruction set the running CPU supports (ignores the override).
+Isa detectIsa();
+
+/// Instruction set the kernels actually use: detectIsa() unless
+/// SVQ_FORCE_SCALAR is set to anything but "" or "0". Detected once,
+/// cached, thread-safe.
+Isa activeIsa();
+
+const char* toString(Isa isa);
+
+}  // namespace svq::util

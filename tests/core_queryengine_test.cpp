@@ -76,7 +76,7 @@ TEST_F(QueryEngineTest, LocalizedEditInvalidatesOnlyIntersectingSubset) {
 
   // A small dab on a spot trajectory 0 actually visits: at least one
   // trajectory must re-classify, but only those whose footprint overlaps.
-  const Vec2 dabPos = ds_[0].points()[ds_[0].size() / 2].pos;
+  const Vec2 dabPos = ds_[0].view().pos(ds_[0].size() / 2);
   const AABB2 dirty = canvas_.addStroke(BrushStroke{1, dabPos, 3.0f});
   ASSERT_TRUE(dirty.valid());
   engine_.invalidateRegion(dirty);
@@ -194,7 +194,7 @@ TEST_F(QueryEngineTest, LastInvalidatedReportsDamagedRows) {
 
   // A localized dab re-passes only the overlapping subset, and
   // lastInvalidated names exactly those rows.
-  const Vec2 dabPos = ds_[0].points()[ds_[0].size() / 2].pos;
+  const Vec2 dabPos = ds_[0].view().pos(ds_[0].size() / 2);
   engine_.invalidateRegion(canvas_.addStroke(BrushStroke{1, dabPos, 3.0f}));
   engine_.evaluate();
   const auto& damaged = engine_.lastInvalidated();

@@ -12,14 +12,14 @@ namespace {
 
 TEST(CanvasTest, WholeCoversFramebuffer) {
   Framebuffer fb(10, 5);
-  const Canvas c = Canvas::whole(fb);
+  Canvas c = Canvas::whole(fb);
   EXPECT_TRUE(c.valid());
   EXPECT_EQ(c.region, (RectI{0, 0, 10, 5}));
 }
 
 TEST(CanvasTest, OffsetRegionTranslatesWrites) {
   Framebuffer fb(4, 4, colors::kBlack);
-  const Canvas c{&fb, {100, 200, 4, 4}, {}};
+  Canvas c{&fb, {100, 200, 4, 4}, {}};
   c.set(101, 202, colors::kWhite);
   EXPECT_EQ(fb.at(1, 2), colors::kWhite);
   c.set(99, 200, colors::kWhite);   // left of region: clipped
@@ -201,7 +201,7 @@ TEST(TextTest, ScaleEnlargesGlyphs) {
 
 TEST(FillSpanTest, OpaqueAndBlendedRuns) {
   Framebuffer fb(10, 4, colors::kBlack);
-  const Canvas c = Canvas::whole(fb);
+  Canvas c = Canvas::whole(fb);
   c.fillSpan(2, 1, 5, colors::kRed);  // opaque fast path
   EXPECT_EQ(fb.countPixels(colors::kRed), 5u);
   EXPECT_EQ(fb.at(2, 1), colors::kRed);
@@ -215,7 +215,7 @@ TEST(FillSpanTest, OpaqueAndBlendedRuns) {
 
 TEST(FillSpanTest, ClipsToRegionAndClipRect) {
   Framebuffer fb(8, 8, colors::kBlack);
-  const Canvas c = Canvas::whole(fb).subCanvas({2, 2, 4, 4});
+  Canvas c = Canvas::whole(fb).subCanvas({2, 2, 4, 4});
   c.fillSpan(-10, 3, 100, colors::kRed);  // row crosses the clip rect
   EXPECT_EQ(fb.countPixels(colors::kRed), 4u);
   EXPECT_EQ(fb.at(2, 3), colors::kRed);
@@ -229,7 +229,7 @@ TEST(FillSpanTest, ClipsToRegionAndClipRect) {
 TEST(BlitRowsTest, CopiesAndClips) {
   Framebuffer src(4, 3, colors::kGreen);
   Framebuffer dst(10, 10, colors::kBlack);
-  const Canvas c = Canvas::whole(dst);
+  Canvas c = Canvas::whole(dst);
   c.blitRows(src, 0, 0, {2, 5, 4, 3});
   EXPECT_EQ(dst.countPixels(colors::kGreen), 12u);
   EXPECT_EQ(dst.at(2, 5), colors::kGreen);

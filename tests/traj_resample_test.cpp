@@ -67,8 +67,9 @@ TEST(ResampleTest, SinglePointInput) {
   const Trajectory t({}, {{{1.0f, 2.0f}, 0.0f}});
   const Trajectory r = resampleUniform(t, 4);
   EXPECT_EQ(r.size(), 4u);
-  for (const auto& p : r.points()) {
-    EXPECT_EQ(p.pos, (Vec2{1.0f, 2.0f}));
+  const auto rv = r.view();
+  for (std::size_t i = 0; i < rv.count; ++i) {
+    EXPECT_EQ(rv.pos(i), (Vec2{1.0f, 2.0f}));
   }
   EXPECT_TRUE(r.wellFormed());
 }
@@ -127,8 +128,9 @@ TEST(DouglasPeuckerTest, KeepsSalientCorner) {
                           {{2, 10}, 4}});
   const Trajectory s = simplifyDouglasPeucker(t, 0.5f);
   bool hasCorner = false;
-  for (const auto& p : s.points()) {
-    if (p.pos == Vec2{2.0f, 0.0f}) hasCorner = true;
+  const auto sv = s.view();
+  for (std::size_t i = 0; i < sv.count; ++i) {
+    if (sv.pos(i) == Vec2{2.0f, 0.0f}) hasCorner = true;
   }
   EXPECT_TRUE(hasCorner);
 }
@@ -173,7 +175,8 @@ TEST(AverageTrajectoryTest, AverageOfMirroredPairIsCenterline) {
   const Trajectory down({}, {{{0, -1}, 0}, {{1, -1}, 1}, {{2, -1}, 2}});
   const Trajectory avg = averageTrajectory({&up, &down}, 9);
   ASSERT_EQ(avg.size(), 3u);
-  for (const auto& p : avg.points()) EXPECT_FLOAT_EQ(p.pos.y, 0.0f);
+  const auto av = avg.view();
+  for (std::size_t i = 0; i < av.count; ++i) EXPECT_FLOAT_EQ(av.y[i], 0.0f);
   EXPECT_EQ(avg.meta().id, 9u);
 }
 
