@@ -4,7 +4,10 @@
 // A scripted analyst session (modelled on the behavioural ecologist's
 // workflow the paper reports: binning, comparison, hypothesis after
 // hypothesis, each verified with a quick visual query) is replayed
-// through the application. Every event is applied to real state, the
+// through the replay engine (replay::Runner): the script is promoted to
+// a replay::Recording, every event drives a real core::SessionService
+// and every step's frame is rendered headless and hash-stamped — the
+// same determinism machinery the CI fleet runs (DESIGN.md §13). The
 // think-aloud notes are auto-coded with the paper's tagging scheme
 // (observation / hypothesis / tool use + comparison / conclusion), and
 // the session statistics that ground the Sec. VI discussion are printed.
@@ -15,6 +18,7 @@
 #include "core/evidence.h"
 #include "core/hypothesis.h"
 #include "core/session.h"
+#include "replay/runner.h"
 #include "study/coding.h"
 #include "study/timeline.h"
 #include "traj/synth.h"
@@ -96,26 +100,43 @@ ui::InputScript analystSession(float arenaRadius) {
 }  // namespace
 
 int main() {
-  traj::AntSimulator simulator({}, 808);
-  traj::DatasetSpec spec;
-  spec.count = 500;
-  const traj::TrajectoryDataset dataset = simulator.generate(spec);
+  // The study world, as a replayable WorldSpec: the dataset is
+  // regenerated from its seed inside the runner, so the whole session is
+  // a self-contained recording (shareable as a .svqr file).
+  replay::WorldSpec world;
+  world.datasetSeed = 808;
+  world.trajectoryCount = 500;
+  world.tile = wall::TileSpec{320, 180, 1150.0f, 647.0f, 4.0f};
+  world.tileCols = 6;
+  world.tileRows = 2;
 
-  const wall::WallSpec wallSpec(wall::TileSpec{320, 180, 1150.0f, 647.0f,
-                                               4.0f},
-                                6, 2);
-  core::Session app(core::SharedContext::create(dataset, wallSpec));
+  const ui::InputScript script = analystSession(traj::ArenaSpec{}.radiusCm);
+  const replay::Recording recording =
+      replay::Recording::fromScript(world, script);
 
-  const ui::InputScript script = analystSession(dataset.arena().radiusCm);
-  const std::size_t applied = app.applyScript(script);
-  app.buildScene();
-  std::printf("== session replay ==\n");
+  replay::Runner runner(recording);
+  const replay::RunReport report = runner.run();
+  const traj::TrajectoryDataset& dataset = runner.dataset();
+
+  std::printf("== session replay (headless, hash-stamped) ==\n");
   std::printf("applied %zu/%zu events over %.0f s of session time\n",
-              applied, script.size(), script.durationS());
-  std::printf("final state: %zu cells, %.0f%% coverage, brush strokes: %zu\n\n",
-              app.layout().cellCount(),
-              static_cast<double>(app.datasetCoverage()) * 100.0,
-              app.brush().strokes().size());
+              report.eventsApplied, script.size(), script.durationS());
+  std::printf("replayed %zu steps in %.1f ms, fleet hash %016llx\n",
+              report.steps.size(), report.totalMs,
+              static_cast<unsigned long long>(report.fleetHash()));
+  const core::QueryResult* lastQuery = nullptr;
+  runner.inspectSession(0, [&](core::Session& app) {
+    std::printf(
+        "final state: %zu cells, %.0f%% coverage, brush strokes: %zu\n\n",
+        app.layout().cellCount(),
+        static_cast<double>(app.datasetCoverage()) * 100.0,
+        app.brush().strokes().size());
+    lastQuery = &app.lastQueryResult();
+  });
+  if (lastQuery == nullptr) {
+    std::fprintf(stderr, "replay did not leave a live session\n");
+    return 1;
+  }
 
   // Auto-code the session with the paper's tagging scheme.
   const study::SessionLog log = study::autoCode(script);
@@ -166,7 +187,7 @@ int main() {
   provenance.recordAnnotation(75.0, *evidence.find(obsId), {dsId});
 
   const auto q1Id = provenance.recordQuery(
-      128.0, "west half brushed red", app.lastQueryResult(), dsId);
+      128.0, "west half brushed red", *lastQuery, dsId);
   const auto h1Id = provenance.recordHypothesis(150.0, r1, {q1Id});
   const auto h2Id = provenance.recordHypothesis(240.0, r2, {q1Id});
   const auto conclusion = provenance.recordConclusion(

@@ -2,6 +2,13 @@
 """Gate a bench smoke run against a checked-in baseline.
 
 Usage: perf_smoke.py <report.json> <baseline.json> [tolerance]
+       perf_smoke.py --info <report.json> [...]
+
+`--info` renders one or more bench_json reports (e.g. the replay
+harness's timing logs) without gating: every scenario's median/p95 and
+counters are printed and the exit code is always 0. Replay timing is
+informational by design — determinism is asserted by frame hashes, while
+wall-clock varies across runners.
 
 Both files are bench_json.h-shaped reports. Absolute frame times vary
 across runners, so the gate compares the machine-independent ratio
@@ -36,7 +43,22 @@ def counters(report, scenario):
     return None
 
 
+def info(paths):
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        print(f"== {path} ==")
+        for s in report.get("scenarios", []):
+            print(f"  {s.get('name', '?')}: median {s.get('median_ms', 0):.3f} ms, "
+                  f"p95 {s.get('p95_ms', 0):.3f} ms")
+            for key, value in sorted(s.get("counters", {}).items()):
+                print(f"    {key}: {value:.3f}")
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 3 and argv[1] == "--info":
+        return info(argv[2:])
     if len(argv) < 3:
         print(__doc__, file=sys.stderr)
         return 1

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in replay golden hashes.
+
+Usage: update_goldens.py [build_dir]
+
+One command: configures/builds the svq_replay CLI if needed, replays the
+canonical scenario headless, and rewrites tests/goldens/replay_canonical.h
+with the resulting per-step frame hashes. Run it after an *intentional*
+rendering change, then commit the header together with the change; the
+replay_golden_test suite (ctest -L replay) validates against it in both
+the default and SVQ_FORCE_SCALAR=1 CI legs.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN = os.path.join(REPO, "tests", "goldens", "replay_canonical.h")
+
+
+def main(argv):
+    build_dir = argv[1] if len(argv) > 1 else os.path.join(REPO, "build")
+    cli = os.path.join(build_dir, "examples", "svq_replay")
+
+    if not os.path.exists(os.path.join(build_dir, "CMakeCache.txt")):
+        subprocess.run(
+            ["cmake", "-B", build_dir, "-S", REPO,
+             "-DCMAKE_BUILD_TYPE=Release"],
+            check=True)
+    subprocess.run(
+        ["cmake", "--build", build_dir, "--target", "svq_replay_cli",
+         "-j", str(os.cpu_count() or 2)],
+        check=True)
+
+    # The golden must never be generated with a forced kernel choice: it
+    # is the reference both kernel families are checked against.
+    env = dict(os.environ)
+    env.pop("SVQ_FORCE_SCALAR", None)
+    header = subprocess.run([cli, "golden"], check=True, env=env,
+                            capture_output=True, text=True).stdout
+    if "kCanonicalStepHashes" not in header:
+        print("svq_replay golden produced unexpected output", file=sys.stderr)
+        return 1
+
+    with open(GOLDEN, "w") as f:
+        f.write(header)
+    print(f"wrote {GOLDEN}")
+    print("re-run: ctest --test-dir", build_dir, "-L replay")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -72,6 +72,7 @@ SessionService::Admission SessionService::admit() {
   tenants_.emplace(id, std::make_shared<Tenant>(Session(context_)));
   metrics.admitted.add(1);
   metrics.active.add(1);
+  if (hooks_.onAdmit) hooks_.onAdmit(id);
   return {Status::ok(static_cast<std::int64_t>(id)), id};
 }
 
@@ -90,6 +91,7 @@ Status SessionService::close(SessionId id) {
   ServiceMetrics& metrics = ServiceMetrics::get();
   metrics.closed.add(1);
   metrics.active.sub(1);
+  if (hooks_.onClose) hooks_.onClose(id);
   // The Session (and any queued events) dies when the last in-flight
   // operation holding the shared_ptr releases it.
   return Status::ok(static_cast<std::int64_t>(id));
@@ -114,6 +116,9 @@ Status SessionService::submit(SessionId id, const ui::Event& event) {
   }
   t->queue.push_back(event);
   metrics.eventsQueued.add(1);
+  // Observed at enqueue time: this is where the event's position in the
+  // tenant's stream is decided (drain applies in queue order).
+  if (hooks_.onEvent) hooks_.onEvent(id, event);
   return Status::ok(static_cast<std::int64_t>(id));
 }
 
@@ -167,6 +172,10 @@ Status SessionService::apply(SessionId id, const ui::Event& event) {
     t->queue.pop_front();
     applyOneLocked(*t, queued);
   }
+  // Queued events were observed at submit(); only the synchronous event
+  // is new to the stream here. Rejected-on-apply events are observed too:
+  // a replay must reproduce the rejection deterministically.
+  if (hooks_.onEvent) hooks_.onEvent(id, event);
   return applyOneLocked(*t, event)
              ? Status::ok(static_cast<std::int64_t>(id))
              : Status::rejected(static_cast<std::int64_t>(id));

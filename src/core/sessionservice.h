@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -62,9 +63,27 @@ class SessionService {
     explicit operator bool() const { return status.isOk(); }
   };
 
+  /// Observation hooks for session record/replay (replay::Recorder).
+  /// onEvent fires for every *accepted* event — from submit() at enqueue
+  /// time and apply() at apply time, under the tenant's mutex, i.e. in
+  /// the exact order events enter that tenant's stream. onAdmit/onClose
+  /// fire after the tenant map changes. Install before traffic starts and
+  /// leave in place until the flows being observed are quiesced; the
+  /// empty default disables observation.
+  struct Hooks {
+    std::function<void(SessionId)> onAdmit;
+    std::function<void(SessionId, const ui::Event&)> onEvent;
+    std::function<void(SessionId)> onClose;
+  };
+
   explicit SessionService(std::shared_ptr<const SharedContext> context);
   SessionService(std::shared_ptr<const SharedContext> context,
                  Options options);
+
+  /// Installs (or, with a default-constructed Hooks, removes) the
+  /// observation hooks. Not synchronized against in-flight operations —
+  /// set while the service is quiet.
+  void setHooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
   /// Creates a fresh tenant session (O(1): COW state over the shared
   /// context). kAtCapacity when maxSessions are live, kShutdown after
@@ -130,6 +149,7 @@ class SessionService {
 
   std::shared_ptr<const SharedContext> context_;
   Options options_;
+  Hooks hooks_;
   mutable std::shared_mutex mapMutex_;  ///< guards tenants_ + nextId_
   std::unordered_map<SessionId, std::shared_ptr<Tenant>> tenants_;
   SessionId nextId_ = 1;

@@ -1,0 +1,198 @@
+// recording.h — the versioned container for recorded interaction sessions.
+//
+// ui::InputScript captures one explorer's event list; a scale test needs
+// more: the *whole* input side of a multi-tenant run, plus everything
+// required to rebuild the world it ran against bit-identically. A
+// Recording is exactly that closure:
+//
+//   * WorldSpec — the synthetic-dataset seed and size, the wall geometry
+//     and the fault-injector plans (net wire faults for the delta
+//     broadcast, io faults for shard-backed worlds). Replaying the same
+//     recording always regenerates the same dataset on the same wall
+//     under the same injected faults.
+//   * steps — the global arrival-order sequence of tenant lifecycle
+//     operations (admit/close) and accepted events, each tagged with the
+//     dense tenant track index, a session timestamp and an optional
+//     analyst note. Per-tenant subsequences are exactly each tenant's
+//     event stream as core::SessionService applied it.
+//
+// The container is a versioned binary format (magic "SVQR") over
+// net::MessageBuffer; deserialize() is hardened the way the SVQT parser
+// is: payload-bounded counts, finite-timestamp validation, typed
+// rejection (nullopt) instead of crashes on truncated or bit-flipped
+// input (tests/ui_script_fuzz_test.cpp fuzzes it).
+//
+// replay::Recorder (below) fills a Recording from a live
+// core::SessionService via the service's observation hooks, assigning
+// dense track indices in admission order and serializing the global
+// arrival order under its own mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sessionservice.h"
+#include "net/message.h"
+#include "ui/events.h"
+#include "ui/script.h"
+#include "wall/wall.h"
+
+namespace svq::replay {
+
+/// Everything needed to rebuild a replayed run's world bit-identically.
+struct WorldSpec {
+  /// Synthetic dataset: traj::AntSimulator(seed) over DatasetSpec{count}
+  /// with default behaviour parameters and condition mix.
+  std::uint64_t datasetSeed = 808;
+  std::uint32_t trajectoryCount = 96;
+
+  /// Wall geometry (WallSpec{tile, cols, rows}).
+  wall::TileSpec tile{160, 90, 575.0f, 323.0f, 4.0f};
+  int tileCols = 2;
+  int tileRows = 1;
+
+  /// Net fault plan for the delta-broadcast wire: probability that a
+  /// scene packet is dropped (forcing the epoch+ack resync path), and the
+  /// seed of the injector's per-edge RNG streams.
+  double wireDropProbability = 0.0;
+  std::uint64_t wireFaultSeed = 0x5eedULL;
+
+  /// Io fault plan for shard-backed worlds (traj::ShardStore replays):
+  /// fraction of shard payloads the io injector rots, and its seed.
+  /// Captured so fault seeds compose with the recording; inert for the
+  /// in-memory worlds the shipped scenarios use (DESIGN.md §13).
+  double ioFaultPct = 0.0;
+  std::uint64_t ioFaultSeed = 0x5eedULL;
+
+  wall::WallSpec wallSpec() const {
+    return wall::WallSpec(tile, tileCols, tileRows);
+  }
+};
+
+/// One recorded step, in global arrival order.
+enum class StepKind : std::uint8_t {
+  kAdmit = 0,  ///< tenant admitted (track index assigned here)
+  kEvent = 1,  ///< one accepted ui::Event on the tenant's stream
+  kClose = 2,  ///< tenant closed
+};
+
+struct RecordedStep {
+  StepKind kind = StepKind::kEvent;
+  std::uint32_t tenant = 0;  ///< dense track index (admission order)
+  double timeS = 0.0;        ///< session time; informational
+  ui::Event event;           ///< meaningful only for kEvent
+  std::string note;          ///< think-aloud annotation (may be empty)
+};
+
+/// A recorded multi-tenant session: world + globally ordered steps.
+class Recording {
+ public:
+  static constexpr std::uint32_t kMagic = 0x52515653u;  // "SVQR"
+  static constexpr std::uint32_t kVersion = 1;
+
+  WorldSpec world;
+
+  // --- building ----------------------------------------------------------
+  void admit(std::uint32_t tenant, double timeS) {
+    steps_.push_back({StepKind::kAdmit, tenant, timeS, {}, {}});
+  }
+  void event(std::uint32_t tenant, double timeS, ui::Event e,
+             std::string note = {}) {
+    steps_.push_back(
+        {StepKind::kEvent, tenant, timeS, std::move(e), std::move(note)});
+  }
+  void close(std::uint32_t tenant, double timeS) {
+    steps_.push_back({StepKind::kClose, tenant, timeS, {}, {}});
+  }
+
+  /// Single-tenant recording from a classic InputScript (the
+  /// pilot-study migration path): admit track 0, then every scripted
+  /// event in order with its timestamp and note.
+  static Recording fromScript(WorldSpec world, const ui::InputScript& script);
+
+  // --- inspection --------------------------------------------------------
+  const std::vector<RecordedStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+  std::size_t size() const { return steps_.size(); }
+  std::size_t eventCount() const;
+  /// Highest tenant track index + 1 (0 for an empty recording).
+  std::uint32_t tenantCount() const;
+
+  /// Projection of one tenant's steps (relative order preserved, track
+  /// index remapped to 0) — the serialized per-tenant split the
+  /// SessionService ordering tests replay against the interleaved whole.
+  Recording tenantSlice(std::uint32_t tenant) const;
+
+  // --- serialization -----------------------------------------------------
+  net::MessageBuffer serialize() const;
+  /// Hardened parse: rejects bad magic/version, payload-driven counts,
+  /// non-finite timestamps and truncation with nullopt — never a crash,
+  /// never an allocation sized by a corrupt count field.
+  static std::optional<Recording> deserialize(net::MessageBuffer buf);
+
+  bool saveBinary(const std::string& path) const;
+  static std::optional<Recording> loadBinary(const std::string& path);
+
+ private:
+  std::vector<RecordedStep> steps_;
+};
+
+/// Captures a live core::SessionService's input flow into a Recording.
+///
+/// attach() installs itself as the service's observation hooks; from then
+/// on every admission, accepted event (submit() at enqueue time, apply()
+/// at apply time — i.e. in exact per-tenant stream order) and close lands
+/// in the recording in global arrival order, serialized by the
+/// recorder's own mutex. SessionIds are mapped to dense track indices in
+/// admission order, so a recording is stable across runs that hand out
+/// different raw ids.
+///
+/// Timestamps default to a deterministic step counter (0.1 s per step);
+/// interactive recorders install a wall-clock source via setTimeSource().
+class Recorder {
+ public:
+  explicit Recorder(WorldSpec world) { recording_.world = world; }
+
+  /// Installs this recorder's hooks on `service`. Call before traffic
+  /// starts; the service keeps a reference until detach() (or different
+  /// hooks) replace it.
+  void attach(core::SessionService& service);
+
+  /// Removes the hooks installed by attach().
+  void detach();
+
+  /// Replaces the timestamp source (seconds since session start).
+  void setTimeSource(std::function<double()> source) {
+    std::lock_guard lock(mutex_);
+    timeSource_ = std::move(source);
+  }
+
+  /// Steps recorded so far.
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return recording_.size();
+  }
+
+  /// Detaches and moves the finished recording out.
+  Recording finish();
+
+ private:
+  double stamp();  // caller holds mutex_
+  void onAdmit(core::SessionId id);
+  void onEvent(core::SessionId id, const ui::Event& e);
+  void onClose(core::SessionId id);
+
+  mutable std::mutex mutex_;
+  Recording recording_;
+  std::function<double()> timeSource_;
+  std::unordered_map<core::SessionId, std::uint32_t> tracks_;
+  std::uint64_t sequence_ = 0;
+  core::SessionService* attached_ = nullptr;
+};
+
+}  // namespace svq::replay

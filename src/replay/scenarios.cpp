@@ -1,0 +1,278 @@
+#include "replay/scenarios.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace svq::replay::scenarios {
+
+namespace {
+
+constexpr float kPi = 3.14159265f;
+
+/// The fleet's small world: a 2x1 wall of 160x90 tiles (320x90 px) over
+/// 96 synthetic trajectories — big enough for every event type to bite,
+/// small enough that a full fleet sweep stays inside the CI budget.
+WorldSpec fleetWorld(std::uint64_t datasetSeed) {
+  WorldSpec w;
+  w.datasetSeed = datasetSeed;
+  w.trajectoryCount = 96;
+  w.tile = wall::TileSpec{160, 90, 575.0f, 323.0f, 4.0f};
+  w.tileCols = 2;
+  w.tileRows = 1;
+  // Aggressive wire plan: ~1 in 5 delta packets dropped when a runner
+  // injects faults, so the resync path is exercised constantly.
+  w.wireDropProbability = 0.2;
+  w.wireFaultSeed = 0xFA017ULL ^ datasetSeed;
+  return w;
+}
+
+ui::Event stroke(std::uint8_t brush, float x, float y, float r) {
+  return ui::BrushStrokeEvent{brush, {x, y}, r};
+}
+
+ui::Event group(std::uint8_t id, int x, int y, int w, int h,
+                std::uint8_t color) {
+  ui::GroupDefineEvent g;
+  g.groupId = id;
+  g.cellRect = {x, y, w, h};
+  g.colorIndex = color;
+  g.name = "bin" + std::to_string(id);
+  return g;
+}
+
+}  // namespace
+
+Recording canonical() {
+  Recording rec;
+  rec.world = fleetWorld(0x60D5ULL);
+  rec.admit(0, 0.0);
+  double t = 1.0;
+  const auto at = [&](ui::Event e, const char* note = "") {
+    rec.event(0, t, std::move(e), note);
+    t += 1.0;
+  };
+  at(ui::LayoutSwitchEvent{1}, "24x6 layout");
+  at(group(0, 0, 0, 8, 3, 1), "west bin");
+  at(stroke(0, -20.0f, 0.0f, 10.0f), "H: west exits");
+  at(stroke(0, -12.0f, 8.0f, 6.0f));
+  at(ui::TimeWindowEvent{0.0f, 40.0f}, "early movement");
+  at(ui::PageEvent{+1});
+  at(stroke(1, 0.0f, 0.0f, 8.0f), "H: centre search");
+  at(ui::TimeScaleEvent{0.4f});
+  at(ui::DepthOffsetEvent{-6.0f});
+  at(ui::BrushClearEvent{0}, "drop first query");
+  at(ui::LayoutSwitchEvent{2}, "36x12 layout");
+  at(ui::TimeWindowEvent{0.0f, 1e9f}, "reset filter");
+  at(ui::PageEvent{-1});
+  at(ui::GroupClearEvent{0});
+  return rec;
+}
+
+Recording marathon() {
+  Recording rec;
+  rec.world = fleetWorld(0x3A7A1ULL);
+  rec.admit(0, 0.0);
+  double t = 0.0;
+  rec.event(0, t += 1, ui::LayoutSwitchEvent{1});
+  // A standing bin so the page scrubs below actually page (paging is
+  // rejected without groups).
+  rec.event(0, t += 1, group(0, 0, 0, 10, 4, 1));
+  // Twelve hypothesis rounds: a stroke storm sweeping around the arena,
+  // a window scrub, a page, then a clear — the long-session cadence.
+  for (int round = 0; round < 12; ++round) {
+    const float ang = 2.0f * kPi * static_cast<float>(round) / 12.0f;
+    const std::uint8_t brush = static_cast<std::uint8_t>(round % 3);
+    for (int i = 0; i < 8; ++i) {
+      const float reach = 8.0f + 2.0f * static_cast<float>(i);
+      rec.event(0, t += 1,
+                stroke(brush, std::cos(ang) * reach, std::sin(ang) * reach,
+                       4.0f + static_cast<float>(i % 3)));
+    }
+    rec.event(0, t += 1,
+              ui::TimeWindowEvent{0.0f, 20.0f + 10.0f * (round % 4)});
+    rec.event(0, t += 1, ui::PageEvent{static_cast<std::int8_t>(round % 2 == 0 ? 1 : -1)});
+    if (round % 3 == 2) rec.event(0, t += 1, ui::BrushClearEvent{brush});
+  }
+  rec.event(0, t += 1, ui::BrushClearEvent{255});
+  rec.event(0, t += 1, ui::TimeWindowEvent{0.0f, 1e9f});
+  return rec;
+}
+
+Recording layoutChurn() {
+  Recording rec;
+  rec.world = fleetWorld(0xC4CB1ULL);
+  rec.admit(0, 0.0);
+  double t = 0.0;
+  // Cycle every preset while groups churn: defines that survive the
+  // switch, defines the smaller grid must prune, pages in between.
+  for (int round = 0; round < 10; ++round) {
+    const std::uint8_t preset = static_cast<std::uint8_t>(round % 3);
+    rec.event(0, t += 1, ui::LayoutSwitchEvent{preset});
+    rec.event(0, t += 1,
+              group(static_cast<std::uint8_t>(round % 4), (round * 2) % 10, 0,
+                    3, 3, static_cast<std::uint8_t>(round % 5)));
+    rec.event(0, t += 1, stroke(0, -15.0f + static_cast<float>(round), 5.0f,
+                                7.0f));
+    rec.event(0, t += 1, ui::PageEvent{+1});
+    // A far-right bin: legal on 24x6/36x12, pruned after a switch to 15x4.
+    rec.event(0, t += 1, group(5, 20, 0, 4, 4, 2));
+    rec.event(0, t += 1, ui::LayoutSwitchEvent{0});
+    rec.event(0, t += 1, ui::PageEvent{-1});
+    rec.event(0, t += 1,
+              ui::GroupClearEvent{static_cast<std::uint8_t>(round % 4)});
+  }
+  return rec;
+}
+
+Recording drilldownStorm() {
+  Recording rec;
+  rec.world = fleetWorld(0xD811DULL);
+  rec.admit(0, 0.0);
+  rec.admit(1, 0.5);
+  double t = 1.0;
+  // Each tenant bins first so its page storm pages instead of rejecting.
+  rec.event(0, t += 1, group(0, 0, 0, 9, 4, 1));
+  rec.event(1, t += 1, group(0, 3, 1, 9, 4, 3));
+  // Two tenants race through narrowing windows and page storms over the
+  // same popular region — the drill-down cadence, interleaved.
+  for (int round = 0; round < 14; ++round) {
+    const std::uint32_t tenant = static_cast<std::uint32_t>(round % 2);
+    const float t1 = 120.0f / static_cast<float>(1 + round % 6);
+    rec.event(tenant, t += 1, ui::TimeWindowEvent{0.0f, t1});
+    rec.event(tenant, t += 1,
+              stroke(static_cast<std::uint8_t>(tenant), -10.0f,
+                     static_cast<float>(round % 5) * 3.0f, 9.0f));
+    for (int p = 0; p < 4; ++p) {
+      rec.event(tenant, t += 1, ui::PageEvent{static_cast<std::int8_t>(p % 2 == 0 ? 1 : -1)});
+    }
+    if (round % 4 == 3) {
+      rec.event(tenant, t += 1,
+                ui::BrushClearEvent{static_cast<std::uint8_t>(tenant)});
+    }
+  }
+  rec.close(1, t += 1);
+  rec.event(0, t += 1, ui::TimeWindowEvent{0.0f, 1e9f});
+  return rec;
+}
+
+Recording interleave() {
+  Recording rec;
+  rec.world = fleetWorld(0x171EAULL);
+  double t = 0.0;
+  constexpr std::uint32_t kTenants = 4;
+  for (std::uint32_t s = 0; s < kTenants; ++s) rec.admit(s, t += 0.5);
+  // Round-robin: every tenant takes one step per round, with per-tenant
+  // spots so streams differ (the isolation-under-sharing probe).
+  for (int round = 0; round < 12; ++round) {
+    for (std::uint32_t s = 0; s < kTenants; ++s) {
+      const float ang = 2.0f * kPi * static_cast<float>(s) / kTenants;
+      switch (round % 4) {
+        case 0:
+          rec.event(s, t += 1,
+                    stroke(static_cast<std::uint8_t>(s % 3),
+                           std::cos(ang) * 18.0f + static_cast<float>(round),
+                           std::sin(ang) * 18.0f, 8.0f));
+          break;
+        case 1:
+          rec.event(s, t += 1,
+                    ui::TimeWindowEvent{0.0f, 30.0f + 5.0f * s + round});
+          break;
+        case 2:
+          rec.event(s, t += 1,
+                    group(static_cast<std::uint8_t>(s), (s * 5) % 12, 0, 3, 2,
+                          static_cast<std::uint8_t>(s % 5)));
+          break;
+        case 3:
+          rec.event(s, t += 1, ui::PageEvent{static_cast<std::int8_t>(s % 2 == 0 ? 1 : -1)});
+          break;
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < kTenants; ++s) {
+    rec.event(s, t += 1, ui::BrushClearEvent{255});
+  }
+  return rec;
+}
+
+Recording fuzz(std::uint64_t seed, int eventSteps) {
+  Recording rec;
+  rec.world = fleetWorld(0xF0CA1ULL ^ seed);
+  Rng rng(seed);
+  const std::uint32_t tenants = 2 + static_cast<std::uint32_t>(rng.below(2));
+  double t = 0.0;
+  for (std::uint32_t s = 0; s < tenants; ++s) rec.admit(s, t += 0.5);
+  for (int i = 0; i < eventSteps; ++i) {
+    const auto tenant = static_cast<std::uint32_t>(rng.below(tenants));
+    ui::Event e;
+    switch (rng.below(9)) {
+      case 0:
+        e = stroke(static_cast<std::uint8_t>(rng.below(4)),
+                   rng.uniform(-60.0f, 60.0f), rng.uniform(-60.0f, 60.0f),
+                   rng.uniform(0.5f, 25.0f));
+        break;
+      case 1:
+        // brushIndex 200 is out of palette range; clear must still be a
+        // deterministic no-op/success everywhere.
+        e = ui::BrushClearEvent{
+            static_cast<std::uint8_t>(rng.below(2) ? 255 : 200)};
+        break;
+      case 2: {
+        // Occasionally inverted (t0 > t1) windows.
+        const float a = rng.uniform(0.0f, 200.0f);
+        const float b = rng.uniform(0.0f, 200.0f);
+        e = ui::TimeWindowEvent{a, rng.below(4) == 0 ? b : std::max(a, b)};
+        break;
+      }
+      case 3:
+        e = ui::DepthOffsetEvent{rng.uniform(-40.0f, 40.0f)};
+        break;
+      case 4:
+        e = ui::TimeScaleEvent{rng.uniform(0.01f, 2.0f)};
+        break;
+      case 5:
+        // Presets 0-2 are valid; 3-7 must be *rejected* identically at
+        // every thread count / wire config.
+        e = ui::LayoutSwitchEvent{static_cast<std::uint8_t>(rng.below(8))};
+        break;
+      case 6: {
+        // Rects partly off-grid, zero-sized, or colliding group ids.
+        ui::GroupDefineEvent g;
+        g.groupId = static_cast<std::uint8_t>(rng.below(8));
+        g.cellRect = {static_cast<int>(rng.below(40)) - 4,
+                      static_cast<int>(rng.below(16)) - 2,
+                      static_cast<int>(rng.below(12)),
+                      static_cast<int>(rng.below(8))};
+        g.colorIndex = static_cast<std::uint8_t>(rng.below(5));
+        e = g;
+        break;
+      }
+      case 7:
+        e = ui::GroupClearEvent{static_cast<std::uint8_t>(rng.below(10))};
+        break;
+      default:
+        e = ui::PageEvent{rng.below(2) ? std::int8_t{1} : std::int8_t{-1}};
+        break;
+    }
+    rec.event(tenant, t += 1, std::move(e));
+  }
+  return rec;
+}
+
+std::vector<std::string> names() {
+  return {"canonical", "marathon",   "layout_churn",
+          "drilldown_storm", "interleave", "fuzz"};
+}
+
+Recording byName(const std::string& name) {
+  if (name == "canonical") return canonical();
+  if (name == "marathon") return marathon();
+  if (name == "layout_churn") return layoutChurn();
+  if (name == "drilldown_storm") return drilldownStorm();
+  if (name == "interleave") return interleave();
+  if (name == "fuzz") return fuzz();
+  throw std::out_of_range("unknown replay scenario: " + name);
+}
+
+}  // namespace svq::replay::scenarios

@@ -2,6 +2,7 @@
 #include "ui/script.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -11,6 +12,26 @@ namespace svq::ui {
 
 namespace {
 constexpr std::uint32_t kScriptMagic = 0x53565153u;  // "SVQS"
+
+/// Smallest serialized TimedEvent: 8-byte stamp + 1-byte event tag +
+/// 4-byte note length. Bounds the trusted event count on deserialize.
+constexpr std::size_t kMinEventBytes = 8 + 1 + 4;
+}  // namespace
+
+void InputScript::record(double timeS, Event e, std::string note) {
+  if (!std::isfinite(timeS)) timeS = durationS();
+  TimedEvent timed{timeS, std::move(e), std::move(note)};
+  if (events_.empty() || events_.back().timeS <= timeS) {
+    events_.push_back(std::move(timed));
+    return;
+  }
+  // Out-of-order stamp (merged recorders, clock hiccups): stable insert
+  // after every event at or before this stamp, so replay order stays the
+  // record order among equal stamps.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), timeS,
+      [](double t, const TimedEvent& ev) { return t < ev.timeS; });
+  events_.insert(pos, std::move(timed));
 }
 
 void InputScript::replay(
@@ -35,10 +56,16 @@ std::optional<InputScript> InputScript::deserialize(net::MessageBuffer buf) {
     buf.rewind();
     if (buf.getU32() != kScriptMagic) return std::nullopt;
     const std::uint32_t n = buf.getU32();
+    // A corrupt count must never size an allocation or a loop beyond what
+    // the payload can actually hold.
+    if (n > buf.remaining() / kMinEventBytes) return std::nullopt;
     InputScript script;
     for (std::uint32_t i = 0; i < n; ++i) {
       TimedEvent e;
       e.timeS = std::bit_cast<double>(buf.getU64());
+      // A NaN stamp is unorderable: it breaks the sort below (strict weak
+      // ordering) and every downstream duration computation.
+      if (!std::isfinite(e.timeS)) return std::nullopt;
       e.event = deserializeEvent(buf);
       e.note = buf.getString();
       script.events_.push_back(std::move(e));

@@ -20,9 +20,11 @@ class InputScript {
  public:
   InputScript() = default;
 
-  void record(double timeS, Event e, std::string note = {}) {
-    events_.push_back(TimedEvent{timeS, std::move(e), std::move(note)});
-  }
+  /// Appends an event, keeping the script sorted by timestamp: a stamp at
+  /// or after the current end appends (the live-recording fast path); an
+  /// out-of-order stamp is stably inserted at its time position; a
+  /// non-finite stamp is clamped to the script's current end.
+  void record(double timeS, Event e, std::string note = {});
 
   const std::vector<TimedEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
@@ -31,8 +33,8 @@ class InputScript {
     return events_.empty() ? 0.0 : events_.back().timeS;
   }
 
-  /// Invokes sink for every event in time order (events are kept sorted
-  /// on deserialize; record() expects nondecreasing stamps).
+  /// Invokes sink for every event in time order (record() and
+  /// deserialize() both keep the event list sorted).
   void replay(const std::function<void(const TimedEvent&)>& sink) const;
 
   /// Serialization (round-trips through MessageBuffer).

@@ -1,7 +1,6 @@
 #include "util/threadpool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
 
 namespace svq {
@@ -99,26 +98,29 @@ void ThreadPool::parallelForChunks(
   const std::size_t chunk = (n + parts - 1) / parts;
 
   // Completion is tracked separately from the queue's inFlight_ so that a
-  // caller running one chunk inline can block on just its own chunks.
+  // caller running one chunk inline can block on just its own chunks. The
+  // counter must be decremented *under* state.m: State lives on the caller's
+  // stack, and the caller may destroy it the instant it observes zero — a
+  // lock-free decrement would leave the finishing worker touching a dead
+  // mutex between its decrement and its notify.
   struct State {
-    std::atomic<std::size_t> remaining;
+    std::size_t remaining;
     std::mutex m;
     std::condition_variable cv;
-  } state{std::atomic<std::size_t>(parts - 1), {}, {}};
+  } state{parts - 1, {}, {}};
 
   for (std::size_t p = 1; p < parts; ++p) {
     const std::size_t lo = begin + p * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) {
-      state.remaining.fetch_sub(1, std::memory_order_acq_rel);
+      std::lock_guard lock(state.m);
+      --state.remaining;
       continue;
     }
     submit([&body, &state, lo, hi] {
       body(lo, hi);
-      if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(state.m);
-        state.cv.notify_one();
-      }
+      std::lock_guard lock(state.m);
+      if (--state.remaining == 0) state.cv.notify_one();
     });
   }
 
@@ -126,9 +128,7 @@ void ThreadPool::parallelForChunks(
   body(begin, std::min(end, begin + chunk));
 
   std::unique_lock lock(state.m);
-  state.cv.wait(lock, [&state] {
-    return state.remaining.load(std::memory_order_acquire) == 0;
-  });
+  state.cv.wait(lock, [&state] { return state.remaining == 0; });
 }
 
 ThreadPool& ThreadPool::global() {

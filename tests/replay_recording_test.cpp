@@ -1,0 +1,320 @@
+// Unit tests for the replay container (replay::Recording), the live
+// service recorder (replay::Recorder over core::SessionService hooks),
+// and InputScript's timestamp-ordering contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "core/sessionservice.h"
+#include "replay/recording.h"
+#include "traj/synth.h"
+#include "ui/script.h"
+
+namespace svq::replay {
+namespace {
+
+traj::TrajectoryDataset makeDataset(const WorldSpec& spec) {
+  traj::AntSimulator sim({}, spec.datasetSeed);
+  traj::DatasetSpec ds;
+  ds.count = spec.trajectoryCount;
+  return sim.generate(ds);
+}
+
+Recording sampleRecording() {
+  Recording rec;
+  rec.world.datasetSeed = 4242;
+  rec.world.trajectoryCount = 17;
+  rec.world.wireDropProbability = 0.25;
+  rec.world.wireFaultSeed = 99;
+  rec.admit(0, 0.0);
+  rec.admit(1, 0.5);
+  rec.event(0, 1.0, ui::BrushStrokeEvent{1, {3.0f, -4.0f}, 7.5f}, "west");
+  rec.event(1, 1.5, ui::TimeWindowEvent{2.0f, 60.0f});
+  rec.event(0, 2.0, ui::LayoutSwitchEvent{2});
+  ui::GroupDefineEvent g;
+  g.groupId = 3;
+  g.cellRect = {1, 2, 4, 3};
+  g.colorIndex = 2;
+  g.name = "returners";
+  rec.event(1, 2.5, g);
+  rec.event(0, 3.0, ui::DepthOffsetEvent{-5.0f});
+  rec.event(1, 3.5, ui::TimeScaleEvent{0.5f});
+  rec.event(0, 4.0, ui::GroupClearEvent{3});
+  rec.event(1, 4.5, ui::PageEvent{-1});
+  rec.event(0, 5.0, ui::BrushClearEvent{255});
+  rec.close(1, 6.0);
+  return rec;
+}
+
+TEST(RecordingTest, RoundTripsAllStepKindsAndEventTypes) {
+  const Recording rec = sampleRecording();
+  const auto restored = Recording::deserialize(rec.serialize());
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), rec.size());
+  EXPECT_EQ(restored->world.datasetSeed, rec.world.datasetSeed);
+  EXPECT_EQ(restored->world.trajectoryCount, rec.world.trajectoryCount);
+  EXPECT_EQ(restored->world.wireDropProbability,
+            rec.world.wireDropProbability);
+  EXPECT_EQ(restored->world.wireFaultSeed, rec.world.wireFaultSeed);
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    const RecordedStep& a = rec.steps()[i];
+    const RecordedStep& b = restored->steps()[i];
+    EXPECT_EQ(a.kind, b.kind) << "step " << i;
+    EXPECT_EQ(a.tenant, b.tenant) << "step " << i;
+    EXPECT_EQ(a.timeS, b.timeS) << "step " << i;
+    EXPECT_EQ(a.note, b.note) << "step " << i;
+    if (a.kind == StepKind::kEvent) {
+      EXPECT_EQ(a.event, b.event) << "step " << i;
+    }
+  }
+  EXPECT_EQ(restored->eventCount(), rec.eventCount());
+  EXPECT_EQ(restored->tenantCount(), 2u);
+}
+
+TEST(RecordingTest, RejectsBadMagicVersionTruncationAndTrailingGarbage) {
+  const net::MessageBuffer buf = sampleRecording().serialize();
+  const auto& bytes = buf.bytes();
+
+  {  // bad magic
+    std::vector<std::uint8_t> corrupt(bytes);
+    corrupt[0] ^= 0xFF;
+    EXPECT_FALSE(
+        Recording::deserialize(net::MessageBuffer(std::move(corrupt))));
+  }
+  {  // unknown version
+    std::vector<std::uint8_t> corrupt(bytes);
+    corrupt[4] = 0x7F;
+    EXPECT_FALSE(
+        Recording::deserialize(net::MessageBuffer(std::move(corrupt))));
+  }
+  {  // every strict prefix is rejected, never a crash
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      std::vector<std::uint8_t> prefix(bytes.begin(),
+                                       bytes.begin() + static_cast<long>(cut));
+      EXPECT_FALSE(
+          Recording::deserialize(net::MessageBuffer(std::move(prefix))))
+          << "cut " << cut;
+    }
+  }
+  {  // trailing garbage
+    std::vector<std::uint8_t> padded(bytes);
+    padded.push_back(0xAB);
+    EXPECT_FALSE(Recording::deserialize(net::MessageBuffer(std::move(padded))));
+  }
+  EXPECT_TRUE(Recording::deserialize(net::MessageBuffer(bytes)).has_value());
+}
+
+TEST(RecordingTest, RejectsHostileCountsBadKindsAndNonFiniteTimestamps) {
+  // The step count sits right after magic+version+world (8 + 72 bytes).
+  const std::size_t countOffset = 8 + 72;
+  const net::MessageBuffer buf = sampleRecording().serialize();
+
+  {  // hostile step count: bounded by payload, rejected before reserve
+    std::vector<std::uint8_t> corrupt(buf.bytes());
+    const std::uint32_t huge = 0x7FFFFFFFu;
+    std::memcpy(corrupt.data() + countOffset, &huge, sizeof huge);
+    EXPECT_FALSE(
+        Recording::deserialize(net::MessageBuffer(std::move(corrupt))));
+  }
+  {  // invalid step kind
+    std::vector<std::uint8_t> corrupt(buf.bytes());
+    corrupt[countOffset + 4] = 9;  // first step's kind byte
+    EXPECT_FALSE(
+        Recording::deserialize(net::MessageBuffer(std::move(corrupt))));
+  }
+  {  // NaN timestamp
+    Recording rec;
+    rec.admit(0, 0.0);
+    rec.event(0, std::numeric_limits<double>::quiet_NaN(), ui::PageEvent{1});
+    EXPECT_FALSE(Recording::deserialize(rec.serialize()));
+  }
+  {  // absurd tenant index (bit-flipped track field)
+    Recording rec;
+    rec.admit(0x7FFFFFFFu, 0.0);
+    EXPECT_FALSE(Recording::deserialize(rec.serialize()));
+  }
+}
+
+TEST(RecordingTest, TenantSliceKeepsOrderAndRemapsToTrackZero) {
+  const Recording rec = sampleRecording();
+  const Recording slice = rec.tenantSlice(1);
+  ASSERT_EQ(slice.size(), 6u);  // admit + 4 events + close
+  EXPECT_EQ(slice.steps().front().kind, StepKind::kAdmit);
+  EXPECT_EQ(slice.steps().back().kind, StepKind::kClose);
+  double lastTime = -1.0;
+  for (const RecordedStep& s : slice.steps()) {
+    EXPECT_EQ(s.tenant, 0u);
+    EXPECT_GT(s.timeS, lastTime);  // original relative order preserved
+    lastTime = s.timeS;
+  }
+  EXPECT_EQ(slice.world.datasetSeed, rec.world.datasetSeed);
+}
+
+TEST(RecorderTest, CapturesServiceFlowInStreamOrder) {
+  WorldSpec spec;
+  spec.trajectoryCount = 8;
+  const traj::TrajectoryDataset dataset = makeDataset(spec);
+  const auto context = core::SharedContext::create(dataset, spec.wallSpec());
+  core::SessionService service(context);
+
+  Recorder recorder(spec);
+  recorder.attach(service);
+
+  const auto a = service.admit();
+  const auto b = service.admit();
+  ASSERT_TRUE(a.status.isOk());
+  ASSERT_TRUE(b.status.isOk());
+
+  // Mixed submit()+drain and direct apply() traffic, interleaved tenants.
+  ASSERT_TRUE(service.submit(a.id, ui::BrushStrokeEvent{0, {1, 2}, 5}).isOk());
+  ASSERT_TRUE(service.apply(b.id, ui::TimeWindowEvent{0, 30}).isOk());
+  ASSERT_TRUE(service.submit(a.id, ui::TimeScaleEvent{0.5f}).isOk());
+  ASSERT_TRUE(service.drain(a.id).isOk());
+  // A rejected event (bad preset) must be recorded too: a replay has to
+  // reproduce the rejection deterministically.
+  EXPECT_FALSE(service.apply(b.id, ui::LayoutSwitchEvent{9}).isOk());
+  ASSERT_TRUE(service.close(b.id).isOk());
+
+  const Recording rec = recorder.finish();
+  ASSERT_EQ(rec.size(), 7u);
+  const auto& steps = rec.steps();
+  EXPECT_EQ(steps[0].kind, StepKind::kAdmit);
+  EXPECT_EQ(steps[0].tenant, 0u);
+  EXPECT_EQ(steps[1].kind, StepKind::kAdmit);
+  EXPECT_EQ(steps[1].tenant, 1u);
+  // Submitted events are observed at enqueue (stream-order position), so
+  // a's stroke precedes b's window even though a drained later.
+  EXPECT_EQ(steps[2].tenant, 0u);
+  EXPECT_EQ(ui::eventTypeName(steps[2].event), "brush_stroke");
+  EXPECT_EQ(steps[3].tenant, 1u);
+  EXPECT_EQ(ui::eventTypeName(steps[3].event), "time_window");
+  EXPECT_EQ(steps[4].tenant, 0u);
+  EXPECT_EQ(ui::eventTypeName(steps[4].event), "time_scale");
+  EXPECT_EQ(steps[5].tenant, 1u);
+  EXPECT_EQ(ui::eventTypeName(steps[5].event), "layout_switch");
+  EXPECT_EQ(steps[6].kind, StepKind::kClose);
+  EXPECT_EQ(steps[6].tenant, 1u);
+  // Deterministic default stamps: 0.1 s per recorded step.
+  EXPECT_DOUBLE_EQ(steps[0].timeS, 0.0);
+  EXPECT_DOUBLE_EQ(steps[3].timeS, 0.3);
+
+  // finish() detached the hooks: further traffic is not recorded.
+  ASSERT_TRUE(service.apply(a.id, ui::DepthOffsetEvent{2.0f}).isOk());
+  EXPECT_EQ(recorder.size(), 0u);  // moved out, and no new captures
+}
+
+TEST(RecorderTest, IgnoresTenantsAdmittedBeforeAttach) {
+  WorldSpec spec;
+  spec.trajectoryCount = 8;
+  const traj::TrajectoryDataset dataset = makeDataset(spec);
+  const auto context = core::SharedContext::create(dataset, spec.wallSpec());
+  core::SessionService service(context);
+
+  const auto pre = service.admit();
+  ASSERT_TRUE(pre.status.isOk());
+
+  Recorder recorder(spec);
+  recorder.attach(service);
+  // Not ours: admitted before attach.
+  ASSERT_TRUE(service.apply(pre.id, ui::DepthOffsetEvent{1.0f}).isOk());
+  const auto post = service.admit();
+  ASSERT_TRUE(service.apply(post.id, ui::DepthOffsetEvent{1.0f}).isOk());
+
+  const Recording rec = recorder.finish();
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.steps()[0].kind, StepKind::kAdmit);
+  EXPECT_EQ(rec.steps()[0].tenant, 0u);  // post is track 0: first *recorded*
+  EXPECT_EQ(rec.steps()[1].kind, StepKind::kEvent);
+  EXPECT_EQ(rec.steps()[1].tenant, 0u);
+}
+
+TEST(RecordingTest, FromScriptAdmitsTrackZeroAndKeepsEventOrder) {
+  ui::InputScript script;
+  script.record(1.0, ui::BrushStrokeEvent{0, {0, 0}, 5}, "first");
+  script.record(2.0, ui::PageEvent{1});
+  WorldSpec spec;
+  const Recording rec = Recording::fromScript(spec, script);
+  ASSERT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.steps()[0].kind, StepKind::kAdmit);
+  EXPECT_DOUBLE_EQ(rec.steps()[0].timeS, 1.0);
+  EXPECT_EQ(ui::eventTypeName(rec.steps()[1].event), "brush_stroke");
+  EXPECT_EQ(rec.steps()[1].note, "first");
+  EXPECT_EQ(ui::eventTypeName(rec.steps()[2].event), "page");
+  EXPECT_EQ(rec.tenantCount(), 1u);
+}
+
+// --- InputScript timestamp ordering (the record() contract) -----------------
+
+TEST(InputScriptOrderTest, MonotonicRecordsAppendInOrder) {
+  ui::InputScript script;
+  script.record(1.0, ui::PageEvent{1});
+  script.record(2.0, ui::PageEvent{-1});
+  script.record(2.0, ui::BrushClearEvent{0});  // equal stamp: keeps order
+  script.record(3.0, ui::TimeScaleEvent{0.5f});
+  ASSERT_EQ(script.size(), 4u);
+  EXPECT_DOUBLE_EQ(script.events()[0].timeS, 1.0);
+  EXPECT_EQ(ui::eventTypeName(script.events()[1].event), "page");
+  EXPECT_EQ(ui::eventTypeName(script.events()[2].event), "brush_clear");
+  EXPECT_DOUBLE_EQ(script.durationS(), 3.0);
+}
+
+TEST(InputScriptOrderTest, OutOfOrderRecordsAreStablyInserted) {
+  ui::InputScript script;
+  script.record(1.0, ui::PageEvent{1});
+  script.record(3.0, ui::PageEvent{-1});
+  script.record(2.0, ui::BrushClearEvent{0});   // lands between
+  script.record(1.0, ui::TimeScaleEvent{0.5f});  // after the existing 1.0
+  ASSERT_EQ(script.size(), 4u);
+  EXPECT_EQ(ui::eventTypeName(script.events()[0].event), "page");
+  EXPECT_EQ(ui::eventTypeName(script.events()[1].event), "time_scale");
+  EXPECT_EQ(ui::eventTypeName(script.events()[2].event), "brush_clear");
+  EXPECT_EQ(ui::eventTypeName(script.events()[3].event), "page");
+  double last = -1.0;
+  for (const ui::TimedEvent& e : script.events()) {
+    EXPECT_LE(last, e.timeS);
+    last = e.timeS;
+  }
+}
+
+TEST(InputScriptOrderTest, NonFiniteStampsAreClampedToScriptEnd) {
+  ui::InputScript script;
+  script.record(std::numeric_limits<double>::quiet_NaN(), ui::PageEvent{1});
+  EXPECT_DOUBLE_EQ(script.events()[0].timeS, 0.0);
+  script.record(5.0, ui::PageEvent{-1});
+  script.record(std::numeric_limits<double>::infinity(),
+                ui::BrushClearEvent{0});
+  ASSERT_EQ(script.size(), 3u);
+  EXPECT_DOUBLE_EQ(script.events()[2].timeS, 5.0);
+  EXPECT_DOUBLE_EQ(script.durationS(), 5.0);
+  // The clamped script still round-trips (serialization would reject a
+  // non-finite stamp).
+  EXPECT_TRUE(ui::InputScript::deserialize(script.serialize()).has_value());
+}
+
+TEST(InputScriptOrderTest, DeserializeRejectsNonFiniteStampsAndHostileCounts) {
+  ui::InputScript script;
+  script.record(1.0, ui::PageEvent{1});
+  script.record(2.0, ui::PageEvent{-1});
+  const net::MessageBuffer buf = script.serialize();
+
+  {  // NaN stamp in the wire bytes (bit-flip territory)
+    std::vector<std::uint8_t> corrupt(buf.bytes());
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(corrupt.data() + 8, &nan, sizeof nan);  // first stamp
+    EXPECT_FALSE(
+        ui::InputScript::deserialize(net::MessageBuffer(std::move(corrupt))));
+  }
+  {  // count field far beyond what the payload can hold
+    std::vector<std::uint8_t> corrupt(buf.bytes());
+    const std::uint32_t huge = 0x7FFFFFFFu;
+    std::memcpy(corrupt.data() + 4, &huge, sizeof huge);
+    EXPECT_FALSE(
+        ui::InputScript::deserialize(net::MessageBuffer(std::move(corrupt))));
+  }
+  EXPECT_TRUE(ui::InputScript::deserialize(buf).has_value());
+}
+
+}  // namespace
+}  // namespace svq::replay

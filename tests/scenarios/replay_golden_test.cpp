@@ -1,0 +1,53 @@
+// Golden frame-hash regression test (ctest label: replay).
+//
+// Replays the canonical scenario and compares every step's frame hash
+// against the checked-in constants in tests/goldens/replay_canonical.h.
+// The in-process fleet test proves configurations agree with each other;
+// this test pins them to a specific recorded truth, which is what makes
+// cross-process properties checkable: CI runs it with and without
+// SVQ_FORCE_SCALAR=1 against the same constants, so scalar and SIMD
+// kernels are held to bit-identical output even though the ISA choice is
+// pinned once per process.
+//
+// After an *intentional* rendering change, regenerate with:
+//   python3 scripts/update_goldens.py
+#include <gtest/gtest.h>
+
+#include "replay/runner.h"
+#include "replay/scenarios.h"
+
+#include "../goldens/replay_canonical.h"
+
+namespace svq::replay {
+namespace {
+
+TEST(ReplayGoldenTest, CanonicalScenarioMatchesCheckedInHashes) {
+  Runner runner(scenarios::canonical());
+  const RunReport report = runner.run();
+  const std::vector<std::uint64_t> hashes = report.frameHashes();
+
+  ASSERT_EQ(hashes.size(), goldens::kCanonicalStepCount)
+      << "canonical scenario changed shape; regenerate goldens if intended "
+         "(python3 scripts/update_goldens.py)";
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    EXPECT_EQ(hashes[i], goldens::kCanonicalStepHashes[i])
+        << "step " << i << " (" << report.steps[i].type
+        << ") diverged from the golden; if the rendering change is "
+           "intentional, run: python3 scripts/update_goldens.py";
+  }
+  EXPECT_EQ(report.fleetHash(), goldens::kCanonicalFleetHash);
+}
+
+TEST(ReplayGoldenTest, DeltaWireConfigMatchesTheSameGoldens) {
+  // The goldens are configuration-independent: the threaded delta-wire
+  // replay must land on the identical constants.
+  RunnerOptions options;
+  options.renderThreads = 4;
+  options.deltaBroadcast = true;
+  Runner runner(scenarios::canonical(), options);
+  const RunReport report = runner.run();
+  EXPECT_EQ(report.fleetHash(), goldens::kCanonicalFleetHash);
+}
+
+}  // namespace
+}  // namespace svq::replay

@@ -1,0 +1,81 @@
+// SessionService event-queue ordering under multi-tenant interleaving.
+//
+// The service's per-tenant contract: a tenant's event stream is applied
+// in stream order regardless of how other tenants' traffic interleaves
+// with it. Replay form: an interleaved multi-tenant recording and its
+// serialized per-tenant splits (Recording::tenantSlice) must produce the
+// same per-step frame hashes for each tenant — interleaving is invisible
+// per tenant.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "replay/runner.h"
+#include "replay/scenarios.h"
+
+namespace svq::replay {
+namespace {
+
+/// Per-tenant hash sequence of one run, in that tenant's step order.
+std::vector<std::vector<std::uint64_t>> perTenantHashes(
+    const Recording& recording, const RunReport& report) {
+  std::vector<std::vector<std::uint64_t>> out(recording.tenantCount());
+  for (const StepTrace& s : report.steps) {
+    out[s.tenant].push_back(s.frameHash);
+  }
+  return out;
+}
+
+class ServiceOrderTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServiceOrderTest, InterleavedRunMatchesPerTenantSplits) {
+  const bool delta = GetParam();
+  RunnerOptions options;
+  options.renderThreads = 4;
+  options.deltaBroadcast = delta;
+
+  const Recording interleaved = scenarios::interleave();
+  ASSERT_GE(interleaved.tenantCount(), 2u);
+  Runner whole(interleaved, options);
+  const auto wholeHashes = perTenantHashes(interleaved, whole.run());
+
+  for (std::uint32_t tenant = 0; tenant < interleaved.tenantCount();
+       ++tenant) {
+    const Recording split = interleaved.tenantSlice(tenant);
+    ASSERT_FALSE(split.empty());
+    Runner solo(split, options);
+    const RunReport soloReport = solo.run();
+    const std::vector<std::uint64_t> soloHashes = soloReport.frameHashes();
+    ASSERT_EQ(soloHashes.size(), wholeHashes[tenant].size())
+        << "tenant " << tenant;
+    for (std::size_t i = 0; i < soloHashes.size(); ++i) {
+      ASSERT_EQ(soloHashes[i], wholeHashes[tenant][i])
+          << "tenant " << tenant << " diverges at its step " << i
+          << (delta ? " (delta wire)" : "")
+          << ": interleaving with other tenants leaked into this stream";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WireModes, ServiceOrderTest, ::testing::Bool(),
+                         [](const auto& paramInfo) {
+                           return paramInfo.param ? "DeltaWire" : "DirectScene";
+                         });
+
+TEST(ServiceOrderTest, DrilldownTenantsAreMutuallyIsolated) {
+  // Same property on the two-tenant drill-down storm, which (unlike
+  // interleave) closes a tenant mid-recording.
+  RunnerOptions options;
+  const Recording interleaved = scenarios::drilldownStorm();
+  Runner whole(interleaved, options);
+  const auto wholeHashes = perTenantHashes(interleaved, whole.run());
+  for (std::uint32_t tenant = 0; tenant < interleaved.tenantCount();
+       ++tenant) {
+    Runner solo(interleaved.tenantSlice(tenant), options);
+    EXPECT_EQ(solo.run().frameHashes(), wholeHashes[tenant])
+        << "tenant " << tenant;
+  }
+}
+
+}  // namespace
+}  // namespace svq::replay
