@@ -325,6 +325,21 @@ int run(const Options& opt) {
         p50 != sc.counters.end() ? p50->second : 0.0,
         p99 != sc.counters.end() ? p99->second : 0.0, 100.0 *
         outcome.crossHitRate);
+    // Per-health-state latency split (DESIGN.md §14): how much of the
+    // stream ran Degraded/Shedding, and what each state's apply p99 was.
+    // A healthy-only run prints zeros for the overload columns.
+    const auto stateCol = [&sc](const char* state,
+                                const char* field) -> double {
+      const auto it = sc.counters.find(
+          std::string("sessions.apply_latency_us.") + state + "." + field);
+      return it != sc.counters.end() ? it->second : 0.0;
+    };
+    std::printf(
+        "               by health state (n @ p99 us): healthy %.0f @ %.0f"
+        "  degraded %.0f @ %.0f  shedding %.0f @ %.0f\n",
+        stateCol("healthy", "count"), stateCol("healthy", "p99"),
+        stateCol("degraded", "count"), stateCol("degraded", "p99"),
+        stateCol("shedding", "count"), stateCol("shedding", "p99"));
     if (n == 256) {
       p99At256 = p99 != sc.counters.end() ? p99->second : 0.0;
       crossAt256 = outcome.crossHitRate;

@@ -23,6 +23,12 @@ std::int8_t probeLastSegmentBrush(traj::PointsView pts,
   return kNoBrush;
 }
 
+/// Merge-loop chunk between cancellation polls; big enough that the poll
+/// (one atomic load, plus a clock read under a deadline) never shows up
+/// in a profile, small enough that abandoning a million-segment
+/// trajectory is prompt.
+constexpr std::size_t kCancelChunkSegments = std::size_t{1} << 16;
+
 /// Kernel-side segment classification: spatial[s] for all segments of
 /// `pts`, writing into caller-provided storage. Replicates the historical
 /// per-segment probe — endpoint a, else endpoint b, else midpoint — by
@@ -31,13 +37,22 @@ std::int8_t probeLastSegmentBrush(traj::PointsView pts,
 /// evaluating it unconditionally (instead of only on double-miss segments)
 /// changes nothing but lets the whole pass run as three dense kernel
 /// sweeps over the SoA channels.
-void classifySegments(traj::PointsView pts, const BrushGridView& grid,
-                      std::int8_t* spatial, std::size_t segmentCount) {
+///
+/// Polls `cancel` between sweeps and per merge chunk; returns false when
+/// it stopped early (spatial[] is then partial garbage — discard it).
+/// The kernels are pure and the output identical wherever the poll sits,
+/// so cancellation never changes completed results, only whether a
+/// result completes.
+bool classifySegments(traj::PointsView pts, const BrushGridView& grid,
+                      std::int8_t* spatial, std::size_t segmentCount,
+                      const util::Cancellation& cancel) {
+  if (cancel.shouldStop()) return false;
   util::Arena& arena = util::frameArena();
   util::ArenaScope scope(arena);
 
   std::int8_t* pointBrush = arena.allocate<std::int8_t>(pts.size());
   pointBrushKernel(grid, pts.x, pts.y, pointBrush, pts.size());
+  if (cancel.shouldStop()) return false;
 
   float* midX = arena.allocate<float>(segmentCount);
   float* midY = arena.allocate<float>(segmentCount);
@@ -45,13 +60,21 @@ void classifySegments(traj::PointsView pts, const BrushGridView& grid,
   segmentMidpoints(pts.y, midY, segmentCount);
   std::int8_t* midBrush = arena.allocate<std::int8_t>(segmentCount);
   pointBrushKernel(grid, midX, midY, midBrush, segmentCount);
+  if (cancel.shouldStop()) return false;
 
-  for (std::size_t s = 0; s < segmentCount; ++s) {
-    std::int8_t hit = pointBrush[s];
-    if (hit == kNoBrush) hit = pointBrush[s + 1];
-    if (hit == kNoBrush) hit = midBrush[s];
-    spatial[s] = hit;
+  for (std::size_t base = 0; base < segmentCount;
+       base += kCancelChunkSegments) {
+    if (base != 0 && cancel.shouldStop()) return false;
+    const std::size_t end =
+        std::min(segmentCount, base + kCancelChunkSegments);
+    for (std::size_t s = base; s < end; ++s) {
+      std::int8_t hit = pointBrush[s];
+      if (hit == kNoBrush) hit = pointBrush[s + 1];
+      if (hit == kNoBrush) hit = midBrush[s];
+      spatial[s] = hit;
+    }
   }
+  return true;
 }
 
 void initSummary(HighlightSummary& summary, std::uint32_t index,
@@ -87,7 +110,10 @@ void evaluate(const TrajectoryRef& t, const BrushGrid& brush,
   util::Arena& arena = util::frameArena();
   util::ArenaScope scope(arena);
   std::int8_t* spatial = arena.allocate<std::int8_t>(segmentCount);
-  if (segmentCount > 0) classifySegments(pts, brush.view(), spatial, segmentCount);
+  if (segmentCount > 0) {
+    classifySegments(pts, brush.view(), spatial, segmentCount,
+                     util::Cancellation::none());
+  }
 
   applyTemporalMask(*t, t.index, {spatial, segmentCount},
                     probeLastSegmentBrush(pts, brush), params, segmentsOut,
@@ -97,13 +123,23 @@ void evaluate(const TrajectoryRef& t, const BrushGrid& brush,
 void classifySpatial(const traj::Trajectory& t, const BrushGrid& brush,
                      std::vector<std::int8_t>& spatialOut,
                      std::int8_t& lastSegmentBrushOut) {
+  classifySpatial(t, brush, spatialOut, lastSegmentBrushOut,
+                  util::Cancellation::none());
+}
+
+bool classifySpatial(const traj::Trajectory& t, const BrushGrid& brush,
+                     std::vector<std::int8_t>& spatialOut,
+                     std::int8_t& lastSegmentBrushOut,
+                     const util::Cancellation& cancel) {
   const traj::PointsView pts = t.view();
   const std::size_t segmentCount = pts.size() >= 2 ? pts.size() - 1 : 0;
   spatialOut.assign(segmentCount, kNoBrush);
   lastSegmentBrushOut = probeLastSegmentBrush(pts, brush);
   if (segmentCount > 0) {
-    classifySegments(pts, brush.view(), spatialOut.data(), segmentCount);
+    return classifySegments(pts, brush.view(), spatialOut.data(),
+                            segmentCount, cancel);
   }
+  return !cancel.shouldStop();
 }
 
 void applyTemporalMask(const traj::Trajectory& t, std::uint32_t index,

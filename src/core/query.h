@@ -26,6 +26,7 @@
 
 #include "core/brush.h"
 #include "traj/dataset.h"
+#include "util/cancel.h"
 #include "util/geometry.h"
 #include "util/threadpool.h"
 
@@ -151,6 +152,15 @@ void evaluate(const TrajectoryRef& t, const BrushGrid& brush,
 void classifySpatial(const traj::Trajectory& t, const BrushGrid& brush,
                      std::vector<std::int8_t>& spatialOut,
                      std::int8_t& lastSegmentBrushOut);
+
+/// Cancellable variant: polls `cancel` between the kernel sweeps and per
+/// 64Ki-segment merge chunk. Returns false when it stopped early — the
+/// outputs are then unspecified and must be discarded (the incremental
+/// engine leaves the trajectory marked dirty so the next pass redoes it).
+bool classifySpatial(const traj::Trajectory& t, const BrushGrid& brush,
+                     std::vector<std::int8_t>& spatialOut,
+                     std::int8_t& lastSegmentBrushOut,
+                     const util::Cancellation& cancel);
 
 /// Masks a precomputed spatial classification with the temporal window and
 /// rebuilds the summary. Equivalent to evaluate() given the same brush.

@@ -74,6 +74,11 @@ void QueryEngine::publish(std::shared_ptr<const QueryResult> next) {
 }
 
 std::shared_ptr<const QueryResult> QueryEngine::evaluate() {
+  return evaluate(util::Cancellation::none());
+}
+
+std::shared_ptr<const QueryResult> QueryEngine::evaluate(
+    const util::Cancellation& cancel) {
   // Fold pending dirty rects into per-trajectory invalidation.
   if (brush_ != nullptr && !pendingDirtyRects_.empty()) {
     for (const AABB2& rect : pendingDirtyRects_) {
@@ -105,19 +110,29 @@ std::shared_ptr<const QueryResult> QueryEngine::evaluate() {
 
   Stopwatch watch;
 
-  // Pass 1 — spatial re-classification of the dirty subset only.
+  // Pass 1 — spatial re-classification of the dirty subset only. Each
+  // task polls the cancellation: a stopped task leaves its entry dirty
+  // (spatialValid=false), a completed one keeps its fresh cache either
+  // way — abandoning mid-pass never tears an entry.
   if (!dirty.empty()) {
     auto body = [&](std::size_t k) {
+      if (cancel.shouldStop()) return;
       const std::size_t i = dirty[k];
       CacheEntry& e = cache_[i];
-      classifySpatial(*refs_[i], *brush_, e.spatialHits, e.lastSegmentBrush);
-      e.spatialValid = true;
+      if (classifySpatial(*refs_[i], *brush_, e.spatialHits,
+                          e.lastSegmentBrush, cancel)) {
+        e.spatialValid = true;
+      }
     };
     if (params_.parallel && dirty.size() > 1) {
       parallelFor(0, dirty.size(), body, 4);
     } else {
       for (std::size_t k = 0; k < dirty.size(); ++k) body(k);
     }
+  }
+  if (cancel.shouldStop()) {
+    ++metrics_.abandonedPasses;
+    return nullptr;
   }
 
   // Pass 2 — rebuild rows. A temporal change touches every row; a spatial
@@ -134,6 +149,7 @@ std::shared_ptr<const QueryResult> QueryEngine::evaluate() {
   const bool copyRows =
       !temporalDirty_ && prev->segmentHighlights.size() == count;
   auto rowBody = [&](std::size_t i) {
+    if (cancel.shouldStop()) return;  // `next` is discarded below
     CacheEntry& e = cache_[i];
     if (copyRows && !e.rowDirty) {
       next->segmentHighlights[i] = prev->segmentHighlights[i];
@@ -160,6 +176,13 @@ std::shared_ptr<const QueryResult> QueryEngine::evaluate() {
     parallelFor(0, count, rowBody, 8);
   } else {
     for (std::size_t i = 0; i < count; ++i) rowBody(i);
+  }
+  if (cancel.shouldStop()) {
+    // Abandon before publishing: `next` dies here, rowDirty/temporalDirty
+    // stay set, generation and current() are untouched — consumers can
+    // never observe the partial rebuild.
+    ++metrics_.abandonedPasses;
+    return nullptr;
   }
   for (CacheEntry& e : cache_) e.rowDirty = false;
 

@@ -56,6 +56,9 @@ struct QueryEngineMetrics {
   std::uint64_t spatialPasses = 0;
   /// Passes that only re-masked the temporal window.
   std::uint64_t temporalOnlyPasses = 0;
+  /// evaluate() calls abandoned by cancellation/deadline before they
+  /// published: no generation was produced, dirty state was preserved.
+  std::uint64_t abandonedPasses = 0;
 
   std::uint64_t lastPassInvalidated = 0;
   std::uint64_t lastPassReused = 0;
@@ -118,6 +121,21 @@ class QueryEngine {
   /// (or returns the current one unchanged when nothing is dirty). The
   /// returned result is never mutated afterwards.
   std::shared_ptr<const QueryResult> evaluate();
+
+  /// Cancellable variant, polled at chunk granularity (per dirty
+  /// trajectory in the spatial pass, per row in the rebuild pass, per
+  /// segment chunk inside classifySpatial). Returns nullptr when the
+  /// pass was abandoned — and then guarantees the engine is never torn:
+  ///
+  ///   * the partially built result is discarded, current()/generation()
+  ///     are exactly what they were before the call;
+  ///   * every trajectory whose re-classification did not complete stays
+  ///     marked dirty (spatialValid=false / rowDirty=true), so the next
+  ///     evaluate() resumes the same work;
+  ///   * trajectories that did complete keep their fresh spatial cache —
+  ///     abandoned work is discarded, finished work is not wasted.
+  std::shared_ptr<const QueryResult> evaluate(
+      const util::Cancellation& cancel);
 
   /// Latest published generation; an empty result before the first pass.
   std::shared_ptr<const QueryResult> current() const;

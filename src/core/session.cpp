@@ -158,7 +158,14 @@ std::size_t Session::applyScript(const ui::InputScript& script) {
 }
 
 render::SceneModel Session::buildScene() {
-  ++frameIndex_;
+  render::SceneModel out;
+  // The no-op cancellation never stops, so the build always completes.
+  buildScene(out, util::Cancellation::none());
+  return out;
+}
+
+bool Session::buildScene(render::SceneModel& out,
+                         const util::Cancellation& cancel) {
   const LayoutConfig& cfg = layoutPresets()[activePreset_];
   const SmallMultipleLayout& layout = context_->layout(activePreset_);
   const GroupAssignment& assignment = *assignment_;
@@ -194,8 +201,17 @@ render::SceneModel Session::buildScene() {
     // result, preserving the "no query ran" contract).
     lastQuery_ = std::make_shared<const QueryResult>();
   } else {
-    lastQuery_ = queryEngine_->evaluate();
+    auto query = queryEngine_->evaluate(cancel);
+    if (!query) {
+      // Abandoned mid-evaluation. The engine preserved its dirty-set and
+      // published nothing; leave lastQuery_/frameIndex_/damage state
+      // untouched so the session is observably "as before the call".
+      // (The binding refreshes above are idempotent and stay valid.)
+      return false;
+    }
+    lastQuery_ = std::move(query);
   }
+  ++frameIndex_;
 
   render::SceneModel scene;
   scene.arenaRadiusCm = dataset().arena().radiusCm;
@@ -231,7 +247,8 @@ render::SceneModel Session::buildScene() {
     }
   }
   lastCellHashes_ = std::move(hashes);
-  return scene;
+  out = std::move(scene);
+  return true;
 }
 
 }  // namespace svq::core

@@ -125,6 +125,14 @@ class Session {
   /// query engine, which re-classifies only the trajectories they touch.
   render::SceneModel buildScene();
 
+  /// Cancellable variant: the query evaluation inside polls `cancel` at
+  /// chunk granularity. Returns false when the build was abandoned — then
+  /// `out` is untouched and the session is never torn: lastQueryResult(),
+  /// frameIndex() and the damage-diff state are exactly what they were,
+  /// and the engine keeps its dirty-set so the next build resumes the
+  /// abandoned work.
+  bool buildScene(render::SceneModel& out, const util::Cancellation& cancel);
+
   /// The query result backing the last buildScene() call.
   const QueryResult& lastQueryResult() const { return *lastQuery_; }
 

@@ -1,9 +1,12 @@
 #include "core/sessionservice.h"
 
-#include <chrono>
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <variant>
 #include <vector>
 
+#include "util/logging.h"
 #include "util/metrics.h"
 
 namespace svq::core {
@@ -12,42 +15,115 @@ namespace {
 
 struct ServiceMetrics {
   Gauge& active;
+  Gauge& healthState;
   Counter& admitted;
   Counter& admissionRejected;
   Counter& closed;
   Counter& eventsApplied;
   Counter& eventsRejected;
   Counter& eventsQueued;
+  Counter& eventsCoalesced;
   Counter& backpressure;
+  Counter& shed;
+  Counter& deadlineExceeded;
+  Counter& degradedEntered;
+  Counter& sheddingEntered;
   Histogram& applyLatencyUs;
+  /// Index-aligned with SessionService::Health.
+  std::array<Histogram*, 3> applyLatencyByState;
 
   static ServiceMetrics& get() {
     MetricsRegistry& reg = MetricsRegistry::global();
-    static ServiceMetrics m{reg.gauge("sessions.active"),
-                            reg.counter("sessions.admitted"),
-                            reg.counter("sessions.admission_rejected"),
-                            reg.counter("sessions.closed"),
-                            reg.counter("sessions.events_applied"),
-                            reg.counter("sessions.events_rejected"),
-                            reg.counter("sessions.events_queued"),
-                            reg.counter("sessions.backpressure"),
-                            reg.histogram("sessions.apply_latency_us")};
+    static ServiceMetrics m{
+        reg.gauge("sessions.active"),
+        reg.gauge("sessions.health_state"),
+        reg.counter("sessions.admitted"),
+        reg.counter("sessions.admission_rejected"),
+        reg.counter("sessions.closed"),
+        reg.counter("sessions.events_applied"),
+        reg.counter("sessions.events_rejected"),
+        reg.counter("sessions.events_queued"),
+        reg.counter("sessions.events_coalesced"),
+        reg.counter("sessions.backpressure"),
+        reg.counter("sessions.shed"),
+        reg.counter("sessions.deadline_exceeded"),
+        reg.counter("sessions.degraded_entered"),
+        reg.counter("sessions.shedding_entered"),
+        reg.histogram("sessions.apply_latency_us"),
+        {&reg.histogram("sessions.apply_latency_us.healthy"),
+         &reg.histogram("sessions.apply_latency_us.degraded"),
+         &reg.histogram("sessions.apply_latency_us.shedding")}};
     return m;
   }
 };
 
-std::size_t envSize(const char* name, std::size_t fallback) {
+/// Parses a strictly positive integer from the environment. Absent/empty
+/// returns fallback silently; zero, negative or unparsable input logs a
+/// warning and returns fallback — a typo in an ops script must never
+/// silently turn a knob off (or to a nonsense bound).
+std::uint64_t envPositive(const char* name, std::uint64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || parsed <= 0) {
+    SVQ_WARN << "sessionservice: ignoring " << name << "='" << v
+             << "' (expected a positive integer); keeping default "
+             << fallback;
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(parsed);
 }
 
 }  // namespace
 
+const char* healthName(SessionService::Health h) {
+  switch (h) {
+    case SessionService::Health::kHealthy:
+      return "healthy";
+    case SessionService::Health::kDegraded:
+      return "degraded";
+    case SessionService::Health::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+std::uint64_t SessionService::WindowHistogram::drainP99() {
+  std::array<std::uint64_t, 65> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets[i].exchange(0, std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // Rank of the p99 sample (1-based), clamped into [1, total].
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(0.99 * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // Bucket i holds bit-width-i values: upper bound 2^i - 1 (0 for the
+      // zeros bucket) — same convention as util::Histogram::quantile.
+      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return ~std::uint64_t{0};  // unreachable
+}
+
 SessionService::Options SessionService::Options::fromEnv() {
   Options o;
-  o.maxSessions = envSize("SVQ_MAX_SESSIONS", o.maxSessions);
-  o.eventQueueDepth = envSize("SVQ_SESSION_QUEUE_DEPTH", o.eventQueueDepth);
+  o.maxSessions = static_cast<std::size_t>(
+      envPositive("SVQ_MAX_SESSIONS", o.maxSessions));
+  o.eventQueueDepth = static_cast<std::size_t>(
+      envPositive("SVQ_SESSION_QUEUE_DEPTH", o.eventQueueDepth));
+  // Deadline knob is given in milliseconds (human-scale); stored in us.
+  // The compiled default 0 means "unlimited", but an explicit 0 in the
+  // environment is rejected like any other non-positive input.
+  o.applyDeadlineUs = envPositive("SVQ_APPLY_DEADLINE_MS", 0) * 1000;
+  o.shedP99Us = envPositive("SVQ_SHED_P99_US", 0);
   return o;
 }
 
@@ -56,7 +132,9 @@ SessionService::SessionService(std::shared_ptr<const SharedContext> context)
 
 SessionService::SessionService(std::shared_ptr<const SharedContext> context,
                                Options options)
-    : context_(std::move(context)), options_(options) {}
+    : context_(std::move(context)),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : util::steadyClock()) {}
 
 SessionService::Admission SessionService::admit() {
   if (shutdown_.load(std::memory_order_acquire)) {
@@ -88,12 +166,19 @@ Status SessionService::close(SessionId id) {
     victim = std::move(it->second);
     tenants_.erase(it);
   }
+  // The victim's queued events vanish with it; keep the aggregate depth
+  // honest (under its mutex: a racing submit may still hold a reference).
+  {
+    std::lock_guard<std::mutex> lock(victim->mutex);
+    queuedTotal_.fetch_sub(victim->queue.size(), std::memory_order_relaxed);
+    victim->queue.clear();
+  }
   ServiceMetrics& metrics = ServiceMetrics::get();
   metrics.closed.add(1);
   metrics.active.sub(1);
   if (hooks_.onClose) hooks_.onClose(id);
-  // The Session (and any queued events) dies when the last in-flight
-  // operation holding the shared_ptr releases it.
+  // The Session dies when the last in-flight operation holding the
+  // shared_ptr releases it.
   return Status::ok(static_cast<std::int64_t>(id));
 }
 
@@ -104,32 +189,55 @@ std::shared_ptr<SessionService::Tenant> SessionService::tenant(
   return it == tenants_.end() ? nullptr : it->second;
 }
 
+void SessionService::notifyRefused(SessionId id, const ui::Event& event,
+                                   const Status& status) {
+  if (hooks_.onEvent) hooks_.onEvent(id, event, status);
+}
+
 Status SessionService::submit(SessionId id, const ui::Event& event) {
   if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
   const std::shared_ptr<Tenant> t = tenant(id);
   if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
   ServiceMetrics& metrics = ServiceMetrics::get();
   std::lock_guard<std::mutex> lock(t->mutex);
+  if (health() == Health::kShedding) {
+    metrics.shed.add(1);
+    const Status refusal = Status::overloaded(static_cast<std::int64_t>(id),
+                                              options_.retryAfterMs);
+    notifyRefused(id, event, refusal);
+    return refusal;
+  }
   if (t->queue.size() >= options_.eventQueueDepth) {
     metrics.backpressure.add(1);
-    return Status::backpressure(static_cast<std::int64_t>(id));
+    const Status refusal =
+        Status::backpressure(static_cast<std::int64_t>(id));
+    notifyRefused(id, event, refusal);
+    return refusal;
   }
   t->queue.push_back(event);
+  queuedTotal_.fetch_add(1, std::memory_order_relaxed);
   metrics.eventsQueued.add(1);
   // Observed at enqueue time: this is where the event's position in the
   // tenant's stream is decided (drain applies in queue order).
-  if (hooks_.onEvent) hooks_.onEvent(id, event);
+  if (hooks_.onEvent) {
+    hooks_.onEvent(id, event, Status::ok(static_cast<std::int64_t>(id)));
+  }
+  maybeEscalateOnDepth();
   return Status::ok(static_cast<std::int64_t>(id));
 }
 
-bool SessionService::applyOneLocked(Tenant& t, const ui::Event& event) {
+bool SessionService::applyOneLocked(Tenant& t, const ui::Event& event,
+                                    Health state) {
   ServiceMetrics& metrics = ServiceMetrics::get();
-  const auto start = std::chrono::steady_clock::now();
+  const std::int64_t start = clock_->nowUs();
   const bool applied = t.session.apply(event);
-  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
-  metrics.applyLatencyUs.record(static_cast<std::uint64_t>(micros));
+  const auto micros =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, clock_->nowUs() - start));
+  metrics.applyLatencyUs.record(micros);
+  metrics.applyLatencyByState[static_cast<std::size_t>(state)]->record(
+      micros);
+  windowHist_.record(micros);
   if (applied) {
     metrics.eventsApplied.add(1);
   } else {
@@ -138,22 +246,157 @@ bool SessionService::applyOneLocked(Tenant& t, const ui::Event& event) {
   return applied;
 }
 
+std::size_t SessionService::coalesceLocked(Tenant& t) {
+  std::deque<ui::Event>& q = t.queue;
+  if (q.size() < 2) return 0;
+  std::vector<char> keep(q.size(), 1);
+  bool sawWindow = false, sawDepth = false, sawScale = false;
+  bool clearedAll = false;
+  std::array<bool, 256> clearedBrush{};
+  // Backward walk: flags describe what a *later* queue position will do,
+  // so by the time an entry is visited we know whether its effect is
+  // fully superseded. LayoutSwitch is deliberately NOT coalesced — each
+  // switch prunes groups against its own grid, so dropping an
+  // intermediate one changes the final group set.
+  for (std::size_t r = q.size(); r-- > 0;) {
+    const ui::Event& e = q[r];
+    if (std::holds_alternative<ui::TimeWindowEvent>(e)) {
+      if (sawWindow) keep[r] = 0;
+      sawWindow = true;
+    } else if (std::holds_alternative<ui::DepthOffsetEvent>(e)) {
+      if (sawDepth) keep[r] = 0;
+      sawDepth = true;
+    } else if (std::holds_alternative<ui::TimeScaleEvent>(e)) {
+      if (sawScale) keep[r] = 0;
+      sawScale = true;
+    } else if (const auto* c = std::get_if<ui::BrushClearEvent>(&e)) {
+      if (c->brushIndex == 255) {
+        clearedAll = true;
+      } else {
+        clearedBrush[c->brushIndex] = true;
+      }
+    } else if (const auto* s = std::get_if<ui::BrushStrokeEvent>(&e)) {
+      if (clearedAll || clearedBrush[s->brushIndex]) keep[r] = 0;
+    }
+  }
+  std::size_t dropped = 0;
+  std::deque<ui::Event> kept;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (keep[i] != 0) {
+      kept.push_back(std::move(q[i]));
+    } else {
+      ++dropped;
+    }
+  }
+  if (dropped == 0) return 0;
+  q.swap(kept);
+  queuedTotal_.fetch_sub(dropped, std::memory_order_relaxed);
+  ServiceMetrics::get().eventsCoalesced.add(dropped);
+  return dropped;
+}
+
+util::Deadline SessionService::applyDeadline(Health state) const {
+  if (options_.applyDeadlineUs == 0) return util::Deadline::unlimited();
+  std::uint64_t budget = options_.applyDeadlineUs;
+  if (state >= Health::kDegraded) {
+    const std::uint32_t div =
+        std::max<std::uint32_t>(1, options_.degradedDeadlineDiv);
+    budget = std::max<std::uint64_t>(1, budget / div);
+  }
+  return util::Deadline::after(static_cast<std::int64_t>(budget), clock_);
+}
+
+SessionService::Health SessionService::targetHealth(
+    std::uint64_t windowP99Us, std::size_t depth) const {
+  Health target = Health::kHealthy;
+  if (options_.shedQueueDepth != 0) {
+    if (depth >= options_.shedQueueDepth) {
+      target = Health::kShedding;
+    } else if (depth * 2 >= options_.shedQueueDepth) {
+      target = Health::kDegraded;
+    }
+  }
+  if (options_.shedP99Us != 0) {
+    if (windowP99Us >= options_.shedP99Us) {
+      target = Health::kShedding;
+    } else if (windowP99Us * 2 >= options_.shedP99Us &&
+               target < Health::kDegraded) {
+      target = Health::kDegraded;
+    }
+  }
+  return target;
+}
+
+void SessionService::setHealthLocked(Health next) {
+  const Health cur = health();
+  if (next == cur) return;
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  const auto curLevel = static_cast<std::uint64_t>(cur);
+  const auto nextLevel = static_cast<std::uint64_t>(next);
+  if (nextLevel > curLevel) {
+    metrics.healthState.add(nextLevel - curLevel);
+    if (next == Health::kDegraded) metrics.degradedEntered.add(1);
+    if (next == Health::kShedding) metrics.sheddingEntered.add(1);
+  } else {
+    metrics.healthState.sub(curLevel - nextLevel);
+    if (next == Health::kDegraded) metrics.degradedEntered.add(1);
+  }
+  health_.store(static_cast<std::uint8_t>(next), std::memory_order_release);
+}
+
+void SessionService::noteWindowTick() {
+  if (!healthControlEnabled()) return;
+  const std::uint64_t n =
+      windowTicks_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (n % options_.healthWindow != 0) return;
+  std::lock_guard<std::mutex> lock(healthMutex_);
+  const std::uint64_t p99 = windowHist_.drainP99();
+  const std::size_t depth = queuedTotal_.load(std::memory_order_relaxed);
+  const Health cur = health();
+  const Health target = targetHealth(p99, depth);
+  if (target > cur) {
+    // Escalate straight to the justified level: overload protection must
+    // not lag the overload.
+    setHealthLocked(target);
+  } else if (target < cur) {
+    // Recover one level per calm window: monotone, bounded, no flapping
+    // straight from Shedding to Healthy on one quiet sample.
+    setHealthLocked(static_cast<Health>(static_cast<std::uint8_t>(cur) - 1));
+  }
+}
+
+void SessionService::maybeEscalateOnDepth() {
+  if (options_.shedQueueDepth == 0) return;
+  const std::size_t depth = queuedTotal_.load(std::memory_order_relaxed);
+  const Health target = targetHealth(0, depth);
+  if (target <= health()) return;
+  std::lock_guard<std::mutex> lock(healthMutex_);
+  if (target > health()) setHealthLocked(target);
+}
+
 Status SessionService::drain(SessionId id, std::size_t* appliedOut) {
   if (appliedOut != nullptr) *appliedOut = 0;
   if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
   const std::shared_ptr<Tenant> t = tenant(id);
   if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
+  const Health state = health();
   std::lock_guard<std::mutex> lock(t->mutex);
+  // Draining is the recovery path: never refused, never deadline-bounded
+  // (it must make progress), but a non-Healthy node sheds stale work
+  // first so the backlog it pays for is the minimal lossless one.
+  if (state != Health::kHealthy) coalesceLocked(*t);
   bool allApplied = true;
   std::size_t applied = 0;
   while (!t->queue.empty()) {
     const ui::Event event = std::move(t->queue.front());
     t->queue.pop_front();
-    if (applyOneLocked(*t, event)) {
+    queuedTotal_.fetch_sub(1, std::memory_order_relaxed);
+    if (applyOneLocked(*t, event, state)) {
       ++applied;
     } else {
       allApplied = false;
     }
+    noteWindowTick();
   }
   if (appliedOut != nullptr) *appliedOut = applied;
   return allApplied ? Status::ok(static_cast<std::int64_t>(id))
@@ -164,29 +407,70 @@ Status SessionService::apply(SessionId id, const ui::Event& event) {
   if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
   const std::shared_ptr<Tenant> t = tenant(id);
   if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
+  ServiceMetrics& metrics = ServiceMetrics::get();
+  const Health state = health();
   std::lock_guard<std::mutex> lock(t->mutex);
+  if (state == Health::kShedding) {
+    // Shedding refuses new interactive work outright — the cheap typed
+    // refusal is the whole point. The backlog stays queued; drain() (and
+    // close()) remain available to take load *off* the node.
+    metrics.shed.add(1);
+    const Status refusal = Status::overloaded(static_cast<std::int64_t>(id),
+                                              options_.retryAfterMs);
+    notifyRefused(id, event, refusal);
+    noteWindowTick();
+    return refusal;
+  }
+  const util::Deadline deadline = applyDeadline(state);
+  if (state == Health::kDegraded) coalesceLocked(*t);
   // Queued events first: a tenant's stream stays ordered even when it
-  // mixes submit() and apply().
+  // mixes submit() and apply(). The deadline is checked *between* events
+  // — an exhausted budget refuses the synchronous event and leaves the
+  // backlog remainder queued: never torn, never silently dropped.
   while (!t->queue.empty()) {
+    if (deadline.expired()) {
+      metrics.deadlineExceeded.add(1);
+      const Status refusal =
+          Status::deadlineExceeded(static_cast<std::int64_t>(id));
+      notifyRefused(id, event, refusal);
+      noteWindowTick();
+      return refusal;
+    }
     const ui::Event queued = std::move(t->queue.front());
     t->queue.pop_front();
-    applyOneLocked(*t, queued);
+    queuedTotal_.fetch_sub(1, std::memory_order_relaxed);
+    applyOneLocked(*t, queued, state);
+  }
+  if (deadline.expired()) {
+    metrics.deadlineExceeded.add(1);
+    const Status refusal =
+        Status::deadlineExceeded(static_cast<std::int64_t>(id));
+    notifyRefused(id, event, refusal);
+    noteWindowTick();
+    return refusal;
   }
   // Queued events were observed at submit(); only the synchronous event
   // is new to the stream here. Rejected-on-apply events are observed too:
   // a replay must reproduce the rejection deterministically.
-  if (hooks_.onEvent) hooks_.onEvent(id, event);
-  return applyOneLocked(*t, event)
-             ? Status::ok(static_cast<std::int64_t>(id))
-             : Status::rejected(static_cast<std::int64_t>(id));
+  if (hooks_.onEvent) {
+    hooks_.onEvent(id, event, Status::ok(static_cast<std::int64_t>(id)));
+  }
+  const bool applied = applyOneLocked(*t, event, state);
+  noteWindowTick();
+  return applied ? Status::ok(static_cast<std::int64_t>(id))
+                 : Status::rejected(static_cast<std::int64_t>(id));
 }
 
 Status SessionService::buildScene(SessionId id, render::SceneModel& out) {
   if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
   const std::shared_ptr<Tenant> t = tenant(id);
   if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
+  const util::Deadline deadline = applyDeadline(health());
   std::lock_guard<std::mutex> lock(t->mutex);
-  out = t->session.buildScene();
+  if (!t->session.buildScene(out, util::Cancellation(deadline))) {
+    ServiceMetrics::get().deadlineExceeded.add(1);
+    return Status::deadlineExceeded(static_cast<std::int64_t>(id));
+  }
   return Status::ok(static_cast<std::int64_t>(id));
 }
 
@@ -210,6 +494,11 @@ void SessionService::shutdown() {
     victims.reserve(tenants_.size());
     for (auto& [id, t] : tenants_) victims.push_back(std::move(t));
     tenants_.clear();
+  }
+  for (const std::shared_ptr<Tenant>& t : victims) {
+    std::lock_guard<std::mutex> lock(t->mutex);
+    queuedTotal_.fetch_sub(t->queue.size(), std::memory_order_relaxed);
+    t->queue.clear();
   }
   ServiceMetrics::get().active.sub(victims.size());
   // Destruction outside mapMutex_; in-flight operations finish under each

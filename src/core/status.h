@@ -8,6 +8,15 @@
 // than it drains them" (kBackpressure — slow down, nothing is lost that
 // the client wasn't told about) from "the event itself was invalid"
 // (kRejected) from "that session does not exist" (kUnknownSession).
+//
+// The overload family (kDeadlineExceeded / kCancelled / kOverloaded)
+// reports the health controller's verdicts: a per-apply deadline budget
+// ran out mid-work (partial results were discarded, state is consistent,
+// retry is safe), the caller's own CancelToken fired, or the node is in
+// Shedding and refused the work outright — kOverloaded carries a
+// retry-after hint so a load balancer can pace its retries instead of
+// hammering a node that just told it to back off.
+//
 // Shares the common surface of util/status.h — ok()/message()/detail() —
 // with the other two status families.
 #pragma once
@@ -20,12 +29,15 @@
 namespace svq::core {
 
 enum class StatusCode : std::uint8_t {
-  kOk = 0,              ///< operation completed
-  kRejected = 1,        ///< the event could not be applied (invalid target)
-  kBackpressure = 2,    ///< per-session event queue full; retry after drain
-  kUnknownSession = 3,  ///< no such session (never admitted, or closed)
-  kAtCapacity = 4,      ///< admission refused: node at max sessions
-  kShutdown = 5,        ///< service shutting down; no further progress
+  kOk = 0,               ///< operation completed
+  kRejected = 1,         ///< the event could not be applied (invalid target)
+  kBackpressure = 2,     ///< per-session event queue full; retry after drain
+  kUnknownSession = 3,   ///< no such session (never admitted, or closed)
+  kAtCapacity = 4,       ///< admission refused: node at max sessions
+  kShutdown = 5,         ///< service shutting down; no further progress
+  kDeadlineExceeded = 6, ///< apply/build abandoned mid-work: budget ran out
+  kCancelled = 7,        ///< abandoned mid-work: caller's CancelToken fired
+  kOverloaded = 8,       ///< node shedding load; retry after retryAfterMs
 };
 
 struct [[nodiscard]] Status {
@@ -33,6 +45,9 @@ struct [[nodiscard]] Status {
   /// The session the status refers to (-1 when not applicable: admission
   /// rejections, shutdown).
   std::int64_t session = -1;
+  /// Pacing hint on kOverloaded: how long the caller should wait before
+  /// retrying this node (0 on every other code).
+  std::uint32_t retryAfterMs = 0;
 
   static Status ok(std::int64_t session = -1) {
     return {StatusCode::kOk, session};
@@ -48,6 +63,15 @@ struct [[nodiscard]] Status {
   }
   static Status atCapacity() { return {StatusCode::kAtCapacity, -1}; }
   static Status shutdown() { return {StatusCode::kShutdown, -1}; }
+  static Status deadlineExceeded(std::int64_t session) {
+    return {StatusCode::kDeadlineExceeded, session};
+  }
+  static Status cancelled(std::int64_t session) {
+    return {StatusCode::kCancelled, session};
+  }
+  static Status overloaded(std::int64_t session, std::uint32_t retryAfterMs) {
+    return {StatusCode::kOverloaded, session, retryAfterMs};
+  }
 
   bool isOk() const { return code == StatusCode::kOk; }
   bool isRejected() const { return code == StatusCode::kRejected; }
@@ -57,9 +81,24 @@ struct [[nodiscard]] Status {
   }
   bool isAtCapacity() const { return code == StatusCode::kAtCapacity; }
   bool isShutdown() const { return code == StatusCode::kShutdown; }
+  bool isDeadlineExceeded() const {
+    return code == StatusCode::kDeadlineExceeded;
+  }
+  bool isCancelled() const { return code == StatusCode::kCancelled; }
+  bool isOverloaded() const { return code == StatusCode::kOverloaded; }
   /// True when the caller should retry the same node later (transient
   /// load conditions), as opposed to a permanent/structural refusal.
-  bool isRetryable() const { return isBackpressure() || isAtCapacity(); }
+  /// kCancelled is NOT retryable: the caller asked for the abort itself.
+  bool isRetryable() const {
+    return isBackpressure() || isAtCapacity() || isDeadlineExceeded() ||
+           isOverloaded();
+  }
+  /// True for the load-refusal codes the service turns work away with
+  /// before touching session state (vs kCancelled/kRejected, which the
+  /// caller provoked): these are the refusals replay must re-see.
+  bool isLoadShed() const {
+    return isBackpressure() || isDeadlineExceeded() || isOverloaded();
+  }
 
   explicit operator bool() const { return isOk(); }
   bool operator==(const Status&) const = default;
@@ -72,6 +111,9 @@ struct [[nodiscard]] Status {
       case StatusCode::kUnknownSession: return "UnknownSession";
       case StatusCode::kAtCapacity: return "AtCapacity";
       case StatusCode::kShutdown: return "Shutdown";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kOverloaded: return "Overloaded";
     }
     return "?";
   }
@@ -85,12 +127,37 @@ struct [[nodiscard]] Status {
 
 static_assert(util::StatusLike<Status>);
 
-/// The more severe of two statuses (Shutdown > AtCapacity > UnknownSession
-/// > Backpressure > Rejected > Ok) — enum order is severity order here,
-/// mirroring io::worse().
+/// Explicit severity ranking for worse(). Enum order stopped being
+/// severity order when the overload family landed (kShutdown must stay
+/// the most severe verdict a composite operation can fold to, and the
+/// per-tenant pushback codes must stay milder than the structural ones) —
+/// the same wire-order ≠ severity-order split net::Status makes.
+///
+/// Mild → severe: Ok < Rejected < Backpressure < DeadlineExceeded <
+/// Cancelled < Overloaded < UnknownSession < AtCapacity < Shutdown.
+/// Rationale: the first four leave the tenant live and the work
+/// retryable/re-runnable; Overloaded refuses whole-node; the last three
+/// mean the target (or the node) is structurally unavailable.
+inline int statusSeverity(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kRejected: return 1;
+    case StatusCode::kBackpressure: return 2;
+    case StatusCode::kDeadlineExceeded: return 3;
+    case StatusCode::kCancelled: return 4;
+    case StatusCode::kOverloaded: return 5;
+    case StatusCode::kUnknownSession: return 6;
+    case StatusCode::kAtCapacity: return 7;
+    case StatusCode::kShutdown: return 8;
+  }
+  return 0;
+}
+
+/// The more severe of two statuses under statusSeverity() — mirrors
+/// net::worse() / io::worse() via the shared util::worseOf fold.
 inline Status worse(Status a, Status b) {
   return util::worseOf(
-      a, b, [](const Status& s) { return static_cast<int>(s.code); });
+      a, b, [](const Status& s) { return statusSeverity(s.code); });
 }
 
 }  // namespace svq::core

@@ -98,9 +98,16 @@ void CellRenderPipeline::resetLayout(const SceneModel& scene,
 
 PipelineStats CellRenderPipeline::render(const SceneModel& scene,
                                          const traj::TrajectoryDataset& dataset,
-                                         Canvas canvas, Eye eye) {
+                                         Canvas canvas, Eye eye,
+                                         const util::Cancellation* cancel) {
   PipelineStats stats;
   PipelineMetrics& metrics = PipelineMetrics::get();
+  if (cancel != nullptr && cancel->shouldStop()) {
+    // Abandoned before any pixel moved: nothing to roll back, nothing to
+    // invalidate — the previous frame is still intact in the target.
+    stats.aborted = true;
+    return stats;
+  }
 
   // Fold the eye into the key: a cached left-eye cell must never be
   // blitted into a right-eye render of the same scene.
@@ -235,7 +242,12 @@ PipelineStats CellRenderPipeline::render(const SceneModel& scene,
   // the same pixel and output is bit-identical for any thread count.
   assert(layoutDisjoint_);
   std::vector<std::size_t> segments(toRasterize.size(), 0);
+  // Chunk-granular cancellation: the unit of abandonment is one cell. A
+  // cell either rasterizes completely (key + cached pixels updated) or
+  // not at all (slot untouched, stays dirty) — never half a cell.
+  std::vector<std::uint8_t> rasterized(toRasterize.size(), 0);
   auto rasterizeOne = [&](std::size_t w) {
+    if (cancel != nullptr && cancel->shouldStop()) return;
     const Work& work = toRasterize[w];
     const CellView& cell = scene.cells[work.cell];
     CellSlot& slot = slots_[work.cell];
@@ -261,6 +273,7 @@ PipelineStats CellRenderPipeline::render(const SceneModel& scene,
     }
     slot.key = newKeys[work.cell];
     slot.hasKey = true;
+    rasterized[w] = 1;
   };
   if (options_.pool != nullptr && !options_.pool->onWorkerThread() &&
       toRasterize.size() > 1) {
@@ -269,10 +282,14 @@ PipelineStats CellRenderPipeline::render(const SceneModel& scene,
     for (std::size_t w = 0; w < toRasterize.size(); ++w) rasterizeOne(w);
   }
   for (const std::size_t s : segments) stats.segmentsDrawn += s;
-  stats.cellsRasterized = toRasterize.size();
-  for (const Work& work : toRasterize) {
-    stats.pixelsRasterized +=
-        static_cast<std::uint64_t>(slots_[work.cell].clip.areaPx());
+  for (std::size_t w = 0; w < toRasterize.size(); ++w) {
+    if (!rasterized[w]) {
+      stats.aborted = true;
+      continue;
+    }
+    ++stats.cellsRasterized;
+    stats.pixelsRasterized += static_cast<std::uint64_t>(
+        slots_[toRasterize[w].cell].clip.areaPx());
   }
 
   metrics.cellsRasterized.add(stats.cellsRasterized);
@@ -288,7 +305,10 @@ PipelineStats CellRenderPipeline::render(const SceneModel& scene,
   targetRegion_ = canvas.region;
   eye_ = eye;
   background_ = scene.wallBackground;
-  targetValid_ = true;
+  // An aborted render leaves the target missing the abandoned cells:
+  // self-invalidate so the next render recomposites instead of trusting
+  // it (finished cells restore by blit, abandoned ones re-rasterize).
+  targetValid_ = !stats.aborted;
   return stats;
 }
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "render/scene.h"
+#include "util/cancel.h"
 #include "util/threadpool.h"
 
 namespace svq::render {
@@ -78,6 +79,11 @@ struct PipelineStats {
   std::size_t segmentsDrawn = 0;
   bool fullRecomposite = false;  ///< background + every visible cell redone
   bool overlapFallback = false;  ///< overlapping cells: legacy serial path
+  /// A cancellation stopped the render before every dirty cell was
+  /// rasterized. The target is incomplete; the pipeline has already
+  /// self-invalidated, so the next render() recomposites (blitting cells
+  /// that did finish from the cache, re-rasterizing the abandoned ones).
+  bool aborted = false;
 
   std::size_t cellsDrawn() const {
     return cellsRasterized + cellsBlitted + cellsSharedBlitted;
@@ -99,10 +105,16 @@ class CellRenderPipeline {
  public:
   explicit CellRenderPipeline(PipelineOptions options = {});
 
-  /// Renders `scene` into `canvas` for `eye`, incrementally.
+  /// Renders `scene` into `canvas` for `eye`, incrementally. `cancel`
+  /// (optional) is polled per cell in the rasterize phase: an abandoned
+  /// render returns stats.aborted=true with the pipeline self-invalidated
+  /// (cells that finished keep their cached pixels and keys; abandoned
+  /// cells stay dirty and redo on the next render). The legacy overlap
+  /// fallback path is all-or-nothing and ignores `cancel`.
   PipelineStats render(const SceneModel& scene,
                        const traj::TrajectoryDataset& dataset,
-                       Canvas canvas, Eye eye);
+                       Canvas canvas, Eye eye,
+                       const util::Cancellation* cancel = nullptr);
 
   /// Marks the target's pixels unreliable; the next render recomposites
   /// every visible cell (blitting unchanged ones from the cache).

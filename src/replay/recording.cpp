@@ -14,8 +14,10 @@ namespace {
 
 /// Serialized floor of one step: kind(1) + tenant(4) + time(8) +
 /// event-or-absent(>=1) + note length(4). Bounds the step count a parser
-/// will believe from a length field.
-constexpr std::size_t kMinStepBytes = 1 + 4 + 8 + 1 + 4;
+/// will believe from a length field. v2 steps carry one more byte (the
+/// refusal code).
+constexpr std::size_t kMinStepBytesV1 = 1 + 4 + 8 + 1 + 4;
+constexpr std::size_t kMinStepBytesV2 = kMinStepBytesV1 + 1;
 
 /// Track indices beyond this are treated as corruption, not data: no
 /// recorded fleet is within orders of magnitude of it, and it keeps a
@@ -36,9 +38,16 @@ void putWorld(net::MessageBuffer& buf, const WorldSpec& w) {
   buf.putU64(w.wireFaultSeed);
   buf.putU64(std::bit_cast<std::uint64_t>(w.ioFaultPct));
   buf.putU64(w.ioFaultSeed);
+  // v2: the overload plan rides with the world — replaying chaos needs
+  // the same controller configuration, not just the same inputs.
+  buf.putU32(w.overload.applyDeadlineUs);
+  buf.putU32(w.overload.shedP99Us);
+  buf.putU32(w.overload.shedQueueDepth);
+  buf.putU32(w.overload.healthWindow);
+  buf.putU32(w.overload.clockAdvanceUsPerStep);
 }
 
-bool getWorld(net::MessageBuffer& buf, WorldSpec& w) {
+bool getWorld(net::MessageBuffer& buf, WorldSpec& w, std::uint32_t version) {
   w.datasetSeed = buf.getU64();
   w.trajectoryCount = buf.getU32();
   w.tile.pxW = buf.getI32();
@@ -74,6 +83,15 @@ bool getWorld(net::MessageBuffer& buf, WorldSpec& w) {
       w.ioFaultPct > 1.0) {
     return false;
   }
+  if (version >= 2) {
+    w.overload.applyDeadlineUs = buf.getU32();
+    w.overload.shedP99Us = buf.getU32();
+    w.overload.shedQueueDepth = buf.getU32();
+    w.overload.healthWindow = buf.getU32();
+    w.overload.clockAdvanceUsPerStep = buf.getU32();
+  } else {
+    w.overload = WorldSpec::OverloadPlan{};  // v1: no overload machinery
+  }
   return true;
 }
 
@@ -95,6 +113,12 @@ std::size_t Recording::eventCount() const {
       std::count_if(steps_.begin(), steps_.end(), [](const RecordedStep& s) {
         return s.kind == StepKind::kEvent;
       }));
+}
+
+std::size_t Recording::refusedCount() const {
+  return static_cast<std::size_t>(
+      std::count_if(steps_.begin(), steps_.end(),
+                    [](const RecordedStep& s) { return s.refusal != 0; }));
 }
 
 std::uint32_t Recording::tenantCount() const {
@@ -125,7 +149,8 @@ net::MessageBuffer Recording::serialize() const {
     buf.putU8(static_cast<std::uint8_t>(s.kind));
     buf.putU32(s.tenant);
     buf.putU64(std::bit_cast<std::uint64_t>(s.timeS));
-    if (s.kind == StepKind::kEvent) {
+    buf.putU8(s.refusal);
+    if (s.kind == StepKind::kEvent || s.kind == StepKind::kSubmit) {
       ui::serializeEvent(buf, s.event);
     } else {
       buf.putU8(0xFF);  // no-event marker for lifecycle steps
@@ -139,26 +164,42 @@ std::optional<Recording> Recording::deserialize(net::MessageBuffer buf) {
   try {
     buf.rewind();
     if (buf.getU32() != kMagic) return std::nullopt;
-    if (buf.getU32() != kVersion) return std::nullopt;
+    const std::uint32_t version = buf.getU32();
+    if (version < 1 || version > kVersion) return std::nullopt;
     Recording rec;
-    if (!getWorld(buf, rec.world)) return std::nullopt;
+    if (!getWorld(buf, rec.world, version)) return std::nullopt;
     const std::uint32_t n = buf.getU32();
     // Payload-bounded count: a hostile length field cannot exceed what
     // the remaining bytes could possibly encode.
-    if (n > buf.remaining() / kMinStepBytes) return std::nullopt;
+    const std::size_t minStepBytes =
+        version >= 2 ? kMinStepBytesV2 : kMinStepBytesV1;
+    if (n > buf.remaining() / minStepBytes) return std::nullopt;
+    const std::uint8_t maxKind = static_cast<std::uint8_t>(
+        version >= 2 ? StepKind::kSubmit : StepKind::kClose);
     rec.steps_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       RecordedStep s;
       const std::uint8_t kind = buf.getU8();
-      if (kind > static_cast<std::uint8_t>(StepKind::kClose)) {
-        return std::nullopt;
-      }
+      if (kind > maxKind) return std::nullopt;
       s.kind = static_cast<StepKind>(kind);
       s.tenant = buf.getU32();
       if (s.tenant >= kMaxTenantIndex) return std::nullopt;
       s.timeS = std::bit_cast<double>(buf.getU64());
       if (!std::isfinite(s.timeS)) return std::nullopt;
-      if (s.kind == StepKind::kEvent) {
+      if (version >= 2) {
+        s.refusal = buf.getU8();
+        // Refusals must name a code the status vocabulary knows, and
+        // only event-bearing steps can be refused.
+        if (s.refusal >
+            static_cast<std::uint8_t>(core::StatusCode::kOverloaded)) {
+          return std::nullopt;
+        }
+        if (s.refusal != 0 && s.kind != StepKind::kEvent &&
+            s.kind != StepKind::kSubmit) {
+          return std::nullopt;
+        }
+      }
+      if (s.kind == StepKind::kEvent || s.kind == StepKind::kSubmit) {
         s.event = ui::deserializeEvent(buf);
       } else if (buf.getU8() != 0xFF) {
         return std::nullopt;
@@ -204,8 +245,9 @@ void Recorder::attach(core::SessionService& service) {
   }
   core::SessionService::Hooks hooks;
   hooks.onAdmit = [this](core::SessionId id) { onAdmit(id); };
-  hooks.onEvent = [this](core::SessionId id, const ui::Event& e) {
-    onEvent(id, e);
+  hooks.onEvent = [this](core::SessionId id, const ui::Event& e,
+                         const core::Status& status) {
+    onEvent(id, e, status);
   };
   hooks.onClose = [this](core::SessionId id) { onClose(id); };
   service.setHooks(std::move(hooks));
@@ -241,11 +283,23 @@ void Recorder::onAdmit(core::SessionId id) {
   ++sequence_;
 }
 
-void Recorder::onEvent(core::SessionId id, const ui::Event& e) {
+void Recorder::onEvent(core::SessionId id, const ui::Event& e,
+                       const core::Status& status) {
   std::lock_guard lock(mutex_);
   const auto it = tracks_.find(id);
   if (it == tracks_.end()) return;  // admitted before attach(): not ours
-  recording_.event(it->second, stamp(), e);
+  if (status.isOk()) {
+    recording_.event(it->second, stamp(), e);
+  } else if (status.isLoadShed()) {
+    // Turned-away work is part of the stream: record the refusal so a
+    // replay re-sees it (and never applies the event). Other failure
+    // codes (kRejected at apply time) still record as plain events —
+    // the replayed session reproduces the rejection itself.
+    recording_.refused(it->second, stamp(), e,
+                       static_cast<std::uint8_t>(status.code));
+  } else {
+    recording_.event(it->second, stamp(), e);
+  }
   ++sequence_;
 }
 

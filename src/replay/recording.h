@@ -69,6 +69,29 @@ struct WorldSpec {
   double ioFaultPct = 0.0;
   std::uint64_t ioFaultSeed = 0x5eedULL;
 
+  /// Overload plan (format v2): the SessionService health-controller
+  /// configuration a replay must run under, plus a deterministic clock
+  /// advance. All-zero (the default, and what v1 recordings decode to)
+  /// means no overload machinery — the runner leaves the service at its
+  /// plain defaults, exactly the pre-v2 behaviour. When active, the
+  /// runner drives the service off a util::ManualClock advanced by
+  /// clockAdvanceUsPerStep *between* steps, so deadline expiry and
+  /// latency accounting are pure functions of the step index — chaos
+  /// composed from this plan plus the wire/io plans replays
+  /// bit-identically at any thread count.
+  struct OverloadPlan {
+    std::uint32_t applyDeadlineUs = 0;       ///< 0 = unlimited
+    std::uint32_t shedP99Us = 0;             ///< 0 = latency trigger off
+    std::uint32_t shedQueueDepth = 0;        ///< 0 = depth trigger off
+    std::uint32_t healthWindow = 0;          ///< 0 = service default
+    std::uint32_t clockAdvanceUsPerStep = 0; ///< manual-clock step
+    bool active() const {
+      return applyDeadlineUs != 0 || shedP99Us != 0 || shedQueueDepth != 0 ||
+             healthWindow != 0 || clockAdvanceUsPerStep != 0;
+    }
+  };
+  OverloadPlan overload;
+
   wall::WallSpec wallSpec() const {
     return wall::WallSpec(tile, tileCols, tileRows);
   }
@@ -76,38 +99,67 @@ struct WorldSpec {
 
 /// One recorded step, in global arrival order.
 enum class StepKind : std::uint8_t {
-  kAdmit = 0,  ///< tenant admitted (track index assigned here)
-  kEvent = 1,  ///< one accepted ui::Event on the tenant's stream
-  kClose = 2,  ///< tenant closed
+  kAdmit = 0,   ///< tenant admitted (track index assigned here)
+  kEvent = 1,   ///< one ui::Event on the tenant's synchronous apply path
+  kClose = 2,   ///< tenant closed
+  kSubmit = 3,  ///< one ui::Event enqueued via submit() (format v2) —
+                ///< authored overload scenarios use this to build real
+                ///< queue pressure the replayed service must shed/drain
 };
 
 struct RecordedStep {
   StepKind kind = StepKind::kEvent;
   std::uint32_t tenant = 0;  ///< dense track index (admission order)
   double timeS = 0.0;        ///< session time; informational
-  ui::Event event;           ///< meaningful only for kEvent
+  ui::Event event;           ///< meaningful only for kEvent/kSubmit
   std::string note;          ///< think-aloud annotation (may be empty)
+  /// core::StatusCode of the service's refusal, or 0 when the event was
+  /// accepted (format v2; always 0 for lifecycle steps). A refused step
+  /// is part of the stream — replay must re-see the refusal, never apply
+  /// the event — which is how load-shedding decisions stay inside the
+  /// determinism boundary.
+  std::uint8_t refusal = 0;
 };
 
 /// A recorded multi-tenant session: world + globally ordered steps.
 class Recording {
  public:
   static constexpr std::uint32_t kMagic = 0x52515653u;  // "SVQR"
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2 adds the WorldSpec overload plan, the kSubmit step kind and a
+  /// per-step refusal byte. deserialize() still accepts v1 payloads
+  /// (decoded with an inert overload plan and refusal 0 everywhere);
+  /// serialize() always writes the current version.
+  static constexpr std::uint32_t kVersion = 2;
 
   WorldSpec world;
 
   // --- building ----------------------------------------------------------
   void admit(std::uint32_t tenant, double timeS) {
-    steps_.push_back({StepKind::kAdmit, tenant, timeS, {}, {}});
+    steps_.push_back({StepKind::kAdmit, tenant, timeS, {}, {}, 0});
   }
   void event(std::uint32_t tenant, double timeS, ui::Event e,
              std::string note = {}) {
-    steps_.push_back(
-        {StepKind::kEvent, tenant, timeS, std::move(e), std::move(note)});
+    steps_.push_back({StepKind::kEvent, tenant, timeS, std::move(e),
+                      std::move(note), 0});
+  }
+  /// An event the service *refused* with StatusCode `refusalCode`
+  /// (kBackpressure / kDeadlineExceeded / kOverloaded): replay re-sees
+  /// the refusal instead of applying the event.
+  void refused(std::uint32_t tenant, double timeS, ui::Event e,
+               std::uint8_t refusalCode, std::string note = {}) {
+    steps_.push_back({StepKind::kEvent, tenant, timeS, std::move(e),
+                      std::move(note), refusalCode});
+  }
+  /// An event enqueued via SessionService::submit() instead of applied
+  /// synchronously — the queue-pressure primitive overload scenarios are
+  /// authored from.
+  void submit(std::uint32_t tenant, double timeS, ui::Event e,
+              std::string note = {}) {
+    steps_.push_back({StepKind::kSubmit, tenant, timeS, std::move(e),
+                      std::move(note), 0});
   }
   void close(std::uint32_t tenant, double timeS) {
-    steps_.push_back({StepKind::kClose, tenant, timeS, {}, {}});
+    steps_.push_back({StepKind::kClose, tenant, timeS, {}, {}, 0});
   }
 
   /// Single-tenant recording from a classic InputScript (the
@@ -120,6 +172,8 @@ class Recording {
   bool empty() const { return steps_.empty(); }
   std::size_t size() const { return steps_.size(); }
   std::size_t eventCount() const;
+  /// Steps carrying a non-zero refusal code.
+  std::size_t refusedCount() const;
   /// Highest tenant track index + 1 (0 for an empty recording).
   std::uint32_t tenantCount() const;
 
@@ -146,11 +200,13 @@ class Recording {
 ///
 /// attach() installs itself as the service's observation hooks; from then
 /// on every admission, accepted event (submit() at enqueue time, apply()
-/// at apply time — i.e. in exact per-tenant stream order) and close lands
-/// in the recording in global arrival order, serialized by the
-/// recorder's own mutex. SessionIds are mapped to dense track indices in
-/// admission order, so a recording is stable across runs that hand out
-/// different raw ids.
+/// at apply time — i.e. in exact per-tenant stream order), *load-shed
+/// refusal* (kBackpressure / kDeadlineExceeded / kOverloaded — recorded
+/// as refusal-tagged steps so a replay re-sees the refusal instead of
+/// applying the event) and close lands in the recording in global
+/// arrival order, serialized by the recorder's own mutex. SessionIds are
+/// mapped to dense track indices in admission order, so a recording is
+/// stable across runs that hand out different raw ids.
 ///
 /// Timestamps default to a deterministic step counter (0.1 s per step);
 /// interactive recorders install a wall-clock source via setTimeSource().
@@ -184,7 +240,8 @@ class Recorder {
  private:
   double stamp();  // caller holds mutex_
   void onAdmit(core::SessionId id);
-  void onEvent(core::SessionId id, const ui::Event& e);
+  void onEvent(core::SessionId id, const ui::Event& e,
+               const core::Status& status);
   void onClose(core::SessionId id);
 
   mutable std::mutex mutex_;

@@ -9,6 +9,7 @@
 #include "net/fault.h"
 #include "render/pipeline.h"
 #include "traj/synth.h"
+#include "util/clock.h"
 #include "util/stopwatch.h"
 #include "util/threadpool.h"
 
@@ -52,6 +53,11 @@ struct Runner::World {
   wall::WallSpec wallSpec;
   std::shared_ptr<const core::SharedContext> context;
   std::unique_ptr<ThreadPool> pool;
+  /// Deterministic time source for overload-plan replays: advanced by
+  /// clockAdvanceUsPerStep between steps, never during one, so deadline
+  /// and health decisions are pure functions of the step index. Must
+  /// outlive the service, which holds a pointer to it.
+  util::ManualClock clock;
   std::unique_ptr<core::SessionService> service;
   std::unique_ptr<net::FaultInjector> wireFaults;
 
@@ -86,6 +92,10 @@ const traj::TrajectoryDataset& Runner::dataset() const {
   return world_->dataset;
 }
 
+core::SessionService* Runner::service() {
+  return world_ ? world_->service.get() : nullptr;
+}
+
 bool Runner::inspectSession(std::uint32_t tenant,
                             const std::function<void(core::Session&)>& fn) {
   if (!world_ || tenant >= world_->tenants.size()) return false;
@@ -99,10 +109,21 @@ RunReport Runner::run() {
   world_ = std::make_unique<World>(spec);
   World& w = *world_;
   w.context = core::SharedContext::create(w.dataset, w.wallSpec);
+  const WorldSpec::OverloadPlan& plan = spec.overload;
   {
     core::SessionService::Options so;
     so.maxSessions =
         std::max<std::size_t>(recording_.tenantCount(), so.maxSessions);
+    if (plan.active()) {
+      // Overload-plan replay: the health controller runs against the
+      // manual clock, so every deadline/shed decision is a deterministic
+      // function of the recorded steps.
+      so.applyDeadlineUs = plan.applyDeadlineUs;
+      so.shedP99Us = plan.shedP99Us;
+      so.shedQueueDepth = plan.shedQueueDepth;
+      if (plan.healthWindow != 0) so.healthWindow = plan.healthWindow;
+      so.clock = &w.clock;
+    }
     w.service = std::make_unique<core::SessionService>(w.context, so);
   }
   if (options_.renderThreads > 1) {
@@ -123,6 +144,9 @@ RunReport Runner::run() {
 
   for (std::size_t i = 0; i < recording_.steps().size(); ++i) {
     const RecordedStep& step = recording_.steps()[i];
+    if (plan.clockAdvanceUsPerStep != 0) {
+      w.clock.advance(plan.clockAdvanceUsPerStep);
+    }
     StepTrace trace;
     trace.index = static_cast<std::uint32_t>(i);
     trace.tenant = step.tenant;
@@ -156,16 +180,53 @@ RunReport Runner::run() {
           trace.applied = false;
           break;
         }
+        if (step.refusal != 0) {
+          // Recorded refusal: the live service turned this event away, so
+          // the replay must re-see the refusal, never apply the event.
+          // The frame still renders (unchanged state) to keep the hash
+          // sequence step-aligned with the live run.
+          trace.applied = false;
+          trace.refusal = step.refusal;
+          ++report.eventsShed;
+          renderStep(w, step.tenant, trace, report);
+          break;
+        }
         Stopwatch apply;
         const core::Status status = w.service->apply(tenant.id, step.event);
         trace.applyUs = apply.elapsedMicros();
         trace.applied = status.isOk();
         if (trace.applied) {
           ++report.eventsApplied;
+        } else if (status.isLoadShed()) {
+          // Authored overload scenarios carry no refusal tags; the
+          // replayed health controller makes the shedding decision
+          // itself — deterministically, under the manual clock.
+          trace.refusal = static_cast<std::uint8_t>(status.code);
+          ++report.eventsShed;
         } else {
           ++report.eventsRejected;
         }
         renderStep(w, step.tenant, trace, report);
+        break;
+      }
+      case StepKind::kSubmit: {
+        trace.type = ui::eventTypeName(step.event);
+        if (!tenant.live) {
+          trace.applied = false;
+          break;
+        }
+        const core::Status status = w.service->submit(tenant.id, step.event);
+        trace.applied = status.isOk();
+        if (trace.applied) {
+          ++report.eventsSubmitted;
+        } else if (status.isLoadShed()) {
+          trace.refusal = static_cast<std::uint8_t>(status.code);
+          ++report.eventsShed;
+        } else {
+          ++report.eventsRejected;
+        }
+        // No render: submit only queues; the visible state is unchanged
+        // until a drain/apply, so the hash stays 0 like kClose steps.
         break;
       }
       case StepKind::kClose: {
@@ -180,6 +241,7 @@ RunReport Runner::run() {
         break;
       }
     }
+    trace.health = static_cast<std::uint8_t>(w.service->health());
     report.steps.push_back(std::move(trace));
   }
 
@@ -285,6 +347,8 @@ bool RunReport::writeTimingLog(const std::string& path,
   counter("steps", static_cast<double>(steps.size()));
   counter("events_applied", static_cast<double>(eventsApplied));
   counter("events_rejected", static_cast<double>(eventsRejected));
+  counter("events_shed", static_cast<double>(eventsShed));
+  counter("events_submitted", static_cast<double>(eventsSubmitted));
   counter("apply_us_total", applyTotal);
   counter("apply_us_p95", percentile95(applyUs));
   counter("build_us_total", buildTotal);

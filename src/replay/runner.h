@@ -59,7 +59,7 @@ struct StepTrace {
   std::uint32_t tenant = 0;
   std::string type;          ///< "admit", "close", or the event type name
   bool applied = true;       ///< event accepted by the session
-  std::uint64_t frameHash = 0;  ///< 0 for kClose steps
+  std::uint64_t frameHash = 0;  ///< 0 for kClose/kSubmit steps
   double applyUs = 0.0;      ///< SessionService::apply (kEvent only)
   double buildUs = 0.0;      ///< buildScene (query evaluation inside)
   double rasterUs = 0.0;     ///< pipeline render (incl. wire in delta mode)
@@ -67,6 +67,13 @@ struct StepTrace {
   /// mode (0 full / 1 delta); 0xFF when delta mode is off.
   std::uint8_t packetKind = 0xFF;
   bool resynced = false;     ///< wire drop/reject forced a full resync
+  /// core::StatusCode of the refusal this step saw — replayed from the
+  /// recording (refusal-tagged steps are never applied) or decided live
+  /// by the replayed service's health controller. 0 = accepted.
+  std::uint8_t refusal = 0;
+  /// SessionService health (0 healthy / 1 degraded / 2 shedding) observed
+  /// right after the step — the soak invariants assert on this timeline.
+  std::uint8_t health = 0;
 };
 
 /// The replay's full result: per-step traces + run-level accounting.
@@ -74,6 +81,11 @@ struct RunReport {
   std::vector<StepTrace> steps;
   std::size_t eventsApplied = 0;
   std::size_t eventsRejected = 0;
+  /// Events turned away typed (kOverloaded/kDeadlineExceeded/
+  /// kBackpressure): recorded refusals re-seen plus live shedding
+  /// decisions by the replayed health controller.
+  std::size_t eventsShed = 0;
+  std::size_t eventsSubmitted = 0;  ///< kSubmit steps enqueued ok
   std::uint64_t packetsDropped = 0;  ///< delta-wire drops (injected)
   std::uint64_t resyncs = 0;
   double totalMs = 0.0;
@@ -112,6 +124,11 @@ class Runner {
   /// reads its provenance inputs this way.
   bool inspectSession(std::uint32_t tenant,
                       const std::function<void(core::Session&)>& fn);
+
+  /// The replayed SessionService (valid after run(), nullptr before) —
+  /// soak invariant checkers read health state, queue depths and metrics
+  /// through it.
+  core::SessionService* service();
 
  private:
   struct World;  // dataset + context + service + per-tenant render state

@@ -260,9 +260,78 @@ Recording fuzz(std::uint64_t seed, int eventSteps) {
   return rec;
 }
 
+Recording overloadSoak() {
+  Recording rec;
+  rec.world = fleetWorld(0x50A4ULL);
+  // Overload plan: depth-driven controller (manual-clock latencies are
+  // zero by construction, so the latency trigger stays off and every
+  // transition is a pure function of the step sequence). Degraded at
+  // aggregate depth >= 30, Shedding at >= 60; health re-evaluated every
+  // 8 apply attempts; generous deadline budget (never expires against
+  // the between-step clock — the deadline *plumbing* is exercised, the
+  // expiry path is covered by unit tests and bench_overload wall-clock).
+  rec.world.overload.applyDeadlineUs = 50000;
+  rec.world.overload.shedQueueDepth = 60;
+  rec.world.overload.healthWindow = 8;
+  rec.world.overload.clockAdvanceUsPerStep = 500;
+
+  constexpr std::uint32_t kVictims = 2;
+  constexpr std::uint32_t kStorm = 6;
+  double t = 0.0;
+  for (std::uint32_t v = 0; v < kVictims; ++v) rec.admit(v, t += 0.5);
+
+  const auto victimApply = [&](std::uint32_t v, int i) {
+    const float ang = 2.0f * kPi * static_cast<float>(i % 16) / 16.0f;
+    rec.event(v, t += 1,
+              stroke(static_cast<std::uint8_t>(v), std::cos(ang) * 15.0f,
+                     std::sin(ang) * 15.0f, 6.0f));
+  };
+
+  // Phase 1 — calm baseline: victims brush, node stays Healthy.
+  for (int i = 0; i < 10; ++i) victimApply(i % kVictims, i);
+
+  // Phase 2 — the storm: six tenants flood their queues. 15 rounds x 6
+  // submits crosses Degraded (depth 30) around round 5 and Shedding
+  // (depth 60) around round 10; later rounds are refused kOverloaded.
+  for (std::uint32_t s = 0; s < kStorm; ++s) rec.admit(kVictims + s, t += 0.5);
+  for (int round = 0; round < 15; ++round) {
+    for (std::uint32_t s = 0; s < kStorm; ++s) {
+      rec.submit(kVictims + s, t += 0.25,
+                 stroke(static_cast<std::uint8_t>(s % 3),
+                        -20.0f + static_cast<float>(round),
+                        10.0f - static_cast<float>(s) * 3.0f, 4.0f));
+    }
+    if (round == 6) {
+      // Victim 0 queues three window scrubs of which only the last can
+      // matter. The node is Degraded by now, so victim 0's next apply
+      // must coalesce the first two away (latest-wins, lossless).
+      rec.submit(0, t += 1, ui::TimeWindowEvent{0.0f, 30.0f});
+      rec.submit(0, t += 1, ui::TimeWindowEvent{0.0f, 60.0f});
+      rec.submit(0, t += 1, ui::TimeWindowEvent{0.0f, 90.0f});
+    }
+    // One victim apply per round: refused once Shedding — the healthy
+    // tenant sees a typed kOverloaded, never a wedge.
+    victimApply(round % kVictims, 100 + round);
+  }
+
+  // Phase 3 — the storm ends: closing drops the flooded queues, so the
+  // aggregate depth collapses to the victims' own (coalesced) backlog.
+  for (std::uint32_t s = 0; s < kStorm; ++s) rec.close(kVictims + s, t += 0.5);
+
+  // Phase 4 — bounded recovery: victims keep applying; refused attempts
+  // still tick the health window, so the controller steps Shedding →
+  // Degraded → Healthy within two evaluation windows and the tail of
+  // these applies lands cleanly.
+  for (int i = 0; i < 30; ++i) victimApply(i % kVictims, 200 + i);
+  rec.event(0, t += 1, ui::BrushClearEvent{255});
+  rec.event(1, t += 1, ui::BrushClearEvent{255});
+  return rec;
+}
+
 std::vector<std::string> names() {
-  return {"canonical", "marathon",   "layout_churn",
-          "drilldown_storm", "interleave", "fuzz"};
+  return {"canonical",       "marathon",   "layout_churn",
+          "drilldown_storm", "interleave", "fuzz",
+          "overload_soak"};
 }
 
 Recording byName(const std::string& name) {
@@ -272,6 +341,7 @@ Recording byName(const std::string& name) {
   if (name == "drilldown_storm") return drilldownStorm();
   if (name == "interleave") return interleave();
   if (name == "fuzz") return fuzz();
+  if (name == "overload_soak") return overloadSoak();
   throw std::out_of_range("unknown replay scenario: " + name);
 }
 

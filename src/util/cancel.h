@@ -1,0 +1,125 @@
+// cancel.h — cooperative cancellation and deadline budgets.
+//
+// The latency discipline the wall promises (one brush dab must never
+// wedge a node) needs a way to abandon work that is already running.
+// Nothing here is preemptive: long loops — query re-classification,
+// per-cell rasterization — poll a Cancellation at chunk granularity and
+// unwind cleanly, leaving their caches consistent (partial results
+// discarded, dirty flags preserved, never a torn publish).
+//
+//   * CancelToken — a shared explicit kill switch. Copies observe the
+//     same flag; requestCancel() from any thread is seen by every
+//     holder. Latched: once cancelled, always cancelled.
+//   * Deadline — a budget against an injectable util::Clock. Production
+//     uses steadyClock(); replay injects a ManualClock so expiry is a
+//     pure function of the recorded step index, not of runner speed.
+//   * Cancellation — what worker loops actually take: an optional token
+//     plus an optional deadline, folded into one shouldStop() poll and
+//     a reason() for the typed status the caller reports
+//     (core::Status kCancelled vs kDeadlineExceeded).
+//
+// Polling cost: shouldStop() is one relaxed atomic load when only a
+// token is set; a deadline adds one clock read. Chunk loops that find
+// even that too hot can poll every Nth chunk — expiry granularity is the
+// chunk, by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/clock.h"
+
+namespace svq::util {
+
+/// Shared, latched cancellation flag. Copyable handle; all copies
+/// observe the same underlying flag.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void requestCancel() { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// A time budget against an injected Clock. Default-constructed (or
+/// unlimited()) deadlines never expire.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Never expires.
+  static Deadline unlimited() { return Deadline(); }
+
+  /// Expires `budgetUs` microseconds after `clock`'s current time. A
+  /// null clock means steadyClock(); budgetUs <= 0 is already expired.
+  static Deadline after(std::int64_t budgetUs,
+                        const Clock* clock = nullptr) {
+    Deadline d;
+    d.clock_ = clock != nullptr ? clock : steadyClock();
+    d.expiryUs_ = d.clock_->nowUs() + budgetUs;
+    return d;
+  }
+
+  bool isUnlimited() const { return clock_ == nullptr; }
+  bool expired() const {
+    return clock_ != nullptr && clock_->nowUs() >= expiryUs_;
+  }
+  /// Remaining budget in microseconds; <= 0 when expired, and a large
+  /// positive value for unlimited deadlines.
+  std::int64_t remainingUs() const {
+    if (clock_ == nullptr) return INT64_MAX;
+    return expiryUs_ - clock_->nowUs();
+  }
+
+ private:
+  const Clock* clock_ = nullptr;  ///< nullptr = unlimited
+  std::int64_t expiryUs_ = 0;
+};
+
+/// Why a Cancellation fired — maps 1:1 onto the typed statuses the apply
+/// path reports (core::Status kCancelled / kDeadlineExceeded).
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kCancelled = 1,         ///< explicit CancelToken
+  kDeadlineExceeded = 2,  ///< Deadline budget ran out
+};
+
+/// What cancellable loops take by const reference: token and/or deadline,
+/// both optional. The default-constructed Cancellation never stops.
+struct Cancellation {
+  const CancelToken* token = nullptr;
+  Deadline deadline;
+
+  Cancellation() = default;
+  explicit Cancellation(const CancelToken* t) : token(t) {}
+  explicit Cancellation(Deadline d) : deadline(d) {}
+  Cancellation(const CancelToken* t, Deadline d) : token(t), deadline(d) {}
+
+  /// The never-stopping cancellation, for call sites that thread the
+  /// parameter through but have no budget of their own.
+  static const Cancellation& none() {
+    static const Cancellation c;
+    return c;
+  }
+
+  bool shouldStop() const {
+    if (token != nullptr && token->cancelled()) return true;
+    return deadline.expired();
+  }
+
+  /// The reason shouldStop() would report right now. The explicit token
+  /// wins over the deadline when both fired (the caller asked first).
+  CancelReason reason() const {
+    if (token != nullptr && token->cancelled()) {
+      return CancelReason::kCancelled;
+    }
+    if (deadline.expired()) return CancelReason::kDeadlineExceeded;
+    return CancelReason::kNone;
+  }
+};
+
+}  // namespace svq::util

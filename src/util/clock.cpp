@@ -1,0 +1,18 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace svq::util {
+
+std::int64_t SteadyClock::nowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const Clock* steadyClock() {
+  static const SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace svq::util

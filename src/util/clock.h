@@ -1,0 +1,73 @@
+// clock.h — injectable monotonic time source.
+//
+// Deadline enforcement (util/cancel.h, core::SessionService) needs a
+// monotonic "now", but reading the hardware clock inside the apply path
+// would make replay non-deterministic: whether a deadline fires would
+// depend on the runner's wall-clock speed. The fix is the same one the
+// fault injectors use for randomness — put the source behind an
+// interface and inject it:
+//
+//   * SteadyClock — std::chrono::steady_clock, the production source;
+//     steadyClock() returns a shared process-wide instance.
+//   * ManualClock — time advances only when the harness says so. The
+//     replay runner advances it by a fixed amount per recorded step, so
+//     whether any deadline has expired is a pure function of the step
+//     index — identical at every thread count, on every machine.
+//
+// Clocks report microseconds from an arbitrary epoch; only differences
+// are meaningful. Implementations must be thread-safe (nowUs() is read
+// from concurrent apply paths).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace svq::util {
+
+/// Monotonic microsecond source. nowUs() must never decrease and must be
+/// safe to call from any thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::int64_t nowUs() const = 0;
+};
+
+/// Production source: std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  std::int64_t nowUs() const override;
+};
+
+/// Harness-driven source: time moves only via advance()/set(). Monotonic
+/// as long as the harness never sets it backwards (set() clamps).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::int64_t startUs = 0) : nowUs_(startUs) {}
+
+  std::int64_t nowUs() const override {
+    return nowUs_.load(std::memory_order_acquire);
+  }
+
+  void advance(std::int64_t deltaUs) {
+    if (deltaUs > 0) nowUs_.fetch_add(deltaUs, std::memory_order_acq_rel);
+  }
+
+  /// Jumps to `targetUs` if it is ahead of the current time (monotonic:
+  /// a stale setter can never rewind the clock under concurrent readers).
+  void set(std::int64_t targetUs) {
+    std::int64_t cur = nowUs_.load(std::memory_order_acquire);
+    while (targetUs > cur &&
+           !nowUs_.compare_exchange_weak(cur, targetUs,
+                                         std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<std::int64_t> nowUs_;
+};
+
+/// The process-wide SteadyClock (what callers get when they inject
+/// nothing). Never null.
+const Clock* steadyClock();
+
+}  // namespace svq::util

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "traj/synth.h"
+#include "util/cancel.h"
 
 namespace svq::core {
 namespace {
@@ -216,6 +217,51 @@ TEST_F(QueryEngineTest, LastInvalidatedReportsDamagedRows) {
   engine_.evaluate();
   EXPECT_EQ(engine_.metrics().temporalOnlyPasses, 1u);
   EXPECT_TRUE(engine_.lastInvalidated().empty());
+}
+
+TEST_F(QueryEngineTest, CancelledPassAbandonsWithoutTearingAndResumes) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 0.0f}, 10.0f}));
+
+  // A pre-fired token: the pass must abandon before publishing anything.
+  util::CancelToken token;
+  token.requestCancel();
+  const auto aborted = engine_.evaluate(util::Cancellation(&token));
+  EXPECT_EQ(aborted, nullptr);
+  EXPECT_EQ(engine_.generation(), 0u) << "no generation may publish";
+  EXPECT_EQ(engine_.metrics().abandonedPasses, 1u);
+
+  // The dirty-set survived the abort: the next uncancelled evaluate does
+  // the same work and matches the stateless ground truth bit for bit.
+  const auto resumed = engine_.evaluate();
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_EQ(resumed->generation, 1u);
+  expectSameResult(*resumed, oneShot());
+}
+
+TEST_F(QueryEngineTest, ExpiredDeadlineAbandonsTemporalPassToo) {
+  engine_.invalidateRegion(
+      canvas_.addStroke(BrushStroke{0, {-20.0f, 0.0f}, 10.0f}));
+  engine_.evaluate();
+  const auto before = engine_.current();
+
+  // Dirty the temporal axis only, then evaluate under an already-expired
+  // deadline (a manual clock never advances, so a zero budget is dead on
+  // arrival — the replay-deterministic way to force expiry).
+  QueryParams p = engine_.params();
+  p.timeWindow = {5.0f, 40.0f};
+  engine_.setParams(p);
+  util::ManualClock clock;
+  const auto aborted = engine_.evaluate(
+      util::Cancellation(util::Deadline::after(0, &clock)));
+  EXPECT_EQ(aborted, nullptr);
+  EXPECT_EQ(engine_.metrics().abandonedPasses, 1u);
+  // Consumers holding the previous generation saw nothing move.
+  EXPECT_EQ(engine_.current().get(), before.get());
+
+  const auto resumed = engine_.evaluate();
+  ASSERT_NE(resumed, nullptr);
+  expectSameResult(*resumed, oneShot());
 }
 
 TEST(QueryEngineStandaloneTest, CurrentIsEmptyBeforeFirstPass) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -16,7 +17,9 @@
 #include "render/pipeline.h"
 #include "render/sharedcache.h"
 #include "traj/synth.h"
+#include "util/clock.h"
 #include "util/io.h"
+#include "util/metrics.h"
 
 namespace svq::core {
 namespace {
@@ -406,6 +409,280 @@ TEST(StatusSurfaceTest, ThreeFamiliesShareOneFormattingContract) {
   static_assert(util::StatusLike<Status>);
   static_assert(util::StatusLike<net::Status>);
   static_assert(util::StatusLike<io::Status>);
+}
+
+// --- overload: health controller, deadlines, shedding, coalescing -----------
+
+/// A clock whose every read jumps far forward: any deadline created
+/// against it is already expired by its first expiry check — the
+/// deterministic way to drive the kDeadlineExceeded path without timers.
+class JumpingClock final : public util::Clock {
+ public:
+  explicit JumpingClock(std::int64_t stepUs) : stepUs_(stepUs) {}
+  std::int64_t nowUs() const override {
+    return now_.fetch_add(stepUs_, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::int64_t> now_{0};
+  std::int64_t stepUs_;
+};
+
+TEST(OverloadTest, DepthCrossingEscalatesAndShedsTypedWithRetryHint) {
+  const auto ds = makeDataset();
+  const auto ctx = SharedContext::create(ds, smallWall());
+  util::ManualClock clock;
+  SessionService::Options opt;
+  opt.shedQueueDepth = 4;
+  opt.healthWindow = 2;
+  opt.retryAfterMs = 40;
+  opt.clock = &clock;
+  SessionService svc(ctx, opt);
+
+  const auto victim = svc.admit();
+  const auto noisy = svc.admit();
+  ASSERT_TRUE(victim.status.isOk());
+  ASSERT_TRUE(noisy.status.isOk());
+  EXPECT_EQ(svc.health(), SessionService::Health::kHealthy);
+
+  // Two queued events reach half the threshold: Degraded, immediately.
+  ASSERT_TRUE(svc.submit(noisy.id, ui::TimeScaleEvent{0.5f}).isOk());
+  ASSERT_TRUE(svc.submit(noisy.id, ui::TimeWindowEvent{0.0f, 50.0f}).isOk());
+  EXPECT_EQ(svc.health(), SessionService::Health::kDegraded);
+
+  // Crossing the full threshold: Shedding, immediately. (Four distinct
+  // event kinds so the recovery drain below coalesces nothing away.)
+  ASSERT_TRUE(svc.submit(noisy.id, ui::DepthOffsetEvent{-1.0f}).isOk());
+  ASSERT_TRUE(
+      svc.submit(noisy.id, ui::BrushStrokeEvent{0, {0.0f, 0.0f}, 5.0f})
+          .isOk());
+  EXPECT_EQ(svc.health(), SessionService::Health::kShedding);
+  EXPECT_EQ(svc.queuedEventsTotal(), 4u);
+
+  // New work — the victim's interactive apply AND further submits — is
+  // refused with the typed verdict carrying the pacing hint.
+  const Status shedApply = svc.apply(victim.id, ui::DepthOffsetEvent{-1.0f});
+  EXPECT_TRUE(shedApply.isOverloaded()) << shedApply.message();
+  EXPECT_EQ(shedApply.retryAfterMs, 40u);
+  EXPECT_TRUE(shedApply.isRetryable());
+  const Status shedSubmit = svc.submit(victim.id, ui::DepthOffsetEvent{-1.0f});
+  EXPECT_TRUE(shedSubmit.isOverloaded());
+  EXPECT_EQ(svc.queuedEventsTotal(), 4u) << "refused submit must not enqueue";
+
+  // Draining is always allowed — it is how the node recovers — and each
+  // drained event ticks the evaluation window, so a drained backlog walks
+  // health back one level per window: Shedding -> Degraded -> Healthy.
+  std::size_t applied = 0;
+  ASSERT_TRUE(svc.drain(noisy.id, &applied).isOk());
+  EXPECT_EQ(applied, 4u);
+  EXPECT_EQ(svc.queuedEventsTotal(), 0u);
+  EXPECT_EQ(svc.health(), SessionService::Health::kHealthy);
+
+  // Recovered: the victim's apply lands again.
+  EXPECT_TRUE(svc.apply(victim.id, ui::DepthOffsetEvent{-2.0f}).isOk());
+}
+
+TEST(OverloadTest, CloseIsAllowedWhileSheddingAndCollapsesDepth) {
+  const auto ds = makeDataset();
+  const auto ctx = SharedContext::create(ds, smallWall());
+  util::ManualClock clock;
+  SessionService::Options opt;
+  opt.shedQueueDepth = 2;
+  opt.healthWindow = 2;
+  opt.clock = &clock;
+  SessionService svc(ctx, opt);
+
+  const auto a = svc.admit();
+  const auto b = svc.admit();
+  ASSERT_TRUE(svc.submit(b.id, ui::TimeScaleEvent{0.5f}).isOk());
+  ASSERT_TRUE(svc.submit(b.id, ui::TimeWindowEvent{0.0f, 50.0f}).isOk());
+  ASSERT_EQ(svc.health(), SessionService::Health::kShedding);
+
+  // Closing sheds load, so no health state refuses it; the victim's
+  // queue dies with it and the aggregate depth collapses.
+  EXPECT_TRUE(svc.close(b.id).isOk());
+  EXPECT_EQ(svc.queuedEventsTotal(), 0u);
+
+  // The next applies tick the window; within two windows the node is
+  // Healthy again (the first attempts may still be refused — typed, not
+  // wedged).
+  Status last = Status::ok();
+  for (int i = 0; i < 2 * 2; ++i) {
+    last = svc.apply(a.id, ui::DepthOffsetEvent{static_cast<float>(-i)});
+  }
+  EXPECT_TRUE(last.isOk()) << last.message();
+  EXPECT_EQ(svc.health(), SessionService::Health::kHealthy);
+}
+
+TEST(OverloadTest, ExhaustedDeadlineRefusesSyncEventAndPreservesBacklog) {
+  const auto ds = makeDataset();
+  const auto ctx = SharedContext::create(ds, smallWall());
+  JumpingClock clock(1000);  // every read jumps 1ms: any budget expires
+  SessionService::Options opt;
+  opt.applyDeadlineUs = 100;
+  opt.clock = &clock;
+  SessionService svc(ctx, opt);
+
+  const auto a = svc.admit();
+  ASSERT_TRUE(a.status.isOk());
+  ASSERT_TRUE(svc.submit(a.id, ui::TimeScaleEvent{0.75f}).isOk());
+  ASSERT_TRUE(svc.submit(a.id, ui::TimeWindowEvent{0.0f, 30.0f}).isOk());
+  // A painted brush forces buildScene() below through the deadline-checked
+  // query evaluation (an empty brush skips evaluation entirely).
+  ASSERT_TRUE(
+      svc.submit(a.id, ui::BrushStrokeEvent{0, {0.0f, 0.0f}, 6.0f}).isOk());
+
+  // The budget is gone before the backlog's first pop: the synchronous
+  // event is refused kDeadlineExceeded and the backlog is untouched —
+  // refused, never torn, never silently dropped.
+  const Status refused = svc.apply(a.id, ui::BrushClearEvent{255});
+  EXPECT_TRUE(refused.isDeadlineExceeded()) << refused.message();
+  EXPECT_TRUE(refused.isRetryable());
+  EXPECT_EQ(svc.queuedEvents(a.id), 3u);
+
+  // drain() carries no deadline (it is the recovery path): the same
+  // backlog applies fully.
+  std::size_t applied = 0;
+  ASSERT_TRUE(svc.drain(a.id, &applied).isOk());
+  EXPECT_EQ(applied, 3u);
+  EXPECT_EQ(svc.queuedEvents(a.id), 0u);
+
+  // buildScene under the same jumping clock refuses over-budget builds
+  // typed, with the session intact for the next attempt.
+  render::SceneModel scene;
+  const Status build = svc.buildScene(a.id, scene);
+  EXPECT_TRUE(build.isDeadlineExceeded()) << build.message();
+}
+
+TEST(OverloadTest, DegradedCoalescingIsLosslessForFinalState) {
+  const auto ds = makeDataset();
+  const auto ctx = SharedContext::create(ds, smallWall());
+
+  // Degraded node: 8 queued events reach half of shedQueueDepth=16.
+  util::ManualClock clock;
+  SessionService::Options opt;
+  opt.shedQueueDepth = 16;
+  opt.clock = &clock;
+  SessionService coalescing(ctx, opt);
+  SessionService reference(ctx);  // no overload machinery at all
+
+  const std::vector<ui::Event> backlog = {
+      ui::BrushStrokeEvent{0, {-20.0f, 0.0f}, 9.0f},
+      ui::TimeWindowEvent{0.0f, 30.0f},   // superseded
+      ui::BrushStrokeEvent{1, {5.0f, 5.0f}, 6.0f},  // cleared below
+      ui::TimeWindowEvent{0.0f, 60.0f},   // superseded
+      ui::BrushClearEvent{1},
+      ui::TimeWindowEvent{0.0f, 90.0f},   // the one that matters
+      ui::DepthOffsetEvent{-2.0f},        // superseded
+      ui::DepthOffsetEvent{-5.0f},
+  };
+
+  const auto a = coalescing.admit();
+  const auto r = reference.admit();
+  for (const ui::Event& e : backlog) {
+    ASSERT_TRUE(coalescing.submit(a.id, e).isOk());
+  }
+  ASSERT_EQ(coalescing.health(), SessionService::Health::kDegraded);
+
+  const auto before =
+      MetricsRegistry::global().snapshot("sessions.events_coalesced");
+  ASSERT_TRUE(coalescing.apply(a.id, ui::BrushStrokeEvent{2, {10.0f, -10.0f}, 7.0f}).isOk());
+  const auto after =
+      MetricsRegistry::global().snapshot("sessions.events_coalesced");
+  EXPECT_GE(after.at("sessions.events_coalesced") -
+                before.at("sessions.events_coalesced"),
+            4u)
+      << "two window scrubs, one depth offset and one cleared stroke "
+         "should coalesce away";
+
+  // The reference tenant applies every event uncoalesced; both must land
+  // on bit-identical scenes — coalescing is latest-wins, lossless.
+  for (const ui::Event& e : backlog) {
+    ASSERT_TRUE(reference.apply(r.id, e).isOk());
+  }
+  ASSERT_TRUE(reference.apply(r.id, ui::BrushStrokeEvent{2, {10.0f, -10.0f}, 7.0f}).isOk());
+
+  render::SceneModel coalesced, uncoalesced;
+  ASSERT_TRUE(coalescing.buildScene(a.id, coalesced).isOk());
+  ASSERT_TRUE(reference.buildScene(r.id, uncoalesced).isOk());
+  EXPECT_EQ(renderHash(coalesced, ds, smallWall()),
+            renderHash(uncoalesced, ds, smallWall()));
+}
+
+TEST(OverloadTest, HooksSeeRefusalsAsWellAsAcceptedTraffic) {
+  const auto ds = makeDataset();
+  const auto ctx = SharedContext::create(ds, smallWall());
+  util::ManualClock clock;
+  SessionService::Options opt;
+  opt.eventQueueDepth = 1;
+  opt.shedQueueDepth = 2;
+  opt.clock = &clock;
+  SessionService svc(ctx, opt);
+
+  std::vector<StatusCode> seen;
+  SessionService::Hooks hooks;
+  hooks.onEvent = [&](SessionId, const ui::Event&, const Status& s) {
+    seen.push_back(s.code);
+  };
+  svc.setHooks(std::move(hooks));
+
+  const auto a = svc.admit();
+  const auto b = svc.admit();
+  ASSERT_TRUE(svc.submit(a.id, ui::PageEvent{1}).isOk());     // accepted
+  EXPECT_TRUE(svc.submit(a.id, ui::PageEvent{1}).isBackpressure());  // full
+  ASSERT_TRUE(svc.submit(b.id, ui::PageEvent{1}).isOk());     // accepted
+  ASSERT_EQ(svc.health(), SessionService::Health::kShedding);  // depth 2
+  EXPECT_TRUE(svc.apply(b.id, ui::PageEvent{1}).isOverloaded());  // shed
+
+  const std::vector<StatusCode> expected = {
+      StatusCode::kOk, StatusCode::kBackpressure, StatusCode::kOk,
+      StatusCode::kOverloaded};
+  EXPECT_EQ(seen, expected)
+      << "every refusal must be hook-visible: replay has to re-see it";
+}
+
+TEST(OverloadTest, FromEnvRejectsGarbageAndKeepsDefaults) {
+  const auto withEnv = [](const char* name, const char* value,
+                          const auto& check) {
+    ASSERT_EQ(setenv(name, value, 1), 0);
+    const SessionService::Options opt = SessionService::Options::fromEnv();
+    unsetenv(name);
+    check(opt);
+  };
+
+  // Valid values land (deadline converts ms -> us).
+  withEnv("SVQ_APPLY_DEADLINE_MS", "7", [](const auto& o) {
+    EXPECT_EQ(o.applyDeadlineUs, 7000u);
+  });
+  withEnv("SVQ_SHED_P99_US", "1234", [](const auto& o) {
+    EXPECT_EQ(o.shedP99Us, 1234u);
+  });
+  withEnv("SVQ_MAX_SESSIONS", "9", [](const auto& o) {
+    EXPECT_EQ(o.maxSessions, 9u);
+  });
+
+  // Garbage, zero and negative values are rejected; the compiled default
+  // is kept (a typo must never silently disarm a safety knob).
+  const SessionService::Options defaults;
+  withEnv("SVQ_APPLY_DEADLINE_MS", "banana", [&](const auto& o) {
+    EXPECT_EQ(o.applyDeadlineUs, defaults.applyDeadlineUs);
+  });
+  withEnv("SVQ_APPLY_DEADLINE_MS", "0", [&](const auto& o) {
+    EXPECT_EQ(o.applyDeadlineUs, defaults.applyDeadlineUs);
+  });
+  withEnv("SVQ_APPLY_DEADLINE_MS", "-3", [&](const auto& o) {
+    EXPECT_EQ(o.applyDeadlineUs, defaults.applyDeadlineUs);
+  });
+  withEnv("SVQ_SHED_P99_US", "12abc", [&](const auto& o) {
+    EXPECT_EQ(o.shedP99Us, defaults.shedP99Us);
+  });
+  withEnv("SVQ_MAX_SESSIONS", "0", [&](const auto& o) {
+    EXPECT_EQ(o.maxSessions, defaults.maxSessions);
+  });
+  withEnv("SVQ_SESSION_QUEUE_DEPTH", "999999999999999999999",
+          [&](const auto& o) {
+            EXPECT_EQ(o.eventQueueDepth, defaults.eventQueueDepth);
+          });
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "traj/synth.h"
+#include "util/cancel.h"
 #include "util/threadpool.h"
 
 namespace svq::render {
@@ -314,6 +315,61 @@ TEST(PipelineTest, CellKeysTrackContent) {
       EXPECT_EQ(before[i], after[i]);
     }
   }
+}
+
+TEST(PipelineTest, CancelledRenderAbortsAndNextFrameIsBitIdentical) {
+  const auto ds = makeDataset();
+  const SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+
+  // A pre-fired token: the render must abort (possibly mid-cell-loop),
+  // report it, and self-invalidate so nothing half-drawn is ever trusted.
+  util::CancelToken token;
+  token.requestCancel();
+  const util::Cancellation cancel(&token);
+  const PipelineStats aborted =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft, &cancel);
+  EXPECT_TRUE(aborted.aborted);
+
+  // The next uncancelled render recomposites and matches a cold render
+  // bit for bit — the abort left no torn pixels behind.
+  const PipelineStats stats =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_TRUE(stats.fullRecomposite);
+  EXPECT_EQ(fb.contentHash(),
+            coldRender(scene, ds, 240, 80, Eye::kLeft).contentHash());
+}
+
+TEST(PipelineTest, DeadlineAbortKeepsIncrementalStateConsistent) {
+  const auto ds = makeDataset();
+  SceneModel scene = makeScene(ds);
+  Framebuffer fb(240, 80);
+  CellRenderPipeline pipeline;
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+
+  // Dirty one cell, then abort the incremental frame with an
+  // already-expired deadline (manual clock: deterministic expiry).
+  dabCell(scene, 3, 0);
+  util::ManualClock clock;
+  const util::Cancellation cancel(util::Deadline::after(0, &clock));
+  const PipelineStats aborted =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft, &cancel);
+  EXPECT_TRUE(aborted.aborted);
+
+  // The retry must converge to the cold truth for the *edited* scene —
+  // the abort may not have left the old cell's pixels marked clean.
+  pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft);
+  EXPECT_EQ(fb.contentHash(),
+            coldRender(scene, ds, 240, 80, Eye::kLeft).contentHash());
+
+  // And a null cancellation means no overhead path surprises: steady
+  // frames still skip everything.
+  const PipelineStats steady =
+      pipeline.render(scene, ds, Canvas::whole(fb), Eye::kLeft, nullptr);
+  EXPECT_EQ(steady.cellsRasterized, 0u);
+  EXPECT_EQ(steady.cellsSkipped, scene.cells.size());
 }
 
 TEST(PipelineTest, EyeChangeRecomposites) {

@@ -3,6 +3,7 @@
 // and InputScript's timestamp-ordering contract.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -11,6 +12,7 @@
 #include "replay/recording.h"
 #include "traj/synth.h"
 #include "ui/script.h"
+#include "util/clock.h"
 
 namespace svq::replay {
 namespace {
@@ -107,8 +109,9 @@ TEST(RecordingTest, RejectsBadMagicVersionTruncationAndTrailingGarbage) {
 }
 
 TEST(RecordingTest, RejectsHostileCountsBadKindsAndNonFiniteTimestamps) {
-  // The step count sits right after magic+version+world (8 + 72 bytes).
-  const std::size_t countOffset = 8 + 72;
+  // The step count sits right after magic+version+world (8 + 92 bytes:
+  // v2 appended the five u32 overload-plan fields to the world block).
+  const std::size_t countOffset = 8 + 92;
   const net::MessageBuffer buf = sampleRecording().serialize();
 
   {  // hostile step count: bounded by payload, rejected before reserve
@@ -150,6 +153,205 @@ TEST(RecordingTest, TenantSliceKeepsOrderAndRemapsToTrackZero) {
     lastTime = s.timeS;
   }
   EXPECT_EQ(slice.world.datasetSeed, rec.world.datasetSeed);
+}
+
+// --- format v2: refusal tags, kSubmit steps, v1 back-compat ------------------
+
+/// Writes the WorldSpec block by hand — v1 (72 bytes) or v2 (92 bytes,
+/// with the overload plan) — so tests can author payloads of either
+/// version without going through serialize().
+void putWorldBytes(net::MessageBuffer& buf, const WorldSpec& w, bool v2) {
+  buf.putU64(w.datasetSeed);
+  buf.putU32(w.trajectoryCount);
+  buf.putI32(w.tile.pxW);
+  buf.putI32(w.tile.pxH);
+  buf.putF32(w.tile.activeWmm);
+  buf.putF32(w.tile.activeHmm);
+  buf.putF32(w.tile.bezelMm);
+  buf.putI32(w.tileCols);
+  buf.putI32(w.tileRows);
+  buf.putU64(std::bit_cast<std::uint64_t>(w.wireDropProbability));
+  buf.putU64(w.wireFaultSeed);
+  buf.putU64(std::bit_cast<std::uint64_t>(w.ioFaultPct));
+  buf.putU64(w.ioFaultSeed);
+  if (v2) {
+    buf.putU32(w.overload.applyDeadlineUs);
+    buf.putU32(w.overload.shedP99Us);
+    buf.putU32(w.overload.shedQueueDepth);
+    buf.putU32(w.overload.healthWindow);
+    buf.putU32(w.overload.clockAdvanceUsPerStep);
+  }
+}
+
+TEST(RecordingTest, RoundTripsOverloadPlanRefusalsAndSubmits) {
+  Recording rec;
+  rec.world.datasetSeed = 77;
+  rec.world.overload.applyDeadlineUs = 50000;
+  rec.world.overload.shedP99Us = 2000;
+  rec.world.overload.shedQueueDepth = 60;
+  rec.world.overload.healthWindow = 8;
+  rec.world.overload.clockAdvanceUsPerStep = 500;
+  rec.admit(0, 0.0);
+  rec.event(0, 1.0, ui::PageEvent{1});
+  rec.submit(0, 2.0, ui::TimeWindowEvent{0.0f, 30.0f}, "queued");
+  rec.refused(0, 3.0, ui::BrushStrokeEvent{0, {1.0f, 2.0f}, 5.0f},
+              static_cast<std::uint8_t>(core::StatusCode::kOverloaded),
+              "shed");
+  rec.refused(0, 4.0, ui::PageEvent{-1},
+              static_cast<std::uint8_t>(core::StatusCode::kDeadlineExceeded));
+
+  const auto restored = Recording::deserialize(rec.serialize());
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), 5u);
+  EXPECT_EQ(restored->world.overload.applyDeadlineUs, 50000u);
+  EXPECT_EQ(restored->world.overload.shedP99Us, 2000u);
+  EXPECT_EQ(restored->world.overload.shedQueueDepth, 60u);
+  EXPECT_EQ(restored->world.overload.healthWindow, 8u);
+  EXPECT_EQ(restored->world.overload.clockAdvanceUsPerStep, 500u);
+  EXPECT_TRUE(restored->world.overload.active());
+
+  const auto& steps = restored->steps();
+  EXPECT_EQ(steps[1].refusal, 0);
+  EXPECT_EQ(steps[2].kind, StepKind::kSubmit);
+  EXPECT_EQ(steps[2].note, "queued");
+  EXPECT_EQ(ui::eventTypeName(steps[2].event), "time_window");
+  EXPECT_EQ(steps[3].kind, StepKind::kEvent);
+  EXPECT_EQ(steps[3].refusal,
+            static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
+  EXPECT_EQ(ui::eventTypeName(steps[3].event), "brush_stroke");
+  EXPECT_EQ(steps[4].refusal,
+            static_cast<std::uint8_t>(core::StatusCode::kDeadlineExceeded));
+  EXPECT_EQ(restored->refusedCount(), 2u);
+  // Refusal-tagged steps are part of the event stream (kEvent kind);
+  // kSubmit counts as queued traffic, not an applied event.
+  EXPECT_EQ(restored->eventCount(), 3u);
+}
+
+TEST(RecordingTest, RejectsUnknownRefusalCodesAndRefusedLifecycleSteps) {
+  {  // refusal byte beyond the status vocabulary
+    Recording rec;
+    rec.admit(0, 0.0);
+    rec.refused(0, 1.0, ui::PageEvent{1},
+                static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
+    std::vector<std::uint8_t> bytes(rec.serialize().bytes());
+    // The refused step's refusal byte sits at header(8) + world(92) +
+    // count(4) + v2 admit step(19) + kind(1) + tenant(4) + time(8).
+    const std::size_t refusalOffset = 8 + 92 + 4 + 19 + 13;
+    ASSERT_EQ(bytes[refusalOffset],
+              static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
+    bytes[refusalOffset] =
+        static_cast<std::uint8_t>(core::StatusCode::kOverloaded) + 1;
+    EXPECT_FALSE(Recording::deserialize(net::MessageBuffer(std::move(bytes))));
+  }
+  {  // a refusal tag on a lifecycle step is structurally invalid
+    net::MessageBuffer buf;
+    buf.putU32(Recording::kMagic);
+    buf.putU32(2);
+    putWorldBytes(buf, WorldSpec{}, /*v2=*/true);
+    buf.putU32(1);
+    buf.putU8(0);  // kAdmit
+    buf.putU32(0);
+    buf.putU64(std::bit_cast<std::uint64_t>(0.0));
+    buf.putU8(static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
+    buf.putU8(0xFF);  // no-event marker
+    buf.putString("");
+    EXPECT_FALSE(Recording::deserialize(std::move(buf)));
+  }
+}
+
+TEST(RecordingTest, StillParsesVersion1Payloads) {
+  // A v1 payload: no overload plan in the world, no refusal bytes in the
+  // steps. Old fleet recordings must keep replaying.
+  WorldSpec world;
+  world.datasetSeed = 31337;
+  world.trajectoryCount = 9;
+  world.wireDropProbability = 0.125;
+  net::MessageBuffer buf;
+  buf.putU32(Recording::kMagic);
+  buf.putU32(1);
+  putWorldBytes(buf, world, /*v2=*/false);
+  buf.putU32(3);
+  buf.putU8(0);  // kAdmit, tenant 0, t=0
+  buf.putU32(0);
+  buf.putU64(std::bit_cast<std::uint64_t>(0.0));
+  buf.putU8(0xFF);
+  buf.putString("");
+  buf.putU8(1);  // kEvent, tenant 0, t=1
+  buf.putU32(0);
+  buf.putU64(std::bit_cast<std::uint64_t>(1.0));
+  ui::serializeEvent(buf, ui::PageEvent{1});
+  buf.putString("old");
+  buf.putU8(2);  // kClose, tenant 0, t=2
+  buf.putU32(0);
+  buf.putU64(std::bit_cast<std::uint64_t>(2.0));
+  buf.putU8(0xFF);
+  buf.putString("");
+
+  const auto rec = Recording::deserialize(std::move(buf));
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_EQ(rec->size(), 3u);
+  EXPECT_EQ(rec->world.datasetSeed, 31337u);
+  EXPECT_EQ(rec->world.wireDropProbability, 0.125);
+  // v1 worlds decode with the overload machinery disarmed, all accepted.
+  EXPECT_FALSE(rec->world.overload.active());
+  EXPECT_EQ(rec->refusedCount(), 0u);
+  EXPECT_EQ(rec->steps()[1].refusal, 0);
+  EXPECT_EQ(ui::eventTypeName(rec->steps()[1].event), "page");
+  EXPECT_EQ(rec->steps()[1].note, "old");
+
+  // A v2 payload that lies about being v1 (extra overload bytes) is
+  // trailing garbage, not silently misparsed.
+  net::MessageBuffer lying;
+  lying.putU32(Recording::kMagic);
+  lying.putU32(1);
+  putWorldBytes(lying, world, /*v2=*/true);
+  lying.putU32(0);
+  EXPECT_FALSE(Recording::deserialize(std::move(lying)));
+}
+
+TEST(RecorderTest, CapturesRefusalsAsRefusalTaggedSteps) {
+  WorldSpec spec;
+  spec.trajectoryCount = 8;
+  const traj::TrajectoryDataset dataset = makeDataset(spec);
+  const auto context = core::SharedContext::create(dataset, spec.wallSpec());
+  util::ManualClock clock;
+  core::SessionService::Options options;
+  options.eventQueueDepth = 1;
+  options.shedQueueDepth = 2;
+  options.clock = &clock;
+  core::SessionService service(context, options);
+
+  Recorder recorder(spec);
+  recorder.attach(service);
+
+  const auto a = service.admit();
+  const auto b = service.admit();
+  ASSERT_TRUE(service.submit(a.id, ui::PageEvent{1}).isOk());
+  // Queue full: kBackpressure. The event was turned away, so it must be
+  // recorded as a refusal, not as applied traffic.
+  ASSERT_TRUE(service.submit(a.id, ui::PageEvent{-1}).isBackpressure());
+  // Aggregate depth 2 after this: the node starts Shedding.
+  ASSERT_TRUE(service.submit(b.id, ui::TimeWindowEvent{0.0f, 30.0f}).isOk());
+  ASSERT_TRUE(
+      service.apply(b.id, ui::BrushClearEvent{255}).isOverloaded());
+
+  const Recording rec = recorder.finish();
+  ASSERT_EQ(rec.size(), 6u);  // 2 admits + 2 accepted + 2 refused
+  EXPECT_EQ(rec.refusedCount(), 2u);
+  const auto& steps = rec.steps();
+  EXPECT_EQ(steps[2].refusal, 0);  // accepted submit
+  EXPECT_EQ(steps[3].refusal,
+            static_cast<std::uint8_t>(core::StatusCode::kBackpressure));
+  EXPECT_EQ(steps[3].kind, StepKind::kEvent);
+  EXPECT_EQ(steps[5].refusal,
+            static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
+  EXPECT_EQ(ui::eventTypeName(steps[5].event), "brush_clear");
+
+  // The refusal-tagged stream round-trips bit-true.
+  const auto restored = Recording::deserialize(rec.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->refusedCount(), 2u);
+  EXPECT_EQ(restored->steps()[5].refusal, steps[5].refusal);
 }
 
 TEST(RecorderTest, CapturesServiceFlowInStreamOrder) {

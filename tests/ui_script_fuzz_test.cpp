@@ -227,7 +227,8 @@ TEST(RecordingFuzzTest, OversizedCountFieldsAreRejectedWithoutAllocating) {
     std::vector<std::uint8_t> bytes = randomRecording(rng).serialize().bytes();
     const std::uint32_t huge =
         0x40000000u | static_cast<std::uint32_t>(rng.next());
-    std::memcpy(bytes.data() + 80, &huge, sizeof huge);  // step count
+    // Step count sits after the 8-byte header + 92-byte v2 world block.
+    std::memcpy(bytes.data() + 100, &huge, sizeof huge);
     EXPECT_FALSE(
         replay::Recording::deserialize(net::MessageBuffer(std::move(bytes)))
             .has_value())

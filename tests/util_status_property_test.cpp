@@ -1,0 +1,180 @@
+// Property tests for the shared status surface (util/status.h) across
+// all three status families — net::Status, io::Status, core::Status —
+// with emphasis on the overload vocabulary core gained (kDeadlineExceeded
+// / kCancelled / kOverloaded): the worse() fold must stay a lattice join
+// (associative, commutative up to severity, absorbing on Ok) no matter
+// which codes a composite operation folds, or a multi-phase apply could
+// report a different verdict depending on evaluation order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/status.h"
+#include "net/status.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace svq {
+namespace {
+
+// --- generic lattice properties, instantiated per family --------------------
+
+/// worse() picks the *first* argument of maximal severity, which makes it
+/// exactly associative (both groupings reduce to "leftmost max of the
+/// sequence") and commutative at the severity level.
+template <typename S, typename Worse, typename Severity>
+void checkJoinProperties(const std::vector<S>& values, Worse worse,
+                         Severity severity) {
+  for (const S& a : values) {
+    // Idempotent.
+    EXPECT_EQ(worse(a, a), a) << a.message();
+    for (const S& b : values) {
+      const S ab = worse(a, b);
+      // Commutative up to severity: equal-severity ties keep the left
+      // argument, but the *verdict rank* never depends on order.
+      EXPECT_EQ(severity(ab), severity(worse(b, a)))
+          << a.message() << " vs " << b.message();
+      // The join is one of its inputs, never an invented third value.
+      EXPECT_TRUE(ab == a || ab == b)
+          << a.message() << " vs " << b.message();
+      EXPECT_GE(severity(ab), severity(a));
+      EXPECT_GE(severity(ab), severity(b));
+      for (const S& c : values) {
+        // Exactly associative, details included.
+        EXPECT_EQ(worse(worse(a, b), c), worse(a, worse(b, c)))
+            << a.message() << ", " << b.message() << ", " << c.message();
+      }
+    }
+  }
+}
+
+TEST(StatusPropertyTest, CoreWorseIsAJoinOverTheFullVocabulary) {
+  // Every code, with distinct details so ties are observable.
+  const std::vector<core::Status> values = {
+      core::Status::ok(1),
+      core::Status::rejected(2),
+      core::Status::backpressure(3),
+      core::Status::unknownSession(4),
+      core::Status::atCapacity(),
+      core::Status::shutdown(),
+      core::Status::deadlineExceeded(5),
+      core::Status::cancelled(6),
+      core::Status::overloaded(7, 25),
+      core::Status::overloaded(8, 50),  // same code, different hint
+  };
+  checkJoinProperties(
+      values, [](core::Status a, core::Status b) { return core::worse(a, b); },
+      [](const core::Status& s) { return core::statusSeverity(s.code); });
+}
+
+TEST(StatusPropertyTest, NetWorseIsAJoin) {
+  const std::vector<net::Status> values = {
+      net::Status::ok(), net::Status::timeout(3), net::Status::timeout(-1),
+      net::Status::peerFailed(1), net::Status::shutdown()};
+  // net's severity ranking is not enum order (Timeout outranks
+  // PeerFailed) — mirror the ladder net::worse() documents.
+  const auto netSeverity = [](const net::Status& s) {
+    switch (s.code) {
+      case net::StatusCode::kOk: return 0;
+      case net::StatusCode::kPeerFailed: return 1;
+      case net::StatusCode::kTimeout: return 2;
+      case net::StatusCode::kShutdown: return 3;
+    }
+    return 0;
+  };
+  checkJoinProperties(
+      values, [](net::Status a, net::Status b) { return net::worse(a, b); },
+      netSeverity);
+}
+
+TEST(StatusPropertyTest, IoWorseIsAJoin) {
+  const std::vector<io::Status> values = {
+      io::Status::ok(),         io::Status::truncated(1),
+      io::Status::corrupt(2),   io::Status::ioError(3),
+      io::Status::quarantined(4)};
+  checkJoinProperties(
+      values, [](io::Status a, io::Status b) { return io::worse(a, b); },
+      [](const io::Status& s) { return static_cast<int>(s.code); });
+}
+
+// --- the overload vocabulary's place in the core severity order -------------
+
+TEST(StatusPropertyTest, OverloadCodesRankBetweenBackpressureAndStructural) {
+  using core::StatusCode;
+  using core::statusSeverity;
+  // The per-tenant pushback (Backpressure) is milder than abandoning
+  // work mid-flight (DeadlineExceeded, Cancelled), which is milder than
+  // whole-node refusal (Overloaded); all of those leave the node usable,
+  // so the structural codes (UnknownSession, AtCapacity, Shutdown) stay
+  // strictly worse. Shutdown remains the top verdict.
+  EXPECT_LT(statusSeverity(StatusCode::kBackpressure),
+            statusSeverity(StatusCode::kDeadlineExceeded));
+  EXPECT_LT(statusSeverity(StatusCode::kDeadlineExceeded),
+            statusSeverity(StatusCode::kCancelled));
+  EXPECT_LT(statusSeverity(StatusCode::kCancelled),
+            statusSeverity(StatusCode::kOverloaded));
+  EXPECT_LT(statusSeverity(StatusCode::kOverloaded),
+            statusSeverity(StatusCode::kUnknownSession));
+  EXPECT_LT(statusSeverity(StatusCode::kAtCapacity),
+            statusSeverity(StatusCode::kShutdown));
+
+  // Folding any overload verdict with Shutdown yields Shutdown; with Ok
+  // yields the overload verdict (Ok is the identity).
+  const std::vector<core::Status> overload = {
+      core::Status::deadlineExceeded(1), core::Status::cancelled(2),
+      core::Status::overloaded(3, 10)};
+  for (const core::Status& s : overload) {
+    EXPECT_EQ(core::worse(s, core::Status::shutdown()).code,
+              StatusCode::kShutdown);
+    EXPECT_EQ(core::worse(core::Status::ok(), s), s);
+    EXPECT_EQ(core::worse(s, core::Status::ok()), s);
+    EXPECT_EQ(core::worse(s, core::Status::backpressure(9)), s)
+        << "overload verdicts must outrank per-tenant backpressure";
+  }
+
+  // Severity is a total order over the vocabulary: all nine codes get
+  // distinct ranks (a tie would make composite verdicts order-dependent
+  // in what they *report*, even if the rank is stable).
+  std::vector<int> ranks;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kOverloaded); ++c) {
+    ranks.push_back(statusSeverity(static_cast<StatusCode>(c)));
+  }
+  std::sort(ranks.begin(), ranks.end());
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    EXPECT_NE(ranks[i - 1], ranks[i]) << "duplicate severity rank";
+  }
+}
+
+TEST(StatusPropertyTest, OverloadPredicatesAndRetryHints) {
+  const core::Status deadline = core::Status::deadlineExceeded(4);
+  const core::Status cancelled = core::Status::cancelled(4);
+  const core::Status overloaded = core::Status::overloaded(4, 25);
+
+  // Retryability: deadline and overload clear with time; cancellation was
+  // the caller's own doing.
+  EXPECT_TRUE(deadline.isRetryable());
+  EXPECT_TRUE(overloaded.isRetryable());
+  EXPECT_FALSE(cancelled.isRetryable());
+
+  // Load-shed classification — the refusals replay must re-see.
+  EXPECT_TRUE(deadline.isLoadShed());
+  EXPECT_TRUE(overloaded.isLoadShed());
+  EXPECT_TRUE(core::Status::backpressure(4).isLoadShed());
+  EXPECT_FALSE(cancelled.isLoadShed());
+  EXPECT_FALSE(core::Status::rejected(4).isLoadShed());
+
+  // Only kOverloaded carries a pacing hint.
+  EXPECT_EQ(overloaded.retryAfterMs, 25u);
+  EXPECT_EQ(deadline.retryAfterMs, 0u);
+  EXPECT_EQ(cancelled.retryAfterMs, 0u);
+
+  // Shared formatting covers the new codes like the old ones.
+  EXPECT_EQ(deadline.message(), "DeadlineExceeded(session=4)");
+  EXPECT_EQ(cancelled.message(), "Cancelled(session=4)");
+  EXPECT_EQ(overloaded.message(), "Overloaded(session=4)");
+  EXPECT_EQ(core::Status::shutdown().message(), "Shutdown");
+}
+
+}  // namespace
+}  // namespace svq
