@@ -6,12 +6,68 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <optional>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "traj/synth.h"
+#include "util/metrics.h"
 #include "wall/wall.h"
 
 namespace svq::bench {
+
+/// The plain drivers' shared CLI surface: --smoke and --out=PATH.
+/// Drivers with a downstream parser (bench_fig5_query hands leftover
+/// args to benchmark::Initialize) collect them in `passthrough`.
+struct BenchCliOptions {
+  bool smoke = false;
+  std::string out;
+  std::vector<char*> passthrough;  ///< argv[0] + unrecognized args
+};
+
+/// Parses the shared flags; `defaultOut` seeds `out`. Without
+/// `allowPassthrough`, an unknown argument prints usage and returns
+/// nullopt (drivers exit 2).
+inline std::optional<BenchCliOptions> parseBenchCli(
+    int argc, char** argv, const std::string& defaultOut,
+    bool allowPassthrough = false) {
+  BenchCliOptions opt;
+  opt.out = defaultOut;
+  opt.passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      opt.out = argv[i] + 6;
+    } else if (allowPassthrough) {
+      opt.passthrough.push_back(argv[i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+/// Writes the JSON report and prints its path; returns false on write
+/// failure (drivers fold it into their exit status).
+inline bool writeReport(const BenchReport& report, const std::string& path) {
+  const bool ok = report.write(path);
+  std::printf("report: %s\n", path.c_str());
+  return ok;
+}
+
+/// Copies every global metric under `prefix` into a scenario's counters
+/// (the perf_smoke.py-visible channel).
+inline void attachCounters(BenchScenario& s, const std::string& prefix) {
+  for (const auto& [name, value] :
+       MetricsRegistry::global().snapshot(prefix)) {
+    s.counters[name] = static_cast<double>(value);
+  }
+}
 
 /// Cached synthetic dataset (one per (count, maxDuration) per binary).
 inline const traj::TrajectoryDataset& dataset(std::size_t count,

@@ -33,11 +33,6 @@ using namespace svq;
 
 namespace {
 
-struct Options {
-  bool smoke = false;
-  std::string out = "BENCH_query.json";
-};
-
 core::BrushGrid westBrush(float arenaRadius) {
   core::BrushCanvas canvas(arenaRadius, 256);
   core::paintArenaHalf(canvas, 0, traj::ArenaSide::kWest, arenaRadius);
@@ -353,30 +348,22 @@ bool printKernelRatioReport(bench::BenchReport& json, bool smoke) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
-  // Strip our flags so benchmark::Initialize only sees its own.
-  std::vector<char*> passthrough = {argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      opt.smoke = true;
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      opt.out = argv[i] + 6;
-    } else {
-      passthrough.push_back(argv[i]);
-    }
-  }
+  // Our flags are stripped into opt; benchmark::Initialize only sees the
+  // collected passthrough.
+  auto opt = bench::parseBenchCli(argc, argv, "BENCH_query.json",
+                                  /*allowPassthrough=*/true);
+  if (!opt) return 2;
 
-  if (!opt.smoke) printContext();
+  if (!opt->smoke) printContext();
 
   bench::BenchReport json;
-  printIncrementalReport(json, opt.smoke);
-  bool ok = printKernelRatioReport(json, opt.smoke);
-  if (!json.write(opt.out)) ok = false;
-  std::printf("report: %s\n", opt.out.c_str());
+  printIncrementalReport(json, opt->smoke);
+  bool ok = printKernelRatioReport(json, opt->smoke);
+  if (!bench::writeReport(json, opt->out)) ok = false;
 
-  if (!opt.smoke) {
-    int pargc = static_cast<int>(passthrough.size());
-    benchmark::Initialize(&pargc, passthrough.data());
+  if (!opt->smoke) {
+    int pargc = static_cast<int>(opt->passthrough.size());
+    benchmark::Initialize(&pargc, opt->passthrough.data());
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }

@@ -44,10 +44,7 @@ using namespace svq;
 
 namespace {
 
-struct Options {
-  bool smoke = false;
-  std::string out = "BENCH_overload.json";
-};
+using Options = bench::BenchCliOptions;
 
 /// Caller-observed latency of one service call, plus its verdict.
 struct Attempt {
@@ -80,13 +77,6 @@ double percentileUs(std::vector<Attempt> attempts, double q) {
   const std::size_t rank = static_cast<std::size_t>(
       q * static_cast<double>(attempts.size() - 1) + 0.5);
   return attempts[std::min(rank, attempts.size() - 1)].micros;
-}
-
-void attachMetrics(bench::BenchScenario& s) {
-  for (const auto& [name, value] :
-       MetricsRegistry::global().snapshot("sessions.")) {
-    s.counters[name] = static_cast<double>(value);
-  }
 }
 
 struct StormConfig {
@@ -153,7 +143,7 @@ int run(const Options& opt) {
     }
     baselineP99Us = percentileUs(attempts, 0.99);
     auto& s = report.add("overload_baseline", {phase.elapsedMillis()});
-    attachMetrics(s);
+    bench::attachCounters(s, "sessions.");
     s.counters["victim_attempts"] =
         static_cast<double>(cfg.victimAttempts);
     s.counters["victim_p50_us"] = percentileUs(attempts, 0.50);
@@ -259,7 +249,7 @@ int run(const Options& opt) {
                   static_cast<double>(totalSubmits);
 
     auto& s = report.add("overload_storm", {stormMs});
-    attachMetrics(s);
+    bench::attachCounters(s, "sessions.");
     s.counters["storm_submits"] = static_cast<double>(submitted.load());
     s.counters["shed_rate"] = shedRate;
     s.counters["shed_typed_fraction"] = typedFraction;
@@ -337,24 +327,14 @@ int run(const Options& opt) {
     }
   }
 
-  if (!report.write(opt.out)) ok = false;
-  std::printf("report: %s\n", opt.out.c_str());
+  if (!bench::writeReport(report, opt.out)) ok = false;
   return ok ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      opt.smoke = true;
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      opt.out = argv[i] + 6;
-    } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
-      return 2;
-    }
-  }
-  return run(opt);
+  const auto opt = bench::parseBenchCli(argc, argv, "BENCH_overload.json");
+  if (!opt) return 2;
+  return run(*opt);
 }

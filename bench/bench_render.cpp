@@ -52,10 +52,7 @@ using namespace svq;
 
 namespace {
 
-struct Options {
-  bool smoke = false;
-  std::string out = "BENCH_render.json";
-};
+using Options = bench::BenchCliOptions;
 
 /// Trajectories with at least one point within `r` of `p` — a cheap upper
 /// bound on the cells a dab at `p` can damage (one trajectory per cell).
@@ -123,13 +120,6 @@ std::vector<render::SceneModel> makeFrames(const traj::TrajectoryDataset& ds,
   return frames;
 }
 
-void attachMetrics(bench::BenchScenario& s, const std::string& prefix) {
-  for (const auto& [name, value] :
-       MetricsRegistry::global().snapshot(prefix)) {
-    s.counters[name] = static_cast<double>(value);
-  }
-}
-
 int run(const Options& opt) {
   const std::size_t trajCount = opt.smoke ? 120 : 500;
   const std::size_t frameCount = opt.smoke ? 12 : 40;
@@ -194,7 +184,7 @@ int run(const Options& opt) {
       }
     }
     auto& s = report.add("pipeline_dab_serial", serialMs);
-    attachMetrics(s, "render.");
+    bench::attachCounters(s, "render.");
     s.counters["dirty_fraction"] =
         dirtyCells / static_cast<double>((frames.size() - 1) * cells);
     s.counters["speedup_vs_full"] =
@@ -256,7 +246,7 @@ int run(const Options& opt) {
         ds, wall, frames,
         cluster::ClusterOptions(preset).withDeltaBroadcast(false));
     auto& s = report.add("delta_broadcast");
-    attachMetrics(s, "cluster.");
+    bench::attachCounters(s, "cluster.");
     const double fullPerFrame =
         static_cast<double>(off.broadcastBytesFull) /
         static_cast<double>(frames.size());
@@ -339,8 +329,7 @@ int run(const Options& opt) {
   std::printf("dab speedup vs full:   %.1fx\n", speedup);
   std::printf("delta bytes per frame: %.1f%% of full\n", 100.0 * deltaRatio);
 
-  if (!report.write(opt.out)) ok = false;
-  std::printf("report: %s\n", opt.out.c_str());
+  if (!bench::writeReport(report, opt.out)) ok = false;
 
   if (!opt.smoke) {
     if (speedup < 8.0) {
@@ -361,16 +350,7 @@ int run(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      opt.smoke = true;
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      opt.out = argv[i] + 6;
-    } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
-      return 2;
-    }
-  }
-  return run(opt);
+  const auto opt = bench::parseBenchCli(argc, argv, "BENCH_render.json");
+  if (!opt) return 2;
+  return run(*opt);
 }

@@ -47,10 +47,7 @@ using namespace svq;
 
 namespace {
 
-struct Options {
-  bool smoke = false;
-  std::string out = "BENCH_sessions.json";
-};
+using Options = bench::BenchCliOptions;
 
 constexpr std::size_t kVariants = 16;
 
@@ -104,13 +101,6 @@ std::vector<ui::Event> tenantScript(std::size_t variant) {
   return ev;
 }
 #pragma GCC diagnostic pop
-
-void attachMetrics(bench::BenchScenario& s, const std::string& prefix) {
-  for (const auto& [name, value] :
-       MetricsRegistry::global().snapshot(prefix)) {
-    s.counters[name] = static_cast<double>(value);
-  }
-}
 
 struct ScaleOutcome {
   bool ok = true;
@@ -210,8 +200,8 @@ ScaleOutcome runScale(std::size_t n, const traj::TrajectoryDataset& ds,
   out.crossHitRate = ctx->renderCache().stats().crossHitRate();
 
   auto& s = report.add("sessions_" + std::to_string(n), {out.elapsedMs});
-  attachMetrics(s, "sessions.");
-  attachMetrics(s, "render.shared.");
+  bench::attachCounters(s, "sessions.");
+  bench::attachCounters(s, "render.shared.");
   s.counters["sessions"] = static_cast<double>(n);
   s.counters["threads"] = static_cast<double>(threads);
   s.counters["events"] = static_cast<double>(out.events);
@@ -367,24 +357,14 @@ int run(const Options& opt) {
     }
   }
 
-  if (!report.write(opt.out)) ok = false;
-  std::printf("report: %s\n", opt.out.c_str());
+  if (!bench::writeReport(report, opt.out)) ok = false;
   return ok ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      opt.smoke = true;
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      opt.out = argv[i] + 6;
-    } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
-      return 2;
-    }
-  }
-  return run(opt);
+  const auto opt = bench::parseBenchCli(argc, argv, "BENCH_sessions.json");
+  if (!opt) return 2;
+  return run(*opt);
 }

@@ -32,6 +32,7 @@ void putCell(MessageBuffer& buf, const render::CellView& cell) {
     buf.putU8(static_cast<std::uint8_t>(h));
   }
   buf.putString(cell.label);
+  buf.putF32(cell.coverage);
 }
 
 render::CellView getCell(MessageBuffer& buf) {
@@ -45,6 +46,7 @@ render::CellView getCell(MessageBuffer& buf) {
     cell.segmentHighlights.push_back(static_cast<std::int8_t>(buf.getU8()));
   }
   cell.label = buf.getString();
+  cell.coverage = buf.getF32();
   return cell;
 }
 

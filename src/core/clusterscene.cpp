@@ -150,6 +150,77 @@ ClusterOverviewScene buildClusterOverview(const ShardSomExplorer& explorer,
   return out;
 }
 
+ClusterOverviewScene buildProgressiveOverview(
+    const ShardSomExplorer& explorer, const QueryResult& prototypes,
+    std::span<const ClusterEstimate> estimates,
+    const wall::WallSpec& wallSpec, const ClusterSceneOptions& options) {
+  ClusterOverviewScene out;
+  out.cellToNode = explorer.displayableClusters();
+  out.coverage = explorer.coverage();
+
+  out.averagesDataset = traj::TrajectoryDataset(explorer.store().arena());
+  for (const traj::Trajectory& avg : explorer.clusterAverages()) {
+    out.averagesDataset.add(avg);
+  }
+
+  const bool partial = options.markPartialData && out.coverage < 1.0;
+  const std::size_t cells = out.cellToNode.size();
+  const LayoutConfig config = clusterGridFor(cells, wallSpec);
+  const SmallMultipleLayout layout =
+      SmallMultipleLayout::compute(wallSpec, config);
+
+  out.scene = sceneSkeleton(options, explorer.store().arena().radiusCm);
+
+  std::uint64_t maxMembers = 1;
+  for (const ClusterEstimate& est : estimates) {
+    maxMembers = std::max(maxMembers, est.members);
+  }
+  for (std::size_t i = 0; i < cells; ++i) {
+    render::CellView cell;
+    cell.trajectoryIndex = static_cast<std::uint32_t>(i);
+    const int cx = static_cast<int>(i) % config.cellsX;
+    const int cy = static_cast<int>(i) / config.cellsX;
+    cell.rect = layout.cellRect(cx, cy);
+    const ClusterEstimate est =
+        i < estimates.size() ? estimates[i] : ClusterEstimate{};
+    if (options.tintBySize) {
+      const float u = static_cast<float>(est.members) /
+                      static_cast<float>(maxMembers);
+      cell.background =
+          render::Color::lerp(render::colors::kDarkBg,
+                              render::Color{60, 60, 90, 255}, u);
+    }
+    if (options.labelCounts) {
+      // "hit=" is an exact member hit count; "hit~" is the anytime
+      // estimate (exact over refined members, prototype-extrapolated over
+      // the rest). A converged cluster always prints "hit=" — the label
+      // (and so the cell hash) of a converged cell is indistinguishable
+      // from the from-scratch exact one.
+      cell.label = "N=" + std::to_string(est.members) +
+                   (est.converged() ? " hit=" : " hit~") +
+                   std::to_string(est.estimatedHits());
+    }
+    if (partial) {
+      cell.label += cell.label.empty() ? "partial" : " *";
+      cell.background = render::Color::lerp(
+          cell.background, render::Color{96, 64, 24, 255}, 0.35f);
+    }
+    if (i < prototypes.segmentHighlights.size()) {
+      cell.segmentHighlights = prototypes.segmentHighlights[i];
+    }
+    cell.coverage = static_cast<float>(est.coverage());
+    out.scene.cells.push_back(std::move(cell));
+  }
+  return out;
+}
+
+ClusterOverviewScene buildProgressiveOverview(
+    const ProgressiveClusterQuery& query, const wall::WallSpec& wallSpec,
+    const ClusterSceneOptions& options) {
+  return buildProgressiveOverview(query.explorer(), query.prototypeResult(),
+                                  query.estimates(), wallSpec, options);
+}
+
 render::SceneModel buildClusterDrillDown(const SomExplorer& explorer,
                                          std::uint32_t nodeIndex,
                                          const wall::WallSpec& wallSpec,

@@ -9,8 +9,11 @@
 // query machinery, so the interaction idiom is unchanged across scales.
 #pragma once
 
+#include <span>
+
 #include "core/clusterquery.h"
 #include "core/layout.h"
+#include "core/progressive.h"
 #include "render/scene.h"
 #include "wall/wall.h"
 
@@ -61,6 +64,25 @@ ClusterOverviewScene buildClusterOverview(const ShardSomExplorer& explorer,
                                           const wall::WallSpec& wallSpec,
                                           const BrushGrid* brush,
                                           const ClusterSceneOptions& options);
+
+/// Overview scene for an anytime evaluation in progress: cells show the
+/// (exact) prototype highlights immediately, labels carry the per-cluster
+/// member hit count — "hit=<n>" once that cluster is fully refined,
+/// "hit~<n>" (prototype-extrapolated) before — and CellView::coverage
+/// exposes the refined fraction for the render layer's coverage strip.
+/// Once every estimate has converged the output is bit-identical (cell
+/// content hashes and pixels) to the scene built from
+/// ProgressiveClusterQuery::exactReference — the render half of the
+/// anytime exactness contract.
+ClusterOverviewScene buildProgressiveOverview(
+    const ShardSomExplorer& explorer, const QueryResult& prototypes,
+    std::span<const ClusterEstimate> estimates,
+    const wall::WallSpec& wallSpec, const ClusterSceneOptions& options);
+
+/// Convenience wrapper over an engine's current state.
+ClusterOverviewScene buildProgressiveOverview(
+    const ProgressiveClusterQuery& query, const wall::WallSpec& wallSpec,
+    const ClusterSceneOptions& options);
 
 /// Drill-down scene for one cluster: its member trajectories in the
 /// standard grid, queried with the same brush at full fidelity.

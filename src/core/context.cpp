@@ -21,6 +21,7 @@ SharedContext::SharedContext(const traj::TrajectoryDataset& dataset,
       presets_(paperLayoutPresets()),
       shardStore_(std::move(options.shardStore)),
       som_(std::move(options.som)),
+      shardExplorer_(std::move(options.shardExplorer)),
       renderCache_(options.renderCacheBytes) {
   layouts_.reserve(presets_.size());
   defaultAssignments_.reserve(presets_.size());

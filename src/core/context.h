@@ -39,6 +39,8 @@ class Som;
 
 namespace svq::core {
 
+class ShardSomExplorer;
+
 /// Immutable shared world for N concurrent sessions. Thread-safe by
 /// construction: every accessor is const and the only mutable member
 /// (the render cache) synchronizes internally.
@@ -54,6 +56,11 @@ class SharedContext {
     std::shared_ptr<traj::ShardStore> shardStore;
     /// Optional trained SOM for per-session drill-down.
     std::shared_ptr<const traj::Som> som;
+    /// Optional clustered shard-store explorer. When set, sessions run in
+    /// *progressive* mode: buildScene() shows the anytime cluster
+    /// overview (core/progressive.h) instead of the per-trajectory grid,
+    /// and SessionService::refine() drains the uncertainty.
+    std::shared_ptr<const ShardSomExplorer> shardExplorer;
 
     /// Reads SVQ_SHARED_CACHE_MB from the environment.
     static Options fromEnv();
@@ -94,6 +101,9 @@ class SharedContext {
     return shardStore_;
   }
   const std::shared_ptr<const traj::Som>& som() const { return som_; }
+  const std::shared_ptr<const ShardSomExplorer>& shardExplorer() const {
+    return shardExplorer_;
+  }
 
  private:
   SharedContext(const traj::TrajectoryDataset& dataset, wall::WallSpec wallSpec,
@@ -106,6 +116,7 @@ class SharedContext {
   std::vector<std::shared_ptr<const GroupAssignment>> defaultAssignments_;
   std::shared_ptr<traj::ShardStore> shardStore_;
   std::shared_ptr<const traj::Som> som_;
+  std::shared_ptr<const ShardSomExplorer> shardExplorer_;
   mutable render::SharedCellCache renderCache_;
 };
 

@@ -1,0 +1,274 @@
+#include "core/progressive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace svq::core {
+
+AnytimeOptions AnytimeOptions::fromEnv() {
+  AnytimeOptions options;
+  if (const char* raw = std::getenv("SVQ_ANYTIME_BUDGET_MS")) {
+    char* end = nullptr;
+    const long long ms = std::strtoll(raw, &end, 10);
+    if (end != raw && *end == '\0' && ms > 0) {
+      options.prepassBudgetUs = static_cast<std::int64_t>(ms) * 1000;
+    }
+  }
+  return options;
+}
+
+std::array<std::uint64_t, traj::ShardSummary::kWords> paintTouchMask(
+    const BrushGrid& brush, float summaryArenaRadiusCm) {
+  std::array<std::uint64_t, traj::ShardSummary::kWords> mask{};
+  const BrushGridView view = brush.view();
+  if (view.texels == nullptr || view.resolution <= 0) return mask;
+
+  // The mask and the occupancy grid must partition the *same* arena
+  // square or the superset guarantee breaks. A mismatch disables pruning
+  // entirely (all-ones mask) instead of risking a wrong definitely-out.
+  const float tolerance =
+      1e-4f * std::max(1.0f, std::abs(summaryArenaRadiusCm));
+  if (std::abs(view.arenaRadiusCm - summaryArenaRadiusCm) > tolerance) {
+    mask.fill(~0ull);
+    return mask;
+  }
+
+  constexpr int kDim = traj::ShardSummary::kGridDim;
+  const int res = view.resolution;
+  for (int ty = 0; ty < res; ++ty) {
+    // Cells a texel row/column overlaps: texel t spans the arena fraction
+    // [t/res, (t+1)/res), cell c spans [c/kDim, (c+1)/kDim) — integer
+    // floor arithmetic, exact for any resolution.
+    const int cy0 = ty * kDim / res;
+    const int cy1 = ((ty + 1) * kDim - 1) / res;
+    const std::int8_t* row = view.texels + static_cast<std::size_t>(ty) * res;
+    for (int tx = 0; tx < res; ++tx) {
+      if (row[tx] == kNoBrush) continue;
+      const int cx0 = tx * kDim / res;
+      const int cx1 = ((tx + 1) * kDim - 1) / res;
+      for (int cy = cy0; cy <= cy1; ++cy) {
+        for (int cx = cx0; cx <= cx1; ++cx) {
+          const int bit = cy * kDim + cx;
+          mask[static_cast<std::size_t>(bit) / 64] |= 1ull << (bit % 64);
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+ProgressiveClusterQuery::ProgressiveClusterQuery(
+    const ShardSomExplorer& explorer, AnytimeOptions options)
+    : explorer_(&explorer), options_(options) {
+  const traj::ShardClustering& clustering = explorer.clustering();
+  const std::vector<std::uint32_t>& displayable =
+      explorer.displayableClusters();
+
+  slotOfNode_.assign(clustering.nodeCount(), UINT32_MAX);
+  for (std::size_t slot = 0; slot < displayable.size(); ++slot) {
+    slotOfNode_[displayable[slot]] = static_cast<std::uint32_t>(slot);
+  }
+
+  const traj::ShardStore& store = explorer.store();
+  shardBuckets_.resize(store.shardCount());
+  for (std::size_t s = 0; s < store.shardCount(); ++s) {
+    const traj::ShardInfo& info = store.shardInfo(s);
+    auto& buckets = shardBuckets_[s];
+    for (std::uint32_t i = 0; i < info.trajectoryCount; ++i) {
+      const std::uint64_t g = info.firstGlobalIndex + i;
+      if (g >= clustering.assignment.size()) break;
+      const std::uint32_t node = clustering.assignment[g];
+      if (node == traj::ShardClustering::kUnassigned ||
+          node >= slotOfNode_.size()) {
+        continue;
+      }
+      const std::uint32_t slot = slotOfNode_[node];
+      if (slot == UINT32_MAX) continue;
+      auto it = std::find_if(buckets.begin(), buckets.end(),
+                             [slot](const auto& b) { return b.first == slot; });
+      if (it == buckets.end()) {
+        buckets.emplace_back(slot, 1u);
+      } else {
+        ++it->second;
+      }
+    }
+  }
+}
+
+void ProgressiveClusterQuery::begin(const BrushGrid& brush,
+                                    const QueryParams& params) {
+  brush_ = brush;
+  params_ = params;
+  active_ = true;
+  pending_.clear();
+  cursor_ = 0;
+  prunedShards_ = 0;
+  refinedShards_ = 0;
+  lostMembers_ = 0;
+
+  // First pixel: the prototypes (one per displayable cluster) are small
+  // and evaluated exactly, inside the budget by construction.
+  prototypes_ = explorer_->queryClusters(brush_, params_);
+
+  const traj::ShardClustering& clustering = explorer_->clustering();
+  const std::vector<std::uint32_t>& displayable =
+      explorer_->displayableClusters();
+  estimates_.assign(displayable.size(), {});
+  for (std::size_t slot = 0; slot < displayable.size(); ++slot) {
+    ClusterEstimate& est = estimates_[slot];
+    est.node = displayable[slot];
+    est.members = clustering.members[est.node].size();
+    est.prototypeHit = slot < prototypes_.summaries.size() &&
+                       prototypes_.summaries[slot].anyHighlight();
+  }
+
+  // Aggregate pre-pass: classify every shard against the paint-touch
+  // mask and the absolute time window, under the latency budget. v3
+  // stores answer summary() from the footer (no IO); v2 stores pay one
+  // lazy rebuild per shard, which is exactly the work the deadline
+  // bounds — expiry leaves the rest uncertain, never wrong.
+  const traj::ShardStore& store = explorer_->store();
+  const auto mask = paintTouchMask(brush_, store.arena().radiusCm);
+  const util::Deadline deadline =
+      util::Deadline::after(options_.prepassBudgetUs, options_.clock);
+
+  for (std::size_t s = 0; s < store.shardCount(); ++s) {
+    std::uint32_t assigned = 0;
+    for (const auto& [slot, count] : shardBuckets_[s]) assigned += count;
+    if (assigned == 0) continue;  // nothing displayed lives here
+
+    if (!deadline.expired()) {
+      if (const auto summary = store.summary(s)) {
+        const bool temporalOut =
+            !params_.relativeWindow && (params_.timeWindow.y < summary->tMin ||
+                                        params_.timeWindow.x > summary->tMax);
+        if (temporalOut || !summary->intersects(mask)) {
+          ++prunedShards_;
+          resolveShardEmpty(s);
+          continue;
+        }
+      }
+    }
+    pending_.push_back(
+        {static_cast<std::uint32_t>(s), assigned});
+  }
+
+  // Largest population first: each refinement step retires the most
+  // uncertainty it can. Shard index breaks ties so the order is total.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const ShardWork& a, const ShardWork& b) {
+              if (a.assignedMembers != b.assignedMembers) {
+                return a.assignedMembers > b.assignedMembers;
+              }
+              return a.shard < b.shard;
+            });
+}
+
+std::size_t ProgressiveClusterQuery::refineStep(
+    std::size_t maxShards, const util::Cancellation& cancel) {
+  if (!active_) return 0;
+  std::size_t done = 0;
+  while (done < maxShards && cursor_ < pending_.size()) {
+    if (done > 0 && cancel.shouldStop()) break;
+    resolveShardExact(pending_[cursor_].shard);
+    ++cursor_;
+    ++refinedShards_;
+    ++done;
+  }
+  return done;
+}
+
+void ProgressiveClusterQuery::resolveShardExact(std::size_t shard) {
+  const traj::ShardStore& store = explorer_->store();
+  const auto& buckets = shardBuckets_[shard];
+  const std::shared_ptr<const traj::TrajectoryDataset> ds = store.shard(shard);
+  if (!ds) {
+    // Quarantined at refinement time: its members can never be evaluated.
+    // Count them refined with zero hits so the query still converges;
+    // lostMembers() surfaces the gap. Quarantine is deterministic for a
+    // given file + fault seed, so this stays bit-identical too.
+    for (const auto& [slot, count] : buckets) {
+      estimates_[slot].refinedMembers += count;
+      lostMembers_ += count;
+    }
+    return;
+  }
+
+  const traj::ShardClustering& clustering = explorer_->clustering();
+  const std::uint64_t first = store.shardInfo(shard).firstGlobalIndex;
+  std::vector<std::uint32_t> locals;
+  std::vector<std::uint32_t> localSlot;
+  locals.reserve(ds->size());
+  localSlot.reserve(ds->size());
+  for (std::uint32_t i = 0; i < ds->size(); ++i) {
+    const std::uint64_t g = first + i;
+    if (g >= clustering.assignment.size()) break;
+    const std::uint32_t node = clustering.assignment[g];
+    if (node == traj::ShardClustering::kUnassigned ||
+        node >= slotOfNode_.size()) {
+      continue;
+    }
+    const std::uint32_t slot = slotOfNode_[node];
+    if (slot == UINT32_MAX) continue;
+    locals.push_back(i);
+    localSlot.push_back(slot);
+  }
+
+  // Per-trajectory verdicts are independent, so folding them as integer
+  // sums is order- and thread-count-invariant.
+  const std::vector<TrajectoryRef> refs = makeRefs(*ds, locals);
+  const QueryResult result = evaluate(refs, brush_, params_);
+  for (std::size_t k = 0; k < refs.size(); ++k) {
+    ClusterEstimate& est = estimates_[localSlot[k]];
+    ++est.refinedMembers;
+    if (k < result.summaries.size() && result.summaries[k].anyHighlight()) {
+      ++est.exactHits;
+    }
+  }
+}
+
+void ProgressiveClusterQuery::resolveShardEmpty(std::size_t shard) {
+  for (const auto& [slot, count] : shardBuckets_[shard]) {
+    estimates_[slot].refinedMembers += count;
+  }
+}
+
+double ProgressiveClusterQuery::coverage() const {
+  std::uint64_t members = 0;
+  std::uint64_t refined = 0;
+  for (const ClusterEstimate& est : estimates_) {
+    members += est.members;
+    refined += est.refinedMembers;
+  }
+  return members == 0 ? 1.0
+                      : static_cast<double>(refined) /
+                            static_cast<double>(members);
+}
+
+std::vector<ClusterEstimate> ProgressiveClusterQuery::exactReference(
+    const ShardSomExplorer& explorer, const BrushGrid& brush,
+    const QueryParams& params) {
+  const traj::ShardClustering& clustering = explorer.clustering();
+  const std::vector<std::uint32_t>& displayable =
+      explorer.displayableClusters();
+  const QueryResult prototypes = explorer.queryClusters(brush, params);
+
+  std::vector<ClusterEstimate> reference(displayable.size());
+  for (std::size_t slot = 0; slot < displayable.size(); ++slot) {
+    ClusterEstimate& est = reference[slot];
+    est.node = displayable[slot];
+    est.members = clustering.members[est.node].size();
+    est.refinedMembers = est.members;
+    est.prototypeHit = slot < prototypes.summaries.size() &&
+                       prototypes.summaries[slot].anyHighlight();
+    const QueryResult exact =
+        explorer.queryClusterMembers(est.node, brush, params);
+    for (const HighlightSummary& summary : exact.summaries) {
+      if (summary.anyHighlight()) ++est.exactHits;
+    }
+  }
+  return reference;
+}
+
+}  // namespace svq::core

@@ -1,0 +1,191 @@
+// progressive.h — two-phase anytime query evaluation over a shard store.
+//
+// At the 100k–1M scale a from-scratch exact brush query walks every shard
+// of the store — far beyond a 16 ms frame budget. This engine splits the
+// evaluation in two:
+//
+//   1. Aggregate pre-pass (begin()): the brush is tested against the SOM
+//      cluster prototypes (the overview's displayed content — this is the
+//      "first pixel") and against the per-shard spatial summaries
+//      (traj/shardsummary.h). Each shard is classified *definitely-out*
+//      (its occupancy grid misses every painted cell, or its time range
+//      misses the absolute window — both exact, by the summary's
+//      conservatism invariant) or *uncertain*. The pre-pass runs under a
+//      latency budget (AnytimeOptions::prepassBudgetUs, default 16 ms /
+//      SVQ_ANYTIME_BUDGET_MS): when it expires, every unclassified shard
+//      simply stays uncertain — over-approximation is always safe.
+//   2. Progressive refinement (refineStep()): uncertain shards drain in
+//      priority order (largest trajectory population first) through the
+//      exact evaluate() path; per-cluster hit counts tighten from
+//      prototype-based estimates toward exact values, and estimates()
+//      exposes per-cluster coverage for the render layer's partial-data
+//      overlays.
+//
+// Exactness contract: a shard is only ever skipped when the summary
+// *proves* it contributes nothing, and refinement applies the same
+// per-trajectory evaluate() verdicts an exhaustive pass would, as
+// order-independent integer sums. Therefore once converged() the
+// estimates are bit-identical to exactReference() — a from-scratch
+// evaluation that never looks at a summary — at any thread count and any
+// refinement schedule. Tests (core_progressive_test) and the
+// bench_progressive driver assert this.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/brush.h"
+#include "core/clusterquery.h"
+#include "core/query.h"
+#include "util/cancel.h"
+#include "util/clock.h"
+
+namespace svq::core {
+
+/// Knobs for the anytime evaluation.
+struct AnytimeOptions {
+  /// Latency budget of the aggregate pre-pass in microseconds. Shards not
+  /// classified when it expires stay uncertain (safe). <= 0 never
+  /// classifies anything — everything is refined exactly.
+  std::int64_t prepassBudgetUs = 16000;
+  /// Injectable time source for the pre-pass deadline; nullptr means
+  /// steadyClock(). Replay injects a ManualClock so classification is a
+  /// pure function of recorded time, not of runner speed.
+  const util::Clock* clock = nullptr;
+
+  /// Reads SVQ_ANYTIME_BUDGET_MS (milliseconds, positive integer) over
+  /// the defaults.
+  static AnytimeOptions fromEnv();
+};
+
+/// Per-cluster anytime state: exact hit counts over the refined members,
+/// a prototype-based estimate for the rest.
+struct ClusterEstimate {
+  std::uint32_t node = 0;              ///< SOM lattice node index
+  std::uint64_t members = 0;           ///< cluster population
+  std::uint64_t refinedMembers = 0;    ///< members with an exact verdict
+  std::uint64_t exactHits = 0;         ///< exact hits among refined members
+  /// Whether the cluster-average prototype itself is highlighted by the
+  /// brush (exact — prototypes are evaluated in the pre-pass).
+  bool prototypeHit = false;
+
+  bool converged() const { return refinedMembers == members; }
+  /// Fraction of members with an exact verdict; 1.0 once converged.
+  double coverage() const {
+    return members == 0 ? 1.0
+                        : static_cast<double>(refinedMembers) /
+                              static_cast<double>(members);
+  }
+  /// Exact hits plus the prototype's verdict extrapolated over the
+  /// unrefined remainder. Equals exactHits once converged.
+  std::uint64_t estimatedHits() const {
+    return exactHits + (prototypeHit ? members - refinedMembers : 0);
+  }
+
+  bool operator==(const ClusterEstimate&) const = default;
+};
+
+/// The two-phase anytime evaluation engine. One instance per session;
+/// begin() restarts it for a new brush/window, refineStep() drains it.
+/// Not thread-safe — callers serialize access (Session already does).
+class ProgressiveClusterQuery {
+ public:
+  /// Precomputes per-shard cluster membership buckets from the explorer's
+  /// clustering (O(store trajectories), once). The explorer must outlive
+  /// this object.
+  explicit ProgressiveClusterQuery(const ShardSomExplorer& explorer,
+                                   AnytimeOptions options = {});
+
+  /// Re-points the pre-pass deadline's time source (affects subsequent
+  /// begin() calls). Replay binds its ManualClock here so classification
+  /// depends on recorded time only.
+  void bindClock(const util::Clock* clock) { options_.clock = clock; }
+
+  /// Phase 1: evaluates the prototypes and classifies every shard within
+  /// the latency budget. Restarts any refinement in progress.
+  void begin(const BrushGrid& brush, const QueryParams& params);
+
+  /// Phase 2: exactly evaluates up to `maxShards` pending shards, highest
+  /// population first; polls `cancel` between shards (a stopped step
+  /// leaves the remainder pending — never torn, the next step resumes).
+  /// Returns the number of shards resolved. No-op before begin().
+  std::size_t refineStep(std::size_t maxShards,
+                         const util::Cancellation& cancel =
+                             util::Cancellation::none());
+
+  /// True after begin() until the pending queue drains.
+  bool active() const { return active_; }
+  bool converged() const { return active_ && cursor_ >= pending_.size(); }
+  std::size_t pendingShards() const { return pending_.size() - cursor_; }
+  /// Shards the pre-pass proved definitely-out (resolved without IO).
+  std::size_t prunedShards() const { return prunedShards_; }
+  std::size_t refinedShardCount() const { return refinedShards_; }
+  /// Members lost to shards that quarantined *during refinement* (counted
+  /// refined with zero hits so the query still converges; deterministic
+  /// for a given file + fault seed).
+  std::uint64_t lostMembers() const { return lostMembers_; }
+
+  /// The pre-pass prototype result: one entry per displayable cluster,
+  /// aligned with the explorer's displayableClusters(). This is what the
+  /// overview scene draws first.
+  const QueryResult& prototypeResult() const { return prototypes_; }
+
+  /// Per-cluster anytime state, aligned with displayableClusters().
+  const std::vector<ClusterEstimate>& estimates() const { return estimates_; }
+
+  /// Refined-member fraction across all clusters (1.0 once converged).
+  double coverage() const;
+
+  const ShardSomExplorer& explorer() const { return *explorer_; }
+  const QueryParams& params() const { return params_; }
+
+  /// Reference implementation: from-scratch exact evaluation of every
+  /// cluster's members, never consulting a summary. The converged
+  /// engine's estimates() must equal this bit-for-bit (tests and
+  /// bench_progressive enforce it).
+  static std::vector<ClusterEstimate> exactReference(
+      const ShardSomExplorer& explorer, const BrushGrid& brush,
+      const QueryParams& params);
+
+ private:
+  /// Applies one shard's exact verdicts (or its loss) to the estimates.
+  void resolveShardExact(std::size_t shard);
+  void resolveShardEmpty(std::size_t shard);
+
+  struct ShardWork {
+    std::uint32_t shard = 0;
+    std::uint32_t assignedMembers = 0;  ///< members in non-empty clusters
+  };
+
+  const ShardSomExplorer* explorer_;
+  AnytimeOptions options_;
+  /// slotOfNode_[node] = index into estimates_/displayableClusters(), or
+  /// UINT32_MAX for empty nodes.
+  std::vector<std::uint32_t> slotOfNode_;
+  /// Per shard: (slot, memberCount) buckets, precomputed once.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      shardBuckets_;
+
+  // Per-begin() state.
+  bool active_ = false;
+  BrushGrid brush_;
+  QueryParams params_;
+  QueryResult prototypes_;
+  std::vector<ClusterEstimate> estimates_;
+  std::vector<ShardWork> pending_;  ///< uncertain shards, priority order
+  std::size_t cursor_ = 0;          ///< next pending_ entry to refine
+  std::size_t prunedShards_ = 0;
+  std::size_t refinedShards_ = 0;
+  std::uint64_t lostMembers_ = 0;
+};
+
+/// The paint-touch mask: bit (cy * kGridDim + cx) set iff any painted
+/// brush texel overlaps summary cell (cx, cy). Conservative under any
+/// resolution (texel rects are mapped to the cells they overlap); when
+/// the brush and summary arena radii disagree the mask degenerates to
+/// all-ones (nothing is ever pruned). Exposed for the property tests.
+std::array<std::uint64_t, traj::ShardSummary::kWords> paintTouchMask(
+    const BrushGrid& brush, float summaryArenaRadiusCm);
+
+}  // namespace svq::core

@@ -14,7 +14,12 @@ Session::Session(std::shared_ptr<const SharedContext> context)
       assignment_(context_->defaultAssignment(activePreset_)),
       timeWindow_(0.0f, std::max(1.0f, context_->dataset().maxDuration())),
       queryEngine_(std::make_unique<QueryEngine>()),
-      lastQuery_(std::make_shared<const QueryResult>()) {}
+      lastQuery_(std::make_shared<const QueryResult>()) {
+  if (context_->shardExplorer() != nullptr) {
+    progressive_ =
+        std::make_unique<ProgressiveState>(*context_->shardExplorer());
+  }
+}
 
 Session Session::fork() const {
   Session child(context_);
@@ -146,7 +151,17 @@ bool Session::apply(const ui::Event& event) {
       return any;
     }
   };
-  return std::visit(Visitor{*this}, event);
+  const bool ok = std::visit(Visitor{*this}, event);
+  // Brush and window edits invalidate the anytime query; the pre-pass
+  // re-runs on the next build or refine. (A no-op clear marks dirty too —
+  // one spare pre-pass is cheaper than tracking canvas identity here.)
+  if (ok && progressive_ != nullptr &&
+      (std::holds_alternative<ui::BrushStrokeEvent>(event) ||
+       std::holds_alternative<ui::BrushClearEvent>(event) ||
+       std::holds_alternative<ui::TimeWindowEvent>(event))) {
+    progressive_->dirty = true;
+  }
+  return ok;
 }
 
 std::size_t Session::applyScript(const ui::InputScript& script) {
@@ -166,6 +181,13 @@ render::SceneModel Session::buildScene() {
 
 bool Session::buildScene(render::SceneModel& out,
                          const util::Cancellation& cancel) {
+  if (progressive_ != nullptr) {
+    // The anytime path is budget-bounded internally (the pre-pass
+    // deadline) and refinement runs in separate refineProgressive()
+    // steps, so the build itself always completes.
+    (void)cancel;
+    return buildProgressiveScene(out);
+  }
   const LayoutConfig& cfg = layoutPresets()[activePreset_];
   const SmallMultipleLayout& layout = context_->layout(activePreset_);
   const GroupAssignment& assignment = *assignment_;
@@ -234,6 +256,12 @@ bool Session::buildScene(render::SceneModel& out,
     scene.cells.push_back(std::move(cell));
   }
 
+  commitScene(std::move(scene), out);
+  return true;
+}
+
+void Session::commitScene(render::SceneModel&& scene,
+                          render::SceneModel& out) {
   // Damage tracking: diff this frame's per-cell content hashes against the
   // previous frame's so render consumers know which cells to repaint.
   std::vector<std::uint64_t> hashes = render::sceneCellHashes(scene);
@@ -248,7 +276,41 @@ bool Session::buildScene(render::SceneModel& out,
   }
   lastCellHashes_ = std::move(hashes);
   out = std::move(scene);
+}
+
+void Session::ensureProgressiveFresh() {
+  if (!progressive_->dirty) return;
+  QueryParams params;
+  params.timeWindow = {timeWindow_.lo(), timeWindow_.hi()};
+  progressive_->query.begin(brush_->grid(), params);
+  progressive_->dirty = false;
+}
+
+bool Session::buildProgressiveScene(render::SceneModel& out) {
+  ensureProgressiveFresh();
+
+  ClusterSceneOptions options;
+  options.stereo = stereoSettings();
+  options.timeWindow = {timeWindow_.lo(), timeWindow_.hi()};
+  ClusterOverviewScene overview =
+      buildProgressiveOverview(progressive_->query, wallSpec(), options);
+
+  progressive_->sceneDataset = std::move(overview.averagesDataset);
+  lastQuery_ = std::make_shared<const QueryResult>(
+      progressive_->query.prototypeResult());
+  ++frameIndex_;
+
+  render::SceneModel scene = std::move(overview.scene);
+  scene.queryGeneration = lastQuery_->generation;
+  commitScene(std::move(scene), out);
   return true;
+}
+
+std::size_t Session::refineProgressive(std::size_t maxShards,
+                                       const util::Cancellation& cancel) {
+  if (progressive_ == nullptr) return 0;
+  ensureProgressiveFresh();
+  return progressive_->query.refineStep(maxShards, cancel);
 }
 
 }  // namespace svq::core

@@ -30,9 +30,11 @@
 #include <vector>
 
 #include "core/brush.h"
+#include "core/clusterscene.h"
 #include "core/context.h"
 #include "core/groups.h"
 #include "core/layout.h"
+#include "core/progressive.h"
 #include "core/query.h"
 #include "core/queryengine.h"
 #include "render/scene.h"
@@ -133,8 +135,54 @@ class Session {
   /// abandoned work.
   bool buildScene(render::SceneModel& out, const util::Cancellation& cancel);
 
-  /// The query result backing the last buildScene() call.
+  /// The query result backing the last buildScene() call. In progressive
+  /// mode this is the prototype (cluster-average) result.
   const QueryResult& lastQueryResult() const { return *lastQuery_; }
+
+  // --- progressive (anytime) mode ------------------------------------------
+  // Active iff the shared context carries a ShardSomExplorer. buildScene()
+  // then produces the anytime cluster overview (core/progressive.h):
+  // prototype highlights immediately, per-cluster hit labels and coverage
+  // strips that tighten as refinement drains. Brush and time-window events
+  // restart the pre-pass on the next build; converged scenes are
+  // bit-identical to a from-scratch exact evaluation.
+
+  /// True when this session builds progressive overview scenes.
+  bool progressiveMode() const { return progressive_ != nullptr; }
+
+  /// Exactly evaluates up to `maxShards` uncertain shards of the anytime
+  /// query (running the pre-pass first if the state is stale). Polled by
+  /// `cancel` between shards; returns shards resolved (0 when not in
+  /// progressive mode or already converged).
+  std::size_t refineProgressive(std::size_t maxShards,
+                                const util::Cancellation& cancel =
+                                    util::Cancellation::none());
+
+  /// True when there is no refinement work outstanding (trivially true
+  /// outside progressive mode).
+  bool progressiveConverged() const {
+    return progressive_ == nullptr ||
+           (!progressive_->dirty && progressive_->query.converged());
+  }
+
+  /// The anytime engine, or nullptr outside progressive mode.
+  const ProgressiveClusterQuery* progressiveQuery() const {
+    return progressive_ ? &progressive_->query : nullptr;
+  }
+
+  /// The dataset the last built scene's cells index: the cluster averages
+  /// in progressive mode, the context dataset otherwise. Renderers must
+  /// pass this (not the context dataset) to renderScene.
+  const traj::TrajectoryDataset& sceneDataset() const {
+    return progressive_ ? progressive_->sceneDataset : dataset();
+  }
+
+  /// Injects the time source for the anytime pre-pass deadline (replay
+  /// binds its ManualClock; nullptr = steady clock). No-op outside
+  /// progressive mode.
+  void bindClock(const util::Clock* clock) {
+    if (progressive_) progressive_->query.bindClock(clock);
+  }
 
   /// The incremental engine's counters (invalidation, cache hits, pass
   /// latency) — exposed for benchmarks and diagnostics.
@@ -166,6 +214,23 @@ class Session {
   GroupManager& mutableGroups();
   void recomputeAssignment();
 
+  struct ProgressiveState {
+    explicit ProgressiveState(const ShardSomExplorer& explorer)
+        : query(explorer, AnytimeOptions::fromEnv()) {}
+    ProgressiveClusterQuery query;
+    /// Averages dataset backing the last progressive scene (what
+    /// sceneDataset() exposes).
+    traj::TrajectoryDataset sceneDataset;
+    /// Brush/window changed since the last begin(); the next build or
+    /// refine re-runs the pre-pass.
+    bool dirty = true;
+  };
+  /// Re-runs the pre-pass when the anytime state is stale.
+  void ensureProgressiveFresh();
+  bool buildProgressiveScene(render::SceneModel& out);
+  /// Damage-diffs `scene` against the previous frame and publishes it.
+  void commitScene(render::SceneModel&& scene, render::SceneModel& out);
+
   std::shared_ptr<const SharedContext> context_;
   std::size_t activePreset_ = SharedContext::kDefaultPreset;
   std::shared_ptr<BrushCanvas> brush_;
@@ -186,6 +251,7 @@ class Session {
   std::vector<std::uint64_t> lastCellHashes_;
   std::vector<std::size_t> lastDamagedCells_;
   bool lastSceneFullyDamaged_ = true;
+  std::unique_ptr<ProgressiveState> progressive_;
 };
 
 // The VisualQueryApp forwarder (pre-split façade) has been removed after

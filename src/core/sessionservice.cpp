@@ -147,7 +147,11 @@ SessionService::Admission SessionService::admit() {
     return {Status::atCapacity(), 0};
   }
   const SessionId id = nextId_++;
-  tenants_.emplace(id, std::make_shared<Tenant>(Session(context_)));
+  Session session(context_);
+  // Progressive sessions derive their pre-pass deadline from the service
+  // clock, so replay's ManualClock governs anytime classification too.
+  session.bindClock(clock_);
+  tenants_.emplace(id, std::make_shared<Tenant>(std::move(session)));
   metrics.admitted.add(1);
   metrics.active.add(1);
   if (hooks_.onAdmit) hooks_.onAdmit(id);
@@ -459,6 +463,41 @@ Status SessionService::apply(SessionId id, const ui::Event& event) {
   noteWindowTick();
   return applied ? Status::ok(static_cast<std::int64_t>(id))
                  : Status::rejected(static_cast<std::int64_t>(id));
+}
+
+Status SessionService::refine(SessionId id, std::size_t maxShards,
+                              std::size_t* refinedOut) {
+  if (refinedOut != nullptr) *refinedOut = 0;
+  if (shutdown_.load(std::memory_order_acquire)) return Status::shutdown();
+  const std::shared_ptr<Tenant> t = tenant(id);
+  if (!t) return Status::unknownSession(static_cast<std::int64_t>(id));
+  const Health state = health();
+  std::lock_guard<std::mutex> lock(t->mutex);
+  if (state == Health::kShedding) {
+    ServiceMetrics::get().shed.add(1);
+    const Status refusal = Status::overloaded(static_cast<std::int64_t>(id),
+                                              options_.retryAfterMs);
+    if (hooks_.onRefine) {
+      hooks_.onRefine(id, static_cast<std::uint32_t>(maxShards), refusal);
+    }
+    noteWindowTick();
+    return refusal;
+  }
+  std::size_t budget = maxShards;
+  if (state == Health::kDegraded) {
+    budget = std::max<std::size_t>(
+        1, budget / std::max<std::uint32_t>(1, options_.degradedDeadlineDiv));
+  }
+  const util::Deadline deadline = applyDeadline(state);
+  const std::size_t refined =
+      t->session.refineProgressive(budget, util::Cancellation(deadline));
+  if (refinedOut != nullptr) *refinedOut = refined;
+  if (hooks_.onRefine) {
+    hooks_.onRefine(id, static_cast<std::uint32_t>(maxShards),
+                    Status::ok(static_cast<std::int64_t>(id)));
+  }
+  noteWindowTick();
+  return Status::ok(static_cast<std::int64_t>(id));
 }
 
 Status SessionService::buildScene(SessionId id, render::SceneModel& out) {

@@ -135,6 +135,12 @@ class SessionService {
     std::function<void(SessionId)> onAdmit;
     std::function<void(SessionId, const ui::Event&, const Status&)> onEvent;
     std::function<void(SessionId)> onClose;
+    /// Fires for every refine() call with the *requested* shard budget
+    /// and the Status the service decided (isOk() = the step ran,
+    /// kOverloaded = refused while Shedding). The recorded budget is the
+    /// requested one — a replay re-issues the same call and the health
+    /// scaling re-derives deterministically.
+    std::function<void(SessionId, std::uint32_t, const Status&)> onRefine;
   };
 
   explicit SessionService(std::shared_ptr<const SharedContext> context);
@@ -180,6 +186,19 @@ class SessionService {
   ///     with kDeadlineExceeded; backlog remainder stays queued — never
   ///     torn, never silently dropped.
   Status apply(SessionId id, const ui::Event& event);
+
+  /// Advances the tenant's anytime query (progressive sessions only; a
+  /// no-op returning kOk for the rest): up to `maxShards` uncertain
+  /// shards are exactly evaluated, largest population first. Health
+  /// applies exactly like apply(): Shedding refuses with kOverloaded +
+  /// retry-after (refinement is deferrable work — shedding it is the
+  /// point), Degraded divides the shard budget by degradedDeadlineDiv
+  /// (min 1), and the apply deadline rides along as a cooperative
+  /// cancellation polled between shards (at least one shard always
+  /// resolves, so refinement makes progress even degraded). `refinedOut`
+  /// (optional) receives the number of shards resolved.
+  Status refine(SessionId id, std::size_t maxShards,
+                std::size_t* refinedOut = nullptr);
 
   /// Builds the tenant's current scene into `out`. The apply deadline
   /// budget (scaled by health) rides along as a cooperative cancellation:

@@ -71,6 +71,23 @@ void renderCell(const SceneModel& scene, const CellView& cell,
     drawTextTiny(canvas, cell.rect.x + 3, cell.rect.y + 3, cell.label,
                  cell.background.scaled(3.0f));
   }
+
+  // Anytime-refinement coverage strip: a 2px progress bar along the
+  // bottom edge, filled to the refined fraction. Absent at coverage 1.0,
+  // so exact/converged frames render byte-identically to pre-anytime
+  // frames.
+  if (cell.coverage < 1.0f && cell.rect.w > 2 && cell.rect.h > 4) {
+    const float clamped = std::max(cell.coverage, 0.0f);
+    const int innerW = cell.rect.w - 2;
+    const int fillW = static_cast<int>(clamped * static_cast<float>(innerW));
+    const RectI track{cell.rect.x + 1, cell.rect.y + cell.rect.h - 3, innerW,
+                      2};
+    fillRect(canvas, track, cell.background.scaled(0.6f));
+    if (fillW > 0) {
+      fillRect(canvas, {track.x, track.y, fillW, track.h},
+               cell.background.scaled(2.6f));
+    }
+  }
   ++stats.cellsDrawn;
 }
 
@@ -126,6 +143,11 @@ std::uint64_t cellContentHash(const CellView& cell, std::uint64_t sceneHash) {
   // Length separators so {highlights="A", label=""} != {"", "A"}.
   h = fnvValue(h, static_cast<std::uint64_t>(cell.segmentHighlights.size()));
   h = fnvValue(h, static_cast<std::uint64_t>(cell.label.size()));
+  // Coverage folds only when it draws (< 1.0), so every pre-anytime hash
+  // — including the golden replay frame hashes — is unchanged.
+  if (cell.coverage < 1.0f) {
+    h = fnvValue(h, cell.coverage);
+  }
   return h;
 }
 

@@ -30,6 +30,11 @@ struct CellView {
   std::vector<std::int8_t> segmentHighlights;
   /// Optional label drawn in the cell's top-left corner.
   std::string label;
+  /// Fraction of this cell's backing data with an exact verdict (anytime
+  /// query refinement, core/progressive.h). 1.0 = exact/converged — the
+  /// common case, drawn (and hashed) exactly as before this field
+  /// existed; < 1.0 draws a coverage strip along the cell's bottom edge.
+  float coverage = 1.0f;
 };
 
 /// Full frame description.

@@ -45,6 +45,11 @@ void putWorld(net::MessageBuffer& buf, const WorldSpec& w) {
   buf.putU32(w.overload.shedQueueDepth);
   buf.putU32(w.overload.healthWindow);
   buf.putU32(w.overload.clockAdvanceUsPerStep);
+  // v3: the progressive plan — an anytime replay needs the same shard
+  // layout and SOM lattice to converge to the recorded frames.
+  buf.putU32(w.progressive.shardCapacity);
+  buf.putU32(w.progressive.somRows);
+  buf.putU32(w.progressive.somCols);
 }
 
 bool getWorld(net::MessageBuffer& buf, WorldSpec& w, std::uint32_t version) {
@@ -91,6 +96,23 @@ bool getWorld(net::MessageBuffer& buf, WorldSpec& w, std::uint32_t version) {
     w.overload.clockAdvanceUsPerStep = buf.getU32();
   } else {
     w.overload = WorldSpec::OverloadPlan{};  // v1: no overload machinery
+  }
+  if (version >= 3) {
+    w.progressive.shardCapacity = buf.getU32();
+    w.progressive.somRows = buf.getU32();
+    w.progressive.somCols = buf.getU32();
+    // An active plan must describe a buildable world: a sane shard size
+    // and a non-degenerate lattice (lattices are small by construction).
+    if (w.progressive.shardCapacity > 1u << 20 ||
+        w.progressive.somRows > 256 || w.progressive.somCols > 256) {
+      return false;
+    }
+    if (w.progressive.active() &&
+        (w.progressive.somRows == 0 || w.progressive.somCols == 0)) {
+      return false;
+    }
+  } else {
+    w.progressive = WorldSpec::ProgressivePlan{};  // v1/v2: plain world
   }
   return true;
 }
@@ -153,7 +175,8 @@ net::MessageBuffer Recording::serialize() const {
     if (s.kind == StepKind::kEvent || s.kind == StepKind::kSubmit) {
       ui::serializeEvent(buf, s.event);
     } else {
-      buf.putU8(0xFF);  // no-event marker for lifecycle steps
+      buf.putU8(0xFF);  // no-event marker for lifecycle/refine steps
+      if (s.kind == StepKind::kRefine) buf.putU32(s.refineBudget);
     }
     buf.putString(s.note);
   }
@@ -175,7 +198,8 @@ std::optional<Recording> Recording::deserialize(net::MessageBuffer buf) {
         version >= 2 ? kMinStepBytesV2 : kMinStepBytesV1;
     if (n > buf.remaining() / minStepBytes) return std::nullopt;
     const std::uint8_t maxKind = static_cast<std::uint8_t>(
-        version >= 2 ? StepKind::kSubmit : StepKind::kClose);
+        version >= 3 ? StepKind::kRefine
+                     : (version >= 2 ? StepKind::kSubmit : StepKind::kClose));
     rec.steps_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       RecordedStep s;
@@ -195,7 +219,7 @@ std::optional<Recording> Recording::deserialize(net::MessageBuffer buf) {
           return std::nullopt;
         }
         if (s.refusal != 0 && s.kind != StepKind::kEvent &&
-            s.kind != StepKind::kSubmit) {
+            s.kind != StepKind::kSubmit && s.kind != StepKind::kRefine) {
           return std::nullopt;
         }
       }
@@ -203,6 +227,11 @@ std::optional<Recording> Recording::deserialize(net::MessageBuffer buf) {
         s.event = ui::deserializeEvent(buf);
       } else if (buf.getU8() != 0xFF) {
         return std::nullopt;
+      } else if (s.kind == StepKind::kRefine) {
+        // Every recorded refine carried a positive requested budget; 0
+        // can only mean corruption.
+        s.refineBudget = buf.getU32();
+        if (s.refineBudget == 0) return std::nullopt;
       }
       s.note = buf.getString();
       rec.steps_.push_back(std::move(s));
@@ -248,6 +277,10 @@ void Recorder::attach(core::SessionService& service) {
   hooks.onEvent = [this](core::SessionId id, const ui::Event& e,
                          const core::Status& status) {
     onEvent(id, e, status);
+  };
+  hooks.onRefine = [this](core::SessionId id, std::uint32_t maxShards,
+                          const core::Status& status) {
+    onRefine(id, maxShards, status);
   };
   hooks.onClose = [this](core::SessionId id) { onClose(id); };
   service.setHooks(std::move(hooks));
@@ -299,6 +332,20 @@ void Recorder::onEvent(core::SessionId id, const ui::Event& e,
                        static_cast<std::uint8_t>(status.code));
   } else {
     recording_.event(it->second, stamp(), e);
+  }
+  ++sequence_;
+}
+
+void Recorder::onRefine(core::SessionId id, std::uint32_t maxShards,
+                        const core::Status& status) {
+  std::lock_guard lock(mutex_);
+  const auto it = tracks_.find(id);
+  if (it == tracks_.end()) return;
+  if (status.isLoadShed()) {
+    recording_.refineRefused(it->second, stamp(), maxShards,
+                             static_cast<std::uint8_t>(status.code));
+  } else {
+    recording_.refine(it->second, stamp(), maxShards);
   }
   ++sequence_;
 }

@@ -92,6 +92,23 @@ struct WorldSpec {
   };
   OverloadPlan overload;
 
+  /// Progressive plan (format v3): when active, the replayed world is
+  /// backed by a shard store (capacity shardCapacity, written from the
+  /// regenerated dataset under the io fault plan) clustered by a
+  /// somRows x somCols SOM — sessions then run in progressive (anytime)
+  /// mode and kRefine steps drive SessionService::refine(). All-zero
+  /// (the default, and what v1/v2 recordings decode to) means the plain
+  /// in-memory world. The store build and clustering are bit-
+  /// deterministic for a given recording, so converged frames hash
+  /// identically at any thread count.
+  struct ProgressivePlan {
+    std::uint32_t shardCapacity = 0;  ///< 0 = progressive mode off
+    std::uint32_t somRows = 0;
+    std::uint32_t somCols = 0;
+    bool active() const { return shardCapacity != 0; }
+  };
+  ProgressivePlan progressive;
+
   wall::WallSpec wallSpec() const {
     return wall::WallSpec(tile, tileCols, tileRows);
   }
@@ -105,6 +122,10 @@ enum class StepKind : std::uint8_t {
   kSubmit = 3,  ///< one ui::Event enqueued via submit() (format v2) —
                 ///< authored overload scenarios use this to build real
                 ///< queue pressure the replayed service must shed/drain
+  kRefine = 4,  ///< one SessionService::refine(tenant, refineBudget) call
+                ///< (format v3) — drains the tenant's anytime query; the
+                ///< recorded budget is the *requested* one, health
+                ///< scaling re-derives on replay
 };
 
 struct RecordedStep {
@@ -119,6 +140,10 @@ struct RecordedStep {
   /// the event — which is how load-shedding decisions stay inside the
   /// determinism boundary.
   std::uint8_t refusal = 0;
+  /// Requested shard budget of a kRefine step (format v3; 0 otherwise).
+  /// The *requested* budget is recorded — replay re-issues the same
+  /// refine() call and health scaling re-derives deterministically.
+  std::uint32_t refineBudget = 0;
 };
 
 /// A recorded multi-tenant session: world + globally ordered steps.
@@ -126,10 +151,12 @@ class Recording {
  public:
   static constexpr std::uint32_t kMagic = 0x52515653u;  // "SVQR"
   /// v2 adds the WorldSpec overload plan, the kSubmit step kind and a
-  /// per-step refusal byte. deserialize() still accepts v1 payloads
-  /// (decoded with an inert overload plan and refusal 0 everywhere);
-  /// serialize() always writes the current version.
-  static constexpr std::uint32_t kVersion = 2;
+  /// per-step refusal byte. v3 adds the WorldSpec progressive plan and
+  /// the kRefine step kind (with its u32 shard budget). deserialize()
+  /// still accepts v1 and v2 payloads (decoded with inert plans, refusal
+  /// 0 / budget 0 where the bytes predate the field); serialize() always
+  /// writes the current version.
+  static constexpr std::uint32_t kVersion = 3;
 
   WorldSpec world;
 
@@ -157,6 +184,19 @@ class Recording {
               std::string note = {}) {
     steps_.push_back({StepKind::kSubmit, tenant, timeS, std::move(e),
                       std::move(note), 0});
+  }
+  /// A refinement step: replay calls SessionService::refine(tenant,
+  /// maxShards). The budget must be positive.
+  void refine(std::uint32_t tenant, double timeS, std::uint32_t maxShards) {
+    steps_.push_back(
+        {StepKind::kRefine, tenant, timeS, {}, {}, 0, maxShards});
+  }
+  /// A refine() the service refused (kOverloaded while Shedding): replay
+  /// re-sees the refusal instead of running the step.
+  void refineRefused(std::uint32_t tenant, double timeS,
+                     std::uint32_t maxShards, std::uint8_t refusalCode) {
+    steps_.push_back(
+        {StepKind::kRefine, tenant, timeS, {}, {}, refusalCode, maxShards});
   }
   void close(std::uint32_t tenant, double timeS) {
     steps_.push_back({StepKind::kClose, tenant, timeS, {}, {}, 0});
@@ -242,6 +282,8 @@ class Recorder {
   void onAdmit(core::SessionId id);
   void onEvent(core::SessionId id, const ui::Event& e,
                const core::Status& status);
+  void onRefine(core::SessionId id, std::uint32_t maxShards,
+                const core::Status& status);
   void onClose(core::SessionId id);
 
   mutable std::mutex mutex_;

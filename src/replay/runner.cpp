@@ -4,10 +4,14 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include <filesystem>
+
 #include "cluster/scene_serde.h"
+#include "core/clusterquery.h"
 #include "core/sessionservice.h"
 #include "net/fault.h"
 #include "render/pipeline.h"
+#include "traj/shardstore.h"
 #include "traj/synth.h"
 #include "util/clock.h"
 #include "util/stopwatch.h"
@@ -51,6 +55,13 @@ double medianOf(std::vector<double> samples) {
 struct Runner::World {
   traj::TrajectoryDataset dataset;
   wall::WallSpec wallSpec;
+  /// Progressive-plan worlds (format v3): the dataset sharded out to a
+  /// scratch store, clustered by the recorded SOM lattice. Both the store
+  /// build and the (serial) training are bit-deterministic, so every
+  /// replay of the recording sees the identical clustering.
+  std::string storePath;
+  std::shared_ptr<traj::ShardStore> store;
+  std::shared_ptr<const core::ShardSomExplorer> explorer;
   std::shared_ptr<const core::SharedContext> context;
   std::unique_ptr<ThreadPool> pool;
   /// Deterministic time source for overload-plan replays: advanced by
@@ -72,7 +83,39 @@ struct Runner::World {
   std::vector<TenantState> tenants;
 
   explicit World(const WorldSpec& spec)
-      : dataset(regenerate(spec)), wallSpec(spec.wallSpec()) {}
+      : dataset(regenerate(spec)), wallSpec(spec.wallSpec()) {
+    if (!spec.progressive.active()) return;
+    storePath = (std::filesystem::temp_directory_path() /
+                 ("svq_replay_" +
+                  std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                  ".svqs"))
+                    .string();
+    if (!traj::writeShardStore(dataset, storePath,
+                               spec.progressive.shardCapacity)) {
+      throw std::runtime_error("replay: cannot write scratch shard store");
+    }
+    auto opened = traj::ShardStore::open(storePath);
+    if (!opened) {
+      throw std::runtime_error("replay: cannot open scratch shard store");
+    }
+    store = std::make_shared<traj::ShardStore>(std::move(*opened));
+    traj::SomParams sp;
+    sp.rows = spec.progressive.somRows;
+    sp.cols = spec.progressive.somCols;
+    traj::FeatureParams fp;
+    fp.arenaRadiusCm = dataset.arena().radiusCm;
+    explorer = std::make_shared<core::ShardSomExplorer>(*store, sp, fp);
+  }
+
+  ~World() {
+    // The explorer borrows the store; drop it before the file goes.
+    explorer.reset();
+    store.reset();
+    if (!storePath.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(storePath, ec);
+    }
+  }
 
   static traj::TrajectoryDataset regenerate(const WorldSpec& spec) {
     traj::AntSimulator simulator({}, spec.datasetSeed);
@@ -108,7 +151,13 @@ RunReport Runner::run() {
   const WorldSpec& spec = recording_.world;
   world_ = std::make_unique<World>(spec);
   World& w = *world_;
-  w.context = core::SharedContext::create(w.dataset, w.wallSpec);
+  {
+    core::SharedContext::Options co;
+    co.shardStore = w.store;
+    co.shardExplorer = w.explorer;
+    w.context = core::SharedContext::create(w.dataset, w.wallSpec,
+                                            std::move(co));
+  }
   const WorldSpec::OverloadPlan& plan = spec.overload;
   {
     core::SessionService::Options so;
@@ -229,6 +278,40 @@ RunReport Runner::run() {
         // until a drain/apply, so the hash stays 0 like kClose steps.
         break;
       }
+      case StepKind::kRefine: {
+        trace.type = "refine";
+        if (!tenant.live) {
+          trace.applied = false;
+          break;
+        }
+        if (step.refusal != 0) {
+          // Recorded refusal: re-see it, never run the refinement. The
+          // frame still renders (unchanged estimates) to keep the hash
+          // sequence step-aligned with the live run.
+          trace.applied = false;
+          trace.refusal = step.refusal;
+          ++report.eventsShed;
+          renderStep(w, step.tenant, trace, report);
+          break;
+        }
+        Stopwatch apply;
+        std::size_t refined = 0;
+        const core::Status status =
+            w.service->refine(tenant.id, step.refineBudget, &refined);
+        trace.applyUs = apply.elapsedMicros();
+        trace.applied = status.isOk();
+        if (trace.applied) {
+          ++report.refineSteps;
+          report.shardsRefined += refined;
+        } else if (status.isLoadShed()) {
+          trace.refusal = static_cast<std::uint8_t>(status.code);
+          ++report.eventsShed;
+        } else {
+          ++report.eventsRejected;
+        }
+        renderStep(w, step.tenant, trace, report);
+        break;
+      }
       case StepKind::kClose: {
         trace.type = "close";
         if (tenant.live) {
@@ -295,7 +378,17 @@ void Runner::renderStep(World& w, std::uint32_t tenantIndex, StepTrace& trace,
     }
     toRender = &tenant.receiver.scene();
   }
-  tenant.pipeline->render(*toRender, w.dataset,
+  // Progressive sessions build scenes over their cluster-averages dataset
+  // (Session::sceneDataset), not the raw world dataset. The pointer stays
+  // valid after withSession returns: the averages live until the
+  // session's next buildScene, and the runner steps serially.
+  const traj::TrajectoryDataset* renderDataset = &w.dataset;
+  if (w.explorer != nullptr) {
+    w.service->withSession(tenant.id, [&](core::Session& s) {
+      renderDataset = &s.sceneDataset();
+    });
+  }
+  tenant.pipeline->render(*toRender, *renderDataset,
                           render::Canvas::whole(tenant.fb), options_.eye);
   trace.rasterUs = raster.elapsedMicros();
   trace.frameHash = tenant.fb.contentHash();
@@ -349,6 +442,8 @@ bool RunReport::writeTimingLog(const std::string& path,
   counter("events_rejected", static_cast<double>(eventsRejected));
   counter("events_shed", static_cast<double>(eventsShed));
   counter("events_submitted", static_cast<double>(eventsSubmitted));
+  counter("refine_steps", static_cast<double>(refineSteps));
+  counter("shards_refined", static_cast<double>(shardsRefined));
   counter("apply_us_total", applyTotal);
   counter("apply_us_p95", percentile95(applyUs));
   counter("build_us_total", buildTotal);

@@ -86,6 +86,8 @@ struct RunReport {
   /// decisions by the replayed health controller.
   std::size_t eventsShed = 0;
   std::size_t eventsSubmitted = 0;  ///< kSubmit steps enqueued ok
+  std::size_t refineSteps = 0;      ///< kRefine steps the service ran
+  std::uint64_t shardsRefined = 0;  ///< uncertain shards resolved by them
   std::uint64_t packetsDropped = 0;  ///< delta-wire drops (injected)
   std::uint64_t resyncs = 0;
   double totalMs = 0.0;

@@ -23,14 +23,25 @@ namespace {
 constexpr std::uint32_t kShardMagic = 0x53515653u;   // "SVQS"
 constexpr std::uint32_t kBlockMagic = 0x42515653u;   // "SVQB"
 constexpr std::uint32_t kFooterMagic = 0x46515653u;  // "SVQF"
-constexpr std::uint32_t kShardVersion = 2;
 // magic, version, arenaRadius, shardCapacity + headerCrc over them.
 constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 4 + 4;
 // Per-shard block header: magic, byteSize, payloadCrc + headerCrc over them.
 constexpr std::size_t kBlockHeaderBytes = 4 + 8 + 4 + 4;
 // offset + byteSize + firstGlobalIndex + pointCount, trajCount, payloadCrc,
 // bounds (4 floats), maxDuration.
-constexpr std::size_t kFooterEntryBytes = 8 * 4 + 4 + 4 + 4 * 4 + 4;
+constexpr std::size_t kFooterEntryBytesV2 = 8 * 4 + 4 + 4 + 4 * 4 + 4;
+
+bool supportedVersion(std::uint32_t version) {
+  return version == kShardFormatV2 || version == kShardFormatCurrent;
+}
+
+/// Footer entry size is version-dependent: v3 appends the fixed-size
+/// spatial summary to every entry.
+std::size_t footerEntryBytes(std::uint32_t version) {
+  return version >= kShardFormatCurrent
+             ? kFooterEntryBytesV2 + ShardSummary::kSerializedBytes
+             : kFooterEntryBytesV2;
+}
 // shardCount, trajectoryCount, pointCount, footerBytes, footerCrc,
 // tailCrc (over the preceding 32 bytes), magic.
 constexpr std::size_t kTailBytes = 4 + 8 + 8 + 8 + 4 + 4 + 4;
@@ -70,10 +81,11 @@ std::uint64_t residentBytesEstimate(const ShardInfo& info) {
          static_cast<std::uint64_t>(info.trajectoryCount) * sizeof(Trajectory);
 }
 
-std::string encodeFileHeader(float radiusCm, std::uint32_t shardCapacity) {
+std::string encodeFileHeader(float radiusCm, std::uint32_t shardCapacity,
+                             std::uint32_t version) {
   std::string header;
   putU32(header, kShardMagic);
-  putU32(header, kShardVersion);
+  putU32(header, version);
   putF32(header, radiusCm);
   putU32(header, shardCapacity);
   putU32(header, io::crc32c(header.data(), header.size()));
@@ -100,12 +112,16 @@ bool decodeBlockHeader(std::string_view bytes, std::uint64_t& byteSize,
   return headerCrc == io::crc32c(bytes.data(), kBlockHeaderBytes - 4);
 }
 
-/// Footer + tail for a finished sequence of shards.
+/// Footer + tail for a finished sequence of shards. For v3, `summaries`
+/// must parallel `infos`; for v2 it is ignored.
 std::string encodeFooterAndTail(const std::vector<ShardInfo>& infos,
+                                const std::vector<ShardSummary>& summaries,
+                                std::uint32_t version,
                                 std::uint64_t trajectoryCount,
                                 std::uint64_t totalPoints) {
   std::string footer;
-  for (const ShardInfo& info : infos) {
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    const ShardInfo& info = infos[i];
     putU64(footer, info.offset);
     putU64(footer, info.byteSize);
     putU64(footer, info.firstGlobalIndex);
@@ -118,6 +134,17 @@ std::string encodeFooterAndTail(const std::vector<ShardInfo>& infos,
     putF32(footer, valid ? info.bounds.max.x : 0.0f);
     putF32(footer, valid ? info.bounds.max.y : 0.0f);
     putF32(footer, info.maxDuration);
+    if (version >= kShardFormatCurrent) {
+      const ShardSummary& summary = summaries[i];
+      for (const std::uint64_t word : summary.occupancy) putU64(footer, word);
+      const bool envValid = summary.envelope.valid();
+      putF32(footer, envValid ? summary.envelope.min.x : 0.0f);
+      putF32(footer, envValid ? summary.envelope.min.y : 0.0f);
+      putF32(footer, envValid ? summary.envelope.max.x : -1.0f);
+      putF32(footer, envValid ? summary.envelope.max.y : -1.0f);
+      putF32(footer, summary.tMin);
+      putF32(footer, summary.tMax);
+    }
   }
   const std::uint32_t footerCrc = io::crc32c(footer.data(), footer.size());
 
@@ -125,7 +152,8 @@ std::string encodeFooterAndTail(const std::vector<ShardInfo>& infos,
   putU32(tail, static_cast<std::uint32_t>(infos.size()));
   putU64(tail, trajectoryCount);
   putU64(tail, totalPoints);
-  putU64(tail, static_cast<std::uint64_t>(infos.size()) * kFooterEntryBytes);
+  putU64(tail,
+         static_cast<std::uint64_t>(infos.size()) * footerEntryBytes(version));
   putU32(tail, footerCrc);
   putU32(tail, io::crc32c(tail.data(), tail.size()));
   putU32(tail, kFooterMagic);
@@ -156,19 +184,24 @@ struct ShardStoreWriter::Impl {
   std::string tempPath;
   ArenaSpec arena;
   std::uint32_t shardCapacity = 0;
+  std::uint32_t formatVersion = kShardFormatCurrent;
   io::FaultInjector* faultInjector = nullptr;
   TrajectoryDataset buffer;
   std::vector<ShardInfo> infos;
+  std::vector<ShardSummary> summaries;
   std::uint64_t cursor = 0;
   std::uint64_t totalPoints = 0;
 };
 
 ShardStoreWriter::ShardStoreWriter(const std::string& path, ArenaSpec arena,
                                    std::uint32_t shardCapacity,
-                                   io::FaultInjector* faultInjector)
+                                   io::FaultInjector* faultInjector,
+                                   std::uint32_t formatVersion)
     : impl_(std::make_unique<Impl>()) {
   impl_->arena = arena;
   impl_->shardCapacity = std::max(1u, shardCapacity);
+  impl_->formatVersion =
+      supportedVersion(formatVersion) ? formatVersion : kShardFormatCurrent;
   impl_->faultInjector = faultInjector;
   impl_->buffer = TrajectoryDataset(arena);
   impl_->finalPath = path;
@@ -179,8 +212,8 @@ ShardStoreWriter::ShardStoreWriter(const std::string& path, ArenaSpec arena,
               << " for writing";
     return;
   }
-  const std::string header = encodeFileHeader(arena.radiusCm,
-                                              impl_->shardCapacity);
+  const std::string header = encodeFileHeader(
+      arena.radiusCm, impl_->shardCapacity, impl_->formatVersion);
   impl_->out.write(header.data(), static_cast<std::streamsize>(header.size()));
   impl_->cursor = kHeaderBytes;
   ok_ = static_cast<bool>(impl_->out);
@@ -205,6 +238,7 @@ void ShardStoreWriter::flushShard() {
   info.firstGlobalIndex =
       totalTrajectories_ - static_cast<std::uint64_t>(impl_->buffer.size());
   summarizePayload(impl_->buffer, info);
+  impl_->summaries.push_back(computeShardSummary(impl_->buffer));
   const std::string blob = toBinary(impl_->buffer);
   info.byteSize = blob.size();
   info.payloadCrc = io::crc32c(blob.data(), blob.size());
@@ -223,7 +257,9 @@ bool ShardStoreWriter::finish() {
   if (!ok_ || finished_) return ok_ && finished_;
   flushShard();
   const std::string footerAndTail =
-      encodeFooterAndTail(impl_->infos, totalTrajectories_, impl_->totalPoints);
+      encodeFooterAndTail(impl_->infos, impl_->summaries,
+                          impl_->formatVersion, totalTrajectories_,
+                          impl_->totalPoints);
   impl_->out.write(footerAndTail.data(),
                    static_cast<std::streamsize>(footerAndTail.size()));
   impl_->cursor += footerAndTail.size();
@@ -263,9 +299,14 @@ struct ShardStore::Impl {
   ShardStoreOptions options;
   ArenaSpec arena;
   std::uint32_t shardCapacity = 0;
+  std::uint32_t formatVersion = kShardFormatCurrent;
   std::vector<ShardInfo> infos;
   std::uint64_t trajectoryCount = 0;
   std::uint64_t totalPoints = 0;
+  /// Per-shard spatial summary: parsed from a v3 footer at open (entries
+  /// that fail validateShardSummary stay nullopt), rebuilt lazily for v2
+  /// stores. Lazy fills are guarded by `mutex`.
+  mutable std::vector<std::optional<ShardSummary>> summaries;
 
   // Cache + quarantine state: all guarded by mutex (including the
   // ifstream).
@@ -417,7 +458,7 @@ std::optional<ShardStore> ShardStore::open(const std::string& path,
   std::uint32_t magic = 0, version = 0, headerCrc = 0;
   float radius = 0.0f;
   if (!header.u32(magic) || magic != kShardMagic) return std::nullopt;
-  if (!header.u32(version) || version != kShardVersion) return std::nullopt;
+  if (!header.u32(version) || !supportedVersion(version)) return std::nullopt;
   if (!header.f32(radius) || radius <= 0.0f) return std::nullopt;
   if (!header.u32(s.shardCapacity) || s.shardCapacity == 0) return std::nullopt;
   if (!header.u32(headerCrc) ||
@@ -425,6 +466,7 @@ std::optional<ShardStore> ShardStore::open(const std::string& path,
     return std::nullopt;
   }
   s.arena = ArenaSpec{radius};
+  s.formatVersion = version;
 
   // Tail (CRC-sealed), then footer (CRC checked against the tail).
   std::string tailBytes(kTailBytes, '\0');
@@ -440,7 +482,8 @@ std::optional<ShardStore> ShardStore::open(const std::string& path,
       tailCrc != io::crc32c(tailBytes.data(), kTailBytes - 8)) {
     return std::nullopt;
   }
-  if (footerBytes != static_cast<std::uint64_t>(shardCount) * kFooterEntryBytes ||
+  if (footerBytes != static_cast<std::uint64_t>(shardCount) *
+                         footerEntryBytes(version) ||
       kHeaderBytes + footerBytes + kTailBytes > fileSize) {
     return std::nullopt;
   }
@@ -457,8 +500,10 @@ std::optional<ShardStore> ShardStore::open(const std::string& path,
   }
   BufReader footer(footerBuf);
   s.infos.resize(shardCount);
+  s.summaries.assign(shardCount, std::nullopt);
   std::uint64_t expectedFirst = 0;
-  for (ShardInfo& info : s.infos) {
+  for (std::size_t shardIdx = 0; shardIdx < shardCount; ++shardIdx) {
+    ShardInfo& info = s.infos[shardIdx];
     float minX = 0, minY = 0, maxX = 0, maxY = 0;
     if (!footer.u64(info.offset) || !footer.u64(info.byteSize) ||
         !footer.u64(info.firstGlobalIndex) || !footer.u64(info.pointCount) ||
@@ -468,6 +513,28 @@ std::optional<ShardStore> ShardStore::open(const std::string& path,
       return std::nullopt;
     }
     info.bounds = AABB2::of({minX, minY}, {maxX, maxY});
+    if (version >= kShardFormatCurrent) {
+      ShardSummary summary;
+      float envMinX = 0, envMinY = 0, envMaxX = 0, envMaxY = 0;
+      bool parsed = true;
+      for (std::uint64_t& word : summary.occupancy) {
+        parsed = parsed && footer.u64(word);
+      }
+      if (!parsed || !footer.f32(envMinX) || !footer.f32(envMinY) ||
+          !footer.f32(envMaxX) || !footer.f32(envMaxY) ||
+          !footer.f32(summary.tMin) || !footer.f32(summary.tMax)) {
+        return std::nullopt;
+      }
+      summary.envelope = AABB2::of({envMinX, envMinY}, {envMaxX, envMaxY});
+      // An implausible summary (CRC-valid but semantically impossible,
+      // e.g. from a stitched file) is dropped, not trusted: the shard
+      // stays summary-less and the query path must treat it as
+      // uncertain — falling back to exact evaluation, never to a wrong
+      // definitely-out prune.
+      if (validateShardSummary(summary, info.pointCount)) {
+        s.summaries[shardIdx] = summary;
+      }
+    }
     // Payloads must lie between header and footer (leaving room for their
     // block headers) and tile the global index space in order.
     if (info.offset < kHeaderBytes + kBlockHeaderBytes ||
@@ -504,9 +571,29 @@ std::uint64_t ShardStore::trajectoryCount() const {
 }
 std::uint64_t ShardStore::totalPoints() const { return impl_->totalPoints; }
 std::uint32_t ShardStore::shardCapacity() const { return impl_->shardCapacity; }
+std::uint32_t ShardStore::formatVersion() const { return impl_->formatVersion; }
 
 const ShardInfo& ShardStore::shardInfo(std::size_t shard) const {
   return impl_->infos[shard];
+}
+
+std::optional<ShardSummary> ShardStore::summary(std::size_t shardIdx) const {
+  Impl& s = *impl_;
+  assert(shardIdx < s.infos.size());
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.summaries[shardIdx].has_value()) return s.summaries[shardIdx];
+    if (!s.shardStatus[shardIdx].isOk()) return std::nullopt;
+  }
+  // Lazy rebuild (v2 store, or a v3 entry whose persisted summary failed
+  // validation): decode the shard through the cache and memoize. shard()
+  // takes the mutex itself; a racing rebuild computes the same value.
+  const auto dataset = shard(shardIdx);
+  if (dataset == nullptr) return std::nullopt;
+  const ShardSummary summary = computeShardSummary(*dataset);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.summaries[shardIdx].has_value()) s.summaries[shardIdx] = summary;
+  return s.summaries[shardIdx];
 }
 
 std::shared_ptr<const TrajectoryDataset> ShardStore::shard(
@@ -670,7 +757,7 @@ bool repairShardStore(const std::string& path, RepairReport* report) {
   std::uint32_t magic = 0, version = 0, shardCapacity = 0, headerCrc = 0;
   float radius = 0.0f;
   if (!in || !header.u32(magic) || magic != kShardMagic ||
-      !header.u32(version) || version != kShardVersion ||
+      !header.u32(version) || !supportedVersion(version) ||
       !header.f32(radius) || radius <= 0.0f || !header.u32(shardCapacity) ||
       shardCapacity == 0 || !header.u32(headerCrc) ||
       headerCrc != io::crc32c(headerBytes.data(), kHeaderBytes - 4)) {
@@ -683,6 +770,7 @@ bool repairShardStore(const std::string& path, RepairReport* report) {
   // is the committed prefix. Everything after it (a torn shard, a stale
   // footer) is discarded.
   std::vector<ShardInfo> infos;
+  std::vector<ShardSummary> summaries;
   std::vector<std::pair<std::string, std::string>> blocks;  // header, payload
   std::uint64_t cursor = kHeaderBytes;
   std::uint64_t expectedFirst = 0;
@@ -708,6 +796,7 @@ bool repairShardStore(const std::string& path, RepairReport* report) {
     info.byteSize = byteSize;
     info.payloadCrc = payloadCrc;
     summarizePayload(*decoded, info);
+    summaries.push_back(computeShardSummary(*decoded));
     expectedFirst += info.trajectoryCount;
     totalPoints += info.pointCount;
     infos.push_back(info);
@@ -721,8 +810,11 @@ bool repairShardStore(const std::string& path, RepairReport* report) {
 
   // Rewrite the store from the committed prefix (recomputed footer/tail)
   // with the same write-temp + atomic-rename discipline as the writer,
-  // so a crash mid-repair cannot make things worse.
-  std::string repaired = encodeFileHeader(radius, shardCapacity);
+  // so a crash mid-repair cannot make things worse. Always rewritten as
+  // the current format: repair decoded every surviving payload anyway,
+  // so a v2 input picks up its spatial summaries here.
+  std::string repaired =
+      encodeFileHeader(radius, shardCapacity, kShardFormatCurrent);
   std::uint64_t offset = kHeaderBytes;
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     infos[i].offset = offset + kBlockHeaderBytes;
@@ -730,7 +822,8 @@ bool repairShardStore(const std::string& path, RepairReport* report) {
     repaired += blocks[i].second;
     offset += blocks[i].first.size() + blocks[i].second.size();
   }
-  repaired += encodeFooterAndTail(infos, expectedFirst, totalPoints);
+  repaired += encodeFooterAndTail(infos, summaries, kShardFormatCurrent,
+                                  expectedFirst, totalPoints);
   out.status = io::atomicWriteFile(path, repaired);
   if (!out.status.isOk()) return false;
   SVQ_INFO << "shardstore: repaired " << path << " to " << infos.size()
@@ -880,8 +973,10 @@ ShardClustering clusterShardStore(const ShardStore& store,
 }
 
 bool writeShardStore(const TrajectoryDataset& dataset, const std::string& path,
-                     std::uint32_t shardCapacity) {
-  ShardStoreWriter writer(path, dataset.arena(), shardCapacity);
+                     std::uint32_t shardCapacity,
+                     std::uint32_t formatVersion) {
+  ShardStoreWriter writer(path, dataset.arena(), shardCapacity, nullptr,
+                          formatVersion);
   if (!writer.ok()) return false;
   for (const Trajectory& t : dataset.all()) writer.add(t);
   return writer.finish();

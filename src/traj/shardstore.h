@@ -6,7 +6,7 @@
 // and materializes only the shards a computation actually touches through
 // a memory-bounded LRU cache.
 //
-// File layout ("SVQS" container, version 2, little-endian), built on the
+// File layout ("SVQS" container, version 3, little-endian), built on the
 // existing SVQT trajectory format:
 //
 //   header:   magic u32 "SVQS", version u32, arenaRadius f32,
@@ -18,7 +18,9 @@
 //   footer:   per shard { offset u64 (of the payload, past its block
 //             header), byteSize u64, firstGlobalIndex u64, pointCount u64,
 //             trajectoryCount u32, payloadCrc u32, bounds 4*f32,
-//             maxDuration f32 }
+//             maxDuration f32 } and — v3 only — the spatial summary
+//             { occupancy 4*u64, envelope 4*f32, tMin f32, tMax f32 }
+//             (see traj/shardsummary.h)
 //   tail:     shardCount u32, trajectoryCount u64, pointCount u64,
 //             footerBytes u64, footerCrc u32, tailCrc u32 (CRC32C of the
 //             preceding 32 bytes), magic u32 "SVQF"
@@ -26,7 +28,11 @@
 // The tail is fixed-size and read first (from the end of the file), so
 // opening a store touches O(shardCount) bytes, never the payloads. The
 // per-shard feature summaries (bounds, counts, max duration) let callers
-// prune shards without loading them.
+// prune shards without loading them; the v3 spatial summary additionally
+// lets the anytime query path (core/progressive.h) classify whole shards
+// as definitely-out without IO. Version 2 stores (no summary) still open
+// — summary() rebuilds their summaries lazily from the payloads, and
+// repairShardStore() upgrades them to v3 on rewrite.
 //
 // Integrity and crash-safety (the storage counterpart to the net-layer
 // fault model, see DESIGN.md "Storage fault model"):
@@ -64,12 +70,19 @@
 #include <vector>
 
 #include "traj/dataset.h"
+#include "traj/shardsummary.h"
 #include "traj/som.h"
 #include "util/geometry.h"
 #include "util/io.h"
 #include "util/metrics.h"
 
 namespace svq::traj {
+
+/// SVQS container versions this reader accepts. The writer emits
+/// kShardFormatCurrent unless told otherwise; kShardFormatV2 exists for
+/// back-compat tests and for generating summary-less stores.
+inline constexpr std::uint32_t kShardFormatV2 = 2;
+inline constexpr std::uint32_t kShardFormatCurrent = 3;
 
 /// Footer entry: everything known about a shard without loading it.
 struct ShardInfo {
@@ -96,7 +109,8 @@ class ShardStoreWriter {
  public:
   ShardStoreWriter(const std::string& path, ArenaSpec arena,
                    std::uint32_t shardCapacity,
-                   io::FaultInjector* faultInjector = nullptr);
+                   io::FaultInjector* faultInjector = nullptr,
+                   std::uint32_t formatVersion = kShardFormatCurrent);
   ~ShardStoreWriter();
 
   ShardStoreWriter(const ShardStoreWriter&) = delete;
@@ -193,7 +207,18 @@ class ShardStore {
   std::uint64_t trajectoryCount() const;
   std::uint64_t totalPoints() const;
   std::uint32_t shardCapacity() const;
+  /// The container version this file was written as (kShardFormatV2 or
+  /// kShardFormatCurrent).
+  std::uint32_t formatVersion() const;
   const ShardInfo& shardInfo(std::size_t shard) const;
+
+  /// Spatial summary of one shard (see traj/shardsummary.h). v3 stores
+  /// answer from the footer (no IO); v2 stores — and v3 entries whose
+  /// persisted summary fails validateShardSummary — rebuild lazily from
+  /// the payload through the shard cache, memoized. nullopt when the
+  /// summary is unavailable (quarantined shard with nothing persisted):
+  /// callers must treat such shards as *uncertain*, never pruned.
+  std::optional<ShardSummary> summary(std::size_t shard) const;
 
   /// Loads (or returns the cached) shard. Every load is CRC-verified
   /// before it enters the cache; nullptr when the shard is (or becomes)
@@ -307,13 +332,16 @@ ShardClustering clusterShardStore(const ShardStore& store,
 /// self-delimiting shard block headers from the front, keeps the longest
 /// prefix of shards whose headers and payload CRCs verify, recomputes the
 /// footer/tail from the surviving payloads, and atomically rewrites the
-/// file. Works on both published stores and a killed writer's temp file.
-/// Returns false (with report->status carrying the cause) when not even
-/// the file header survives — there is nothing to repair to.
+/// file (always as kShardFormatCurrent — repair decodes every surviving
+/// payload anyway, so v2 inputs pick up their spatial summaries for
+/// free). Works on both published stores and a killed writer's temp
+/// file. Returns false (with report->status carrying the cause) when not
+/// even the file header survives — there is nothing to repair to.
 bool repairShardStore(const std::string& path, RepairReport* report = nullptr);
 
 /// Convenience: shard an in-memory dataset out to `path`.
 bool writeShardStore(const TrajectoryDataset& dataset, const std::string& path,
-                     std::uint32_t shardCapacity);
+                     std::uint32_t shardCapacity,
+                     std::uint32_t formatVersion = kShardFormatCurrent);
 
 }  // namespace svq::traj

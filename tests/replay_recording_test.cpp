@@ -109,9 +109,10 @@ TEST(RecordingTest, RejectsBadMagicVersionTruncationAndTrailingGarbage) {
 }
 
 TEST(RecordingTest, RejectsHostileCountsBadKindsAndNonFiniteTimestamps) {
-  // The step count sits right after magic+version+world (8 + 92 bytes:
-  // v2 appended the five u32 overload-plan fields to the world block).
-  const std::size_t countOffset = 8 + 92;
+  // The step count sits right after magic+version+world (8 + 104 bytes:
+  // v2 appended the five u32 overload-plan fields to the world block,
+  // v3 the three u32 progressive-plan fields).
+  const std::size_t countOffset = 8 + 104;
   const net::MessageBuffer buf = sampleRecording().serialize();
 
   {  // hostile step count: bounded by payload, rejected before reserve
@@ -155,12 +156,13 @@ TEST(RecordingTest, TenantSliceKeepsOrderAndRemapsToTrackZero) {
   EXPECT_EQ(slice.world.datasetSeed, rec.world.datasetSeed);
 }
 
-// --- format v2: refusal tags, kSubmit steps, v1 back-compat ------------------
+// --- format v2/v3: refusals, kSubmit/kRefine steps, back-compat --------------
 
-/// Writes the WorldSpec block by hand — v1 (72 bytes) or v2 (92 bytes,
-/// with the overload plan) — so tests can author payloads of either
-/// version without going through serialize().
-void putWorldBytes(net::MessageBuffer& buf, const WorldSpec& w, bool v2) {
+/// Writes the WorldSpec block by hand — v1 (72 bytes), v2 (92 bytes, with
+/// the overload plan) or v3 (104 bytes, with the progressive plan) — so
+/// tests can author payloads of any version without going through
+/// serialize().
+void putWorldBytes(net::MessageBuffer& buf, const WorldSpec& w, int version) {
   buf.putU64(w.datasetSeed);
   buf.putU32(w.trajectoryCount);
   buf.putI32(w.tile.pxW);
@@ -174,12 +176,17 @@ void putWorldBytes(net::MessageBuffer& buf, const WorldSpec& w, bool v2) {
   buf.putU64(w.wireFaultSeed);
   buf.putU64(std::bit_cast<std::uint64_t>(w.ioFaultPct));
   buf.putU64(w.ioFaultSeed);
-  if (v2) {
+  if (version >= 2) {
     buf.putU32(w.overload.applyDeadlineUs);
     buf.putU32(w.overload.shedP99Us);
     buf.putU32(w.overload.shedQueueDepth);
     buf.putU32(w.overload.healthWindow);
     buf.putU32(w.overload.clockAdvanceUsPerStep);
+  }
+  if (version >= 3) {
+    buf.putU32(w.progressive.shardCapacity);
+    buf.putU32(w.progressive.somRows);
+    buf.putU32(w.progressive.somCols);
   }
 }
 
@@ -234,9 +241,9 @@ TEST(RecordingTest, RejectsUnknownRefusalCodesAndRefusedLifecycleSteps) {
     rec.refused(0, 1.0, ui::PageEvent{1},
                 static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
     std::vector<std::uint8_t> bytes(rec.serialize().bytes());
-    // The refused step's refusal byte sits at header(8) + world(92) +
-    // count(4) + v2 admit step(19) + kind(1) + tenant(4) + time(8).
-    const std::size_t refusalOffset = 8 + 92 + 4 + 19 + 13;
+    // The refused step's refusal byte sits at header(8) + world(104) +
+    // count(4) + admit step(19) + kind(1) + tenant(4) + time(8).
+    const std::size_t refusalOffset = 8 + 104 + 4 + 19 + 13;
     ASSERT_EQ(bytes[refusalOffset],
               static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
     bytes[refusalOffset] =
@@ -247,7 +254,7 @@ TEST(RecordingTest, RejectsUnknownRefusalCodesAndRefusedLifecycleSteps) {
     net::MessageBuffer buf;
     buf.putU32(Recording::kMagic);
     buf.putU32(2);
-    putWorldBytes(buf, WorldSpec{}, /*v2=*/true);
+    putWorldBytes(buf, WorldSpec{}, /*version=*/2);
     buf.putU32(1);
     buf.putU8(0);  // kAdmit
     buf.putU32(0);
@@ -269,7 +276,7 @@ TEST(RecordingTest, StillParsesVersion1Payloads) {
   net::MessageBuffer buf;
   buf.putU32(Recording::kMagic);
   buf.putU32(1);
-  putWorldBytes(buf, world, /*v2=*/false);
+  putWorldBytes(buf, world, /*version=*/1);
   buf.putU32(3);
   buf.putU8(0);  // kAdmit, tenant 0, t=0
   buf.putU32(0);
@@ -304,9 +311,167 @@ TEST(RecordingTest, StillParsesVersion1Payloads) {
   net::MessageBuffer lying;
   lying.putU32(Recording::kMagic);
   lying.putU32(1);
-  putWorldBytes(lying, world, /*v2=*/true);
+  putWorldBytes(lying, world, /*version=*/2);
   lying.putU32(0);
   EXPECT_FALSE(Recording::deserialize(std::move(lying)));
+}
+
+// --- format v3: progressive plan + kRefine steps -----------------------------
+
+TEST(RecordingTest, RoundTripsProgressivePlanAndRefineSteps) {
+  Recording rec;
+  rec.world.datasetSeed = 606;
+  rec.world.progressive.shardCapacity = 64;
+  rec.world.progressive.somRows = 4;
+  rec.world.progressive.somCols = 5;
+  rec.admit(0, 0.0);
+  rec.event(0, 1.0, ui::BrushStrokeEvent{0, {1.0f, 2.0f}, 5.0f});
+  rec.refine(0, 2.0, 8);
+  rec.refineRefused(0, 3.0, 16,
+                    static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
+  rec.close(0, 4.0);
+
+  const auto restored = Recording::deserialize(rec.serialize());
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), 5u);
+  EXPECT_TRUE(restored->world.progressive.active());
+  EXPECT_EQ(restored->world.progressive.shardCapacity, 64u);
+  EXPECT_EQ(restored->world.progressive.somRows, 4u);
+  EXPECT_EQ(restored->world.progressive.somCols, 5u);
+
+  const auto& steps = restored->steps();
+  EXPECT_EQ(steps[2].kind, StepKind::kRefine);
+  EXPECT_EQ(steps[2].refineBudget, 8u);
+  EXPECT_EQ(steps[2].refusal, 0);
+  EXPECT_EQ(steps[3].kind, StepKind::kRefine);
+  EXPECT_EQ(steps[3].refineBudget, 16u);
+  EXPECT_EQ(steps[3].refusal,
+            static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
+  EXPECT_EQ(restored->refusedCount(), 1u);
+  // Refine steps are not event traffic.
+  EXPECT_EQ(restored->eventCount(), 1u);
+}
+
+TEST(RecordingTest, StillParsesVersion2PayloadsWithInertProgressivePlan) {
+  // A hand-authored v2 payload (pre-progressive fleet recording): no
+  // progressive-plan bytes in the world, no kRefine steps. It must parse
+  // with the progressive machinery disarmed.
+  WorldSpec world;
+  world.datasetSeed = 2024;
+  world.overload.applyDeadlineUs = 1000;
+  net::MessageBuffer buf;
+  buf.putU32(Recording::kMagic);
+  buf.putU32(2);
+  putWorldBytes(buf, world, /*version=*/2);
+  buf.putU32(2);
+  buf.putU8(0);  // kAdmit, tenant 0, t=0
+  buf.putU32(0);
+  buf.putU64(std::bit_cast<std::uint64_t>(0.0));
+  buf.putU8(0);  // refusal
+  buf.putU8(0xFF);
+  buf.putString("");
+  buf.putU8(3);  // kSubmit, tenant 0, t=1
+  buf.putU32(0);
+  buf.putU64(std::bit_cast<std::uint64_t>(1.0));
+  buf.putU8(0);  // refusal
+  ui::serializeEvent(buf, ui::PageEvent{1});
+  buf.putString("");
+
+  const auto rec = Recording::deserialize(std::move(buf));
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_EQ(rec->size(), 2u);
+  EXPECT_FALSE(rec->world.progressive.active());
+  EXPECT_EQ(rec->world.overload.applyDeadlineUs, 1000u);
+  EXPECT_EQ(rec->steps()[1].kind, StepKind::kSubmit);
+
+  // A v2 payload must not smuggle a kRefine step: the kind is gated on
+  // the version, not just the enum range.
+  net::MessageBuffer refina;
+  refina.putU32(Recording::kMagic);
+  refina.putU32(2);
+  putWorldBytes(refina, world, /*version=*/2);
+  refina.putU32(1);
+  refina.putU8(4);  // kRefine in a v2 stream
+  refina.putU32(0);
+  refina.putU64(std::bit_cast<std::uint64_t>(0.0));
+  refina.putU8(0);
+  refina.putU8(0xFF);
+  refina.putU32(8);
+  refina.putString("");
+  EXPECT_FALSE(Recording::deserialize(std::move(refina)));
+}
+
+TEST(RecordingTest, RejectsCorruptProgressivePlansAndZeroRefineBudgets) {
+  {  // active plan with a degenerate lattice
+    net::MessageBuffer buf;
+    buf.putU32(Recording::kMagic);
+    buf.putU32(3);
+    WorldSpec world;
+    world.progressive.shardCapacity = 64;
+    world.progressive.somRows = 0;
+    world.progressive.somCols = 4;
+    putWorldBytes(buf, world, /*version=*/3);
+    buf.putU32(0);
+    EXPECT_FALSE(Recording::deserialize(std::move(buf)));
+  }
+  {  // absurd shard capacity (bit-flip territory)
+    net::MessageBuffer buf;
+    buf.putU32(Recording::kMagic);
+    buf.putU32(3);
+    WorldSpec world;
+    world.progressive.shardCapacity = 0x40000000u;
+    world.progressive.somRows = 4;
+    world.progressive.somCols = 4;
+    putWorldBytes(buf, world, /*version=*/3);
+    buf.putU32(0);
+    EXPECT_FALSE(Recording::deserialize(std::move(buf)));
+  }
+  {  // a zero refine budget can only be corruption
+    net::MessageBuffer buf;
+    buf.putU32(Recording::kMagic);
+    buf.putU32(3);
+    putWorldBytes(buf, WorldSpec{}, /*version=*/3);
+    buf.putU32(1);
+    buf.putU8(4);  // kRefine
+    buf.putU32(0);
+    buf.putU64(std::bit_cast<std::uint64_t>(0.0));
+    buf.putU8(0);
+    buf.putU8(0xFF);
+    buf.putU32(0);  // refineBudget 0
+    buf.putString("");
+    EXPECT_FALSE(Recording::deserialize(std::move(buf)));
+  }
+}
+
+TEST(RecordingTest, RefineRoundTripSurvivesSingleByteCorruption) {
+  // 1-bit/byte corruption fuzz over a v3 recording with refine steps:
+  // deserialize must never crash, and whenever it still parses, a second
+  // round trip must be byte-stable (no value can silently mutate into a
+  // differently-serializing one).
+  Recording rec;
+  rec.world.progressive.shardCapacity = 32;
+  rec.world.progressive.somRows = 3;
+  rec.world.progressive.somCols = 3;
+  rec.admit(0, 0.0);
+  rec.refine(0, 1.0, 4);
+  rec.event(0, 2.0, ui::PageEvent{1});
+  rec.refineRefused(0, 3.0, 2,
+                    static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
+  const std::vector<std::uint8_t> bytes(rec.serialize().bytes());
+
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (const std::uint8_t mask : {0x01, 0x80, 0xFF}) {
+      std::vector<std::uint8_t> corrupt(bytes);
+      corrupt[i] ^= mask;
+      const auto parsed =
+          Recording::deserialize(net::MessageBuffer(std::move(corrupt)));
+      if (!parsed) continue;
+      const auto again = Recording::deserialize(parsed->serialize());
+      ASSERT_TRUE(again.has_value()) << "byte " << i << " mask " << int(mask);
+      EXPECT_EQ(again->serialize().bytes(), parsed->serialize().bytes())
+          << "byte " << i << " mask " << int(mask);
+    }
+  }
 }
 
 TEST(RecorderTest, CapturesRefusalsAsRefusalTaggedSteps) {
@@ -351,6 +516,52 @@ TEST(RecorderTest, CapturesRefusalsAsRefusalTaggedSteps) {
   const auto restored = Recording::deserialize(rec.serialize());
   ASSERT_TRUE(restored.has_value());
   EXPECT_EQ(restored->refusedCount(), 2u);
+  EXPECT_EQ(restored->steps()[5].refusal, steps[5].refusal);
+}
+
+TEST(RecorderTest, CapturesRefineCallsWithRequestedBudget) {
+  WorldSpec spec;
+  spec.trajectoryCount = 8;
+  const traj::TrajectoryDataset dataset = makeDataset(spec);
+  const auto context = core::SharedContext::create(dataset, spec.wallSpec());
+  util::ManualClock clock;
+  core::SessionService::Options options;
+  options.eventQueueDepth = 1;
+  options.shedQueueDepth = 2;
+  options.clock = &clock;
+  core::SessionService service(context, options);
+
+  Recorder recorder(spec);
+  recorder.attach(service);
+
+  const auto a = service.admit();
+  const auto b = service.admit();
+  // Healthy: refine() succeeds (a no-op on a non-progressive world) and
+  // must be recorded with the *requested* budget — replay re-issues the
+  // same call, so any health-based scaling is re-derived, not baked in.
+  ASSERT_TRUE(service.refine(a.id, 8).isOk());
+  // Push the node into Shedding, then refine() is turned away and the
+  // refusal must be captured on the step.
+  ASSERT_TRUE(service.submit(a.id, ui::PageEvent{1}).isOk());
+  ASSERT_TRUE(service.submit(b.id, ui::TimeWindowEvent{0.0f, 30.0f}).isOk());
+  ASSERT_TRUE(service.refine(b.id, 4).isOverloaded());
+
+  const Recording rec = recorder.finish();
+  ASSERT_EQ(rec.size(), 6u);  // 2 admits + refine + 2 submits + refused refine
+  const auto& steps = rec.steps();
+  EXPECT_EQ(steps[2].kind, StepKind::kRefine);
+  EXPECT_EQ(steps[2].tenant, 0u);
+  EXPECT_EQ(steps[2].refineBudget, 8u);
+  EXPECT_EQ(steps[2].refusal, 0);
+  EXPECT_EQ(steps[5].kind, StepKind::kRefine);
+  EXPECT_EQ(steps[5].tenant, 1u);
+  EXPECT_EQ(steps[5].refineBudget, 4u);
+  EXPECT_EQ(steps[5].refusal,
+            static_cast<std::uint8_t>(core::StatusCode::kOverloaded));
+
+  const auto restored = Recording::deserialize(rec.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->steps()[2].refineBudget, 8u);
   EXPECT_EQ(restored->steps()[5].refusal, steps[5].refusal);
 }
 

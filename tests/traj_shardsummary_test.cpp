@@ -1,0 +1,288 @@
+// Property tests for the per-shard spatial summary (traj/shardsummary.h)
+// and the paint-touch mask (core/progressive.h): the aggregate pre-pass
+// may only prune a shard when the summary *proves* it holds no hit, so
+// the load-bearing property is conservatism — a shard containing a
+// matching point must never test definitely-out. Also covers the disk
+// path: v2 stores rebuild summaries lazily, and a CRC-valid but
+// semantically implausible v3 footer summary is discarded in favor of a
+// rebuild, never trusted into a wrong prune.
+#include "traj/shardsummary.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "core/progressive.h"
+#include "core/query.h"
+#include "traj/shardstore.h"
+#include "util/io.h"
+
+namespace svq::traj {
+namespace {
+
+constexpr float kRadiusCm = 50.0f;
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// A random dataset of tiny trajectories. Positions range past the arena
+/// edge on purpose: out-of-arena probes clamp into the border cells and
+/// the conservatism property must hold for them too.
+TrajectoryDataset randomDataset(std::mt19937& rng) {
+  std::uniform_int_distribution<int> trajCount(1, 5);
+  std::uniform_int_distribution<int> pointCount(2, 20);
+  std::uniform_real_distribution<float> pos(-1.2f * kRadiusCm,
+                                            1.2f * kRadiusCm);
+  std::uniform_real_distribution<float> dt(0.05f, 2.0f);
+
+  TrajectoryDataset ds(ArenaSpec{kRadiusCm});
+  const int n = trajCount(rng);
+  for (int i = 0; i < n; ++i) {
+    std::vector<TrajPoint> points;
+    float t = 0.0f;
+    const int m = pointCount(rng);
+    for (int p = 0; p < m; ++p) {
+      points.push_back({{pos(rng), pos(rng)}, t});
+      t += dt(rng);
+    }
+    TrajectoryMeta meta;
+    meta.id = static_cast<std::uint32_t>(i);
+    ds.add(Trajectory(meta, points));
+  }
+  return ds;
+}
+
+core::BrushGrid randomBrush(std::mt19937& rng) {
+  std::uniform_int_distribution<int> strokeCount(0, 3);
+  std::uniform_real_distribution<float> pos(-1.3f * kRadiusCm,
+                                            1.3f * kRadiusCm);
+  std::uniform_real_distribution<float> radius(0.02f * kRadiusCm,
+                                               0.4f * kRadiusCm);
+  core::BrushCanvas canvas(kRadiusCm, 64);
+  const int n = strokeCount(rng);
+  for (int i = 0; i < n; ++i) {
+    canvas.addStroke({0, {pos(rng), pos(rng)}, radius(rng)});
+  }
+  return canvas.grid();
+}
+
+TEST(ShardSummaryTest, SummaryCellOfClampsOutOfArenaProbesIntoBorder) {
+  EXPECT_EQ(summaryCellOf(-kRadiusCm, kRadiusCm), 0);
+  EXPECT_EQ(summaryCellOf(kRadiusCm, kRadiusCm), ShardSummary::kGridDim - 1);
+  EXPECT_EQ(summaryCellOf(-10.0f * kRadiusCm, kRadiusCm), 0);
+  EXPECT_EQ(summaryCellOf(10.0f * kRadiusCm, kRadiusCm),
+            ShardSummary::kGridDim - 1);
+  EXPECT_EQ(summaryCellOf(0.0f, kRadiusCm), ShardSummary::kGridDim / 2);
+}
+
+// The conservatism invariant, fuzzed: whenever exact evaluation finds any
+// highlighted trajectory, the summary must intersect the paint-touch mask
+// — i.e. the pre-pass would have classified the shard *uncertain*, never
+// definitely-out. (The reverse — intersection without a hit — is allowed:
+// that is the over-approximation refinement exists to resolve.)
+TEST(ShardSummaryTest, NeverDefinitelyOutForAShardWithAMatchingPoint) {
+  std::mt19937 rng(0xC0FFEEu);
+  int hits = 0;
+  for (int iter = 0; iter < 1000; ++iter) {
+    const TrajectoryDataset ds = randomDataset(rng);
+    const core::BrushGrid brush = randomBrush(rng);
+    const ShardSummary summary = computeShardSummary(ds);
+    const auto mask = core::paintTouchMask(brush, kRadiusCm);
+
+    std::vector<std::uint32_t> indices(ds.size());
+    for (std::uint32_t i = 0; i < ds.size(); ++i) indices[i] = i;
+    const core::QueryResult exact = core::evaluate(
+        core::makeRefs(ds, indices), brush, core::QueryParams{});
+
+    if (exact.trajectoriesHighlighted > 0) {
+      ++hits;
+      EXPECT_TRUE(summary.intersects(mask))
+          << "iter " << iter << ": shard with " << exact.trajectoriesHighlighted
+          << " highlighted trajectories tested definitely-out";
+    }
+
+    // The temporal half of the prune: the summary's time range must cover
+    // every sample, and the envelope every sample position.
+    for (std::size_t g = 0; g < ds.size(); ++g) {
+      for (std::size_t p = 0; p < ds[g].size(); ++p) {
+        EXPECT_LE(summary.tMin, ds[g][p].t);
+        EXPECT_GE(summary.tMax, ds[g][p].t);
+        EXPECT_LE(summary.envelope.min.x, ds[g][p].pos.x);
+        EXPECT_GE(summary.envelope.max.x, ds[g][p].pos.x);
+        EXPECT_LE(summary.envelope.min.y, ds[g][p].pos.y);
+        EXPECT_GE(summary.envelope.max.y, ds[g][p].pos.y);
+      }
+    }
+  }
+  // The fuzz is vacuous if the brushes never land on anything.
+  EXPECT_GT(hits, 100);
+}
+
+TEST(ShardSummaryTest, MismatchedArenaRadiusDegeneratesMaskToAllOnes) {
+  core::BrushCanvas canvas(kRadiusCm, 64);
+  canvas.addStroke({0, {5.0f, 5.0f}, 2.0f});
+  // Same radius: a localized stroke touches only a few cells.
+  const auto tight = core::paintTouchMask(canvas.grid(), kRadiusCm);
+  std::size_t setBits = 0;
+  for (const std::uint64_t w : tight) setBits += std::popcount(w);
+  EXPECT_GT(setBits, 0u);
+  EXPECT_LT(setBits, std::size_t{256});
+  // Mismatched radius: the grids are not comparable, so the mask must
+  // claim every cell touched — nothing is ever pruned.
+  const auto allOnes = core::paintTouchMask(canvas.grid(), kRadiusCm * 2.0f);
+  for (const std::uint64_t w : allOnes) EXPECT_EQ(w, ~std::uint64_t{0});
+}
+
+TEST(ShardSummaryTest, EmptyBrushMaskIsZeroAndEmptyShardNeverIntersects) {
+  const core::BrushCanvas empty(kRadiusCm, 64);
+  const auto mask = core::paintTouchMask(empty.grid(), kRadiusCm);
+  for (const std::uint64_t w : mask) EXPECT_EQ(w, 0u);
+
+  const ShardSummary none;
+  EXPECT_TRUE(none.occupancyEmpty());
+  core::BrushCanvas full(kRadiusCm, 64);
+  full.addStroke({0, {0.0f, 0.0f}, kRadiusCm});
+  EXPECT_FALSE(none.intersects(core::paintTouchMask(full.grid(), kRadiusCm)));
+}
+
+TEST(ShardSummaryTest, ValidateRejectsSemanticallyImpossibleSummaries) {
+  TrajectoryDataset ds(ArenaSpec{kRadiusCm});
+  TrajectoryMeta meta;
+  ds.add(Trajectory(meta, {{{1.0f, 2.0f}, 0.0f}, {{3.0f, 4.0f}, 1.0f}}));
+  ShardSummary good = computeShardSummary(ds);
+  EXPECT_TRUE(validateShardSummary(good, ds.totalPoints()));
+
+  // Points but an empty occupancy grid: impossible, every probe marks a
+  // cell.
+  ShardSummary noOccupancy = good;
+  noOccupancy.occupancy = {};
+  EXPECT_FALSE(validateShardSummary(noOccupancy, ds.totalPoints()));
+
+  // Non-finite or unordered fields.
+  ShardSummary nanTime = good;
+  nanTime.tMin = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(validateShardSummary(nanTime, ds.totalPoints()));
+  ShardSummary inverted = good;
+  inverted.tMin = 5.0f;
+  inverted.tMax = 1.0f;
+  EXPECT_FALSE(validateShardSummary(inverted, ds.totalPoints()));
+  ShardSummary infEnvelope = good;
+  infEnvelope.envelope.max.x = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(validateShardSummary(infEnvelope, ds.totalPoints()));
+
+  // An empty shard must claim nothing...
+  ShardSummary empty;
+  EXPECT_TRUE(validateShardSummary(empty, 0));
+  // ...and a claim without points is as implausible as the reverse.
+  EXPECT_FALSE(validateShardSummary(good, 0));
+}
+
+class ShardSummaryStoreTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : files_) std::remove(p.c_str());
+  }
+  std::string makeStore(const TrajectoryDataset& ds, std::uint32_t capacity,
+                        const std::string& name, std::uint32_t version) {
+    const std::string path = tempPath(name);
+    files_.push_back(path);
+    EXPECT_TRUE(writeShardStore(ds, path, capacity, version));
+    return path;
+  }
+  std::vector<std::string> files_;
+};
+
+TEST_F(ShardSummaryStoreTest, V2StoresRebuildSummariesLazilyFromPayloads) {
+  std::mt19937 rng(42);
+  TrajectoryDataset ds = randomDataset(rng);
+  while (ds.size() < 12) {
+    TrajectoryDataset more = randomDataset(rng);
+    for (std::size_t i = 0; i < more.size(); ++i) ds.add(more[i]);
+  }
+  const std::string path =
+      makeStore(ds, 4, "svq_summary_v2.svqs", kShardFormatV2);
+  auto store = ShardStore::open(path);
+  ASSERT_TRUE(store.has_value());
+  EXPECT_EQ(store->formatVersion(), kShardFormatV2);
+
+  for (std::size_t i = 0; i < store->shardCount(); ++i) {
+    const auto lazy = store->summary(i);
+    ASSERT_TRUE(lazy.has_value()) << "shard " << i;
+    const auto shard = store->shard(i);
+    ASSERT_NE(shard, nullptr);
+    const ShardSummary recomputed = computeShardSummary(*shard);
+    EXPECT_EQ(lazy->occupancy, recomputed.occupancy) << "shard " << i;
+    EXPECT_FLOAT_EQ(lazy->tMin, recomputed.tMin);
+    EXPECT_FLOAT_EQ(lazy->tMax, recomputed.tMax);
+    EXPECT_TRUE(validateShardSummary(*lazy, store->shardInfo(i).pointCount));
+  }
+}
+
+// A stitched-together v3 file whose footer summary is CRC-valid (the
+// attacker recomputed the checksums) but semantically impossible: the
+// store must discard it and rebuild from the payload — an implausible
+// summary may cost a rebuild, never a wrong prune.
+TEST_F(ShardSummaryStoreTest, ForgedFooterSummaryFallsBackToRebuild) {
+  std::mt19937 rng(7);
+  const TrajectoryDataset ds = randomDataset(rng);
+  const std::string path =
+      makeStore(ds, 64, "svq_summary_forged.svqs", kShardFormatCurrent);
+
+  // File layout (see traj/shardstore.cpp): ... footer | tail(40), where
+  // the tail is shardCount u32 + 3 u64 counts + footerCrc + tailCrc +
+  // magic, and each v3 footer entry is 60 fixed bytes + the 56-byte
+  // serialized summary whose first 32 bytes are the occupancy words.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  const std::size_t entryBytes = 60 + ShardSummary::kSerializedBytes;
+  const std::size_t tailBytes = 40;
+  ASSERT_GE(bytes.size(), tailBytes + entryBytes);
+  const std::size_t footerStart = bytes.size() - tailBytes - entryBytes;
+  // Zero the occupancy words: the shard has points, so an empty grid is
+  // implausible and validateShardSummary must reject it.
+  for (std::size_t i = 0; i < ShardSummary::kWords * 8; ++i) {
+    bytes[footerStart + 60 + i] = 0;
+  }
+  // Recompute footerCrc and tailCrc so the forgery passes the integrity
+  // checks (this test is about semantic validation, not bit rot).
+  const std::size_t tailStart = bytes.size() - tailBytes;
+  const std::uint32_t footerCrc =
+      io::crc32c(bytes.data() + footerStart, entryBytes);
+  std::memcpy(bytes.data() + tailStart + 28, &footerCrc, 4);
+  const std::uint32_t tailCrc = io::crc32c(bytes.data() + tailStart, 32);
+  std::memcpy(bytes.data() + tailStart + 32, &tailCrc, 4);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  auto store = ShardStore::open(path);
+  ASSERT_TRUE(store.has_value()) << "forged summary must not fail open";
+  ASSERT_EQ(store->shardCount(), 1u);
+  const auto summary = store->summary(0);
+  ASSERT_TRUE(summary.has_value());
+  const auto shard = store->shard(0);
+  ASSERT_NE(shard, nullptr);
+  const ShardSummary recomputed = computeShardSummary(*shard);
+  EXPECT_EQ(summary->occupancy, recomputed.occupancy);
+  EXPECT_FALSE(summary->occupancyEmpty());
+  EXPECT_TRUE(validateShardSummary(*summary, store->shardInfo(0).pointCount));
+}
+
+}  // namespace
+}  // namespace svq::traj
